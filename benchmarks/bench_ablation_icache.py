@@ -1,0 +1,71 @@
+"""Ablation B — instruction-cache sensitivity of the reference ISS.
+
+The paper (§1) singles out caches as the classic source of SW
+estimation error.  This ablation re-measures three Table 1 rows with a
+direct-mapped I-cache enabled on the reference machine: the cache adds
+miss cycles the source-level model cannot see, so the estimation error
+drifts by the (workload-dependent) miss share.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, table1_cases, write_result
+from repro.annotate import CostContext, MODE_SW, active
+from repro.iss import ICache, run_compiled
+from repro.workloads import wrap_args
+
+CASE_NAMES = ("FIR", "Quick sort", "Fibonacci")
+
+
+def _estimate(case, costs) -> float:
+    context = CostContext(costs, MODE_SW)
+    args = wrap_args(case.make_args())
+    with active(context):
+        case.functions[0](*args)
+    return context.total_cycles
+
+
+def test_ablation_icache(benchmark, calibrated_costs):
+    cases = [c for c in table1_cases() if c.name in CASE_NAMES]
+    collected = []
+
+    def run_all():
+        collected.clear()
+        for case in cases:
+            estimated = _estimate(case, calibrated_costs)
+            plain = run_compiled(list(case.functions), args=case.make_args(),
+                                 entry=case.functions[0])
+            cache = ICache(lines=16, line_words=4, miss_penalty=10)
+            cached = run_compiled(list(case.functions), args=case.make_args(),
+                                  entry=case.functions[0], icache=cache)
+            collected.append((case.name, estimated, plain, cached, cache))
+        return collected
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, estimated, plain, cached, cache in collected:
+        err_plain = 100.0 * (estimated - plain.cycles) / plain.cycles
+        err_cached = 100.0 * (estimated - cached.cycles) / cached.cycles
+        rows.append([
+            name,
+            str(plain.cycles),
+            str(cached.cycles),
+            f"{100 * cache.hit_rate:.1f}%",
+            f"{err_plain:+.2f}%",
+            f"{err_cached:+.2f}%",
+        ])
+    table = format_table(
+        "Ablation B - I-cache sensitivity of the ISS reference "
+        "(16 lines x 4 instr, 10-cycle miss)",
+        ["Benchmark", "ISS cycles", "ISS+icache", "hit rate",
+         "error (no cache)", "error (icache)"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("ablation_icache.txt", table + "\n")
+
+    for name, _estimated, plain, cached, cache in collected:
+        assert cached.cycles > plain.cycles, name
+        assert cached.instructions == plain.instructions, name
+        assert 0.0 < cache.hit_rate < 1.0, name

@@ -1,0 +1,82 @@
+"""Ablation A — RTOS overhead contribution on the vocoder (paper §4/§6:
+"The RTOS overload is evaluated").
+
+The strict-timed vocoder runs three times: without an RTOS model, with
+the default model, and with a deliberately heavy one.  Final simulated
+time and the RTOS share of processor busy time must grow monotonically.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_result
+from repro import Simulator
+from repro.core import PerformanceLibrary
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    RtosModel,
+    make_cpu,
+)
+from repro.workloads.vocoder import STAGE_NAMES, build_vocoder, make_frames
+
+FRAME_COUNT = 3
+
+RTOS_VARIANTS = [
+    ("none", None),
+    ("default", RtosModel("ucos-like", channel_access_cycles=120.0,
+                          wait_cycles=80.0, context_switch_cycles=150.0)),
+    ("heavy", RtosModel("heavyweight", channel_access_cycles=1200.0,
+                        wait_cycles=800.0, context_switch_cycles=1500.0)),
+]
+
+
+def _run_variant(rtos, frames, costs):
+    simulator = Simulator()
+    design = build_vocoder(simulator, frames, annotate=True)
+    cpu = make_cpu("cpu0", costs=costs, rtos=rtos)
+    env = EnvironmentResource("tb")
+    mapping = Mapping()
+    for name, process in design.processes.items():
+        mapping.assign(process, cpu if name in STAGE_NAMES else env)
+    perf = PerformanceLibrary(mapping).attach(simulator)
+    final = simulator.run()
+    simulator.assert_quiescent()
+    return final, cpu, perf
+
+
+def test_ablation_rtos(benchmark, calibrated_costs):
+    frames = make_frames(FRAME_COUNT)
+    collected = []
+
+    def run_all():
+        collected.clear()
+        for label, rtos in RTOS_VARIANTS:
+            final, cpu, perf = _run_variant(rtos, frames, calibrated_costs)
+            collected.append((label, final, cpu, perf))
+        return collected
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, final, cpu, perf in collected:
+        share = (cpu.rtos_time.femtoseconds / cpu.busy_time.femtoseconds
+                 if cpu.busy_time.femtoseconds else 0.0)
+        rows.append([label, f"{final.to_us():.1f}",
+                     f"{cpu.busy_time.to_us():.1f}",
+                     f"{cpu.rtos_time.to_us():.1f}",
+                     f"{100 * share:.1f}%",
+                     str(cpu.context_switches)])
+    table = format_table(
+        f"Ablation A - RTOS overhead on the vocoder ({FRAME_COUNT} frames)",
+        ["rtos", "final (us)", "cpu busy (us)", "rtos time (us)",
+         "rtos share", "switches"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("ablation_rtos.txt", table + "\n")
+
+    finals = [final.femtoseconds for _, final, _, _ in collected]
+    rtos_times = [cpu.rtos_time.femtoseconds for _, _, cpu, _ in collected]
+    assert finals[0] < finals[1] < finals[2]
+    assert rtos_times[0] == 0
+    assert rtos_times[1] < rtos_times[2]

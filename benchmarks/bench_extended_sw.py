@@ -1,0 +1,70 @@
+"""Extended SW estimation check — generalization beyond the paper's set.
+
+The calibration microbenchmarks were chosen before these kernels
+existed; this bench measures estimation error on DCT, CRC-32 and matrix
+multiply to demonstrate that the fitted weights generalize to unrelated
+workloads (the property that makes the paper's methodology usable in
+practice).
+"""
+
+from __future__ import annotations
+
+from harness import (
+    SequentialCase,
+    format_table,
+    run_sequential_case,
+    write_result,
+)
+from repro.platform import CPU_CLOCK_MHZ
+from repro.workloads.extended import (
+    crc32_bitwise,
+    dct_2d,
+    make_crc_inputs,
+    make_dct_inputs,
+    make_matmul_inputs,
+    matmul,
+)
+
+ERROR_BOUND_PCT = 12.0
+
+CASES = [
+    SequentialCase("DCT 8x8", (dct_2d,), make_dct_inputs),
+    SequentialCase("CRC-32", (crc32_bitwise,), lambda: make_crc_inputs(512)),
+    SequentialCase("MatMul 12", (matmul,), lambda: make_matmul_inputs(12)),
+]
+
+
+def test_extended_sw(benchmark, calibrated_costs):
+    results = []
+
+    def run_all():
+        results.clear()
+        for case in CASES:
+            results.append(run_sequential_case(case, calibrated_costs))
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for r in results:
+        rows.append([
+            r.name,
+            f"{r.estimated_cycles:.0f}",
+            f"{r.estimated_cycles / CPU_CLOCK_MHZ:.2f}",
+            str(r.iss_cycles),
+            f"{r.error_pct:+.2f}%",
+            f"{r.gain:.1f}x",
+        ])
+    table = format_table(
+        "Extended SW benchmarks - calibration generalization",
+        ["Benchmark", "Library est (cyc)", "est time (us)", "ISS (cyc)",
+         "Error", "Gain vs ISS"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("extended_sw.txt", table + "\n")
+
+    for r in results:
+        assert abs(r.error_pct) < ERROR_BOUND_PCT, (
+            f"{r.name}: error {r.error_pct:.1f}% exceeds {ERROR_BOUND_PCT}%"
+        )

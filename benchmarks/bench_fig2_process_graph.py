@@ -1,0 +1,101 @@
+"""Figures 1 & 2 — process segmentation and the process graph.
+
+Runs the paper's example process (Fig. 1: a cyclic process with two
+channel accesses, a conditional write and a timing wait) and checks
+that the dynamic segment tracker reconstructs exactly the graph of
+Fig. 2: nodes N0..N4 and segments S0-1, S1-2, S1-3, S2-3, S3-4, S4-1.
+Also emits the static annotated listing (the "simple parser" view) and
+a GraphViz rendering of the dynamic graph.
+"""
+
+from __future__ import annotations
+
+from harness import write_result
+from repro import SimTime, Simulator, wait
+from repro.segments import SegmentTracker, annotate_listing, scan_process
+
+ITERATIONS = 6
+
+
+def _build(simulator: Simulator):
+    ch1 = simulator.fifo("ch1")
+    ch2 = simulator.fifo("ch2")
+    top = simulator.module("top")
+    tracker = SegmentTracker()
+    simulator.add_observer(tracker)
+
+    def process():
+        for iteration in range(ITERATIONS):
+            # code of segment S0-1 / S4-1
+            value = yield from ch1.read()                 # N1
+            condition = value % 2 == 0
+            if condition:
+                # code of segment S1-2
+                yield from ch2.write(value * 2)           # N2
+            # code of segment S2-3 / S1-3
+            yield wait(SimTime.ns(10))                    # N3
+            yield from ch2.write(value)                   # N4 (paper: ch2 access)
+
+    def environment():
+        for iteration in range(ITERATIONS):
+            yield from ch1.write(iteration)
+            taken = iteration % 2 == 0
+            if taken:
+                yield from ch2.read()
+            yield from ch2.read()
+
+    top.add_process(process)
+    top.add_process(environment)
+    return tracker, process
+
+
+def test_fig2_process_graph(benchmark):
+    simulator = Simulator()
+    tracker, body = _build(simulator)
+
+    def run():
+        simulator.run()
+        simulator.assert_quiescent()
+        return tracker
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    graph = tracker.graph_of("top.process")
+    segment_labels = sorted(s.label for s in graph.segments.values())
+    node_kinds = {stats.label: node.kind for node, stats in graph.nodes.items()}
+
+    lines = ["Figure 1/2 - process segmentation of the paper's example", ""]
+    lines.append("static node sites (the 'simple parser' view):")
+    for site in scan_process(body):
+        lines.append(f"  {site.describe()}")
+    lines.append("")
+    lines.append("annotated listing:")
+    lines.extend("  " + l for l in annotate_listing(body).splitlines())
+    lines.append("")
+    lines.append("dynamic process graph:")
+    lines.extend("  " + l for l in tracker.report_lines())
+    lines.append("")
+    lines.append(graph.to_dot())
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result("fig2_process_graph.txt", text + "\n")
+
+    # Fig. 2's arc set: S0-1 entry, S1-2 (conditional write), S1-3 (skip),
+    # S2-3 (after write), S3-4 (after wait), S4-1 (loop back), plus the
+    # process-exit arc our finite run adds.
+    for expected in ("S0-1", "S1-2", "S1-3", "S2-3", "S3-4", "S4-1"):
+        assert expected in segment_labels, (expected, segment_labels)
+    assert node_kinds["N0"] == "entry"
+    assert node_kinds["N1"] == "channel"
+    assert node_kinds["N2"] == "channel"
+    assert node_kinds["N3"] == "wait"
+    assert node_kinds["N4"] == "channel"
+
+    # Dynamic and static views agree on the number of in-code node sites.
+    assert len(scan_process(body)) == 4
+
+    # Execution counts: N1 fires every iteration, N2 only on even values.
+    n1 = next(s for n, s in graph.nodes.items() if s.label == "N1")
+    n2 = next(s for n, s in graph.nodes.items() if s.label == "N2")
+    assert n1.executions == ITERATIONS
+    assert n2.executions == ITERATIONS // 2

@@ -1,0 +1,104 @@
+"""Figure 4 — HW implementation solutions between critical path and
+single ALU (plus ablation C: k-factor sensitivity).
+
+The FIR segment's dataflow graph is scheduled under every functional-
+unit allocation up to 3 units per class; the area/time Pareto frontier
+spans the figure's two extremes.  The second half sweeps the paper's
+``k`` constant from 0 to 1 and verifies the annotated time interpolates
+monotonically between Tmin and Tmax.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_result
+from repro.annotate import AArray, CostContext, MODE_HW, active
+from repro.core import SegmentEstimate
+from repro.hls import (
+    capture_dfg,
+    explore_design_space,
+    pareto_front,
+    synthesize_best_case,
+    synthesize_worst_case,
+)
+from repro.kernel import Clock
+from repro.platform import ASIC_HW_COSTS, HW_CLOCK_MHZ
+from repro.workloads.fir import fir_sample, _lowpass_taps
+
+FIR_TAPS = 12
+
+
+def _segment_args():
+    x = AArray([(i * 17 + 3) % 128 - 64 for i in range(FIR_TAPS)])
+    h = AArray(_lowpass_taps(FIR_TAPS))
+    return (x, h, FIR_TAPS)
+
+
+def test_fig4_design_space(benchmark):
+    clock = Clock.from_frequency_mhz(HW_CLOCK_MHZ)
+    outcome = {}
+
+    def run():
+        graph = capture_dfg(fir_sample, _segment_args(), ASIC_HW_COSTS)
+        points = explore_design_space(graph, max_units_per_class=3)
+        front = pareto_front(points)
+        best = synthesize_best_case(graph, clock)
+        worst = synthesize_worst_case(graph, clock)
+
+        context = CostContext(ASIC_HW_COSTS, MODE_HW)
+        with active(context):
+            fir_sample(*_segment_args())
+        t_max, t_min = context.segment_totals()
+        outcome.update(graph=graph, points=points, front=front,
+                       best=best, worst=worst,
+                       estimate=SegmentEstimate(t_max, t_min))
+        return outcome
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    front = outcome["front"]
+    best = outcome["best"]
+    worst = outcome["worst"]
+    estimate = outcome["estimate"]
+
+    rows = [[str(p.allocation), f"{p.area:.0f}",
+             str(p.latency_cycles),
+             f"{clock.cycles_to_time(p.latency_cycles).to_ns():.0f}"]
+            for p in front]
+    rows.append(["single universal ALU (paper WC)", f"{worst.area:.0f}",
+                 str(worst.latency_cycles), f"{worst.exec_time_ns:.0f}"])
+    rows.append(["critical path, unlimited units (paper BC)",
+                 f"{best.area:.0f}", str(best.latency_cycles),
+                 f"{best.exec_time_ns:.0f}"])
+    table_a = format_table(
+        "Figure 4 - implementation solutions (FIR segment, area vs time)",
+        ["allocation", "area", "cycles", "time (ns)"], rows)
+
+    k_rows = []
+    for tenth in range(11):
+        k = tenth / 10.0
+        cycles = estimate.interpolate(k)
+        k_rows.append([f"{k:.1f}", f"{cycles:.1f}",
+                       f"{clock.cycles_to_time(cycles).to_ns():.0f}"])
+    table_b = format_table(
+        "Ablation C - k-factor sweep: T = Tmin + (Tmax - Tmin) * k",
+        ["k", "annotated cycles", "time (ns)"], k_rows)
+
+    report = table_a + "\n\n" + table_b
+    print("\n" + report)
+    write_result("fig4_design_space.txt", report + "\n")
+
+    # The frontier is strictly improving in latency as area grows.
+    latencies = [p.latency_cycles for p in front]
+    areas = [p.area for p in front]
+    assert latencies == sorted(latencies, reverse=True)
+    assert areas == sorted(areas)
+
+    # The two extremes bound every feasible point.
+    for p in outcome["points"]:
+        assert best.latency_cycles <= p.latency_cycles <= worst.latency_cycles
+
+    # k interpolates monotonically between the estimate's bounds.
+    assert abs(estimate.interpolate(0.0) - estimate.t_min_cycles) < 1e-9
+    assert abs(estimate.interpolate(1.0) - estimate.t_max_cycles) < 1e-9
+    samples = [estimate.interpolate(t / 10) for t in range(11)]
+    assert samples == sorted(samples)

@@ -1,0 +1,148 @@
+"""Figure 5 — untimed delta-cycle vs strict-timed simulation.
+
+Three processes generate signals s1, s2, s3 in the same delta cycle of
+the untimed specification.  P1 maps to a HW resource, P2 and P3 to one
+SW processor.  The bench renders both timelines and asserts the
+figure's two claims:
+
+* untimed: every event sits at t = 0, ordered only by delta cycles;
+* strict-timed: P1's segments overlap the processor's activity
+  (parallel resources run concurrently) while P2 and P3 are serialized
+  on the shared CPU even though they were awakened in the same delta.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_result
+from repro import Simulator, TraceRecorder
+from repro.annotate import AInt
+from repro.core import PerformanceLibrary
+from repro.platform import Mapping, make_cpu, make_fabric
+
+WORK_ITEMS = 3
+
+
+def _build(simulator: Simulator, timed: bool, costs):
+    from repro import SimTime, wait
+
+    s1 = simulator.signal("s1", initial=0)
+    s2 = simulator.signal("s2", initial=0)
+    s3 = simulator.signal("s3", initial=0)
+    top = simulator.module("top")
+
+    def compute(scale: int) -> int:
+        accumulator = AInt(0)
+        for k in range(40 * scale):
+            accumulator = accumulator + k * 3
+        return int(accumulator)
+
+    def generator_for(signal, scale):
+        def body():
+            # All three processes start in the same delta cycle, like
+            # the figure's P1..P3; the zero wait separates successive
+            # writes into their own delta cycles in the untimed run.
+            for item in range(WORK_ITEMS):
+                value = compute(scale)
+                yield from signal.write(value + item)
+                yield wait(SimTime.fs(0))
+        body.__name__ = f"p_{signal.name}"
+        return body
+
+    processes = {
+        "p1": top.add_process(generator_for(s1, 1), name="p1"),
+        "p2": top.add_process(generator_for(s2, 2), name="p2"),
+        "p3": top.add_process(generator_for(s3, 2), name="p3"),
+    }
+    perf = None
+    resources = {}
+    if timed:
+        cpu = make_cpu("cpu0", costs=costs)
+        hw = make_fabric("hw1", k_factor=0.5)
+        mapping = Mapping()
+        mapping.assign(processes["p1"], hw)
+        mapping.assign(processes["p2"], cpu)
+        mapping.assign(processes["p3"], cpu)
+        perf = PerformanceLibrary(mapping).attach(simulator)
+        resources = {"cpu": cpu, "hw": hw}
+    signals = {"s1": s1, "s2": s2, "s3": s3}
+    return signals, perf, resources
+
+
+def _timeline(signals) -> list:
+    rows = []
+    for name, signal in signals.items():
+        for time_fs, delta, value in signal.history[1:]:
+            rows.append((time_fs, delta, name, value))
+    rows.sort()
+    return rows
+
+
+def test_fig5_timelines(benchmark, calibrated_costs):
+    outcome = {}
+
+    def run_both():
+        untimed_sim = Simulator()
+        untimed_signals, _, _ = _build(untimed_sim, False, calibrated_costs)
+        untimed_sim.run()
+        untimed_sim.assert_quiescent()
+
+        timed_sim = Simulator()
+        timed_signals, perf, resources = _build(timed_sim, True, calibrated_costs)
+        timed_sim.run()
+        timed_sim.assert_quiescent()
+        outcome.update(
+            untimed=_timeline(untimed_signals),
+            timed=_timeline(timed_signals),
+            perf=perf, resources=resources,
+            final=timed_sim.now,
+        )
+        return outcome
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    untimed = outcome["untimed"]
+    timed = outcome["timed"]
+    perf = outcome["perf"]
+    cpu = outcome["resources"]["cpu"]
+    hw = outcome["resources"]["hw"]
+
+    def rows_of(events):
+        return [[f"{fs / 1e6:.3f}", str(delta), name, str(value)]
+                for fs, delta, name, value in events]
+
+    part_a = format_table(
+        "Figure 5a - untimed (delta-cycle) simulation",
+        ["time (ns)", "delta", "signal", "value"], rows_of(untimed))
+    part_b = format_table(
+        "Figure 5b - strict-timed simulation (P1 on hw1, P2/P3 on cpu0)",
+        ["time (ns)", "delta", "signal", "value"], rows_of(timed))
+    report = part_a + "\n\n" + part_b + "\n\n" + perf.report(outcome["final"])
+    print("\n" + report)
+    write_result("fig5_timelines.txt", report + "\n")
+
+    # 5a: all untimed events collapse onto t=0, separated only by deltas.
+    assert all(fs == 0 for fs, _, _, _ in untimed)
+    assert len({delta for _, delta, _, _ in untimed}) >= 1
+
+    # 5b: physical times are spread out and s1 (HW) completes all its
+    # work while the CPU is still serializing P2 and P3.
+    s1_times = [fs for fs, _, name, _ in timed if name == "s1"]
+    s2_times = [fs for fs, _, name, _ in timed if name == "s2"]
+    s3_times = [fs for fs, _, name, _ in timed if name == "s3"]
+    assert len(set(s1_times)) == WORK_ITEMS
+    assert max(s1_times) < max(s2_times + s3_times)
+
+    # Serialization: the CPU's busy time equals the sum of its two
+    # processes' busy times, and no instant hosted both (their segments
+    # never overlapped: total busy fits within the simulated span).
+    p2_busy = perf.stats["top.p2"].busy_time
+    p3_busy = perf.stats["top.p3"].busy_time
+    assert cpu.busy_time.femtoseconds == (
+        p2_busy.femtoseconds + p3_busy.femtoseconds
+    )
+    assert cpu.busy_time.femtoseconds <= outcome["final"].femtoseconds
+
+    # Parallelism: HW work overlapped the CPU's window (the run is
+    # shorter than the serialized sum of everything).
+    total_busy = cpu.busy_time + hw.busy_time
+    assert outcome["final"].femtoseconds < total_busy.femtoseconds

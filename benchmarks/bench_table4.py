@@ -1,0 +1,73 @@
+"""Table 4 — HW estimation results for the vocoder post-processing.
+
+The paper maps the vocoder's pre/post-processing filter to hardware and
+compares the library's WC/BC estimates against behavioral synthesis.
+We capture one subframe of :func:`repro.workloads.vocoder.postprocess`
+and synthesize it exactly as in Table 2.
+"""
+
+from __future__ import annotations
+
+from harness import format_table, write_result
+from repro.annotate import AArray, CostContext, MODE_HW, active, AInt
+from repro.hls import synthesize_function
+from repro.kernel import Clock
+from repro.platform import ASIC_HW_COSTS, HW_CLOCK_MHZ
+from repro.workloads.vocoder import SUBFRAME, postprocess
+
+ERROR_BOUND_PCT = 15.0
+
+
+def _case_args():
+    x = AArray([((i * 91) % 400) - 200 for i in range(SUBFRAME)])
+    y = AArray([0] * SUBFRAME)
+    state = AArray([35, -20])
+    return (x, y, AInt(SUBFRAME), state)
+
+
+def test_table4(benchmark, calibrated_costs):
+    clock = Clock.from_frequency_mhz(HW_CLOCK_MHZ)
+    collected = {}
+
+    def run_all():
+        context = CostContext(ASIC_HW_COSTS, MODE_HW)
+        with active(context):
+            postprocess(*_case_args())
+        t_max, t_min = context.segment_totals()
+        _graph, best, worst = synthesize_function(
+            postprocess, _case_args(), ASIC_HW_COSTS, clock)
+        collected.update(
+            est_wc_ns=clock.cycles_to_time(t_max).to_ns(),
+            est_bc_ns=clock.cycles_to_time(t_min).to_ns(),
+            real_wc_ns=worst.exec_time_ns,
+            real_bc_ns=best.exec_time_ns,
+        )
+        return collected
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    pairs = [
+        ("Post. Proc. (WC)", collected["real_wc_ns"], collected["est_wc_ns"]),
+        ("Post. Proc. (BC)", collected["real_bc_ns"], collected["est_bc_ns"]),
+    ]
+    rows = []
+    errors = []
+    for label, real_ns, est_ns in pairs:
+        error = 100.0 * (est_ns - real_ns) / real_ns
+        errors.append((label, error))
+        rows.append([label, f"{real_ns:.1f}", f"{est_ns:.1f}", f"{error:+.2f}%"])
+
+    table = format_table(
+        f"Table 4 - HW estimation results for the vocoder "
+        f"(one {SUBFRAME}-sample subframe, clock {clock.period})",
+        ["Benchmark", "Real exec time (ns)", "Estimated exec time (ns)", "Error"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table4.txt", table + "\n")
+
+    for label, error in errors:
+        assert abs(error) < ERROR_BOUND_PCT, (
+            f"{label}: HW estimation error {error:.1f}% exceeds "
+            f"{ERROR_BOUND_PCT}%"
+        )

@@ -1,0 +1,24 @@
+"""Session-scoped fixtures shared by all reproduction benchmarks."""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from repro.calibration import calibrate, default_microbenchmarks
+from repro.platform import OPENRISC_SW_COSTS
+
+
+@pytest.fixture(scope="session")
+def calibration_report():
+    """One calibration run shared by every bench (it is deterministic)."""
+    return calibrate(default_microbenchmarks(scale=64), OPENRISC_SW_COSTS)
+
+
+@pytest.fixture(scope="session")
+def calibrated_costs(calibration_report):
+    return calibration_report.costs

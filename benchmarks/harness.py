@@ -1,0 +1,173 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  This
+module hosts the pieces they share: the single-process design wrapper
+(for the sequential Table 1 benchmarks), host-time measurement, table
+rendering, and the results directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro import SimTime, Simulator, wait
+from repro.annotate.costs import OperationCosts
+from repro.core import PerformanceLibrary
+from repro.iss import ICache, run_compiled
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    make_cpu,
+)
+from repro.workloads import wrap_args
+
+#: Where benches drop their rendered tables.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class SequentialCase:
+    """One row of Table 1: a sequential single-source benchmark."""
+
+    name: str
+    functions: tuple          # entry first; everything the ISS must compile
+    make_args: Callable[[], tuple]
+
+
+@dataclasses.dataclass
+class SequentialResult:
+    name: str
+    estimated_cycles: float
+    iss_cycles: int
+    library_host_s: float     # timed simulation wall time
+    untimed_host_s: float     # plain (no library) simulation wall time
+    iss_host_s: float         # ISS wall time
+
+    @property
+    def error_pct(self) -> float:
+        return 100.0 * (self.estimated_cycles - self.iss_cycles) / self.iss_cycles
+
+    @property
+    def overload(self) -> float:
+        """Library host time over plain untimed simulation host time."""
+        return self.library_host_s / self.untimed_host_s
+
+    @property
+    def gain(self) -> float:
+        """ISS host time over library host time (the paper's speed gain)."""
+        return self.iss_host_s / self.library_host_s
+
+
+def _single_process_design(fn: Callable, args: tuple,
+                           costs: Optional[OperationCosts]):
+    """Build a one-process design running ``fn``; return (sim, process).
+
+    With ``costs`` set, the performance library is attached and the
+    kernel runs on annotated arguments; otherwise the design is the
+    plain untimed specification.
+    """
+    simulator = Simulator()
+    top = simulator.module("top")
+    run_args = wrap_args(args) if costs is not None else args
+
+    def body():
+        fn(*run_args)
+        yield wait(SimTime.fs(0))
+
+    process = top.add_process(body, name="kernel")
+    perf = None
+    if costs is not None:
+        cpu = make_cpu("cpu0", costs=costs, rtos=None)
+        mapping = Mapping()
+        mapping.assign(process, cpu)
+        perf = PerformanceLibrary(mapping).attach(simulator)
+    return simulator, process, perf
+
+
+def run_sequential_case(case: SequentialCase,
+                        costs: OperationCosts,
+                        icache: Optional[ICache] = None) -> SequentialResult:
+    """Measure one Table 1 row: estimation accuracy + host times."""
+    entry = case.functions[0]
+
+    # Strict-timed simulation with the library attached.
+    start = time.perf_counter()
+    simulator, process, perf = _single_process_design(entry, case.make_args(), costs)
+    simulator.run()
+    library_host = time.perf_counter() - start
+    estimated = perf.stats[process.full_name].cycles
+
+    # Plain untimed simulation (the original SystemC specification).
+    start = time.perf_counter()
+    simulator, _, _ = _single_process_design(entry, case.make_args(), None)
+    simulator.run()
+    untimed_host = time.perf_counter() - start
+
+    # Reference ISS execution.
+    start = time.perf_counter()
+    iss = run_compiled(list(case.functions), args=case.make_args(),
+                       entry=entry, icache=icache)
+    iss_host = time.perf_counter() - start
+
+    return SequentialResult(
+        name=case.name,
+        estimated_cycles=estimated,
+        iss_cycles=iss.cycles,
+        library_host_s=library_host,
+        untimed_host_s=untimed_host,
+        iss_host_s=iss_host,
+    )
+
+
+def table1_cases() -> List[SequentialCase]:
+    """The six sequential benchmarks of Table 1, paper-sized."""
+    from repro.workloads.array_ops import array_ops, make_array_inputs
+    from repro.workloads.compressor import compress, make_compress_inputs
+    from repro.workloads.fibonacci import (
+        fib_benchmark, fib_iterative, fib_recursive,
+    )
+    from repro.workloads.fir import fir_filter, make_fir_inputs
+    from repro.workloads.sorting import (
+        bubble_sort, make_sort_inputs, quick_partition, quick_sort,
+        quick_sort_checked,
+    )
+
+    return [
+        SequentialCase("FIR", (fir_filter,),
+                       lambda: make_fir_inputs(256, 16)),
+        SequentialCase("Compress", (compress,),
+                       lambda: make_compress_inputs(1024)),
+        SequentialCase("Quick sort",
+                       (quick_sort_checked, quick_sort, quick_partition),
+                       lambda: (make_sort_inputs(256)[0], 256)),
+        SequentialCase("Bubble", (bubble_sort,),
+                       lambda: make_sort_inputs(96, seed=3)),
+        SequentialCase("Fibonacci",
+                       (fib_benchmark, fib_recursive, fib_iterative),
+                       lambda: (17,)),
+        SequentialCase("Array", (array_ops,),
+                       lambda: make_array_inputs(512)),
+    ]

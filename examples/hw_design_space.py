@@ -1,0 +1,68 @@
+"""Hardware design-space exploration of one segment (paper Fig. 4).
+
+Captures the dataflow of a FIR output-sample segment, then:
+
+* sweeps the paper's ``k`` constant to show the single annotated value
+  moving between the critical-path and single-ALU extremes,
+* runs the behavioral-synthesis substrate over every functional-unit
+  allocation to chart the real area/time trade-off curve.
+
+Run with:  python examples/hw_design_space.py
+"""
+
+from repro.annotate import AArray, CostContext, MODE_HW, active
+from repro.core import SegmentEstimate
+from repro.hls import (
+    capture_dfg,
+    explore_design_space,
+    pareto_front,
+    synthesize_best_case,
+    synthesize_worst_case,
+)
+from repro.kernel import Clock
+from repro.platform import ASIC_HW_COSTS, HW_CLOCK_MHZ
+from repro.workloads.fir import _lowpass_taps, fir_sample
+
+TAPS = 12
+
+
+def main():
+    clock = Clock.from_frequency_mhz(HW_CLOCK_MHZ)
+    x = AArray([(i * 23 + 7) % 256 - 128 for i in range(TAPS)])
+    h = AArray(_lowpass_taps(TAPS))
+    args = (x, h, TAPS)
+
+    # --- the library's view: one pass, two bounds -----------------------
+    context = CostContext(ASIC_HW_COSTS, MODE_HW)
+    with active(context):
+        fir_sample(*args)
+    t_max, t_min = context.segment_totals()
+    estimate = SegmentEstimate(t_max, t_min)
+    print(f"library bounds: Tmin = {t_min:.1f} cyc (critical path), "
+          f"Tmax = {t_max:.1f} cyc (single ALU)")
+    print("k-sweep of the annotated value  T = Tmin + (Tmax - Tmin) * k:")
+    for tenth in range(0, 11, 2):
+        k = tenth / 10
+        cycles = estimate.interpolate(k)
+        print(f"  k = {k:.1f}: {cycles:6.1f} cyc "
+              f"= {clock.cycles_to_time(cycles).to_ns():6.0f} ns")
+
+    # --- the synthesis tool's view: actual schedules ---------------------
+    graph = capture_dfg(fir_sample, args, ASIC_HW_COSTS)
+    print(f"\ncaptured DFG: {len(graph)} operations {graph.operations_used()}")
+    best = synthesize_best_case(graph, clock)
+    worst = synthesize_worst_case(graph, clock)
+    print(f"time-constrained (unlimited units): {best.latency_cycles} cyc, "
+          f"area {best.area:.0f}")
+    print(f"resource-constrained (1 universal ALU): {worst.latency_cycles} cyc, "
+          f"area {worst.area:.0f}")
+
+    print("\narea/time Pareto frontier (list scheduling, <=3 units/class):")
+    points = explore_design_space(graph, max_units_per_class=3)
+    for point in pareto_front(points):
+        print(f"  area {point.area:5.1f}  {point.latency_cycles:3d} cyc   "
+              f"{point.allocation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""A JPEG-style image pipeline: DSE with the estimation library.
+
+Three concurrent stages process 8x8 image blocks:
+
+  blocker  ->  dct_quant  ->  entropy (RLE)  ->  sink
+
+The DCT stage is the arithmetic hot spot; the script compares keeping
+it in software against mapping it to a hardware fabric, and checks a
+per-block latency constraint with capture points — a compact version of
+the paper's intended design-space-exploration workflow on a second
+application domain.
+
+Run with:  python examples/image_pipeline.py [blocks]
+"""
+
+import sys
+
+from repro import SimTime, Simulator
+from repro.annotate import AArray, AInt, unwrap
+from repro.capture import CaptureBoard, response_times_ns, summarize_ns
+from repro.core import PerformanceLibrary
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    make_cpu,
+    make_fabric,
+)
+from repro.workloads.compressor import compress
+from repro.workloads.extended import dct_2d, make_dct_cosines
+from repro.workloads.common import lcg_stream
+
+BLOCK = 8
+
+
+def make_blocks(count: int):
+    """Synthetic image blocks with smooth gradients + texture."""
+    noise = lcg_stream(5, count * BLOCK * BLOCK, 64)
+    blocks = []
+    for b in range(count):
+        block = []
+        for y in range(BLOCK):
+            for x in range(BLOCK):
+                value = (x * 14 + y * 9 + b * 5) % 256 - 128
+                value += noise[(b * BLOCK + y) * BLOCK + x] - 32
+                block.append(value)
+        blocks.append(block)
+    return blocks
+
+
+def build(simulator, blocks, dct_on_hw, costs):
+    board = CaptureBoard(simulator)
+    in_point = board.point("block_in")
+    out_point = board.point("block_out")
+    raw = simulator.fifo("raw", capacity=2)
+    transformed = simulator.fifo("transformed", capacity=2)
+    encoded = simulator.fifo("encoded")
+    top = simulator.module("pipeline")
+    cosines = make_dct_cosines(BLOCK)
+    results = []
+
+    def blocker():
+        for block in blocks:
+            in_point.hit()
+            yield from raw.write(list(block))
+
+    def dct_quant():
+        for _ in range(len(blocks)):
+            block = yield from raw.read()
+            tmp = AArray([0] * (BLOCK * BLOCK))
+            out = AArray([0] * (BLOCK * BLOCK))
+            dct_2d(AArray(block), AArray(cosines), tmp, out, BLOCK)
+            # crude quantization: keep coefficients above a threshold
+            coefficients = out.to_list()
+            quantized = [v // 16 for v in coefficients]
+            yield from transformed.write(quantized)
+
+    def entropy():
+        for _ in range(len(blocks)):
+            coefficients = yield from transformed.read()
+            shifted = [v + 128 for v in coefficients]  # non-negative symbols
+            dst = AArray([0] * (2 * BLOCK * BLOCK))
+            words = compress(AArray(shifted), dst,
+                             AArray([0] * 256), AInt(BLOCK * BLOCK))
+            yield from encoded.write((int(unwrap(words)), dst.to_list()))
+
+    def sink():
+        for _ in range(len(blocks)):
+            payload = yield from encoded.read()
+            out_point.hit(payload[0])
+            results.append(payload)
+
+    processes = {
+        "blocker": top.add_process(blocker),
+        "dct_quant": top.add_process(dct_quant),
+        "entropy": top.add_process(entropy),
+        "sink": top.add_process(sink),
+    }
+    cpu = make_cpu("cpu0", costs=costs)
+    hw = make_fabric("hw0", k_factor=0.2)
+    env = EnvironmentResource("tb")
+    mapping = Mapping()
+    mapping.assign(processes["blocker"], env)
+    mapping.assign(processes["sink"], env)
+    mapping.assign(processes["dct_quant"], hw if dct_on_hw else cpu)
+    mapping.assign(processes["entropy"], cpu)
+    perf = PerformanceLibrary(mapping).attach(simulator)
+    return board, perf, results
+
+
+def run_variant(blocks, dct_on_hw, costs):
+    simulator = Simulator()
+    board, perf, results = build(simulator, blocks, dct_on_hw, costs)
+    final = simulator.run()
+    simulator.assert_quiescent()
+    label = "DCT on HW " if dct_on_hw else "all SW    "
+    latencies = response_times_ns(board["block_in"], board["block_out"])
+    print(f"--- {label}: {final.to_us():8.1f} us total, "
+          f"block latency {summarize_ns(latencies)}")
+    return final, results
+
+
+def main():
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    blocks = make_blocks(count)
+
+    from repro.calibration import calibrate, default_microbenchmarks
+    from repro.platform import OPENRISC_SW_COSTS
+    print("calibrating ...")
+    costs = calibrate(default_microbenchmarks(scale=32),
+                      OPENRISC_SW_COSTS).costs
+
+    time_sw, results_sw = run_variant(blocks, False, costs)
+    time_hw, results_hw = run_variant(blocks, True, costs)
+    assert results_sw == results_hw, "mapping must not change functionality"
+    print(f"\nmoving the DCT to hardware: {time_sw / time_hw:.2f}x faster")
+    total_words = sum(words for words, _ in results_sw)
+    print(f"compression: {count * 64} coefficients -> {total_words} words")
+
+
+if __name__ == "__main__":
+    main()

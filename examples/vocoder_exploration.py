@@ -1,0 +1,104 @@
+"""Design-space exploration of the vocoder's architectural mapping.
+
+The paper's point: once estimation is cheap, mapping decisions can be
+compared early.  This example runs the five-process vocoder under three
+mappings and compares frame latency and processor load:
+
+  A. all five processes on one CPU,
+  B. post-processing moved to a hardware fabric (the paper's Table 4
+     configuration),
+  C. two CPUs: the heavy ACB search gets its own processor.
+
+Run with:  python examples/vocoder_exploration.py [frames]
+"""
+
+import sys
+
+from repro import Simulator
+from repro.calibration import calibrate, default_microbenchmarks
+from repro.core import PerformanceLibrary
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    OPENRISC_SW_COSTS,
+    make_cpu,
+    make_fabric,
+)
+from repro.workloads.vocoder import STAGE_NAMES, build_vocoder, make_frames
+
+
+def run_mapping(label, frames, costs, assign):
+    """Build, map with `assign(mapping, processes, resources)`, run."""
+    simulator = Simulator()
+    design = build_vocoder(simulator, frames, annotate=True)
+    resources = {
+        "cpu0": make_cpu("cpu0", costs=costs),
+        "cpu1": make_cpu("cpu1", costs=costs),
+        "hw0": make_fabric("hw0", k_factor=0.5),
+        "env": EnvironmentResource("tb"),
+    }
+    mapping = Mapping()
+    assign(mapping, design.processes, resources)
+    perf = PerformanceLibrary(mapping).attach(simulator)
+    final = simulator.run()
+    simulator.assert_quiescent()
+
+    frame_rate_us = final.to_us() / len(frames)
+    print(f"--- mapping {label}: {final.to_us():.0f} us total, "
+          f"{frame_rate_us:.0f} us/frame")
+    for name, resource in resources.items():
+        if resource.busy_time.femtoseconds:
+            load = resource.busy_time.femtoseconds / final.femtoseconds
+            print(f"    {name}: busy {resource.busy_time.to_us():.0f} us "
+                  f"({100 * load:.0f}% loaded)")
+    return final
+
+
+def mapping_a(mapping, processes, resources):
+    for name, process in processes.items():
+        target = resources["cpu0"] if name in STAGE_NAMES else resources["env"]
+        mapping.assign(process, target)
+
+
+def mapping_b(mapping, processes, resources):
+    for name, process in processes.items():
+        if name == "post_proc":
+            mapping.assign(process, resources["hw0"])
+        elif name in STAGE_NAMES:
+            mapping.assign(process, resources["cpu0"])
+        else:
+            mapping.assign(process, resources["env"])
+
+
+def mapping_c(mapping, processes, resources):
+    for name, process in processes.items():
+        if name == "acb_search":
+            mapping.assign(process, resources["cpu1"])
+        elif name == "post_proc":
+            mapping.assign(process, resources["hw0"])
+        elif name in STAGE_NAMES:
+            mapping.assign(process, resources["cpu0"])
+        else:
+            mapping.assign(process, resources["env"])
+
+
+def main():
+    frame_count = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    frames = make_frames(frame_count)
+
+    print("calibrating operator weights against the reference ISS ...")
+    report = calibrate(default_microbenchmarks(scale=32), OPENRISC_SW_COSTS)
+    costs = report.costs
+
+    time_a = run_mapping("A (single CPU)", frames, costs, mapping_a)
+    time_b = run_mapping("B (post-proc on HW)", frames, costs, mapping_b)
+    time_c = run_mapping("C (ACB on second CPU, post-proc on HW)",
+                         frames, costs, mapping_c)
+
+    print()
+    print(f"speedup B vs A: {time_a / time_b:.2f}x")
+    print(f"speedup C vs A: {time_a / time_c:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "System-Level Performance Analysis in SystemC".
+
+(H. Posadas, F. Herrera, P. Sánchez, E. Villar, F. Blasco — DATE 2004.)
+
+The package provides, in Python, the paper's system-level timing
+estimation library together with every substrate it depends on:
+
+* :mod:`repro.kernel` — SystemC-like discrete-event kernel,
+* :mod:`repro.annotate` — operator-overloading time annotation,
+* :mod:`repro.platform` — platform resources, mapping and RTOS model,
+* :mod:`repro.segments` — process segmentation and tracking,
+* :mod:`repro.core` — the performance-analysis library itself,
+* :mod:`repro.capture` — capture points and timing metrics,
+* :mod:`repro.iss` — OpenRISC-flavoured ISS + mini compiler (reference),
+* :mod:`repro.hls` — behavioral-synthesis substrate (HW reference),
+* :mod:`repro.calibration` — operator weight characterization,
+* :mod:`repro.workloads` — the paper's benchmark set, single-source.
+
+Quickstart::
+
+    from repro import Simulator, Module, SimTime
+    from repro.core import PerformanceLibrary
+    from repro.platform import PlatformModel
+
+See ``examples/quickstart.py`` for a complete runnable scenario.
+"""
+
+from .errors import (
+    AnnotationError,
+    CalibrationError,
+    CaptureError,
+    CompileError,
+    ElaborationError,
+    IssError,
+    MappingError,
+    ReproError,
+    SimulationError,
+    SynthesisError,
+)
+from .kernel import (
+    Clock,
+    Fifo,
+    Mark,
+    Module,
+    Port,
+    Rendezvous,
+    SharedVariable,
+    Signal,
+    SimTime,
+    Simulator,
+    TraceRecorder,
+    wait,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError", "SimulationError", "ElaborationError", "AnnotationError",
+    "MappingError", "IssError", "CompileError", "SynthesisError",
+    "CaptureError", "CalibrationError",
+    # kernel surface
+    "Clock", "Fifo", "Mark", "Module", "Port", "Rendezvous",
+    "SharedVariable", "Signal", "SimTime", "Simulator", "TraceRecorder",
+    "wait",
+]

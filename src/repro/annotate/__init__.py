@@ -1,0 +1,29 @@
+"""Operator-overloading time annotation (the paper's §3 mechanism)."""
+
+from .context import (
+    CostContext,
+    MODE_HW,
+    MODE_SW,
+    OperationRecorder,
+    active,
+    current_context,
+    set_current,
+)
+from .costs import (
+    COMPARE_OPERATIONS,
+    KNOWN_OPERATIONS,
+    MEMORY_OPERATIONS,
+    OperationCosts,
+    uniform_costs,
+)
+from .functions import aint, annotated_function, arange, branch, make_array
+from .types import AArray, ABool, AFloat, AInt, Var, unwrap
+
+__all__ = [
+    "CostContext", "MODE_HW", "MODE_SW", "OperationRecorder",
+    "active", "current_context", "set_current",
+    "COMPARE_OPERATIONS", "KNOWN_OPERATIONS", "MEMORY_OPERATIONS",
+    "OperationCosts", "uniform_costs",
+    "aint", "annotated_function", "arange", "branch", "make_array",
+    "AArray", "ABool", "AFloat", "AInt", "Var", "unwrap",
+]

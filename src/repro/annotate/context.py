@@ -1,0 +1,181 @@
+"""The active cost-accumulation context.
+
+The annotated types (:mod:`repro.annotate.types`) charge every executed
+operation into "the current segment's accumulator".  This module owns
+that notion: a :class:`CostContext` holds the running totals for the
+segment currently executing, and a module-level *current context* slot
+says which accumulator is live.
+
+The kernel is single-threaded and runs exactly one process at a time, so
+a single slot (rather than a stack per OS thread) is sufficient; the
+performance library swaps the slot on every process resume/suspend.
+When no context is active, annotated arithmetic executes functionally
+with zero charging — the same source then behaves exactly like the plain
+untimed specification.
+
+Two accumulation modes exist, matching the paper's two segment
+estimation methods (§3):
+
+* ``sw`` — sequential resource: only the running **sum** of operation
+  latencies matters (two statements cannot execute in parallel on a
+  processor).
+* ``hw`` — parallel resource: in addition to the sum (**Tmax**, the
+  single-ALU bound) the context propagates *dataflow ready times*
+  through the annotated values, so at segment end the maximum ready
+  time is the **critical path** (**Tmin**, the fastest implementation).
+  This is an incremental, single-pass computation — no graph is stored
+  unless an operation recorder is attached (used by :mod:`repro.hls` to
+  capture DFGs for actual synthesis).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import AnnotationError
+from .costs import OperationCosts
+
+MODE_SW = "sw"
+MODE_HW = "hw"
+
+
+class OperationRecorder:
+    """Optional sink for the full operation stream of a segment.
+
+    ``repro.hls`` implements this to build dataflow graphs; the default
+    context runs without one for speed.
+    """
+
+    def record(self, operation: str, latency: float,
+               operand_ids: Sequence[int], result_id: int) -> None:
+        raise NotImplementedError
+
+
+class CostContext:
+    """Per-resource accumulator for the currently-executing segment."""
+
+    __slots__ = (
+        "costs", "mode", "total_cycles", "max_ready", "op_counts",
+        "lifetime_op_counts", "recorder", "_next_value_id", "_ready_base",
+    )
+
+    def __init__(self, costs: OperationCosts, mode: str = MODE_SW,
+                 recorder: Optional[OperationRecorder] = None):
+        if mode not in (MODE_SW, MODE_HW):
+            raise AnnotationError(f"context mode must be 'sw' or 'hw', got {mode!r}")
+        self.costs = costs
+        self.mode = mode
+        self.total_cycles = 0.0
+        self.max_ready = 0.0
+        #: per-segment operation counts (cleared by :meth:`reset`)
+        self.op_counts: Dict[str, int] = {}
+        #: cumulative operation counts over the context's whole lifetime
+        #: (never reset) — the raw material for activity-based power
+        #: estimation (:mod:`repro.power`).
+        self.lifetime_op_counts: Dict[str, int] = {}
+        self.recorder = recorder
+        self._next_value_id = 0
+        # The dataflow ready clock is monotone across the context's whole
+        # lifetime; _ready_base marks where the current segment started.
+        # Values produced in earlier segments carry readys <= the base
+        # and therefore count as available at segment start — a
+        # segment's critical path can never exceed its operation sum.
+        self._ready_base = 0.0
+
+    # -- charging (called from the annotated types) -------------------------
+
+    def charge(self, operation: str, operand_readys: Sequence[float] = (),
+               operand_ids: Sequence[int] = ()) -> Tuple[float, int]:
+        """Charge one operation; return ``(result_ready, result_id)``.
+
+        ``operand_readys`` are the dataflow ready times of the operands
+        (ignored in ``sw`` mode); ``operand_ids`` identify the operand
+        values for the optional recorder.  ``result_id`` is a unique id
+        for the produced value, ``-1`` when no recorder is attached.
+        """
+        latency = self.costs.get(operation)
+        self.total_cycles += latency
+        self.op_counts[operation] = self.op_counts.get(operation, 0) + 1
+        self.lifetime_op_counts[operation] = (
+            self.lifetime_op_counts.get(operation, 0) + 1
+        )
+
+        if self.mode == MODE_HW:
+            start = max(max(operand_readys, default=0.0), self._ready_base)
+            ready = start + latency
+            if ready > self.max_ready:
+                self.max_ready = ready
+        else:
+            ready = 0.0
+
+        result_id = -1
+        if self.recorder is not None:
+            result_id = self._next_value_id
+            self._next_value_id += 1
+            self.recorder.record(operation, latency,
+                                 [i for i in operand_ids if i >= 0], result_id)
+        return ready, result_id
+
+    # -- segment lifecycle ---------------------------------------------------
+
+    def segment_totals(self) -> Tuple[float, float]:
+        """Return ``(t_max, t_min)`` in cycles for the segment so far.
+
+        For ``sw`` mode both values equal the plain sum (there is no
+        parallel slack on a processor).
+        """
+        if self.mode == MODE_HW:
+            critical_path = max(0.0, self.max_ready - self._ready_base)
+            return self.total_cycles, min(critical_path, self.total_cycles)
+        return self.total_cycles, self.total_cycles
+
+    def reset(self) -> None:
+        """Clear accumulation for a new segment.
+
+        The ready clock is *not* rewound: values computed in earlier
+        segments stay timestamped in the past, which is exactly what
+        makes them "already available" to the new segment.
+        """
+        self.total_cycles = 0.0
+        self._ready_base = self.max_ready
+        self.op_counts = {}
+        self._next_value_id = 0
+
+    def snapshot_op_counts(self) -> Dict[str, int]:
+        return dict(self.op_counts)
+
+    def __repr__(self) -> str:
+        return (f"CostContext(mode={self.mode!r}, total={self.total_cycles:.1f}, "
+                f"critical_path={self.max_ready:.1f})")
+
+
+# ---------------------------------------------------------------------------
+# The current-context slot.
+# ---------------------------------------------------------------------------
+
+_current: Optional[CostContext] = None
+
+
+def current_context() -> Optional[CostContext]:
+    """The context charged by annotated operations right now (or None)."""
+    return _current
+
+
+def set_current(context: Optional[CostContext]) -> Optional[CostContext]:
+    """Install ``context`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = context
+    return previous
+
+
+@contextlib.contextmanager
+def active(context: CostContext):
+    """Scope a context: ``with active(ctx): ...`` — mainly for tests and
+    standalone (non-kernel) estimation of a code fragment."""
+    previous = set_current(context)
+    try:
+        yield context
+    finally:
+        set_current(previous)

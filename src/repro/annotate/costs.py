@@ -1,0 +1,136 @@
+"""Operation cost tables — the platform characterization data.
+
+The paper characterizes "each C++ object ... for each of the resources
+of the target platform by its execution time" and expects the numbers to
+come from the platform vendor (or from calibration against a reference —
+see :mod:`repro.calibration`).  An :class:`OperationCosts` table maps
+canonical operation names to latencies in *cycles* of the owning
+resource's clock.  Fractional cycles are allowed (the paper's Fig. 3
+uses ``t_if = 2.4``): they represent average costs over data-dependent
+micro-behaviour.
+
+Canonical operation names
+-------------------------
+
+======== =======================================================
+name      meaning
+======== =======================================================
+add sub   integer +/-
+mul div   integer * and // (C-style division)
+mod       integer remainder
+shl shr   shifts
+and or xor bitwise logic
+neg inv abs unary -, ~, abs()
+lt le gt ge eq ne  comparisons
+load      array element read  (``a[i]`` on the right-hand side)
+store     array element write (``a[i] = ...``)
+assign    explicit assignment (``Var.assign`` / paper's ``t_=``)
+branch    conditional branch evaluation (paper's ``t_if``)
+call      function-call overhead (paper's ``t_fc``)
+fadd fsub fmul fdiv fneg fabs fcmp  float variants
+======== =======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from ..errors import AnnotationError
+
+#: Every operation name the annotation layer may charge.
+KNOWN_OPERATIONS = frozenset({
+    "add", "sub", "mul", "div", "mod", "shl", "shr",
+    "and", "or", "xor", "neg", "inv", "abs",
+    "lt", "le", "gt", "ge", "eq", "ne",
+    "load", "store", "assign", "branch", "call",
+    "fadd", "fsub", "fmul", "fdiv", "fneg", "fabs", "fcmp",
+})
+
+#: Operations that read/write memory; useful for analyses that model
+#: memory pressure separately from ALU pressure.
+MEMORY_OPERATIONS = frozenset({"load", "store"})
+
+#: Comparison operations (map onto ALU flag logic on most targets).
+COMPARE_OPERATIONS = frozenset({"lt", "le", "gt", "ge", "eq", "ne", "fcmp"})
+
+
+class OperationCosts:
+    """An immutable operation→cycles table for one platform resource."""
+
+    __slots__ = ("_table", "name")
+
+    def __init__(self, table: Mapping[str, float], name: str = ""):
+        unknown = set(table) - KNOWN_OPERATIONS
+        if unknown:
+            raise AnnotationError(
+                f"unknown operation names in cost table {name!r}: {sorted(unknown)}"
+            )
+        bad = {op: c for op, c in table.items() if c < 0}
+        if bad:
+            raise AnnotationError(f"negative costs in table {name!r}: {bad}")
+        self._table: Dict[str, float] = dict(table)
+        self.name = name
+
+    def get(self, operation: str) -> float:
+        """Cycles for ``operation``; missing entries are an error.
+
+        A missing entry means the platform characterization is
+        incomplete for the code being estimated — silently returning 0
+        would corrupt every downstream figure, so we refuse.
+        """
+        try:
+            return self._table[operation]
+        except KeyError:
+            raise AnnotationError(
+                f"cost table {self.name!r} has no entry for operation "
+                f"{operation!r}; characterize the platform for it"
+            ) from None
+
+    def __contains__(self, operation: str) -> bool:
+        return operation in self._table
+
+    def merged(self, overrides: Mapping[str, float], name: str = "") -> "OperationCosts":
+        """A new table with ``overrides`` layered on top of this one."""
+        table = dict(self._table)
+        table.update(overrides)
+        return OperationCosts(table, name or self.name)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._table)
+
+    def operations(self) -> Iterable[str]:
+        return self._table.keys()
+
+    # -- persistence (characterizations are shared between sessions) -----
+
+    def to_json(self) -> str:
+        import json
+        return json.dumps({"name": self.name, "costs": self._table},
+                          indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OperationCosts":
+        import json
+        try:
+            payload = json.loads(text)
+            return cls(payload["costs"], payload.get("name", ""))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AnnotationError(f"malformed cost-table JSON: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "OperationCosts":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:
+        return f"OperationCosts({self.name!r}, {len(self._table)} ops)"
+
+
+def uniform_costs(operations: Iterable[str] = KNOWN_OPERATIONS,
+                  cycles: float = 1.0, name: str = "uniform") -> OperationCosts:
+    """A flat table (every op costs the same) — useful for tests."""
+    return OperationCosts({op: cycles for op in operations}, name)

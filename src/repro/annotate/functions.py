@@ -1,0 +1,117 @@
+"""Annotated control-flow and call helpers.
+
+These close the gap between the operator costs (charged automatically by
+the annotated types) and the whole-program costs a processor really
+pays: call overhead, loop bookkeeping and branching.  All three helpers
+degrade to plain behaviour when no cost context is active, preserving
+the single-source property.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Iterator
+
+from .context import current_context
+from .types import AInt, unwrap
+
+
+def annotated_function(fn):
+    """Decorator charging the platform's call overhead (``t_fc``) per call.
+
+    The body's own operations keep charging as they execute, so the
+    total contribution of a call is ``t_fc`` + body cost, exactly as in
+    the paper's Fig. 3 (``datao = func(datai)`` charges ``t_fc`` = 18
+    plus the 40.4 cycles of the code inside ``func``).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        ctx = current_context()
+        if ctx is not None:
+            ctx.charge("call")
+            # Per-argument ABI cost (caller marshals, callee spills);
+            # calibration fits the 'assign' weight to the target's
+            # actual calling convention.
+            for _ in args:
+                ctx.charge("assign")
+        return fn(*args, **kwargs)
+
+    wrapper.__wrapped__ = fn
+    return wrapper
+
+
+def arange(*bounds: int) -> Iterator[int]:
+    """``range`` that charges per-iteration loop overhead.
+
+    A compiled loop pays an increment and a compare-and-branch every
+    iteration; ``arange`` charges ``add`` + ``branch`` per yielded index
+    so annotated estimates include that bookkeeping (the ``branch``
+    class also covers ``if``/``while`` truth tests, which cost the same
+    branch/jump idiom on the machine).  Accepts the same (start, stop,
+    step) signatures as ``range``; when a cost context is active the
+    indices come out as :class:`~repro.annotate.types.AInt` so the
+    loop body's arithmetic on them is annotated too, otherwise they are
+    plain ints.  :mod:`repro.iss.compiler` compiles ``arange`` exactly
+    like ``range``.
+    """
+    plain = [unwrap(b) if not isinstance(b, int) else b for b in bounds]
+    ctx = current_context()
+    if ctx is None:
+        yield from range(*plain)
+        return
+    for index in range(*plain):
+        ctx.charge("add")
+        ready, vid = ctx.charge("branch")
+        yield AInt(index, ready, vid)
+
+
+def branch(condition) -> bool:
+    """Evaluate a condition, charging the branch cost (``t_if``).
+
+    ``if branch(i < 0):`` models the paper's Fig. 3 exactly: the
+    comparison charges its own cost and the truth test adds ``t_if``.
+    Annotated comparisons (:class:`~repro.annotate.types.ABool`) already
+    charge the branch cost in their ``__bool__``, so ``branch`` only
+    adds a charge for plain-Python conditions.  Optional — ``if i < 0:``
+    alone is equivalent for annotated operands.
+    """
+    from .types import ABool
+    if isinstance(condition, ABool):
+        return bool(condition)
+    ctx = current_context()
+    if ctx is not None:
+        ctx.charge("branch")
+    return bool(condition)
+
+
+def make_array(length: int):
+    """A zero-filled scratch array usable from all three backends.
+
+    * plain run (no context): a Python list of ints,
+    * annotated run: an :class:`~repro.annotate.types.AArray`,
+    * compiled run: :mod:`repro.iss.compiler` lowers ``make_array(n)``
+      to a bump allocation on the machine heap.
+
+    This is the single-source analogue of a local C array.
+    """
+    n = int(unwrap(length))
+    if current_context() is None:
+        return [0] * n
+    from .types import AArray
+    return AArray.zeros(n)
+
+
+def aint(value: int):
+    """Mark a constant-initialized scalar as an annotated integer.
+
+    The Python analogue of the paper's ``#define int generic_int``: in
+    an annotated run (active cost context) the value becomes an
+    :class:`AInt` so all arithmetic on it charges; in a plain run it
+    stays a native ``int`` (the untimed specification keeps native
+    speed); :mod:`repro.iss.compiler` lowers ``aint(x)`` to ``x``.
+    """
+    plain = int(unwrap(value))
+    if current_context() is None:
+        return plain
+    return AInt(plain)

@@ -1,0 +1,517 @@
+"""Annotated value types — the ``generic_int`` mechanism of the paper.
+
+The paper replaces every C type by an operator-overloaded class
+(``int`` → ``generic_int``) so that each executed operation adds its
+platform-characterized latency to the running segment estimate.  These
+classes are the Python equivalent: :class:`AInt`, :class:`AFloat`,
+:class:`ABool`, :class:`AArray` and :class:`Var` overload the full
+operator set and charge the active :class:`~repro.annotate.context.CostContext`.
+
+Because Python is duck-typed, the *same* function body can run:
+
+* with plain ``int``/``list`` arguments — the untimed functional model,
+* with :class:`AInt`/:class:`AArray` arguments — the annotated model
+  (identical results, plus cost accumulation),
+* through :mod:`repro.iss.compiler` — on the reference ISS.
+
+That single-source property is the paper's central claim ("no change of
+the code is needed") and is enforced by tests.
+
+Dataflow tracking: every annotated value carries a ``ready`` time (the
+cycle at which a fully-parallel datapath would have produced it).  In a
+``hw``-mode context, each operation's completion is
+``max(operand readys) + latency``; the segment's maximum completion is
+its critical path (the paper's best-case HW time).  In ``sw`` mode the
+tracking is skipped.
+"""
+
+from __future__ import annotations
+
+import operator as _op
+from typing import Iterable, List, Union
+
+from ..errors import AnnotationError
+from .context import current_context
+
+Number = Union[int, float]
+
+
+def unwrap(value):
+    """Plain Python value from an annotated value (identity otherwise)."""
+    if isinstance(value, (AInt, AFloat, ABool)):
+        return value.value
+    if isinstance(value, Var):
+        return unwrap(value.value)
+    if isinstance(value, AArray):
+        return value.to_list()
+    return value
+
+
+def _int_operand(other):
+    """(value, ready, vid) for an integer-domain operand, or None."""
+    if isinstance(other, AInt):
+        return other.value, other.ready, other.vid
+    if isinstance(other, bool):  # bool before int: bool is an int subclass
+        return int(other), 0.0, -1
+    if isinstance(other, int):
+        return other, 0.0, -1
+    if isinstance(other, ABool):
+        return int(other.value), other.ready, other.vid
+    return None
+
+
+def _float_operand(other):
+    """(value, ready, vid) for a float-domain operand, or None."""
+    if isinstance(other, AFloat):
+        return other.value, other.ready, other.vid
+    if isinstance(other, AInt):
+        return float(other.value), other.ready, other.vid
+    if isinstance(other, (int, float)):
+        return float(other), 0.0, -1
+    return None
+
+
+def _make_int_binop(py_op, cost_name, result_cls_name="AInt"):
+    def method(self, other):
+        operand = _int_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(self.value, other_value)
+        ctx = current_context()
+        cls = _RESULT_CLASSES[result_cls_name]
+        if ctx is None:
+            return cls(result)
+        ready, vid = ctx.charge(cost_name, (self.ready, other_ready),
+                                (self.vid, other_vid))
+        return cls(result, ready, vid)
+    method.__name__ = f"__{py_op.__name__.strip('_')}__"
+    return method
+
+
+def _make_int_rbinop(py_op, cost_name, result_cls_name="AInt"):
+    def method(self, other):
+        operand = _int_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(other_value, self.value)
+        ctx = current_context()
+        cls = _RESULT_CLASSES[result_cls_name]
+        if ctx is None:
+            return cls(result)
+        ready, vid = ctx.charge(cost_name, (other_ready, self.ready),
+                                (other_vid, self.vid))
+        return cls(result, ready, vid)
+    return method
+
+
+def _make_int_unop(py_op, cost_name):
+    def method(self):
+        result = py_op(self.value)
+        ctx = current_context()
+        if ctx is None:
+            return AInt(result)
+        ready, vid = ctx.charge(cost_name, (self.ready,), (self.vid,))
+        return AInt(result, ready, vid)
+    return method
+
+
+def _make_float_binop(py_op, cost_name, result_cls_name="AFloat"):
+    def method(self, other):
+        operand = _float_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(self.value, other_value)
+        ctx = current_context()
+        cls = _RESULT_CLASSES[result_cls_name]
+        if ctx is None:
+            return cls(result)
+        ready, vid = ctx.charge(cost_name, (self.ready, other_ready),
+                                (self.vid, other_vid))
+        return cls(result, ready, vid)
+    return method
+
+
+def _make_float_rbinop(py_op, cost_name, result_cls_name="AFloat"):
+    def method(self, other):
+        operand = _float_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(other_value, self.value)
+        ctx = current_context()
+        cls = _RESULT_CLASSES[result_cls_name]
+        if ctx is None:
+            return cls(result)
+        ready, vid = ctx.charge(cost_name, (other_ready, self.ready),
+                                (other_vid, self.vid))
+        return cls(result, ready, vid)
+    return method
+
+
+class ABool:
+    """An annotated boolean (the result of annotated comparisons).
+
+    Truth-tests transparently (``if a < b:`` works) while carrying the
+    dataflow ready time of the comparison for HW critical paths.
+    Truth-testing charges the ``branch`` cost: Python calls ``__bool__``
+    exactly where compiled code executes a conditional branch (``if``,
+    ``while``, ``and``/``or``), so control-flow overhead is annotated
+    automatically — the dynamic analogue of the paper's ``t_if``.
+    """
+
+    __slots__ = ("value", "ready", "vid")
+
+    def __init__(self, value: bool, ready: float = 0.0, vid: int = -1):
+        self.value = bool(value)
+        self.ready = ready
+        self.vid = vid
+
+    def __bool__(self) -> bool:
+        ctx = current_context()
+        if ctx is not None:
+            ctx.charge("branch", (self.ready,), (self.vid,))
+        return self.value
+
+    # C semantics: a comparison result is an integer (0/1) usable in
+    # arithmetic; promote to AInt and delegate.
+    def _as_aint(self) -> "AInt":
+        return AInt(int(self.value), self.ready, self.vid)
+
+    def __add__(self, other):
+        return self._as_aint() + other
+
+    def __radd__(self, other):
+        return other + self._as_aint()
+
+    def __sub__(self, other):
+        return self._as_aint() - other
+
+    def __rsub__(self, other):
+        return other - self._as_aint()
+
+    def __mul__(self, other):
+        return self._as_aint() * other
+
+    def __rmul__(self, other):
+        return other * self._as_aint()
+
+    def __and__(self, other):
+        return self._as_aint() & other
+
+    def __rand__(self, other):
+        return other & self._as_aint()
+
+    def __or__(self, other):
+        return self._as_aint() | other
+
+    def __ror__(self, other):
+        return other | self._as_aint()
+
+    def __xor__(self, other):
+        return self._as_aint() ^ other
+
+    def __rxor__(self, other):
+        return other ^ self._as_aint()
+
+    def __lshift__(self, other):
+        return self._as_aint() << other
+
+    def __rshift__(self, other):
+        return self._as_aint() >> other
+
+    def __floordiv__(self, other):
+        return self._as_aint() // other
+
+    def __rfloordiv__(self, other):
+        return other // self._as_aint()
+
+    def __mod__(self, other):
+        return self._as_aint() % other
+
+    def __rmod__(self, other):
+        return other % self._as_aint()
+
+    def __neg__(self):
+        return -self._as_aint()
+
+    def __index__(self) -> int:
+        return int(self.value)
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __repr__(self) -> str:
+        return f"ABool({self.value})"
+
+
+class AInt:
+    """An annotated integer: int semantics + per-operation cost charging.
+
+    Division follows Python semantics (``//`` floors); the reference ISS
+    implements the same semantics so that single-source functional
+    equivalence is exact (see DESIGN.md, substitution notes).
+    """
+
+    __slots__ = ("value", "ready", "vid")
+
+    def __init__(self, value: Number = 0, ready: float = 0.0, vid: int = -1):
+        if isinstance(value, AInt):
+            ready, vid, value = value.ready, value.vid, value.value
+        elif isinstance(value, ABool):
+            ready, vid, value = value.ready, value.vid, int(value.value)
+        if not isinstance(value, int):
+            raise AnnotationError(
+                f"AInt holds integers, got {type(value).__name__}; use AFloat"
+            )
+        self.value = value
+        self.ready = ready
+        self.vid = vid
+
+    # arithmetic
+    __add__ = _make_int_binop(_op.add, "add")
+    __radd__ = _make_int_rbinop(_op.add, "add")
+    __sub__ = _make_int_binop(_op.sub, "sub")
+    __rsub__ = _make_int_rbinop(_op.sub, "sub")
+    __mul__ = _make_int_binop(_op.mul, "mul")
+    __rmul__ = _make_int_rbinop(_op.mul, "mul")
+    __floordiv__ = _make_int_binop(_op.floordiv, "div")
+    __rfloordiv__ = _make_int_rbinop(_op.floordiv, "div")
+    __mod__ = _make_int_binop(_op.mod, "mod")
+    __rmod__ = _make_int_rbinop(_op.mod, "mod")
+    __lshift__ = _make_int_binop(_op.lshift, "shl")
+    __rlshift__ = _make_int_rbinop(_op.lshift, "shl")
+    __rshift__ = _make_int_binop(_op.rshift, "shr")
+    __rrshift__ = _make_int_rbinop(_op.rshift, "shr")
+    __and__ = _make_int_binop(_op.and_, "and")
+    __rand__ = _make_int_rbinop(_op.and_, "and")
+    __or__ = _make_int_binop(_op.or_, "or")
+    __ror__ = _make_int_rbinop(_op.or_, "or")
+    __xor__ = _make_int_binop(_op.xor, "xor")
+    __rxor__ = _make_int_rbinop(_op.xor, "xor")
+
+    # unary
+    __neg__ = _make_int_unop(_op.neg, "neg")
+    __invert__ = _make_int_unop(_op.invert, "inv")
+    __abs__ = _make_int_unop(abs, "abs")
+
+    def __pos__(self):
+        return self
+
+    # comparisons (annotated: they model ALU compare instructions)
+    __lt__ = _make_int_binop(_op.lt, "lt", "ABool")
+    __le__ = _make_int_binop(_op.le, "le", "ABool")
+    __gt__ = _make_int_binop(_op.gt, "gt", "ABool")
+    __ge__ = _make_int_binop(_op.ge, "ge", "ABool")
+    __eq__ = _make_int_binop(_op.eq, "eq", "ABool")
+    __ne__ = _make_int_binop(_op.ne, "ne", "ABool")
+    __hash__ = None  # mutable-cost semantics: do not use as dict keys
+
+    # true division promotes to float, as in C when one operand is float;
+    # kernels in the compiler subset use // exclusively.
+    def __truediv__(self, other):
+        return AFloat(float(self.value), self.ready, self.vid) / other
+
+    def __rtruediv__(self, other):
+        return other / AFloat(float(self.value), self.ready, self.vid)
+
+    # interoperability with plain Python
+    def __index__(self) -> int:
+        return self.value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:
+        return f"AInt({self.value})"
+
+
+class AFloat:
+    """An annotated float, charging the ``f*`` operation costs."""
+
+    __slots__ = ("value", "ready", "vid")
+
+    def __init__(self, value: Number = 0.0, ready: float = 0.0, vid: int = -1):
+        if isinstance(value, (AFloat, AInt)):
+            ready, vid, value = value.ready, value.vid, float(value.value)
+        if not isinstance(value, (int, float)):
+            raise AnnotationError(f"AFloat holds numbers, got {type(value).__name__}")
+        self.value = float(value)
+        self.ready = ready
+        self.vid = vid
+
+    __add__ = _make_float_binop(_op.add, "fadd")
+    __radd__ = _make_float_rbinop(_op.add, "fadd")
+    __sub__ = _make_float_binop(_op.sub, "fsub")
+    __rsub__ = _make_float_rbinop(_op.sub, "fsub")
+    __mul__ = _make_float_binop(_op.mul, "fmul")
+    __rmul__ = _make_float_rbinop(_op.mul, "fmul")
+    __truediv__ = _make_float_binop(_op.truediv, "fdiv")
+    __rtruediv__ = _make_float_rbinop(_op.truediv, "fdiv")
+
+    __lt__ = _make_float_binop(_op.lt, "fcmp", "ABool")
+    __le__ = _make_float_binop(_op.le, "fcmp", "ABool")
+    __gt__ = _make_float_binop(_op.gt, "fcmp", "ABool")
+    __ge__ = _make_float_binop(_op.ge, "fcmp", "ABool")
+    __eq__ = _make_float_binop(_op.eq, "fcmp", "ABool")
+    __ne__ = _make_float_binop(_op.ne, "fcmp", "ABool")
+    __hash__ = None
+
+    def __neg__(self):
+        ctx = current_context()
+        if ctx is None:
+            return AFloat(-self.value)
+        ready, vid = ctx.charge("fneg", (self.ready,), (self.vid,))
+        return AFloat(-self.value, ready, vid)
+
+    def __abs__(self):
+        ctx = current_context()
+        if ctx is None:
+            return AFloat(abs(self.value))
+        ready, vid = ctx.charge("fabs", (self.ready,), (self.vid,))
+        return AFloat(abs(self.value), ready, vid)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0.0
+
+    def __repr__(self) -> str:
+        return f"AFloat({self.value})"
+
+
+_RESULT_CLASSES = {"AInt": AInt, "AFloat": AFloat, "ABool": ABool}
+
+
+class AArray:
+    """An annotated array of numbers.
+
+    Element reads charge ``load``; element writes charge ``store``.  In
+    HW mode a per-slot ready time is maintained so critical paths through
+    memory (write→read dependencies) are honoured.
+    """
+
+    __slots__ = ("_data", "_readys", "_vids")
+
+    def __init__(self, data: Iterable[Number] = ()):
+        self._data: List[Number] = [unwrap(v) for v in data]
+        for v in self._data:
+            if not isinstance(v, (int, float)):
+                raise AnnotationError(
+                    f"AArray holds numbers, got {type(v).__name__}"
+                )
+        self._readys: List[float] = [0.0] * len(self._data)
+        self._vids: List[int] = [-1] * len(self._data)
+
+    @classmethod
+    def zeros(cls, length: int) -> "AArray":
+        """An array of ``length`` integer zeros."""
+        if length < 0:
+            raise AnnotationError("array length cannot be negative")
+        return cls([0] * int(length))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _index_of(self, index) -> "tuple[int, float, int]":
+        if isinstance(index, AInt):
+            return index.value, index.ready, index.vid
+        if isinstance(index, int):
+            return index, 0.0, -1
+        raise AnnotationError(
+            f"array index must be int or AInt, got {type(index).__name__}"
+        )
+
+    def __getitem__(self, index):
+        i, idx_ready, idx_vid = self._index_of(index)
+        value = self._data[i]
+        ctx = current_context()
+        cls = AInt if isinstance(value, int) else AFloat
+        if ctx is None:
+            return cls(value)
+        ready, vid = ctx.charge("load", (idx_ready, self._readys[i]),
+                                (idx_vid, self._vids[i]))
+        return cls(value, ready, vid)
+
+    def __setitem__(self, index, value) -> None:
+        i, idx_ready, idx_vid = self._index_of(index)
+        if isinstance(value, (AInt, AFloat, ABool)):
+            val_ready, val_vid, plain = value.ready, value.vid, unwrap(value)
+        elif isinstance(value, (int, float)):
+            val_ready, val_vid, plain = 0.0, -1, value
+        else:
+            raise AnnotationError(
+                f"array element must be a number, got {type(value).__name__}"
+            )
+        ctx = current_context()
+        if ctx is not None:
+            ready, vid = ctx.charge("store", (idx_ready, val_ready),
+                                    (idx_vid, val_vid))
+            self._readys[i] = ready
+            self._vids[i] = vid
+        self._data[i] = plain
+
+    def __iter__(self):
+        for i in range(len(self._data)):
+            yield self[i]
+
+    def to_list(self) -> List[Number]:
+        """Plain-Python copy of the contents (no charging)."""
+        return list(self._data)
+
+    def __repr__(self) -> str:
+        preview = self._data[:8]
+        suffix = ", ..." if len(self._data) > 8 else ""
+        return f"AArray({preview}{suffix} len={len(self._data)})"
+
+
+class Var:
+    """An explicitly-assignable variable charging the paper's ``t_=``.
+
+    Most code lets calibration absorb assignment costs into the operator
+    weights; ``Var`` exists for C-exact modelling (and reproduces the
+    paper's Fig. 3 walkthrough literally)::
+
+        i = Var(0)
+        i.assign(c + d)        # charges t_= on top of t_+
+    """
+
+    __slots__ = ("value", "ready", "vid")
+
+    def __init__(self, value: Number = 0):
+        self.value = unwrap(value)
+        self.ready = 0.0
+        self.vid = -1
+
+    def assign(self, new_value) -> "Var":
+        """Assign, charging one ``assign`` operation."""
+        if isinstance(new_value, (AInt, AFloat, ABool)):
+            src_ready, src_vid = new_value.ready, new_value.vid
+        else:
+            src_ready, src_vid = 0.0, -1
+        ctx = current_context()
+        if ctx is not None:
+            self.ready, self.vid = ctx.charge("assign", (src_ready,), (src_vid,))
+        self.value = unwrap(new_value)
+        return self
+
+    def get(self):
+        """The held value as an annotated type (no charge: register read)."""
+        if isinstance(self.value, int):
+            return AInt(self.value, self.ready, self.vid)
+        return AFloat(self.value, self.ready, self.vid)
+
+    def __repr__(self) -> str:
+        return f"Var({self.value!r})"

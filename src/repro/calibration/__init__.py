@@ -1,0 +1,15 @@
+"""Operator-weight characterization against the reference ISS."""
+
+from .microbench import MicroBenchmark, default_microbenchmarks
+from .weights import (
+    CalibrationReport,
+    calibrate,
+    measure_iss_cycles,
+    measure_operation_counts,
+)
+
+__all__ = [
+    "MicroBenchmark", "default_microbenchmarks",
+    "CalibrationReport", "calibrate",
+    "measure_iss_cycles", "measure_operation_counts",
+]

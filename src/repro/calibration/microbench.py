@@ -1,0 +1,302 @@
+"""Calibration microbenchmarks.
+
+The paper obtains the library weights "analyzing assembler code from
+several functions specifically developed for this purpose".  These are
+those functions: small kernels, each stressing a different operation
+mix, written in the compiler subset so that one definition yields both
+the annotated operation counts and the ISS reference cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence, Tuple
+
+from ..annotate.functions import aint, annotated_function, arange
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroBenchmark:
+    """One calibration kernel.
+
+    ``functions`` lists everything that must be compiled together (the
+    entry point first); ``make_args`` builds a fresh argument tuple per
+    run (arrays may be mutated in place).
+    """
+
+    name: str
+    functions: Tuple[Callable, ...]
+    make_args: Callable[[], tuple]
+
+
+# --- the kernels -----------------------------------------------------------
+
+def mb_add_chain(n):
+    s = 0
+    for i in arange(n):
+        s = s + i
+        s = s + 3
+        s = s - 1
+    return s
+
+
+def mb_mul_chain(n):
+    s = 1
+    for i in arange(1, n):
+        s = s + i * i
+        s = s + i * 7
+    return s
+
+
+def mb_div_chain(n):
+    s = 0
+    for i in arange(1, n):
+        s = s + 10000 // i
+        s = s + 10007 % i
+    return s
+
+
+def mb_memory(a, n):
+    for i in arange(n):
+        a[i] = a[i] + 1
+    s = 0
+    for i in arange(n):
+        s = s + a[i]
+    return s
+
+
+def mb_compare(a, n):
+    c = 0
+    for i in arange(n):
+        if a[i] > 50:
+            c = c + 1
+        else:
+            c = c - 1
+        if a[i] == 13:
+            c = c + 2
+    return c
+
+
+def mb_bitops(n):
+    s = 0
+    for i in arange(n):
+        s = s + ((i << 3) ^ (i >> 1))
+        s = s + (i & 7)
+        s = s | 1
+    return s
+
+
+@annotated_function
+def _mb_helper(x):
+    return x + 1
+
+
+def mb_calls(n):
+    s = 0
+    for i in arange(n):
+        s = _mb_helper(s)
+    return s
+
+
+def mb_mixed(a, n):
+    s = 0
+    for i in arange(n):
+        v = a[i]
+        if v % 2 == 0:
+            s = s + v * 3
+        else:
+            s = s - (v >> 1)
+        a[i] = s
+    return s
+
+
+def mb_nested_loops(n):
+    s = 0
+    for i in arange(n):
+        for j in arange(4):
+            s = s + i * j
+    return s
+
+
+def mb_while_scan(a, n):
+    i = aint(0)
+    s = aint(0)
+    while i < n:
+        s = s + a[i]
+        i = i + 1
+    return s
+
+
+def mb_while_find(a, n):
+    found = aint(0)
+    i = aint(0)
+    while i < n:
+        j = aint(0)
+        while a[j] != a[i]:
+            j = j + 1
+        found = found + j
+        i = i + 1
+    return found
+
+
+def mb_while_count(n):
+    i = aint(0)
+    s = aint(0)
+    while i < n:
+        j = aint(0)
+        while j < 8:
+            s = s + j
+            j = j + 1
+        i = i + 1
+    return s
+
+
+@annotated_function
+def _mb_helper3(x, y, z):
+    return x * y + z
+
+
+def mb_calls3(n):
+    s = aint(0)
+    for i in arange(n):
+        s = _mb_helper3(s, 3, i)
+    return s
+
+
+@annotated_function
+def _mb_fib(n):
+    if n < 2:
+        return n
+    return _mb_fib(n - 1) + _mb_fib(n - 2)
+
+
+def mb_recursion(n):
+    return _mb_fib(n)
+
+
+@annotated_function
+def _mb_rsum(a, lo, hi):
+    if hi - lo < 4:
+        s = aint(0)
+        i = lo
+        while i < hi:
+            s = s + a[i]
+            i = i + 1
+        return s
+    mid = (lo + hi) >> 1
+    return _mb_rsum(a, lo, mid) + _mb_rsum(a, mid, hi)
+
+
+def mb_divide_conquer(a, n):
+    return _mb_rsum(a, 0, n)
+
+
+def mb_copy(a, b, n):
+    for i in arange(n):
+        b[i] = a[i]
+    for i in arange(n):
+        b[i] = b[i] + a[n - 1 - i]
+    return b[0]
+
+
+def mb_dot_offset(a, b, n, k):
+    s = aint(0)
+    for i in arange(n - k):
+        s = s + a[i] * b[i + k]
+    t = aint(0)
+    for i in arange(n):
+        t = t + (a[i] * 3 + b[i])
+    return s + t
+
+
+@annotated_function
+def _mb_ppart(a, lo, hi):
+    pivot = a[hi]
+    i = lo - 1
+    for j in arange(lo, hi):
+        if a[j] <= pivot:
+            i = i + 1
+            t = a[i]
+            a[i] = a[j]
+            a[j] = t
+    t = a[i + 1]
+    a[i + 1] = a[hi]
+    a[hi] = t
+    return i + 1
+
+
+@annotated_function
+def _mb_psort(a, lo, hi):
+    if lo < hi:
+        p = _mb_ppart(a, lo, hi)
+        _mb_psort(a, lo, p - 1)
+        _mb_psort(a, p + 1, hi)
+    return 0
+
+
+def mb_partition_sort(a, n):
+    _mb_psort(a, 0, n - 1)
+    return a[0] + a[n - 1]
+
+
+def mb_bitserial(a, n):
+    acc = aint(0)
+    for i in arange(n):
+        v = a[i]
+        for b in arange(8):
+            if v & 1:
+                acc = (acc >> 1) ^ 305419896
+            else:
+                acc = acc >> 1
+            v = v >> 1
+    return acc
+
+
+def mb_swap_sort_pass(a, n):
+    swaps = aint(0)
+    for j in arange(n - 1):
+        if a[j] > a[j + 1]:
+            t = a[j]
+            a[j] = a[j + 1]
+            a[j + 1] = t
+            swaps = swaps + 1
+    return swaps
+
+
+def _ramp(n: int) -> list:
+    return [(i * 37 + 11) % 101 for i in range(n)]
+
+
+def default_microbenchmarks(scale: int = 64) -> Sequence[MicroBenchmark]:
+    """The standard calibration suite at the given loop scale."""
+    return [
+        MicroBenchmark("add_chain", (mb_add_chain,), lambda: (scale,)),
+        MicroBenchmark("mul_chain", (mb_mul_chain,), lambda: (scale,)),
+        MicroBenchmark("div_chain", (mb_div_chain,), lambda: (scale,)),
+        MicroBenchmark("memory", (mb_memory,), lambda: (_ramp(scale), scale)),
+        MicroBenchmark("compare", (mb_compare,), lambda: (_ramp(scale), scale)),
+        MicroBenchmark("bitops", (mb_bitops,), lambda: (scale,)),
+        MicroBenchmark("calls", (mb_calls, _mb_helper), lambda: (scale,)),
+        MicroBenchmark("calls3", (mb_calls3, _mb_helper3), lambda: (scale,)),
+        MicroBenchmark("recursion", (mb_recursion, _mb_fib), lambda: (13,)),
+        MicroBenchmark("mixed", (mb_mixed,), lambda: (_ramp(scale), scale)),
+        MicroBenchmark("nested", (mb_nested_loops,), lambda: (scale // 2,)),
+        MicroBenchmark("while_scan", (mb_while_scan,), lambda: (_ramp(scale), scale)),
+        MicroBenchmark("while_find", (mb_while_find,),
+                       lambda: (_ramp(scale // 2), scale // 2)),
+        MicroBenchmark("while_count", (mb_while_count,), lambda: (scale,)),
+        MicroBenchmark("copy", (mb_copy,),
+                       lambda: (_ramp(scale), [0] * scale, scale)),
+        MicroBenchmark("divide_conquer", (mb_divide_conquer, _mb_rsum),
+                       lambda: (_ramp(scale * 2), scale * 2)),
+        MicroBenchmark("swap_pass", (mb_swap_sort_pass,),
+                       lambda: (_ramp(scale)[::-1], scale)),
+        MicroBenchmark("bitserial", (mb_bitserial,),
+                       lambda: (_ramp(scale // 2), scale // 2)),
+        MicroBenchmark("dot", (mb_dot_offset,),
+                       lambda: (_ramp(scale + scale // 2),
+                                _ramp(scale + scale // 2),
+                                scale + scale // 2, 5)),
+        MicroBenchmark("partition_sort", (mb_partition_sort, _mb_psort, _mb_ppart),
+                       lambda: ([(i * 53 + 7) % 97 for i in range(24)], 24)),
+    ]

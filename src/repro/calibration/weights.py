@@ -1,0 +1,206 @@
+"""Operator-weight fitting against the reference ISS.
+
+Reproduces the paper's characterization flow: run purpose-built
+functions on the target (here: compiled onto OR-lite), count the
+source-level operations each executes (the annotation layer counts them
+for free), and solve for per-operation cycle weights.  We use
+non-negative least squares — negative "execution times" would be
+physically meaningless.
+
+The fit also doubles as a single-source consistency check: the
+annotated run and the compiled run of every microbenchmark must return
+the same value, or the calibration aborts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..annotate.context import CostContext, MODE_SW, active
+from ..annotate.costs import OperationCosts, uniform_costs
+from ..annotate.types import AArray, AInt, unwrap
+from ..errors import CalibrationError
+from ..iss.machine import ICache
+from ..iss.runtime import run_compiled
+from .microbench import MicroBenchmark
+
+
+#: Default fitting classes: operations that compile to the same machine
+#: idiom share one weight.  This mirrors the paper's assembler-level
+#: analysis (a `<=` costs what a `<` costs) and keeps the least-squares
+#: system well-conditioned — fitting 28 individual operations from a
+#: dozen microbenchmarks would be hopelessly collinear.
+DEFAULT_FIT_GROUPS: Dict[str, str] = {
+    "add": "addsub", "sub": "addsub", "neg": "addsub",
+    "mul": "mul",
+    "div": "divmod", "mod": "divmod",
+    "shl": "logic", "shr": "logic", "and": "logic", "or": "logic",
+    "xor": "logic", "inv": "logic",
+    "lt": "cmp", "le": "cmp", "gt": "cmp", "ge": "cmp",
+    "eq": "cmp", "ne": "cmp",
+    "abs": "abs",
+    "load": "load", "store": "store",
+    "call": "call", "branch": "branch", "assign": "assign",
+}
+
+
+def _wrap_args(args: tuple) -> tuple:
+    wrapped = []
+    for arg in args:
+        if isinstance(arg, list):
+            wrapped.append(AArray(arg))
+        elif isinstance(arg, int):
+            wrapped.append(AInt(arg))
+        else:
+            raise CalibrationError(
+                f"microbenchmark arguments must be ints or lists, got "
+                f"{type(arg).__name__}"
+            )
+    return tuple(wrapped)
+
+
+def measure_operation_counts(bench: MicroBenchmark) -> Tuple[Dict[str, int], int]:
+    """Run ``bench`` annotated and return (op_counts, result value)."""
+    context = CostContext(uniform_costs(), MODE_SW)
+    args = _wrap_args(bench.make_args())
+    with active(context):
+        result = bench.functions[0](*args)
+    return context.snapshot_op_counts(), int(unwrap(result))
+
+
+def measure_iss_cycles(bench: MicroBenchmark,
+                       icache: Optional[ICache] = None) -> Tuple[int, int]:
+    """Run ``bench`` on the reference machine; return (cycles, result)."""
+    outcome = run_compiled(list(bench.functions), args=bench.make_args(),
+                           entry=bench.functions[0], icache=icache)
+    return outcome.cycles, outcome.return_value
+
+
+@dataclasses.dataclass
+class CalibrationReport:
+    """Fitted weights plus goodness-of-fit diagnostics."""
+
+    costs: OperationCosts
+    operations: List[str]
+    weights: Dict[str, float]
+    bench_names: List[str]
+    measured_cycles: List[int]
+    predicted_cycles: List[float]
+
+    @property
+    def relative_errors(self) -> List[float]:
+        return [abs(p - m) / m if m else 0.0
+                for p, m in zip(self.predicted_cycles, self.measured_cycles)]
+
+    @property
+    def max_relative_error(self) -> float:
+        return max(self.relative_errors, default=0.0)
+
+    def summary(self) -> str:
+        lines = ["calibrated operation weights (cycles):"]
+        for op in self.operations:
+            lines.append(f"  {op:<8} {self.weights[op]:8.3f}")
+        lines.append("fit quality per microbenchmark:")
+        for name, measured, predicted, error in zip(
+                self.bench_names, self.measured_cycles,
+                self.predicted_cycles, self.relative_errors):
+            lines.append(
+                f"  {name:<12} iss={measured:<8} fit={predicted:10.1f} "
+                f"err={100 * error:5.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def calibrate(benches: Sequence[MicroBenchmark],
+              base: OperationCosts,
+              icache: Optional[ICache] = None,
+              regularization: float = 3.0,
+              groups: Optional[Dict[str, str]] = None,
+              name: str = "calibrated") -> CalibrationReport:
+    """Fit per-operation weights; return fitted table layered over ``base``.
+
+    Operations never exercised by the microbenchmarks keep their base
+    cost.  ``regularization`` ridge-pulls the fitted weights toward the
+    architectural base costs: with fewer microbenchmarks than
+    operations a plain least-squares fit is underdetermined and
+    produces degenerate weights (zero for one operation, inflated for a
+    collinear partner) that interpolate the training set perfectly but
+    generalize poorly — exactly the overfitting the paper's
+    assembler-level analysis avoids by construction.  The ISS and
+    annotated runs must agree functionally.
+    """
+    if not benches:
+        raise CalibrationError("need at least one microbenchmark")
+
+    profiles: List[Dict[str, int]] = []
+    cycles: List[int] = []
+    for bench in benches:
+        counts, annotated_result = measure_operation_counts(bench)
+        iss_cycles, iss_result = measure_iss_cycles(bench, icache=icache)
+        if annotated_result != iss_result:
+            raise CalibrationError(
+                f"microbenchmark {bench.name!r} diverges: annotated run "
+                f"returned {annotated_result}, ISS returned {iss_result}"
+            )
+        if not counts:
+            raise CalibrationError(
+                f"microbenchmark {bench.name!r} executed no annotated "
+                f"operations"
+            )
+        profiles.append(counts)
+        cycles.append(iss_cycles)
+
+    if groups is None:
+        groups = DEFAULT_FIT_GROUPS
+    seen_ops = sorted({op for profile in profiles for op in profile})
+    classes = sorted({groups.get(op, op) for op in seen_ops})
+    class_index = {cls: i for i, cls in enumerate(classes)}
+
+    matrix = np.zeros((len(profiles), len(classes)))
+    for row, profile in enumerate(profiles):
+        for op, count in profile.items():
+            matrix[row, class_index[groups.get(op, op)]] += count
+    target = np.array(cycles, dtype=float)
+
+    if regularization > 0:
+        # anchor each class at the mean base cost of its members
+        anchor = np.zeros(len(classes))
+        members: Dict[str, List[str]] = {}
+        for op in seen_ops:
+            members.setdefault(groups.get(op, op), []).append(op)
+        for cls, ops in members.items():
+            anchor[class_index[cls]] = float(
+                np.mean([base.get(op) if op in base else 0.0 for op in ops])
+            )
+        ridge = np.sqrt(regularization) * np.eye(len(classes))
+        stacked_matrix = np.vstack([matrix, ridge])
+        stacked_target = np.concatenate([target, np.sqrt(regularization) * anchor])
+        class_weights, _residual = nnls(stacked_matrix, stacked_target)
+    else:
+        class_weights, _residual = nnls(matrix, target)
+
+    # Expand class weights back to the full per-operation table: every
+    # operation of a fitted class gets that class's weight, including
+    # members the microbenchmarks never executed.
+    weights: Dict[str, float] = {}
+    fitted_classes = set(classes)
+    for op in sorted(set(groups) | set(seen_ops)):
+        cls = groups.get(op, op)
+        if cls in fitted_classes:
+            weights[op] = float(class_weights[class_index[cls]])
+    predicted = matrix @ class_weights
+    operations = sorted(weights)
+
+    fitted = base.merged(weights, name=name)
+    return CalibrationReport(
+        costs=fitted,
+        operations=operations,
+        weights=weights,
+        bench_names=[b.name for b in benches],
+        measured_cycles=cycles,
+        predicted_cycles=[float(p) for p in predicted],
+    )

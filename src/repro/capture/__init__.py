@@ -1,0 +1,21 @@
+"""Capture points, event export and timing metrics (paper §4)."""
+
+from .export import to_csv, to_csv_text, to_matlab, to_matlab_text
+from .metrics import (
+    TimingSummary,
+    deadline_violations,
+    inter_arrival_ns,
+    jitter_ns,
+    mean_period_ns,
+    response_times_ns,
+    summarize_ns,
+    throughput_per_us,
+)
+from .points import CaptureBoard, CaptureEvent, CapturePoint
+
+__all__ = [
+    "to_csv", "to_csv_text", "to_matlab", "to_matlab_text",
+    "TimingSummary", "deadline_violations", "inter_arrival_ns", "jitter_ns",
+    "mean_period_ns", "response_times_ns", "summarize_ns", "throughput_per_us",
+    "CaptureBoard", "CaptureEvent", "CapturePoint",
+]

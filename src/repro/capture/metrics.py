@@ -1,0 +1,124 @@
+"""Timing metrics over captured events (paper §4/§6).
+
+The captured lists support "the specific timing analyses required, such
+as response times, throughputs, input and output rates" and timing
+constraint verification.  All functions operate on
+:class:`~repro.capture.points.CapturePoint` objects (or raw event
+lists) and return plain numbers/summaries ready for assertions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import List, Sequence
+
+from ..errors import CaptureError
+from ..kernel.time import SimTime
+from .points import CaptureEvent, CapturePoint
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingSummary:
+    """Summary statistics of a list of durations (in nanoseconds)."""
+
+    count: int
+    mean_ns: float
+    min_ns: float
+    max_ns: float
+    stdev_ns: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean_ns:.1f}ns "
+                f"min={self.min_ns:.1f}ns max={self.max_ns:.1f}ns "
+                f"stdev={self.stdev_ns:.1f}ns")
+
+
+def _events(point) -> List[CaptureEvent]:
+    if isinstance(point, CapturePoint):
+        return point.events
+    return list(point)
+
+
+def summarize_ns(durations_ns: Sequence[float]) -> TimingSummary:
+    if not durations_ns:
+        raise CaptureError("cannot summarize an empty duration list")
+    stdev = statistics.pstdev(durations_ns) if len(durations_ns) > 1 else 0.0
+    return TimingSummary(
+        count=len(durations_ns),
+        mean_ns=statistics.fmean(durations_ns),
+        min_ns=min(durations_ns),
+        max_ns=max(durations_ns),
+        stdev_ns=stdev,
+    )
+
+
+def response_times_ns(stimulus, response) -> List[float]:
+    """Pairwise latencies between the i-th stimulus and i-th response.
+
+    The classic request/response pattern: both points must have hit the
+    same number of times (extra trailing stimuli are ignored), and each
+    response must not precede its stimulus.
+    """
+    stim = _events(stimulus)
+    resp = _events(response)
+    if len(resp) > len(stim):
+        raise CaptureError(
+            f"more responses ({len(resp)}) than stimuli ({len(stim)})"
+        )
+    latencies = []
+    for s, r in zip(stim, resp):
+        if r.time_fs < s.time_fs:
+            raise CaptureError(
+                f"response at {SimTime(r.time_fs)} precedes stimulus at "
+                f"{SimTime(s.time_fs)}; check capture-point placement"
+            )
+        latencies.append((r.time_fs - s.time_fs) / 1e6)
+    return latencies
+
+
+def inter_arrival_ns(point) -> List[float]:
+    """Gaps between consecutive hits (the paper's inter-execution times)."""
+    events = _events(point)
+    return [(b.time_fs - a.time_fs) / 1e6
+            for a, b in zip(events, events[1:])]
+
+
+def mean_period_ns(point) -> float:
+    """Mean inter-arrival gap — the rate-analysis figure of [6]."""
+    gaps = inter_arrival_ns(point)
+    if not gaps:
+        raise CaptureError("need at least two hits to compute a period")
+    return statistics.fmean(gaps)
+
+
+def throughput_per_us(point) -> float:
+    """Completed hits per simulated microsecond, over the hit span."""
+    events = _events(point)
+    if len(events) < 2:
+        raise CaptureError("need at least two hits to compute throughput")
+    span_us = (events[-1].time_fs - events[0].time_fs) / 1e9
+    if span_us == 0:
+        raise CaptureError("all hits share one instant; throughput undefined")
+    return (len(events) - 1) / span_us
+
+
+def deadline_violations(stimulus, response,
+                        deadline: SimTime) -> List[int]:
+    """Indices of request/response pairs exceeding ``deadline``.
+
+    The timing-constraint verification primitive: an empty list means
+    the constraint holds over the simulated run.
+    """
+    limit_ns = deadline.to_ns()
+    return [i for i, latency in
+            enumerate(response_times_ns(stimulus, response))
+            if latency > limit_ns]
+
+
+def jitter_ns(point) -> float:
+    """Peak-to-peak variation of the inter-arrival gaps."""
+    gaps = inter_arrival_ns(point)
+    if not gaps:
+        raise CaptureError("need at least two hits to compute jitter")
+    return max(gaps) - min(gaps)

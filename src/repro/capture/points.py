@@ -1,0 +1,129 @@
+"""Capture points (paper §4).
+
+"The user can insert capture points anywhere inside the code and a list
+of events corresponding to the concrete times when the capture points
+were executed is generated."  A :class:`CapturePoint` is a plain
+callable — inserting one is *not* a segment node and does not perturb
+the analysis; it simply timestamps its hits with the current simulated
+(time, delta) and an optional associated value ("it is also possible to
+associate values of internal signals of the system to these time
+values").
+
+Capture points can be conditional ("capture points can be conditional
+to a certain assertion"): pass a predicate and only satisfying hits are
+recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import CaptureError
+from ..kernel.simulator import Simulator
+from ..kernel.time import SimTime
+
+
+@dataclasses.dataclass(frozen=True)
+class CaptureEvent:
+    """One recorded hit of a capture point."""
+
+    time_fs: int
+    delta: int
+    value: Any = None
+
+    @property
+    def time(self) -> SimTime:
+        return SimTime(self.time_fs)
+
+    @property
+    def time_us(self) -> float:
+        return self.time_fs / 1e9
+
+    @property
+    def time_ns(self) -> float:
+        return self.time_fs / 1e6
+
+
+class CapturePoint:
+    """A named probe recording (time, delta, value) on every hit."""
+
+    def __init__(self, simulator: Simulator, name: str,
+                 condition: Optional[Callable[[Any], bool]] = None):
+        self.simulator = simulator
+        self.name = name
+        self.condition = condition
+        self.events: List[CaptureEvent] = []
+
+    def hit(self, value: Any = None) -> None:
+        """Record one hit (skipped if the condition rejects ``value``)."""
+        if self.condition is not None and not self.condition(value):
+            return
+        scheduler = self.simulator.scheduler
+        self.events.append(
+            CaptureEvent(scheduler.now.femtoseconds, scheduler.delta, value)
+        )
+
+    # CapturePoints read naturally when used as callables in process code.
+    __call__ = hit
+
+    def times(self) -> List[SimTime]:
+        return [e.time for e in self.events]
+
+    def times_ns(self) -> List[float]:
+        return [e.time_ns for e in self.events]
+
+    def values(self) -> List[Any]:
+        return [e.value for e in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return f"CapturePoint({self.name!r}, hits={len(self.events)})"
+
+
+class CaptureBoard:
+    """A registry of capture points sharing one simulator.
+
+    Convenience factory so experiments can create, iterate and export
+    their probes as a group.
+    """
+
+    def __init__(self, simulator: Simulator):
+        self.simulator = simulator
+        self.points: Dict[str, CapturePoint] = {}
+
+    def point(self, name: str,
+              condition: Optional[Callable[[Any], bool]] = None) -> CapturePoint:
+        """Create (or retrieve) the capture point called ``name``.
+
+        Retrieving an existing name with a new condition is an error —
+        two probes with one name would silently merge their event lists.
+        """
+        existing = self.points.get(name)
+        if existing is not None:
+            if condition is not None and condition is not existing.condition:
+                raise CaptureError(
+                    f"capture point {name!r} already exists with a "
+                    f"different condition"
+                )
+            return existing
+        created = CapturePoint(self.simulator, name, condition)
+        self.points[name] = created
+        return created
+
+    def __getitem__(self, name: str) -> CapturePoint:
+        try:
+            return self.points[name]
+        except KeyError:
+            raise CaptureError(f"no capture point named {name!r}") from None
+
+    def __iter__(self):
+        return iter(self.points.values())
+
+    def __len__(self) -> int:
+        return len(self.points)

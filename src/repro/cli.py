@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities for poking at the reproduction without writing a
+script:
+
+* ``info``       — package inventory and versions,
+* ``opcodes``    — the OR-lite instruction reference,
+* ``calibrate``  — fit operator weights against the ISS and print them,
+* ``disasm``     — compile a named workload and print its assembly,
+* ``estimate``   — annotated estimate vs ISS measurement of a workload,
+* ``graph``      — run a workload's paper-style process and dump its
+  process graph as GraphViz.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Sequence, Tuple
+
+from . import __version__
+
+#: name -> (functions tuple (entry first), argument builder)
+def _workload_registry() -> Dict[str, Tuple[tuple, Callable[[], tuple]]]:
+    from .workloads.array_ops import array_ops, make_array_inputs
+    from .workloads.compressor import compress, make_compress_inputs
+    from .workloads.euler import euler_oscillator
+    from .workloads.extended import (
+        crc32_bitwise, dct_2d, make_crc_inputs, make_dct_inputs,
+        make_matmul_inputs, matmul,
+    )
+    from .workloads.fibonacci import (
+        fib_benchmark, fib_iterative, fib_recursive,
+    )
+    from .workloads.fir import fir_filter, make_fir_inputs
+    from .workloads.sorting import (
+        bubble_sort, make_sort_inputs, quick_partition, quick_sort,
+        quick_sort_checked,
+    )
+
+    return {
+        "fir": ((fir_filter,), lambda: make_fir_inputs(256, 16)),
+        "compress": ((compress,), lambda: make_compress_inputs(1024)),
+        "quicksort": ((quick_sort_checked, quick_sort, quick_partition),
+                      lambda: (make_sort_inputs(256)[0], 256)),
+        "bubble": ((bubble_sort,), lambda: make_sort_inputs(96, seed=3)),
+        "fibonacci": ((fib_benchmark, fib_recursive, fib_iterative),
+                      lambda: (17,)),
+        "array": ((array_ops,), lambda: make_array_inputs(512)),
+        "euler": ((euler_oscillator,), lambda: (64, 4)),
+        "dct": ((dct_2d,), make_dct_inputs),
+        "crc32": ((crc32_bitwise,), lambda: make_crc_inputs(512)),
+        "matmul": ((matmul,), lambda: make_matmul_inputs(12)),
+    }
+
+
+def _cmd_info(_args) -> int:
+    import networkx
+    import numpy
+    import scipy
+
+    print(f"repro {__version__} — reproduction of 'System-Level "
+          f"Performance Analysis in SystemC' (DATE 2004)")
+    print(f"  python {sys.version.split()[0]}, numpy {numpy.__version__}, "
+          f"scipy {scipy.__version__}, networkx {networkx.__version__}")
+    from .iss.isa import OPCODES
+    print(f"  OR-lite ISA: {len(OPCODES)} opcodes")
+    print(f"  workloads: {', '.join(sorted(_workload_registry()))}")
+    print("  benches:   pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _cmd_opcodes(_args) -> int:
+    from .iss.isa import mnemonic_reference
+    print(mnemonic_reference())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from .calibration import calibrate, default_microbenchmarks
+    from .platform import OPENRISC_SW_COSTS
+
+    report = calibrate(default_microbenchmarks(scale=args.scale),
+                       OPENRISC_SW_COSTS)
+    print(report.summary())
+    if args.output:
+        report.costs.save(args.output)
+        print(f"saved cost table to {args.output}")
+    return 0
+
+
+def _resolve_workload(name: str):
+    registry = _workload_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {', '.join(sorted(registry))}"
+        )
+
+
+def _cmd_disasm(args) -> int:
+    from .iss.runtime import prepare_program
+
+    functions, _make_args = _resolve_workload(args.workload)
+    program = prepare_program(list(functions), entry=functions[0])
+    print(program.listing())
+    print(f"; {len(program)} instructions")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    from .calibration import calibrate, default_microbenchmarks
+    from .iss import run_compiled
+    from .platform import CPU_CLOCK_MHZ, OPENRISC_SW_COSTS
+    from .workloads.common import run_annotated
+
+    functions, make_args = _resolve_workload(args.workload)
+    if args.weights:
+        from .annotate import OperationCosts
+        costs = OperationCosts.load(args.weights)
+        print(f"using cost table {costs.name!r} from {args.weights}")
+    else:
+        print(f"calibrating (scale {args.scale}) ...")
+        costs = calibrate(default_microbenchmarks(scale=args.scale),
+                          OPENRISC_SW_COSTS).costs
+    result, estimated, _t_min = run_annotated(functions[0], make_args(), costs)
+    measured = run_compiled(list(functions), args=make_args(),
+                            entry=functions[0])
+    error = 100.0 * (estimated - measured.cycles) / measured.cycles
+    print(f"workload {args.workload!r}: result = {result}")
+    print(f"  library estimate : {estimated:12.0f} cycles "
+          f"({estimated / CPU_CLOCK_MHZ:.2f} us @ {CPU_CLOCK_MHZ:.0f} MHz)")
+    print(f"  ISS measurement  : {measured.cycles:12d} cycles "
+          f"({measured.instructions} instructions, CPI {measured.cpi:.2f})")
+    print(f"  estimation error : {error:+.2f}%")
+    return 0
+
+
+def _cmd_graph(_args) -> int:
+    from . import SimTime, Simulator, wait
+    from .segments import SegmentTracker
+
+    simulator = Simulator()
+    tracker = SegmentTracker()
+    simulator.add_observer(tracker)
+    ch1 = simulator.fifo("ch1")
+    ch2 = simulator.fifo("ch2")
+    top = simulator.module("top")
+
+    def process():
+        for i in range(6):
+            value = yield from ch1.read()
+            if value % 2 == 0:
+                yield from ch2.write(value)
+            yield wait(SimTime.ns(10))
+            yield from ch2.write(0)
+
+    def environment():
+        for i in range(6):
+            yield from ch1.write(i)
+            if i % 2 == 0:
+                yield from ch2.read()
+            yield from ch2.read()
+
+    top.add_process(process)
+    top.add_process(environment)
+    simulator.run()
+    print(tracker.graph_of("top.process").to_dot())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="System-Level Performance Analysis in SystemC — "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package inventory").set_defaults(fn=_cmd_info)
+    sub.add_parser("opcodes",
+                   help="OR-lite instruction reference").set_defaults(fn=_cmd_opcodes)
+
+    calibrate_parser = sub.add_parser("calibrate",
+                                      help="fit operator weights vs the ISS")
+    calibrate_parser.add_argument("--scale", type=int, default=64,
+                                  help="microbenchmark loop scale")
+    calibrate_parser.add_argument("--output", "-o", default="",
+                                  help="save the fitted table as JSON")
+    calibrate_parser.set_defaults(fn=_cmd_calibrate)
+
+    disasm_parser = sub.add_parser("disasm",
+                                   help="compile a workload, print assembly")
+    disasm_parser.add_argument("workload")
+    disasm_parser.set_defaults(fn=_cmd_disasm)
+
+    estimate_parser = sub.add_parser(
+        "estimate", help="annotated estimate vs ISS measurement")
+    estimate_parser.add_argument("workload")
+    estimate_parser.add_argument("--scale", type=int, default=64)
+    estimate_parser.add_argument("--weights", default="",
+                                 help="load a saved cost-table JSON instead "
+                                      "of calibrating")
+    estimate_parser.set_defaults(fn=_cmd_estimate)
+
+    sub.add_parser("graph",
+                   help="dump the Fig. 2 process graph as GraphViz"
+                   ).set_defaults(fn=_cmd_graph)
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

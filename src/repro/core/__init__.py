@@ -1,0 +1,31 @@
+"""The paper's performance-analysis library (primary contribution)."""
+
+from .agents import HwTimingAgent, ProcessTimingStats, SwTimingAgent
+from .analysis import (
+    PerformanceLibrary,
+    check_determinism,
+    determinism_fingerprint,
+)
+from .estimator import (
+    SegmentEstimate,
+    annotated_cycles,
+    annotated_time,
+    read_segment,
+)
+from .occupancy import (
+    assert_serialized,
+    merge_intervals,
+    overlap_fs,
+    render_gantt,
+    total_busy_fs,
+)
+from .reports import render_report
+
+__all__ = [
+    "HwTimingAgent", "ProcessTimingStats", "SwTimingAgent",
+    "PerformanceLibrary", "check_determinism", "determinism_fingerprint",
+    "SegmentEstimate", "annotated_cycles", "annotated_time", "read_segment",
+    "assert_serialized", "merge_intervals", "overlap_fs", "render_gantt",
+    "total_busy_fs",
+    "render_report",
+]

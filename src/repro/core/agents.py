@@ -1,0 +1,182 @@
+"""Timing agents: the paper's global-analysis mechanics (§4).
+
+One agent is installed per analysed process.  At every node the agent
+reads the segment cost accumulated by the annotated types, converts it
+to time on the owning resource's clock, and answers the scheduler's
+delay negotiation so that the process *sleeps for the segment's
+estimated time* before its communication proceeds — transferring the
+simulation "from an untimed (delta cycle-based) execution to a
+strict-timed execution".
+
+* :class:`HwTimingAgent` (parallel resources): the process simply
+  sleeps for the annotated duration; concurrent HW processes overlap
+  freely, and a process resumes at the later of its previous segment's
+  end and the waking event (both emerge naturally from the sleep).
+
+* :class:`SwTimingAgent` (sequential resources): before the segment
+  time may elapse the process must win the processor.  The agent
+  implements the paper's arbitration loop — wait until
+  max(event time, resource-free time), re-checking because "another
+  process can take up the resource while it is waiting" — plus the RTOS
+  overhead charged at every channel access / wait and on every context
+  switch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..annotate.context import CostContext
+from ..kernel.commands import ChannelAccess, Command, WaitFor
+from ..kernel.process import Process, TimingAgent
+from ..kernel.time import SimTime
+from .estimator import annotated_cycles, read_segment
+
+
+@dataclasses.dataclass
+class ProcessTimingStats:
+    """Per-process accounting produced by the agents."""
+
+    process: str
+    resource: str
+    segments: int = 0
+    cycles: float = 0.0          # segment computation cycles
+    rtos_cycles: float = 0.0     # RTOS service + context-switch cycles
+    busy_time: SimTime = dataclasses.field(default_factory=lambda: SimTime(0))
+    arbitration_time: SimTime = dataclasses.field(default_factory=lambda: SimTime(0))
+    #: (start_fs, end_fs) occupancy intervals, in execution order —
+    #: the raw material for Gantt rendering and overlap checks.
+    intervals: list = dataclasses.field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cycles + self.rtos_cycles
+
+    def record_interval(self, start: SimTime, end: SimTime) -> None:
+        if end.femtoseconds > start.femtoseconds:
+            self.intervals.append((start.femtoseconds, end.femtoseconds))
+
+
+def _node_kind(command: Command) -> str:
+    if isinstance(command, ChannelAccess):
+        return "channel"
+    if isinstance(command, WaitFor):
+        return "wait"
+    return "exit"
+
+
+# Agent phases.
+_IDLE = "idle"
+_ARBITRATE = "arbitrate"
+_SLEEP = "sleep"
+
+
+class HwTimingAgent(TimingAgent):
+    """Back-annotation for a process mapped to a parallel (HW) resource."""
+
+    def __init__(self, resource, context: CostContext,
+                 stats: ProcessTimingStats):
+        self.resource = resource
+        self.context = context
+        self.stats = stats
+        self._phase = _IDLE
+        self._pending = SimTime(0)
+
+    def node_reached(self, process: Process, command: Command,
+                     now: SimTime) -> None:
+        estimate = read_segment(self.context)
+        self.context.reset()
+        cycles = annotated_cycles(estimate, self.resource)
+        duration = self.resource.clock.cycles_to_time(cycles)
+        self.stats.segments += 1
+        self.stats.cycles += cycles
+        self.stats.busy_time = self.stats.busy_time + duration
+        self.resource.busy_time = self.resource.busy_time + duration
+        self.stats.record_interval(now, now + duration)
+        self._pending = duration
+        self._phase = _SLEEP
+
+    def next_delay(self, process: Process, now: SimTime) -> Optional[SimTime]:
+        if self._phase is _SLEEP:
+            self._phase = _IDLE
+            if self._pending.femtoseconds > 0:
+                return self._pending
+        return None
+
+
+class SwTimingAgent(TimingAgent):
+    """Back-annotation + processor arbitration for a SW-mapped process."""
+
+    def __init__(self, resource, context: CostContext,
+                 stats: ProcessTimingStats):
+        self.resource = resource
+        self.context = context
+        self.stats = stats
+        self._phase = _IDLE
+        self._pending = SimTime(0)
+        self._pending_rtos_cycles = 0.0
+        self._arbitration_started: Optional[SimTime] = None
+
+    def node_reached(self, process: Process, command: Command,
+                     now: SimTime) -> None:
+        estimate = read_segment(self.context)
+        self.context.reset()
+        segment_cycles = annotated_cycles(estimate, self.resource)
+
+        rtos = self.resource.rtos
+        rtos_cycles = rtos.node_cycles(_node_kind(command)) if rtos else 0.0
+
+        total_cycles = segment_cycles + rtos_cycles
+        duration = self.resource.clock.cycles_to_time(total_cycles)
+
+        self.stats.segments += 1
+        self.stats.cycles += segment_cycles
+        self.stats.rtos_cycles += rtos_cycles
+        self._pending = duration
+        self._pending_rtos_cycles = rtos_cycles
+        self._phase = _ARBITRATE
+        self._arbitration_started = now
+        self.resource.enqueue(process, duration)
+
+    def next_delay(self, process: Process, now: SimTime) -> Optional[SimTime]:
+        if self._phase is _ARBITRATE:
+            if not self.resource.may_run(process, now):
+                wait = self.resource.expected_wait(process, now)
+                # may_run() is false only when the processor is busy or
+                # another waiter has precedence; both give a positive wait.
+                return wait
+
+            duration = self._pending
+            rtos = self.resource.rtos
+            switch_cycles = 0.0
+            if (rtos and self.resource.last_process is not None
+                    and self.resource.last_process is not process):
+                switch_cycles = rtos.context_switch_cycles
+            if switch_cycles:
+                duration = duration + self.resource.clock.cycles_to_time(switch_cycles)
+                self.stats.rtos_cycles += switch_cycles
+
+            completion = self.resource.occupy(process, now, duration)
+            rtos_time = self.resource.clock.cycles_to_time(
+                self._pending_rtos_cycles + switch_cycles
+            )
+            self.resource.rtos_time = self.resource.rtos_time + rtos_time
+            self.stats.busy_time = self.stats.busy_time + duration
+            self.stats.record_interval(now, completion)
+            if self._arbitration_started is not None:
+                self.stats.arbitration_time = (
+                    self.stats.arbitration_time + (now - self._arbitration_started)
+                )
+                self._arbitration_started = None
+
+            self._phase = _SLEEP
+            remaining = completion - now
+            if remaining.femtoseconds > 0:
+                return remaining
+            self._phase = _IDLE
+            return None
+
+        if self._phase is _SLEEP:
+            self._phase = _IDLE
+        return None

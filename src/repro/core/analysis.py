@@ -1,0 +1,176 @@
+"""The performance-analysis library facade.
+
+:class:`PerformanceLibrary` is the paper's deliverable: attached to an
+*unmodified* design ("by simply including the library within a usual
+simulation"), it
+
+* builds one cost context per analysed process, keyed to the resource
+  the architectural mapping assigns (SW: sum mode; HW: critical-path
+  mode),
+* installs the matching timing agent so the delta-cycle simulation
+  becomes strict-timed,
+* tracks segments dynamically (:class:`~repro.segments.SegmentTracker`),
+* and aggregates the per-process / per-resource figures of the reports.
+
+Usage::
+
+    sim = Simulator()
+    ...build design...
+    mapping = Mapping()
+    mapping.assign(process, cpu)
+    perf = PerformanceLibrary(mapping)
+    perf.attach(sim)
+    sim.run()
+    print(perf.report(sim.now))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..annotate.context import CostContext, MODE_HW, MODE_SW, set_current
+from ..errors import MappingError
+from ..kernel.process import Process
+from ..kernel.scheduler import SchedulerObserver
+from ..kernel.simulator import Simulator
+from ..kernel.time import SimTime
+from ..kernel.tracing import TraceRecorder
+from ..platform.mapping import Mapping
+from ..platform.resources import (
+    EnvironmentResource,
+    ParallelResource,
+    Resource,
+    SequentialResource,
+)
+from ..segments.tracker import SegmentTracker
+from .agents import HwTimingAgent, ProcessTimingStats, SwTimingAgent
+from .reports import render_report
+
+
+class PerformanceLibrary(SchedulerObserver):
+    """Attachable system-level timing estimation (the paper's library)."""
+
+    def __init__(self, mapping: Mapping, record_instantaneous: bool = False):
+        self.mapping = mapping
+        self.tracker = SegmentTracker(record_instantaneous=record_instantaneous)
+        self.contexts: Dict[int, CostContext] = {}
+        self.stats: Dict[str, ProcessTimingStats] = {}
+        self._attached = False
+
+    # -- attachment ---------------------------------------------------------
+
+    def attach(self, simulator: Simulator) -> "PerformanceLibrary":
+        """Install agents and contexts on every process of ``simulator``.
+
+        Every process must be mapped; map testbench/VC processes to an
+        :class:`~repro.platform.EnvironmentResource` to exclude them from
+        analysis (the paper: "For VCs and test-bench components no
+        performance analysis is done").
+        """
+        if self._attached:
+            raise MappingError("performance library is already attached")
+        processes = simulator.scheduler.processes
+        self.mapping.validate(processes)
+
+        for process in processes:
+            resource = self.mapping.resource_of(process)
+            if isinstance(resource, EnvironmentResource):
+                continue
+            self._instrument(process, resource)
+
+        # Tracker first: it must read each segment's accumulation before
+        # the agent (called after all observers) resets the context.
+        simulator.add_observer(self.tracker)
+        simulator.add_observer(self)
+        self._attached = True
+        return self
+
+    def _instrument(self, process: Process, resource: Resource) -> None:
+        if isinstance(resource, SequentialResource):
+            context = CostContext(resource.costs, MODE_SW)
+            stats = ProcessTimingStats(process.full_name, resource.name)
+            process.agent = SwTimingAgent(resource, context, stats)
+        elif isinstance(resource, ParallelResource):
+            context = CostContext(resource.costs, MODE_HW)
+            stats = ProcessTimingStats(process.full_name, resource.name)
+            process.agent = HwTimingAgent(resource, context, stats)
+        else:
+            raise MappingError(
+                f"cannot instrument {process.full_name!r}: resource "
+                f"{resource.name!r} has unsupported kind {resource.kind!r}"
+            )
+        self.contexts[process.pid] = context
+        self.stats[process.full_name] = stats
+
+    # -- context switching (observer callbacks) -----------------------------
+
+    def on_process_resume(self, process: Process, now: SimTime) -> None:
+        set_current(self.contexts.get(process.pid))
+
+    def on_process_suspend(self, process: Process, now: SimTime) -> None:
+        set_current(None)
+
+    # -- results -------------------------------------------------------------
+
+    def process_stats(self, process_name: str) -> ProcessTimingStats:
+        return self.stats[process_name]
+
+    def resources(self) -> List[Resource]:
+        return [r for r in self.mapping.resources()
+                if not isinstance(r, EnvironmentResource)]
+
+    def report(self, final_time: SimTime) -> str:
+        """The automatic global report: totals per process and resource."""
+        return render_report(self, final_time)
+
+    def segment_report(self) -> str:
+        """The on-demand exact segment-level report."""
+        return "\n".join(self.tracker.report_lines())
+
+
+# ---------------------------------------------------------------------------
+# Determinism checking (paper §6).
+# ---------------------------------------------------------------------------
+
+def determinism_fingerprint(trace: TraceRecorder) -> Dict[str, List[str]]:
+    """Per-process ordered node sequences from a trace.
+
+    The strict-timed simulation may legally reorder *inter*-process
+    interleavings; each process's own control path, however, must be
+    identical if the specification is deterministic.
+    """
+    fingerprint: Dict[str, List[str]] = {}
+    for record in trace.records:
+        if record.kind == "node-reached":
+            fingerprint.setdefault(record.process, []).append(record.detail)
+    return fingerprint
+
+
+def check_determinism(untimed: TraceRecorder,
+                      timed: TraceRecorder) -> List[str]:
+    """Compare untimed vs strict-timed traces; return human-readable
+    discrepancies (empty list = no divergence detected).
+
+    A non-empty result means "the description is not deterministic
+    (potentially wrong)" — the paper's §6 verification value.  The check
+    is necessarily one-sided: identical fingerprints do not *prove*
+    determinism, but any difference proves the design depends on the
+    scheduling order.
+    """
+    differences: List[str] = []
+    fp_untimed = determinism_fingerprint(untimed)
+    fp_timed = determinism_fingerprint(timed)
+    for name in sorted(set(fp_untimed) | set(fp_timed)):
+        a = fp_untimed.get(name, [])
+        b = fp_timed.get(name, [])
+        if a == b:
+            continue
+        length = f"{len(a)} vs {len(b)} nodes"
+        first = next(
+            (i for i, (x, y) in enumerate(zip(a, b)) if x != y),
+            min(len(a), len(b)),
+        )
+        differences.append(
+            f"process {name}: node sequences diverge at index {first} ({length})"
+        )
+    return differences

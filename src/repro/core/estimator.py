@@ -1,0 +1,70 @@
+"""Segment estimation methods (paper §3).
+
+Given the cost accumulation of one segment, produce the time that will
+be back-annotated:
+
+* **sequential (SW)** resources execute statements one after the other,
+  so the segment time is simply the sum of operation times;
+* **parallel (HW)** resources admit a whole design space between the
+  fastest implementation (critical path, *Tmin*) and the cheapest one
+  (single shared ALU, *Tmax* = sum); since "the library time annotation
+  method can only manage one value, not a range", the paper interpolates
+  with a per-resource constant::
+
+      T = Tmin + (Tmax - Tmin) * k,     0 <= k <= 1
+
+  where k=1 prioritizes cost and k=0 performance during HW synthesis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..annotate.context import CostContext
+from ..kernel.time import SimTime
+from ..platform.resources import (
+    ParallelResource,
+    Resource,
+    SequentialResource,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentEstimate:
+    """The two implementation bounds of one executed segment, in cycles."""
+
+    t_max_cycles: float   # fully sequential (single ALU / processor)
+    t_min_cycles: float   # fully parallel critical path
+
+    def __post_init__(self):
+        if self.t_min_cycles > self.t_max_cycles + 1e-9:
+            raise ValueError(
+                f"critical path ({self.t_min_cycles}) cannot exceed the "
+                f"sequential bound ({self.t_max_cycles})"
+            )
+
+    def interpolate(self, k: float) -> float:
+        """The paper's weighted mean ``Tmin + (Tmax - Tmin) * k``."""
+        if not 0.0 <= k <= 1.0:
+            raise ValueError(f"k must lie in [0, 1], got {k}")
+        return self.t_min_cycles + (self.t_max_cycles - self.t_min_cycles) * k
+
+
+def read_segment(context: CostContext) -> SegmentEstimate:
+    """Snapshot the estimate of the segment accumulated in ``context``."""
+    t_max, t_min = context.segment_totals()
+    return SegmentEstimate(t_max_cycles=t_max, t_min_cycles=t_min)
+
+
+def annotated_cycles(estimate: SegmentEstimate, resource: Resource) -> float:
+    """The single cycle count back-annotated for this segment/resource."""
+    if isinstance(resource, SequentialResource):
+        return estimate.t_max_cycles
+    if isinstance(resource, ParallelResource):
+        return estimate.interpolate(resource.k_factor)
+    return 0.0  # environment components are not analysed
+
+
+def annotated_time(estimate: SegmentEstimate, resource: Resource) -> SimTime:
+    """The back-annotated duration on the resource's clock."""
+    return resource.clock.cycles_to_time(annotated_cycles(estimate, resource))

@@ -1,0 +1,95 @@
+"""Occupancy analysis and ASCII Gantt rendering.
+
+Strict-timed simulation produces, per process, the exact intervals its
+segments occupied their resource.  This module turns those intervals
+into an at-a-glance timeline (the textual cousin of the paper's Fig. 5b)
+and provides the overlap checks the tests and the fig5 bench rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, TYPE_CHECKING, Tuple
+
+from ..errors import ReproError
+from ..kernel.time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analysis import PerformanceLibrary
+
+Interval = Tuple[int, int]
+
+
+def merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Sort and coalesce overlapping/adjacent intervals."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [ordered[0]]
+    for start, end in ordered[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def total_busy_fs(intervals: List[Interval]) -> int:
+    return sum(end - start for start, end in merge_intervals(intervals))
+
+
+def overlap_fs(a: List[Interval], b: List[Interval]) -> int:
+    """Total overlapped time between two interval sets."""
+    merged_a = merge_intervals(a)
+    merged_b = merge_intervals(b)
+    total = 0
+    i = j = 0
+    while i < len(merged_a) and j < len(merged_b):
+        start = max(merged_a[i][0], merged_b[j][0])
+        end = min(merged_a[i][1], merged_b[j][1])
+        if start < end:
+            total += end - start
+        if merged_a[i][1] < merged_b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return total
+
+
+def assert_serialized(perf: "PerformanceLibrary",
+                      process_names: List[str]) -> None:
+    """Raise unless the given processes' occupancy never overlaps.
+
+    The invariant of a sequential resource: any overlap means the
+    serialization machinery failed.
+    """
+    for index, first in enumerate(process_names):
+        for second in process_names[index + 1:]:
+            overlapped = overlap_fs(perf.stats[first].intervals,
+                                    perf.stats[second].intervals)
+            if overlapped:
+                raise ReproError(
+                    f"processes {first!r} and {second!r} overlap by "
+                    f"{SimTime(overlapped)} on a sequential resource"
+                )
+
+
+def render_gantt(perf: "PerformanceLibrary", final_time: SimTime,
+                 width: int = 72) -> str:
+    """ASCII occupancy chart: one row per process, '#' = busy."""
+    span = final_time.femtoseconds
+    if span <= 0:
+        raise ReproError("cannot render a Gantt chart of an empty run")
+    lines = [f"occupancy over {final_time} ('#' = resource busy)"]
+    name_width = max((len(n) for n in perf.stats), default=8)
+    for name in sorted(perf.stats):
+        stats = perf.stats[name]
+        cells = [" "] * width
+        for start, end in merge_intervals(stats.intervals):
+            first = min(width - 1, start * width // span)
+            last = min(width - 1, max(first, (end * width - 1) // span))
+            for cell in range(first, last + 1):
+                cells[cell] = "#"
+        lines.append(f"{name.ljust(name_width)} |{''.join(cells)}|"
+                     f" ({stats.resource})")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Report rendering for the performance library.
+
+"Total execution times for processes and resources are generated
+automatically" (paper §4).  The report shows, per process: segments
+executed, computation cycles, RTOS cycles and busy time; per resource:
+busy time, RTOS share and utilization of the simulated span.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+from ..kernel.time import SimTime
+from ..platform.resources import SequentialResource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analysis import PerformanceLibrary
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def process_rows(perf: "PerformanceLibrary") -> List[List[str]]:
+    rows = []
+    for name in sorted(perf.stats):
+        stats = perf.stats[name]
+        rows.append([
+            name,
+            stats.resource,
+            str(stats.segments),
+            f"{stats.cycles:.1f}",
+            f"{stats.rtos_cycles:.1f}",
+            f"{stats.busy_time.to_us():.3f}",
+            f"{stats.arbitration_time.to_us():.3f}",
+        ])
+    return rows
+
+
+def resource_rows(perf: "PerformanceLibrary", final_time: SimTime) -> List[List[str]]:
+    rows = []
+    span = final_time.femtoseconds
+    for resource in perf.resources():
+        busy = resource.busy_time
+        utilization = busy.femtoseconds / span if span else 0.0
+        switches = ""
+        if isinstance(resource, SequentialResource):
+            switches = str(resource.context_switches)
+        rows.append([
+            resource.name,
+            resource.kind,
+            f"{busy.to_us():.3f}",
+            f"{resource.rtos_time.to_us():.3f}",
+            f"{100.0 * utilization:.1f}%",
+            switches,
+        ])
+    return rows
+
+
+def render_report(perf: "PerformanceLibrary", final_time: SimTime) -> str:
+    lines = [f"=== performance report (simulated span: {final_time}) ==="]
+    lines.append("")
+    lines.append("-- processes --")
+    lines.extend(_format_table(
+        ["process", "resource", "segments", "cycles", "rtos cycles",
+         "busy us", "arbitration us"],
+        process_rows(perf),
+    ))
+    lines.append("")
+    lines.append("-- resources --")
+    lines.extend(_format_table(
+        ["resource", "kind", "busy us", "rtos us", "utilization", "switches"],
+        resource_rows(perf, final_time),
+    ))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an illegal state.
+
+    Examples: a process yielded an unknown command, the delta-cycle limit
+    was exceeded (runaway zero-time loop), or a channel was accessed
+    outside of a process context.
+    """
+
+
+class ElaborationError(ReproError):
+    """The static structure of the design is invalid.
+
+    Raised for unbound ports, duplicate process names, or modules added
+    after the simulation has started.
+    """
+
+
+class AnnotationError(ReproError):
+    """The timing-annotation layer was used incorrectly.
+
+    Examples: annotated arithmetic executed while no cost context is
+    active in strict mode, or an operation missing from the platform
+    cost table.
+    """
+
+
+class MappingError(ReproError):
+    """An architectural-mapping inconsistency was detected.
+
+    Examples: a process mapped to two resources, or a simulation started
+    with unmapped processes while a performance library is attached.
+    """
+
+
+class IssError(ReproError):
+    """The instruction-set simulator hit an unrecoverable condition.
+
+    Examples: unknown opcode, unaligned memory access, PC out of range,
+    or exceeding the configured cycle budget (runaway program).
+    """
+
+
+class CompileError(ReproError):
+    """The mini-compiler could not translate the given Python source.
+
+    The compiler supports only the documented integer subset of Python;
+    anything else raises this error with the offending construct named.
+    """
+
+
+class SynthesisError(ReproError):
+    """The behavioral-synthesis substrate rejected its input.
+
+    Examples: scheduling an empty dataflow graph, a resource constraint
+    of zero functional units, or a cyclic dependency in the captured
+    trace (which would indicate a capture bug).
+    """
+
+
+class CaptureError(ReproError):
+    """A capture-point or metrics API misuse."""
+
+
+class CalibrationError(ReproError):
+    """Weight fitting failed (singular system, empty microbenchmark set)."""

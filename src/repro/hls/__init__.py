@@ -1,0 +1,37 @@
+"""Behavioral-synthesis substrate: DFG capture, scheduling, allocation."""
+
+from .allocation import (
+    Allocation,
+    DesignPoint,
+    FU_AREA,
+    explore_design_space,
+    pareto_front,
+    required_classes,
+)
+from .dfg import DataflowGraph, DfgNode, DfgRecorder, capture_dfg
+from .scheduling import (
+    FU_OF_OP,
+    Schedule,
+    UNIVERSAL_FU,
+    alap,
+    asap,
+    fu_class,
+    list_schedule,
+)
+from .synthesis import (
+    SynthesisResult,
+    synthesize_best_case,
+    synthesize_constrained,
+    synthesize_function,
+    synthesize_worst_case,
+)
+
+__all__ = [
+    "Allocation", "DesignPoint", "FU_AREA", "explore_design_space",
+    "pareto_front", "required_classes",
+    "DataflowGraph", "DfgNode", "DfgRecorder", "capture_dfg",
+    "FU_OF_OP", "Schedule", "UNIVERSAL_FU", "alap", "asap", "fu_class",
+    "list_schedule",
+    "SynthesisResult", "synthesize_best_case", "synthesize_constrained",
+    "synthesize_function", "synthesize_worst_case",
+]

@@ -1,0 +1,98 @@
+"""Functional-unit allocation and the area model.
+
+Area figures are relative units for a generic standard-cell library —
+the Fig. 4 design-space curve only needs *consistent* relative costs
+(one multiplier ≈ several ALUs, a divider dwarfs both).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import SynthesisError
+from .dfg import DataflowGraph
+from .scheduling import UNIVERSAL_FU, fu_class, list_schedule
+
+#: Relative area per functional-unit class.
+FU_AREA: Dict[str, float] = {
+    "alu": 1.0,
+    "mul": 8.0,
+    "div": 20.0,
+    "mem": 2.0,     # a memory port
+    "fpu": 30.0,
+    UNIVERSAL_FU: 24.0,   # an ALU that also multiplies/divides
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """A chosen number of units per FU class."""
+
+    units: Tuple[Tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, mapping: Mapping[str, int]) -> "Allocation":
+        for fu, count in mapping.items():
+            if fu not in FU_AREA:
+                raise SynthesisError(f"unknown FU class {fu!r}")
+            if count < 0:
+                raise SynthesisError(f"negative unit count for {fu!r}")
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.units)
+
+    @property
+    def area(self) -> float:
+        return sum(FU_AREA[fu] * count for fu, count in self.units)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{count}x{fu}" for fu, count in self.units if count)
+        return f"Allocation({inner}, area={self.area:g})"
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One point of the Fig. 4 implementation-solution space."""
+
+    allocation: Allocation
+    latency_cycles: int
+    area: float
+
+
+def required_classes(graph: DataflowGraph) -> List[str]:
+    return sorted({fu_class(n.operation) for n in graph.nodes})
+
+
+def explore_design_space(graph: DataflowGraph,
+                         max_units_per_class: int = 4) -> List[DesignPoint]:
+    """Enumerate allocations up to ``max_units_per_class`` and schedule each.
+
+    Returns all evaluated points sorted by area; use
+    :func:`pareto_front` for the efficient frontier that Fig. 4 sketches
+    between the single-ALU and critical-path extremes.
+    """
+    classes = required_classes(graph)
+    if not classes:
+        raise SynthesisError("empty dataflow graph has no design space")
+    points: List[DesignPoint] = []
+    ranges = [range(1, max_units_per_class + 1)] * len(classes)
+    for combo in itertools.product(*ranges):
+        allocation = Allocation.of(dict(zip(classes, combo)))
+        schedule = list_schedule(graph, allocation.as_dict())
+        points.append(DesignPoint(allocation, schedule.makespan, allocation.area))
+    points.sort(key=lambda p: (p.area, p.latency_cycles))
+    return points
+
+
+def pareto_front(points: List[DesignPoint]) -> List[DesignPoint]:
+    """Area-ascending Pareto frontier (strictly improving latency)."""
+    front: List[DesignPoint] = []
+    best_latency = None
+    for point in sorted(points, key=lambda p: (p.area, p.latency_cycles)):
+        if best_latency is None or point.latency_cycles < best_latency:
+            front.append(point)
+            best_latency = point.latency_cycles
+    return front

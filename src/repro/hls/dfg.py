@@ -1,0 +1,132 @@
+"""Dataflow-graph capture from annotated execution.
+
+The behavioral-synthesis substrate needs the *actual* operation graph of
+a segment, not just its cost totals.  :class:`DfgRecorder` plugs into a
+:class:`~repro.annotate.CostContext` as its operation recorder: every
+annotated operation becomes a DFG node whose predecessors are the
+producers of its operands (constants and un-tracked inputs have none).
+
+Because the capture happens on a *dynamic* execution, the DFG is the
+fully-unrolled, branch-resolved operation trace — exactly what a
+behavioral synthesis tool schedules for one segment (the paper's
+segments are closed single-entry/single-exit regions, so this is
+well-defined).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Sequence
+
+from ..annotate.context import CostContext, MODE_HW, OperationRecorder, active
+from ..annotate.costs import OperationCosts
+from ..errors import SynthesisError
+
+
+@dataclasses.dataclass(frozen=True)
+class DfgNode:
+    """One operation in the captured dataflow graph."""
+
+    node_id: int
+    operation: str
+    latency_cycles: int          # integer cycle slots (ceil of table latency)
+    raw_latency: float           # the fractional table latency
+    predecessors: tuple          # node ids of operand producers
+
+
+class DataflowGraph:
+    """An immutable-after-capture operation DAG."""
+
+    def __init__(self):
+        self.nodes: List[DfgNode] = []
+        self._by_id: Dict[int, DfgNode] = {}
+
+    def add(self, node: DfgNode) -> None:
+        if node.node_id in self._by_id:
+            raise SynthesisError(f"duplicate DFG node id {node.node_id}")
+        self.nodes.append(node)
+        self._by_id[node.node_id] = node
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> DfgNode:
+        return self._by_id[node_id]
+
+    def successors(self) -> Dict[int, List[int]]:
+        table: Dict[int, List[int]] = {n.node_id: [] for n in self.nodes}
+        for node in self.nodes:
+            for pred in node.predecessors:
+                table[pred].append(node.node_id)
+        return table
+
+    def operations_used(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.operation] = counts.get(node.operation, 0) + 1
+        return counts
+
+    def total_latency(self) -> int:
+        """Sum of integer latencies — the fully-sequential lower bound."""
+        return sum(n.latency_cycles for n in self.nodes)
+
+    def critical_path(self) -> int:
+        """Longest dependence chain in integer cycles (nodes are in
+        topological order by construction: operands precede results)."""
+        finish: Dict[int, int] = {}
+        longest = 0
+        for node in self.nodes:
+            start = max((finish[p] for p in node.predecessors), default=0)
+            end = start + node.latency_cycles
+            finish[node.node_id] = end
+            if end > longest:
+                longest = end
+        return longest
+
+
+class DfgRecorder(OperationRecorder):
+    """Cost-context recorder that builds a :class:`DataflowGraph`.
+
+    Zero-latency operations (wires on a datapath: ``assign``, ``branch``
+    under the HW cost table) are skipped — they occupy no functional
+    unit and no cycle slot.
+    """
+
+    def __init__(self):
+        self.graph = DataflowGraph()
+        self._known_ids: set = set()
+
+    def record(self, operation: str, latency: float,
+               operand_ids: Sequence[int], result_id: int) -> None:
+        if latency <= 0:
+            return
+        predecessors = tuple(i for i in operand_ids
+                             if i >= 0 and i in self._known_ids)
+        self._known_ids.add(result_id)
+        self.graph.add(DfgNode(
+            node_id=result_id,
+            operation=operation,
+            latency_cycles=max(1, math.ceil(latency)),
+            raw_latency=latency,
+            predecessors=predecessors,
+        ))
+
+
+def capture_dfg(fn: Callable, args: Sequence,
+                costs: OperationCosts) -> DataflowGraph:
+    """Execute ``fn(*args)`` under a recording HW context; return its DFG.
+
+    ``args`` should be annotated values (:class:`~repro.annotate.AInt`,
+    :class:`~repro.annotate.AArray`, ...) for the dataflow to be seen.
+    """
+    recorder = DfgRecorder()
+    context = CostContext(costs, MODE_HW, recorder=recorder)
+    with active(context):
+        fn(*args)
+    if not len(recorder.graph):
+        raise SynthesisError(
+            f"no operations captured from {getattr(fn, '__name__', fn)!r}; "
+            f"did you pass annotated arguments?"
+        )
+    return recorder.graph

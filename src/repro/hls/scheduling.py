@@ -1,0 +1,218 @@
+"""Operation scheduling: ASAP, ALAP and resource-constrained list scheduling.
+
+This module is the heart of the "Concentric-like" behavioral-synthesis
+substrate: given a captured dataflow graph it computes
+
+* the **time-constrained** result — ASAP with unlimited functional
+  units: latency = integer-cycle critical path (the synthesis tool's
+  best case in Table 2/4);
+* the **resource-constrained** result — priority list scheduling under
+  a functional-unit allocation; the paper's worst case is the special
+  allocation of one universal ALU executing every operation.
+
+Operations map to functional-unit classes through :data:`FU_OF_OP`;
+memory accesses occupy a memory port, multiplies a multiplier, and so
+on, so richer allocations explore the Fig. 4 design space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import SynthesisError
+from .dfg import DataflowGraph
+
+#: Functional-unit class of each operation.
+FU_OF_OP: Dict[str, str] = {
+    **{op: "alu" for op in (
+        "add", "sub", "and", "or", "xor", "shl", "shr", "neg", "inv",
+        "abs", "lt", "le", "gt", "ge", "eq", "ne", "assign", "branch",
+    )},
+    "mul": "mul",
+    "div": "div", "mod": "div",
+    "load": "mem", "store": "mem",
+    **{op: "fpu" for op in ("fadd", "fsub", "fmul", "fdiv",
+                            "fneg", "fabs", "fcmp")},
+    "call": "alu",
+}
+
+#: The synthetic FU class used by "single ALU executes everything".
+UNIVERSAL_FU = "universal"
+
+
+def fu_class(operation: str, universal: bool = False) -> str:
+    if universal:
+        return UNIVERSAL_FU
+    try:
+        return FU_OF_OP[operation]
+    except KeyError:
+        raise SynthesisError(f"no functional-unit class for {operation!r}") from None
+
+
+@dataclasses.dataclass
+class Schedule:
+    """A start-cycle assignment for every node, plus the makespan."""
+
+    start: Dict[int, int]
+    finish: Dict[int, int]
+    makespan: int
+    #: FU-class usage histogram: fu -> max simultaneous busy units
+    peak_usage: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def verify(self, graph: DataflowGraph) -> None:
+        """Assert dependence correctness (used by tests and paranoia)."""
+        for node in graph.nodes:
+            for pred in node.predecessors:
+                if self.start[node.node_id] < self.finish[pred]:
+                    raise SynthesisError(
+                        f"schedule violates dependence {pred} -> {node.node_id}"
+                    )
+
+
+def asap(graph: DataflowGraph, universal: bool = False) -> Schedule:
+    """Unlimited-resource as-soon-as-possible schedule."""
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    usage: Dict[tuple, int] = {}
+    for node in graph.nodes:
+        begin = max((finish[p] for p in node.predecessors), default=0)
+        start[node.node_id] = begin
+        finish[node.node_id] = begin + node.latency_cycles
+        fu = fu_class(node.operation, universal)
+        for cycle in range(begin, finish[node.node_id]):
+            usage[(fu, cycle)] = usage.get((fu, cycle), 0) + 1
+    peak: Dict[str, int] = {}
+    for (fu, _cycle), count in usage.items():
+        peak[fu] = max(peak.get(fu, 0), count)
+    makespan = max(finish.values(), default=0)
+    return Schedule(start, finish, makespan, peak)
+
+
+def alap(graph: DataflowGraph, deadline: Optional[int] = None,
+         universal: bool = False) -> Schedule:
+    """As-late-as-possible schedule against ``deadline`` (default: ASAP
+    makespan — the zero-slack baseline used for list-scheduling priorities)."""
+    if deadline is None:
+        deadline = asap(graph, universal).makespan
+    successors = graph.successors()
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    for node in reversed(graph.nodes):
+        succ_starts = [start[s] for s in successors[node.node_id] if s in start]
+        end = min(succ_starts, default=deadline)
+        begin = end - node.latency_cycles
+        if begin < 0:
+            raise SynthesisError(
+                f"deadline {deadline} is infeasible for node {node.node_id}"
+            )
+        start[node.node_id] = begin
+        finish[node.node_id] = end
+    makespan = max(finish.values(), default=0)
+    return Schedule(start, finish, makespan, {})
+
+
+def list_schedule(graph: DataflowGraph,
+                  allocation: Mapping[str, int],
+                  universal: bool = False,
+                  pipelined: bool = False) -> Schedule:
+    """Priority list scheduling under a functional-unit allocation.
+
+    ``allocation`` maps FU class → unit count; every class used by the
+    graph must be present.  Priority = ALAP start (least slack first),
+    the textbook heuristic.  By default units are non-pipelined (busy
+    for the whole operation latency); with ``pipelined=True`` every unit
+    accepts a new operation each cycle (initiation interval 1) while
+    results still take the full latency — fully-pipelined multipliers
+    and dividers, the standard datapath upgrade.
+    """
+    if not len(graph):
+        raise SynthesisError("cannot schedule an empty dataflow graph")
+    needed = {fu_class(n.operation, universal) for n in graph.nodes}
+    for fu in needed:
+        count = allocation.get(fu, 0)
+        if count <= 0:
+            raise SynthesisError(
+                f"allocation provides no {fu!r} units but the graph needs them"
+            )
+
+    priority = alap(graph, universal=universal).start
+    remaining_preds = {n.node_id: len(n.predecessors) for n in graph.nodes}
+    successors = graph.successors()
+    nodes = {n.node_id: n for n in graph.nodes}
+
+    # (alap_start, node_id) heap of data-ready operations
+    ready: List[tuple] = []
+    for node in graph.nodes:
+        if remaining_preds[node.node_id] == 0:
+            heapq.heappush(ready, (priority[node.node_id], node.node_id))
+
+    free_units = {fu: allocation.get(fu, 0) for fu in needed}
+    # (release_cycle, node_id, fu) of operations occupying their unit;
+    # pipelined units release after one cycle, results land at finish.
+    in_flight: List[tuple] = []
+    # (finish_cycle, node_id) of pipelined results still in flight
+    pending_results: List[tuple] = []
+    data_ready_at: Dict[int, int] = {n.node_id: 0 for n in graph.nodes}
+    start: Dict[int, int] = {}
+    finish: Dict[int, int] = {}
+    cycle = 0
+    scheduled = 0
+    total = len(graph)
+
+    while scheduled < total or in_flight or pending_results:
+        # Release units whose occupancy ends at or before this cycle.
+        while in_flight and in_flight[0][0] <= cycle:
+            _, done_id, fu = heapq.heappop(in_flight)
+            free_units[fu] += 1
+            if not pipelined:
+                for succ in successors[done_id]:
+                    remaining_preds[succ] -= 1
+                    data_ready_at[succ] = max(data_ready_at[succ],
+                                              finish[done_id])
+                    if remaining_preds[succ] == 0:
+                        heapq.heappush(ready, (priority[succ], succ))
+        # Pipelined: results mature independently of unit release.
+        while pending_results and pending_results[0][0] <= cycle:
+            _, done_id = heapq.heappop(pending_results)
+            for succ in successors[done_id]:
+                remaining_preds[succ] -= 1
+                data_ready_at[succ] = max(data_ready_at[succ], finish[done_id])
+                if remaining_preds[succ] == 0:
+                    heapq.heappush(ready, (priority[succ], succ))
+
+        # Issue as many ready operations as units allow.
+        deferred: List[tuple] = []
+        while ready:
+            prio, node_id = heapq.heappop(ready)
+            node = nodes[node_id]
+            fu = fu_class(node.operation, universal)
+            if free_units[fu] > 0 and data_ready_at[node_id] <= cycle:
+                free_units[fu] -= 1
+                start[node_id] = cycle
+                finish[node_id] = cycle + node.latency_cycles
+                occupancy = 1 if pipelined else node.latency_cycles
+                heapq.heappush(in_flight, (cycle + occupancy, node_id, fu))
+                if pipelined:
+                    heapq.heappush(pending_results, (finish[node_id], node_id))
+                scheduled += 1
+            else:
+                deferred.append((prio, node_id))
+        for item in deferred:
+            heapq.heappush(ready, item)
+
+        # Advance time to the next interesting cycle.
+        next_cycles = [entry[0] for entry in (in_flight[:1] or [])]
+        next_cycles += [entry[0] for entry in (pending_results[:1] or [])]
+        if next_cycles:
+            cycle = min(next_cycles)
+        elif scheduled < total:
+            raise SynthesisError(
+                "list scheduler stalled with unscheduled operations; "
+                "the captured graph is inconsistent"
+            )
+
+    makespan = max(finish.values(), default=0)
+    peak = {fu: allocation.get(fu, 0) for fu in needed}
+    return Schedule(start, finish, makespan, peak)

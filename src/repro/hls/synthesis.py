@@ -1,0 +1,93 @@
+"""The behavioral-synthesis facade (the paper's Concentric stand-in).
+
+Table 2/4 of the paper compare the estimation library's closed-form
+bounds against "real execution times under resource-constrained and
+time-constrained scheduling ... obtained by using the Concentric
+behavioral synthesis tool".  :func:`synthesize_best_case` and
+:func:`synthesize_worst_case` provide those references:
+
+* **best case** (time-constrained): ASAP schedule with unlimited units —
+  every operation still occupies integer cycle slots, so the result is
+  the *quantized* critical path (≥ the library's fractional Tmin);
+* **worst case** (resource-constrained): list schedule on a single
+  universal ALU — every operation serialized on one unit in integer
+  slots (≈ the library's Tmax, differing by the quantization).
+
+The deliberate mismatch between the library's fractional single-pass
+bounds and the scheduler's integer-slot reality is what produces the
+few-percent HW estimation errors the paper reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping, Optional, Sequence
+
+from ..annotate.costs import OperationCosts
+from ..kernel.time import Clock, SimTime
+from .allocation import Allocation, FU_AREA
+from .dfg import DataflowGraph, capture_dfg
+from .scheduling import Schedule, UNIVERSAL_FU, asap, list_schedule
+
+
+@dataclasses.dataclass(frozen=True)
+class SynthesisResult:
+    """Outcome of synthesizing one segment."""
+
+    latency_cycles: int
+    clock: Clock
+    allocation: Optional[Allocation]
+    schedule: Schedule
+
+    @property
+    def exec_time(self) -> SimTime:
+        return self.clock.cycles_to_time(self.latency_cycles)
+
+    @property
+    def exec_time_ns(self) -> float:
+        return self.exec_time.to_ns()
+
+    @property
+    def area(self) -> float:
+        if self.allocation is not None:
+            return self.allocation.area
+        # Time-constrained: area is whatever the peak parallelism needs.
+        return sum(FU_AREA[fu] * count
+                   for fu, count in self.schedule.peak_usage.items())
+
+
+def synthesize_best_case(graph: DataflowGraph, clock: Clock) -> SynthesisResult:
+    """Time-constrained synthesis: fastest schedule, unlimited units."""
+    schedule = asap(graph)
+    schedule.verify(graph)
+    return SynthesisResult(schedule.makespan, clock, None, schedule)
+
+
+def synthesize_worst_case(graph: DataflowGraph, clock: Clock) -> SynthesisResult:
+    """Resource-constrained synthesis: one universal ALU for everything."""
+    allocation = Allocation.of({UNIVERSAL_FU: 1})
+    schedule = list_schedule(graph, allocation.as_dict(), universal=True)
+    schedule.verify(graph)
+    return SynthesisResult(schedule.makespan, clock, allocation, schedule)
+
+
+def synthesize_constrained(graph: DataflowGraph, clock: Clock,
+                           allocation: Mapping[str, int]) -> SynthesisResult:
+    """Resource-constrained synthesis under an explicit allocation."""
+    alloc = Allocation.of(dict(allocation))
+    schedule = list_schedule(graph, alloc.as_dict())
+    schedule.verify(graph)
+    return SynthesisResult(schedule.makespan, clock, alloc, schedule)
+
+
+def synthesize_function(fn: Callable, args: Sequence,
+                        costs: OperationCosts, clock: Clock):
+    """Capture ``fn(*args)`` and synthesize both extremes.
+
+    Returns ``(graph, best_case_result, worst_case_result)`` — the HW
+    reference pair the Table 2/4 benches compare the library against.
+    """
+    graph = capture_dfg(fn, args, costs)
+    return (graph,
+            synthesize_best_case(graph, clock),
+            synthesize_worst_case(graph, clock))

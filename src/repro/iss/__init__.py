@@ -1,0 +1,15 @@
+"""The OR-lite reference ISS: ISA, assembler, machine, compiler, runtime."""
+
+from .assembler import Program, assemble
+from .compiler import compile_functions
+from .isa import Instr, NUM_REGS, OPCODES, mnemonic_reference
+from .machine import DCache, DirectMappedCache, ICache, Machine, RunResult
+from .runtime import IssResult, prepare_program, run_compiled, run_program
+
+__all__ = [
+    "Program", "assemble",
+    "compile_functions",
+    "Instr", "NUM_REGS", "OPCODES", "mnemonic_reference",
+    "DCache", "DirectMappedCache", "ICache", "Machine", "RunResult",
+    "IssResult", "prepare_program", "run_compiled", "run_program",
+]

@@ -1,0 +1,154 @@
+"""Two-pass assembler for OR-lite.
+
+Accepts the textual syntax printed by :class:`~repro.iss.isa.Instr`
+(plus labels ``name:`` and ``;``/``#`` comments) and produces a
+:class:`Program` with branch/jump targets resolved to absolute
+instruction indices.  The compiler emits :class:`Instr` objects
+directly; the assembler exists for handwritten tests, microbenchmarks
+and debugging dumps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List
+
+from ..errors import IssError
+from .isa import Instr, OPCODES
+
+
+@dataclasses.dataclass
+class Program:
+    """Resolved instructions plus label → index map."""
+
+    instructions: List[Instr]
+    labels: Dict[str, int]
+
+    def entry(self, label: str = "") -> int:
+        if not label:
+            return 0
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise IssError(f"program has no label {label!r}") from None
+
+    def listing(self) -> str:
+        """Disassembly with addresses and labels."""
+        by_index: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, instr in enumerate(self.instructions):
+            for name in by_index.get(index, []):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:4d}: {instr}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_MEM_RE = re.compile(r"^(-?\d+)\(r(\d+)\)$")
+
+
+def _parse_reg(token: str, line: str) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise IssError(f"expected register, got {token!r} in {line!r}")
+    return int(match.group(1))
+
+
+def _parse_imm(token: str, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise IssError(f"expected immediate, got {token!r} in {line!r}") from None
+
+
+def assemble(source: str) -> Program:
+    """Assemble textual source into a resolved :class:`Program`."""
+    pending: List[Instr] = []
+    labels: Dict[str, int] = {}
+
+    for raw in source.splitlines():
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise IssError(f"duplicate label {name!r}")
+            labels[name] = len(pending)
+            continue
+        pending.append(_parse_instruction(line))
+
+    return resolve(pending, labels)
+
+
+def _parse_instruction(line: str) -> Instr:
+    parts = line.replace(",", " ").split()
+    op = parts[0]
+    spec = OPCODES.get(op)
+    if spec is None:
+        raise IssError(f"unknown opcode {op!r} in {line!r}")
+    args = parts[1:]
+    fmt = spec.fmt
+
+    def need(count: int):
+        if len(args) != count:
+            raise IssError(
+                f"{op} expects {count} operands, got {len(args)} in {line!r}"
+            )
+
+    if fmt == "rrr":
+        need(3)
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     ra=_parse_reg(args[1], line), rb=_parse_reg(args[2], line))
+    if fmt == "rri":
+        need(3)
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     ra=_parse_reg(args[1], line), imm=_parse_imm(args[2], line))
+    if fmt == "ri":
+        need(2)
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     imm=_parse_imm(args[1], line))
+    if fmt == "mem":
+        need(2)
+        mem = _MEM_RE.match(args[1])
+        if not mem:
+            raise IssError(f"expected imm(rN) operand in {line!r}")
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     ra=int(mem.group(2)), imm=int(mem.group(1)))
+    if fmt == "bra":
+        need(3)
+        return Instr(op, ra=_parse_reg(args[0], line),
+                     rb=_parse_reg(args[1], line), target=args[2])
+    if fmt == "jmp":
+        need(1)
+        return Instr(op, target=args[0])
+    if fmt == "r":
+        need(1)
+        return Instr(op, ra=_parse_reg(args[0], line))
+    if fmt == "none":
+        need(0)
+        return Instr(op)
+    raise IssError(f"unhandled format {fmt!r} for {op}")  # pragma: no cover
+
+
+def resolve(instructions: List[Instr], labels: Dict[str, int]) -> Program:
+    """Resolve symbolic targets to absolute indices."""
+    resolved: List[Instr] = []
+    for instr in instructions:
+        if instr.target is None:
+            resolved.append(instr)
+            continue
+        try:
+            index = labels[instr.target]
+        except KeyError:
+            raise IssError(f"undefined label {instr.target!r} in {instr}") from None
+        resolved.append(dataclasses.replace(instr, imm=index, target=None))
+    return Program(resolved, dict(labels))

@@ -1,0 +1,970 @@
+"""A Python-subset → OR-lite compiler.
+
+The paper's single-source methodology runs *one* description everywhere.
+This compiler closes the loop for the reference measurements: the same
+Python function that executes natively (plain ints) and annotated
+(:class:`~repro.annotate.AInt` arguments) is compiled to OR-lite
+assembly and run on the cycle-accurate :class:`~repro.iss.Machine`,
+giving the ISS cycle counts of Tables 1 and 3.
+
+Supported subset (anything else raises :class:`~repro.errors.CompileError`):
+
+* integer locals and parameters; arrays (Python lists / ``AArray``)
+  passed by reference as word pointers;
+* ``=``, ``+=``-style augmented assignment, subscript load/store;
+* ``+ - * // % << >> & | ^``, unary ``- ~ not``, comparisons,
+  ``and``/``or`` with short-circuit;
+* ``if``/``elif``/``else``, ``while``, ``break``/``continue``,
+  ``for i in range(...)`` / ``arange(...)`` with constant step;
+* calls to other compiled functions (hoisted out of expressions),
+  ``return``;
+* ``make_array(n)`` — bump-allocated scratch array (the single-source
+  analogue of a local C array).
+
+Code generation is deliberately naive — every local lives in the stack
+frame, every expression runs through temporaries — which mirrors the
+unoptimized embedded compilation the paper's platform weights absorb,
+and gives calibration a realistic target.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+import textwrap
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import CompileError
+from .assembler import Program, resolve
+from .isa import (
+    Instr,
+    MAX_REG_ARGS,
+    REG_ARG_FIRST,
+    REG_FP,
+    REG_HP,
+    REG_LR,
+    REG_RV,
+    REG_SP,
+    REG_TMP_FIRST,
+    REG_TMP_LAST,
+    REG_ZERO,
+)
+
+#: Names compiled as loop iterators (both behave like ``range``).
+_RANGE_NAMES = ("range", "arange")
+#: Name compiled as the bump allocator intrinsic.
+_ALLOC_NAME = "make_array"
+#: Identity intrinsic: ``aint(x)`` wraps a value in AInt for annotated
+#: runs; on the machine it is a no-op.
+_AINT_NAME = "aint"
+
+#: Register split inside the r12-r25 temporary file (see
+#: ``_FunctionCompiler.__init__``): locals below, expression temps above.
+#: Sethi-Ullman evaluation ordering keeps expression pressure within
+#: four temporaries for the supported subset.
+_LOCAL_BUDGET = 10
+_EXPR_FIRST = REG_TMP_FIRST + _LOCAL_BUDGET
+
+_BINOPS = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul",
+    ast.FloorDiv: "div", ast.Mod: "rem",
+    ast.LShift: "sll", ast.RShift: "sra",
+    ast.BitAnd: "and", ast.BitOr: "or", ast.BitXor: "xor",
+}
+_IMM_BINOPS = {
+    ast.Add: "addi", ast.BitAnd: "andi", ast.BitOr: "ori",
+    ast.BitXor: "xori", ast.LShift: "slli", ast.RShift: "srai",
+}
+_BRANCHES = {
+    ast.Lt: "blt", ast.LtE: "ble", ast.Gt: "bgt", ast.GtE: "bge",
+    ast.Eq: "beq", ast.NotEq: "bne",
+}
+_SETS = {
+    ast.Lt: ("slt", False), ast.LtE: ("sle", False),
+    ast.Gt: ("slt", True), ast.GtE: ("sle", True),
+    ast.Eq: ("seq", False), ast.NotEq: ("sne", False),
+}
+
+
+def _fail(node: ast.AST, message: str) -> CompileError:
+    line = getattr(node, "lineno", "?")
+    return CompileError(f"line {line}: {message}")
+
+
+class _CallHoister(ast.NodeTransformer):
+    """Pull nested calls out of expressions into temp assignments.
+
+    Keeps register allocation trivial: after hoisting, a call only
+    appears as the whole RHS of an assignment or as a bare statement,
+    so no expression temporaries are ever live across a call.
+    """
+
+    def __init__(self):
+        self.counter = 0
+
+    def _fresh(self) -> str:
+        self.counter += 1
+        return f"__hoist{self.counter}"
+
+    def _hoist_block(self, body: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in body:
+            prelude: List[ast.stmt] = []
+            stmt = self._hoist_stmt(stmt, prelude)
+            out.extend(prelude)
+            out.append(stmt)
+        return out
+
+    def _hoist_stmt(self, stmt: ast.stmt, prelude: List[ast.stmt]) -> ast.stmt:
+        # Recurse into nested blocks first.
+        for field in ("body", "orelse"):
+            block = getattr(stmt, field, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                setattr(stmt, field, self._hoist_block(block))
+
+        keep_whole_call = (
+            (isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call))
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call))
+            or (isinstance(stmt, ast.Return) and isinstance(stmt.value, ast.Call))
+        )
+        for field, value in ast.iter_fields(stmt):
+            if field in ("body", "orelse"):
+                continue
+            if isinstance(stmt, ast.While) and field == "test":
+                # Hoisting a call out of a while test would evaluate it
+                # once instead of per iteration; the compiler rejects
+                # calls there instead (see compile_branch).
+                continue
+            if isinstance(value, ast.expr):
+                top_ok = keep_whole_call and field == "value"
+                setattr(stmt, field, self._hoist_expr(value, prelude, top_ok))
+        return stmt
+
+    def _hoist_expr(self, node: ast.expr, prelude: List[ast.stmt],
+                    top_call_ok: bool) -> ast.expr:
+        # For-loop iterators (range/arange) keep their argument calls hoisted
+        # but the range call itself is structural and handled by the caller.
+        if isinstance(node, ast.Call):
+            node.args = [self._hoist_expr(a, prelude, False) for a in node.args]
+            func = node.func
+            is_structural = (isinstance(func, ast.Name)
+                             and func.id in _RANGE_NAMES + (_AINT_NAME,))
+            if top_call_ok or is_structural:
+                return node
+            name = self._fresh()
+            assign = ast.Assign(
+                targets=[ast.Name(id=name, ctx=ast.Store())], value=node
+            )
+            ast.copy_location(assign, node)
+            ast.fix_missing_locations(assign)
+            prelude.append(assign)
+            replacement = ast.Name(id=name, ctx=ast.Load())
+            ast.copy_location(replacement, node)
+            return replacement
+        for field, value in ast.iter_fields(node):
+            if isinstance(value, ast.expr):
+                setattr(node, field, self._hoist_expr(value, prelude, False))
+            elif isinstance(value, list):
+                setattr(node, field, [
+                    self._hoist_expr(v, prelude, False)
+                    if isinstance(v, ast.expr) else v
+                    for v in value
+                ])
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> ast.FunctionDef:
+        node.body = self._hoist_block(node.body)
+        return node
+
+
+class _FunctionCompiler:
+    """Compiles one function body to instructions with symbolic labels."""
+
+    def __init__(self, node: ast.FunctionDef, known_functions: Dict[str, str],
+                 globals_dict: Optional[dict] = None):
+        self.node = node
+        self.name = node.name
+        self.known = known_functions
+        self.globals = globals_dict or {}
+        self.instrs: List[Instr] = []
+        self.labels: Dict[str, int] = {}
+        self.slots: Dict[str, int] = {}      # local name -> frame slot
+        #: locals promoted to registers (name -> register), callee-saved.
+        #: Real compilers keep hot locals in registers; modelling that
+        #: keeps the machine's costs correlated with source-level
+        #: operation counts (see calibration notes in DESIGN.md).
+        self.reg_locals: Dict[str, int] = {}
+        self.label_counter = 0
+        self.loop_stack: List[tuple] = []    # (continue_label, break_label)
+        self._collect_locals()
+        # Register convention within the temporary file r12-r25:
+        # r12-r19 hold promoted locals and are callee-saved (a function
+        # saves exactly the ones it uses); r20-r25 are expression
+        # temporaries, caller-clobbered but — thanks to call hoisting —
+        # never live across a call.
+        self.free_temps = list(range(_EXPR_FIRST, REG_TMP_LAST + 1))
+        self._temp_pool = frozenset(self.free_temps)
+
+    # -- helpers --------------------------------------------------------
+
+    def emit(self, op: str, **kwargs) -> None:
+        self.instrs.append(Instr(op, **kwargs))
+
+    def mark(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+
+    def fresh_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f"{self.name}.{hint}{self.label_counter}"
+
+    def alloc_temp(self, node: ast.AST) -> int:
+        if not self.free_temps:
+            raise _fail(node, "expression too deep for the register allocator")
+        return self.free_temps.pop()
+
+    def free_temp(self, reg: int) -> None:
+        if reg in self._temp_pool:
+            self.free_temps.append(reg)
+
+    def _read_var(self, name: str, node: ast.AST) -> int:
+        """Load a local into a fresh temp (register copy or frame load)."""
+        reg = self.alloc_temp(node)
+        home = self.reg_locals.get(name)
+        if home is not None:
+            self.emit("addi", rd=reg, ra=home, imm=0)
+        else:
+            self.emit("lw", rd=reg, ra=REG_FP, imm=self.slot_of(name, node))
+        return reg
+
+    def _write_var(self, name: str, value_reg: int, node: ast.AST) -> None:
+        """Store a register into a local's home (register or frame slot).
+
+        When the value was just produced into an expression temporary by
+        the immediately-preceding instruction, that instruction is
+        retargeted at the home register instead of emitting a move —
+        the classic "write into the destination" a compiler's register
+        allocator performs.
+        """
+        home = self.reg_locals.get(name)
+        if home is not None:
+            if self.instrs and value_reg in self._temp_pool:
+                last = self.instrs[-1]
+                writes_reg = (last.spec.fmt in ("rrr", "rri", "ri")
+                              or last.op == "lw")
+                if writes_reg and last.rd == value_reg:
+                    self.instrs[-1] = dataclasses.replace(last, rd=home)
+                    return
+            self.emit("addi", rd=home, ra=value_reg, imm=0)
+        else:
+            self.emit("sw", rd=value_reg, ra=REG_FP,
+                      imm=self.slot_of(name, node))
+
+    def slot_of(self, name: str, node: ast.AST) -> int:
+        try:
+            return self.slots[name]
+        except KeyError:
+            raise _fail(node, f"unknown variable {name!r} (globals are not "
+                              f"supported; pass values as parameters)")
+
+    # -- local discovery ---------------------------------------------------
+
+    def _collect_locals(self) -> None:
+        args = self.node.args
+        if args.vararg or args.kwarg or args.kwonlyargs or args.posonlyargs:
+            raise _fail(self.node, "only plain positional parameters are supported")
+        if args.defaults:
+            raise _fail(self.node, "default parameter values are not supported")
+        self.params = [a.arg for a in args.args]
+        if len(self.params) > MAX_REG_ARGS:
+            raise _fail(self.node,
+                        f"at most {MAX_REG_ARGS} parameters are supported")
+        names: List[str] = list(self.params)
+        self.for_stop_slots: Dict[int, str] = {}
+        weights: Dict[str, float] = {name: 1.0 for name in names}
+
+        def visit(stmt: ast.stmt, depth: int) -> None:
+            if isinstance(stmt, ast.FunctionDef) and stmt is not self.node:
+                raise _fail(stmt, "nested function definitions are not supported")
+            targets: List[ast.expr] = []
+            inner_depth = depth
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AugAssign):
+                targets = [stmt.target]
+            elif isinstance(stmt, (ast.For, ast.While)):
+                inner_depth = depth + 1
+                if isinstance(stmt, ast.For):
+                    targets = [stmt.target]
+                    # A hidden local caches the loop bound so it is
+                    # evaluated once, exactly like Python's range(); it
+                    # is compared every iteration, so weight it hot.
+                    hidden = f"__stop{len(self.for_stop_slots)}"
+                    self.for_stop_slots[id(stmt)] = hidden
+                    names.append(hidden)
+                    weights[hidden] = 4.0 ** inner_depth
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id not in weights:
+                        names.append(target.id)
+                        weights[target.id] = 0.0
+                    weights[target.id] += 4.0 ** inner_depth
+            # Weight name reads in this statement's own expressions only;
+            # nested statements are weighted by the recursion below.
+            own_exprs: List[ast.expr] = []
+            for _field, value in ast.iter_fields(stmt):
+                if isinstance(value, ast.expr):
+                    own_exprs.append(value)
+                elif isinstance(value, list):
+                    own_exprs.extend(v for v in value if isinstance(v, ast.expr))
+            for expr_root in own_exprs:
+                for expr in ast.walk(expr_root):
+                    if (isinstance(expr, ast.Name)
+                            and isinstance(expr.ctx, ast.Load)
+                            and expr.id in weights):
+                        weights[expr.id] += 4.0 ** inner_depth
+            for field in ("body", "orelse"):
+                for inner in getattr(stmt, field, []) or []:
+                    if isinstance(inner, ast.stmt):
+                        visit(inner, inner_depth)
+
+        for stmt in self.node.body:
+            visit(stmt, 0)
+
+        # Frame slots 0 and 1 hold the saved lr / fp; every local keeps a
+        # slot (register locals use theirs for the callee-save area).
+        self.slots = {name: 2 + i for i, name in enumerate(names)}
+        self.frame_size = 2 + len(names)
+
+        # Promote the hottest locals to the callee-saved registers.
+        ranked = sorted(names, key=lambda n: (-weights.get(n, 0.0),
+                                              names.index(n)))
+        for offset, name in enumerate(ranked[:_LOCAL_BUDGET]):
+            self.reg_locals[name] = REG_TMP_FIRST + offset
+
+    # -- top level -----------------------------------------------------------
+
+    def compile(self) -> None:
+        self.mark(self.name)
+        # prologue: frame, callee-saves of promoted locals, argument moves
+        self.emit("addi", rd=REG_SP, ra=REG_SP, imm=-self.frame_size)
+        self.emit("sw", rd=REG_LR, ra=REG_SP, imm=0)
+        self.emit("sw", rd=REG_FP, ra=REG_SP, imm=1)
+        self.emit("addi", rd=REG_FP, ra=REG_SP, imm=0)
+        for name, reg in self.reg_locals.items():
+            self.emit("sw", rd=reg, ra=REG_FP, imm=self.slots[name])
+        for index, param in enumerate(self.params):
+            home = self.reg_locals.get(param)
+            if home is not None:
+                self.emit("addi", rd=home, ra=REG_ARG_FIRST + index, imm=0)
+            else:
+                self.emit("sw", rd=REG_ARG_FIRST + index, ra=REG_FP,
+                          imm=self.slots[param])
+
+        for stmt in self.node.body:
+            self.compile_stmt(stmt)
+
+        # implicit `return 0`
+        self.emit("addi", rd=REG_RV, ra=REG_ZERO, imm=0)
+        self.mark(f"{self.name}.__ret")
+        self._emit_epilogue()
+
+    def _emit_epilogue(self) -> None:
+        for name, reg in self.reg_locals.items():
+            self.emit("lw", rd=reg, ra=REG_FP, imm=self.slots[name])
+        self.emit("lw", rd=REG_LR, ra=REG_FP, imm=0)
+        self.emit("addi", rd=REG_SP, ra=REG_FP, imm=self.frame_size)
+        self.emit("lw", rd=REG_FP, ra=REG_FP, imm=1)
+        self.emit("jalr", ra=REG_LR)
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._compile_aug_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._compile_expr_stmt(stmt)
+        elif isinstance(stmt, ast.Break):
+            if not self.loop_stack:
+                raise _fail(stmt, "break outside a loop")
+            self.emit("j", target=self.loop_stack[-1][1])
+        elif isinstance(stmt, ast.Continue):
+            if not self.loop_stack:
+                raise _fail(stmt, "continue outside a loop")
+            self.emit("j", target=self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.Pass):
+            pass
+        else:
+            raise _fail(stmt, f"unsupported statement {type(stmt).__name__}")
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            raise _fail(stmt, "chained assignment is not supported")
+        target = stmt.targets[0]
+        value_reg = self.compile_expr(stmt.value)
+        self._store_to_target(target, value_reg)
+        self.free_temp(value_reg)
+
+    def _store_to_target(self, target: ast.expr, value_reg: int) -> None:
+        if isinstance(target, ast.Name):
+            self._write_var(target.id, value_reg, target)
+            return
+        if isinstance(target, ast.Subscript):
+            address_reg = self._compile_address(target)
+            self.emit("sw", rd=value_reg, ra=address_reg, imm=0)
+            self.free_temp(address_reg)
+            return
+        raise _fail(target, f"unsupported assignment target "
+                            f"{type(target).__name__}")
+
+    def _compile_aug_assign(self, stmt: ast.AugAssign) -> None:
+        # Desugar `target op= value` into `target = target op value`.
+        load = ast.copy_location(
+            ast.Subscript(value=stmt.target.value, slice=stmt.target.slice,
+                          ctx=ast.Load())
+            if isinstance(stmt.target, ast.Subscript)
+            else ast.Name(id=stmt.target.id, ctx=ast.Load()),
+            stmt,
+        ) if isinstance(stmt.target, (ast.Subscript, ast.Name)) else None
+        if load is None:
+            raise _fail(stmt, "unsupported augmented-assignment target")
+        combined = ast.copy_location(
+            ast.BinOp(left=load, op=stmt.op, right=stmt.value), stmt
+        )
+        ast.fix_missing_locations(combined)
+        value_reg = self.compile_expr(combined)
+        self._store_to_target(stmt.target, value_reg)
+        self.free_temp(value_reg)
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        then_label = self.fresh_label("then")
+        else_label = self.fresh_label("else")
+        end_label = self.fresh_label("endif")
+        self.compile_branch(stmt.test, then_label, else_label)
+        self.mark(then_label)
+        for inner in stmt.body:
+            self.compile_stmt(inner)
+        self.emit("j", target=end_label)
+        self.mark(else_label)
+        for inner in stmt.orelse:
+            self.compile_stmt(inner)
+        self.mark(end_label)
+
+    def _compile_while(self, stmt: ast.While) -> None:
+        if stmt.orelse:
+            raise _fail(stmt, "while/else is not supported")
+        for sub in ast.walk(stmt.test):
+            if isinstance(sub, ast.Call):
+                raise _fail(stmt, "function calls in while conditions are "
+                                  "not supported (evaluate into a variable)")
+        top = self.fresh_label("while")
+        body = self.fresh_label("wbody")
+        end = self.fresh_label("wend")
+        self.mark(top)
+        self.compile_branch(stmt.test, body, end)
+        self.mark(body)
+        self.loop_stack.append((top, end))
+        for inner in stmt.body:
+            self.compile_stmt(inner)
+        self.loop_stack.pop()
+        self.emit("j", target=top)
+        self.mark(end)
+
+    def _compile_for(self, stmt: ast.For) -> None:
+        if stmt.orelse:
+            raise _fail(stmt, "for/else is not supported")
+        if not isinstance(stmt.target, ast.Name):
+            raise _fail(stmt, "for target must be a simple name")
+        call = stmt.iter
+        if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
+                and call.func.id in _RANGE_NAMES):
+            raise _fail(stmt, "for loops must iterate over range()/arange()")
+        args = call.args
+        if not 1 <= len(args) <= 3:
+            raise _fail(stmt, "range() takes 1 to 3 arguments")
+
+        step = 1
+        if len(args) == 3:
+            step = self._try_fold(args[2])
+            if not isinstance(step, int) or step == 0:
+                raise _fail(stmt, "range step must be a non-zero integer constant")
+        if len(args) == 1:
+            start_node: Optional[ast.expr] = None
+            stop_node = args[0]
+        else:
+            start_node, stop_node = args[0], args[1]
+
+        var_name = stmt.target.id
+        stop_name = self.for_stop_slots[id(stmt)]
+
+        # i = start
+        if start_node is None:
+            self._write_var(var_name, REG_ZERO, stmt)
+        else:
+            start_reg = self.compile_expr(start_node)
+            self._write_var(var_name, start_reg, stmt)
+            self.free_temp(start_reg)
+        # The bound is evaluated once into a hidden local, exactly like
+        # Python's range().
+        stop_reg = self.compile_expr(stop_node)
+        self._write_var(stop_name, stop_reg, stmt)
+        self.free_temp(stop_reg)
+
+        top = self.fresh_label("for")
+        body = self.fresh_label("fbody")
+        step_label = self.fresh_label("fstep")
+        end = self.fresh_label("fend")
+
+        var_home = self.reg_locals.get(var_name)
+        stop_home = self.reg_locals.get(stop_name)
+        branch = "blt" if step > 0 else "bgt"
+
+        self.mark(top)
+        if var_home is not None and stop_home is not None:
+            # Hot path: both in registers — compare them directly.
+            self.emit(branch, ra=var_home, rb=stop_home, target=body)
+            self.emit("j", target=end)
+        else:
+            i_reg = self._read_var(var_name, stmt)
+            s_reg = self._read_var(stop_name, stmt)
+            self.emit(branch, ra=i_reg, rb=s_reg, target=body)
+            self.emit("j", target=end)
+            self.free_temp(s_reg)
+            self.free_temp(i_reg)
+
+        self.mark(body)
+        self.loop_stack.append((step_label, end))
+        for inner in stmt.body:
+            self.compile_stmt(inner)
+        self.loop_stack.pop()
+
+        self.mark(step_label)
+        if var_home is not None:
+            self.emit("addi", rd=var_home, ra=var_home, imm=step)
+        else:
+            i_reg = self._read_var(var_name, stmt)
+            self.emit("addi", rd=i_reg, ra=i_reg, imm=step)
+            self._write_var(var_name, i_reg, stmt)
+            self.free_temp(i_reg)
+        self.emit("j", target=top)
+        self.mark(end)
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self.emit("addi", rd=REG_RV, ra=REG_ZERO, imm=0)
+        else:
+            value_reg = self.compile_expr(stmt.value)
+            self.emit("addi", rd=REG_RV, ra=value_reg, imm=0)
+            self.free_temp(value_reg)
+        self.emit("j", target=f"{self.name}.__ret")
+
+    def _compile_expr_stmt(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return  # docstring
+        if isinstance(value, ast.Call):
+            reg = self._compile_call(value)
+            self.free_temp(reg)
+            return
+        raise _fail(stmt, "expression statements must be calls")
+
+    # -- conditions ---------------------------------------------------------------
+
+    def compile_branch(self, test: ast.expr, true_label: str,
+                       false_label: str) -> None:
+        if isinstance(test, ast.BoolOp):
+            if isinstance(test.op, ast.And):
+                for value in test.values[:-1]:
+                    step = self.fresh_label("and")
+                    self.compile_branch(value, step, false_label)
+                    self.mark(step)
+                self.compile_branch(test.values[-1], true_label, false_label)
+            else:  # Or
+                for value in test.values[:-1]:
+                    step = self.fresh_label("or")
+                    self.compile_branch(value, true_label, step)
+                    self.mark(step)
+                self.compile_branch(test.values[-1], true_label, false_label)
+            return
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self.compile_branch(test.operand, false_label, true_label)
+            return
+        if isinstance(test, ast.Compare):
+            if len(test.ops) != 1:
+                raise _fail(test, "chained comparisons are not supported")
+            op_type = type(test.ops[0])
+            branch = _BRANCHES.get(op_type)
+            if branch is None:
+                raise _fail(test, f"unsupported comparison {op_type.__name__}")
+            left = self.compile_expr(test.left)
+            right = self.compile_expr(test.comparators[0])
+            self.emit(branch, ra=left, rb=right, target=true_label)
+            self.emit("j", target=false_label)
+            self.free_temp(right)
+            self.free_temp(left)
+            return
+        if isinstance(test, ast.Constant):
+            self.emit("j", target=true_label if test.value else false_label)
+            return
+        # generic truthiness
+        reg = self.compile_expr(test)
+        self.emit("bne", ra=reg, rb=REG_ZERO, target=true_label)
+        self.emit("j", target=false_label)
+        self.free_temp(reg)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _try_fold(self, node: ast.expr) -> Optional[int]:
+        """Evaluate constant-only subexpressions at compile time."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return int(node.value)
+            return node.value if isinstance(node.value, int) else None
+        if isinstance(node, ast.Name):
+            value = self.globals.get(node.id) if node.id not in self.slots else None
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+            return None
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.Invert, ast.UAdd)):
+            inner = self._try_fold(node.operand)
+            if inner is None:
+                return None
+            if isinstance(node.op, ast.USub):
+                return -inner
+            if isinstance(node.op, ast.Invert):
+                return ~inner
+            return inner
+        if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+            left = self._try_fold(node.left)
+            right = self._try_fold(node.right)
+            if left is None or right is None:
+                return None
+            try:
+                import operator as _pyop
+                fold_ops = {
+                    ast.Add: _pyop.add, ast.Sub: _pyop.sub, ast.Mult: _pyop.mul,
+                    ast.FloorDiv: _pyop.floordiv, ast.Mod: _pyop.mod,
+                    ast.LShift: _pyop.lshift, ast.RShift: _pyop.rshift,
+                    ast.BitAnd: _pyop.and_, ast.BitOr: _pyop.or_,
+                    ast.BitXor: _pyop.xor,
+                }
+                return fold_ops[type(node.op)](left, right)
+            except (ZeroDivisionError, ValueError):
+                return None
+        return None
+
+    def compile_expr(self, node: ast.expr) -> int:
+        folded = self._try_fold(node)
+        if folded is not None and not isinstance(node, ast.Constant):
+            reg = self.alloc_temp(node)
+            self.emit("li", rd=reg, imm=folded)
+            return reg
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                value = int(node.value)
+            elif isinstance(node.value, int):
+                value = node.value
+            else:
+                raise _fail(node, f"unsupported constant {node.value!r} "
+                                  f"(integers only)")
+            reg = self.alloc_temp(node)
+            self.emit("li", rd=reg, imm=value)
+            return reg
+        if isinstance(node, ast.Name):
+            if node.id not in self.slots:
+                # Module-level integer constants (Q_ONE-style named
+                # parameters) compile to immediates, as a C compiler
+                # folds #define'd constants.
+                value = self.globals.get(node.id)
+                if isinstance(value, int) and not isinstance(value, bool):
+                    reg = self.alloc_temp(node)
+                    self.emit("li", rd=reg, imm=value)
+                    return reg
+            return self._read_var(node.id, node)
+        if isinstance(node, ast.BinOp):
+            return self._compile_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._compile_unary(node)
+        if isinstance(node, ast.Compare):
+            return self._compile_compare_value(node)
+        if isinstance(node, ast.BoolOp):
+            return self._compile_boolop_value(node)
+        if isinstance(node, ast.Subscript):
+            address_reg = self._compile_address(node)
+            self.emit("lw", rd=address_reg, ra=address_reg, imm=0)
+            return address_reg
+        if isinstance(node, ast.Call):
+            return self._compile_call(node)
+        raise _fail(node, f"unsupported expression {type(node).__name__}")
+
+    def _register_needs(self, node: ast.expr) -> int:
+        """Sethi-Ullman register-need estimate for evaluation ordering."""
+        if isinstance(node, (ast.Constant, ast.Name)):
+            return 1
+        if isinstance(node, ast.BinOp):
+            left = self._register_needs(node.left)
+            right = self._register_needs(node.right)
+            if isinstance(node.right, ast.Constant):
+                return max(left, 1)
+            return max(left, right) if left != right else left + 1
+        if isinstance(node, ast.UnaryOp):
+            return self._register_needs(node.operand)
+        if isinstance(node, ast.Subscript):
+            base = self._register_needs(node.value)
+            index = self._register_needs(node.slice) if isinstance(
+                node.slice, ast.expr) else 1
+            return max(base, index + 1)
+        # Comparisons / bool ops / calls: conservative small estimate.
+        return 2
+
+    def _compile_binop(self, node: ast.BinOp) -> int:
+        op_type = type(node.op)
+        opcode = _BINOPS.get(op_type)
+        if opcode is None:
+            raise _fail(node, f"unsupported operator {op_type.__name__} "
+                              f"(use // for integer division)")
+        right_node = node.right
+        # immediate forms for constant right operands (incl. folded ones)
+        folded_right = self._try_fold(right_node)
+        if folded_right is not None:
+            left = self.compile_expr(node.left)
+            imm = folded_right
+            if op_type in _IMM_BINOPS:
+                self.emit(_IMM_BINOPS[op_type], rd=left, ra=left, imm=imm)
+                return left
+            if op_type is ast.Sub:
+                self.emit("addi", rd=left, ra=left, imm=-imm)
+                return left
+            right = self.alloc_temp(right_node)
+            self.emit("li", rd=right, imm=imm)
+        elif (self._register_needs(right_node)
+                > self._register_needs(node.left)):
+            # Evaluate the deeper operand first (Sethi-Ullman) to keep
+            # peak register pressure minimal.
+            right = self.compile_expr(right_node)
+            left = self.compile_expr(node.left)
+        else:
+            left = self.compile_expr(node.left)
+            right = self.compile_expr(right_node)
+        self.emit(opcode, rd=left, ra=left, rb=right)
+        self.free_temp(right)
+        return left
+
+    def _compile_unary(self, node: ast.UnaryOp) -> int:
+        if isinstance(node.op, ast.USub):
+            reg = self.compile_expr(node.operand)
+            self.emit("sub", rd=reg, ra=REG_ZERO, rb=reg)
+            return reg
+        if isinstance(node.op, ast.Invert):
+            reg = self.compile_expr(node.operand)
+            self.emit("xori", rd=reg, ra=reg, imm=-1)
+            return reg
+        if isinstance(node.op, ast.Not):
+            reg = self.compile_expr(node.operand)
+            self.emit("seq", rd=reg, ra=reg, rb=REG_ZERO)
+            return reg
+        if isinstance(node.op, ast.UAdd):
+            return self.compile_expr(node.operand)
+        raise _fail(node, f"unsupported unary {type(node.op).__name__}")
+
+    def _compile_compare_value(self, node: ast.Compare) -> int:
+        if len(node.ops) != 1:
+            raise _fail(node, "chained comparisons are not supported")
+        op_type = type(node.ops[0])
+        spec = _SETS.get(op_type)
+        if spec is None:
+            raise _fail(node, f"unsupported comparison {op_type.__name__}")
+        opcode, swap = spec
+        left = self.compile_expr(node.left)
+        right = self.compile_expr(node.comparators[0])
+        if swap:
+            left, right = right, left
+        self.emit(opcode, rd=left, ra=left, rb=right)
+        self.free_temp(right)
+        return left
+
+    def _compile_boolop_value(self, node: ast.BoolOp) -> int:
+        reg = self.alloc_temp(node)
+        true_label = self.fresh_label("btrue")
+        false_label = self.fresh_label("bfalse")
+        end_label = self.fresh_label("bend")
+        self.compile_branch(node, true_label, false_label)
+        self.mark(true_label)
+        self.emit("li", rd=reg, imm=1)
+        self.emit("j", target=end_label)
+        self.mark(false_label)
+        self.emit("li", rd=reg, imm=0)
+        self.mark(end_label)
+        return reg
+
+    def _compile_address(self, node: ast.Subscript) -> int:
+        """Address of ``base[index]`` into a temp register."""
+        if isinstance(node.slice, ast.Slice):
+            raise _fail(node, "slicing is not supported")
+        base = self.compile_expr(node.value)
+        index = self.compile_expr(node.slice)
+        self.emit("add", rd=base, ra=base, rb=index)
+        self.free_temp(index)
+        return base
+
+    def _compile_call(self, node: ast.Call) -> int:
+        if node.keywords:
+            raise _fail(node, "keyword arguments are not supported")
+        func = node.func
+        if not isinstance(func, ast.Name):
+            raise _fail(node, "only direct function calls are supported")
+        name = func.id
+
+        if name == _AINT_NAME:
+            if len(node.args) != 1:
+                raise _fail(node, f"{_AINT_NAME}(x) takes exactly one argument")
+            return self.compile_expr(node.args[0])
+
+        if name == _ALLOC_NAME:
+            if len(node.args) != 1:
+                raise _fail(node, f"{_ALLOC_NAME}(n) takes exactly one argument")
+            size = self.compile_expr(node.args[0])
+            reg = self.alloc_temp(node)
+            self.emit("addi", rd=reg, ra=REG_HP, imm=0)
+            self.emit("add", rd=REG_HP, ra=REG_HP, rb=size)
+            self.free_temp(size)
+            return reg
+
+        if name in _RANGE_NAMES:
+            raise _fail(node, "range()/arange() may only appear as a for-loop "
+                              "iterator")
+        label = self.known.get(name)
+        if label is None:
+            raise _fail(node, f"call to unknown function {name!r}; include it "
+                              f"in compile_functions()")
+        if len(node.args) > MAX_REG_ARGS:
+            raise _fail(node, f"at most {MAX_REG_ARGS} call arguments supported")
+
+        # Thanks to hoisting, argument expressions contain no calls, so
+        # they never clobber the argument registers being filled.
+        for index, arg in enumerate(node.args):
+            arg_reg = self.compile_expr(arg)
+            self.emit("addi", rd=REG_ARG_FIRST + index, ra=arg_reg, imm=0)
+            self.free_temp(arg_reg)
+        # Register locals are callee-saved (the callee's prologue saves
+        # any it uses), so nothing needs spilling at the call site.
+        self.emit("jal", target=label)
+        reg = self.alloc_temp(node)
+        self.emit("addi", rd=reg, ra=REG_RV, imm=0)
+        return reg
+
+
+def optimize_local_reuse(instructions: List[Instr],
+                         label_positions: "set[int]") -> List[Instr]:
+    """Basic-block local-value reuse (a light -O1 pass).
+
+    Within a basic block, a frame slot freshly stored from (or loaded
+    into) a register can satisfy later loads with a register move
+    instead of a memory access.  Blocks are delimited by label positions
+    and calls (callees clobber the temporaries).  Frame slots cannot be
+    aliased by computed stores: scalars live only in the frame, arrays
+    only in the data/heap region, so ``sw`` through a pointer never
+    touches a cached slot.
+
+    Without this pass the naive stack-machine code inflates exactly the
+    costs the source-level model cannot see (every variable use = a
+    reload), which is why the paper's optimized-compiler targets
+    estimate better than a -O0 target would.
+    """
+    cache: Dict[int, int] = {}      # frame slot -> register holding it
+    result: List[Instr] = []
+    for index, instr in enumerate(instructions):
+        if index in label_positions:
+            cache.clear()
+        op = instr.op
+        if op == "lw" and instr.ra == REG_FP:
+            slot = instr.imm
+            destination = instr.rd
+            held = cache.get(slot)
+            if held is not None:
+                instr = Instr("addi", rd=destination, ra=held, imm=0)
+            # destination now holds the slot value; drop stale entries
+            cache = {s: r for s, r in cache.items() if r != destination}
+            cache[slot] = destination
+            result.append(instr)
+            continue
+        if op == "sw" and instr.ra == REG_FP:
+            cache = {s: r for s, r in cache.items() if s != instr.imm}
+            cache[instr.imm] = instr.rd
+            result.append(instr)
+            continue
+        if op in ("jal", "jalr"):
+            cache.clear()
+            result.append(instr)
+            continue
+        # Any other register write invalidates cache entries in that reg.
+        fmt = instr.spec.fmt
+        if fmt in ("rrr", "rri", "ri") or op == "lw":
+            cache = {s: r for s, r in cache.items() if r != instr.rd}
+        result.append(instr)
+    return result
+
+
+def _function_ast(fn: Callable) -> "tuple[ast.FunctionDef, dict]":
+    fn = inspect.unwrap(fn)
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise CompileError(f"cannot obtain source of {fn!r}: {exc}") from exc
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            node.decorator_list = []
+            return node, getattr(fn, "__globals__", {})
+    raise CompileError(f"no function definition found in source of {fn!r}")
+
+
+def compile_functions(functions: Sequence[Callable],
+                      entry: Optional[Callable] = None) -> Program:
+    """Compile a set of Python functions into one OR-lite program.
+
+    The entry function (default: the first) is labelled with its own
+    name; the runtime jumps there.  All cross-calls must target
+    functions in ``functions``.
+    """
+    if not functions:
+        raise CompileError("compile_functions needs at least one function")
+    nodes = []
+    known: Dict[str, str] = {}
+    for fn in functions:
+        node, fn_globals = _function_ast(fn)
+        if node.name in known:
+            raise CompileError(f"duplicate function name {node.name!r}")
+        known[node.name] = node.name
+        nodes.append((node, fn_globals))
+
+    hoister = _CallHoister()
+    instructions: List[Instr] = []
+    labels: Dict[str, int] = {}
+    order = list(nodes)
+    if entry is not None:
+        entry_name = inspect.unwrap(entry).__name__
+        order.sort(key=lambda pair: 0 if pair[0].name == entry_name else 1)
+
+    for node, fn_globals in order:
+        node = hoister.visit_FunctionDef(node)
+        ast.fix_missing_locations(node)
+        fc = _FunctionCompiler(node, known, fn_globals)
+        fc.compile()
+        optimized = optimize_local_reuse(fc.instrs, set(fc.labels.values()))
+        base = len(instructions)
+        for label, index in fc.labels.items():
+            labels[label] = base + index
+        instructions.extend(optimized)
+
+    return resolve(instructions, labels)

@@ -1,0 +1,162 @@
+"""Instruction-set definition of the reference CPU ("OR-lite").
+
+The paper validates its SW estimates against a cycle-accurate OpenRISC
+architectural simulator.  OR-lite is our stand-in: a 32-register scalar
+RISC in the OR1K mould with a classic cycle model (single-issue, 3-cycle
+multiply, iterative divide, 2-cycle memory access, taken-branch bubble).
+The exact figures matter less than their *structure* — the estimation
+library's operator weights are calibrated against this machine just as
+the paper's weights were derived from assembler-level analysis of the
+real OpenRISC.
+
+Conventions
+-----------
+
+========  =============================================
+register  role
+========  =============================================
+r0        hard-wired zero
+r1        stack pointer (grows downward)
+r2        frame pointer
+r3–r8     argument registers
+r9        link register (return address)
+r10       heap/bump-allocation pointer
+r11       return value
+r12–r25   expression temporaries (caller-clobbered)
+r26–r31   reserved/scratch
+========  =============================================
+
+Memory is word-addressed (one 64-bit Python integer per address); the
+compiler and runtime agree on this, and it spares the model irrelevant
+byte-lane detail.  Integer division and remainder follow *Python*
+semantics (floor division) so that compiled code, annotated code and
+plain code agree bit-for-bit on negative operands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+NUM_REGS = 32
+
+REG_ZERO = 0
+REG_SP = 1
+REG_FP = 2
+REG_ARG_FIRST = 3
+REG_ARG_LAST = 8
+REG_LR = 9
+REG_HP = 10
+REG_RV = 11
+REG_TMP_FIRST = 12
+REG_TMP_LAST = 25
+
+#: Maximum number of register-passed arguments.
+MAX_REG_ARGS = REG_ARG_LAST - REG_ARG_FIRST + 1
+
+
+@dataclasses.dataclass(frozen=True)
+class OpSpec:
+    """Static properties of one opcode."""
+
+    name: str
+    fmt: str            # operand format, see _FORMATS below
+    cycles: int         # base cycle cost
+    taken_cycles: Optional[int] = None  # branches: cost when taken
+
+
+# Operand formats:
+#   rrr   op rd, ra, rb
+#   rri   op rd, ra, imm
+#   ri    op rd, imm
+#   mem   op rd, imm(ra)      (lw)  /  op rs, imm(ra)   (sw)
+#   bra   op ra, rb, label
+#   jmp   op label
+#   r     op ra
+#   none  op
+OPCODES = {spec.name: spec for spec in [
+    # ALU register-register (1 cycle except multiply/divide)
+    OpSpec("add", "rrr", 1), OpSpec("sub", "rrr", 1),
+    OpSpec("mul", "rrr", 3),
+    OpSpec("div", "rrr", 32), OpSpec("rem", "rrr", 32),
+    OpSpec("and", "rrr", 1), OpSpec("or", "rrr", 1), OpSpec("xor", "rrr", 1),
+    OpSpec("sll", "rrr", 1), OpSpec("srl", "rrr", 1), OpSpec("sra", "rrr", 1),
+    OpSpec("slt", "rrr", 1), OpSpec("sle", "rrr", 1),
+    OpSpec("seq", "rrr", 1), OpSpec("sne", "rrr", 1),
+    # ALU register-immediate
+    OpSpec("addi", "rri", 1), OpSpec("andi", "rri", 1),
+    OpSpec("ori", "rri", 1), OpSpec("xori", "rri", 1),
+    OpSpec("slli", "rri", 1), OpSpec("srli", "rri", 1), OpSpec("srai", "rri", 1),
+    OpSpec("slti", "rri", 1),
+    # constants and moves
+    OpSpec("li", "ri", 1),
+    # memory (2-cycle data access)
+    OpSpec("lw", "mem", 2), OpSpec("sw", "mem", 2),
+    # control transfer (2-cycle pipeline refill when taken)
+    OpSpec("beq", "bra", 1, taken_cycles=2),
+    OpSpec("bne", "bra", 1, taken_cycles=2),
+    OpSpec("blt", "bra", 1, taken_cycles=2),
+    OpSpec("bge", "bra", 1, taken_cycles=2),
+    OpSpec("bgt", "bra", 1, taken_cycles=2),
+    OpSpec("ble", "bra", 1, taken_cycles=2),
+    OpSpec("j", "jmp", 2), OpSpec("jal", "jmp", 2),
+    OpSpec("jalr", "r", 2),
+    OpSpec("halt", "none", 0),
+]}
+
+
+@dataclasses.dataclass(frozen=True)
+class Instr:
+    """One decoded instruction.
+
+    ``target`` holds a label name until :func:`~repro.iss.assembler`
+    resolution turns it into an absolute instruction index stored in
+    ``imm``.
+    """
+
+    op: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    target: Optional[str] = None
+
+    def __post_init__(self):
+        if self.op not in OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")
+        for reg in (self.rd, self.ra, self.rb):
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"register r{reg} out of range in {self.op}")
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPCODES[self.op]
+
+    def __str__(self) -> str:
+        fmt = self.spec.fmt
+        if fmt == "rrr":
+            return f"{self.op} r{self.rd}, r{self.ra}, r{self.rb}"
+        if fmt == "rri":
+            return f"{self.op} r{self.rd}, r{self.ra}, {self.imm}"
+        if fmt == "ri":
+            return f"{self.op} r{self.rd}, {self.imm}"
+        if fmt == "mem":
+            return f"{self.op} r{self.rd}, {self.imm}(r{self.ra})"
+        if fmt == "bra":
+            dest = self.target if self.target is not None else self.imm
+            return f"{self.op} r{self.ra}, r{self.rb}, {dest}"
+        if fmt == "jmp":
+            dest = self.target if self.target is not None else self.imm
+            return f"{self.op} {dest}"
+        if fmt == "r":
+            return f"{self.op} r{self.ra}"
+        return self.op
+
+
+def mnemonic_reference() -> str:
+    """A human-readable opcode table (documentation helper)."""
+    lines = ["opcode  format  cycles  taken"]
+    for spec in OPCODES.values():
+        taken = spec.taken_cycles if spec.taken_cycles is not None else "-"
+        lines.append(f"{spec.name:<7} {spec.fmt:<7} {spec.cycles:<7} {taken}")
+    return "\n".join(lines)

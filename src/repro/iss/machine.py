@@ -1,0 +1,308 @@
+"""The OR-lite machine: execution loop and cycle accounting.
+
+The machine is the reproduction's "cycle-accurate ISS": it executes a
+resolved :class:`~repro.iss.assembler.Program` and counts cycles per the
+:mod:`~repro.iss.isa` cost model, optionally through a direct-mapped
+instruction cache (the paper's §1 discussion: caches are the classic
+source of estimation error; the I-cache ablation quantifies it).
+
+Memory is word-addressed; words hold unbounded Python integers.  This
+deliberately ignores overflow — the annotated and plain runs of a
+kernel use Python integers too, so all three backends agree exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import IssError
+from .assembler import Program
+from .isa import NUM_REGS, REG_ZERO
+
+
+class DirectMappedCache:
+    """A direct-mapped cache model shared by the I- and D-cache.
+
+    Addresses are word indices (instruction index for the I-cache,
+    memory word for the D-cache); a line holds ``line_words``
+    consecutive words.  A miss costs ``miss_penalty`` cycles.
+    """
+
+    kind = "cache"
+
+    def __init__(self, lines: int = 64, line_words: int = 4,
+                 miss_penalty: int = 10):
+        if lines <= 0 or line_words <= 0 or miss_penalty < 0:
+            raise IssError(f"invalid {self.kind} geometry")
+        self.lines = lines
+        self.line_words = line_words
+        self.miss_penalty = miss_penalty
+        self._tags: List[Optional[int]] = [None] * lines
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> int:
+        """Cycles added by accessing ``address``."""
+        line_address = address // self.line_words
+        index = line_address % self.lines
+        if self._tags[index] == line_address:
+            self.hits += 1
+            return 0
+        self._tags[index] = line_address
+        self.misses += 1
+        return self.miss_penalty
+
+    def reset(self) -> None:
+        self._tags = [None] * self.lines
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ICache(DirectMappedCache):
+    """Instruction cache: addresses are instruction indices (PCs)."""
+
+    kind = "i-cache"
+
+
+class DCache(DirectMappedCache):
+    """Data cache: addresses are memory word indices (write-allocate,
+    write-through — a store misses like a load but data is always
+    consistent in our single-master model)."""
+
+    kind = "d-cache"
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one machine run."""
+
+    cycles: int
+    instructions: int
+    return_value: int
+    icache_hits: int = 0
+    icache_misses: int = 0
+
+
+class Machine:
+    """Executes OR-lite programs with per-instruction cycle counting."""
+
+    def __init__(self, memory_words: int = 1 << 20,
+                 icache: Optional[ICache] = None,
+                 dcache: Optional[DCache] = None,
+                 load_use_stall: bool = False):
+        if memory_words <= 0:
+            raise IssError("memory size must be positive")
+        self.memory_words = memory_words
+        self.memory: List[int] = [0] * memory_words
+        self.regs: List[int] = [0] * NUM_REGS
+        self.icache = icache
+        self.dcache = dcache
+        #: Model the classic single-issue load-use hazard: one bubble
+        #: when an instruction reads the register a ``lw`` just wrote.
+        self.load_use_stall = load_use_stall
+        self.load_use_stalls = 0
+        self.cycles = 0
+        self.instructions = 0
+
+    def reset(self) -> None:
+        self.memory = [0] * self.memory_words
+        self.regs = [0] * NUM_REGS
+        self.cycles = 0
+        self.instructions = 0
+        if self.icache is not None:
+            self.icache.reset()
+        if self.dcache is not None:
+            self.dcache.reset()
+
+    # -- memory helpers (word addressed) ----------------------------------
+
+    def _check_address(self, address: int) -> int:
+        if not 0 <= address < self.memory_words:
+            raise IssError(
+                f"memory access out of range: address {address} "
+                f"(memory is {self.memory_words} words)"
+            )
+        return address
+
+    def read_word(self, address: int) -> int:
+        return self.memory[self._check_address(address)]
+
+    def write_word(self, address: int, value: int) -> None:
+        self.memory[self._check_address(address)] = value
+
+    def write_block(self, address: int, values) -> None:
+        for offset, value in enumerate(values):
+            self.write_word(address + offset, int(value))
+
+    def read_block(self, address: int, count: int) -> List[int]:
+        return [self.read_word(address + i) for i in range(count)]
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, program: Program, pc: int = 0,
+            max_cycles: int = 500_000_000,
+            profile: bool = False) -> RunResult:
+        """Execute from ``pc`` until ``halt``; returns cycle statistics.
+
+        ``max_cycles`` guards against runaway programs (a compiler or
+        workload bug would otherwise hang the benchmark harness).
+        With ``profile=True``, per-PC cycle counts are accumulated in
+        :attr:`pc_cycles` (a dict), enabling function-level attribution
+        via the program's label map.
+        """
+        instrs = program.instructions
+        regs = self.regs
+        memory = self.memory
+        icache = self.icache
+        dcache = self.dcache
+        stall_on_load = self.load_use_stall
+        loaded_reg: Optional[int] = None
+        cycles = 0
+        executed = 0
+        n = len(instrs)
+        if profile and not hasattr(self, "pc_cycles"):
+            self.pc_cycles = {}
+
+        while True:
+            if not 0 <= pc < n:
+                raise IssError(f"PC {pc} outside program (len {n})")
+            cycles_before = cycles
+            if icache is not None:
+                cycles += icache.access(pc)
+            instr = instrs[pc]
+            op = instr.op
+            spec = instr.spec
+            if stall_on_load and loaded_reg is not None:
+                # one-cycle bubble if this instruction consumes the
+                # register the previous lw produced
+                fmt = spec.fmt
+                reads = ()
+                if fmt in ("rrr", "bra"):
+                    reads = (instr.ra, instr.rb)
+                elif fmt in ("rri", "mem", "r"):
+                    reads = (instr.ra,)
+                if loaded_reg in reads:
+                    cycles += 1
+                    self.load_use_stalls += 1
+                loaded_reg = None
+            cycles += spec.cycles
+            executed += 1
+            if cycles > max_cycles:
+                raise IssError(
+                    f"cycle budget of {max_cycles} exceeded at pc={pc} ({instr})"
+                )
+            next_pc = pc + 1
+
+            if op == "add":
+                regs[instr.rd] = regs[instr.ra] + regs[instr.rb]
+            elif op == "sub":
+                regs[instr.rd] = regs[instr.ra] - regs[instr.rb]
+            elif op == "mul":
+                regs[instr.rd] = regs[instr.ra] * regs[instr.rb]
+            elif op == "div":
+                divisor = regs[instr.rb]
+                if divisor == 0:
+                    raise IssError(f"division by zero at pc={pc}")
+                regs[instr.rd] = regs[instr.ra] // divisor
+            elif op == "rem":
+                divisor = regs[instr.rb]
+                if divisor == 0:
+                    raise IssError(f"remainder by zero at pc={pc}")
+                regs[instr.rd] = regs[instr.ra] % divisor
+            elif op == "and":
+                regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
+            elif op == "or":
+                regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
+            elif op == "xor":
+                regs[instr.rd] = regs[instr.ra] ^ regs[instr.rb]
+            elif op == "sll":
+                regs[instr.rd] = regs[instr.ra] << regs[instr.rb]
+            elif op in ("srl", "sra"):
+                # Python ints are unbounded: logical and arithmetic right
+                # shift coincide for the value semantics we model.
+                regs[instr.rd] = regs[instr.ra] >> regs[instr.rb]
+            elif op == "slt":
+                regs[instr.rd] = 1 if regs[instr.ra] < regs[instr.rb] else 0
+            elif op == "sle":
+                regs[instr.rd] = 1 if regs[instr.ra] <= regs[instr.rb] else 0
+            elif op == "seq":
+                regs[instr.rd] = 1 if regs[instr.ra] == regs[instr.rb] else 0
+            elif op == "sne":
+                regs[instr.rd] = 1 if regs[instr.ra] != regs[instr.rb] else 0
+            elif op == "addi":
+                regs[instr.rd] = regs[instr.ra] + instr.imm
+            elif op == "andi":
+                regs[instr.rd] = regs[instr.ra] & instr.imm
+            elif op == "ori":
+                regs[instr.rd] = regs[instr.ra] | instr.imm
+            elif op == "xori":
+                regs[instr.rd] = regs[instr.ra] ^ instr.imm
+            elif op == "slli":
+                regs[instr.rd] = regs[instr.ra] << instr.imm
+            elif op in ("srli", "srai"):
+                regs[instr.rd] = regs[instr.ra] >> instr.imm
+            elif op == "slti":
+                regs[instr.rd] = 1 if regs[instr.ra] < instr.imm else 0
+            elif op == "li":
+                regs[instr.rd] = instr.imm
+            elif op == "lw":
+                address = regs[instr.ra] + instr.imm
+                if not 0 <= address < self.memory_words:
+                    raise IssError(f"lw out of range at pc={pc}: address {address}")
+                if dcache is not None:
+                    cycles += dcache.access(address)
+                regs[instr.rd] = memory[address]
+                if stall_on_load:
+                    loaded_reg = instr.rd
+            elif op == "sw":
+                address = regs[instr.ra] + instr.imm
+                if not 0 <= address < self.memory_words:
+                    raise IssError(f"sw out of range at pc={pc}: address {address}")
+                if dcache is not None:
+                    cycles += dcache.access(address)
+                memory[address] = regs[instr.rd]
+            elif op in ("beq", "bne", "blt", "bge", "bgt", "ble"):
+                a, b = regs[instr.ra], regs[instr.rb]
+                taken = (
+                    (op == "beq" and a == b) or (op == "bne" and a != b)
+                    or (op == "blt" and a < b) or (op == "bge" and a >= b)
+                    or (op == "bgt" and a > b) or (op == "ble" and a <= b)
+                )
+                if taken:
+                    cycles += spec.taken_cycles - spec.cycles
+                    next_pc = instr.imm
+            elif op == "j":
+                next_pc = instr.imm
+            elif op == "jal":
+                regs[9] = pc + 1
+                next_pc = instr.imm
+            elif op == "jalr":
+                next_pc = regs[instr.ra]
+            elif op == "halt":
+                break
+            else:  # pragma: no cover - OPCODES and this chain are in sync
+                raise IssError(f"unimplemented opcode {op!r}")
+
+            regs[REG_ZERO] = 0  # r0 is hard-wired
+            if profile:
+                self.pc_cycles[pc] = (
+                    self.pc_cycles.get(pc, 0) + cycles - cycles_before
+                )
+            pc = next_pc
+
+        regs[REG_ZERO] = 0
+        self.cycles += cycles
+        self.instructions += executed
+        return RunResult(
+            cycles=cycles,
+            instructions=executed,
+            return_value=regs[11],
+            icache_hits=self.icache.hits if self.icache else 0,
+            icache_misses=self.icache.misses if self.icache else 0,
+        )

@@ -1,0 +1,135 @@
+"""Convenience runtime: compile, load, run, read back.
+
+Hides the ABI plumbing (stack/heap setup, array marshalling) so that the
+benchmarks can say::
+
+    result = run_compiled([quick_sort], args=[data, 0, len(data) - 1])
+    print(result.cycles)
+
+Array arguments (lists or :class:`~repro.annotate.AArray`) are copied
+into machine memory, passed as word pointers, and copied back after the
+run so in-place algorithms (sorting!) behave as in Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from ..annotate.types import AArray, AInt, unwrap
+from ..errors import IssError
+from .assembler import Program
+from .compiler import compile_functions
+from .isa import Instr, REG_ARG_FIRST, REG_FP, REG_HP, REG_LR, REG_SP
+from .machine import ICache, Machine, RunResult
+
+#: First word used for static (argument) data.
+_DATA_BASE = 64
+#: Words reserved for the stack at the top of memory.
+_STACK_MARGIN = 8
+
+
+@dataclasses.dataclass
+class IssResult:
+    """Outcome of running a compiled kernel on the reference machine."""
+
+    cycles: int
+    instructions: int
+    return_value: int
+    icache_hits: int
+    icache_misses: int
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+def prepare_program(functions: Sequence[Callable],
+                    entry: Optional[Callable] = None) -> Program:
+    """Compile ``functions`` and append the runtime's halt stub."""
+    program = compile_functions(functions, entry=entry)
+    instructions = list(program.instructions)
+    labels = dict(program.labels)
+    labels["__halt"] = len(instructions)
+    instructions.append(Instr("halt"))
+    return Program(instructions, labels)
+
+
+def run_program(program: Program, entry_label: str,
+                args: Sequence = (),
+                memory_words: int = 1 << 20,
+                icache: Optional[ICache] = None,
+                machine: Optional[Machine] = None) -> IssResult:
+    """Run a prepared program from ``entry_label`` with ``args``.
+
+    Integer arguments pass by value; list/AArray arguments pass as word
+    pointers and are written back after execution.
+    """
+    if machine is None:
+        machine = Machine(memory_words=memory_words, icache=icache)
+    else:
+        machine.reset()
+        memory_words = machine.memory_words
+
+    if len(args) > 6:
+        raise IssError("at most 6 arguments are supported by the ABI")
+
+    # Marshal arguments.
+    stack_top = memory_words - _STACK_MARGIN
+    data_cursor = _DATA_BASE
+    writebacks: List[tuple] = []   # (container, base_address, length)
+    for index, arg in enumerate(args):
+        if isinstance(arg, (list, AArray)):
+            values = arg.to_list() if isinstance(arg, AArray) else list(arg)
+            values = [int(unwrap(v)) for v in values]
+            if data_cursor + len(values) >= stack_top:
+                raise IssError("argument data does not fit in machine memory")
+            machine.write_block(data_cursor, values)
+            machine.regs[REG_ARG_FIRST + index] = data_cursor
+            writebacks.append((arg, data_cursor, len(values)))
+            data_cursor += len(values)
+        elif isinstance(arg, (int, AInt)):
+            machine.regs[REG_ARG_FIRST + index] = int(unwrap(arg))
+        else:
+            raise IssError(
+                f"unsupported argument type {type(arg).__name__} at "
+                f"position {index}"
+            )
+
+    machine.regs[REG_SP] = stack_top
+    machine.regs[REG_FP] = stack_top
+    machine.regs[REG_HP] = data_cursor
+    machine.regs[REG_LR] = program.entry("__halt")
+
+    outcome: RunResult = machine.run(program, pc=program.entry(entry_label))
+
+    # Write arrays back so in-place mutation is visible to the caller.
+    for container, base, length in writebacks:
+        values = machine.read_block(base, length)
+        if isinstance(container, AArray):
+            for i, value in enumerate(values):
+                container._data[i] = value
+        else:
+            container[:] = values
+
+    return IssResult(
+        cycles=outcome.cycles,
+        instructions=outcome.instructions,
+        return_value=outcome.return_value,
+        icache_hits=outcome.icache_hits,
+        icache_misses=outcome.icache_misses,
+    )
+
+
+def run_compiled(functions: Sequence[Callable], args: Sequence = (),
+                 entry: Optional[Callable] = None,
+                 memory_words: int = 1 << 20,
+                 icache: Optional[ICache] = None) -> IssResult:
+    """One-shot helper: compile ``functions`` and run the entry with ``args``."""
+    entry_fn = entry if entry is not None else functions[0]
+    program = prepare_program(functions, entry=entry_fn)
+    import inspect
+    entry_label = inspect.unwrap(entry_fn).__name__
+    return run_program(program, entry_label, args,
+                       memory_words=memory_words, icache=icache)

@@ -1,0 +1,38 @@
+"""A SystemC-like discrete-event kernel (the paper's simulation substrate).
+
+Delta-cycle semantics, generator-coroutine processes, the predefined
+channel set of the single-source specification methodology, and the
+timing-agent hook through which ``repro.core`` turns untimed simulation
+into strict-timed simulation.
+"""
+
+from .channels import Channel, Fifo, Rendezvous, SharedVariable, Signal
+from .commands import (
+    ChannelAccess,
+    Command,
+    Mark,
+    NodeDone,
+    ProcessExit,
+    RequestUpdate,
+    WaitEvent,
+    WaitFor,
+    wait,
+)
+from .events import Event
+from .module import Module, Port
+from .process import Process, ProcessState, TimingAgent
+from .scheduler import Scheduler, SchedulerObserver
+from .simulator import Simulator
+from .time import Clock, SimTime, ZERO, time_from
+from .tracing import TraceRecord, TraceRecorder, VcdWriter
+
+__all__ = [
+    "Channel", "Fifo", "Rendezvous", "SharedVariable", "Signal",
+    "ChannelAccess", "Command", "Mark", "NodeDone", "ProcessExit",
+    "RequestUpdate", "WaitEvent", "WaitFor", "wait",
+    "Event", "Module", "Port",
+    "Process", "ProcessState", "TimingAgent",
+    "Scheduler", "SchedulerObserver", "Simulator",
+    "Clock", "SimTime", "ZERO", "time_from",
+    "TraceRecord", "TraceRecorder", "VcdWriter",
+]

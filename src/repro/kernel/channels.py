@@ -1,0 +1,263 @@
+"""Predefined channels of the single-source specification methodology.
+
+The specification style the paper builds on ([22], [23]) forbids raw
+events and sensitivity lists inside processes: *processes can only
+interact among themselves and with the environment through predefined
+channels* plus timed waits.  This module provides that predefined set,
+one channel per supported model of computation:
+
+* :class:`Fifo` — Kahn-process-network style blocking FIFO (bounded or
+  unbounded),
+* :class:`Rendezvous` — CSP-style synchronous message passing,
+* :class:`Signal` — synchronous-reactive signal with SystemC
+  evaluate/update semantics,
+* :class:`SharedVariable` — immediate shared storage (still a channel,
+  so accesses remain visible segment nodes).
+
+Every operation brackets its communication logic with the
+:class:`~repro.kernel.commands.ChannelAccess` /
+:class:`~repro.kernel.commands.NodeDone` pair — the "pair of functions
+provided by the library" that the paper requires every new channel to
+insert (§4).  New user channels should subclass :class:`Channel` and use
+:meth:`Channel._node` to get the pair right.
+
+Channel operations are generators: invoke them with ``yield from``
+inside a process body, e.g. ``value = yield from fifo.read()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, List, Optional
+
+from .commands import ChannelAccess, NodeDone, RequestUpdate, WaitEvent
+from .scheduler import Scheduler
+
+
+class Channel:
+    """Base class for predefined channels.
+
+    Subclasses implement operations as generator methods whose
+    communication logic sits between ``yield ChannelAccess(...)`` and
+    ``yield NodeDone(...)`` (use the :meth:`_node` helper).
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        self.scheduler = scheduler
+        self.name = name or f"{type(self).__name__.lower()}_{id(self):x}"
+        #: Total number of completed accesses, per operation name.
+        self.access_counts: dict = {}
+
+    def _count(self, operation: str) -> None:
+        self.access_counts[operation] = self.access_counts.get(operation, 0) + 1
+
+    def _node(self, operation: str):
+        """Return the (access, done) command pair for ``operation``."""
+        return ChannelAccess(self, operation), NodeDone(self, operation)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Fifo(Channel):
+    """Blocking FIFO channel (the KPN channel of the methodology).
+
+    ``read`` blocks while the FIFO is empty.  With a finite
+    ``capacity``, ``write`` blocks while the FIFO is full (a bounded KPN
+    / SystemC ``sc_fifo``); with ``capacity=None`` writes never block
+    (an ideal Kahn channel).
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = "",
+                 capacity: Optional[int] = None):
+        super().__init__(scheduler, name)
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"fifo capacity must be positive or None, got {capacity}")
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._data_written = scheduler.make_event(f"{self.name}.data_written")
+        self._space_freed = scheduler.make_event(f"{self.name}.space_freed")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def write(self, value: Any) -> Generator:
+        """Blocking write: suspends while the FIFO is full."""
+        access, done = self._node("write")
+        yield access
+        while self.is_full:
+            yield WaitEvent(self._space_freed)
+        self._items.append(value)
+        self._data_written.notify_delta()
+        self._count("write")
+        yield done
+
+    def read(self) -> Generator:
+        """Blocking read: suspends while the FIFO is empty."""
+        access, done = self._node("read")
+        yield access
+        while self.is_empty:
+            yield WaitEvent(self._data_written)
+        value = self._items.popleft()
+        self._space_freed.notify_delta()
+        self._count("read")
+        yield done
+        return value
+
+    def try_read(self) -> Generator:
+        """Non-blocking read: returns ``(True, value)`` or ``(False, None)``.
+
+        Still a channel access (and thus a segment node) even when the
+        FIFO is empty.
+        """
+        access, done = self._node("try_read")
+        yield access
+        if self.is_empty:
+            result = (False, None)
+        else:
+            value = self._items.popleft()
+            self._space_freed.notify_delta()
+            result = (True, value)
+        self._count("try_read")
+        yield done
+        return result
+
+
+class Rendezvous(Channel):
+    """CSP-style rendezvous: reader and writer synchronize pairwise.
+
+    The earlier party blocks until its counterpart arrives; the value
+    moves writer → reader and both proceed.  Multiple writers/readers
+    are served in arrival order.
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = ""):
+        super().__init__(scheduler, name)
+        self._offers: deque = deque()        # values from writers awaiting a reader
+        self._writer_arrived = scheduler.make_event(f"{self.name}.writer_arrived")
+        self._value_taken = scheduler.make_event(f"{self.name}.value_taken")
+
+    def write(self, value: Any) -> Generator:
+        """Offer a value; block until a reader takes it."""
+        access, done = self._node("write")
+        yield access
+        token = [value, False]  # [payload, taken?]
+        self._offers.append(token)
+        self._writer_arrived.notify_delta()
+        while not token[1]:
+            yield WaitEvent(self._value_taken)
+        self._count("write")
+        yield done
+
+    def read(self) -> Generator:
+        """Block until a writer offers a value, then take it."""
+        access, done = self._node("read")
+        yield access
+        while not self._offers:
+            yield WaitEvent(self._writer_arrived)
+        token = self._offers.popleft()
+        token[1] = True
+        self._value_taken.notify_delta()
+        self._count("read")
+        yield done
+        return token[0]
+
+
+class Signal(Channel):
+    """Synchronous-reactive signal with evaluate/update semantics.
+
+    Writes land in the *next* delta cycle (SystemC ``sc_signal``);
+    reads return the current, stable value.  :meth:`await_change`
+    blocks until the signal's committed value changes — the channel-level
+    replacement for a sensitivity list.
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = "", initial: Any = 0):
+        super().__init__(scheduler, name)
+        self._current = initial
+        self._next = initial
+        self._update_requested = False
+        self.value_changed = scheduler.make_event(f"{self.name}.value_changed")
+        #: committed (time_fs, delta, value) history, for tracing/tests
+        self.history: List = [(scheduler.now.femtoseconds, scheduler.delta, initial)]
+
+    @property
+    def value(self) -> Any:
+        """Current committed value (direct peeking for testbenches)."""
+        return self._current
+
+    def write(self, value: Any) -> Generator:
+        """Schedule ``value`` to be committed in the update phase."""
+        access, done = self._node("write")
+        yield access
+        self._next = value
+        if not self._update_requested:
+            self._update_requested = True
+            yield RequestUpdate(self)
+        self._count("write")
+        yield done
+
+    def read(self) -> Generator:
+        """Read the current committed value."""
+        access, done = self._node("read")
+        yield access
+        value = self._current
+        self._count("read")
+        yield done
+        return value
+
+    def await_change(self) -> Generator:
+        """Block until the committed value changes, then return it."""
+        access, done = self._node("await_change")
+        yield access
+        yield WaitEvent(self.value_changed)
+        value = self._current
+        self._count("await_change")
+        yield done
+        return value
+
+    def update(self) -> None:
+        """Update-phase commit; called by the scheduler only."""
+        self._update_requested = False
+        if self._next != self._current:
+            self._current = self._next
+            self.history.append(
+                (self.scheduler.now.femtoseconds, self.scheduler.delta, self._current)
+            )
+            self.value_changed.notify_delta()
+
+
+class SharedVariable(Channel):
+    """Immediately-updated shared storage, still accessed through nodes.
+
+    The methodology disallows bare shared Python state between processes
+    (invisible to the analysis); this channel provides the same
+    convenience while keeping every access a proper segment node.
+    """
+
+    def __init__(self, scheduler: Scheduler, name: str = "", initial: Any = None):
+        super().__init__(scheduler, name)
+        self._value = initial
+
+    def write(self, value: Any) -> Generator:
+        access, done = self._node("write")
+        yield access
+        self._value = value
+        self._count("write")
+        yield done
+
+    def read(self) -> Generator:
+        access, done = self._node("read")
+        yield access
+        value = self._value
+        self._count("read")
+        yield done
+        return value

@@ -1,0 +1,157 @@
+"""Commands that processes yield to the simulation kernel.
+
+A process in this kernel is a Python generator.  Communication with the
+scheduler happens by *yielding command objects*; the scheduler interprets
+the command, performs the requested action, and resumes the generator
+(possibly at a later simulated time) with ``send()``.
+
+Two families exist:
+
+* **Node commands** (:class:`ChannelAccess`, :class:`WaitFor`,
+  :class:`NodeDone`, :class:`ProcessExit`) delimit *segments* in the
+  sense of the paper: they are the only points where a process interacts
+  with the rest of the system.  The performance library hooks exactly
+  these.  :class:`ChannelAccess` / :class:`NodeDone` are the "pair of
+  functions provided by the library" that every channel implementation
+  must emit around its communication logic (paper, §4).
+
+* **Internal commands** (:class:`WaitEvent`, :class:`RequestUpdate`)
+  implement channel blocking and the two-phase update protocol.  They
+  are invisible to segment tracking and to the timing agents.
+"""
+
+from __future__ import annotations
+
+from .time import SimTime
+
+
+class Command:
+    """Base class of everything a process may yield to the kernel."""
+
+    __slots__ = ()
+
+    #: True for commands that delimit segments (see module docstring).
+    is_node = False
+
+
+class ChannelAccess(Command):
+    """Marks the *start* of a channel access: the current segment ends here.
+
+    Yielded by channel implementations as the first action of every
+    channel operation, before any blocking or data movement.
+    """
+
+    __slots__ = ("channel", "operation")
+    is_node = True
+
+    def __init__(self, channel, operation: str):
+        self.channel = channel
+        self.operation = operation
+
+    def __repr__(self) -> str:
+        return f"ChannelAccess({getattr(self.channel, 'name', self.channel)!r}, {self.operation!r})"
+
+
+class NodeDone(Command):
+    """Marks the *end* of a channel access: a new segment begins after it.
+
+    Yielded by channel implementations after their communication logic
+    completed (data transferred, space freed, ...).
+    """
+
+    __slots__ = ("channel", "operation")
+    is_node = True
+
+    def __init__(self, channel, operation: str):
+        self.channel = channel
+        self.operation = operation
+
+    def __repr__(self) -> str:
+        return f"NodeDone({getattr(self.channel, 'name', self.channel)!r}, {self.operation!r})"
+
+
+class WaitFor(Command):
+    """A timing wait — the ``wait(sc_time)`` of the specification style.
+
+    This is both a node (it ends the current segment) and an explicit
+    advance of simulated time by ``duration``.
+    """
+
+    __slots__ = ("duration",)
+    is_node = True
+
+    def __init__(self, duration: SimTime):
+        if not isinstance(duration, SimTime):
+            raise TypeError(f"WaitFor needs a SimTime, got {type(duration).__name__}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"WaitFor({self.duration})"
+
+
+class ProcessExit(Command):
+    """Synthesized by the scheduler when a process generator returns.
+
+    Never yielded by user code; it exists so timing agents see the final
+    segment of a process and can charge its cost.
+    """
+
+    __slots__ = ()
+    is_node = True
+
+    def __repr__(self) -> str:
+        return "ProcessExit()"
+
+
+class WaitEvent(Command):
+    """Internal: suspend until the given :class:`~repro.kernel.events.Event` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event):
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"WaitEvent({getattr(self.event, 'name', self.event)!r})"
+
+
+class RequestUpdate(Command):
+    """Internal: register a channel for the update phase of this delta cycle.
+
+    The scheduler will call ``channel.update()`` once all runnable
+    processes of the current evaluate phase have yielded.
+    """
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel):
+        self.channel = channel
+
+    def __repr__(self) -> str:
+        return f"RequestUpdate({getattr(self.channel, 'name', self.channel)!r})"
+
+
+class Mark(Command):
+    """A user label attached to the current point of execution.
+
+    The dynamic equivalent of the paper's parser-inserted segment marks:
+    the segment tracker records the label against the current segment so
+    reports can show user-meaningful names.  Not a node — it neither
+    suspends the process nor ends the segment.
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str):
+        self.label = str(label)
+
+    def __repr__(self) -> str:
+        return f"Mark({self.label!r})"
+
+
+def wait(duration: SimTime) -> WaitFor:
+    """Convenience constructor mirroring SystemC's ``wait(sc_time)``.
+
+    Use as ``yield wait(SimTime.ns(10))`` inside a process.
+    """
+    return WaitFor(duration)

@@ -1,0 +1,87 @@
+"""Kernel events.
+
+Events are the kernel-internal synchronization primitive used by channel
+implementations.  Per the single-source specification methodology the
+paper builds on, *user processes never touch events directly* — they are
+reserved for channel code (the methodology forbids ``notify``/``wait``
+on events inside processes; processes interact only through predefined
+channels and timed waits).
+
+Notification semantics follow SystemC:
+
+* ``notify_delta()`` — wake waiters in the next delta cycle (the common
+  case for channel state changes),
+* ``notify(delay)`` — wake waiters after a simulated-time delay,
+* ``notify_immediate()`` — wake waiters within the current evaluate
+  phase (used sparingly; can expose evaluation-order dependence, which
+  the strict-timed mode is designed to flush out).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .process import Process
+    from .scheduler import Scheduler
+
+
+class Event:
+    """A notifiable kernel event with a waiting set of processes."""
+
+    __slots__ = ("name", "_scheduler", "_waiters", "notify_count")
+
+    def __init__(self, scheduler: "Scheduler", name: str = ""):
+        self.name = name
+        self._scheduler = scheduler
+        self._waiters: List["Process"] = []
+        #: Number of times this event has been notified (any flavour).
+        self.notify_count = 0
+
+    # -- waiting -------------------------------------------------------
+
+    def add_waiter(self, process: "Process") -> None:
+        """Register a process as waiting on this event (kernel use only)."""
+        self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> None:
+        """Withdraw a process from the waiting set if present."""
+        try:
+            self._waiters.remove(process)
+        except ValueError:
+            pass
+
+    def _drain_waiters(self) -> List["Process"]:
+        waiters, self._waiters = self._waiters, []
+        return waiters
+
+    # -- notification ----------------------------------------------------
+
+    def notify_delta(self) -> None:
+        """Wake all current waiters in the next delta cycle."""
+        self.notify_count += 1
+        for process in self._drain_waiters():
+            self._scheduler._schedule_delta_wake(process, self)
+
+    def notify_immediate(self) -> None:
+        """Wake all current waiters within the current evaluate phase."""
+        self.notify_count += 1
+        for process in self._drain_waiters():
+            self._scheduler._schedule_immediate_wake(process, self)
+
+    def notify(self, delay: SimTime) -> None:
+        """Wake all current waiters after ``delay`` of simulated time."""
+        self.notify_count += 1
+        for process in self._drain_waiters():
+            self._scheduler._schedule_timed_wake(process, self, delay)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def has_waiters(self) -> bool:
+        return bool(self._waiters)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r}, waiters={len(self._waiters)})"

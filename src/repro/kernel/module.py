@@ -1,0 +1,127 @@
+"""Modules and ports: the structural layer of a design.
+
+A :class:`Module` groups processes and the channels they use, mirroring
+SystemC's ``sc_module``.  Processes are plain generator methods
+registered with :meth:`Module.add_process`.  :class:`Port` objects give
+a SystemC-flavoured binding discipline: a module declares the interface
+it needs (``Port("in")``), the parent binds a channel to it, and
+elaboration fails loudly on unbound ports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ElaborationError
+from .channels import Channel
+from .process import Process
+
+
+class Port:
+    """A typed hole in a module, later bound to a channel.
+
+    ``direction`` is documentation ("in", "out", "inout"); the binding
+    discipline (bind exactly once, before use) is what is enforced.
+    """
+
+    __slots__ = ("name", "direction", "_channel")
+
+    def __init__(self, name: str, direction: str = "inout"):
+        if direction not in ("in", "out", "inout"):
+            raise ValueError(f"port direction must be in/out/inout, got {direction!r}")
+        self.name = name
+        self.direction = direction
+        self._channel: Optional[Channel] = None
+
+    def bind(self, channel: Channel) -> None:
+        """Bind this port to a channel; rebinding is an elaboration error."""
+        if self._channel is not None:
+            raise ElaborationError(f"port {self.name!r} is already bound")
+        if not isinstance(channel, Channel):
+            raise ElaborationError(
+                f"port {self.name!r} must bind to a Channel, got {type(channel).__name__}"
+            )
+        self._channel = channel
+
+    @property
+    def is_bound(self) -> bool:
+        return self._channel is not None
+
+    @property
+    def channel(self) -> Channel:
+        """The bound channel; raises if the port was never bound."""
+        if self._channel is None:
+            raise ElaborationError(f"port {self.name!r} used before binding")
+        return self._channel
+
+    def __getattr__(self, item):
+        # Delegate channel operations (read/write/...) through the port,
+        # so process code can say `yield from self.port.read()`.
+        return getattr(self.channel, item)
+
+    def __repr__(self) -> str:
+        target = self._channel.name if self._channel is not None else "<unbound>"
+        return f"Port({self.name!r}, {self.direction!r} -> {target})"
+
+
+class Module:
+    """A named container of processes, ports and child modules."""
+
+    def __init__(self, simulator, name: str):
+        # Accept either a Simulator facade or a raw Scheduler.
+        self.scheduler = getattr(simulator, "scheduler", simulator)
+        self._simulator = simulator
+        self.name = name
+        self.processes: List[Process] = []
+        self.ports: Dict[str, Port] = {}
+        self.children: List["Module"] = []
+        register = getattr(simulator, "_register_module", None)
+        if register is not None:
+            register(self)
+
+    # -- construction ---------------------------------------------------
+
+    def add_process(self, body: Callable[[], "object"], name: str = "",
+                    priority: int = 0) -> Process:
+        """Register a process whose behaviour is the generator ``body()``.
+
+        ``body`` is called immediately to create the generator; the
+        generator does not start executing until the simulation runs.
+        """
+        process_name = name or getattr(body, "__name__", "process")
+        if any(p.name == process_name for p in self.processes):
+            raise ElaborationError(
+                f"module {self.name!r} already has a process named {process_name!r}"
+            )
+        process = Process(process_name, body(), module=self, priority=priority)
+        self.scheduler.register(process)
+        self.processes.append(process)
+        return process
+
+    def add_port(self, name: str, direction: str = "inout") -> Port:
+        """Declare a port on this module."""
+        if name in self.ports:
+            raise ElaborationError(f"module {self.name!r} already has port {name!r}")
+        port = Port(name, direction)
+        self.ports[name] = port
+        return port
+
+    def add_child(self, child: "Module") -> "Module":
+        self.children.append(child)
+        return child
+
+    # -- elaboration checks ------------------------------------------------
+
+    def check_elaboration(self) -> None:
+        """Verify all ports (recursively) are bound."""
+        for port in self.ports.values():
+            if not port.is_bound:
+                raise ElaborationError(
+                    f"module {self.name!r}: port {port.name!r} is unbound"
+                )
+        for child in self.children:
+            child.check_elaboration()
+
+    def __repr__(self) -> str:
+        return (f"Module({self.name!r}, processes={len(self.processes)}, "
+                f"ports={len(self.ports)})")

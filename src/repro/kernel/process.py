@@ -1,0 +1,143 @@
+"""Process objects and the timing-agent protocol.
+
+A process wraps a Python generator.  The generator body is the process
+behaviour; it yields :mod:`~repro.kernel.commands` objects to interact
+with the kernel.  Code executed *between* node commands is a segment in
+the paper's sense — a closed piece of computation with no kernel
+interaction.
+
+The :class:`TimingAgent` protocol is the hook through which the
+performance library (``repro.core``) turns the untimed delta-cycle
+simulation into a strict-timed one without modifying either the user
+code or the scheduler algorithm: the scheduler consults the process's
+agent at every node and inserts the delays the agent requests.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Generator, Optional
+
+from .commands import Command
+from .time import SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .module import Module
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a process."""
+
+    READY = "ready"          # scheduled to run in the current/next evaluate phase
+    RUNNING = "running"      # currently executing user code
+    WAITING = "waiting"      # suspended on an event or a timed wait
+    NEGOTIATING = "negotiating"  # suspended inside a timing-agent delay loop
+    DONE = "done"            # generator exhausted
+
+
+class Process:
+    """A kernel process: a named generator plus scheduling state."""
+
+    __slots__ = (
+        "name",
+        "module",
+        "generator",
+        "state",
+        "agent",
+        "priority",
+        "pid",
+        "_pending_value",
+        "_pending_command",
+        "_waiting_event",
+        "node_count",
+        "exit_time",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        generator: Generator,
+        module: Optional["Module"] = None,
+        priority: int = 0,
+    ):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"process {name!r} body must be a generator; "
+                f"did you forget a yield in the process function?"
+            )
+        self.name = name
+        self.module = module
+        self.generator = generator
+        self.state = ProcessState.READY
+        #: Timing agent consulted at every node; installed by the
+        #: performance library.  None means untimed (pure delta) mode.
+        self.agent: Optional["TimingAgent"] = None
+        #: Static priority used by priority-scheduled sequential resources
+        #: (lower value = more urgent, matching common RTOS convention).
+        self.priority = priority
+        self.pid = -1  # assigned by the scheduler at registration
+        self._pending_value = None       # value to send on next resume
+        self._pending_command = None     # node command under negotiation
+        self._waiting_event = None       # event currently waited on
+        #: Number of node commands this process has executed.
+        self.node_count = 0
+        #: Simulated time at which the process terminated (None if running).
+        self.exit_time: Optional[SimTime] = None
+
+    @property
+    def full_name(self) -> str:
+        """Hierarchical name ``module.process`` used in reports."""
+        if self.module is not None and getattr(self.module, "name", ""):
+            return f"{self.module.name}.{self.name}"
+        return self.name
+
+    @property
+    def done(self) -> bool:
+        return self.state is ProcessState.DONE
+
+    def __repr__(self) -> str:
+        return f"Process({self.full_name!r}, state={self.state.value})"
+
+
+class TimingAgent:
+    """Protocol consulted by the scheduler at every segment node.
+
+    The default implementation is a null agent: it never delays, which
+    leaves the simulation untimed (pure delta-cycle semantics).  The
+    performance library subclasses this to implement the paper's global
+    analysis: segment-cost sleeps, sequential-resource serialization and
+    RTOS overhead.
+    """
+
+    def node_reached(self, process: Process, command: Command, now: SimTime) -> None:
+        """The process hit a node: its current segment just ended.
+
+        Called once per node, before any delay negotiation.  This is
+        where the agent reads the segment's accumulated cost and plans
+        the delays it will request from :meth:`next_delay`.
+        """
+
+    def next_delay(self, process: Process, now: SimTime) -> Optional[SimTime]:
+        """Return the next delay to insert before the node may proceed.
+
+        The scheduler calls this repeatedly (re-calling after each
+        returned delay has elapsed) until it returns ``None``, which
+        releases the node.  This repeated consultation implements the
+        paper's resource-arbitration loop: "this process has to be
+        repeated until the resource is empty because another process can
+        take up the resource while it is waiting".
+        """
+        return None
+
+    def node_finished(self, process: Process, command: Command, now: SimTime) -> None:
+        """The node's communication completed; a new segment begins."""
+
+    def process_started(self, process: Process, now: SimTime) -> None:
+        """The process is about to execute its first segment."""
+
+    def process_exited(self, process: Process, now: SimTime) -> None:
+        """The process generator returned (after its exit node settled)."""
+
+
+#: Shared do-nothing agent used when no performance library is attached.
+NULL_AGENT = TimingAgent()

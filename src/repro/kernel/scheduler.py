@@ -1,0 +1,400 @@
+"""The discrete-event scheduler with SystemC delta-cycle semantics.
+
+The scheduler executes generator processes through the classic SystemC
+two-phase protocol:
+
+1. **Evaluate phase** — every runnable process runs until it suspends
+   (on an event wait, a timed wait, or a timing-agent delay).
+2. **Update phase** — channels that yielded :class:`RequestUpdate`
+   (e.g. signals) commit their new values.
+3. **Delta notification** — processes woken by delta notifications form
+   the next evaluate set; if any, a new delta cycle begins at the same
+   simulated instant.
+4. **Time advance** — otherwise simulated time jumps to the earliest
+   pending timed entry.
+
+Strict-timed simulation (the paper's §4) is layered on top without
+changing this algorithm: each process may carry a
+:class:`~repro.kernel.process.TimingAgent` which the scheduler consults
+at every *node* (channel access, timed wait, process exit).  The agent
+answers with a sequence of delays — segment sleep, resource arbitration
+waits, RTOS overhead — that the scheduler inserts before the node's
+communication proceeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional
+
+from ..errors import SimulationError
+from .commands import (
+    ChannelAccess,
+    Command,
+    Mark,
+    NodeDone,
+    ProcessExit,
+    RequestUpdate,
+    WaitEvent,
+    WaitFor,
+)
+from .events import Event
+from .process import NULL_AGENT, Process, ProcessState
+from .time import SimTime, ZERO
+
+# Dispositions returned by the command dispatcher.
+_CONTINUE = 0   # keep running the same process
+_SUSPEND = 1    # the process is no longer runnable
+
+
+class SchedulerObserver:
+    """Passive hook interface; all methods are optional no-ops.
+
+    Observers power segment tracking, event tracing and the performance
+    library's context switching without coupling the kernel to them.
+    """
+
+    def on_process_start(self, process: Process, now: SimTime) -> None: ...
+
+    def on_process_resume(self, process: Process, now: SimTime) -> None: ...
+
+    def on_process_suspend(self, process: Process, now: SimTime) -> None: ...
+
+    def on_node_reached(self, process: Process, command: Command,
+                        now: SimTime, delta: int) -> None: ...
+
+    def on_node_finished(self, process: Process, command: Command,
+                         now: SimTime, delta: int) -> None: ...
+
+    def on_mark(self, process: Process, label: str,
+                now: SimTime, delta: int) -> None: ...
+
+    def on_process_exit(self, process: Process, now: SimTime) -> None: ...
+
+    def on_time_advance(self, previous: SimTime, current: SimTime) -> None: ...
+
+
+# Timed-entry kinds.
+_RESUME = "resume"          # wake a process after a WaitFor
+_NEGOTIATE = "negotiate"    # re-consult a timing agent after a delay
+_EVENT_WAKE = "event-wake"  # timed event notification for one process
+
+
+class Scheduler:
+    """Runs processes under delta-cycle semantics with timing-agent hooks."""
+
+    def __init__(self, max_deltas_per_instant: int = 1_000_000):
+        self._now: SimTime = ZERO
+        self._delta = 0                 # delta index within the current instant
+        self.total_deltas = 0           # delta cycles executed overall
+        self._runnable: deque = deque()
+        self._next_delta: List[Process] = []
+        self._update_requests: List = []
+        self._update_pending: set = set()
+        self._timed: list = []          # heap of (fs, seq, kind, payload)
+        self._seq = 0
+        self.processes: List[Process] = []
+        self._observers: List[SchedulerObserver] = []
+        self._started = False
+        self._max_deltas = max_deltas_per_instant
+        self.current_process: Optional[Process] = None
+
+    # -- public surface --------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def delta(self) -> int:
+        """Delta-cycle index within the current simulated instant."""
+        return self._delta
+
+    def add_observer(self, observer: SchedulerObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: SchedulerObserver) -> None:
+        self._observers.remove(observer)
+
+    def make_event(self, name: str = "") -> Event:
+        """Create a kernel event bound to this scheduler."""
+        return Event(self, name)
+
+    def register(self, process: Process) -> Process:
+        """Register a process; it becomes runnable at simulation start."""
+        if self._started:
+            raise SimulationError(
+                f"cannot register process {process.name!r} after simulation start"
+            )
+        process.pid = len(self.processes)
+        self.processes.append(process)
+        return process
+
+    def blocked_processes(self) -> List[Process]:
+        """Processes currently suspended on an event (deadlock debugging)."""
+        return [p for p in self.processes if p.state is ProcessState.WAITING
+                and p._waiting_event is not None]
+
+    def run(self, until: Optional[SimTime] = None) -> SimTime:
+        """Run the simulation.
+
+        Stops when no activity remains (event starvation) or when the
+        next timed entry lies beyond ``until``.  Returns the final
+        simulated time.
+        """
+        if not self._started:
+            self._started = True
+            for process in self.processes:
+                self._runnable.append(process)
+                for obs in self._observers:
+                    obs.on_process_start(process, self._now)
+                self._agent_of(process).process_started(process, self._now)
+
+        while True:
+            self._run_instant()
+            if not self._timed:
+                break
+            next_fs = self._timed[0][0]
+            if until is not None and next_fs > until.femtoseconds:
+                self._set_now(until)
+                break
+            self._advance_to(SimTime(next_fs))
+        return self._now
+
+    # -- instant execution ------------------------------------------------
+
+    def _run_instant(self) -> None:
+        """Exhaust all delta cycles at the current simulated instant."""
+        deltas_here = 0
+        while self._runnable or self._update_requests or self._next_delta:
+            while self._runnable:
+                item = self._runnable.popleft()
+                if callable(item):
+                    item()
+                    continue
+                if item.done:
+                    continue
+                self._run_process(item)
+            self._run_update_phase()
+            if self._next_delta:
+                self._runnable.extend(self._next_delta)
+                self._next_delta = []
+                self._delta += 1
+                self.total_deltas += 1
+                deltas_here += 1
+                if deltas_here > self._max_deltas:
+                    raise SimulationError(
+                        f"more than {self._max_deltas} delta cycles at {self._now}; "
+                        f"suspected zero-time loop"
+                    )
+
+    def _run_update_phase(self) -> None:
+        requests, self._update_requests = self._update_requests, []
+        self._update_pending.clear()
+        for channel in requests:
+            channel.update()
+
+    def _advance_to(self, new_time: SimTime) -> None:
+        self._set_now(new_time)
+        fs = new_time.femtoseconds
+        while self._timed and self._timed[0][0] == fs:
+            _, _, kind, payload = heapq.heappop(self._timed)
+            self._fire_timed(kind, payload)
+
+    def _set_now(self, new_time: SimTime) -> None:
+        if new_time != self._now:
+            for obs in self._observers:
+                obs.on_time_advance(self._now, new_time)
+            self._now = new_time
+            self._delta = 0
+
+    def _fire_timed(self, kind: str, payload) -> None:
+        if kind == _RESUME:
+            process, command = payload
+            if process.done:
+                return
+            self._finish_node(process, command)
+            process.state = ProcessState.READY
+            self._run_process(process)
+        elif kind == _NEGOTIATE:
+            process = payload
+            if process.done:
+                return
+            self._continue_negotiation(process)
+        elif kind == _EVENT_WAKE:
+            process, event = payload
+            self._wake_from_event(process, event)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown timed entry kind {kind!r}")
+
+    # -- process execution --------------------------------------------------
+
+    def _agent_of(self, process: Process):
+        return process.agent if process.agent is not None else NULL_AGENT
+
+    def _run_process(self, process: Process) -> None:
+        """Run one process until it suspends or terminates."""
+        process.state = ProcessState.RUNNING
+        self.current_process = process
+        for obs in self._observers:
+            obs.on_process_resume(process, self._now)
+        try:
+            while True:
+                try:
+                    command = process.generator.send(None)
+                except StopIteration:
+                    self._handle_exit(process)
+                    return
+                if not isinstance(command, Command):
+                    raise SimulationError(
+                        f"process {process.full_name!r} yielded {command!r}, "
+                        f"which is not a kernel command"
+                    )
+                if self._dispatch(process, command) is _SUSPEND:
+                    return
+        finally:
+            self.current_process = None
+            if process.state is not ProcessState.RUNNING:
+                for obs in self._observers:
+                    obs.on_process_suspend(process, self._now)
+            else:  # pragma: no cover - defensive; dispatch always resets state
+                process.state = ProcessState.READY
+
+    def _dispatch(self, process: Process, command: Command) -> int:
+        if isinstance(command, ChannelAccess):
+            return self._begin_node(process, command)
+        if isinstance(command, NodeDone):
+            self._finish_node(process, command)
+            return _CONTINUE
+        if isinstance(command, WaitFor):
+            return self._begin_node(process, command)
+        if isinstance(command, WaitEvent):
+            process.state = ProcessState.WAITING
+            process._waiting_event = command.event
+            command.event.add_waiter(process)
+            return _SUSPEND
+        if isinstance(command, RequestUpdate):
+            channel = command.channel
+            if id(channel) not in self._update_pending:
+                self._update_pending.add(id(channel))
+                self._update_requests.append(channel)
+            return _CONTINUE
+        if isinstance(command, Mark):
+            for obs in self._observers:
+                obs.on_mark(process, command.label, self._now, self._delta)
+            return _CONTINUE
+        raise SimulationError(
+            f"process {process.full_name!r} yielded unsupported command {command!r}"
+        )
+
+    # -- node handling (segment boundaries + timing negotiation) -----------
+
+    def _begin_node(self, process: Process, command: Command) -> int:
+        process.node_count += 1
+        for obs in self._observers:
+            obs.on_node_reached(process, command, self._now, self._delta)
+        self._agent_of(process).node_reached(process, command, self._now)
+        process._pending_command = command
+        return self._negotiate(process)
+
+    def _negotiate(self, process: Process) -> int:
+        """Ask the timing agent for delays until it releases the node."""
+        delay = self._agent_of(process).next_delay(process, self._now)
+        if delay is not None:
+            if delay.femtoseconds <= 0:
+                raise SimulationError(
+                    f"timing agent for {process.full_name!r} returned a "
+                    f"non-positive delay {delay}; return None to proceed"
+                )
+            process.state = ProcessState.NEGOTIATING
+            self._push_timed(self._now + delay, _NEGOTIATE, process)
+            return _SUSPEND
+        return self._release_node(process)
+
+    def _continue_negotiation(self, process: Process) -> None:
+        disposition = self._negotiate(process)
+        if disposition is _CONTINUE:
+            process.state = ProcessState.READY
+            self._run_process(process)
+
+    def _release_node(self, process: Process) -> int:
+        """The timing agent released the node: perform its semantics."""
+        command = process._pending_command
+        process._pending_command = None
+        if isinstance(command, ChannelAccess):
+            # Resume the channel generator, which now performs the actual
+            # communication (and will emit NodeDone when finished).
+            return _CONTINUE
+        if isinstance(command, WaitFor):
+            if command.duration.femtoseconds == 0:
+                # wait(SC_ZERO_TIME): yield one delta cycle.
+                process.state = ProcessState.WAITING
+
+                def _resume_zero_wait(process=process, command=command):
+                    if process.done:
+                        return
+                    self._finish_node(process, command)
+                    process.state = ProcessState.READY
+                    self._run_process(process)
+
+                self._next_delta.append(_resume_zero_wait)
+                return _SUSPEND
+            process.state = ProcessState.WAITING
+            self._push_timed(self._now + command.duration, _RESUME, (process, command))
+            return _SUSPEND
+        if isinstance(command, ProcessExit):
+            self._finalize_exit(process)
+            return _SUSPEND
+        raise SimulationError(  # pragma: no cover - defensive
+            f"cannot release unexpected node command {command!r}"
+        )
+
+    def _finish_node(self, process: Process, command: Command) -> None:
+        self._agent_of(process).node_finished(process, command, self._now)
+        for obs in self._observers:
+            obs.on_node_finished(process, command, self._now, self._delta)
+
+    def _handle_exit(self, process: Process) -> None:
+        command = ProcessExit()
+        process.node_count += 1
+        for obs in self._observers:
+            obs.on_node_reached(process, command, self._now, self._delta)
+        self._agent_of(process).node_reached(process, command, self._now)
+        process._pending_command = command
+        self._negotiate(process)
+
+    def _finalize_exit(self, process: Process) -> None:
+        process.state = ProcessState.DONE
+        process.exit_time = self._now
+        self._agent_of(process).process_exited(process, self._now)
+        for obs in self._observers:
+            obs.on_process_exit(process, self._now)
+
+    # -- wake-up plumbing -----------------------------------------------------
+
+    def _schedule_delta_wake(self, process: Process, event: Event) -> None:
+        process._waiting_event = None
+        self._next_delta.append(process)
+        process.state = ProcessState.READY
+
+    def _schedule_immediate_wake(self, process: Process, event: Event) -> None:
+        process._waiting_event = None
+        self._runnable.append(process)
+        process.state = ProcessState.READY
+
+    def _schedule_timed_wake(self, process: Process, event: Event, delay: SimTime) -> None:
+        process._waiting_event = None
+        process.state = ProcessState.WAITING
+        self._push_timed(self._now + delay, _EVENT_WAKE, (process, event))
+
+    def _wake_from_event(self, process: Process, event: Event) -> None:
+        if process.done:
+            return
+        process.state = ProcessState.READY
+        self._run_process(process)
+
+    def _push_timed(self, when: SimTime, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._timed, (when.femtoseconds, self._seq, kind, payload))

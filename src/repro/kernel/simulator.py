@@ -1,0 +1,103 @@
+"""The user-facing simulation facade.
+
+``Simulator`` wires together a scheduler, channel factories and tracing,
+playing the role of SystemC's ``sc_main`` environment:
+
+>>> sim = Simulator()
+>>> fifo = sim.fifo("link", capacity=4)
+>>> top = Module(sim, "top")
+>>> def producer():
+...     for i in range(3):
+...         yield from fifo.write(i)
+>>> def consumer():
+...     for _ in range(3):
+...         value = yield from fifo.read()
+>>> _ = top.add_process(producer)
+>>> _ = top.add_process(consumer)
+>>> final = sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..errors import ElaborationError
+from .channels import Fifo, Rendezvous, SharedVariable, Signal
+from .module import Module
+from .scheduler import Scheduler, SchedulerObserver
+from .time import SimTime
+from .tracing import TraceRecorder
+
+
+class Simulator:
+    """Top-level simulation context (the ``sc_main`` analogue)."""
+
+    def __init__(self, trace: bool = False,
+                 max_deltas_per_instant: int = 1_000_000):
+        self.scheduler = Scheduler(max_deltas_per_instant=max_deltas_per_instant)
+        self.modules: List[Module] = []
+        self.trace: Optional[TraceRecorder] = None
+        if trace:
+            self.trace = TraceRecorder()
+            self.scheduler.add_observer(self.trace)
+        self._ran = False
+
+    # -- structure ---------------------------------------------------------
+
+    def _register_module(self, module: Module) -> None:
+        self.modules.append(module)
+
+    def module(self, name: str) -> Module:
+        """Create and register a top-level module."""
+        return Module(self, name)
+
+    def add_observer(self, observer: SchedulerObserver) -> None:
+        self.scheduler.add_observer(observer)
+
+    # -- channel factories -----------------------------------------------
+
+    def fifo(self, name: str = "", capacity: Optional[int] = None) -> Fifo:
+        return Fifo(self.scheduler, name, capacity=capacity)
+
+    def rendezvous(self, name: str = "") -> Rendezvous:
+        return Rendezvous(self.scheduler, name)
+
+    def signal(self, name: str = "", initial: Any = 0) -> Signal:
+        return Signal(self.scheduler, name, initial=initial)
+
+    def shared_variable(self, name: str = "", initial: Any = None) -> SharedVariable:
+        return SharedVariable(self.scheduler, name, initial=initial)
+
+    # -- execution ------------------------------------------------------------
+
+    @property
+    def now(self) -> SimTime:
+        return self.scheduler.now
+
+    def elaborate(self) -> None:
+        """Run structural checks on the registered module hierarchy."""
+        for module in self.modules:
+            module.check_elaboration()
+
+    def run(self, until: Optional[SimTime] = None) -> SimTime:
+        """Elaborate (on first call) and run the simulation.
+
+        Can be called repeatedly with increasing ``until`` values to
+        advance the simulation piecewise.
+        """
+        if not self._ran:
+            self.elaborate()
+            self._ran = True
+        return self.scheduler.run(until=until)
+
+    def assert_quiescent(self) -> None:
+        """Raise if processes remain blocked on events after a full run.
+
+        A convenience deadlock check for tests: a finished simulation
+        with event-blocked processes usually signals a protocol bug in
+        the design under test.
+        """
+        blocked = self.scheduler.blocked_processes()
+        if blocked:
+            names = ", ".join(p.full_name for p in blocked)
+            raise ElaborationError(f"simulation ended with blocked processes: {names}")

@@ -1,0 +1,226 @@
+"""Simulated time, modelled after SystemC's ``sc_time``.
+
+Time is stored as an exact integer number of femtoseconds, which avoids
+the floating-point drift that plagues naive discrete-event kernels and
+matches SystemC's 64-bit integral time representation.  All arithmetic
+stays in the integer domain; conversions to floating-point units are
+provided only for reporting.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Union
+
+#: Femtoseconds per unit, keyed by SystemC-style unit name.
+_UNIT_FS = {
+    "fs": 1,
+    "ps": 10**3,
+    "ns": 10**6,
+    "us": 10**9,
+    "ms": 10**12,
+    "s": 10**15,
+}
+
+
+@total_ordering
+class SimTime:
+    """An immutable point in (or duration of) simulated time.
+
+    Internally an exact count of femtoseconds.  Construct via the unit
+    classmethods (``SimTime.ns(10)``) or :func:`time_from` for generic
+    (value, unit) pairs.
+    """
+
+    __slots__ = ("_fs",)
+
+    def __init__(self, femtoseconds: int = 0):
+        if not isinstance(femtoseconds, int):
+            raise TypeError(
+                f"SimTime takes an integer femtosecond count, got {type(femtoseconds).__name__}"
+            )
+        if femtoseconds < 0:
+            raise ValueError(f"SimTime cannot be negative, got {femtoseconds} fs")
+        object.__setattr__(self, "_fs", femtoseconds)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SimTime is immutable")
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def fs(cls, value: Union[int, float]) -> "SimTime":
+        """Femtoseconds."""
+        return cls(round(value))
+
+    @classmethod
+    def ps(cls, value: Union[int, float]) -> "SimTime":
+        """Picoseconds."""
+        return cls(round(value * _UNIT_FS["ps"]))
+
+    @classmethod
+    def ns(cls, value: Union[int, float]) -> "SimTime":
+        """Nanoseconds."""
+        return cls(round(value * _UNIT_FS["ns"]))
+
+    @classmethod
+    def us(cls, value: Union[int, float]) -> "SimTime":
+        """Microseconds."""
+        return cls(round(value * _UNIT_FS["us"]))
+
+    @classmethod
+    def ms(cls, value: Union[int, float]) -> "SimTime":
+        """Milliseconds."""
+        return cls(round(value * _UNIT_FS["ms"]))
+
+    @classmethod
+    def s(cls, value: Union[int, float]) -> "SimTime":
+        """Seconds."""
+        return cls(round(value * _UNIT_FS["s"]))
+
+    # -- accessors -----------------------------------------------------
+
+    @property
+    def femtoseconds(self) -> int:
+        """The exact femtosecond count."""
+        return self._fs
+
+    def to_fs(self) -> int:
+        return self._fs
+
+    def to_ps(self) -> float:
+        return self._fs / _UNIT_FS["ps"]
+
+    def to_ns(self) -> float:
+        return self._fs / _UNIT_FS["ns"]
+
+    def to_us(self) -> float:
+        return self._fs / _UNIT_FS["us"]
+
+    def to_ms(self) -> float:
+        return self._fs / _UNIT_FS["ms"]
+
+    def to_s(self) -> float:
+        return self._fs / _UNIT_FS["s"]
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: "SimTime") -> "SimTime":
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return SimTime(self._fs + other._fs)
+
+    def __sub__(self, other: "SimTime") -> "SimTime":
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return SimTime(self._fs - other._fs)
+
+    def __mul__(self, factor: Union[int, float]) -> "SimTime":
+        if isinstance(factor, SimTime):
+            raise TypeError("cannot multiply SimTime by SimTime")
+        return SimTime(round(self._fs * factor))
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: Union["SimTime", int]) -> Union[int, "SimTime"]:
+        if isinstance(other, SimTime):
+            if other._fs == 0:
+                raise ZeroDivisionError("division by zero SimTime")
+            return self._fs // other._fs
+        return SimTime(self._fs // other)
+
+    def __truediv__(self, other: Union["SimTime", int, float]) -> Union[float, "SimTime"]:
+        if isinstance(other, SimTime):
+            if other._fs == 0:
+                raise ZeroDivisionError("division by zero SimTime")
+            return self._fs / other._fs
+        return SimTime(round(self._fs / other))
+
+    def __mod__(self, other: "SimTime") -> "SimTime":
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return SimTime(self._fs % other._fs)
+
+    # -- comparison / hashing -------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SimTime) and self._fs == other._fs
+
+    def __lt__(self, other: "SimTime") -> bool:
+        if not isinstance(other, SimTime):
+            return NotImplemented
+        return self._fs < other._fs
+
+    def __hash__(self) -> int:
+        return hash(("SimTime", self._fs))
+
+    def __bool__(self) -> bool:
+        return self._fs != 0
+
+    # -- presentation ----------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"SimTime.fs({self._fs})"
+
+    def __str__(self) -> str:
+        for unit in ("s", "ms", "us", "ns", "ps"):
+            scale = _UNIT_FS[unit]
+            if self._fs >= scale and self._fs % scale == 0:
+                return f"{self._fs // scale} {unit}"
+        if self._fs >= _UNIT_FS["ns"]:
+            return f"{self.to_ns():g} ns"
+        return f"{self._fs} fs"
+
+
+#: The zero time constant, shared to avoid repeated allocation.
+ZERO = SimTime(0)
+
+
+def time_from(value: Union[int, float], unit: str) -> SimTime:
+    """Build a :class:`SimTime` from a value and a SystemC unit name.
+
+    >>> time_from(2.5, "ns") == SimTime.ps(2500)
+    True
+    """
+    try:
+        scale = _UNIT_FS[unit]
+    except KeyError:
+        raise ValueError(f"unknown time unit {unit!r}; expected one of {sorted(_UNIT_FS)}") from None
+    return SimTime(round(value * scale))
+
+
+class Clock:
+    """A clock description used to convert cycle counts to time.
+
+    The estimation library works in *cycles* (the unit of the platform
+    characterization tables); resources carry a ``Clock`` to place those
+    cycles on the physical time axis.
+    """
+
+    __slots__ = ("period", "frequency_hz")
+
+    def __init__(self, period: SimTime):
+        if period.femtoseconds <= 0:
+            raise ValueError("clock period must be positive")
+        self.period = period
+        self.frequency_hz = 10**15 / period.femtoseconds
+
+    @classmethod
+    def from_frequency_mhz(cls, mhz: float) -> "Clock":
+        """Build a clock from a frequency in MHz."""
+        if mhz <= 0:
+            raise ValueError("clock frequency must be positive")
+        return cls(SimTime.fs(round(10**15 / (mhz * 10**6))))
+
+    def cycles_to_time(self, cycles: Union[int, float]) -> SimTime:
+        """Convert a (possibly fractional) cycle count to a SimTime."""
+        if cycles < 0:
+            raise ValueError("cycle count cannot be negative")
+        return SimTime(round(cycles * self.period.femtoseconds))
+
+    def time_to_cycles(self, duration: SimTime) -> float:
+        """Convert a duration to a fractional cycle count."""
+        return duration.femtoseconds / self.period.femtoseconds
+
+    def __repr__(self) -> str:
+        return f"Clock(period={self.period})"

@@ -1,0 +1,165 @@
+"""Event tracing: the raw record stream behind reports and figures.
+
+The :class:`TraceRecorder` is a scheduler observer that timestamps every
+node, process transition and user mark with ``(time, delta)``.  Both
+coordinates matter: in untimed simulation all activity collapses onto
+``time == 0`` and only the delta axis orders events (Fig. 5a), while in
+strict-timed simulation the time axis carries platform behaviour
+(Fig. 5b).  Comparing the two traces of one design is the paper's
+determinism check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from .commands import ChannelAccess, Command, NodeDone, ProcessExit, WaitFor
+from .process import Process
+from .scheduler import SchedulerObserver
+from .time import SimTime
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped simulation event."""
+
+    time_fs: int
+    delta: int
+    process: str
+    kind: str          # node-reached | node-finished | mark | exit | resume
+    detail: str        # channel.op, wait duration, or mark label
+
+    @property
+    def time(self) -> SimTime:
+        return SimTime(self.time_fs)
+
+    def __str__(self) -> str:
+        return (f"[{SimTime(self.time_fs)} d{self.delta}] "
+                f"{self.process}: {self.kind} {self.detail}")
+
+
+def _describe(command: Command) -> str:
+    if isinstance(command, (ChannelAccess, NodeDone)):
+        return f"{getattr(command.channel, 'name', '?')}.{command.operation}"
+    if isinstance(command, WaitFor):
+        return f"wait({command.duration})"
+    if isinstance(command, ProcessExit):
+        return "exit"
+    return repr(command)
+
+
+class TraceRecorder(SchedulerObserver):
+    """Scheduler observer that accumulates :class:`TraceRecord` entries.
+
+    ``kinds`` restricts recording (None = record everything); traces of
+    long simulations can otherwise grow large.
+    """
+
+    def __init__(self, kinds: Optional[set] = None):
+        self.records: List[TraceRecord] = []
+        self._kinds = kinds
+
+    def _emit(self, now: SimTime, delta: int, process: Process,
+              kind: str, detail: str) -> None:
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        self.records.append(
+            TraceRecord(now.femtoseconds, delta, process.full_name, kind, detail)
+        )
+
+    # -- observer callbacks ----------------------------------------------
+
+    def on_node_reached(self, process, command, now, delta):
+        self._emit(now, delta, process, "node-reached", _describe(command))
+
+    def on_node_finished(self, process, command, now, delta):
+        self._emit(now, delta, process, "node-finished", _describe(command))
+
+    def on_mark(self, process, label, now, delta):
+        self._emit(now, delta, process, "mark", label)
+
+    def on_process_exit(self, process, now):
+        self._emit(now, 0, process, "exit", "")
+
+    # -- queries ------------------------------------------------------------
+
+    def for_process(self, full_name: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.process == full_name]
+
+    def of_kind(self, kind: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class VcdWriter:
+    """Minimal VCD (value-change dump) writer for :class:`Signal` histories.
+
+    Produces a waveform file viewable in GTKWave from the committed
+    value history of a set of signals — a convenience for inspecting
+    strict-timed simulations with standard EDA tooling.
+    """
+
+    _ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+    def __init__(self, timescale: str = "1 fs"):
+        self.timescale = timescale
+
+    def render(self, signals) -> str:
+        """Render the histories of ``signals`` (iterable of Signal) to VCD text."""
+        signals = list(signals)
+        lines = [
+            "$date reproduction run $end",
+            "$version repro VcdWriter $end",
+            f"$timescale {self.timescale} $end",
+            "$scope module top $end",
+        ]
+        ids = {}
+        for index, signal in enumerate(signals):
+            code = self._identifier(index)
+            ids[signal.name] = code
+            lines.append(f"$var wire 64 {code} {signal.name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+
+        changes = []
+        for signal in signals:
+            for time_fs, _delta, value in signal.history:
+                changes.append((time_fs, ids[signal.name], value))
+        changes.sort(key=lambda c: c[0])
+
+        current_time = None
+        for time_fs, code, value in changes:
+            if time_fs != current_time:
+                lines.append(f"#{time_fs}")
+                current_time = time_fs
+            lines.append(f"b{self._to_bits(value)} {code}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: str, signals) -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(self.render(signals))
+
+    def _identifier(self, index: int) -> str:
+        chars = self._ID_CHARS
+        code = chars[index % len(chars)]
+        index //= len(chars)
+        while index:
+            code += chars[index % len(chars)]
+            index //= len(chars)
+        return code
+
+    @staticmethod
+    def _to_bits(value) -> str:
+        try:
+            as_int = int(value)
+        except (TypeError, ValueError):
+            as_int = abs(hash(value)) & 0xFFFFFFFF
+        if as_int < 0:
+            as_int &= (1 << 64) - 1
+        return bin(as_int)[2:]

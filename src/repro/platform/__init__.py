@@ -1,0 +1,35 @@
+"""Platform model: resources, architectural mapping and RTOS overhead."""
+
+from .library import (
+    ASIC_HW_COSTS,
+    CPU_CLOCK_MHZ,
+    DEFAULT_RTOS,
+    DSP_SW_COSTS,
+    HW_CLOCK_MHZ,
+    OPENRISC_SW_COSTS,
+    make_cpu,
+    make_fabric,
+)
+from .mapping import Mapping
+from .resources import (
+    EnvironmentResource,
+    KIND_ENVIRONMENT,
+    KIND_PARALLEL,
+    KIND_SEQUENTIAL,
+    POLICY_FIFO,
+    POLICY_PRIORITY,
+    ParallelResource,
+    Resource,
+    SequentialResource,
+)
+from .rtos import NULL_RTOS, RtosModel
+
+__all__ = [
+    "ASIC_HW_COSTS", "CPU_CLOCK_MHZ", "DEFAULT_RTOS", "DSP_SW_COSTS",
+    "HW_CLOCK_MHZ", "OPENRISC_SW_COSTS", "make_cpu", "make_fabric",
+    "Mapping",
+    "EnvironmentResource", "KIND_ENVIRONMENT", "KIND_PARALLEL",
+    "KIND_SEQUENTIAL", "POLICY_FIFO", "POLICY_PRIORITY",
+    "ParallelResource", "Resource", "SequentialResource",
+    "NULL_RTOS", "RtosModel",
+]

@@ -1,0 +1,109 @@
+"""Default platform characterizations.
+
+The paper expects the per-operation execution times to "be provided by
+the platform vendor".  This module plays the vendor: it ships default
+tables for the two platforms of the evaluation —
+
+* ``OPENRISC_SW_COSTS`` — a classic scalar RISC (the OpenRISC-flavoured
+  reference CPU of :mod:`repro.iss`).  These are *architectural*
+  defaults; the benchmarks refine them with
+  :mod:`repro.calibration`, which reproduces the paper's procedure of
+  fitting weights against assembler-level measurements.
+* ``ASIC_HW_COSTS`` — functional-unit latencies (in HW clock cycles)
+  for a standard-cell datapath, used for parallel resources and by the
+  behavioral-synthesis substrate.
+
+Factory helpers build ready-to-use resources so examples and benchmarks
+share one platform definition.
+"""
+
+from __future__ import annotations
+
+from ..annotate.costs import OperationCosts
+from ..kernel.time import Clock
+from .resources import ParallelResource, SequentialResource
+from .rtos import RtosModel
+
+#: Nominal clock of the reference CPU (paper's OpenRISC platform era).
+CPU_CLOCK_MHZ = 200.0
+#: Nominal clock of the HW fabric (10 ns cycle, as behavioural-synthesis
+#: papers of the period typically assume).
+HW_CLOCK_MHZ = 100.0
+
+# Architectural per-operation cycle counts for the reference CPU.  Each
+# entry covers the full cost of the C-level operation as compiled: the
+# ALU latency plus its share of operand fetch; values match the
+# instruction cycle model in ``repro.iss.isa``.
+OPENRISC_SW_COSTS = OperationCosts({
+    "add": 1.0, "sub": 1.0,
+    "mul": 3.0, "div": 32.0, "mod": 32.0,
+    "shl": 1.0, "shr": 1.0,
+    "and": 1.0, "or": 1.0, "xor": 1.0,
+    "neg": 1.0, "inv": 1.0, "abs": 2.0,
+    "lt": 1.0, "le": 1.0, "gt": 1.0, "ge": 1.0, "eq": 1.0, "ne": 1.0,
+    "load": 2.0, "store": 2.0,
+    "assign": 1.0, "branch": 2.0, "call": 18.0,
+    "fadd": 10.0, "fsub": 10.0, "fmul": 12.0, "fdiv": 40.0,
+    "fneg": 2.0, "fabs": 2.0, "fcmp": 4.0,
+}, name="openrisc-sw")
+
+# Functional-unit delays for a 100 MHz standard-cell datapath, as
+# *fractions of the clock period*.  The estimation library sums these
+# raw delays (implicitly assuming operator chaining within a cycle);
+# the behavioral-synthesis substrate schedules whole cycle slots
+# (ceil(delay), minimum one cycle).  The difference between the two
+# views is the paper's HW estimation error (Tables 2 and 4).
+ASIC_HW_COSTS = OperationCosts({
+    "add": 0.92, "sub": 0.92,
+    "mul": 1.85, "div": 12.7, "mod": 12.7,
+    "shl": 0.88, "shr": 0.88,
+    "and": 0.8, "or": 0.8, "xor": 0.8,
+    "neg": 0.95, "inv": 0.8, "abs": 1.85,
+    "lt": 0.8, "le": 0.8, "gt": 0.8, "ge": 0.8, "eq": 0.8, "ne": 0.8,
+    "load": 1.0, "store": 1.0,   # synchronous memory: exactly one cycle
+    "assign": 0.0, "branch": 0.0, "call": 0.0,
+    "fadd": 3.4, "fsub": 3.4, "fmul": 5.6, "fdiv": 18.2,
+    "fneg": 0.8, "fabs": 0.8, "fcmp": 1.6,
+}, name="asic-hw")
+
+# A VLIW-ish DSP: single-cycle MAC (multiply as cheap as an add),
+# hardware loop support folded into cheap branch cost, but expensive
+# control-flow-heavy code (calls) — the classic DSP trade-off.  Used by
+# examples exploring CPU-vs-DSP mapping decisions.
+DSP_SW_COSTS = OperationCosts({
+    "add": 1.0, "sub": 1.0,
+    "mul": 1.0, "div": 18.0, "mod": 18.0,
+    "shl": 1.0, "shr": 1.0,
+    "and": 1.0, "or": 1.0, "xor": 1.0,
+    "neg": 1.0, "inv": 1.0, "abs": 1.0,
+    "lt": 1.0, "le": 1.0, "gt": 1.0, "ge": 1.0, "eq": 1.0, "ne": 1.0,
+    "load": 1.0, "store": 1.0,
+    "assign": 1.0, "branch": 0.5, "call": 30.0,
+    "fadd": 2.0, "fsub": 2.0, "fmul": 2.0, "fdiv": 16.0,
+    "fneg": 1.0, "fabs": 1.0, "fcmp": 1.0,
+}, name="dsp-sw")
+
+#: A small embedded RTOS on the reference CPU (cycles per service).
+DEFAULT_RTOS = RtosModel(
+    name="ucos-like",
+    channel_access_cycles=120.0,
+    wait_cycles=80.0,
+    context_switch_cycles=150.0,
+)
+
+
+def make_cpu(name: str = "cpu0", mhz: float = CPU_CLOCK_MHZ,
+             costs: OperationCosts = OPENRISC_SW_COSTS,
+             rtos: RtosModel = DEFAULT_RTOS,
+             policy: str = "fifo") -> SequentialResource:
+    """A ready-to-use sequential (SW) resource."""
+    return SequentialResource(name, Clock.from_frequency_mhz(mhz),
+                              costs, rtos=rtos, policy=policy)
+
+
+def make_fabric(name: str = "hw0", mhz: float = HW_CLOCK_MHZ,
+                costs: OperationCosts = ASIC_HW_COSTS,
+                k_factor: float = 0.5) -> ParallelResource:
+    """A ready-to-use parallel (HW) resource."""
+    return ParallelResource(name, Clock.from_frequency_mhz(mhz),
+                            costs, k_factor=k_factor)

@@ -1,0 +1,107 @@
+"""Architectural mapping: which process runs on which resource.
+
+In the paper the mapping decisions are annotated in the SystemC source
+with pre-processor directives; here they live in an explicit
+:class:`Mapping` object, which the performance library reads at
+attachment time.  Unmapped processes are an error when a performance
+library is attached (silent misattribution of time would invalidate
+every report) unless they are explicitly declared environment
+components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from ..errors import MappingError
+from ..kernel.process import Process
+from .resources import EnvironmentResource, Resource
+
+ProcessKey = Union[Process, str]
+
+
+def _key_name(process: ProcessKey) -> str:
+    if isinstance(process, Process):
+        return process.full_name
+    return str(process)
+
+
+class Mapping:
+    """A process→resource assignment table.
+
+    Processes are identified by their hierarchical ``module.process``
+    name (or by the :class:`Process` object itself).
+    """
+
+    def __init__(self):
+        self._table: Dict[str, Resource] = {}
+
+    def assign(self, process: ProcessKey, resource: Resource) -> None:
+        """Map a process to a resource; remapping is an error.
+
+        The paper takes mapping decisions once, before timed simulation;
+        accidental double assignment almost always means two experiment
+        configurations got mixed up.
+        """
+        name = _key_name(process)
+        if name in self._table:
+            raise MappingError(
+                f"process {name!r} is already mapped to "
+                f"{self._table[name].name!r}"
+            )
+        if not isinstance(resource, Resource):
+            raise MappingError(
+                f"cannot map {name!r} to {resource!r}: not a Resource"
+            )
+        self._table[name] = resource
+
+    def assign_all(self, processes: Iterable[ProcessKey],
+                   resource: Resource) -> None:
+        for process in processes:
+            self.assign(process, resource)
+
+    def resource_of(self, process: ProcessKey) -> Resource:
+        name = _key_name(process)
+        try:
+            return self._table[name]
+        except KeyError:
+            raise MappingError(f"process {name!r} is not mapped") from None
+
+    def is_mapped(self, process: ProcessKey) -> bool:
+        return _key_name(process) in self._table
+
+    def processes_on(self, resource: Resource) -> List[str]:
+        """Names of all processes mapped to ``resource``."""
+        return [name for name, res in self._table.items() if res is resource]
+
+    def resources(self) -> List[Resource]:
+        """All distinct resources referenced by the mapping."""
+        seen: List[Resource] = []
+        for resource in self._table.values():
+            if resource not in seen:
+                seen.append(resource)
+        return seen
+
+    def validate(self, processes: Iterable[Process]) -> None:
+        """Check every given process is mapped (environment ones may map
+        to an :class:`EnvironmentResource`, but must still be mapped)."""
+        missing = [p.full_name for p in processes if not self.is_mapped(p)]
+        if missing:
+            raise MappingError(
+                "unmapped processes (map them to a resource, or to an "
+                f"EnvironmentResource to exclude them from analysis): {missing}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self):
+        return self._table.items()
+
+    def describe(self) -> str:
+        """Human-readable mapping table."""
+        lines = ["process -> resource"]
+        for name, resource in sorted(self._table.items()):
+            tag = "" if not isinstance(resource, EnvironmentResource) else " (env)"
+            lines.append(f"  {name} -> {resource.name}{tag}")
+        return "\n".join(lines)

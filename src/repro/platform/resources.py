@@ -1,0 +1,184 @@
+"""Platform resources — the targets of architectural mapping.
+
+The paper distinguishes three kinds of resource (§2):
+
+* **sequential resources** (SW: microprocessors, DSPs) — one statement
+  at a time; concurrent processes mapped to the same resource are
+  serialized and pay RTOS overhead at every channel access / wait;
+* **parallel resources** (HW: standard-cell fabric, FPGA) — every
+  process mapped there gets its own datapath; segment times interpolate
+  between the critical path (k=0) and the single-ALU bound (k=1);
+* **environment components** (virtual components, testbenches) — no
+  performance analysis is done for them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, TYPE_CHECKING
+
+from ..annotate.costs import OperationCosts
+from ..kernel.time import Clock, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel.process import Process
+    from .rtos import RtosModel
+
+KIND_SEQUENTIAL = "sequential"
+KIND_PARALLEL = "parallel"
+KIND_ENVIRONMENT = "environment"
+
+#: Ready-queue policies supported by sequential resources.
+POLICY_FIFO = "fifo"
+POLICY_PRIORITY = "priority"
+
+
+class Resource:
+    """Base class for platform resources."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, clock: Clock,
+                 costs: Optional[OperationCosts] = None):
+        self.name = name
+        self.clock = clock
+        #: Operation cost table used for segments executed on this
+        #: resource; None only for environment components.
+        self.costs = costs
+        #: Total busy time accumulated on this resource (reporting).
+        self.busy_time = SimTime(0)
+        #: Total RTOS time accumulated on this resource (reporting).
+        self.rtos_time = SimTime(0)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SequentialResource(Resource):
+    """A processor: serializes all processes mapped to it.
+
+    Carries the occupancy state used by the paper's arbitration loop
+    ("the process needs to wait until the resource is empty"), a ready
+    queue with a scheduling policy, and an optional RTOS model.
+    """
+
+    kind = KIND_SEQUENTIAL
+
+    def __init__(self, name: str, clock: Clock, costs: OperationCosts,
+                 rtos: Optional["RtosModel"] = None,
+                 policy: str = POLICY_FIFO):
+        super().__init__(name, clock, costs)
+        if policy not in (POLICY_FIFO, POLICY_PRIORITY):
+            raise ValueError(f"unknown scheduling policy {policy!r}")
+        self.rtos = rtos
+        self.policy = policy
+        #: Simulated time until which the processor is occupied.
+        self.free_at = SimTime(0)
+        #: Processes currently contending for the processor, in arrival
+        #: order (FIFO) — priority policy re-sorts on grant.  Each entry
+        #: carries the duration the process will request, so co-waiting
+        #: processes can compute exact recheck times.
+        self._waiting: Deque["Process"] = deque()
+        self._requested: Dict[int, SimTime] = {}
+        #: Last process granted the processor (context-switch accounting).
+        self.last_process: Optional["Process"] = None
+        #: Number of occupancy hand-overs between different processes.
+        self.context_switches = 0
+
+    # -- occupancy protocol (used by the timing agents) -----------------
+
+    def enqueue(self, process: "Process", duration: SimTime) -> None:
+        """Register a process as contending for ``duration`` of CPU time."""
+        if process not in self._waiting:
+            self._waiting.append(process)
+        self._requested[process.pid] = duration
+
+    def may_run(self, process: "Process", now: SimTime) -> bool:
+        """True if ``process`` can occupy the processor *now*.
+
+        It can when the processor is free and the process is the one the
+        scheduling policy would grant next.
+        """
+        if now < self.free_at:
+            return False
+        head = self._next_candidate()
+        return head is None or head is process
+
+    def expected_wait(self, process: "Process", now: SimTime) -> SimTime:
+        """How long ``process`` should wait before rechecking :meth:`may_run`.
+
+        This realizes the paper's arbitration loop: if the processor is
+        busy, wait until it frees; if it is free but the policy grants a
+        different waiter first, wait out that waiter's announced
+        duration (it will occupy within the current instant).
+        """
+        if now < self.free_at:
+            return self.free_at - now
+        head = self._next_candidate()
+        if head is not None and head is not process:
+            announced = self._requested.get(head.pid, SimTime(0))
+            if announced.femtoseconds > 0:
+                return announced
+            # A zero-length head segment: recheck after one clock tick.
+            return self.clock.period
+        return SimTime(0)
+
+    def _next_candidate(self) -> Optional["Process"]:
+        if not self._waiting:
+            return None
+        if self.policy == POLICY_PRIORITY:
+            return min(self._waiting, key=lambda p: (p.priority, p.pid))
+        return self._waiting[0]
+
+    def occupy(self, process: "Process", now: SimTime,
+               duration: SimTime) -> SimTime:
+        """Grant the processor to ``process`` for ``duration`` from ``now``.
+
+        Returns the completion time.  The caller must have checked
+        :meth:`may_run`.
+        """
+        try:
+            self._waiting.remove(process)
+        except ValueError:
+            pass
+        self._requested.pop(process.pid, None)
+        if self.last_process is not None and self.last_process is not process:
+            self.context_switches += 1
+        self.last_process = process
+        completion = now + duration
+        self.free_at = completion
+        self.busy_time = self.busy_time + duration
+        return completion
+
+    @property
+    def contention(self) -> int:
+        """Number of processes currently queued for the processor."""
+        return len(self._waiting)
+
+
+class ParallelResource(Resource):
+    """A hardware fabric: processes run concurrently on private datapaths.
+
+    ``k_factor`` selects the point between the best-case (critical-path,
+    ``k = 0``) and worst-case (single-ALU, ``k = 1``) implementation
+    bounds when annotating segment times (paper §3, Fig. 4).
+    """
+
+    kind = KIND_PARALLEL
+
+    def __init__(self, name: str, clock: Clock, costs: OperationCosts,
+                 k_factor: float = 0.5):
+        super().__init__(name, clock, costs)
+        if not 0.0 <= k_factor <= 1.0:
+            raise ValueError(f"k factor must lie in [0, 1], got {k_factor}")
+        self.k_factor = k_factor
+
+
+class EnvironmentResource(Resource):
+    """A virtual component or testbench: exempt from performance analysis."""
+
+    kind = KIND_ENVIRONMENT
+
+    def __init__(self, name: str,
+                 clock: Optional[Clock] = None):
+        super().__init__(name, clock or Clock.from_frequency_mhz(1000.0), None)

@@ -1,0 +1,62 @@
+"""The RTOS overhead model.
+
+The paper models the RTOS exactly at the points where it really runs on
+the platform: "The RTOS will be executed each time a thread is stopped,
+that is, when a channel or a waiting statement is reached.  Thus, the
+RTOS timing is estimated assigning an execution time to those channels
+and waiting statements executed by processes mapped to SW resources."
+
+:class:`RtosModel` therefore assigns cycle costs per node kind; the
+sequential-resource timing agent charges them on top of the segment
+cost.  Separate accounting lets reports show "the RTOS overload is
+evaluated" (paper §6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class RtosModel:
+    """Cycle costs of RTOS services on a sequential resource.
+
+    All values are in cycles of the owning resource's clock.
+
+    ``channel_access_cycles``
+        Kernel entry + syscall work for a channel operation (the
+        blocking primitive, mutex/queue manipulation).
+    ``wait_cycles``
+        Timer programming for an explicit ``wait(sc_time)``.
+    ``context_switch_cycles``
+        Scheduler dispatch when the processor passes from one process to
+        another (charged when occupancy changes hands).
+    """
+
+    name: str = "generic-rtos"
+    channel_access_cycles: float = 0.0
+    wait_cycles: float = 0.0
+    context_switch_cycles: float = 0.0
+
+    def __post_init__(self):
+        for field in ("channel_access_cycles", "wait_cycles",
+                      "context_switch_cycles"):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} cannot be negative")
+
+    def node_cycles(self, node_kind: str) -> float:
+        """RTOS cycles charged for a node of the given kind.
+
+        ``node_kind`` is "channel" for channel accesses and "wait" for
+        timing waits; process exit charges nothing.
+        """
+        if node_kind == "channel":
+            return self.channel_access_cycles
+        if node_kind == "wait":
+            return self.wait_cycles
+        return 0.0
+
+
+#: An RTOS that costs nothing — bare-metal execution.
+NULL_RTOS = RtosModel(name="none", channel_access_cycles=0.0,
+                      wait_cycles=0.0, context_switch_cycles=0.0)

@@ -1,0 +1,9 @@
+"""Energy estimation extension (activity-based, per-operation)."""
+
+from .model import CPU_ENERGY, EnergyTable, HW_ENERGY, PowerBudget
+from .report import EnergyReport, ProcessEnergy, estimate_energy
+
+__all__ = [
+    "CPU_ENERGY", "EnergyTable", "HW_ENERGY", "PowerBudget",
+    "EnergyReport", "ProcessEnergy", "estimate_energy",
+]

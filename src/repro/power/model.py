@@ -1,0 +1,96 @@
+"""Activity-based energy estimation (the paper's "consumption" axis).
+
+The paper's introduction lists consumption next to time among the
+performance parameters a system-level methodology must estimate; the
+DATE-2004 library handled time only.  This extension closes that gap
+with the same mechanism: the annotated types already count every
+executed operation per process, so energy falls out of an
+operation→energy characterization plus a static (leakage + clock tree)
+power term integrated over resource busy time.
+
+    E(process)  = Σ_op  count(op) * e_dynamic(op)
+    E(resource) = Σ_processes E + P_static * busy_time
+
+Like the timing weights, the energy-per-operation numbers would come
+from the platform vendor; defaults for the two reference platforms are
+provided in :data:`CPU_ENERGY` and :data:`HW_ENERGY`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping
+
+from ..annotate.costs import KNOWN_OPERATIONS
+from ..errors import AnnotationError
+
+
+class EnergyTable:
+    """Per-operation dynamic energy, in picojoules."""
+
+    __slots__ = ("_table", "name")
+
+    def __init__(self, table: Mapping[str, float], name: str = ""):
+        unknown = set(table) - KNOWN_OPERATIONS
+        if unknown:
+            raise AnnotationError(
+                f"unknown operations in energy table {name!r}: {sorted(unknown)}"
+            )
+        bad = {op: v for op, v in table.items() if v < 0}
+        if bad:
+            raise AnnotationError(f"negative energies in {name!r}: {bad}")
+        self._table: Dict[str, float] = dict(table)
+        self.name = name
+
+    def get(self, operation: str) -> float:
+        try:
+            return self._table[operation]
+        except KeyError:
+            raise AnnotationError(
+                f"energy table {self.name!r} has no entry for {operation!r}"
+            ) from None
+
+    def __contains__(self, operation: str) -> bool:
+        return operation in self._table
+
+    def energy_pj(self, op_counts: Mapping[str, int]) -> float:
+        """Total dynamic energy for an operation-count histogram."""
+        return sum(count * self.get(op) for op, count in op_counts.items())
+
+
+#: A 130 nm-class embedded CPU: roughly equal op energies, memory and
+#: long-latency operations costlier (values in pJ per operation).
+CPU_ENERGY = EnergyTable({
+    "add": 4.0, "sub": 4.0, "mul": 12.0, "div": 120.0, "mod": 120.0,
+    "shl": 3.0, "shr": 3.0, "and": 3.0, "or": 3.0, "xor": 3.0,
+    "neg": 4.0, "inv": 3.0, "abs": 5.0,
+    "lt": 3.5, "le": 3.5, "gt": 3.5, "ge": 3.5, "eq": 3.5, "ne": 3.5,
+    "load": 18.0, "store": 20.0,
+    "assign": 2.0, "branch": 5.0, "call": 40.0,
+    "fadd": 30.0, "fsub": 30.0, "fmul": 45.0, "fdiv": 160.0,
+    "fneg": 6.0, "fabs": 6.0, "fcmp": 12.0,
+}, name="cpu-130nm")
+
+#: A dedicated datapath: cheaper per useful operation (no fetch/decode),
+#: but memory ports still dominate.
+HW_ENERGY = EnergyTable({
+    "add": 1.2, "sub": 1.2, "mul": 6.0, "div": 60.0, "mod": 60.0,
+    "shl": 0.2, "shr": 0.2, "and": 0.3, "or": 0.3, "xor": 0.3,
+    "neg": 1.2, "inv": 0.3, "abs": 1.5,
+    "lt": 0.8, "le": 0.8, "gt": 0.8, "ge": 0.8, "eq": 0.8, "ne": 0.8,
+    "load": 10.0, "store": 12.0,
+    "assign": 0.0, "branch": 0.0, "call": 0.0,
+    "fadd": 9.0, "fsub": 9.0, "fmul": 16.0, "fdiv": 70.0,
+    "fneg": 1.0, "fabs": 1.0, "fcmp": 3.0,
+}, name="asic-datapath")
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerBudget:
+    """Static power of a resource, integrated over busy time."""
+
+    static_mw: float = 0.0
+
+    def static_energy_pj(self, busy_time_fs: int) -> float:
+        # mW * fs = 1e-3 J/s * 1e-15 s = 1e-18 J = 1e-6 pJ
+        return self.static_mw * busy_time_fs * 1e-6

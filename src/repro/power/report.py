@@ -1,0 +1,105 @@
+"""Energy accounting over a finished strict-timed simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional
+
+from ..core.analysis import PerformanceLibrary
+from ..errors import ReproError
+from .model import CPU_ENERGY, EnergyTable, HW_ENERGY, PowerBudget
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessEnergy:
+    """Dynamic energy attributed to one process."""
+
+    process: str
+    resource: str
+    operations: int
+    dynamic_pj: float
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyReport:
+    """Per-process and per-resource energy totals."""
+
+    processes: List[ProcessEnergy]
+    resource_dynamic_pj: Dict[str, float]
+    resource_static_pj: Dict[str, float]
+
+    @property
+    def total_pj(self) -> float:
+        return (sum(self.resource_dynamic_pj.values())
+                + sum(self.resource_static_pj.values()))
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    def render(self) -> str:
+        lines = ["=== energy report ==="]
+        for entry in self.processes:
+            lines.append(
+                f"  {entry.process:<24} on {entry.resource:<8} "
+                f"{entry.operations:>10} ops  {entry.dynamic_pj / 1e6:10.3f} uJ"
+            )
+        lines.append("  -- per resource --")
+        for name in sorted(self.resource_dynamic_pj):
+            dynamic = self.resource_dynamic_pj[name] / 1e6
+            static = self.resource_static_pj.get(name, 0.0) / 1e6
+            lines.append(f"  {name:<24} dynamic {dynamic:10.3f} uJ   "
+                         f"static {static:10.3f} uJ")
+        lines.append(f"  total: {self.total_uj:.3f} uJ")
+        return "\n".join(lines)
+
+
+def estimate_energy(perf: PerformanceLibrary,
+                    tables: Mapping[str, EnergyTable],
+                    budgets: Optional[Mapping[str, PowerBudget]] = None
+                    ) -> EnergyReport:
+    """Build the energy report of an analysed, finished simulation.
+
+    ``tables`` maps resource name → :class:`EnergyTable` (defaults are
+    chosen by resource kind when a name is missing: sequential →
+    :data:`CPU_ENERGY`, parallel → :data:`HW_ENERGY`).  ``budgets``
+    optionally maps resource name → :class:`PowerBudget` for static
+    power.
+    """
+    if not perf.contexts:
+        raise ReproError(
+            "estimate_energy needs an attached PerformanceLibrary with "
+            "at least one analysed process"
+        )
+    budgets = budgets or {}
+    resources_by_name = {r.name: r for r in perf.resources()}
+
+    def table_for(resource) -> EnergyTable:
+        if resource.name in tables:
+            return tables[resource.name]
+        return CPU_ENERGY if resource.kind == "sequential" else HW_ENERGY
+
+    processes: List[ProcessEnergy] = []
+    resource_dynamic: Dict[str, float] = {}
+    # PerformanceLibrary keys contexts by pid and stats by full name in
+    # the same insertion order.
+    for (pid, context), (name, stats) in zip(
+            perf.contexts.items(), perf.stats.items()):
+        resource = resources_by_name[stats.resource]
+        table = table_for(resource)
+        dynamic = table.energy_pj(context.lifetime_op_counts)
+        operations = sum(context.lifetime_op_counts.values())
+        processes.append(ProcessEnergy(name, resource.name,
+                                       operations, dynamic))
+        resource_dynamic[resource.name] = (
+            resource_dynamic.get(resource.name, 0.0) + dynamic
+        )
+
+    resource_static: Dict[str, float] = {}
+    for name, resource in resources_by_name.items():
+        budget = budgets.get(name)
+        if budget is not None:
+            resource_static[name] = budget.static_energy_pj(
+                resource.busy_time.femtoseconds
+            )
+    return EnergyReport(processes, resource_dynamic, resource_static)

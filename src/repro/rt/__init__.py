@@ -1,0 +1,17 @@
+"""Real-time analysis over estimation results (paper §6 extension)."""
+
+from .schedulability import (
+    ResponseTimeResult,
+    edf_test,
+    response_time_analysis,
+    rm_utilization_bound,
+    rm_utilization_test,
+    schedulability_report,
+)
+from .tasks import Task, task_from_measurements, total_utilization
+
+__all__ = [
+    "ResponseTimeResult", "edf_test", "response_time_analysis",
+    "rm_utilization_bound", "rm_utilization_test", "schedulability_report",
+    "Task", "task_from_measurements", "total_utilization",
+]

@@ -1,0 +1,119 @@
+"""Classical single-processor schedulability tests.
+
+The estimation library supplies per-process execution times and
+periods; these tests answer the paper's "deciding the most appropriate
+scheduling policy for each processor" question:
+
+* Liu & Layland utilization bound for rate-monotonic priorities
+  (sufficient),
+* exact response-time analysis for fixed priorities (necessary and
+  sufficient for the independent-task model),
+* the EDF utilization test (exact for implicit deadlines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .tasks import Task, total_utilization
+
+
+def rm_utilization_bound(task_count: int) -> float:
+    """Liu & Layland 1973: U <= n(2^(1/n) - 1)."""
+    if task_count <= 0:
+        raise ReproError("need at least one task")
+    return task_count * (2 ** (1.0 / task_count) - 1)
+
+
+def rm_utilization_test(tasks: List[Task]) -> bool:
+    """Sufficient RM test: schedulable if U is under the LL bound."""
+    if not tasks:
+        raise ReproError("need at least one task")
+    return total_utilization(tasks) <= rm_utilization_bound(len(tasks))
+
+
+def edf_test(tasks: List[Task]) -> bool:
+    """EDF with implicit deadlines is schedulable iff U <= 1."""
+    if not tasks:
+        raise ReproError("need at least one task")
+    if any(task.deadline_ns is not None
+           and task.deadline_ns < task.period_ns for task in tasks):
+        raise ReproError("the simple EDF test needs implicit deadlines; "
+                         "use response-time analysis instead")
+    return total_utilization(tasks) <= 1.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ResponseTimeResult:
+    """Outcome of fixed-priority response-time analysis."""
+
+    schedulable: bool
+    response_ns: Dict[str, float]        # worst-case response per task
+    failing_task: Optional[str] = None
+
+    def margin_ns(self, task: Task) -> float:
+        """Slack between deadline and worst-case response."""
+        return task.effective_deadline_ns - self.response_ns[task.name]
+
+
+def response_time_analysis(tasks: List[Task],
+                           max_iterations: int = 10_000) -> ResponseTimeResult:
+    """Exact RTA for fixed priorities (rate-monotonic order).
+
+    Tasks are prioritized by ascending period (ties by name, for
+    determinism).  Classic fixed-point iteration:
+    ``R = C + sum_higher ceil(R / T_j) * C_j``.
+    """
+    if not tasks:
+        raise ReproError("need at least one task")
+    ordered = sorted(tasks, key=lambda t: (t.period_ns, t.name))
+    responses: Dict[str, float] = {}
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = task.execution_ns
+        for _ in range(max_iterations):
+            interference = sum(
+                math.ceil(response / other.period_ns) * other.execution_ns
+                for other in higher
+            )
+            updated = task.execution_ns + interference
+            if updated > task.effective_deadline_ns:
+                responses[task.name] = updated
+                return ResponseTimeResult(False, responses, task.name)
+            if abs(updated - response) < 1e-9:
+                break
+            response = updated
+        else:  # pragma: no cover - defensive
+            raise ReproError(
+                f"response-time iteration did not converge for {task.name!r}"
+            )
+        responses[task.name] = response
+    return ResponseTimeResult(True, responses)
+
+
+def schedulability_report(tasks: List[Task]) -> str:
+    """Human-readable summary of all three tests."""
+    utilization = total_utilization(tasks)
+    lines = [f"task set ({len(tasks)} tasks, U = {utilization:.3f}):"]
+    for task in sorted(tasks, key=lambda t: t.period_ns):
+        lines.append(
+            f"  {task.name:<16} C = {task.execution_ns / 1e3:9.1f} us   "
+            f"T = {task.period_ns / 1e3:9.1f} us   u = {task.utilization:.3f}"
+        )
+    bound = rm_utilization_bound(len(tasks))
+    lines.append(f"  RM LL-bound test : U {utilization:.3f} "
+                 f"{'<=' if utilization <= bound else '>'} {bound:.3f} -> "
+                 f"{'pass' if rm_utilization_test(tasks) else 'inconclusive'}")
+    rta = response_time_analysis(tasks)
+    lines.append(f"  RM response-time : "
+                 f"{'schedulable' if rta.schedulable else f'FAILS at {rta.failing_task}'}")
+    for task in sorted(tasks, key=lambda t: t.period_ns):
+        lines.append(f"    {task.name:<14} R = "
+                     f"{rta.response_ns[task.name] / 1e3:9.1f} us "
+                     f"(D = {task.effective_deadline_ns / 1e3:.1f} us)")
+    lines.append(f"  EDF utilization  : "
+                 f"{'schedulable' if edf_test(tasks) else 'overloaded'}")
+    return "\n".join(lines)

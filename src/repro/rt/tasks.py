@@ -1,0 +1,97 @@
+"""Task models extracted from strict-timed simulation results.
+
+The paper's §6: "Based on the mean execution times and periods of the
+different processes, rate analysis and scheduling for soft, real-time
+embedded systems can be performed.  The instantaneous execution times
+for the segments ... can be used for performance verification and
+scheduling of hard, real-time systems."
+
+This module turns the measured quantities into classical periodic task
+models: execution demand from the performance library's per-process
+statistics (mean for soft analysis, observed-maximum for hard
+analysis), period from capture-point inter-arrival times.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..capture.metrics import inter_arrival_ns
+from ..capture.points import CapturePoint
+from ..core.analysis import PerformanceLibrary
+from ..errors import CaptureError, ReproError
+from ..kernel.time import SimTime
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """A periodic task: execution time C, period T, deadline D (= T by
+    default)."""
+
+    name: str
+    execution_ns: float
+    period_ns: float
+    deadline_ns: Optional[float] = None
+
+    def __post_init__(self):
+        if self.execution_ns <= 0:
+            raise ReproError(f"task {self.name!r}: execution must be positive")
+        if self.period_ns <= 0:
+            raise ReproError(f"task {self.name!r}: period must be positive")
+        if self.execution_ns > self.period_ns:
+            raise ReproError(
+                f"task {self.name!r}: execution {self.execution_ns} exceeds "
+                f"period {self.period_ns}; the task set is trivially "
+                f"infeasible on one processor"
+            )
+
+    @property
+    def effective_deadline_ns(self) -> float:
+        return self.deadline_ns if self.deadline_ns is not None else self.period_ns
+
+    @property
+    def utilization(self) -> float:
+        return self.execution_ns / self.period_ns
+
+
+def task_from_measurements(name: str,
+                           perf: PerformanceLibrary,
+                           process_name: str,
+                           activations: CapturePoint,
+                           hard: bool = False,
+                           deadline: Optional[SimTime] = None) -> Task:
+    """Build a :class:`Task` from a finished analysed simulation.
+
+    ``activations`` must have captured every job release of the
+    process.  Soft analysis (default) uses mean demand per activation;
+    ``hard=True`` uses the observed-maximum segment-sum per activation
+    approximated by the busiest activation interval.
+    """
+    stats = perf.stats.get(process_name)
+    if stats is None:
+        raise ReproError(f"no analysed process named {process_name!r}")
+    gaps = inter_arrival_ns(activations)
+    if not gaps:
+        raise CaptureError(
+            f"capture point {activations.name!r} needs at least two hits "
+            f"to derive a period"
+        )
+    period_ns = sum(gaps) / len(gaps)
+    jobs = len(activations.events)
+    busy_ns = stats.busy_time.to_ns()
+    execution_ns = busy_ns / jobs
+    if hard:
+        # conservative inflation: assume the worst observed rate of
+        # demand concentrates in one period
+        execution_ns = execution_ns * (max(gaps) / period_ns)
+    return Task(
+        name=name,
+        execution_ns=execution_ns,
+        period_ns=period_ns,
+        deadline_ns=deadline.to_ns() if deadline is not None else None,
+    )
+
+
+def total_utilization(tasks: List[Task]) -> float:
+    return sum(task.utilization for task in tasks)

@@ -1,0 +1,18 @@
+"""Process segmentation: graphs, dynamic tracking, static scanning."""
+
+from .graph import NodeId, NodeStats, ProcessGraph, SegmentStats
+from .static import (
+    CoverageReport,
+    StaticNode,
+    annotate_listing,
+    coverage_report,
+    scan_process,
+)
+from .tracker import SegmentTracker, node_id_for
+
+__all__ = [
+    "NodeId", "NodeStats", "ProcessGraph", "SegmentStats",
+    "CoverageReport", "StaticNode", "annotate_listing", "coverage_report",
+    "scan_process",
+    "SegmentTracker", "node_id_for",
+]

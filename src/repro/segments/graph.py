@@ -1,0 +1,194 @@
+"""Process graphs: nodes and segments (paper §2, Figs. 1–2).
+
+A process is represented by a graph whose nodes are its entry/exit
+statements, channel accesses and timing waits, and whose arcs are the
+*segments* — the closed pieces of code between two nodes.  Two segments
+may share a start node or an end node, but a (start, end) pair names a
+unique segment (paper: "Its initial and final statements identify each
+segment").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+try:  # networkx is a declared dependency, but keep the import soft so
+    import networkx as _nx  # the graph core works even without it.
+except ImportError:  # pragma: no cover
+    _nx = None
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeId:
+    """Identity of a process-graph node.
+
+    ``kind`` is one of ``entry``, ``exit``, ``channel`` or ``wait``;
+    ``detail`` carries ``channel_name.operation`` for channel nodes;
+    ``site`` is the source line of the access in the process body —
+    the dynamic equivalent of the paper's parser-inserted marks.
+    """
+
+    kind: str
+    detail: str = ""
+    site: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "channel":
+            return f"{self.detail}@{self.site}"
+        if self.kind == "wait":
+            return f"wait@{self.site}"
+        return self.kind
+
+
+@dataclasses.dataclass
+class NodeStats:
+    """Aggregated observations for one node."""
+
+    node: NodeId
+    label: str            # N0, N1, ... in order of first appearance
+    executions: int = 0
+
+
+@dataclasses.dataclass
+class SegmentStats:
+    """Aggregated observations for one segment (arc)."""
+
+    start: NodeId
+    end: NodeId
+    label: str            # Si-j using the node labels
+    executions: int = 0
+    total_cycles: float = 0.0
+    total_cycles_sq: float = 0.0
+    min_cycles: float = float("inf")
+    max_cycles: float = 0.0
+    #: critical-path cycles (HW-mode accumulation); equals total for SW
+    total_critical_path: float = 0.0
+    #: user marks observed inside this segment
+    marks: List[str] = dataclasses.field(default_factory=list)
+
+    def observe(self, cycles: float, critical_path: float) -> None:
+        self.executions += 1
+        self.total_cycles += cycles
+        self.total_cycles_sq += cycles * cycles
+        self.total_critical_path += critical_path
+        if cycles < self.min_cycles:
+            self.min_cycles = cycles
+        if cycles > self.max_cycles:
+            self.max_cycles = cycles
+
+    @property
+    def mean_cycles(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return self.total_cycles / self.executions
+
+    @property
+    def variance_cycles(self) -> float:
+        """Population variance of the observed segment costs."""
+        if self.executions == 0:
+            return 0.0
+        mean = self.mean_cycles
+        variance = self.total_cycles_sq / self.executions - mean * mean
+        return max(0.0, variance)  # guard rounding
+
+    def confidence_interval(self, z: float = 1.96) -> Tuple[float, float]:
+        """Normal-approximation CI for the mean segment cost.
+
+        Dynamic estimation over data-dependent paths leaves residual
+        uncertainty; following the paper's pointer to confidence-
+        interval reporting [17], this gives ``mean ± z * s/sqrt(n)``
+        (default z: 95 %).  With one observation the interval collapses
+        to the point.
+        """
+        if self.executions <= 1:
+            return (self.mean_cycles, self.mean_cycles)
+        half_width = z * (self.variance_cycles ** 0.5) / (self.executions ** 0.5)
+        return (self.mean_cycles - half_width, self.mean_cycles + half_width)
+
+
+class ProcessGraph:
+    """The dynamic graph of one process: nodes, segments and statistics."""
+
+    def __init__(self, process_name: str):
+        self.process_name = process_name
+        self.nodes: Dict[NodeId, NodeStats] = {}
+        self.segments: Dict[Tuple[NodeId, NodeId], SegmentStats] = {}
+        self._entry = NodeId("entry")
+        self.touch_node(self._entry)
+
+    @property
+    def entry(self) -> NodeId:
+        return self._entry
+
+    def touch_node(self, node: NodeId) -> NodeStats:
+        """Record one execution of ``node``, creating it on first sight."""
+        stats = self.nodes.get(node)
+        if stats is None:
+            stats = NodeStats(node, f"N{len(self.nodes)}")
+            self.nodes[node] = stats
+        stats.executions += 1
+        return stats
+
+    def touch_segment(self, start: NodeId, end: NodeId,
+                      cycles: float = 0.0,
+                      critical_path: float = 0.0) -> SegmentStats:
+        """Record one execution of the segment ``start → end``."""
+        key = (start, end)
+        stats = self.segments.get(key)
+        if stats is None:
+            label = f"S{self.nodes[start].label[1:]}-{self.nodes[end].label[1:]}"
+            stats = SegmentStats(start, end, label)
+            self.segments[key] = stats
+        stats.observe(cycles, critical_path)
+        return stats
+
+    # -- queries ---------------------------------------------------------
+
+    def segment(self, start_label: str, end_label: str) -> Optional[SegmentStats]:
+        """Look up a segment by its node labels, e.g. ``("N0", "N1")``."""
+        for stats in self.segments.values():
+            if stats.label == f"S{start_label[1:]}-{end_label[1:]}":
+                return stats
+        return None
+
+    def total_cycles(self) -> float:
+        return sum(s.total_cycles for s in self.segments.values())
+
+    def successors(self, node: NodeId) -> List[NodeId]:
+        return [end for (start, end) in self.segments if start == node]
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` (node labels + segment stats)."""
+        if _nx is None:  # pragma: no cover
+            raise ImportError("networkx is not installed")
+        graph = _nx.DiGraph(process=self.process_name)
+        for node, stats in self.nodes.items():
+            graph.add_node(stats.label, kind=node.kind,
+                           detail=node.describe(), executions=stats.executions)
+        for (start, end), stats in self.segments.items():
+            graph.add_edge(self.nodes[start].label, self.nodes[end].label,
+                           label=stats.label, executions=stats.executions,
+                           mean_cycles=stats.mean_cycles)
+        return graph
+
+    def to_dot(self) -> str:
+        """GraphViz rendering of the process graph (Fig. 2 style)."""
+        lines = [f'digraph "{self.process_name}" {{']
+        for node, stats in self.nodes.items():
+            shape = {"entry": "circle", "exit": "doublecircle"}.get(node.kind, "box")
+            lines.append(
+                f'  {stats.label} [shape={shape}, '
+                f'label="{stats.label}\\n{node.describe()}"];'
+            )
+        for (start, end), stats in self.segments.items():
+            lines.append(
+                f"  {self.nodes[start].label} -> {self.nodes[end].label} "
+                f'[label="{stats.label} (x{stats.executions})"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"ProcessGraph({self.process_name!r}, nodes={len(self.nodes)}, "
+                f"segments={len(self.segments)})")

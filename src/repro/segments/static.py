@@ -1,0 +1,144 @@
+"""Static source scanning — the paper's "simple parser program".
+
+The C++ flow needs a parser to insert segment marks into the source.
+Our dynamic tracker makes that unnecessary at runtime, but the static
+scan is still useful: it lists the node sites of a process *before*
+simulation (documentation, coverage checks: did the simulation visit
+every static node?) and reproduces Fig. 1's annotated listing.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+import textwrap
+from typing import Callable, List
+
+from ..errors import ReproError
+
+#: Channel method names treated as access sites.
+_CHANNEL_OPERATIONS = frozenset({
+    "read", "write", "try_read", "await_change",
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticNode:
+    """One potential node site found in a process body."""
+
+    kind: str         # channel | wait
+    detail: str       # "target.operation" or "wait"
+    lineno: int       # line within the function source (1-based, absolute)
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.detail}@{self.lineno}"
+
+
+class _NodeScanner(ast.NodeVisitor):
+    def __init__(self, first_line: int):
+        self.first_line = first_line
+        self.nodes: List[StaticNode] = []
+
+    def _abs_line(self, node: ast.AST) -> int:
+        return self.first_line + node.lineno - 1
+
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        call = node.value
+        if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+            if call.func.attr in _CHANNEL_OPERATIONS:
+                target = ast.unparse(call.func.value)
+                self.nodes.append(StaticNode(
+                    "channel", f"{target}.{call.func.attr}", self._abs_line(node)
+                ))
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        value = node.value
+        if isinstance(value, ast.Call):
+            func = value.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            if name in ("wait", "WaitFor"):
+                self.nodes.append(StaticNode("wait", "wait", self._abs_line(node)))
+        self.generic_visit(node)
+
+
+def scan_process(body: Callable) -> List[StaticNode]:
+    """Statically list the node sites of a process body function.
+
+    Raises :class:`~repro.errors.ReproError` when the source is not
+    available (e.g. functions defined interactively).
+    """
+    try:
+        source = inspect.getsource(body)
+        first_line = inspect.getsourcelines(body)[1]
+    except (OSError, TypeError) as exc:
+        raise ReproError(f"cannot obtain source of {body!r}: {exc}") from exc
+    tree = ast.parse(textwrap.dedent(source))
+    scanner = _NodeScanner(first_line)
+    scanner.visit(tree)
+    return sorted(scanner.nodes, key=lambda n: n.lineno)
+
+
+def coverage_report(body: Callable, graph) -> "CoverageReport":
+    """Compare the static node sites of ``body`` with a dynamic graph.
+
+    A static site the simulation never visited usually means the
+    stimulus did not reach that code path — estimation figures for the
+    process are then incomplete.  ``graph`` is the
+    :class:`~repro.segments.graph.ProcessGraph` the tracker built for
+    the process.
+    """
+    static_sites = scan_process(body)
+    visited_lines = {node.site for node in graph.nodes
+                     if node.kind in ("channel", "wait")}
+    covered = [site for site in static_sites if site.lineno in visited_lines]
+    missed = [site for site in static_sites if site.lineno not in visited_lines]
+    return CoverageReport(tuple(static_sites), tuple(covered), tuple(missed))
+
+
+@dataclasses.dataclass(frozen=True)
+class CoverageReport:
+    """Outcome of :func:`coverage_report`."""
+
+    static_sites: tuple
+    covered: tuple
+    missed: tuple
+
+    @property
+    def complete(self) -> bool:
+        return not self.missed
+
+    @property
+    def ratio(self) -> float:
+        if not self.static_sites:
+            return 1.0
+        return len(self.covered) / len(self.static_sites)
+
+    def describe(self) -> str:
+        lines = [f"node coverage: {len(self.covered)}/{len(self.static_sites)}"]
+        for site in self.missed:
+            lines.append(f"  MISSED {site.describe()}")
+        return "\n".join(lines)
+
+
+def annotate_listing(body: Callable) -> str:
+    """Render the function source with node sites marked (Fig. 1 style).
+
+    Each node line gets a ``# <- Nk`` comment appended, numbering node
+    sites in textual order (entry/exit implicit).
+    """
+    source = textwrap.dedent(inspect.getsource(body))
+    first_line = inspect.getsourcelines(body)[1]
+    nodes = scan_process(body)
+    by_line = {n.lineno: i for i, n in enumerate(nodes, start=1)}
+    out = []
+    for offset, line in enumerate(source.splitlines()):
+        lineno = first_line + offset
+        if lineno in by_line:
+            out.append(f"{line}  # <- N{by_line[lineno]}")
+        else:
+            out.append(line)
+    return "\n".join(out)

@@ -1,0 +1,143 @@
+"""Dynamic segment tracking (paper §2).
+
+The library "can dynamically recognize the processes but cannot directly
+recognize which segment is being executed" — in C++ a parser must insert
+marks.  Python generators let us do better: when a process suspends at a
+node, its generator frame records the source line of the ``yield
+from``/``yield`` statement, which identifies the access site exactly.
+The :class:`SegmentTracker` observer uses (kind, channel.operation,
+line) as the node identity, builds each process's
+:class:`~repro.segments.graph.ProcessGraph` on the fly, and aggregates
+per-segment cost statistics from the active cost context.
+
+Explicit ``yield Mark("label")`` commands are still supported and are
+attached to the enclosing segment — useful when one source line hosts
+several accesses, or for user-meaningful names in reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..annotate.context import current_context
+from ..kernel.commands import ChannelAccess, Command, ProcessExit, WaitFor
+from ..kernel.process import Process
+from ..kernel.scheduler import SchedulerObserver
+from ..kernel.time import SimTime
+from .graph import NodeId, ProcessGraph, SegmentStats
+
+
+def node_id_for(process: Process, command: Command) -> NodeId:
+    """Derive the stable node identity for a yielded node command."""
+    frame = getattr(process.generator, "gi_frame", None)
+    site = frame.f_lineno if frame is not None else 0
+    if isinstance(command, ChannelAccess):
+        channel_name = getattr(command.channel, "name", "?")
+        return NodeId("channel", f"{channel_name}.{command.operation}", site)
+    if isinstance(command, WaitFor):
+        return NodeId("wait", "", site)
+    if isinstance(command, ProcessExit):
+        return NodeId("exit")
+    return NodeId("node", repr(command), site)
+
+
+class SegmentTracker(SchedulerObserver):
+    """Observer that reconstructs process graphs and segment statistics.
+
+    With ``record_instantaneous=True`` every individual segment
+    execution is kept as ``(time_fs, segment_label, cycles)`` — the
+    paper's "instantaneous estimated parameters for each process",
+    needed for hard-real-time style analyses.
+    """
+
+    def __init__(self, record_instantaneous: bool = False):
+        self.graphs: Dict[str, ProcessGraph] = {}
+        self._last_node: Dict[str, NodeId] = {}
+        self._pending_marks: Dict[str, List[str]] = {}
+        self.record_instantaneous = record_instantaneous
+        self.instantaneous: Dict[str, List[Tuple[int, str, float]]] = {}
+
+    # -- observer callbacks ------------------------------------------------
+
+    def on_process_start(self, process: Process, now: SimTime) -> None:
+        graph = ProcessGraph(process.full_name)
+        self.graphs[process.full_name] = graph
+        self._last_node[process.full_name] = graph.entry
+        self._pending_marks[process.full_name] = []
+        if self.record_instantaneous:
+            self.instantaneous[process.full_name] = []
+
+    def on_node_reached(self, process: Process, command: Command,
+                        now: SimTime, delta: int) -> None:
+        name = process.full_name
+        graph = self.graphs.get(name)
+        if graph is None:  # process registered before tracker attached
+            self.on_process_start(process, now)
+            graph = self.graphs[name]
+
+        node = node_id_for(process, command)
+        graph.touch_node(node)
+
+        cycles = 0.0
+        critical_path = 0.0
+        ctx = current_context()
+        if ctx is not None:
+            cycles, critical_path = ctx.segment_totals()
+            # For SW contexts segment_totals returns (sum, sum); keep the
+            # pair as (worst, best) uniformly.
+            cycles, critical_path = cycles, critical_path
+
+        stats = graph.touch_segment(self._last_node[name], node,
+                                    cycles, critical_path)
+        marks = self._pending_marks[name]
+        if marks:
+            for label in marks:
+                if label not in stats.marks:
+                    stats.marks.append(label)
+            marks.clear()
+
+        if self.record_instantaneous:
+            self.instantaneous[name].append(
+                (now.femtoseconds, stats.label, cycles)
+            )
+        self._last_node[name] = node
+
+    def on_mark(self, process: Process, label: str,
+                now: SimTime, delta: int) -> None:
+        self._pending_marks.setdefault(process.full_name, []).append(label)
+
+    # -- queries -----------------------------------------------------------
+
+    def graph_of(self, process_name: str) -> ProcessGraph:
+        return self.graphs[process_name]
+
+    def segment(self, process_name: str, start_label: str,
+                end_label: str) -> Optional[SegmentStats]:
+        graph = self.graphs.get(process_name)
+        if graph is None:
+            return None
+        return graph.segment(start_label, end_label)
+
+    def report_lines(self) -> List[str]:
+        """A plain-text per-segment report (paper's 'exact segment level
+        report')."""
+        lines = []
+        for name in sorted(self.graphs):
+            graph = self.graphs[name]
+            lines.append(f"process {name}: {len(graph.nodes)} nodes, "
+                         f"{len(graph.segments)} segments")
+            for stats in graph.segments.values():
+                start = graph.nodes[stats.start].label
+                end = graph.nodes[stats.end].label
+                mark_note = f"  marks={stats.marks}" if stats.marks else ""
+                low, high = stats.confidence_interval()
+                ci_note = ""
+                if stats.executions > 1 and high > low:
+                    ci_note = f"  ci95=[{low:.1f},{high:.1f}]"
+                lines.append(
+                    f"  {stats.label} ({start}->{end}) x{stats.executions}"
+                    f"  mean={stats.mean_cycles:.1f} cyc"
+                    f"  min={0.0 if stats.executions == 0 else stats.min_cycles:.1f}"
+                    f"  max={stats.max_cycles:.1f}{ci_note}{mark_note}"
+                )
+        return lines

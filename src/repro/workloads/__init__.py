@@ -1,0 +1,50 @@
+"""The paper's benchmark workloads, written single-source.
+
+Every kernel here runs on three backends unchanged: plain Python
+(functional model), annotated types (estimation), and compiled onto the
+OR-lite ISS (reference measurements).
+"""
+
+from .array_ops import array_ops, make_array_inputs
+from .biquad import (
+    biquad_filter,
+    biquad_section,
+    lowpass_coefficients,
+    make_biquad_inputs,
+)
+from .common import lcg_stream, run_annotated, wrap_args
+from .compressor import compress, decompress, make_compress_inputs
+from .euler import euler_oscillator, euler_reference, euler_segment
+from .extended import (
+    crc32_bitwise,
+    dct_2d,
+    dct_reference,
+    make_crc_inputs,
+    make_dct_inputs,
+    make_matmul_inputs,
+    matmul,
+)
+from .fibonacci import fib_benchmark, fib_iterative, fib_recursive
+from .fir import fir_filter, fir_reference, fir_sample, make_fir_inputs
+from .sorting import (
+    bubble_sort,
+    make_sort_inputs,
+    quick_partition,
+    quick_sort,
+    quick_sort_checked,
+)
+
+__all__ = [
+    "array_ops", "make_array_inputs",
+    "biquad_filter", "biquad_section", "lowpass_coefficients",
+    "make_biquad_inputs",
+    "lcg_stream", "run_annotated", "wrap_args",
+    "compress", "decompress", "make_compress_inputs",
+    "euler_oscillator", "euler_reference", "euler_segment",
+    "crc32_bitwise", "dct_2d", "dct_reference", "make_crc_inputs",
+    "make_dct_inputs", "make_matmul_inputs", "matmul",
+    "fib_benchmark", "fib_iterative", "fib_recursive",
+    "fir_filter", "fir_reference", "fir_sample", "make_fir_inputs",
+    "bubble_sort", "make_sort_inputs", "quick_partition", "quick_sort",
+    "quick_sort_checked",
+]

@@ -1,0 +1,33 @@
+"""Array — Table 1 benchmark.
+
+Element-wise vector arithmetic with reductions: the memory-bandwidth
+stressor of the set (loads/stores dominate).
+"""
+
+from __future__ import annotations
+
+from ..annotate.functions import arange
+from .common import lcg_stream
+
+DEFAULT_LENGTH = 512
+
+
+def array_ops(a, b, c, n):
+    """c = 3a + b; then return max(c) + dot(a, b) mod a running scale."""
+    for i in arange(n):
+        c[i] = a[i] * 3 + b[i]
+    peak = c[0]
+    for i in arange(1, n):
+        if c[i] > peak:
+            peak = c[i]
+    dot = 0
+    for i in arange(n):
+        dot = dot + a[i] * b[i]
+    return peak + (dot & 1048575)
+
+
+def make_array_inputs(length: int = DEFAULT_LENGTH, seed: int = 99) -> tuple:
+    """(a, b, c, n) vectors for :func:`array_ops`."""
+    a = lcg_stream(seed, length, 2_000)
+    b = lcg_stream(seed + 1, length, 2_000)
+    return a, b, [0] * length, length

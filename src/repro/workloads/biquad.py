@@ -1,0 +1,67 @@
+"""Floating-point biquad IIR filter — exercises the AFloat / FPU path.
+
+Most kernels in this package are integer so they also run on the
+reference ISS; floating-point estimation is still part of the library's
+surface (the ``f*`` operation costs, FPU functional units in the HLS
+substrate).  This kernel runs on two backends — plain floats and
+annotated :class:`~repro.annotate.AFloat` — and its segments can be
+captured for HW synthesis with FPU allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..annotate.functions import arange
+from .common import lcg_stream
+
+
+def biquad_filter(x, y, n, b0, b1, b2, a1, a2):
+    """Direct-form-I biquad: y[i] = b0 x[i] + b1 x[i-1] + b2 x[i-2]
+    - a1 y[i-1] - a2 y[i-2].  Returns the output sum."""
+    x1 = 0.0
+    x2 = 0.0
+    y1 = 0.0
+    y2 = 0.0
+    total = 0.0
+    for i in arange(n):
+        xi = x[i]
+        yi = b0 * xi + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2
+        y[i] = yi
+        x2 = x1
+        x1 = xi
+        y2 = y1
+        y1 = yi
+        total = total + yi
+    return total
+
+
+def biquad_section(xi, x1, x2, y1, y2, b0, b1, b2, a1, a2):
+    """One filter step — the HW segment (pure FPU dataflow)."""
+    return b0 * xi + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2
+
+
+def lowpass_coefficients(cutoff_hz: float, sample_hz: float,
+                         q: float = 0.7071) -> Tuple[float, float, float,
+                                                     float, float]:
+    """RBJ-cookbook low-pass biquad coefficients (normalized a0 = 1)."""
+    if not 0 < cutoff_hz < sample_hz / 2:
+        raise ValueError("cutoff must lie below Nyquist")
+    omega = 2.0 * math.pi * cutoff_hz / sample_hz
+    alpha = math.sin(omega) / (2.0 * q)
+    cos_w = math.cos(omega)
+    a0 = 1.0 + alpha
+    b0 = (1.0 - cos_w) / 2.0 / a0
+    b1 = (1.0 - cos_w) / a0
+    b2 = (1.0 - cos_w) / 2.0 / a0
+    a1 = (-2.0 * cos_w) / a0
+    a2 = (1.0 - alpha) / a0
+    return b0, b1, b2, a1, a2
+
+
+def make_biquad_inputs(samples: int = 128, seed: int = 77) -> tuple:
+    """(x, y, n, b0, b1, b2, a1, a2) for a 1 kHz low-pass at 8 kHz."""
+    x: List[float] = [float(v - 500) for v in lcg_stream(seed, samples, 1000)]
+    coefficients = lowpass_coefficients(1000.0, 8000.0)
+    return (x, [0.0] * samples, samples, *coefficients)

@@ -1,0 +1,67 @@
+"""Shared workload utilities: deterministic inputs and backend helpers.
+
+Benchmark inputs come from a little LCG rather than :mod:`random` so
+that every backend (plain, annotated, compiled) and every run sees the
+same data — cycle counts must be comparable across reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..annotate.context import CostContext, MODE_SW, active
+from ..annotate.costs import OperationCosts
+from ..annotate.types import AArray, AFloat, AInt, unwrap
+
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+def lcg_stream(seed: int, count: int, bound: int) -> List[int]:
+    """``count`` deterministic pseudo-random ints in ``[0, bound)``."""
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    state = seed & _LCG_MASK
+    values = []
+    for _ in range(count):
+        state = (state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        values.append((state >> 33) % bound)
+    return values
+
+
+def wrap_args(args: Sequence) -> tuple:
+    """Deep-copy ``args`` into annotated types.
+
+    Lists become :class:`AArray`, ints :class:`AInt`, floats
+    :class:`AFloat`.
+    """
+    wrapped = []
+    for arg in args:
+        if isinstance(arg, list):
+            wrapped.append(AArray(arg))
+        elif isinstance(arg, bool):
+            raise TypeError("cannot wrap bool arguments")
+        elif isinstance(arg, int):
+            wrapped.append(AInt(arg))
+        elif isinstance(arg, float):
+            wrapped.append(AFloat(arg))
+        else:
+            raise TypeError(f"cannot wrap {type(arg).__name__}")
+    return tuple(wrapped)
+
+
+def run_annotated(fn: Callable, args: Sequence,
+                  costs: OperationCosts,
+                  mode: str = MODE_SW) -> Tuple[object, float, float]:
+    """Run ``fn`` under a fresh cost context on wrapped copies of ``args``.
+
+    Returns ``(result, t_max_cycles, t_min_cycles)``; the result is the
+    unwrapped plain value (int or float, matching the plain backend).
+    """
+    context = CostContext(costs, mode)
+    wrapped = wrap_args(args)
+    with active(context):
+        result = fn(*wrapped)
+    t_max, t_min = context.segment_totals()
+    return unwrap(result), t_max, t_min

@@ -1,0 +1,90 @@
+"""Compress — Table 1 benchmark.
+
+A byte-oriented run-length encoder with a small move-to-front stage,
+chosen to stress data-dependent control flow (the estimation case the
+paper says static techniques struggle with) while staying inside the
+single-source subset.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..annotate.functions import aint, arange
+from .common import lcg_stream
+
+DEFAULT_LENGTH = 1024
+
+
+def compress(src, dst, mtf, n):
+    """Move-to-front + run-length encode ``src[0:n]`` into ``dst``.
+
+    ``mtf`` is a 256-entry scratch table (initialized by the callee).
+    Returns the number of words written to ``dst`` (``dst`` must hold at
+    least ``2 * n`` words).
+    """
+    for s in arange(256):
+        mtf[s] = s
+    out = aint(0)
+    i = aint(0)
+    while i < n:
+        value = src[i]
+        # move-to-front transform: find the symbol's current rank
+        rank = aint(0)
+        while mtf[rank] != value:
+            rank = rank + 1
+        j = rank
+        while j > 0:
+            mtf[j] = mtf[j - 1]
+            j = j - 1
+        mtf[0] = value
+        # run length of identical source symbols
+        run = aint(1)
+        nxt = i + run
+        while nxt < n and run < 255:
+            if src[nxt] != value:
+                break
+            run = run + 1
+            nxt = i + run
+        dst[out] = run
+        dst[out + 1] = rank
+        out = out + 2
+        i = i + run
+    return out
+
+
+def decompress(dst, out, mtf, pairs):
+    """Invert :func:`compress`: expand ``pairs`` (run, rank) words.
+
+    Returns the number of symbols produced into ``out``.
+    """
+    for s in arange(256):
+        mtf[s] = s
+    produced = aint(0)
+    for p in arange(pairs):
+        run = dst[2 * p]
+        rank = dst[2 * p + 1]
+        value = mtf[rank]
+        j = rank
+        while j > 0:
+            mtf[j] = mtf[j - 1]
+            j = j - 1
+        mtf[0] = value
+        for r in arange(run):
+            out[produced] = value
+            produced = produced + 1
+    return produced
+
+
+def make_compress_inputs(length: int = DEFAULT_LENGTH, seed: int = 7) -> tuple:
+    """(src, dst, mtf, n) with runs and a skewed symbol distribution."""
+    raw = lcg_stream(seed, length, 1 << 16)
+    src: List[int] = []
+    for value in raw:
+        symbol = (value % 16) * (value % 3 == 0) + (value % 4)
+        run = 1 + value % 5
+        src.extend([symbol] * run)
+        if len(src) >= length:
+            break
+    src = src[:length]
+    return src, [0] * (2 * length), [0] * 256, length

@@ -1,0 +1,60 @@
+"""Euler integration — Table 2 (HW) benchmark.
+
+A fixed-point forward-Euler integrator of the harmonic oscillator
+``y'' = -y``.  Its dataflow is a long dependence chain (each step needs
+the previous state), so critical path ≈ total latency — the opposite
+extreme of the FIR dot product.  That contrast is exactly why the paper
+evaluates both for HW estimation.
+"""
+
+from __future__ import annotations
+
+from ..annotate.functions import arange
+
+DEFAULT_STEPS = 16
+#: time step h = 2**-DEFAULT_H_SHIFT (Q-format shift, exact in fixed point)
+DEFAULT_H_SHIFT = 4
+
+
+def euler_oscillator(steps, h_shift):
+    """Integrate y'' = -y from (y, v) = (4096, 0); returns final y.
+
+    State in Q12 fixed point; the step multiplication reduces to an
+    arithmetic shift, as a HW implementation would do it.
+    """
+    y = 4096
+    v = 0
+    for i in arange(steps):
+        ay = 0 - y
+        y = y + (v >> h_shift)
+        v = v + (ay >> h_shift)
+    return y
+
+
+def euler_segment(y0, v0, h_shift):
+    """One unrolled 4-step integration — the Table 2 HW segment."""
+    y = y0
+    v = v0
+    ay = 0 - y
+    y = y + (v >> h_shift)
+    v = v + (ay >> h_shift)
+    ay = 0 - y
+    y = y + (v >> h_shift)
+    v = v + (ay >> h_shift)
+    ay = 0 - y
+    y = y + (v >> h_shift)
+    v = v + (ay >> h_shift)
+    ay = 0 - y
+    y = y + (v >> h_shift)
+    v = v + (ay >> h_shift)
+    return y + v
+
+
+def euler_reference(steps: int, h_shift: int) -> int:
+    """Pure-Python reference for the oscillator."""
+    y, v = 4096, 0
+    for _ in range(steps):
+        ay = -y
+        y = y + (v >> h_shift)
+        v = v + (ay >> h_shift)
+    return y

@@ -1,0 +1,120 @@
+"""Extended benchmark set (beyond the paper's six).
+
+Three further single-source kernels exercising patterns the original
+set misses: a separable integer 2-D DCT (triple-nested MAC with a
+coefficient table), a bitwise CRC-32 (long xor/shift dependency chains
+with data-dependent branching — verifiable against ``binascii``), and a
+dense matrix multiply.  Used by ``benchmarks/bench_extended_sw.py`` to
+check that calibration generalizes past the workloads it was ever
+tuned on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..annotate.functions import aint, arange
+from .common import lcg_stream
+
+DCT_SIZE = 8
+#: Q10 fixed-point scale of the cosine table.
+DCT_SCALE_SHIFT = 10
+
+CRC32_POLY = 0xEDB88320
+
+
+def dct_2d(block, cosines, tmp, out, n):
+    """Separable 2-D DCT of an ``n x n`` block (flattened arrays).
+
+    ``cosines`` is the Q10 basis matrix from :func:`make_dct_cosines`.
+    Returns the coefficient checksum.
+    """
+    for u in arange(n):
+        for x in arange(n):
+            acc = 0
+            for k in arange(n):
+                acc = acc + cosines[u * n + k] * block[k * n + x]
+            tmp[u * n + x] = acc >> DCT_SCALE_SHIFT
+    for u in arange(n):
+        for v in arange(n):
+            acc = 0
+            for k in arange(n):
+                acc = acc + tmp[u * n + k] * cosines[v * n + k]
+            out[u * n + v] = acc >> DCT_SCALE_SHIFT
+    check = 0
+    for i in arange(n * n):
+        check = check + out[i]
+    return check
+
+
+def crc32_bitwise(data, n):
+    """Reflected CRC-32 (the zlib/binascii polynomial), bit by bit."""
+    crc = aint(0xFFFFFFFF)
+    for i in arange(n):
+        crc = crc ^ (data[i] & 0xFF)
+        for b in arange(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ CRC32_POLY
+            else:
+                crc = crc >> 1
+    return crc ^ 0xFFFFFFFF
+
+
+def matmul(a, b, c, n):
+    """Dense ``n x n`` integer matrix multiply (flattened row-major)."""
+    for i in arange(n):
+        for j in arange(n):
+            acc = 0
+            for k in arange(n):
+                acc = acc + a[i * n + k] * b[k * n + j]
+            c[i * n + j] = acc
+    return c[0] + c[n * n - 1]
+
+
+# --- input builders and references ------------------------------------------
+
+def make_dct_cosines(n: int = DCT_SIZE) -> List[int]:
+    """Q10 DCT-II basis matrix, flattened row-major."""
+    scale = 1 << DCT_SCALE_SHIFT
+    table = []
+    for u in range(n):
+        alpha = math.sqrt(1.0 / n) if u == 0 else math.sqrt(2.0 / n)
+        for x in range(n):
+            value = alpha * math.cos((2 * x + 1) * u * math.pi / (2 * n))
+            table.append(round(value * scale))
+    return table
+
+
+def make_dct_inputs(seed: int = 11) -> tuple:
+    """(block, cosines, tmp, out, n) for an 8x8 DCT."""
+    n = DCT_SIZE
+    block = [v - 128 for v in lcg_stream(seed, n * n, 256)]
+    return block, make_dct_cosines(n), [0] * (n * n), [0] * (n * n), n
+
+
+def make_crc_inputs(length: int = 512, seed: int = 23) -> tuple:
+    return lcg_stream(seed, length, 256), length
+
+
+def make_matmul_inputs(n: int = 12, seed: int = 31) -> tuple:
+    a = [v - 50 for v in lcg_stream(seed, n * n, 100)]
+    b = [v - 50 for v in lcg_stream(seed + 1, n * n, 100)]
+    return a, b, [0] * (n * n), n
+
+
+def dct_reference(block: List[int], n: int = DCT_SIZE) -> List[int]:
+    """Float DCT-II for sanity checks (Q10 quantization tolerated)."""
+    out = []
+    for u in range(n):
+        for v in range(n):
+            alpha_u = math.sqrt(1.0 / n) if u == 0 else math.sqrt(2.0 / n)
+            alpha_v = math.sqrt(1.0 / n) if v == 0 else math.sqrt(2.0 / n)
+            total = 0.0
+            for x in range(n):
+                for y in range(n):
+                    total += (block[x * n + y]
+                              * math.cos((2 * x + 1) * u * math.pi / (2 * n))
+                              * math.cos((2 * y + 1) * v * math.pi / (2 * n)))
+            out.append(alpha_u * alpha_v * total)
+    return out

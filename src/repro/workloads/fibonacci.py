@@ -1,0 +1,38 @@
+"""Fibonacci — Table 1 benchmark.
+
+The recursive variant stresses call overhead (the ``t_fc`` weight of the
+paper's Fig. 3); the iterative variant is used for quick checks.
+"""
+
+from __future__ import annotations
+
+from ..annotate.functions import annotated_function, arange
+
+DEFAULT_N = 17
+
+
+@annotated_function
+def fib_recursive(n):
+    """Naive exponential recursion — a pure call-overhead stressor."""
+    if n < 2:
+        return n
+    return fib_recursive(n - 1) + fib_recursive(n - 2)
+
+
+def fib_iterative(n):
+    a = 0
+    b = 1
+    for i in arange(n):
+        t = a + b
+        a = b
+        b = t
+    return a
+
+
+def fib_benchmark(n):
+    """The Table 1 entry: recursive Fibonacci cross-checked iteratively."""
+    r = fib_recursive(n)
+    s = fib_iterative(n)
+    if r != s:
+        return 0 - 1
+    return r

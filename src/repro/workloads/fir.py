@@ -1,0 +1,63 @@
+"""FIR filter — Table 1 (SW) and Table 2 (HW segment) benchmark.
+
+Fixed-point (Q8 coefficients) finite-impulse-response filter written in
+the single-source subset: the same body runs plain, annotated and
+compiled.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..annotate.functions import arange
+from .common import lcg_stream
+
+#: Default experiment geometry (Table 1 row "FIR").
+DEFAULT_TAPS = 16
+DEFAULT_SAMPLES = 256
+
+
+def fir_filter(x, h, y, n, taps):
+    """y[i] = (sum_k h[k] * x[i+k]) >> 8 for i in [0, n).
+
+    ``x`` must hold ``n + taps`` samples.  Returns a checksum of the
+    output (for cross-backend verification).
+    """
+    check = 0
+    for i in arange(n):
+        acc = 0
+        for k in arange(taps):
+            acc = acc + h[k] * x[i + k]
+        y[i] = acc >> 8
+        check = check + y[i]
+    return check
+
+
+def fir_sample(x, h, taps):
+    """One output sample — the Table 2 HW segment (a dot product)."""
+    acc = 0
+    for k in arange(taps):
+        acc = acc + h[k] * x[k]
+    return acc >> 8
+
+
+def make_fir_inputs(samples: int = DEFAULT_SAMPLES,
+                    taps: int = DEFAULT_TAPS,
+                    seed: int = 2004) -> tuple:
+    """(x, h, y, n, taps) arguments for :func:`fir_filter`."""
+    x = [v - 512 for v in lcg_stream(seed, samples + taps, 1024)]
+    h = _lowpass_taps(taps)
+    y = [0] * samples
+    return x, h, y, samples, taps
+
+
+def _lowpass_taps(taps: int) -> List[int]:
+    """A symmetric triangular low-pass response in Q8."""
+    half = (taps + 1) // 2
+    rising = [int(256 * (i + 1) / half) for i in range(half)]
+    return (rising + rising[::-1])[:taps]
+
+
+def fir_reference(x: List[int], h: List[int], n: int, taps: int) -> List[int]:
+    """Pure-Python reference used by the tests."""
+    return [sum(h[k] * x[i + k] for k in range(taps)) >> 8 for i in range(n)]

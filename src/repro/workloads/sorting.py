@@ -1,0 +1,74 @@
+"""Quick sort and Bubble sort — Table 1 benchmarks.
+
+Quick sort exercises recursion and data-dependent branching; bubble
+sort is the regular-control-flow contrast.  Both sort in place and
+return a checksum so all three backends can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from ..annotate.functions import aint, annotated_function, arange
+from .common import lcg_stream
+
+DEFAULT_QUICK_LENGTH = 256
+DEFAULT_BUBBLE_LENGTH = 96
+
+
+@annotated_function
+def quick_partition(a, lo, hi):
+    """Lomuto partition around ``a[hi]``; returns the pivot index."""
+    pivot = a[hi]
+    i = lo - 1
+    for j in arange(lo, hi):
+        if a[j] <= pivot:
+            i = i + 1
+            t = a[i]
+            a[i] = a[j]
+            a[j] = t
+    t = a[i + 1]
+    a[i + 1] = a[hi]
+    a[hi] = t
+    return i + 1
+
+
+@annotated_function
+def quick_sort(a, lo, hi):
+    """Recursive quicksort of ``a[lo:hi+1]`` (inclusive bounds)."""
+    if lo < hi:
+        p = quick_partition(a, lo, hi)
+        quick_sort(a, lo, p - 1)
+        quick_sort(a, p + 1, hi)
+    return 0
+
+
+def quick_sort_checked(a, n):
+    """Sort and return a position-weighted checksum."""
+    quick_sort(a, 0, n - 1)
+    check = 0
+    for i in arange(n):
+        check = check + a[i] * (i + 1)
+    return check
+
+
+def bubble_sort(a, n):
+    """Classic early-exit bubble sort; returns the same checksum."""
+    i = aint(0)
+    swapped = aint(1)
+    while swapped == 1 and i < n:
+        swapped = aint(0)
+        for j in arange(n - 1 - i):
+            if a[j] > a[j + 1]:
+                t = a[j]
+                a[j] = a[j + 1]
+                a[j + 1] = t
+                swapped = aint(1)
+        i = i + 1
+    check = 0
+    for i in arange(n):
+        check = check + a[i] * (i + 1)
+    return check
+
+
+def make_sort_inputs(length: int, seed: int = 42) -> tuple:
+    """(a, n) with values in [0, 10000)."""
+    return lcg_stream(seed, length, 10_000), length

@@ -1,0 +1,29 @@
+"""The EN-vocoder-style concurrent workload (Tables 3 and 4)."""
+
+from .acb import MAX_LAG, MIN_LAG, SUBFRAME, acb_search
+from .frames import FRAME, make_frames
+from .icb import TRACKS, icb_search
+from .lpc import SUBFRAMES, lpc_interpolate
+from .lsp import ORDER, autocorrelation, levinson_durbin, lsp_estimate
+from .pipeline import (
+    STAGE_NAMES,
+    Stage,
+    VocoderDesign,
+    annotated_executor,
+    build_vocoder,
+    make_stages,
+    plain_executor,
+    run_reference,
+)
+from .postproc import postprocess
+
+__all__ = [
+    "MAX_LAG", "MIN_LAG", "SUBFRAME", "acb_search",
+    "FRAME", "make_frames",
+    "TRACKS", "icb_search",
+    "SUBFRAMES", "lpc_interpolate",
+    "ORDER", "autocorrelation", "levinson_durbin", "lsp_estimate",
+    "STAGE_NAMES", "Stage", "VocoderDesign", "annotated_executor",
+    "build_vocoder", "make_stages", "plain_executor", "run_reference",
+    "postprocess",
+]

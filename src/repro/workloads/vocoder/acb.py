@@ -1,0 +1,40 @@
+"""Adaptive-codebook search — the third vocoder process (Table 3,
+"ACB sear.").
+
+Open-loop pitch search: for each subframe, find the lag whose shifted
+excitation history best correlates with the target, scoring with the
+normalized squared correlation corr²/energy (the CELP criterion).
+The lag loop over ~60 candidates × 40-sample correlations makes this
+the heaviest stage — as in the real vocoder.
+"""
+
+from __future__ import annotations
+
+from ...annotate.functions import aint, arange
+
+MIN_LAG = 20
+MAX_LAG = 80
+SUBFRAME = 40
+
+
+def acb_search(exc_hist, target, n, min_lag, max_lag):
+    """Best pitch lag for ``target`` given ``exc_hist``.
+
+    ``exc_hist`` holds ``max_lag + n`` samples, oldest first; candidate
+    lag L reads ``exc_hist[max_lag - L + i]``.  Returns the winning lag.
+    """
+    best_lag = min_lag
+    best_score = aint(0 - (1 << 50))
+    for lag in arange(min_lag, max_lag + 1):
+        corr = aint(0)
+        energy = aint(1)
+        base = max_lag - lag
+        for i in arange(n):
+            sample = exc_hist[base + i]
+            corr = corr + target[i] * sample
+            energy = energy + sample * sample
+        score = (corr * corr) // energy
+        if score > best_score:
+            best_score = score
+            best_lag = lag
+    return best_lag

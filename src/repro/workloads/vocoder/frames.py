@@ -1,0 +1,44 @@
+"""Synthetic speech-like frame generator for the vocoder workload.
+
+The ETSI test vectors are not redistributable; a pitched integer
+waveform (triangle carrier at a drifting pitch period plus LCG noise)
+exercises the same code paths: non-trivial autocorrelation peaks for
+the pitch search, spectral tilt for the LPC recursion, DC offset for
+the post-processing high-pass.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common import lcg_stream
+
+FRAME = 160
+
+
+def _triangle(phase: int, period: int, amplitude: int) -> int:
+    half = period // 2
+    position = phase % period
+    if position < half:
+        return (2 * amplitude * position) // half - amplitude
+    return amplitude - (2 * amplitude * (position - half)) // half
+
+
+def make_frames(count: int, frame_length: int = FRAME,
+                seed: int = 160) -> List[List[int]]:
+    """``count`` frames of pitched 13-bit samples with noise and DC."""
+    noise = lcg_stream(seed, count * frame_length, 512)
+    frames: List[List[int]] = []
+    sample_index = 0
+    for frame_number in range(count):
+        period = 36 + (frame_number * 7) % 40     # drifting pitch
+        amplitude = 2500 + (frame_number * 331) % 1200
+        frame = []
+        for i in range(frame_length):
+            value = _triangle(sample_index, period, amplitude)
+            value += noise[sample_index] - 256    # zero-mean noise
+            value += 64                           # small DC offset
+            frame.append(value)
+            sample_index += 1
+        frames.append(frame)
+    return frames

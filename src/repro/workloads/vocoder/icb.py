@@ -1,0 +1,33 @@
+"""Innovative-codebook search — the fourth vocoder process (Table 3,
+"ICB sear.").
+
+Algebraic (ACELP-style) codebook: one pulse per interleaved track,
+chosen greedily at the position of maximum absolute target amplitude.
+"""
+
+from __future__ import annotations
+
+from ...annotate.functions import aint, arange
+
+TRACKS = 4
+
+
+def icb_search(target, pulses, n, tracks):
+    """Pick one pulse position per track; returns the summed peak
+    amplitudes (the stage checksum)."""
+    total = aint(0)
+    for t in arange(tracks):
+        best_pos = t
+        best_val = aint(0 - 1)
+        pos = t
+        while pos < n:
+            v = target[pos]
+            if v < 0:
+                v = 0 - v
+            if v > best_val:
+                best_val = v
+                best_pos = pos
+            pos = pos + tracks
+        pulses[t] = best_pos
+        total = total + best_val
+    return total

@@ -1,0 +1,28 @@
+"""LPC interpolation — the second vocoder process (Table 3, "LPC int.").
+
+Interpolates between the previous frame's LPC set and the current one,
+producing one coefficient set per subframe (standard CELP practice to
+smooth spectral evolution).
+"""
+
+from __future__ import annotations
+
+from ...annotate.functions import arange
+
+SUBFRAMES = 4
+Q_ONE = 4096
+
+
+def lpc_interpolate(a_prev, a_new, a_sub, order, subframes):
+    """Fill ``a_sub`` (flattened ``subframes x (order+1)``) and return a
+    checksum of the first reflection column."""
+    for s in arange(subframes):
+        w = ((s + 1) << 12) // subframes
+        for j in arange(order + 1):
+            a_sub[s * (order + 1) + j] = (
+                a_prev[j] * (Q_ONE - w) + a_new[j] * w
+            ) >> 12
+    check = 0
+    for s in arange(subframes):
+        check = check + a_sub[s * (order + 1) + 1]
+    return check

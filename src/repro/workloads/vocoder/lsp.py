@@ -1,0 +1,66 @@
+"""LSP estimation — the first vocoder process (Table 3, "LSP estim.").
+
+Autocorrelation + integer Levinson-Durbin recursion in Q12 fixed point.
+(The ETSI EN vocoder converts the LPC polynomial to line spectral pairs;
+for the performance workload the autocorrelation + recursion dominate,
+and they are what we reproduce — see DESIGN.md substitution notes.)
+"""
+
+from __future__ import annotations
+
+from ...annotate.functions import annotated_function, arange
+
+ORDER = 10
+FRAME = 160
+Q_ONE = 4096          # 1.0 in Q12
+K_CLAMP = 3900        # keep reflection coefficients < 0.952 for stability
+
+
+@annotated_function
+def autocorrelation(x, r, n, order):
+    """r[k] = (sum_i x[i] * x[i+k]) >> 6 for k in [0, order]."""
+    for k in arange(order + 1):
+        acc = 0
+        for i in arange(n - k):
+            acc = acc + x[i] * x[i + k]
+        r[k] = acc >> 6
+    return r[0]
+
+
+@annotated_function
+def levinson_durbin(r, a, tmp, order):
+    """Solve the normal equations; a[1..order] in Q12, a[0] = 4096.
+
+    Returns the first coefficient (a cheap cross-backend checksum).
+    Integer-only: the divide uses floor semantics identically on every
+    backend, and the prediction error is floored at 1 to keep the
+    recursion well-defined for degenerate frames.
+    """
+    a[0] = Q_ONE
+    for i in arange(1, order + 1):
+        a[i] = 0
+    err = r[0] + 1
+    for m in arange(1, order + 1):
+        acc = r[m] << 12
+        for j in arange(1, m):
+            acc = acc - a[j] * r[m - j]
+        k = acc // err
+        if k > K_CLAMP:
+            k = K_CLAMP
+        if k < 0 - K_CLAMP:
+            k = 0 - K_CLAMP
+        for j in arange(1, m):
+            tmp[j] = a[j] - ((k * a[m - j]) >> 12)
+        for j in arange(1, m):
+            a[j] = tmp[j]
+        a[m] = k
+        err = (err * (Q_ONE - ((k * k) >> 12))) >> 12
+        if err < 1:
+            err = 1
+    return a[1]
+
+
+def lsp_estimate(x, r, a, tmp, n, order):
+    """The full LSP-estimation stage: autocorrelation then recursion."""
+    autocorrelation(x, r, n, order)
+    return levinson_durbin(r, a, tmp, order)

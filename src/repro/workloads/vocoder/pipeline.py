@@ -1,0 +1,276 @@
+"""The concurrent vocoder: stages, executors, and the SystemC-style design.
+
+The paper splits the sequential EN vocoder into 5 concurrent processes
+(LSP estimation, LPC interpolation, ACB search, ICB search,
+post-processing) connected in a pipeline.  This module provides:
+
+* **stage objects** — per-stage argument/state management, shared by
+  every backend so the concurrent simulation, the plain functional run
+  and the ISS reference all compute on *identical* data;
+* **executors** — how a stage invokes its kernel: in-process plain,
+  in-process annotated (AArray-wrapped, charging the active context),
+  or compiled-on-the-ISS (used by the Table 3 reference);
+* :func:`build_vocoder` — the five-process kernel design plus frame
+  source and sink, ready for :class:`~repro.core.PerformanceLibrary`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ...annotate.types import AArray, AInt, unwrap
+from ...kernel.simulator import Simulator
+from ...kernel.module import Module
+from .acb import MAX_LAG, MIN_LAG, SUBFRAME, acb_search
+from .icb import TRACKS, icb_search
+from .lpc import SUBFRAMES, lpc_interpolate
+from .lsp import ORDER, Q_ONE, autocorrelation, levinson_durbin, lsp_estimate
+from .postproc import postprocess
+
+#: Ordered stage names as they appear in Table 3.
+STAGE_NAMES = ("lsp_estim", "lpc_int", "acb_search", "icb_search", "post_proc")
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+def plain_executor(fn: Callable, args: Sequence) -> int:
+    """Run a kernel directly on plain Python values."""
+    return int(fn(*args))
+
+
+def annotated_executor(fn: Callable, args: Sequence) -> int:
+    """Run a kernel on annotated copies, writing array mutations back.
+
+    Charging happens through whatever cost context is active (the one
+    the performance library installed for the calling process); without
+    an active context this degrades to a slightly slower plain run.
+    """
+    wrapped = []
+    writebacks = []
+    for arg in args:
+        if isinstance(arg, list):
+            array = AArray(arg)
+            wrapped.append(array)
+            writebacks.append((arg, array))
+        else:
+            wrapped.append(AInt(int(arg)))
+    result = fn(*wrapped)
+    for original, array in writebacks:
+        original[:] = array.to_list()
+    return int(unwrap(result))
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+class Stage:
+    """Base: a named kernel stage transforming a payload dict.
+
+    ``run(execute, payload)`` mutates/extends the payload and returns
+    it; ``execute`` is one of the executors above (or an ISS-backed
+    one).  Keeping state inside the stage object means the concurrent
+    pipeline and the sequential reference share semantics exactly.
+    """
+
+    name: str = "stage"
+    #: kernels this stage calls (what the ISS reference must compile)
+    kernels: tuple = ()
+
+    def run(self, execute: Callable, payload: Dict) -> Dict:
+        raise NotImplementedError
+
+
+class LspStage(Stage):
+    name = "lsp_estim"
+    kernels = (lsp_estimate, autocorrelation, levinson_durbin)
+
+    def __init__(self, order: int = ORDER):
+        self.order = order
+
+    def run(self, execute, payload):
+        frame = payload["frame"]
+        r = [0] * (self.order + 1)
+        a = [0] * (self.order + 1)
+        tmp = [0] * (self.order + 1)
+        execute(lsp_estimate, (frame, r, a, tmp, len(frame), self.order))
+        payload["lpc"] = a
+        return payload
+
+
+class LpcStage(Stage):
+    name = "lpc_int"
+    kernels = (lpc_interpolate,)
+
+    def __init__(self, order: int = ORDER, subframes: int = SUBFRAMES):
+        self.order = order
+        self.subframes = subframes
+        self.previous = [Q_ONE] + [0] * order
+
+    def run(self, execute, payload):
+        a_new = payload["lpc"]
+        a_sub = [0] * (self.subframes * (self.order + 1))
+        execute(lpc_interpolate,
+                (self.previous, a_new, a_sub, self.order, self.subframes))
+        self.previous = list(a_new)
+        payload["lpc_sub"] = a_sub
+        return payload
+
+
+class AcbStage(Stage):
+    name = "acb_search"
+    kernels = (acb_search,)
+
+    def __init__(self, subframe: int = SUBFRAME,
+                 min_lag: int = MIN_LAG, max_lag: int = MAX_LAG):
+        self.subframe = subframe
+        self.min_lag = min_lag
+        self.max_lag = max_lag
+        self.history = [0] * max_lag
+
+    def run(self, execute, payload):
+        frame = payload["frame"]
+        lags = []
+        for start in range(0, len(frame), self.subframe):
+            target = frame[start:start + self.subframe]
+            exc_hist = self.history[-self.max_lag:] + target
+            lag = execute(acb_search, (exc_hist, target, len(target),
+                                       self.min_lag, self.max_lag))
+            lags.append(lag)
+            self.history = (self.history + target)[-self.max_lag:]
+        payload["lags"] = lags
+        return payload
+
+
+class IcbStage(Stage):
+    name = "icb_search"
+    kernels = (icb_search,)
+
+    def __init__(self, subframe: int = SUBFRAME, tracks: int = TRACKS):
+        self.subframe = subframe
+        self.tracks = tracks
+
+    def run(self, execute, payload):
+        frame = payload["frame"]
+        pulse_sets = []
+        for start in range(0, len(frame), self.subframe):
+            target = frame[start:start + self.subframe]
+            pulses = [0] * self.tracks
+            execute(icb_search, (target, pulses, len(target), self.tracks))
+            pulse_sets.append(pulses)
+        payload["pulses"] = pulse_sets
+        return payload
+
+
+class PostStage(Stage):
+    name = "post_proc"
+    kernels = (postprocess,)
+
+    def __init__(self):
+        self.state = [0, 0]
+
+    def run(self, execute, payload):
+        frame = payload["frame"]
+        output = [0] * len(frame)
+        check = execute(postprocess, (frame, output, len(frame), self.state))
+        payload["output"] = output
+        payload["check"] = check
+        return payload
+
+
+def make_stages() -> List[Stage]:
+    """Fresh stage objects in pipeline order."""
+    return [LspStage(), LpcStage(), AcbStage(), IcbStage(), PostStage()]
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference (shared state semantics with the pipeline)
+# ---------------------------------------------------------------------------
+
+def run_reference(frames: Sequence[List[int]],
+                  execute: Callable = plain_executor,
+                  stages: Optional[List[Stage]] = None) -> List[Dict]:
+    """Run the whole vocoder sequentially; returns final payloads.
+
+    With the default plain executor this is the functional golden model;
+    with an ISS-backed executor it is the Table 3 cycle reference.
+    """
+    if stages is None:
+        stages = make_stages()
+    results = []
+    for frame in frames:
+        payload: Dict = {"frame": list(frame)}
+        for stage in stages:
+            payload = stage.run(execute, payload)
+        results.append(payload)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# The concurrent design
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class VocoderDesign:
+    """Handles of a built concurrent vocoder."""
+
+    simulator: Simulator
+    module: Module
+    processes: Dict[str, object]       # stage name -> kernel Process
+    results: List[Dict]                # collected sink payloads
+    stages: Dict[str, Stage]
+
+
+def build_vocoder(simulator: Simulator, frames: Sequence[List[int]],
+                  annotate: bool = True,
+                  fifo_capacity: int = 2) -> VocoderDesign:
+    """Instantiate the five-process pipeline plus source and sink.
+
+    ``annotate=True`` makes each stage execute its kernel on annotated
+    values (required for the performance library); ``annotate=False``
+    gives the plain untimed specification the paper's overload factor
+    compares against.
+    """
+    execute = annotated_executor if annotate else plain_executor
+    stage_objects = make_stages()
+    module = Module(simulator, "vocoder")
+
+    links = [simulator.fifo(f"link{i}", capacity=fifo_capacity)
+             for i in range(len(stage_objects) + 1)]
+    results: List[Dict] = []
+
+    def source():
+        for frame in frames:
+            yield from links[0].write({"frame": list(frame)})
+
+    def make_stage_process(stage: Stage, inlet, outlet):
+        def body():
+            for _ in range(len(frames)):
+                payload = yield from inlet.read()
+                payload = stage.run(execute, payload)
+                yield from outlet.write(payload)
+        body.__name__ = stage.name
+        return body
+
+    def sink():
+        for _ in range(len(frames)):
+            payload = yield from links[-1].read()
+            results.append(payload)
+
+    processes: Dict[str, object] = {}
+    processes["source"] = module.add_process(source)
+    for index, stage in enumerate(stage_objects):
+        body = make_stage_process(stage, links[index], links[index + 1])
+        processes[stage.name] = module.add_process(body, name=stage.name)
+    processes["sink"] = module.add_process(sink)
+
+    return VocoderDesign(
+        simulator=simulator,
+        module=module,
+        processes=processes,
+        results=results,
+        stages={stage.name: stage for stage in stage_objects},
+    )

@@ -1,0 +1,36 @@
+"""Post-processing — the fifth vocoder process (Table 3 "Post Proc."
+and the HW-mapped function of Table 4).
+
+A first-order high-pass (DC removal) with de-emphasis feedback and
+16-bit saturation, carrying filter state across frames.
+"""
+
+from __future__ import annotations
+
+from ...annotate.functions import arange
+
+SAT_MAX = 32767
+SAT_MIN = -32768
+
+
+def postprocess(x, y, n, state):
+    """Filter ``x[0:n]`` into ``y``; ``state = [prev_x, prev_y]`` persists
+    across calls.  Returns the output checksum."""
+    px = state[0]
+    py = state[1]
+    for i in arange(n):
+        v = x[i]
+        hp = v - px + ((py * 15) >> 4)
+        px = v
+        py = hp
+        if hp > 32767:
+            hp = 32767
+        if hp < 0 - 32768:
+            hp = 0 - 32768
+        y[i] = hp
+    state[0] = px
+    state[1] = py
+    check = 0
+    for i in arange(n):
+        check = check + y[i]
+    return check

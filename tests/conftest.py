@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import calibrate, default_microbenchmarks
+from repro.platform import OPENRISC_SW_COSTS
+
+
+@pytest.fixture(scope="session")
+def calibration_report():
+    """One deterministic calibration run for the whole session."""
+    return calibrate(default_microbenchmarks(scale=32), OPENRISC_SW_COSTS)
+
+
+@pytest.fixture(scope="session")
+def calibrated_costs(calibration_report):
+    return calibration_report.costs

@@ -1,0 +1,358 @@
+"""Annotated type semantics: AInt/AFloat/ABool/AArray/Var.
+
+The central invariant is single-source equivalence: any expression over
+annotated values must produce exactly the value the same expression
+produces over plain Python numbers, with or without an active context.
+"""
+
+import operator
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotate import (
+    AArray,
+    ABool,
+    AFloat,
+    AInt,
+    CostContext,
+    MODE_HW,
+    MODE_SW,
+    Var,
+    active,
+    arange,
+    branch,
+    annotated_function,
+    make_array,
+    uniform_costs,
+    unwrap,
+)
+from repro.errors import AnnotationError
+
+ints = st.integers(min_value=-10**9, max_value=10**9)
+small_ints = st.integers(min_value=-100, max_value=100)
+
+INT_BINOPS = [
+    (operator.add, "add"), (operator.sub, "sub"), (operator.mul, "mul"),
+    (operator.and_, "and"), (operator.or_, "or"), (operator.xor, "xor"),
+]
+
+
+class TestAIntSemantics:
+    @given(ints, ints)
+    def test_binary_ops_match_int(self, a, b):
+        for op, _name in INT_BINOPS:
+            assert int(op(AInt(a), AInt(b))) == op(a, b)
+            assert int(op(AInt(a), b)) == op(a, b)     # mixed
+            assert int(op(a, AInt(b))) == op(a, b)     # reflected
+
+    @given(ints, ints.filter(lambda v: v != 0))
+    def test_division_matches_python_floor(self, a, b):
+        assert int(AInt(a) // AInt(b)) == a // b
+        assert int(AInt(a) % AInt(b)) == a % b
+
+    @given(ints, st.integers(min_value=0, max_value=40))
+    def test_shifts(self, a, s):
+        assert int(AInt(a) << s) == a << s
+        assert int(AInt(a) >> s) == a >> s
+
+    @given(ints)
+    def test_unary(self, a):
+        assert int(-AInt(a)) == -a
+        assert int(~AInt(a)) == ~a
+        assert int(abs(AInt(a))) == abs(a)
+        assert int(+AInt(a)) == a
+
+    @given(ints, ints)
+    def test_comparisons(self, a, b):
+        assert bool(AInt(a) < AInt(b)) == (a < b)
+        assert bool(AInt(a) <= b) == (a <= b)
+        assert bool(AInt(a) > AInt(b)) == (a > b)
+        assert bool(AInt(a) >= b) == (a >= b)
+        assert bool(AInt(a) == AInt(b)) == (a == b)
+        assert bool(AInt(a) != AInt(b)) == (a != b)
+
+    def test_interop(self):
+        assert list(range(AInt(3))) == [0, 1, 2]
+        assert float(AInt(2)) == 2.0
+        assert bool(AInt(0)) is False
+        assert bool(AInt(5)) is True
+
+    def test_copy_construction(self):
+        inner = AInt(5)
+        assert AInt(inner).value == 5
+
+    def test_rejects_non_int(self):
+        with pytest.raises(AnnotationError):
+            AInt(1.5)
+
+    def test_true_division_promotes_to_float(self):
+        result = AInt(7) / AInt(2)
+        assert isinstance(result, AFloat)
+        assert float(result) == 3.5
+
+
+class TestAFloatSemantics:
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32),
+           st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_arithmetic(self, a, b):
+        assert float(AFloat(a) + AFloat(b)) == a + b
+        assert float(AFloat(a) - b) == a - b
+        assert float(AFloat(a) * AFloat(b)) == a * b
+
+    def test_division_by_nonzero(self):
+        assert float(AFloat(7.0) / 2) == 3.5
+
+    def test_promotion_from_aint(self):
+        result = AFloat(1.5) + AInt(2)
+        assert isinstance(result, AFloat)
+        assert float(result) == 3.5
+
+    def test_unary(self):
+        assert float(-AFloat(2.5)) == -2.5
+        assert float(abs(AFloat(-2.5))) == 2.5
+
+    def test_comparisons(self):
+        assert bool(AFloat(1.0) < 2.0)
+        assert bool(AFloat(2.0) == 2.0)
+
+
+class TestCharging:
+    def test_sw_mode_sums_operations(self):
+        ctx = CostContext(uniform_costs(cycles=2.0), MODE_SW)
+        with active(ctx):
+            _ = AInt(1) + AInt(2) * AInt(3)
+        assert ctx.total_cycles == 4.0  # mul + add
+        assert ctx.op_counts == {"add": 1, "mul": 1}
+
+    def test_no_context_charges_nothing(self):
+        ctx = CostContext(uniform_costs(), MODE_SW)
+        _ = AInt(1) + AInt(2)
+        assert ctx.total_cycles == 0.0
+
+    def test_hw_mode_tracks_critical_path(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        with active(ctx):
+            a, b, c, d = AInt(1), AInt(2), AInt(3), AInt(4)
+            _ = (a + b) + (c + d)   # balanced tree: depth 2, 3 ops
+        t_max, t_min = ctx.segment_totals()
+        assert t_max == 3.0
+        assert t_min == 2.0
+
+    def test_hw_chain_critical_path_equals_sum(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        with active(ctx):
+            acc = AInt(0)
+            for k in range(5):
+                acc = acc + k
+        t_max, t_min = ctx.segment_totals()
+        assert t_max == 5.0
+        assert t_min == 5.0  # pure dependence chain
+
+    def test_reset_clears_accumulation(self):
+        ctx = CostContext(uniform_costs(), MODE_SW)
+        with active(ctx):
+            _ = AInt(1) + 1
+            ctx.reset()
+            _ = AInt(1) + 1 + 1
+        assert ctx.total_cycles == 2.0
+
+    def test_bool_of_comparison_charges_branch(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(ctx):
+            if AInt(1) < AInt(2):
+                pass
+        assert ctx.op_counts == {"lt": 1, "branch": 1}
+
+    def test_missing_cost_entry_raises(self):
+        ctx = CostContext(uniform_costs(operations=("add",)), MODE_SW)
+        with active(ctx):
+            with pytest.raises(AnnotationError, match="no entry"):
+                _ = AInt(1) * AInt(2)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(AnnotationError):
+            CostContext(uniform_costs(), mode="quantum")
+
+    def test_active_restores_previous_context(self):
+        outer = CostContext(uniform_costs(), MODE_SW)
+        inner = CostContext(uniform_costs(), MODE_SW)
+        with active(outer):
+            with active(inner):
+                _ = AInt(1) + 1
+            _ = AInt(1) + 1
+        assert inner.total_cycles == 1.0
+        assert outer.total_cycles == 1.0
+
+
+class TestAArray:
+    def test_load_store_roundtrip(self):
+        array = AArray([1, 2, 3])
+        array[1] = AInt(20)
+        assert int(array[1]) == 20
+        assert array.to_list() == [1, 20, 3]
+
+    def test_charges_load_and_store(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        array = AArray([0, 0])
+        with active(ctx):
+            array[0] = 5
+            _ = array[0]
+        assert ctx.op_counts == {"store": 1, "load": 1}
+
+    def test_hw_write_read_dependency(self):
+        """Critical path threads through memory slots."""
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        array = AArray([0])
+        with active(ctx):
+            array[0] = AInt(1) + AInt(2)   # add(1) -> store(2)
+            _ = array[0] + 1               # load(3) -> add(4)
+        _, t_min = ctx.segment_totals()
+        assert t_min == 4.0
+
+    def test_aint_index(self):
+        array = AArray([10, 20, 30])
+        assert int(array[AInt(2)]) == 30
+
+    def test_zeros(self):
+        assert AArray.zeros(4).to_list() == [0, 0, 0, 0]
+        with pytest.raises(AnnotationError):
+            AArray.zeros(-1)
+
+    def test_iteration(self):
+        assert [int(v) for v in AArray([1, 2])] == [1, 2]
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(AnnotationError):
+            AArray(["text"])
+        array = AArray([0])
+        with pytest.raises(AnnotationError):
+            array[0] = "text"
+        with pytest.raises(AnnotationError):
+            array["zero"]
+
+    def test_float_elements(self):
+        array = AArray([1.5])
+        assert isinstance(array[0], AFloat)
+
+    @given(st.lists(ints, min_size=1, max_size=20), st.data())
+    @settings(max_examples=50)
+    def test_matches_list_semantics(self, values, data):
+        """Random load/store sequences agree with a plain list."""
+        array = AArray(values)
+        mirror = list(values)
+        for _ in range(10):
+            index = data.draw(st.integers(0, len(values) - 1))
+            if data.draw(st.booleans()):
+                value = data.draw(ints)
+                array[index] = value
+                mirror[index] = value
+            else:
+                assert int(array[index]) == mirror[index]
+
+
+class TestHelpers:
+    def test_var_assignment_charges(self):
+        ctx = CostContext(uniform_costs(cycles=3.0), MODE_SW)
+        v = Var(0)
+        with active(ctx):
+            v.assign(AInt(1) + 1)
+        assert ctx.op_counts == {"add": 1, "assign": 1}
+        assert v.value == 2
+        assert int(v.get()) == 2
+
+    def test_arange_plain_without_context(self):
+        assert list(arange(3)) == [0, 1, 2]
+        assert all(isinstance(i, int) for i in arange(3))
+
+    def test_arange_annotated_with_context(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(ctx):
+            indices = list(arange(1, 7, 2))
+        assert [int(i) for i in indices] == [1, 3, 5]
+        assert all(isinstance(i, AInt) for i in indices)
+        assert ctx.op_counts == {"add": 3, "branch": 3}
+
+    def test_arange_accepts_aint_bounds(self):
+        assert list(arange(AInt(3))) == [0, 1, 2]
+
+    def test_annotated_function_charges_call_and_args(self):
+        @annotated_function
+        def helper(a, b):
+            return a + b
+
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(ctx):
+            result = helper(AInt(1), AInt(2))
+        assert int(result) == 3
+        assert ctx.op_counts == {"call": 1, "assign": 2, "add": 1}
+
+    def test_branch_charges_once_for_abool(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(ctx):
+            assert branch(AInt(1) < 2) is True
+        assert ctx.op_counts == {"lt": 1, "branch": 1}
+
+    def test_branch_charges_for_plain_bool(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(ctx):
+            assert branch(True) is True
+        assert ctx.op_counts == {"branch": 1}
+
+    def test_aint_helper_is_context_aware(self):
+        from repro.annotate import aint
+        assert isinstance(aint(3), int)
+        with active(CostContext(uniform_costs(), MODE_SW)):
+            assert isinstance(aint(3), AInt)
+
+    def test_make_array_is_context_aware(self):
+        assert make_array(3) == [0, 0, 0]
+        with active(CostContext(uniform_costs(), MODE_SW)):
+            array = make_array(3)
+            assert isinstance(array, AArray)
+            assert len(array) == 3
+
+    def test_unwrap(self):
+        assert unwrap(AInt(3)) == 3
+        assert unwrap(AFloat(1.5)) == 1.5
+        assert unwrap(ABool(True)) is True
+        assert unwrap(Var(7)) == 7
+        assert unwrap(AArray([1])) == [1]
+        assert unwrap("passthrough") == "passthrough"
+
+
+class TestCrossSegmentReadyClock:
+    def test_old_values_available_at_segment_start(self):
+        """A value computed in segment 1 must not stretch segment 2's
+        critical path (regression: the ready clock leaked across
+        resets, producing critical paths longer than the op sum)."""
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        with active(ctx):
+            carried = AInt(1)
+            for _ in range(20):
+                carried = carried + 1          # long chain in segment 1
+            ctx.reset()                        # segment boundary
+            fresh = carried + 1                # uses the old value
+            t_max, t_min = ctx.segment_totals()
+        assert t_max == 1.0
+        assert t_min == 1.0                    # not 21!
+
+    def test_critical_path_never_exceeds_sum_across_segments(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        with active(ctx):
+            value = AInt(1)
+            for segment in range(5):
+                for _ in range(3):
+                    value = value + 1
+                t_max, t_min = ctx.segment_totals()
+                assert t_min <= t_max + 1e-9, (segment, t_min, t_max)
+                ctx.reset()
+
+    def test_within_segment_chaining_still_tracked(self):
+        ctx = CostContext(uniform_costs(cycles=1.0), MODE_HW)
+        with active(ctx):
+            ctx.reset()
+            a, b, c, d = AInt(1), AInt(2), AInt(3), AInt(4)
+            _ = (a + b) + (c + d)
+            t_max, t_min = ctx.segment_totals()
+        assert (t_max, t_min) == (3.0, 2.0)

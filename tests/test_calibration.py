@@ -1,0 +1,109 @@
+"""Calibration tests: weight fitting and single-source consistency."""
+
+import pytest
+
+from repro.annotate import OperationCosts
+from repro.calibration import (
+    MicroBenchmark,
+    calibrate,
+    default_microbenchmarks,
+    measure_iss_cycles,
+    measure_operation_counts,
+)
+from repro.errors import CalibrationError
+from repro.platform import OPENRISC_SW_COSTS
+
+
+def test_default_suite_is_consistent():
+    """Every microbenchmark returns the same value annotated and compiled."""
+    for bench in default_microbenchmarks(scale=16):
+        _counts, annotated = measure_operation_counts(bench)
+        _cycles, compiled = measure_iss_cycles(bench)
+        assert annotated == compiled, bench.name
+
+
+def test_operation_counts_nonempty():
+    for bench in default_microbenchmarks(scale=16):
+        counts, _ = measure_operation_counts(bench)
+        assert counts, bench.name
+        assert all(v > 0 for v in counts.values())
+
+
+def test_calibrate_produces_full_table(calibration_report):
+    costs = calibration_report.costs
+    for op in ("add", "sub", "mul", "div", "load", "store", "call",
+               "lt", "le", "gt", "ge", "eq", "ne", "branch", "assign"):
+        assert costs.get(op) >= 0.0
+
+
+def test_calibrate_fits_training_set(calibration_report):
+    # The grouped, ridge-regularized fit trades exact interpolation for
+    # generalization; 35% on the worst microbenchmark is the guard rail.
+    assert calibration_report.max_relative_error < 0.35
+    assert len(calibration_report.predicted_cycles) == \
+        len(calibration_report.measured_cycles)
+
+
+def test_grouped_operations_share_weights(calibration_report):
+    weights = calibration_report.weights
+    assert weights["lt"] == weights["le"] == weights["gt"] == weights["ge"]
+    assert weights["add"] == weights["sub"]
+    assert weights["div"] == weights["mod"]
+
+
+def test_summary_renders(calibration_report):
+    text = calibration_report.summary()
+    assert "calibrated operation weights" in text
+    assert "fit quality" in text
+
+
+def test_generalizes_to_unseen_workload(calibrated_costs):
+    """The fitted table must predict a workload outside the training set
+    within a loose factor (the Table 1 benches check tight bounds)."""
+    from repro.annotate import CostContext, MODE_SW, active
+    from repro.iss import run_compiled
+    from repro.workloads import wrap_args
+    from repro.workloads.euler import euler_oscillator
+
+    args = (64, 4)
+    ctx = CostContext(calibrated_costs, MODE_SW)
+    with active(ctx):
+        euler_oscillator(*wrap_args(args))
+    iss = run_compiled([euler_oscillator], args=list(args))
+    error = abs(ctx.total_cycles - iss.cycles) / iss.cycles
+    assert error < 0.30, f"euler generalization error {100 * error:.1f}%"
+
+
+def test_empty_bench_list_rejected():
+    with pytest.raises(CalibrationError, match="at least one"):
+        calibrate([], OPENRISC_SW_COSTS)
+
+
+def test_divergent_benchmark_rejected():
+    """A microbenchmark whose annotated and compiled runs disagree must
+    abort calibration.  Unstable ``make_args`` is the classic cause:
+    the two backends then measure different inputs."""
+
+    def identity(n):
+        return n + 0
+
+    drifting = iter(range(100))
+    bench = MicroBenchmark("unstable", (identity,),
+                           lambda: (next(drifting),))
+    with pytest.raises(CalibrationError, match="diverges"):
+        calibrate([bench], OPENRISC_SW_COSTS)
+
+
+def test_bad_argument_types_rejected():
+    def kernel(x):
+        return x
+
+    bench = MicroBenchmark("bad", (kernel,), lambda: ({"dict": 1},))
+    with pytest.raises(CalibrationError, match="ints or lists"):
+        measure_operation_counts(bench)
+
+
+def test_zero_regularization_still_fits():
+    report = calibrate(default_microbenchmarks(scale=16),
+                       OPENRISC_SW_COSTS, regularization=0.0)
+    assert report.max_relative_error < 0.25

@@ -1,0 +1,209 @@
+"""Capture points, metrics and export."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.capture import (
+    CaptureBoard,
+    CapturePoint,
+    deadline_violations,
+    inter_arrival_ns,
+    jitter_ns,
+    mean_period_ns,
+    response_times_ns,
+    summarize_ns,
+    throughput_per_us,
+    to_csv_text,
+    to_matlab_text,
+)
+from repro.errors import CaptureError
+
+
+def _periodic_design(period_ns=10, hits=5, latency_ns=3):
+    sim = Simulator()
+    top = sim.module("top")
+    board = CaptureBoard(sim)
+    stimulus = board.point("stimulus")
+    response = board.point("response")
+
+    def body():
+        for i in range(hits):
+            stimulus.hit(i)
+            yield wait(SimTime.ns(latency_ns))
+            response.hit(i * 10)
+            yield wait(SimTime.ns(period_ns - latency_ns))
+
+    top.add_process(body)
+    sim.run()
+    return board, stimulus, response
+
+
+class TestCapturePoint:
+    def test_records_time_and_value(self):
+        _, stimulus, _ = _periodic_design()
+        assert len(stimulus) == 5
+        assert stimulus.values() == [0, 1, 2, 3, 4]
+        assert stimulus.times_ns() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_conditional_capture(self):
+        sim = Simulator()
+        top = sim.module("top")
+        point = CapturePoint(sim, "evens", condition=lambda v: v % 2 == 0)
+
+        def body():
+            for i in range(6):
+                point.hit(i)
+                yield wait(SimTime.ns(1))
+
+        top.add_process(body)
+        sim.run()
+        assert point.values() == [0, 2, 4]
+
+    def test_callable_shorthand(self):
+        sim = Simulator()
+        point = CapturePoint(sim, "p")
+        point(42)
+        assert point.values() == [42]
+
+    def test_clear(self):
+        sim = Simulator()
+        point = CapturePoint(sim, "p")
+        point.hit()
+        point.clear()
+        assert len(point) == 0
+
+    def test_delta_recorded(self):
+        sim = Simulator()
+        top = sim.module("top")
+        point = CapturePoint(sim, "p")
+
+        def body():
+            point.hit("d0")
+            yield wait(SimTime.fs(0))
+            point.hit("d1")
+
+        top.add_process(body)
+        sim.run()
+        assert [e.delta for e in point.events] == [0, 1]
+
+
+class TestCaptureBoard:
+    def test_point_is_idempotent(self):
+        sim = Simulator()
+        board = CaptureBoard(sim)
+        assert board.point("x") is board.point("x")
+        assert len(board) == 1
+
+    def test_conflicting_condition_rejected(self):
+        sim = Simulator()
+        board = CaptureBoard(sim)
+        board.point("x")
+        with pytest.raises(CaptureError, match="different condition"):
+            board.point("x", condition=lambda v: True)
+
+    def test_unknown_point_lookup(self):
+        sim = Simulator()
+        board = CaptureBoard(sim)
+        with pytest.raises(CaptureError, match="no capture point"):
+            board["ghost"]
+
+
+class TestMetrics:
+    def test_response_times(self):
+        _, stimulus, response = _periodic_design(latency_ns=3)
+        latencies = response_times_ns(stimulus, response)
+        assert latencies == [3.0] * 5
+
+    def test_response_precedes_stimulus_rejected(self):
+        _, stimulus, response = _periodic_design()
+        with pytest.raises(CaptureError, match="precedes"):
+            response_times_ns(response, stimulus)
+
+    def test_more_responses_than_stimuli_rejected(self):
+        sim = Simulator()
+        a = CapturePoint(sim, "a")
+        b = CapturePoint(sim, "b")
+        a.hit()
+        b.hit()
+        b.hit()
+        with pytest.raises(CaptureError, match="more responses"):
+            response_times_ns(a, b)
+
+    def test_inter_arrival_and_period(self):
+        _, stimulus, _ = _periodic_design(period_ns=10)
+        assert inter_arrival_ns(stimulus) == [10.0] * 4
+        assert mean_period_ns(stimulus) == 10.0
+        assert jitter_ns(stimulus) == 0.0
+
+    def test_throughput(self):
+        _, stimulus, _ = _periodic_design(period_ns=10, hits=5)
+        # 4 intervals over 40 ns = 0.04 us -> 100 hits/us
+        assert throughput_per_us(stimulus) == pytest.approx(100.0)
+
+    def test_deadline_violations(self):
+        _, stimulus, response = _periodic_design(latency_ns=3)
+        assert deadline_violations(stimulus, response, SimTime.ns(5)) == []
+        assert deadline_violations(stimulus, response, SimTime.ns(2)) == [0, 1, 2, 3, 4]
+
+    def test_summary(self):
+        summary = summarize_ns([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean_ns == 2.0
+        assert summary.min_ns == 1.0
+        assert summary.max_ns == 3.0
+        assert "n=3" in str(summary)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(CaptureError):
+            summarize_ns([])
+        sim = Simulator()
+        lone = CapturePoint(sim, "x")
+        lone.hit()
+        with pytest.raises(CaptureError):
+            mean_period_ns(lone)
+        with pytest.raises(CaptureError):
+            throughput_per_us(lone)
+
+
+class TestExport:
+    def test_csv_format(self):
+        board, _, _ = _periodic_design(hits=2)
+        text = to_csv_text(board)
+        lines = text.strip().splitlines()
+        assert lines[0] == "point,time_ns,delta,value"
+        assert len(lines) == 1 + 4  # 2 points x 2 hits
+        assert lines[1].startswith("stimulus,0.000000,")
+
+    def test_matlab_format(self):
+        board, _, _ = _periodic_design(hits=2)
+        text = to_matlab_text(board)
+        assert "stimulus_t = [" in text
+        assert "stimulus_v = [" in text
+        assert "response_t = [" in text
+
+    def test_matlab_identifier_sanitized(self):
+        sim = Simulator()
+        point = CapturePoint(sim, "1-odd name!")
+        point.hit(1)
+        text = to_matlab_text([point])
+        assert "p_1_odd_name__t" in text
+
+    def test_matlab_non_numeric_values_become_nan(self):
+        sim = Simulator()
+        point = CapturePoint(sim, "p")
+        point.hit("text")
+        point.hit(None)
+        point.hit(True)
+        text = to_matlab_text([point])
+        assert text.count("NaN") == 2
+        assert "1" in text
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.capture import to_csv, to_matlab
+        board, _, _ = _periodic_design(hits=2)
+        csv_path = tmp_path / "events.csv"
+        m_path = tmp_path / "events.m"
+        to_csv(board, str(csv_path))
+        to_matlab(board, str(m_path))
+        assert csv_path.read_text().startswith("point,")
+        assert "stimulus_t" in m_path.read_text()

@@ -1,0 +1,300 @@
+"""Channel semantics: FIFO, rendezvous, signal, shared variable."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SimTime, Simulator, wait
+
+
+class TestFifo:
+    def test_data_delivered_in_order(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        top = sim.module("top")
+        received = []
+
+        def producer():
+            for value in (10, 20, 30):
+                yield from fifo.write(value)
+
+        def consumer():
+            for _ in range(3):
+                received.append((yield from fifo.read()))
+
+        top.add_process(producer)
+        top.add_process(consumer)
+        sim.run()
+        sim.assert_quiescent()
+        assert received == [10, 20, 30]
+
+    def test_bounded_fifo_blocks_writer(self):
+        sim = Simulator()
+        fifo = sim.fifo("f", capacity=1)
+        top = sim.module("top")
+        trace = []
+
+        def producer():
+            for value in range(3):
+                yield from fifo.write(value)
+                trace.append(("wrote", value, sim.now.to_ns()))
+
+        def consumer():
+            for _ in range(3):
+                yield wait(SimTime.ns(10))
+                value = yield from fifo.read()
+                trace.append(("read", value, sim.now.to_ns()))
+
+        top.add_process(producer)
+        top.add_process(consumer)
+        sim.run()
+        sim.assert_quiescent()
+        # writer's second write cannot complete before the first read
+        wrote1 = next(t for kind, v, t in trace if kind == "wrote" and v == 1)
+        read0 = next(t for kind, v, t in trace if kind == "read" and v == 0)
+        assert wrote1 >= read0
+
+    def test_reader_blocks_until_data(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        top = sim.module("top")
+        seen = []
+
+        def consumer():
+            seen.append((yield from fifo.read()))
+            seen.append(sim.now.to_ns())
+
+        def producer():
+            yield wait(SimTime.ns(42))
+            yield from fifo.write("late")
+
+        top.add_process(consumer)
+        top.add_process(producer)
+        sim.run()
+        sim.assert_quiescent()
+        assert seen == ["late", 42.0]
+
+    def test_try_read(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        top = sim.module("top")
+        results = []
+
+        def body():
+            results.append((yield from fifo.try_read()))
+            yield from fifo.write(7)
+            results.append((yield from fifo.try_read()))
+
+        top.add_process(body)
+        sim.run()
+        assert results == [(False, None), (True, 7)]
+
+    def test_access_counts(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        top = sim.module("top")
+
+        def body():
+            yield from fifo.write(1)
+            yield from fifo.write(2)
+            yield from fifo.read()
+
+        top.add_process(body)
+        sim.run()
+        assert fifo.access_counts == {"write": 2, "read": 1}
+        assert len(fifo) == 1
+
+    def test_bad_capacity_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.fifo("f", capacity=0)
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=30),
+           capacity=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_preserves_sequence(self, values, capacity):
+        """KPN determinism: bounded FIFO delivers exactly the written
+        sequence regardless of capacity-induced blocking."""
+        sim = Simulator()
+        fifo = sim.fifo("f", capacity=capacity)
+        top = sim.module("top")
+        received = []
+
+        def producer():
+            for value in values:
+                yield from fifo.write(value)
+
+        def consumer():
+            for _ in values:
+                received.append((yield from fifo.read()))
+
+        top.add_process(producer)
+        top.add_process(consumer)
+        sim.run()
+        sim.assert_quiescent()
+        assert received == values
+
+
+class TestRendezvous:
+    def test_synchronizes_both_sides(self):
+        sim = Simulator()
+        channel = sim.rendezvous("rv")
+        top = sim.module("top")
+        log = []
+
+        def writer():
+            yield wait(SimTime.ns(5))
+            yield from channel.write("token")
+            log.append(("writer-done", sim.now.to_ns()))
+
+        def reader():
+            value = yield from channel.read()
+            log.append(("reader-got", sim.now.to_ns(), value))
+
+        top.add_process(writer)
+        top.add_process(reader)
+        sim.run()
+        sim.assert_quiescent()
+        assert ("reader-got", 5.0, "token") in log
+        writer_done = next(t for entry, t, *rest in [(e[0], e[1]) + tuple(e[2:]) for e in log] if entry == "writer-done")
+        assert writer_done >= 5.0
+
+    def test_writer_blocks_for_reader(self):
+        sim = Simulator()
+        channel = sim.rendezvous("rv")
+        top = sim.module("top")
+        log = []
+
+        def writer():
+            yield from channel.write(1)
+            log.append(sim.now.to_ns())
+
+        def reader():
+            yield wait(SimTime.ns(30))
+            yield from channel.read()
+
+        top.add_process(writer)
+        top.add_process(reader)
+        sim.run()
+        sim.assert_quiescent()
+        assert log[0] >= 30.0
+
+    def test_multiple_exchanges_in_order(self):
+        sim = Simulator()
+        channel = sim.rendezvous("rv")
+        top = sim.module("top")
+        got = []
+
+        def writer():
+            for value in range(5):
+                yield from channel.write(value)
+
+        def reader():
+            for _ in range(5):
+                got.append((yield from channel.read()))
+
+        top.add_process(writer)
+        top.add_process(reader)
+        sim.run()
+        sim.assert_quiescent()
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestSignal:
+    def test_write_commits_next_delta(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=0)
+        top = sim.module("top")
+        observed = []
+
+        def writer():
+            yield from signal.write(5)
+            observed.append(("same-delta", signal.value))
+            yield wait(SimTime.fs(0))
+            observed.append(("next-delta", signal.value))
+
+        top.add_process(writer)
+        sim.run()
+        assert observed == [("same-delta", 0), ("next-delta", 5)]
+
+    def test_await_change(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=0)
+        top = sim.module("top")
+        seen = []
+
+        def watcher():
+            value = yield from signal.await_change()
+            seen.append((value, sim.now.to_ns()))
+
+        def driver():
+            yield wait(SimTime.ns(8))
+            yield from signal.write(99)
+
+        top.add_process(watcher)
+        top.add_process(driver)
+        sim.run()
+        sim.assert_quiescent()
+        assert seen == [(99, 8.0)]
+
+    def test_same_value_write_does_not_wake(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=7)
+        top = sim.module("top")
+
+        def watcher():
+            yield from signal.await_change()
+
+        def driver():
+            yield from signal.write(7)
+
+        top.add_process(watcher)
+        top.add_process(driver)
+        sim.run()
+        assert len(sim.scheduler.blocked_processes()) == 1
+
+    def test_history_records_commits(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=0)
+        top = sim.module("top")
+
+        def driver():
+            for value in (1, 2):
+                yield from signal.write(value)
+                yield wait(SimTime.ns(1))
+
+        top.add_process(driver)
+        sim.run()
+        values = [v for _, _, v in signal.history]
+        assert values == [0, 1, 2]
+
+    def test_last_write_in_delta_wins(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=0)
+        top = sim.module("top")
+
+        def driver():
+            yield from signal.write(1)
+            yield from signal.write(2)
+            yield wait(SimTime.fs(0))
+
+        top.add_process(driver)
+        sim.run()
+        assert signal.value == 2
+        assert [v for _, _, v in signal.history] == [0, 2]
+
+
+class TestSharedVariable:
+    def test_read_write(self):
+        sim = Simulator()
+        var = sim.shared_variable("v", initial=10)
+        top = sim.module("top")
+        got = []
+
+        def body():
+            got.append((yield from var.read()))
+            yield from var.write(20)
+            got.append((yield from var.read()))
+
+        top.add_process(body)
+        sim.run()
+        assert got == [10, 20]

@@ -1,0 +1,95 @@
+"""CLI tests (direct main() invocation plus one subprocess smoke)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "OR-lite" in out
+
+
+def test_opcodes(capsys):
+    assert main(["opcodes"]) == 0
+    out = capsys.readouterr().out
+    assert "add" in out and "jalr" in out
+
+
+def test_disasm(capsys):
+    assert main(["disasm", "fibonacci"]) == 0
+    out = capsys.readouterr().out
+    assert "fib_benchmark:" in out
+    assert "jalr r9" in out
+    assert "instructions" in out
+
+
+def test_disasm_unknown_workload():
+    with pytest.raises(SystemExit, match="unknown workload"):
+        main(["disasm", "doom"])
+
+
+def test_calibrate(capsys):
+    assert main(["calibrate", "--scale", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "calibrated operation weights" in out
+
+
+def test_estimate(capsys):
+    assert main(["estimate", "euler", "--scale", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "estimation error" in out
+    assert "ISS measurement" in out
+
+
+def test_graph(capsys):
+    assert main(["graph"]) == 0
+    out = capsys.readouterr().out
+    assert "digraph" in out
+    assert "N1" in out
+
+
+def test_module_entry_point():
+    result = subprocess.run([sys.executable, "-m", "repro", "info"],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0
+    assert "repro" in result.stdout
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_calibrate_saves_and_estimate_loads(tmp_path, capsys):
+    weights_path = str(tmp_path / "weights.json")
+    assert main(["calibrate", "--scale", "16", "-o", weights_path]) == 0
+    capsys.readouterr()
+    assert main(["estimate", "euler", "--weights", weights_path]) == 0
+    out = capsys.readouterr().out
+    assert "using cost table" in out
+    assert "estimation error" in out
+
+
+def test_cost_table_json_roundtrip(tmp_path):
+    from repro.annotate import OperationCosts
+    from repro.platform import OPENRISC_SW_COSTS
+    path = str(tmp_path / "t.json")
+    OPENRISC_SW_COSTS.save(path)
+    loaded = OperationCosts.load(path)
+    assert loaded.name == OPENRISC_SW_COSTS.name
+    assert loaded.as_dict() == OPENRISC_SW_COSTS.as_dict()
+
+
+def test_malformed_cost_json_rejected():
+    from repro.annotate import OperationCosts
+    from repro.errors import AnnotationError
+    import pytest as _pytest
+    with _pytest.raises(AnnotationError, match="malformed"):
+        OperationCosts.from_json("not json at all")
+    with _pytest.raises(AnnotationError, match="malformed"):
+        OperationCosts.from_json('{"no_costs": 1}')

@@ -1,0 +1,359 @@
+"""Mini-compiler tests: semantics equivalence and rejection of the
+unsupported.
+
+Every kernel compiled to OR-lite must return exactly what the same
+Python function returns natively — the single-source contract.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotate.functions import aint, annotated_function, arange, make_array
+from repro.errors import CompileError
+from repro.iss import compile_functions, run_compiled
+
+small = st.integers(min_value=-50, max_value=50)
+positive = st.integers(min_value=1, max_value=40)
+
+
+# --- semantics: compiled result == python result ---------------------------
+
+def arithmetic_mix(a, b):
+    x = a + b * 3
+    y = (a - b) ^ (a & b)
+    z = (x << 2) | (y & 15)
+    return z - (x >> 1)
+
+
+def division_mix(a, b):
+    q = a // b
+    r = a % b
+    return q * 1000 + r
+
+
+def control_flow(a, b):
+    result = 0
+    if a > b:
+        result = 1
+    elif a == b:
+        result = 2
+    else:
+        result = 3
+    if a > 0 and b > 0:
+        result = result + 10
+    if a < 0 or b < 0:
+        result = result + 100
+    if not (a == 0):
+        result = result + 1000
+    return result
+
+
+def loops(n):
+    total = 0
+    for i in range(n):
+        total = total + i
+    i = 0
+    while i * i < n:
+        i = i + 1
+    down = 0
+    for j in range(n, 0, -2):
+        down = down + j
+    return total * 10000 + i * 100 + down
+
+
+def break_continue(n):
+    total = 0
+    for i in range(n):
+        if i == 5:
+            continue
+        if i == 8:
+            break
+        total = total + i
+    while True:
+        total = total + 1
+        break
+    return total
+
+
+def compare_values(a, b):
+    return ((a < b) * 1 + (a <= b) * 2 + (a > b) * 4
+            + (a >= b) * 8 + (a == b) * 16 + (a != b) * 32)
+
+
+def unary_mix(a):
+    return (-a) + (~a) * 3 + (not a) * 100 + (+a)
+
+
+def arrays(base, n):
+    buffer = make_array(n)
+    for i in range(n):
+        buffer[i] = base + i * i
+    total = 0
+    for i in range(n):
+        total = total + buffer[i]
+    buffer[0] = total
+    return buffer[0] - buffer[n - 1]
+
+
+def helper_double(x):
+    return x * 2
+
+
+def helper_clamp(x, low, high):
+    if x < low:
+        return low
+    if x > high:
+        return high
+    return x
+
+
+def calls(a, b):
+    return helper_double(a) + helper_clamp(helper_double(b), 0, 50)
+
+
+def recursion_gcd(a, b):
+    if b == 0:
+        return a
+    return recursion_gcd(b, a % b)
+
+
+def shadow_bound(n):
+    # the loop bound must be captured once, like Python's range()
+    total = 0
+    for i in range(n):
+        n = 0
+        total = total + 1
+    return total
+
+
+SEMANTIC_CASES = [
+    (arithmetic_mix, (), (7, 3)),
+    (arithmetic_mix, (), (-7, 13)),
+    (division_mix, (), (17, 5)),
+    (division_mix, (), (-17, 5)),
+    (division_mix, (), (17, -5)),
+    (control_flow, (), (3, 2)),
+    (control_flow, (), (-1, -1)),
+    (control_flow, (), (0, 4)),
+    (loops, (), (10,)),
+    (loops, (), (1,)),
+    (break_continue, (), (20,)),
+    (compare_values, (), (2, 5)),
+    (compare_values, (), (5, 5)),
+    (unary_mix, (), (6,)),
+    (unary_mix, (), (0,)),
+    (arrays, (), (3, 8)),
+    (calls, (helper_double, helper_clamp), (4, 30)),
+    (recursion_gcd, (), (48, 36)),
+    (shadow_bound, (), (7,)),
+]
+
+
+@pytest.mark.parametrize("fn,helpers,args", SEMANTIC_CASES,
+                         ids=lambda v: getattr(v, "__name__", str(v)))
+def test_compiled_matches_python(fn, helpers, args):
+    expected = fn(*args)
+    result = run_compiled([fn, *helpers], args=list(args), entry=fn)
+    assert result.return_value == int(expected)
+
+
+@given(a=small, b=small.filter(lambda v: v != 0))
+@settings(max_examples=25, deadline=None)
+def test_division_property(a, b):
+    assert run_compiled([division_mix], args=[a, b]).return_value == \
+        division_mix(a, b)
+
+
+@given(a=small, b=small)
+@settings(max_examples=25, deadline=None)
+def test_comparison_property(a, b):
+    assert run_compiled([compare_values], args=[a, b]).return_value == \
+        compare_values(a, b)
+
+
+@given(n=positive)
+@settings(max_examples=15, deadline=None)
+def test_loop_property(n):
+    assert run_compiled([loops], args=[n]).return_value == loops(n)
+
+
+def test_array_argument_writeback():
+    def negate(a, n):
+        for i in range(n):
+            a[i] = 0 - a[i]
+        return 0
+
+    data = [1, -2, 3]
+    run_compiled([negate], args=[data, 3])
+    assert data == [-1, 2, -3]
+
+
+def test_intrinsics_compile():
+    def with_intrinsics(n):
+        counter = aint(0)
+        scratch = make_array(n)
+        for i in arange(n):
+            scratch[i] = i
+            counter = counter + scratch[i]
+        return counter
+
+    expected = with_intrinsics(6)
+    assert run_compiled([with_intrinsics], args=[6]).return_value == expected
+
+
+def test_decorated_functions_compile():
+    @annotated_function
+    def decorated(x):
+        return x + 1
+
+    assert run_compiled([decorated], args=[41]).return_value == 42
+
+
+def test_module_constants_fold():
+    assert run_compiled([_uses_constant], args=[5]).return_value == 5 + _SCALE
+
+
+_SCALE = 4096
+
+
+def _uses_constant(x):
+    return x + _SCALE
+
+
+def test_call_hoisting_preserves_argument_order():
+    def f(x):
+        return x * 10
+
+    def g(a):
+        return f(a + 1) + f(a + 2) * f(a + 3)
+
+    assert run_compiled([g, f], args=[1], entry=g).return_value == g(1)
+
+
+# --- rejection of unsupported constructs ------------------------------------
+
+def test_float_constant_rejected():
+    def bad(x):
+        return x + 1.5
+    with pytest.raises(CompileError, match="integers only"):
+        compile_functions([bad])
+
+
+def test_unknown_function_rejected():
+    def bad(x):
+        return undefined_helper(x)  # noqa: F821
+    with pytest.raises(CompileError, match="unknown function"):
+        compile_functions([bad])
+
+
+def test_unknown_variable_rejected():
+    def bad(x):
+        return x + mystery  # noqa: F821
+    with pytest.raises(CompileError, match="unknown variable"):
+        compile_functions([bad])
+
+
+def test_while_with_call_in_condition_rejected():
+    def helper(v):
+        return v
+
+    def bad(x):
+        while helper(x) > 0:
+            x = x - 1
+        return x
+    with pytest.raises(CompileError, match="while conditions"):
+        compile_functions([bad, helper])
+
+
+def test_chained_comparison_rejected():
+    def bad(x):
+        return 0 < x < 10
+    with pytest.raises(CompileError, match="chained comparisons"):
+        compile_functions([bad])
+
+
+def test_for_over_list_rejected():
+    def bad(a):
+        total = 0
+        for value in a:
+            total = total + value
+        return total
+    with pytest.raises(CompileError, match="range"):
+        compile_functions([bad])
+
+
+def test_variable_step_rejected():
+    def bad(n, s):
+        total = 0
+        for i in range(0, n, s):
+            total = total + i
+        return total
+    with pytest.raises(CompileError, match="step"):
+        compile_functions([bad])
+
+
+def test_keyword_arguments_rejected():
+    def helper(v):
+        return v
+
+    def bad(x):
+        return helper(v=x)
+    with pytest.raises(CompileError, match="keyword"):
+        compile_functions([bad, helper])
+
+
+def test_nested_function_rejected():
+    def bad(x):
+        def inner():
+            return 1
+        return x
+    with pytest.raises(CompileError, match="nested function"):
+        compile_functions([bad])
+
+
+def test_slice_rejected():
+    def bad(a):
+        return a[1:2]
+    with pytest.raises(CompileError, match="slicing"):
+        compile_functions([bad])
+
+
+def test_default_parameters_rejected():
+    def bad(x=1):
+        return x
+    with pytest.raises(CompileError, match="default"):
+        compile_functions([bad])
+
+
+def test_too_many_parameters_rejected():
+    def bad(a, b, c, d, e, f, g):
+        return a
+    with pytest.raises(CompileError, match="parameters"):
+        compile_functions([bad])
+
+
+def test_duplicate_names_rejected():
+    def twin(x):
+        return x
+    first = twin
+
+    def twin(x):  # noqa: F811
+        return x + 1
+    with pytest.raises(CompileError, match="duplicate"):
+        compile_functions([first, twin])
+
+
+def test_empty_function_list_rejected():
+    with pytest.raises(CompileError, match="at least one"):
+        compile_functions([])
+
+
+def test_while_else_rejected():
+    def bad(x):
+        while x > 0:
+            x = x - 1
+        else:
+            x = 5
+        return x
+    with pytest.raises(CompileError, match="while/else"):
+        compile_functions([bad])

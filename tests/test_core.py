@@ -1,0 +1,328 @@
+"""Performance-library tests: estimation, agents, global analysis."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt, CostContext, MODE_HW, MODE_SW, uniform_costs
+from repro.core import (
+    PerformanceLibrary,
+    SegmentEstimate,
+    annotated_cycles,
+    annotated_time,
+    check_determinism,
+)
+from repro.errors import MappingError
+from repro.kernel import Clock, TraceRecorder
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    RtosModel,
+    make_cpu,
+    make_fabric,
+)
+
+
+def _busy(n):
+    acc = AInt(0)
+    for k in range(n):
+        acc = acc + 1
+    return acc
+
+
+class TestEstimator:
+    def test_interpolation_endpoints(self):
+        estimate = SegmentEstimate(t_max_cycles=100.0, t_min_cycles=40.0)
+        assert estimate.interpolate(0.0) == 40.0
+        assert estimate.interpolate(1.0) == 100.0
+        assert estimate.interpolate(0.5) == 70.0
+
+    def test_bad_k_rejected(self):
+        estimate = SegmentEstimate(10.0, 5.0)
+        with pytest.raises(ValueError):
+            estimate.interpolate(1.5)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentEstimate(t_max_cycles=1.0, t_min_cycles=2.0)
+
+    def test_sequential_uses_sum(self):
+        cpu = make_cpu()
+        estimate = SegmentEstimate(100.0, 40.0)
+        assert annotated_cycles(estimate, cpu) == 100.0
+
+    def test_parallel_uses_k(self):
+        fabric = make_fabric(k_factor=0.25)
+        estimate = SegmentEstimate(100.0, 40.0)
+        assert annotated_cycles(estimate, fabric) == 55.0
+
+    def test_environment_is_free(self):
+        env = EnvironmentResource("tb")
+        assert annotated_cycles(SegmentEstimate(100.0, 40.0), env) == 0.0
+
+    def test_annotated_time_uses_resource_clock(self):
+        cpu = make_cpu(mhz=100.0)
+        estimate = SegmentEstimate(10.0, 10.0)
+        assert annotated_time(estimate, cpu) == SimTime.ns(100)
+
+
+class TestSwSerialization:
+    def _run(self, policy="fifo", rtos=None, priorities=(0, 0)):
+        sim = Simulator()
+        top = sim.module("top")
+        done = {}
+
+        def make(name, cycles, priority):
+            def body():
+                _busy(cycles)
+                yield wait(SimTime.fs(0))
+                done[name] = sim.now
+            body.__name__ = name
+            return top.add_process(body, name=name, priority=priority)
+
+        p_a = make("a", 100, priorities[0])
+        p_b = make("b", 100, priorities[1])
+        cpu = make_cpu("cpu0", costs=uniform_costs(), rtos=rtos, policy=policy)
+        mapping = Mapping()
+        mapping.assign(p_a, cpu)
+        mapping.assign(p_b, cpu)
+        perf = PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        sim.assert_quiescent()
+        return sim, cpu, perf, done
+
+    def test_same_cpu_processes_serialize(self):
+        sim, cpu, perf, done = self._run()
+        stats_a = perf.stats["top.a"]
+        stats_b = perf.stats["top.b"]
+        # both segments ran: total busy = sum, and the simulated span
+        # covers the serialized execution of both.
+        assert cpu.busy_time.femtoseconds == (
+            stats_a.busy_time.femtoseconds + stats_b.busy_time.femtoseconds
+        )
+        assert sim.now.femtoseconds >= cpu.busy_time.femtoseconds
+        assert done["a"] != done["b"]
+
+    def test_second_process_waits_full_duration(self):
+        sim, cpu, perf, done = self._run()
+        # each segment is ~101 charged ops at 1 cycle on a 200 MHz clock
+        first_done = min(done.values())
+        second_done = max(done.values())
+        assert second_done.femtoseconds >= 2 * first_done.femtoseconds * 0.9
+
+    def test_priority_policy_orders_grant(self):
+        """When contenders queue behind a busy CPU, priority wins.
+
+        (A request hitting a *free* CPU is granted immediately — the
+        RTOS cannot foresee a more urgent thread becoming ready in the
+        same instant; FIFO arrival order applies there.)
+        """
+        sim = Simulator()
+        top = sim.module("top")
+        done = {}
+
+        def make(name, cycles, priority):
+            def body():
+                _busy(cycles)
+                yield wait(SimTime.fs(0))
+                done[name] = sim.now
+            body.__name__ = name
+            return top.add_process(body, name=name, priority=priority)
+
+        hog = make("hog", 500, 0)        # grabs the CPU first
+        low = make("low", 100, 5)
+        high = make("high", 100, 1)      # queues later but more urgent
+        cpu = make_cpu("cpu0", costs=uniform_costs(), rtos=None,
+                       policy="priority")
+        mapping = Mapping()
+        for process in (hog, low, high):
+            mapping.assign(process, cpu)
+        PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        sim.assert_quiescent()
+        assert done["hog"] < done["high"] < done["low"]
+
+    def test_rtos_overhead_accounted(self):
+        rtos = RtosModel("r", channel_access_cycles=50.0, wait_cycles=50.0,
+                         context_switch_cycles=25.0)
+        sim, cpu, perf, _ = self._run(rtos=rtos)
+        assert cpu.rtos_time.femtoseconds > 0
+        assert perf.stats["top.a"].rtos_cycles > 0
+        _, cpu_free, _, _ = self._run(rtos=None)
+        assert cpu_free.rtos_time.femtoseconds == 0
+
+    def test_arbitration_time_recorded(self):
+        _, _, perf, _ = self._run()
+        total_arbitration = sum(
+            s.arbitration_time.femtoseconds for s in perf.stats.values()
+        )
+        assert total_arbitration > 0
+
+
+class TestHwParallelism:
+    def test_hw_processes_overlap(self):
+        sim = Simulator()
+        top = sim.module("top")
+        done = {}
+
+        def make(name):
+            def body():
+                _busy(200)
+                yield wait(SimTime.fs(0))
+                done[name] = sim.now
+            body.__name__ = name
+            return top.add_process(body, name=name)
+
+        p_a, p_b = make("a"), make("b")
+        hw_a = make_fabric("hw_a")
+        hw_b = make_fabric("hw_b")
+        mapping = Mapping()
+        mapping.assign(p_a, hw_a)
+        mapping.assign(p_b, hw_b)
+        PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        # independent fabrics: both finish at the same instant
+        assert done["a"] == done["b"]
+
+    def test_k_factor_scales_duration(self):
+        durations = {}
+        for k in (0.0, 1.0):
+            sim = Simulator()
+            top = sim.module("top")
+
+            def body():
+                a, b, c, d = AInt(1), AInt(2), AInt(3), AInt(4)
+                _ = (a + b) + (c + d)
+                yield wait(SimTime.fs(0))
+
+            process = top.add_process(body)
+            fabric = make_fabric("hw", k_factor=k)
+            mapping = Mapping()
+            mapping.assign(process, fabric)
+            perf = PerformanceLibrary(mapping).attach(sim)
+            sim.run()
+            durations[k] = perf.stats["top.body"].cycles
+        assert durations[0.0] < durations[1.0]
+
+
+class TestAttachment:
+    def test_unmapped_process_rejected(self):
+        sim = Simulator()
+        top = sim.module("top")
+
+        def body():
+            yield wait(SimTime.ns(1))
+
+        top.add_process(body)
+        perf = PerformanceLibrary(Mapping())
+        with pytest.raises(MappingError, match="unmapped"):
+            perf.attach(sim)
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        top = sim.module("top")
+
+        def body():
+            yield wait(SimTime.ns(1))
+
+        process = top.add_process(body)
+        mapping = Mapping()
+        mapping.assign(process, make_cpu())
+        perf = PerformanceLibrary(mapping).attach(sim)
+        with pytest.raises(MappingError, match="already attached"):
+            perf.attach(sim)
+
+    def test_environment_processes_not_instrumented(self):
+        sim = Simulator()
+        top = sim.module("top")
+
+        def body():
+            yield wait(SimTime.ns(1))
+
+        process = top.add_process(body)
+        mapping = Mapping()
+        mapping.assign(process, EnvironmentResource("tb"))
+        perf = PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        assert perf.stats == {}
+        assert sim.now == SimTime.ns(1)  # untouched timing
+
+    def test_report_renders(self):
+        sim = Simulator()
+        top = sim.module("top")
+
+        def body():
+            _busy(10)
+            yield wait(SimTime.ns(5))
+
+        process = top.add_process(body)
+        mapping = Mapping()
+        mapping.assign(process, make_cpu())
+        perf = PerformanceLibrary(mapping).attach(sim)
+        final = sim.run()
+        report = perf.report(final)
+        assert "top.body" in report
+        assert "cpu0" in report
+        segments = perf.segment_report()
+        assert "top.body" in segments
+
+
+class TestDeterminismCheck:
+    def _trace_of(self, racy: bool, timed: bool):
+        """A design whose reader branches on whichever write wins.
+
+        In the deterministic variant, an ordering channel forces
+        a-before-b.  In the racy variant, the untimed delta order says
+        "a first" while the strict-timed mapping delays writer_a by its
+        computation time, so "b" wins — the §6 hidden-error scenario.
+        """
+        sim = Simulator()
+        trace = TraceRecorder()
+        sim.add_observer(trace)
+        shared = sim.fifo("shared")
+        order = sim.fifo("order")
+        top = sim.module("top")
+
+        def writer_a():
+            _busy(500)                      # heavy segment before writing
+            yield from shared.write("a")
+            if not racy:
+                yield from order.write(1)
+
+        def writer_b():
+            if not racy:
+                yield from order.read()     # wait for a's token
+            yield from shared.write("b")
+
+        def reader():
+            first = yield from shared.read()
+            second = yield from shared.read()
+            if first == "a":
+                yield wait(SimTime.ns(1))   # order-dependent control flow
+            del second
+
+        p_a = top.add_process(writer_a)
+        p_b = top.add_process(writer_b)
+        p_r = top.add_process(reader)
+        if timed:
+            cpu = make_cpu("cpu0", costs=uniform_costs())
+            cpu2 = make_cpu("cpu1", costs=uniform_costs())
+            mapping = Mapping()
+            mapping.assign(p_a, cpu)
+            mapping.assign(p_b, cpu2)
+            mapping.assign(p_r, EnvironmentResource("tb"))
+            PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        sim.assert_quiescent()
+        return trace
+
+    def test_deterministic_design_matches(self):
+        untimed = self._trace_of(racy=False, timed=False)
+        timed = self._trace_of(racy=False, timed=True)
+        assert check_determinism(untimed, timed) == []
+
+    def test_racy_design_flagged(self):
+        untimed = self._trace_of(racy=True, timed=False)
+        timed = self._trace_of(racy=True, timed=True)
+        differences = check_determinism(untimed, timed)
+        assert differences, "timing-dependent design should be flagged"
+        assert any("reader" in d for d in differences)

@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "performance report" in out
+    assert "per-segment detail" in out
+
+
+def test_hw_design_space():
+    out = _run("hw_design_space.py")
+    assert "library bounds" in out
+    assert "Pareto frontier" in out
+
+
+def test_capture_verification():
+    out = _run("capture_verification.py")
+    assert "response-time analysis" in out
+    assert "determinism check" in out
+
+
+def test_realtime_energy():
+    out = _run("realtime_energy.py")
+    assert "RM response-time : schedulable" in out
+    assert "energy report" in out
+    assert "occupancy over" in out
+
+
+@pytest.mark.slow
+def test_vocoder_exploration():
+    out = _run("vocoder_exploration.py", "1")
+    assert "mapping A" in out
+    assert "speedup C vs A" in out
+
+
+def test_image_pipeline():
+    out = _run("image_pipeline.py", "4")
+    assert "DCT on HW" in out
+    assert "faster" in out

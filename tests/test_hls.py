@@ -1,0 +1,267 @@
+"""Behavioral-synthesis substrate tests: DFG capture and scheduling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotate import AArray, AInt, uniform_costs
+from repro.errors import SynthesisError
+from repro.hls import (
+    Allocation,
+    DataflowGraph,
+    DfgNode,
+    UNIVERSAL_FU,
+    alap,
+    asap,
+    capture_dfg,
+    explore_design_space,
+    fu_class,
+    list_schedule,
+    pareto_front,
+    synthesize_best_case,
+    synthesize_worst_case,
+)
+from repro.kernel import Clock
+from repro.platform import ASIC_HW_COSTS
+
+
+def _chain_graph(lengths):
+    """A linear dependence chain with the given latencies."""
+    graph = DataflowGraph()
+    previous = ()
+    for i, latency in enumerate(lengths):
+        graph.add(DfgNode(i, "add", latency, float(latency), previous))
+        previous = (i,)
+    return graph
+
+
+def _parallel_graph(count, latency=1):
+    graph = DataflowGraph()
+    for i in range(count):
+        graph.add(DfgNode(i, "add", latency, float(latency), ()))
+    return graph
+
+
+def _balanced_tree(leaves=4):
+    """leaves constants reduced pairwise: depth log2(leaves)."""
+    graph = DataflowGraph()
+    node_id = 0
+    frontier = []
+    for _ in range(leaves):
+        graph.add(DfgNode(node_id, "load", 1, 1.0, ()))
+        frontier.append(node_id)
+        node_id += 1
+    while len(frontier) > 1:
+        next_level = []
+        for a, b in zip(frontier[::2], frontier[1::2]):
+            graph.add(DfgNode(node_id, "add", 1, 1.0, (a, b)))
+            next_level.append(node_id)
+            node_id += 1
+        frontier = next_level
+    return graph
+
+
+class TestCapture:
+    def test_capture_simple_expression(self):
+        def segment(a, b):
+            return a * b + 1
+
+        graph = capture_dfg(segment, (AInt(3), AInt(4)), ASIC_HW_COSTS)
+        ops = graph.operations_used()
+        assert ops == {"mul": 1, "add": 1}
+
+    def test_capture_tracks_dependencies(self):
+        def segment(a, b):
+            return (a + b) * (a - b)
+
+        graph = capture_dfg(segment, (AInt(5), AInt(2)), ASIC_HW_COSTS)
+        mul_node = next(n for n in graph.nodes if n.operation == "mul")
+        assert len(mul_node.predecessors) == 2
+
+    def test_capture_through_arrays(self):
+        def segment(a):
+            a[0] = a[1] + a[2]
+            return a[0]
+
+        graph = capture_dfg(segment, (AArray([0, 1, 2]),), ASIC_HW_COSTS)
+        ops = graph.operations_used()
+        assert ops["load"] == 3 and ops["store"] == 1 and ops["add"] == 1
+        # the final load depends on the store through the memory slot
+        final_load = graph.nodes[-1]
+        assert final_load.operation == "load"
+        assert final_load.predecessors, "write->read dependency lost"
+
+    def test_empty_capture_rejected(self):
+        def segment(a):
+            return a
+
+        with pytest.raises(SynthesisError, match="no operations"):
+            capture_dfg(segment, (AInt(1),), ASIC_HW_COSTS)
+
+    def test_zero_latency_ops_skipped(self):
+        from repro.annotate import Var
+
+        def segment(a):
+            v = Var(0)
+            v.assign(a + 1)        # assign has zero HW latency
+            return v.get()
+
+        graph = capture_dfg(segment, (AInt(1),), ASIC_HW_COSTS)
+        assert "assign" not in graph.operations_used()
+
+
+class TestSchedules:
+    def test_asap_chain(self):
+        graph = _chain_graph([1, 2, 3])
+        schedule = asap(graph)
+        assert schedule.makespan == 6
+        assert schedule.start == {0: 0, 1: 1, 2: 3}
+
+    def test_asap_parallel(self):
+        schedule = asap(_parallel_graph(5))
+        assert schedule.makespan == 1
+        assert schedule.peak_usage["alu"] == 5
+
+    def test_alap_respects_deadline(self):
+        graph = _chain_graph([1, 1])
+        schedule = alap(graph, deadline=5)
+        assert schedule.finish[1] == 5
+        assert schedule.start[0] == 3
+
+    def test_alap_infeasible_deadline(self):
+        with pytest.raises(SynthesisError, match="infeasible"):
+            alap(_chain_graph([2, 2]), deadline=3)
+
+    def test_single_unit_serializes(self):
+        graph = _parallel_graph(6)
+        schedule = list_schedule(graph, {"alu": 1})
+        assert schedule.makespan == 6
+
+    def test_two_units_halve_time(self):
+        graph = _parallel_graph(6)
+        schedule = list_schedule(graph, {"alu": 2})
+        assert schedule.makespan == 3
+
+    def test_list_schedule_missing_units_rejected(self):
+        with pytest.raises(SynthesisError, match="no 'alu' units"):
+            list_schedule(_parallel_graph(2), {"mul": 1})
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SynthesisError, match="empty"):
+            list_schedule(DataflowGraph(), {"alu": 1})
+
+    def test_schedule_verifies_dependences(self):
+        graph = _balanced_tree(8)
+        for schedule in (asap(graph), list_schedule(graph, {"alu": 2, "mem": 2})):
+            schedule.verify(graph)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4),
+                    min_size=1, max_size=12),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_resource_constrained_bounds(self, latencies, units):
+        """Invariant: ASAP <= list schedule <= serialized sum."""
+        graph = _chain_graph(latencies)
+        lower = asap(graph).makespan
+        upper = graph.total_latency()
+        constrained = list_schedule(graph, {"alu": units}).makespan
+        assert lower <= constrained <= upper
+        list_schedule(graph, {"alu": units}).verify(graph)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_more_units_never_slower(self, jobs, units):
+        graph = _parallel_graph(jobs, latency=2)
+        fewer = list_schedule(graph, {"alu": units}).makespan
+        more = list_schedule(graph, {"alu": units + 1}).makespan
+        assert more <= fewer
+
+
+class TestSynthesisFacade:
+    def test_worst_case_is_total_latency(self):
+        graph = _balanced_tree(8)
+        clock = Clock.from_frequency_mhz(100.0)
+        worst = synthesize_worst_case(graph, clock)
+        assert worst.latency_cycles == graph.total_latency()
+
+    def test_best_case_is_critical_path(self):
+        graph = _balanced_tree(8)
+        clock = Clock.from_frequency_mhz(100.0)
+        best = synthesize_best_case(graph, clock)
+        assert best.latency_cycles == graph.critical_path()
+        assert best.latency_cycles <= synthesize_worst_case(graph, clock).latency_cycles
+
+    def test_exec_time_uses_clock(self):
+        graph = _chain_graph([3])
+        clock = Clock.from_frequency_mhz(100.0)
+        best = synthesize_best_case(graph, clock)
+        assert best.exec_time_ns == 30.0
+
+    def test_universal_fu_class(self):
+        assert fu_class("mul", universal=True) == UNIVERSAL_FU
+        assert fu_class("mul") == "mul"
+        with pytest.raises(SynthesisError):
+            fu_class("teleport")
+
+
+class TestAllocation:
+    def test_area_model(self):
+        allocation = Allocation.of({"alu": 2, "mul": 1})
+        assert allocation.area == 2 * 1.0 + 8.0
+
+    def test_bad_allocation_rejected(self):
+        with pytest.raises(SynthesisError):
+            Allocation.of({"warp-core": 1})
+        with pytest.raises(SynthesisError):
+            Allocation.of({"alu": -1})
+
+    def test_design_space_and_pareto(self):
+        graph = _balanced_tree(8)
+        points = explore_design_space(graph, max_units_per_class=3)
+        front = pareto_front(points)
+        assert front, "frontier must not be empty"
+        latencies = [p.latency_cycles for p in front]
+        areas = [p.area for p in front]
+        assert latencies == sorted(latencies, reverse=True)
+        assert areas == sorted(areas)
+        # every point is dominated by or on the frontier
+        for point in points:
+            assert any(f.area <= point.area
+                       and f.latency_cycles <= point.latency_cycles
+                       for f in front)
+
+
+class TestPipelinedUnits:
+    def test_pipelined_multiplier_throughput(self):
+        """8 independent 3-cycle ops on 1 pipelined unit: start one per
+        cycle, last result at 7 + 3 = 10; non-pipelined takes 24."""
+        graph = _parallel_graph(8, latency=3)
+        plain = list_schedule(graph, {"alu": 1})
+        piped = list_schedule(graph, {"alu": 1}, pipelined=True)
+        assert plain.makespan == 24
+        assert piped.makespan == 10
+        piped.verify(graph)
+
+    def test_pipelining_cannot_beat_critical_path(self):
+        graph = _chain_graph([3, 3, 3])   # pure dependence chain
+        piped = list_schedule(graph, {"alu": 1}, pipelined=True)
+        assert piped.makespan == graph.critical_path() == 9
+
+    def test_pipelined_never_slower(self):
+        graph = _balanced_tree(8)
+        for allocation in ({"alu": 1, "mem": 1}, {"alu": 2, "mem": 2}):
+            plain = list_schedule(graph, allocation)
+            piped = list_schedule(graph, allocation, pipelined=True)
+            assert piped.makespan <= plain.makespan
+            piped.verify(graph)
+
+    @given(st.lists(st.integers(min_value=1, max_value=4),
+                    min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_pipelined_bounds_property(self, latencies, units):
+        graph = _chain_graph(latencies)
+        piped = list_schedule(graph, {"alu": units}, pipelined=True)
+        piped.verify(graph)
+        assert piped.makespan >= graph.critical_path()
+        assert piped.makespan <= graph.total_latency()

@@ -1,0 +1,286 @@
+"""End-to-end integration tests exercising the full stack together.
+
+These mirror the paper's flows at reduced scale: estimation accuracy on
+a sequential benchmark against the ISS, the strict-timed vocoder, and
+functional invariance of the timed transformation.
+"""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.capture import CaptureBoard, mean_period_ns, response_times_ns
+from repro.core import PerformanceLibrary
+from repro.iss import run_compiled
+from repro.platform import (
+    EnvironmentResource,
+    Mapping,
+    make_cpu,
+    make_fabric,
+)
+from repro.workloads import wrap_args
+from repro.workloads.fir import fir_filter, make_fir_inputs
+from repro.workloads.vocoder import STAGE_NAMES, build_vocoder, make_frames
+
+
+def test_mini_table1_flow(calibrated_costs):
+    """A one-process design estimated by the library vs the ISS."""
+    sim = Simulator()
+    top = sim.module("top")
+    args = make_fir_inputs(64, 8)
+
+    def kernel():
+        fir_filter(*wrap_args(args))
+        yield wait(SimTime.fs(0))
+
+    process = top.add_process(kernel)
+    cpu = make_cpu("cpu0", costs=calibrated_costs, rtos=None)
+    mapping = Mapping()
+    mapping.assign(process, cpu)
+    perf = PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+
+    estimated = perf.stats["top.kernel"].cycles
+    iss = run_compiled([fir_filter], args=make_fir_inputs(64, 8))
+    error = abs(estimated - iss.cycles) / iss.cycles
+    assert error < 0.15, f"error {100 * error:.1f}%"
+
+    # the strict-timed simulation's final time reflects the estimate
+    expected_time = cpu.clock.cycles_to_time(estimated)
+    assert final.femtoseconds == pytest.approx(
+        expected_time.femtoseconds, rel=1e-6)
+
+
+def test_vocoder_strict_timed_run(calibrated_costs):
+    """The full concurrent vocoder under the performance library."""
+    frames = make_frames(2)
+    sim = Simulator()
+    design = build_vocoder(sim, frames, annotate=True)
+    cpu = make_cpu("cpu0", costs=calibrated_costs)
+    hw = make_fabric("hw0")
+    env = EnvironmentResource("tb")
+    mapping = Mapping()
+    for name, process in design.processes.items():
+        if name == "post_proc":
+            mapping.assign(process, hw)
+        elif name in STAGE_NAMES:
+            mapping.assign(process, cpu)
+        else:
+            mapping.assign(process, env)
+    perf = PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    sim.assert_quiescent()
+
+    # functional output identical to the plain pipeline
+    sim_plain = Simulator()
+    design_plain = build_vocoder(sim_plain, frames, annotate=False)
+    sim_plain.run()
+    assert [p["check"] for p in design.results] == \
+        [p["check"] for p in design_plain.results]
+
+    # time advanced and every SW stage accumulated cycles
+    assert final.femtoseconds > 0
+    for stage in STAGE_NAMES:
+        assert perf.stats[f"vocoder.{stage}"].cycles > 0
+    # HW-mapped postproc ran on the fabric
+    assert perf.stats["vocoder.post_proc"].resource == "hw0"
+    assert hw.busy_time.femtoseconds > 0
+    # the CPU serialized the four SW stages
+    sw_busy = sum(perf.stats[f"vocoder.{s}"].busy_time.femtoseconds
+                  for s in STAGE_NAMES if s != "post_proc")
+    assert cpu.busy_time.femtoseconds == sw_busy
+
+
+def test_capture_points_in_timed_pipeline(calibrated_costs):
+    """Capture points measure throughput/latency of a timed pipeline."""
+    sim = Simulator()
+    board = CaptureBoard(sim)
+    enq = board.point("enqueue")
+    deq = board.point("dequeue")
+    fifo = sim.fifo("link", capacity=2)
+    top = sim.module("top")
+    items = 5
+
+    def producer():
+        from repro.annotate import AInt
+        for i in range(items):
+            value = AInt(i)
+            for _ in range(50):
+                value = value + 1
+            enq.hit(int(value))
+            yield from fifo.write(int(value))
+
+    def consumer():
+        from repro.annotate import AInt
+        for _ in range(items):
+            value = yield from fifo.read()
+            acc = AInt(value)
+            for _ in range(100):
+                acc = acc + 1
+            deq.hit(int(acc))
+
+    p1 = top.add_process(producer)
+    p2 = top.add_process(consumer)
+    cpu1 = make_cpu("cpu1", costs=calibrated_costs)
+    cpu2 = make_cpu("cpu2", costs=calibrated_costs)
+    mapping = Mapping()
+    mapping.assign(p1, cpu1)
+    mapping.assign(p2, cpu2)
+    PerformanceLibrary(mapping).attach(sim)
+    sim.run()
+    sim.assert_quiescent()
+
+    assert len(enq) == len(deq) == items
+    latencies = response_times_ns(enq, deq)
+    assert all(l > 0 for l in latencies)
+    assert mean_period_ns(deq) > 0
+    # steady state: the slower consumer paces the pipeline
+    assert mean_period_ns(deq) >= mean_period_ns(enq) * 0.99
+
+
+def test_timed_transformation_preserves_fifo_functionality(calibrated_costs):
+    """Random-ish producer/consumer data is identical untimed vs timed."""
+    def run(timed: bool):
+        sim = Simulator()
+        fifo = sim.fifo("f", capacity=3)
+        top = sim.module("top")
+        out = []
+
+        def producer():
+            from repro.annotate import AInt
+            value = AInt(1)
+            for i in range(20):
+                value = value * 3 + i
+                value = value % 10007
+                yield from fifo.write(int(value))
+
+        def consumer():
+            for _ in range(20):
+                out.append((yield from fifo.read()))
+
+        p1 = top.add_process(producer)
+        p2 = top.add_process(consumer)
+        if timed:
+            cpu = make_cpu("cpu", costs=calibrated_costs)
+            mapping = Mapping()
+            mapping.assign(p1, cpu)
+            mapping.assign(p2, cpu)
+            PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+        sim.assert_quiescent()
+        return out
+
+    assert run(timed=False) == run(timed=True)
+
+
+def test_resource_utilization_bounded(calibrated_costs):
+    """A sequential resource can never be busier than the wall clock."""
+    sim = Simulator()
+    top = sim.module("top")
+
+    def spin(n):
+        def body():
+            from repro.annotate import AInt
+            acc = AInt(0)
+            for _ in range(n):
+                acc = acc + 1
+            yield wait(SimTime.fs(0))
+        return body
+
+    cpu = make_cpu("cpu", costs=calibrated_costs)
+    mapping = Mapping()
+    for i, n in enumerate((50, 80, 120)):
+        body = spin(n)
+        body.__name__ = f"p{i}"
+        mapping.assign(top.add_process(body, name=f"p{i}"), cpu)
+    PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    assert cpu.busy_time.femtoseconds <= final.femtoseconds
+
+
+def test_backpressure_paces_producer(calibrated_costs):
+    """A slow consumer behind a capacity-1 FIFO throttles the producer:
+    the producer's write completions space out at the consumer's rate."""
+    sim = Simulator()
+    fifo = sim.fifo("narrow", capacity=1)
+    top = sim.module("top")
+    from repro.capture import CaptureBoard, inter_arrival_ns
+    board = CaptureBoard(sim)
+    wrote = board.point("wrote")
+
+    def producer():
+        from repro.annotate import AInt
+        for i in range(6):
+            value = AInt(i)
+            for _ in range(10):          # cheap producer work
+                value = value + 1
+            yield from fifo.write(int(value))
+            wrote.hit()
+
+    def consumer():
+        from repro.annotate import AInt
+        for _ in range(6):
+            value = yield from fifo.read()
+            acc = AInt(value)
+            for _ in range(500):         # expensive consumer work
+                acc = acc + 1
+
+    p1 = top.add_process(producer)
+    p2 = top.add_process(consumer)
+    cpu1 = make_cpu("cpu1", costs=calibrated_costs, rtos=None)
+    cpu2 = make_cpu("cpu2", costs=calibrated_costs, rtos=None)
+    mapping = Mapping()
+    mapping.assign(p1, cpu1)
+    mapping.assign(p2, cpu2)
+    perf = PerformanceLibrary(mapping).attach(sim)
+    sim.run()
+    sim.assert_quiescent()
+
+    gaps = inter_arrival_ns(wrote)
+    consumer_segment_ns = (
+        perf.stats["top.consumer"].busy_time.to_ns() / 7  # 6 reads + exit
+    )
+    # steady-state writes are spaced at least one consumer segment apart
+    assert all(gap >= consumer_segment_ns * 0.5 for gap in gaps[2:]), gaps
+
+
+def test_rendezvous_under_timing(calibrated_costs):
+    """CSP rendezvous: both parties meet at the later of their arrival
+    times, in strict-timed mode too."""
+    sim = Simulator()
+    channel = sim.rendezvous("sync")
+    top = sim.module("top")
+    meet = {}
+
+    def fast_writer():
+        from repro.annotate import AInt
+        value = AInt(1)
+        for _ in range(5):
+            value = value + 1
+        yield from channel.write(int(value))
+        meet["writer_done"] = sim.now
+
+    def slow_reader():
+        from repro.annotate import AInt
+        acc = AInt(0)
+        for _ in range(400):
+            acc = acc + 1
+        value = yield from channel.read()
+        meet["reader_got"] = sim.now
+        assert value == 6
+
+    p1 = top.add_process(fast_writer)
+    p2 = top.add_process(slow_reader)
+    cpu1 = make_cpu("c1", costs=calibrated_costs, rtos=None)
+    cpu2 = make_cpu("c2", costs=calibrated_costs, rtos=None)
+    mapping = Mapping()
+    mapping.assign(p1, cpu1)
+    mapping.assign(p2, cpu2)
+    perf = PerformanceLibrary(mapping).attach(sim)
+    sim.run()
+    sim.assert_quiescent()
+
+    reader_segment = perf.stats["top.slow_reader"].busy_time
+    # the rendezvous completed no earlier than the slow side's segment
+    assert meet["reader_got"].femtoseconds >= reader_segment.femtoseconds / 2
+    assert meet["writer_done"].femtoseconds >= \
+        meet["reader_got"].femtoseconds * 0.99

@@ -1,0 +1,346 @@
+"""OR-lite machine and assembler tests."""
+
+import pytest
+
+from repro.errors import IssError
+from repro.iss import ICache, Instr, Machine, OPCODES, assemble, mnemonic_reference
+
+
+def run_asm(source, memory_words=1024, regs=None, icache=None):
+    program = assemble(source)
+    machine = Machine(memory_words=memory_words, icache=icache)
+    if regs:
+        for reg, value in regs.items():
+            machine.regs[reg] = value
+    result = machine.run(program)
+    return machine, result
+
+
+class TestAssembler:
+    def test_roundtrip_listing(self):
+        program = assemble("""
+        start:
+            li r3, 10
+            addi r4, r3, -2
+            beq r3, r4, start
+            halt
+        """)
+        listing = program.listing()
+        assert "start:" in listing
+        assert "li r3, 10" in listing
+        assert len(program) == 4
+
+    def test_labels_resolve(self):
+        program = assemble("""
+            j skip
+            halt
+        skip:
+            li r11, 1
+            halt
+        """)
+        machine = Machine(memory_words=64)
+        assert machine.run(program).return_value == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(IssError, match="duplicate label"):
+            assemble("a:\na:\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(IssError, match="undefined label"):
+            assemble("j nowhere")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IssError, match="unknown opcode"):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(IssError, match="expects"):
+            assemble("add r1, r2")
+
+    def test_comments_ignored(self):
+        program = assemble("li r11, 5 ; load five\n# a comment line\nhalt")
+        assert len(program) == 2
+
+    def test_mem_operand_syntax(self):
+        program = assemble("lw r3, -4(r2)\nhalt")
+        instr = program.instructions[0]
+        assert instr.imm == -4 and instr.ra == 2
+
+    def test_bad_mem_operand_rejected(self):
+        with pytest.raises(IssError, match="imm\\(rN\\)"):
+            assemble("lw r3, r2")
+
+
+class TestInstr:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instr("levitate")
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instr("add", rd=32)
+
+    def test_str_forms(self):
+        assert str(Instr("add", rd=1, ra=2, rb=3)) == "add r1, r2, r3"
+        assert str(Instr("lw", rd=1, ra=2, imm=3)) == "lw r1, 3(r2)"
+        assert str(Instr("halt")) == "halt"
+
+    def test_mnemonic_reference_covers_all(self):
+        text = mnemonic_reference()
+        for name in OPCODES:
+            assert name in text
+
+
+class TestExecution:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("add", 7, 5, 12), ("sub", 7, 5, 2), ("mul", 7, 5, 35),
+        ("div", 17, 5, 3), ("div", -17, 5, -4),   # Python floor semantics
+        ("rem", 17, 5, 2), ("rem", -17, 5, 3),
+        ("and", 0b1100, 0b1010, 0b1000), ("or", 0b1100, 0b1010, 0b1110),
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("sll", 3, 4, 48), ("srl", 48, 4, 3), ("sra", -16, 2, -4),
+        ("slt", 3, 5, 1), ("slt", 5, 3, 0),
+        ("sle", 5, 5, 1), ("seq", 4, 4, 1), ("sne", 4, 4, 0),
+    ])
+    def test_alu_ops(self, op, a, b, expected):
+        _, result = run_asm(f"{op} r11, r3, r4\nhalt",
+                            regs={3: a, 4: b})
+        assert result.return_value == expected
+
+    @pytest.mark.parametrize("op,a,imm,expected", [
+        ("addi", 7, -3, 4), ("andi", 0b111, 0b101, 0b101),
+        ("ori", 0b100, 0b001, 0b101), ("xori", 0b110, 0b011, 0b101),
+        ("slli", 3, 2, 12), ("srli", 12, 2, 3), ("srai", -8, 1, -4),
+        ("slti", 2, 5, 1), ("slti", 7, 5, 0),
+    ])
+    def test_imm_ops(self, op, a, imm, expected):
+        _, result = run_asm(f"{op} r11, r3, {imm}\nhalt", regs={3: a})
+        assert result.return_value == expected
+
+    def test_r0_is_hardwired_zero(self):
+        machine, result = run_asm("li r0, 99\nadd r11, r0, r0\nhalt")
+        assert result.return_value == 0
+
+    def test_memory_roundtrip(self):
+        machine, result = run_asm("""
+            li r3, 100
+            li r4, 42
+            sw r4, 5(r3)
+            lw r11, 5(r3)
+            halt
+        """)
+        assert result.return_value == 42
+        assert machine.read_word(105) == 42
+
+    def test_branches(self):
+        _, result = run_asm("""
+            li r3, 5
+            li r4, 5
+            beq r3, r4, equal
+            li r11, 0
+            halt
+        equal:
+            li r11, 1
+            halt
+        """)
+        assert result.return_value == 1
+
+    def test_jal_jalr(self):
+        _, result = run_asm("""
+            jal sub
+            halt
+        sub:
+            li r11, 33
+            jalr r9
+        """)
+        assert result.return_value == 33
+
+    def test_taken_branch_costs_more(self):
+        _, taken = run_asm("li r3, 1\nli r4, 1\nbeq r3, r4, end\nend:\nhalt")
+        _, not_taken = run_asm("li r3, 1\nli r4, 2\nbeq r3, r4, end\nend:\nhalt")
+        assert taken.cycles == not_taken.cycles + 1
+
+    def test_cycle_model(self):
+        _, result = run_asm("li r3, 2\nli r4, 3\nmul r11, r3, r4\nhalt")
+        spec = OPCODES["mul"]
+        assert result.cycles == 1 + 1 + spec.cycles
+        assert result.instructions == 4
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        with pytest.raises(IssError, match="division by zero"):
+            run_asm("li r3, 1\nli r4, 0\ndiv r11, r3, r4\nhalt")
+
+    def test_memory_out_of_range(self):
+        with pytest.raises(IssError, match="out of range"):
+            run_asm("li r3, 9999\nlw r11, 0(r3)\nhalt", memory_words=128)
+
+    def test_store_out_of_range(self):
+        with pytest.raises(IssError, match="out of range"):
+            run_asm("li r3, -5\nsw r3, 0(r3)\nhalt")
+
+    def test_pc_out_of_range(self):
+        with pytest.raises(IssError, match="PC"):
+            run_asm("li r3, 1")  # falls off the end, no halt
+
+    def test_cycle_budget(self):
+        program = assemble("loop:\nj loop")
+        machine = Machine(memory_words=64)
+        with pytest.raises(IssError, match="cycle budget"):
+            machine.run(program, max_cycles=100)
+
+    def test_bad_memory_size(self):
+        with pytest.raises(IssError):
+            Machine(memory_words=0)
+
+
+class TestICache:
+    def test_sequential_code_hits_within_lines(self):
+        cache = ICache(lines=4, line_words=4, miss_penalty=10)
+        # 8 sequential fetches: 2 lines -> 2 misses, 6 hits
+        penalties = [cache.access(pc) for pc in range(8)]
+        assert penalties == [10, 0, 0, 0, 10, 0, 0, 0]
+        assert cache.misses == 2
+        assert cache.hits == 6
+        assert cache.hit_rate == pytest.approx(0.75)
+
+    def test_conflict_eviction(self):
+        cache = ICache(lines=2, line_words=1, miss_penalty=5)
+        cache.access(0)      # line 0
+        cache.access(2)      # maps to line 0 too -> evicts
+        assert cache.access(0) == 5  # miss again
+
+    def test_machine_integrates_cache(self):
+        loop = """
+            li r3, 0
+            li r4, 50
+        top:
+            addi r3, r3, 1
+            blt r3, r4, top
+            halt
+        """
+        _, cold = run_asm(loop)
+        cache = ICache(lines=8, line_words=4, miss_penalty=10)
+        _, warm = run_asm(loop, icache=cache)
+        assert warm.cycles > cold.cycles
+        assert warm.instructions == cold.instructions
+        assert warm.icache_misses >= 1
+
+    def test_reset(self):
+        cache = ICache()
+        cache.access(0)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(IssError):
+            ICache(lines=0)
+
+
+class TestProfiling:
+    def test_pc_cycles_attribution(self):
+        program = assemble("li r3, 7\nmul r11, r3, r3\nhalt")
+        machine = Machine(memory_words=64)
+        machine.run(program, profile=True)
+        assert machine.pc_cycles[0] == 1
+        assert machine.pc_cycles[1] == OPCODES["mul"].cycles
+
+
+class TestDCache:
+    def test_data_access_penalties(self):
+        from repro.iss import DCache
+        cache = DCache(lines=4, line_words=4, miss_penalty=8)
+        source = """
+            li r3, 100
+            li r4, 1
+            sw r4, 0(r3)
+            lw r5, 0(r3)
+            lw r6, 1(r3)
+            lw r7, 200(r3)
+            halt
+        """
+        program = assemble(source)
+        machine = Machine(memory_words=1024, dcache=cache)
+        cold = machine.run(program)
+        # sw misses, lw 0/1 hit (same line), lw 300 misses
+        assert cache.misses == 2
+        assert cache.hits == 2
+
+        plain = Machine(memory_words=1024).run(assemble(source))
+        assert cold.cycles == plain.cycles + 2 * 8
+
+    def test_dcache_resets_with_machine(self):
+        from repro.iss import DCache
+        cache = DCache()
+        cache.access(0)
+        machine = Machine(memory_words=64, dcache=cache)
+        machine.reset()
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_stride_thrashing(self):
+        """Accesses striding by the cache size never hit."""
+        from repro.iss import DCache
+        cache = DCache(lines=4, line_words=1, miss_penalty=5)
+        for i in range(16):
+            cache.access((i % 2) * 4)  # two addresses mapping to line 0
+        assert cache.hits == 0
+        assert cache.misses == 16
+
+    def test_compiled_workload_with_dcache(self):
+        from repro.iss import DCache, run_compiled
+        from repro.workloads.array_ops import array_ops, make_array_inputs
+        plain = run_compiled([array_ops], args=make_array_inputs(64))
+        machine_cache = DCache(lines=8, line_words=4, miss_penalty=12)
+        import repro.iss.runtime as runtime
+        from repro.iss.runtime import prepare_program, run_program
+        program = prepare_program([array_ops])
+        machine = Machine(memory_words=1 << 16, dcache=machine_cache)
+        cached = run_program(program, "array_ops", make_array_inputs(64),
+                             machine=machine)
+        assert cached.return_value == plain.return_value
+        assert cached.cycles > plain.cycles
+        assert machine_cache.misses > 0
+
+
+class TestLoadUseStall:
+    def test_stall_counted_on_dependent_use(self):
+        source = """
+            li r3, 100
+            li r4, 7
+            sw r4, 0(r3)
+            lw r5, 0(r3)
+            add r11, r5, r5
+            halt
+        """
+        plain = Machine(memory_words=512)
+        base = plain.run(assemble(source))
+        hazard = Machine(memory_words=512, load_use_stall=True)
+        stalled = hazard.run(assemble(source))
+        assert stalled.cycles == base.cycles + 1
+        assert hazard.load_use_stalls == 1
+
+    def test_independent_next_instruction_no_stall(self):
+        source = """
+            li r3, 100
+            lw r5, 0(r3)
+            li r6, 1
+            add r11, r5, r6
+            halt
+        """
+        hazard = Machine(memory_words=512, load_use_stall=True)
+        hazard.run(assemble(source))
+        assert hazard.load_use_stalls == 0
+
+    def test_workload_functionality_unchanged(self):
+        from repro.iss.runtime import prepare_program, run_program
+        from repro.workloads.sorting import bubble_sort, make_sort_inputs
+        program = prepare_program([bubble_sort])
+        plain = run_program(program, "bubble_sort", make_sort_inputs(32),
+                            machine=Machine(memory_words=1 << 14))
+        hazard_machine = Machine(memory_words=1 << 14, load_use_stall=True)
+        stalled = run_program(program, "bubble_sort", make_sort_inputs(32),
+                              machine=hazard_machine)
+        assert stalled.return_value == plain.return_value
+        assert stalled.cycles > plain.cycles
+        assert hazard_machine.load_use_stalls > 0

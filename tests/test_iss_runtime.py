@@ -1,0 +1,84 @@
+"""ISS runtime (ABI/marshalling) tests."""
+
+import pytest
+
+from repro.annotate import AArray, AInt
+from repro.errors import IssError
+from repro.iss import Machine, prepare_program, run_compiled, run_program
+
+
+def add3(a, b, c):
+    return a + b + c
+
+
+def scale_in_place(data, n, factor):
+    for i in range(n):
+        data[i] = data[i] * factor
+    return data[0]
+
+
+def test_int_arguments():
+    assert run_compiled([add3], args=[1, 2, 3]).return_value == 6
+
+
+def test_aint_arguments_unwrapped():
+    assert run_compiled([add3], args=[AInt(1), AInt(2), AInt(3)]).return_value == 6
+
+
+def test_list_writeback():
+    data = [1, 2, 3]
+    run_compiled([scale_in_place], args=[data, 3, 10])
+    assert data == [10, 20, 30]
+
+
+def test_aarray_writeback():
+    data = AArray([1, 2, 3])
+    run_compiled([scale_in_place], args=[data, 3, 5])
+    assert data.to_list() == [5, 10, 15]
+
+
+def test_too_many_arguments_rejected():
+    with pytest.raises(IssError, match="at most 6"):
+        run_compiled([add3], args=[1, 2, 3, 4, 5, 6, 7])
+
+
+def test_unsupported_argument_type_rejected():
+    with pytest.raises(IssError, match="unsupported argument type"):
+        run_compiled([add3], args=[1.5, 2, 3])
+
+
+def test_argument_data_must_fit():
+    with pytest.raises(IssError, match="does not fit"):
+        run_compiled([scale_in_place], args=[[0] * 5000, 1, 1],
+                     memory_words=1024)
+
+
+def test_machine_reuse_resets_state():
+    program = prepare_program([add3])
+    machine = Machine(memory_words=4096)
+    first = run_program(program, "add3", [1, 2, 3], machine=machine)
+    second = run_program(program, "add3", [10, 20, 30], machine=machine)
+    assert first.return_value == 6
+    assert second.return_value == 60
+
+
+def test_prepare_program_appends_halt():
+    program = prepare_program([add3])
+    assert program.instructions[-1].op == "halt"
+    assert "__halt" in program.labels
+
+
+def test_cpi_property():
+    result = run_compiled([add3], args=[1, 2, 3])
+    assert result.cpi >= 1.0
+
+
+def test_entry_selection():
+    def first(x):
+        return x + 1
+
+    def second(x):
+        return x + 2
+
+    assert run_compiled([first, second], args=[0], entry=second).return_value == 2
+    assert run_compiled([first, second], args=[0], entry=first).return_value == 1

@@ -1,0 +1,188 @@
+"""Kernel edge cases: multi-party channels, late observers, events."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.kernel.commands import WaitEvent
+from repro.segments import SegmentTracker
+
+
+class TestMultiPartyFifo:
+    def test_two_producers_one_consumer(self):
+        sim = Simulator()
+        fifo = sim.fifo("f", capacity=1)
+        top = sim.module("top")
+        received = []
+
+        def producer(tag, count):
+            def body():
+                for i in range(count):
+                    yield from fifo.write((tag, i))
+            body.__name__ = f"producer_{tag}"
+            return body
+
+        def consumer():
+            for _ in range(6):
+                received.append((yield from fifo.read()))
+
+        top.add_process(producer("a", 3))
+        top.add_process(producer("b", 3))
+        top.add_process(consumer)
+        sim.run()
+        sim.assert_quiescent()
+        assert len(received) == 6
+        # per-producer order is preserved even when interleaved
+        for tag in ("a", "b"):
+            values = [i for t, i in received if t == tag]
+            assert values == [0, 1, 2]
+
+    def test_two_consumers_drain_everything(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        top = sim.module("top")
+        received = {"x": [], "y": []}
+
+        def producer():
+            for i in range(8):
+                yield from fifo.write(i)
+
+        def consumer(tag, count):
+            def body():
+                for _ in range(count):
+                    received[tag].append((yield from fifo.read()))
+            body.__name__ = f"consumer_{tag}"
+            return body
+
+        top.add_process(producer)
+        top.add_process(consumer("x", 4))
+        top.add_process(consumer("y", 4))
+        sim.run()
+        sim.assert_quiescent()
+        assert sorted(received["x"] + received["y"]) == list(range(8))
+
+
+class TestMultiPartyRendezvous:
+    def test_two_writers_served_in_order(self):
+        sim = Simulator()
+        channel = sim.rendezvous("rv")
+        top = sim.module("top")
+        got = []
+
+        def writer(value):
+            def body():
+                yield from channel.write(value)
+            body.__name__ = f"writer_{value}"
+            return body
+
+        def reader():
+            for _ in range(2):
+                got.append((yield from channel.read()))
+                yield wait(SimTime.ns(1))
+
+        top.add_process(writer("first"))
+        top.add_process(writer("second"))
+        top.add_process(reader)
+        sim.run()
+        sim.assert_quiescent()
+        assert got == ["first", "second"]
+
+
+class TestSignalFanOut:
+    def test_multiple_watchers_all_wake(self):
+        sim = Simulator()
+        signal = sim.signal("s", initial=0)
+        top = sim.module("top")
+        woken = []
+
+        def watcher(tag):
+            def body():
+                value = yield from signal.await_change()
+                woken.append((tag, value))
+            body.__name__ = f"watch_{tag}"
+            return body
+
+        def driver():
+            yield wait(SimTime.ns(5))
+            yield from signal.write(42)
+
+        for tag in ("a", "b", "c"):
+            top.add_process(watcher(tag))
+        top.add_process(driver)
+        sim.run()
+        sim.assert_quiescent()
+        assert sorted(woken) == [("a", 42), ("b", 42), ("c", 42)]
+
+
+class TestEvents:
+    def test_remove_waiter(self):
+        sim = Simulator()
+        event = sim.scheduler.make_event("e")
+
+        class FakeProcess:
+            pass
+
+        waiter = FakeProcess()
+        event.add_waiter(waiter)
+        assert event.has_waiters
+        event.remove_waiter(waiter)
+        assert not event.has_waiters
+        event.remove_waiter(waiter)  # idempotent
+
+    def test_immediate_notify_runs_same_evaluate_phase(self):
+        sim = Simulator()
+        event = sim.scheduler.make_event("e")
+        top = sim.module("top")
+        order = []
+
+        def waiter():
+            order.append("wait")
+            yield WaitEvent(event)
+            order.append(("woken", sim.scheduler.delta))
+
+        def notifier():
+            order.append("notify")
+            event.notify_immediate()
+            yield wait(SimTime.fs(0))
+
+        top.add_process(waiter)
+        top.add_process(notifier)
+        sim.run()
+        # immediate notification wakes within delta 0
+        assert ("woken", 0) in order
+
+
+class TestLateObserver:
+    def test_tracker_attached_after_start_still_tracks(self):
+        sim = Simulator()
+        top = sim.module("top")
+
+        def body():
+            yield wait(SimTime.ns(1))
+            yield wait(SimTime.ns(1))
+
+        top.add_process(body)
+        sim.run(until=SimTime.ps(500))  # first wait pending
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        sim.run()
+        graph = tracker.graph_of("top.body")
+        assert graph.segments, "late tracker must still build a graph"
+
+
+class TestRepr:
+    def test_reprs_do_not_crash(self):
+        sim = Simulator()
+        fifo = sim.fifo("f")
+        signal = sim.signal("s")
+        module = sim.module("m")
+        port = module.add_port("p")
+
+        def body():
+            yield wait(SimTime.ns(1))
+
+        process = module.add_process(body)
+        for obj in (fifo, signal, module, port, process,
+                    sim.scheduler.make_event("e"), SimTime.ns(3)):
+            assert repr(obj)
+        port.bind(fifo)
+        assert "f" in repr(port)

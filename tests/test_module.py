@@ -1,0 +1,115 @@
+"""Module and port structure tests."""
+
+import pytest
+
+from repro import Module, Simulator, SimTime, wait
+from repro.errors import ElaborationError
+
+
+def test_module_registers_with_simulator():
+    sim = Simulator()
+    module = sim.module("dut")
+    assert module in sim.modules
+
+
+def test_duplicate_process_names_rejected():
+    sim = Simulator()
+    module = sim.module("dut")
+
+    def body():
+        yield wait(SimTime.ns(1))
+
+    module.add_process(body, name="p")
+    with pytest.raises(ElaborationError, match="already has a process"):
+        module.add_process(body, name="p")
+
+
+def test_process_full_name():
+    sim = Simulator()
+    module = sim.module("dut")
+
+    def runner():
+        yield wait(SimTime.ns(1))
+
+    process = module.add_process(runner)
+    assert process.full_name == "dut.runner"
+
+
+def test_port_binding_and_delegation():
+    sim = Simulator()
+    fifo = sim.fifo("f")
+    module = sim.module("dut")
+    port = module.add_port("data_in", "in")
+    port.bind(fifo)
+    received = []
+
+    def body():
+        yield from port.write(5)
+        received.append((yield from port.read()))
+
+    module.add_process(body)
+    sim.run()
+    assert received == [5]
+
+
+def test_unbound_port_fails_elaboration():
+    sim = Simulator()
+    module = sim.module("dut")
+    module.add_port("dangling")
+
+    def body():
+        yield wait(SimTime.ns(1))
+
+    module.add_process(body)
+    with pytest.raises(ElaborationError, match="unbound"):
+        sim.run()
+
+
+def test_unbound_port_use_raises():
+    sim = Simulator()
+    module = sim.module("dut")
+    port = module.add_port("p")
+    with pytest.raises(ElaborationError, match="before binding"):
+        port.channel
+
+
+def test_rebinding_rejected():
+    sim = Simulator()
+    module = sim.module("dut")
+    port = module.add_port("p")
+    port.bind(sim.fifo("a"))
+    with pytest.raises(ElaborationError, match="already bound"):
+        port.bind(sim.fifo("b"))
+
+
+def test_binding_non_channel_rejected():
+    sim = Simulator()
+    module = sim.module("dut")
+    port = module.add_port("p")
+    with pytest.raises(ElaborationError, match="must bind to a Channel"):
+        port.bind("not a channel")
+
+
+def test_duplicate_port_rejected():
+    sim = Simulator()
+    module = sim.module("dut")
+    module.add_port("p")
+    with pytest.raises(ElaborationError, match="already has port"):
+        module.add_port("p")
+
+
+def test_bad_port_direction_rejected():
+    sim = Simulator()
+    module = sim.module("dut")
+    with pytest.raises(ValueError, match="direction"):
+        module.add_port("p", "sideways")
+
+
+def test_child_module_elaboration_recurses():
+    sim = Simulator()
+    parent = sim.module("parent")
+    child = Module(sim, "child")
+    parent.add_child(child)
+    child.add_port("hole")
+    with pytest.raises(ElaborationError, match="child"):
+        parent.check_elaboration()

@@ -1,0 +1,117 @@
+"""Occupancy analysis and Gantt rendering tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt
+from repro.core import (
+    PerformanceLibrary,
+    assert_serialized,
+    merge_intervals,
+    overlap_fs,
+    render_gantt,
+    total_busy_fs,
+)
+from repro.errors import ReproError
+from repro.platform import Mapping, make_cpu, make_fabric
+
+interval = st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+    lambda pair: (min(pair), max(pair) + 1)
+)
+
+
+class TestIntervalAlgebra:
+    def test_merge_coalesces(self):
+        assert merge_intervals([(0, 5), (3, 8), (10, 12)]) == [(0, 8), (10, 12)]
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_total_busy(self):
+        assert total_busy_fs([(0, 5), (3, 8)]) == 8
+
+    def test_overlap(self):
+        assert overlap_fs([(0, 10)], [(5, 15)]) == 5
+        assert overlap_fs([(0, 5)], [(5, 10)]) == 0
+        assert overlap_fs([(0, 2), (4, 6)], [(1, 5)]) == 2
+
+    @given(st.lists(interval, max_size=15))
+    @settings(max_examples=50)
+    def test_merge_invariants(self, intervals):
+        merged = merge_intervals(intervals)
+        # sorted, disjoint, same coverage
+        assert merged == sorted(merged)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            assert e1 < s2
+        assert total_busy_fs(intervals) == sum(e - s for s, e in merged)
+
+    @given(st.lists(interval, max_size=10), st.lists(interval, max_size=10))
+    @settings(max_examples=50)
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        ab = overlap_fs(a, b)
+        assert ab == overlap_fs(b, a)
+        assert ab <= min(total_busy_fs(a) or 0, total_busy_fs(b) or 0) \
+            if a and b else ab == 0
+
+
+def _two_process_design(calibrated_costs, shared_cpu: bool):
+    sim = Simulator()
+    top = sim.module("top")
+
+    def make(name, iterations):
+        def body():
+            acc = AInt(0)
+            for k in range(iterations):
+                acc = acc + k
+            yield wait(SimTime.fs(0))
+        body.__name__ = name
+        return top.add_process(body, name=name)
+
+    p1 = make("p1", 80)
+    p2 = make("p2", 120)
+    mapping = Mapping()
+    if shared_cpu:
+        cpu = make_cpu("cpu0", costs=calibrated_costs)
+        mapping.assign(p1, cpu)
+        mapping.assign(p2, cpu)
+    else:
+        mapping.assign(p1, make_fabric("hw1"))
+        mapping.assign(p2, make_fabric("hw2"))
+    perf = PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    return perf, final
+
+
+class TestSimulationOccupancy:
+    def test_sw_processes_never_overlap(self, calibrated_costs):
+        perf, _ = _two_process_design(calibrated_costs, shared_cpu=True)
+        assert_serialized(perf, ["top.p1", "top.p2"])
+        assert overlap_fs(perf.stats["top.p1"].intervals,
+                          perf.stats["top.p2"].intervals) == 0
+
+    def test_hw_processes_do_overlap(self, calibrated_costs):
+        perf, _ = _two_process_design(calibrated_costs, shared_cpu=False)
+        assert overlap_fs(perf.stats["top.p1"].intervals,
+                          perf.stats["top.p2"].intervals) > 0
+        with pytest.raises(ReproError, match="overlap"):
+            assert_serialized(perf, ["top.p1", "top.p2"])
+
+    def test_intervals_sum_to_busy_time(self, calibrated_costs):
+        perf, _ = _two_process_design(calibrated_costs, shared_cpu=True)
+        for stats in perf.stats.values():
+            assert total_busy_fs(stats.intervals) == \
+                stats.busy_time.femtoseconds
+
+    def test_gantt_renders(self, calibrated_costs):
+        perf, final = _two_process_design(calibrated_costs, shared_cpu=True)
+        chart = render_gantt(perf, final, width=40)
+        assert "top.p1" in chart and "top.p2" in chart
+        assert "#" in chart
+        lines = chart.splitlines()[1:]
+        assert all("|" in line for line in lines)
+
+    def test_gantt_empty_run_rejected(self, calibrated_costs):
+        perf, _ = _two_process_design(calibrated_costs, shared_cpu=True)
+        with pytest.raises(ReproError):
+            render_gantt(perf, SimTime(0))

@@ -1,0 +1,194 @@
+"""Platform model tests: resources, arbitration protocol, RTOS, mapping."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import OperationCosts, uniform_costs
+from repro.errors import AnnotationError, MappingError
+from repro.kernel import Clock
+from repro.kernel.process import Process
+from repro.platform import (
+    ASIC_HW_COSTS,
+    EnvironmentResource,
+    Mapping,
+    NULL_RTOS,
+    OPENRISC_SW_COSTS,
+    ParallelResource,
+    RtosModel,
+    SequentialResource,
+    make_cpu,
+    make_fabric,
+)
+
+
+def _dummy_process(name: str, priority: int = 0) -> Process:
+    def body():
+        yield wait(SimTime.ns(1))
+    return Process(name, body(), priority=priority)
+
+
+class TestCostTables:
+    def test_default_tables_are_complete(self):
+        for table in (OPENRISC_SW_COSTS, ASIC_HW_COSTS):
+            for op in ("add", "mul", "div", "load", "store", "call"):
+                assert table.get(op) >= 0
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(AnnotationError, match="unknown operation"):
+            OperationCosts({"teleport": 1.0})
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(AnnotationError, match="negative"):
+            OperationCosts({"add": -1.0})
+
+    def test_merged_overrides(self):
+        merged = OPENRISC_SW_COSTS.merged({"add": 99.0}, name="patched")
+        assert merged.get("add") == 99.0
+        assert merged.get("mul") == OPENRISC_SW_COSTS.get("mul")
+        assert OPENRISC_SW_COSTS.get("add") != 99.0  # original untouched
+
+    def test_contains(self):
+        assert "add" in OPENRISC_SW_COSTS
+        assert "fft" not in OPENRISC_SW_COSTS
+
+
+class TestSequentialResource:
+    def _cpu(self, policy="fifo"):
+        return SequentialResource("cpu", Clock.from_frequency_mhz(100.0),
+                                  uniform_costs(), policy=policy)
+
+    def test_free_resource_grants_immediately(self):
+        cpu = self._cpu()
+        process = _dummy_process("p")
+        assert cpu.may_run(process, SimTime(0))
+
+    def test_occupy_advances_free_time_and_busy(self):
+        cpu = self._cpu()
+        process = _dummy_process("p")
+        completion = cpu.occupy(process, SimTime.ns(10), SimTime.ns(30))
+        assert completion == SimTime.ns(40)
+        assert cpu.free_at == SimTime.ns(40)
+        assert cpu.busy_time == SimTime.ns(30)
+        assert not cpu.may_run(process, SimTime.ns(20))
+        assert cpu.may_run(process, SimTime.ns(40))
+
+    def test_expected_wait_while_busy(self):
+        cpu = self._cpu()
+        p1, p2 = _dummy_process("a"), _dummy_process("b")
+        cpu.occupy(p1, SimTime(0), SimTime.ns(50))
+        assert cpu.expected_wait(p2, SimTime.ns(20)) == SimTime.ns(30)
+
+    def test_fifo_policy_grants_in_arrival_order(self):
+        cpu = self._cpu()
+        p1, p2 = _dummy_process("a"), _dummy_process("b")
+        p1.pid, p2.pid = 0, 1
+        cpu.enqueue(p1, SimTime.ns(10))
+        cpu.enqueue(p2, SimTime.ns(10))
+        now = SimTime(0)
+        assert cpu.may_run(p1, now)
+        assert not cpu.may_run(p2, now)
+        # the loser waits out the head's announced duration
+        assert cpu.expected_wait(p2, now) == SimTime.ns(10)
+
+    def test_priority_policy_grants_most_urgent(self):
+        cpu = self._cpu(policy="priority")
+        low = _dummy_process("low", priority=5)
+        high = _dummy_process("high", priority=1)
+        low.pid, high.pid = 0, 1
+        cpu.enqueue(low, SimTime.ns(10))
+        cpu.enqueue(high, SimTime.ns(10))
+        assert cpu.may_run(high, SimTime(0))
+        assert not cpu.may_run(low, SimTime(0))
+
+    def test_context_switches_counted(self):
+        cpu = self._cpu()
+        p1, p2 = _dummy_process("a"), _dummy_process("b")
+        cpu.occupy(p1, SimTime(0), SimTime.ns(1))
+        cpu.occupy(p1, SimTime.ns(1), SimTime.ns(1))
+        cpu.occupy(p2, SimTime.ns(2), SimTime.ns(1))
+        assert cpu.context_switches == 1
+        assert cpu.last_process is p2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            self._cpu(policy="round-robin")
+
+    def test_zero_length_head_waits_one_tick(self):
+        cpu = self._cpu()
+        p1, p2 = _dummy_process("a"), _dummy_process("b")
+        p1.pid, p2.pid = 0, 1
+        cpu.enqueue(p1, SimTime(0))
+        cpu.enqueue(p2, SimTime.ns(5))
+        assert cpu.expected_wait(p2, SimTime(0)) == cpu.clock.period
+
+
+class TestParallelResource:
+    def test_k_factor_bounds(self):
+        make_fabric(k_factor=0.0)
+        make_fabric(k_factor=1.0)
+        with pytest.raises(ValueError):
+            ParallelResource("hw", Clock.from_frequency_mhz(100.0),
+                             uniform_costs(), k_factor=1.5)
+
+
+class TestRtos:
+    def test_node_cycles_by_kind(self):
+        rtos = RtosModel("r", channel_access_cycles=10.0, wait_cycles=5.0,
+                         context_switch_cycles=20.0)
+        assert rtos.node_cycles("channel") == 10.0
+        assert rtos.node_cycles("wait") == 5.0
+        assert rtos.node_cycles("exit") == 0.0
+
+    def test_null_rtos_is_free(self):
+        assert NULL_RTOS.node_cycles("channel") == 0.0
+        assert NULL_RTOS.context_switch_cycles == 0.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            RtosModel("bad", channel_access_cycles=-1.0)
+
+
+class TestMapping:
+    def test_assign_and_lookup(self):
+        mapping = Mapping()
+        cpu = make_cpu()
+        process = _dummy_process("p")
+        mapping.assign(process, cpu)
+        assert mapping.resource_of(process) is cpu
+        assert mapping.is_mapped(process)
+        assert mapping.processes_on(cpu) == ["p"]
+
+    def test_remapping_rejected(self):
+        mapping = Mapping()
+        process = _dummy_process("p")
+        mapping.assign(process, make_cpu())
+        with pytest.raises(MappingError, match="already mapped"):
+            mapping.assign(process, make_fabric())
+
+    def test_unmapped_lookup_raises(self):
+        with pytest.raises(MappingError, match="not mapped"):
+            Mapping().resource_of("ghost")
+
+    def test_mapping_to_non_resource_rejected(self):
+        with pytest.raises(MappingError, match="not a Resource"):
+            Mapping().assign(_dummy_process("p"), "the-cloud")
+
+    def test_validate_flags_missing(self):
+        mapping = Mapping()
+        p1, p2 = _dummy_process("a"), _dummy_process("b")
+        mapping.assign(p1, make_cpu())
+        with pytest.raises(MappingError, match="unmapped"):
+            mapping.validate([p1, p2])
+
+    def test_assign_all_and_resources(self):
+        mapping = Mapping()
+        cpu = make_cpu()
+        processes = [_dummy_process(n) for n in "abc"]
+        mapping.assign_all(processes, cpu)
+        assert len(mapping) == 3
+        assert mapping.resources() == [cpu]
+
+    def test_describe_mentions_environment(self):
+        mapping = Mapping()
+        mapping.assign(_dummy_process("tb"), EnvironmentResource("env"))
+        assert "(env)" in mapping.describe()

@@ -1,0 +1,116 @@
+"""Energy-estimation extension tests."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt
+from repro.core import PerformanceLibrary
+from repro.errors import AnnotationError, ReproError
+from repro.platform import Mapping, make_cpu, make_fabric
+from repro.power import (
+    CPU_ENERGY,
+    EnergyTable,
+    HW_ENERGY,
+    PowerBudget,
+    estimate_energy,
+)
+
+
+def _run_design(calibrated_costs):
+    sim = Simulator()
+    top = sim.module("top")
+
+    def sw_proc():
+        acc = AInt(0)
+        for k in range(100):
+            acc = acc + k * 3
+        yield wait(SimTime.fs(0))
+
+    def hw_proc():
+        acc = AInt(0)
+        for k in range(50):
+            acc = acc + k
+        yield wait(SimTime.fs(0))
+
+    p_sw = top.add_process(sw_proc)
+    p_hw = top.add_process(hw_proc)
+    cpu = make_cpu("cpu0", costs=calibrated_costs)
+    hw = make_fabric("hw0")
+    mapping = Mapping()
+    mapping.assign(p_sw, cpu)
+    mapping.assign(p_hw, hw)
+    perf = PerformanceLibrary(mapping).attach(sim)
+    sim.run()
+    return perf
+
+
+class TestEnergyTable:
+    def test_defaults_cover_all_charged_ops(self):
+        for op in ("add", "mul", "load", "store", "call", "branch"):
+            assert CPU_ENERGY.get(op) >= 0
+            assert HW_ENERGY.get(op) >= 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(AnnotationError):
+            EnergyTable({"warp": 1.0})
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(AnnotationError):
+            EnergyTable({"add": -1.0})
+
+    def test_histogram_energy(self):
+        table = EnergyTable({"add": 2.0, "mul": 10.0})
+        assert table.energy_pj({"add": 3, "mul": 1}) == 16.0
+
+    def test_missing_entry_raises(self):
+        table = EnergyTable({"add": 2.0})
+        with pytest.raises(AnnotationError, match="no entry"):
+            table.energy_pj({"div": 1})
+
+
+class TestPowerBudget:
+    def test_static_energy_units(self):
+        budget = PowerBudget(static_mw=1.0)
+        one_second_fs = 10**15
+        # 1 mW for 1 s = 1 mJ = 1e9 pJ
+        assert budget.static_energy_pj(one_second_fs) == pytest.approx(1e9)
+
+
+class TestEstimateEnergy:
+    def test_per_process_attribution(self, calibrated_costs):
+        perf = _run_design(calibrated_costs)
+        report = estimate_energy(perf, tables={})
+        names = {p.process for p in report.processes}
+        assert names == {"top.sw_proc", "top.hw_proc"}
+        sw = next(p for p in report.processes if p.process == "top.sw_proc")
+        hw = next(p for p in report.processes if p.process == "top.hw_proc")
+        assert sw.operations > hw.operations          # 100 vs 50 iterations
+        assert sw.dynamic_pj > 0 and hw.dynamic_pj > 0
+        assert report.total_pj > 0
+
+    def test_tables_selected_by_resource_kind(self, calibrated_costs):
+        perf = _run_design(calibrated_costs)
+        report = estimate_energy(perf, tables={})
+        sw = next(p for p in report.processes if p.resource == "cpu0")
+        hw = next(p for p in report.processes if p.resource == "hw0")
+        # 2x the op count on the CPU at ~3x the energy/op: must dominate
+        assert sw.dynamic_pj > hw.dynamic_pj
+
+    def test_static_budget_included(self, calibrated_costs):
+        perf = _run_design(calibrated_costs)
+        without = estimate_energy(perf, tables={})
+        with_static = estimate_energy(
+            perf, tables={}, budgets={"cpu0": PowerBudget(static_mw=5.0)})
+        assert with_static.total_pj > without.total_pj
+        assert with_static.resource_static_pj["cpu0"] > 0
+
+    def test_render(self, calibrated_costs):
+        perf = _run_design(calibrated_costs)
+        text = estimate_energy(perf, tables={}).render()
+        assert "energy report" in text
+        assert "cpu0" in text and "uJ" in text
+
+    def test_requires_attached_library(self):
+        perf = PerformanceLibrary(Mapping())
+        with pytest.raises(ReproError, match="attached"):
+            estimate_energy(perf, tables={})

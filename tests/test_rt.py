@@ -1,0 +1,164 @@
+"""Real-time analysis extension tests."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt
+from repro.capture import CaptureBoard
+from repro.core import PerformanceLibrary
+from repro.errors import ReproError
+from repro.platform import Mapping, make_cpu
+from repro.rt import (
+    Task,
+    edf_test,
+    response_time_analysis,
+    rm_utilization_bound,
+    rm_utilization_test,
+    schedulability_report,
+    task_from_measurements,
+    total_utilization,
+)
+
+
+def us(value: float) -> float:
+    return value * 1e3  # ns
+
+
+class TestTaskModel:
+    def test_utilization(self):
+        task = Task("t", execution_ns=us(2), period_ns=us(10))
+        assert task.utilization == pytest.approx(0.2)
+        assert task.effective_deadline_ns == us(10)
+
+    def test_explicit_deadline(self):
+        task = Task("t", us(2), us(10), deadline_ns=us(5))
+        assert task.effective_deadline_ns == us(5)
+
+    def test_invalid_tasks_rejected(self):
+        with pytest.raises(ReproError):
+            Task("t", 0, us(10))
+        with pytest.raises(ReproError):
+            Task("t", us(1), 0)
+        with pytest.raises(ReproError):
+            Task("t", us(11), us(10))
+
+
+class TestUtilizationTests:
+    def test_ll_bound_values(self):
+        assert rm_utilization_bound(1) == pytest.approx(1.0)
+        assert rm_utilization_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        # asymptote ln 2
+        assert rm_utilization_bound(1000) == pytest.approx(0.6934, abs=1e-3)
+
+    def test_rm_test(self):
+        light = [Task("a", us(1), us(10)), Task("b", us(2), us(20))]
+        assert rm_utilization_test(light)
+        heavy = [Task("a", us(9), us(10)), Task("b", us(2), us(20))]
+        assert not rm_utilization_test(heavy)
+
+    def test_edf_boundary(self):
+        exact = [Task("a", us(5), us(10)), Task("b", us(10), us(20))]
+        assert edf_test(exact)                      # U == 1.0 exactly
+        over = [Task("a", us(6), us(10)), Task("b", us(10), us(20))]
+        assert not edf_test(over)
+
+    def test_edf_rejects_constrained_deadlines(self):
+        tasks = [Task("a", us(1), us(10), deadline_ns=us(5))]
+        with pytest.raises(ReproError, match="implicit deadlines"):
+            edf_test(tasks)
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ReproError):
+            rm_utilization_test([])
+        with pytest.raises(ReproError):
+            edf_test([])
+        with pytest.raises(ReproError):
+            response_time_analysis([])
+
+
+class TestResponseTimeAnalysis:
+    def test_textbook_example(self):
+        """Classic RTA example: C=(1,2,3), T=(4,6,10)."""
+        tasks = [
+            Task("t1", us(1), us(4)),
+            Task("t2", us(2), us(6)),
+            Task("t3", us(3), us(10)),
+        ]
+        result = response_time_analysis(tasks)
+        assert result.schedulable
+        assert result.response_ns["t1"] == pytest.approx(us(1))
+        assert result.response_ns["t2"] == pytest.approx(us(3))
+        # t3: R = 3 + ceil(R/4)*1 + ceil(R/6)*2 -> fixed point at 10
+        assert result.response_ns["t3"] == pytest.approx(us(10))
+
+    def test_detects_unschedulable(self):
+        tasks = [
+            Task("fast", us(3), us(5)),
+            Task("slow", us(5), us(10)),
+        ]
+        result = response_time_analysis(tasks)
+        assert not result.schedulable
+        assert result.failing_task == "slow"
+
+    def test_rta_beats_ll_bound(self):
+        """A set over the LL bound can still be RTA-schedulable
+        (harmonic periods)."""
+        tasks = [Task("a", us(5), us(10)), Task("b", us(10), us(20))]
+        assert not rm_utilization_test(tasks)   # U = 1.0 > 0.828
+        assert response_time_analysis(tasks).schedulable
+
+    def test_margin(self):
+        tasks = [Task("a", us(2), us(10))]
+        result = response_time_analysis(tasks)
+        assert result.margin_ns(tasks[0]) == pytest.approx(us(8))
+
+    def test_report_renders(self):
+        tasks = [Task("a", us(1), us(4)), Task("b", us(2), us(6))]
+        text = schedulability_report(tasks)
+        assert "RM response-time : schedulable" in text
+        assert "EDF utilization  : schedulable" in text
+
+
+class TestExtractionFromSimulation:
+    def test_task_from_measurements(self, calibrated_costs):
+        sim = Simulator()
+        board = CaptureBoard(sim)
+        releases = board.point("releases")
+        top = sim.module("top")
+        period = SimTime.us(100)
+        jobs = 6
+
+        def periodic():
+            for _ in range(jobs):
+                releases.hit()
+                acc = AInt(0)
+                for k in range(120):
+                    acc = acc + k
+                yield wait(period)
+
+        process = top.add_process(periodic)
+        cpu = make_cpu("cpu0", costs=calibrated_costs, rtos=None)
+        mapping = Mapping()
+        mapping.assign(process, cpu)
+        perf = PerformanceLibrary(mapping).attach(sim)
+        sim.run()
+
+        task = task_from_measurements("periodic", perf, "top.periodic",
+                                      releases)
+        # period = explicit wait + the job's own execution time
+        assert task.period_ns >= period.to_ns()
+        assert task.period_ns < period.to_ns() * 1.2
+        assert task.execution_ns > 0
+        assert task.utilization < 0.2
+        assert total_utilization([task]) == task.utilization
+
+        hard = task_from_measurements("periodic", perf, "top.periodic",
+                                      releases, hard=True)
+        assert hard.execution_ns >= task.execution_ns
+
+    def test_unknown_process_rejected(self, calibrated_costs):
+        sim = Simulator()
+        board = CaptureBoard(sim)
+        perf = PerformanceLibrary(Mapping())
+        with pytest.raises(ReproError, match="no analysed process"):
+            task_from_measurements("x", perf, "ghost", board.point("p"))

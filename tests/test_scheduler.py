@@ -1,0 +1,235 @@
+"""Kernel scheduler tests: delta semantics, waits, observers, guards."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.errors import SimulationError
+from repro.kernel import Mark, Process, Scheduler, SchedulerObserver
+from repro.kernel.commands import WaitEvent
+
+
+def test_timed_waits_advance_time():
+    sim = Simulator()
+    top = sim.module("top")
+    seen = []
+
+    def body():
+        yield wait(SimTime.ns(5))
+        seen.append(sim.now.to_ns())
+        yield wait(SimTime.ns(7))
+        seen.append(sim.now.to_ns())
+
+    top.add_process(body)
+    final = sim.run()
+    assert seen == [5.0, 12.0]
+    assert final == SimTime.ns(12)
+
+
+def test_zero_wait_takes_one_delta():
+    sim = Simulator()
+    top = sim.module("top")
+    deltas = []
+
+    def body():
+        deltas.append(sim.scheduler.delta)
+        yield wait(SimTime.fs(0))
+        deltas.append(sim.scheduler.delta)
+        yield wait(SimTime.fs(0))
+        deltas.append(sim.scheduler.delta)
+
+    top.add_process(body)
+    sim.run()
+    assert deltas == [0, 1, 2]
+    assert sim.now == SimTime(0)
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    top = sim.module("top")
+    seen = []
+
+    def body():
+        yield wait(SimTime.ns(5))
+        seen.append("early")
+        yield wait(SimTime.ns(100))
+        seen.append("late")
+
+    top.add_process(body)
+    final = sim.run(until=SimTime.ns(10))
+    assert seen == ["early"]
+    assert final == SimTime.ns(10)
+    # resuming continues the same simulation
+    final = sim.run()
+    assert seen == ["early", "late"]
+    assert final == SimTime.ns(105)
+
+
+def test_processes_interleave_per_delta():
+    sim = Simulator()
+    top = sim.module("top")
+    order = []
+
+    def make(name):
+        def body():
+            for step in range(3):
+                order.append((name, step))
+                yield wait(SimTime.fs(0))
+        body.__name__ = name
+        return body
+
+    top.add_process(make("a"))
+    top.add_process(make("b"))
+    sim.run()
+    # within each delta, both processes execute before the next delta
+    assert order == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+    top = sim.module("top")
+
+    def body():
+        yield 42
+
+    top.add_process(body)
+    with pytest.raises(SimulationError, match="not a kernel command"):
+        sim.run()
+
+
+def test_non_generator_process_rejected():
+    scheduler = Scheduler()
+    with pytest.raises(TypeError, match="generator"):
+        Process("p", (lambda: None)())
+
+
+def test_register_after_start_rejected():
+    sim = Simulator()
+    top = sim.module("top")
+
+    def body():
+        yield wait(SimTime.ns(1))
+
+    top.add_process(body)
+    sim.run()
+    with pytest.raises(SimulationError, match="after simulation start"):
+        top.add_process(body, name="late")
+
+
+def test_delta_loop_guard():
+    sim = Simulator(max_deltas_per_instant=50)
+    top = sim.module("top")
+
+    def spinner():
+        while True:
+            yield wait(SimTime.fs(0))
+
+    top.add_process(spinner)
+    with pytest.raises(SimulationError, match="delta cycles"):
+        sim.run()
+
+
+def test_blocked_process_reported():
+    sim = Simulator()
+    fifo = sim.fifo("never")
+    top = sim.module("top")
+
+    def reader():
+        yield from fifo.read()
+
+    top.add_process(reader)
+    sim.run()
+    blocked = sim.scheduler.blocked_processes()
+    assert [p.name for p in blocked] == ["reader"]
+    with pytest.raises(Exception, match="blocked"):
+        sim.assert_quiescent()
+
+
+def test_mark_reaches_observers():
+    sim = Simulator()
+    top = sim.module("top")
+    marks = []
+
+    class Collector(SchedulerObserver):
+        def on_mark(self, process, label, now, delta):
+            marks.append((process.name, label))
+
+    sim.add_observer(Collector())
+
+    def body():
+        yield Mark("phase-one")
+        yield wait(SimTime.ns(1))
+        yield Mark("phase-two")
+
+    top.add_process(body)
+    sim.run()
+    assert marks == [("body", "phase-one"), ("body", "phase-two")]
+
+
+def test_observer_callbacks_fire_in_order():
+    sim = Simulator()
+    top = sim.module("top")
+    events = []
+
+    class Recorder(SchedulerObserver):
+        def on_process_start(self, process, now):
+            events.append("start")
+
+        def on_process_resume(self, process, now):
+            events.append("resume")
+
+        def on_process_suspend(self, process, now):
+            events.append("suspend")
+
+        def on_node_reached(self, process, command, now, delta):
+            events.append("node")
+
+        def on_process_exit(self, process, now):
+            events.append("exit")
+
+        def on_time_advance(self, previous, current):
+            events.append("advance")
+
+    sim.add_observer(Recorder())
+
+    def body():
+        yield wait(SimTime.ns(1))
+
+    top.add_process(body)
+    sim.run()
+    assert events == ["start", "resume", "node", "suspend",
+                      "advance", "resume", "node", "exit", "suspend"]
+
+
+def test_process_exit_time_recorded():
+    sim = Simulator()
+    top = sim.module("top")
+
+    def body():
+        yield wait(SimTime.ns(3))
+
+    process = top.add_process(body)
+    sim.run()
+    assert process.done
+    assert process.exit_time == SimTime.ns(3)
+    assert process.node_count == 2  # the wait + the exit node
+
+
+def test_event_timed_notify():
+    sim = Simulator()
+    top = sim.module("top")
+    event = sim.scheduler.make_event("e")
+    seen = []
+
+    def waiter():
+        yield WaitEvent(event)
+        seen.append(sim.now.to_ns())
+
+    def notifier():
+        yield wait(SimTime.ns(2))
+        event.notify(SimTime.ns(3))
+
+    top.add_process(waiter)
+    top.add_process(notifier)
+    sim.run()
+    assert seen == [5.0]
+    assert event.notify_count == 1

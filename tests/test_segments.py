@@ -1,0 +1,250 @@
+"""Segment tracking, process graphs and the static scanner."""
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.kernel import Mark
+from repro.segments import (
+    NodeId,
+    ProcessGraph,
+    SegmentTracker,
+    annotate_listing,
+    scan_process,
+)
+
+
+def _paper_example(simulator, iterations=4):
+    """The Fig. 1 process plus an environment that serves it."""
+    ch1 = simulator.fifo("ch1")
+    ch2 = simulator.fifo("ch2")
+    top = simulator.module("top")
+
+    def process():
+        for i in range(iterations):
+            value = yield from ch1.read()          # N1
+            if value % 2 == 0:
+                yield from ch2.write(value)        # N2
+            yield wait(SimTime.ns(10))             # N3
+            yield from ch2.write(0)                # N4
+
+    def environment():
+        for i in range(iterations):
+            yield from ch1.write(i)
+            if i % 2 == 0:
+                yield from ch2.read()
+            yield from ch2.read()
+
+    top.add_process(process)
+    top.add_process(environment)
+    return process
+
+
+class TestProcessGraph:
+    def test_labels_follow_first_appearance(self):
+        graph = ProcessGraph("p")
+        n1 = NodeId("channel", "a.read", 10)
+        n2 = NodeId("wait", "", 12)
+        graph.touch_node(n1)
+        graph.touch_node(n2)
+        assert graph.nodes[n1].label == "N1"
+        assert graph.nodes[n2].label == "N2"
+        assert graph.nodes[graph.entry].label == "N0"
+
+    def test_segments_identified_by_endpoint_pair(self):
+        graph = ProcessGraph("p")
+        n1 = NodeId("channel", "a.read", 10)
+        graph.touch_node(n1)
+        graph.touch_segment(graph.entry, n1, cycles=5.0)
+        graph.touch_segment(graph.entry, n1, cycles=7.0)
+        stats = graph.segment("N0", "N1")
+        assert stats.executions == 2
+        assert stats.total_cycles == 12.0
+        assert stats.min_cycles == 5.0
+        assert stats.max_cycles == 7.0
+        assert stats.mean_cycles == 6.0
+        assert stats.label == "S0-1"
+
+    def test_to_networkx(self):
+        graph = ProcessGraph("p")
+        n1 = NodeId("channel", "a.read", 10)
+        graph.touch_node(n1)
+        graph.touch_segment(graph.entry, n1)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.has_edge("N0", "N1")
+
+    def test_to_dot(self):
+        graph = ProcessGraph("p")
+        n1 = NodeId("wait", "", 3)
+        graph.touch_node(n1)
+        graph.touch_segment(graph.entry, n1)
+        dot = graph.to_dot()
+        assert "digraph" in dot and "N0 -> N1" in dot
+
+
+class TestTracker:
+    def test_reconstructs_paper_graph(self):
+        sim = Simulator()
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        _paper_example(sim)
+        sim.run()
+        sim.assert_quiescent()
+
+        graph = tracker.graph_of("top.process")
+        labels = {s.label for s in graph.segments.values()}
+        for expected in ("S0-1", "S1-2", "S1-3", "S2-3", "S3-4", "S4-1"):
+            assert expected in labels
+
+    def test_counts_segment_executions(self):
+        sim = Simulator()
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        _paper_example(sim, iterations=4)
+        sim.run()
+        graph = tracker.graph_of("top.process")
+        # conditional write taken for even values: 2 of 4 iterations
+        assert graph.segment("N1", "N2").executions == 2
+        assert graph.segment("N1", "N3").executions == 2
+        assert graph.segment("N3", "N4").executions == 4
+
+    def test_instantaneous_records(self):
+        sim = Simulator()
+        tracker = SegmentTracker(record_instantaneous=True)
+        sim.add_observer(tracker)
+        _paper_example(sim, iterations=2)
+        sim.run()
+        records = tracker.instantaneous["top.process"]
+        assert records, "instantaneous list should not be empty"
+        assert all(len(r) == 3 for r in records)
+
+    def test_marks_attach_to_enclosing_segment(self):
+        sim = Simulator()
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        top = sim.module("top")
+
+        def body():
+            yield Mark("setup")
+            yield wait(SimTime.ns(1))
+
+        top.add_process(body)
+        sim.run()
+        graph = tracker.graph_of("top.body")
+        first = graph.segment("N0", "N1")
+        assert first.marks == ["setup"]
+
+    def test_report_lines_render(self):
+        sim = Simulator()
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        _paper_example(sim, iterations=2)
+        sim.run()
+        report = "\n".join(tracker.report_lines())
+        assert "top.process" in report
+        assert "S0-1" in report
+
+
+class TestStaticScanner:
+    def test_finds_all_node_sites(self):
+        sim = Simulator()
+        body = _paper_example(sim)
+        sites = scan_process(body)
+        kinds = [s.kind for s in sites]
+        assert kinds == ["channel", "channel", "wait", "channel"]
+        details = [s.detail for s in sites]
+        assert details[0] == "ch1.read"
+        assert details[1] == "ch2.write"
+
+    def test_annotated_listing_marks_lines(self):
+        sim = Simulator()
+        body = _paper_example(sim)
+        listing = annotate_listing(body)
+        assert "# <- N1" in listing
+        assert "# <- N4" in listing
+
+    def test_unscannable_function_raises(self):
+        from repro.errors import ReproError
+        exec_namespace = {}
+        exec("def synthetic():\n    yield None\n", exec_namespace)
+        with pytest.raises(ReproError, match="cannot obtain source"):
+            scan_process(exec_namespace["synthetic"])
+
+
+class TestConfidenceIntervals:
+    def _stats_with(self, samples):
+        from repro.segments import NodeId, ProcessGraph
+        graph = ProcessGraph("p")
+        node = NodeId("wait", "", 1)
+        graph.touch_node(node)
+        for value in samples:
+            graph.touch_segment(graph.entry, node, cycles=value)
+        return graph.segment("N0", "N1")
+
+    def test_single_observation_collapses(self):
+        stats = self._stats_with([10.0])
+        assert stats.confidence_interval() == (10.0, 10.0)
+        assert stats.variance_cycles == 0.0
+
+    def test_constant_samples_zero_width(self):
+        stats = self._stats_with([5.0] * 10)
+        low, high = stats.confidence_interval()
+        assert low == high == 5.0
+
+    def test_interval_contains_mean(self):
+        stats = self._stats_with([10.0, 20.0, 30.0, 40.0])
+        low, high = stats.confidence_interval()
+        assert low < stats.mean_cycles < high
+        assert stats.variance_cycles == pytest.approx(125.0)
+
+    def test_width_shrinks_with_samples(self):
+        few = self._stats_with([10.0, 20.0] * 2)
+        many = self._stats_with([10.0, 20.0] * 50)
+        few_width = few.confidence_interval()[1] - few.confidence_interval()[0]
+        many_width = many.confidence_interval()[1] - many.confidence_interval()[0]
+        assert many_width < few_width
+
+    def test_z_scaling(self):
+        stats = self._stats_with([1.0, 2.0, 3.0])
+        narrow = stats.confidence_interval(z=1.0)
+        wide = stats.confidence_interval(z=3.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+
+class TestCoverage:
+    def _run_with_condition(self, take_branch: bool):
+        from repro.segments import SegmentTracker, coverage_report
+        sim = Simulator()
+        tracker = SegmentTracker()
+        sim.add_observer(tracker)
+        ch1 = sim.fifo("ch1")
+        ch2 = sim.fifo("ch2")
+        top = sim.module("top")
+
+        def process():
+            value = yield from ch1.read()
+            if value > 0:
+                yield from ch2.write(value)
+            yield wait(SimTime.ns(1))
+
+        def environment():
+            yield from ch1.write(1 if take_branch else -1)
+            if take_branch:
+                yield from ch2.read()
+
+        top.add_process(process)
+        top.add_process(environment)
+        sim.run()
+        return coverage_report(process, tracker.graph_of("top.process"))
+
+    def test_full_coverage_when_branch_taken(self):
+        report = self._run_with_condition(take_branch=True)
+        assert report.complete
+        assert report.ratio == 1.0
+        assert "3/3" in report.describe()
+
+    def test_missed_site_reported(self):
+        report = self._run_with_condition(take_branch=False)
+        assert not report.complete
+        assert len(report.missed) == 1
+        assert report.missed[0].detail == "ch2.write"
+        assert "MISSED" in report.describe()

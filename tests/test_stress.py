@@ -1,0 +1,115 @@
+"""Stress tests: many processes, mixed resources, RTOS, random waits.
+
+Not performance tests — these shake out scheduler/agent interactions
+that only appear with crowded resources and interleaved waits.
+"""
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt
+from repro.core import PerformanceLibrary, overlap_fs
+from repro.platform import DEFAULT_RTOS, Mapping, make_cpu, make_fabric
+from repro.workloads import lcg_stream
+from repro.annotate import uniform_costs
+
+
+def test_sixteen_processes_two_cpus_one_fabric():
+    sim = Simulator()
+    top = sim.module("top")
+    fifo = sim.fifo("funnel", capacity=4)
+    done = []
+    process_count = 15
+    randoms = lcg_stream(99, process_count * 4, 50)
+
+    def worker(index):
+        def body():
+            work = 10 + randoms[index * 4]
+            acc = AInt(0)
+            for k in range(work):
+                acc = acc + k
+            yield wait(SimTime.ns(randoms[index * 4 + 1] * 10))
+            acc = acc + 1
+            for k in range(randoms[index * 4 + 2]):
+                acc = acc * 2 + 1
+                acc = acc & 0xFFFF
+            yield from fifo.write((index, int(acc)))
+        body.__name__ = f"w{index}"
+        return body
+
+    def collector():
+        for _ in range(process_count):
+            done.append((yield from fifo.read()))
+
+    cpu_a = make_cpu("cpu_a", costs=uniform_costs(), rtos=DEFAULT_RTOS)
+    cpu_b = make_cpu("cpu_b", costs=uniform_costs(), rtos=None,
+                     policy="priority")
+    hw = make_fabric("hw", k_factor=0.7)
+    resources = [cpu_a, cpu_b, hw]
+    mapping = Mapping()
+    for index in range(process_count):
+        process = top.add_process(worker(index), name=f"w{index}",
+                                  priority=index % 5)
+        mapping.assign(process, resources[index % 3])
+    from repro.platform import EnvironmentResource
+    mapping.assign(top.add_process(collector), EnvironmentResource("tb"))
+
+    perf = PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    sim.assert_quiescent()
+
+    # everyone completed, exactly once
+    assert sorted(index for index, _ in done) == list(range(process_count))
+    # wall-clock bounds on both CPUs
+    for cpu in (cpu_a, cpu_b):
+        assert cpu.busy_time.femtoseconds <= final.femtoseconds
+    # serialization within each CPU
+    for cpu_name in ("cpu_a", "cpu_b"):
+        intervals = [stats.intervals for stats in perf.stats.values()
+                     if stats.resource == cpu_name]
+        for i, first in enumerate(intervals):
+            for second in intervals[i + 1:]:
+                assert overlap_fs(first, second) == 0
+    # every analysed process charged something
+    assert all(stats.cycles > 0 for stats in perf.stats.values())
+
+
+def test_long_chain_of_dependent_waits():
+    """100 sequential hops through rendezvous channels, strict-timed."""
+    sim = Simulator()
+    top = sim.module("top")
+    hops = 40
+    channels = [sim.rendezvous(f"hop{i}") for i in range(hops)]
+
+    def head():
+        value = AInt(1)
+        for _ in range(25):
+            value = value + 1
+        yield from channels[0].write(int(value))
+
+    def relay(index):
+        def body():
+            value = yield from channels[index].read()
+            acc = AInt(value)
+            for _ in range(5):
+                acc = acc + 1
+            yield from channels[index + 1].write(int(acc))
+        body.__name__ = f"relay{index}"
+        return body
+
+    result = {}
+
+    def tail():
+        result["value"] = yield from channels[-1].read()
+
+    cpu = make_cpu("cpu", costs=uniform_costs())
+    mapping = Mapping()
+    mapping.assign(top.add_process(head), cpu)
+    for index in range(hops - 1):
+        mapping.assign(top.add_process(relay(index), name=f"relay{index}"),
+                       cpu)
+    from repro.platform import EnvironmentResource
+    mapping.assign(top.add_process(tail), EnvironmentResource("tb"))
+    PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    sim.assert_quiescent()
+    assert result["value"] == 26 + 5 * (hops - 1)
+    assert final.femtoseconds > 0

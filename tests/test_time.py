@@ -1,0 +1,134 @@
+"""Unit tests for SimTime and Clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.time import Clock, SimTime, ZERO, time_from
+
+fs_values = st.integers(min_value=0, max_value=10**18)
+
+
+class TestConstruction:
+    def test_unit_constructors_scale(self):
+        assert SimTime.ns(1) == SimTime.ps(1000) == SimTime.fs(10**6)
+        assert SimTime.us(1) == SimTime.ns(1000)
+        assert SimTime.ms(1) == SimTime.us(1000)
+        assert SimTime.s(1) == SimTime.ms(1000)
+
+    def test_fractional_values_round(self):
+        assert SimTime.ns(2.5) == SimTime.ps(2500)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime(-1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            SimTime(1.5)
+
+    def test_time_from(self):
+        assert time_from(3, "us") == SimTime.us(3)
+        with pytest.raises(ValueError):
+            time_from(1, "lightyears")
+
+    def test_immutability(self):
+        t = SimTime.ns(5)
+        with pytest.raises(AttributeError):
+            t._fs = 7
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert SimTime.ns(3) + SimTime.ns(4) == SimTime.ns(7)
+        assert SimTime.ns(7) - SimTime.ns(4) == SimTime.ns(3)
+
+    def test_sub_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SimTime.ns(1) - SimTime.ns(2)
+
+    def test_scalar_multiply(self):
+        assert SimTime.ns(3) * 4 == SimTime.ns(12)
+        assert 0.5 * SimTime.ns(4) == SimTime.ns(2)
+
+    def test_time_by_time_multiply_rejected(self):
+        with pytest.raises(TypeError):
+            SimTime.ns(1) * SimTime.ns(1)
+
+    def test_division(self):
+        assert SimTime.ns(10) / SimTime.ns(4) == 2.5
+        assert SimTime.ns(10) // SimTime.ns(4) == 2
+        assert SimTime.ns(10) // 2 == SimTime.ns(5)
+        with pytest.raises(ZeroDivisionError):
+            SimTime.ns(1) / ZERO
+
+    def test_modulo(self):
+        assert SimTime.ns(10) % SimTime.ns(4) == SimTime.ns(2)
+
+    @given(fs_values, fs_values)
+    def test_addition_commutes(self, a, b):
+        assert SimTime(a) + SimTime(b) == SimTime(b) + SimTime(a)
+
+    @given(fs_values, fs_values, fs_values)
+    def test_addition_associates(self, a, b, c):
+        left = (SimTime(a) + SimTime(b)) + SimTime(c)
+        right = SimTime(a) + (SimTime(b) + SimTime(c))
+        assert left == right
+
+    @given(fs_values)
+    def test_zero_is_identity(self, a):
+        assert SimTime(a) + ZERO == SimTime(a)
+
+    @given(fs_values, fs_values)
+    def test_ordering_consistent_with_fs(self, a, b):
+        assert (SimTime(a) < SimTime(b)) == (a < b)
+        assert (SimTime(a) == SimTime(b)) == (a == b)
+
+
+class TestPresentation:
+    def test_str_picks_clean_unit(self):
+        assert str(SimTime.ns(10)) == "10 ns"
+        assert str(SimTime.us(3)) == "3 us"
+
+    def test_bool(self):
+        assert not ZERO
+        assert SimTime.fs(1)
+
+    def test_conversions(self):
+        t = SimTime.us(1)
+        assert t.to_ns() == 1000.0
+        assert t.to_us() == 1.0
+        assert t.to_fs() == 10**9
+
+    def test_hashable(self):
+        assert len({SimTime.ns(1), SimTime.ps(1000), SimTime.ns(2)}) == 2
+
+
+class TestClock:
+    def test_from_frequency(self):
+        clock = Clock.from_frequency_mhz(100.0)
+        assert clock.period == SimTime.ns(10)
+
+    def test_cycles_to_time(self):
+        clock = Clock.from_frequency_mhz(100.0)
+        assert clock.cycles_to_time(3) == SimTime.ns(30)
+        assert clock.cycles_to_time(2.5) == SimTime.ns(25)
+
+    def test_time_to_cycles_roundtrip(self):
+        clock = Clock.from_frequency_mhz(200.0)
+        assert clock.time_to_cycles(clock.cycles_to_time(17)) == pytest.approx(17)
+
+    def test_negative_cycles_rejected(self):
+        clock = Clock.from_frequency_mhz(100.0)
+        with pytest.raises(ValueError):
+            clock.cycles_to_time(-1)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Clock.from_frequency_mhz(0)
+        with pytest.raises(ValueError):
+            Clock(SimTime(0))
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_cycle_conversion_monotonic(self, cycles):
+        clock = Clock.from_frequency_mhz(50.0)
+        assert clock.cycles_to_time(cycles) < clock.cycles_to_time(cycles + 1)

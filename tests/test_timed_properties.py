@@ -1,0 +1,109 @@
+"""Property-based invariants of the strict-timed transformation.
+
+Hypothesis generates random pipeline topologies and workloads; for every
+one the timed simulation must (a) compute exactly what the untimed
+specification computes, (b) keep each sequential resource's busy time
+within the simulated span, and (c) keep per-process busy time equal to
+the sum of its occupancy intervals.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt
+from repro.core import PerformanceLibrary, overlap_fs, total_busy_fs
+from repro.platform import Mapping, make_cpu, make_fabric
+from repro.annotate import uniform_costs
+
+
+def _build_pipeline(stage_work, items, mapping_plan, costs):
+    """A linear pipeline: source values flow through compute stages."""
+    sim = Simulator()
+    top = sim.module("top")
+    links = [sim.fifo(f"l{i}", capacity=2) for i in range(len(stage_work) + 1)]
+    outputs = []
+
+    def source():
+        for i in range(items):
+            yield from links[0].write(i + 1)
+
+    def stage(index, work):
+        def body():
+            for _ in range(items):
+                value = yield from links[index].read()
+                acc = AInt(int(value))
+                for k in range(work):
+                    acc = acc * 3 + k
+                    acc = acc & 0xFFFFF
+                yield from links[index + 1].write(int(acc))
+        body.__name__ = f"stage{index}"
+        return body
+
+    def sink():
+        for _ in range(items):
+            outputs.append((yield from links[-1].read()))
+
+    processes = [top.add_process(source)]
+    for index, work in enumerate(stage_work):
+        processes.append(top.add_process(stage(index, work),
+                                         name=f"stage{index}"))
+    processes.append(top.add_process(sink))
+
+    perf = None
+    resources = {}
+    if mapping_plan is not None:
+        mapping = Mapping()
+        from repro.platform import EnvironmentResource
+        env = EnvironmentResource("tb")
+        mapping.assign(processes[0], env)
+        mapping.assign(processes[-1], env)
+        for process, choice in zip(processes[1:-1], mapping_plan):
+            if choice not in resources:
+                if choice.startswith("cpu"):
+                    resources[choice] = make_cpu(choice, costs=costs,
+                                                 rtos=None)
+                else:
+                    resources[choice] = make_fabric(choice)
+            mapping.assign(process, resources[choice])
+        perf = PerformanceLibrary(mapping).attach(sim)
+    final = sim.run()
+    sim.assert_quiescent()
+    return outputs, perf, resources, final
+
+
+@given(
+    stage_work=st.lists(st.integers(min_value=1, max_value=30),
+                        min_size=1, max_size=4),
+    items=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_timed_pipeline_invariants(stage_work, items, data):
+    costs = uniform_costs()
+    choices = ["cpu0", "cpu1", "hw0"]
+    mapping_plan = [data.draw(st.sampled_from(choices))
+                    for _ in stage_work]
+
+    untimed_out, _, _, _ = _build_pipeline(stage_work, items, None, costs)
+    timed_out, perf, resources, final = _build_pipeline(
+        stage_work, items, mapping_plan, costs)
+
+    # (a) functional invariance
+    assert timed_out == untimed_out
+
+    # (b) wall-clock bounds per sequential resource
+    for name, resource in resources.items():
+        if name.startswith("cpu"):
+            assert resource.busy_time.femtoseconds <= final.femtoseconds
+
+    # (c) stats consistency + (d) serialization on shared CPUs
+    by_resource = {}
+    for process_name, stats in perf.stats.items():
+        assert total_busy_fs(stats.intervals) == stats.busy_time.femtoseconds
+        by_resource.setdefault(stats.resource, []).append(stats)
+    for name, stats_list in by_resource.items():
+        if not name.startswith("cpu"):
+            continue
+        for i, first in enumerate(stats_list):
+            for second in stats_list[i + 1:]:
+                assert overlap_fs(first.intervals, second.intervals) == 0

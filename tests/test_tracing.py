@@ -1,0 +1,108 @@
+"""Trace recorder and VCD writer tests."""
+
+from repro import SimTime, Simulator, TraceRecorder, wait
+from repro.kernel import VcdWriter
+
+
+def _traced_design():
+    sim = Simulator(trace=True)
+    fifo = sim.fifo("data")
+    sig = sim.signal("sig", initial=0)
+    top = sim.module("top")
+
+    def producer():
+        for i in range(2):
+            yield from fifo.write(i)
+            yield from sig.write(i + 1)
+            yield wait(SimTime.ns(5))
+
+    def consumer():
+        for _ in range(2):
+            yield from fifo.read()
+
+    top.add_process(producer)
+    top.add_process(consumer)
+    sim.run()
+    return sim, sig
+
+
+class TestTraceRecorder:
+    def test_records_nodes_and_exits(self):
+        sim, _ = _traced_design()
+        kinds = {r.kind for r in sim.trace.records}
+        assert {"node-reached", "node-finished", "exit"} <= kinds
+
+    def test_for_process_filter(self):
+        sim, _ = _traced_design()
+        producer_records = sim.trace.for_process("top.producer")
+        assert producer_records
+        assert all(r.process == "top.producer" for r in producer_records)
+
+    def test_of_kind_filter(self):
+        sim, _ = _traced_design()
+        exits = sim.trace.of_kind("exit")
+        assert len(exits) == 2
+
+    def test_record_rendering(self):
+        sim, _ = _traced_design()
+        text = str(sim.trace.records[0])
+        assert "top." in text and "node-reached" in text
+
+    def test_kind_restriction(self):
+        recorder = TraceRecorder(kinds={"exit"})
+        sim = Simulator()
+        sim.add_observer(recorder)
+        top = sim.module("top")
+
+        def body():
+            yield wait(SimTime.ns(1))
+
+        top.add_process(body)
+        sim.run()
+        assert all(r.kind == "exit" for r in recorder.records)
+        assert len(recorder) == 1
+
+    def test_clear(self):
+        sim, _ = _traced_design()
+        sim.trace.clear()
+        assert len(sim.trace) == 0
+
+    def test_times_and_deltas_recorded(self):
+        sim, _ = _traced_design()
+        times = {r.time_fs for r in sim.trace.records}
+        assert 0 in times
+        assert any(t > 0 for t in times)
+
+
+class TestVcdWriter:
+    def test_render_structure(self):
+        _, sig = _traced_design()
+        text = VcdWriter().render([sig])
+        assert "$timescale 1 fs $end" in text
+        assert "$var wire 64" in text
+        assert "sig" in text
+        assert "$enddefinitions" in text
+        assert "#0" in text
+
+    def test_value_changes_in_time_order(self):
+        _, sig = _traced_design()
+        text = VcdWriter().render([sig])
+        stamps = [int(line[1:]) for line in text.splitlines()
+                  if line.startswith("#")]
+        assert stamps == sorted(stamps)
+
+    def test_write_to_file(self, tmp_path):
+        _, sig = _traced_design()
+        path = tmp_path / "wave.vcd"
+        VcdWriter().write(str(path), [sig])
+        assert path.read_text().startswith("$date")
+
+    def test_identifier_uniqueness(self):
+        writer = VcdWriter()
+        codes = {writer._identifier(i) for i in range(500)}
+        assert len(codes) == 500
+
+    def test_non_integer_values_hash(self):
+        assert VcdWriter._to_bits("text").isdigit() or \
+            set(VcdWriter._to_bits("text")) <= {"0", "1"}
+        assert VcdWriter._to_bits(-3)

@@ -1,0 +1,177 @@
+"""Vocoder pipeline tests: stage correctness and backend agreement."""
+
+import pytest
+
+from repro import Simulator
+from repro.iss.machine import Machine
+from repro.iss.runtime import prepare_program, run_program
+from repro.workloads.vocoder import (
+    MAX_LAG,
+    MIN_LAG,
+    ORDER,
+    STAGE_NAMES,
+    SUBFRAME,
+    acb_search,
+    annotated_executor,
+    build_vocoder,
+    icb_search,
+    lpc_interpolate,
+    lsp_estimate,
+    make_frames,
+    make_stages,
+    plain_executor,
+    postprocess,
+    run_reference,
+)
+from repro.workloads.vocoder.lsp import autocorrelation, levinson_durbin
+
+
+class TestKernels:
+    def test_autocorrelation_peak_at_zero_lag(self):
+        x = [((i * 31) % 64) - 32 for i in range(80)]
+        r = [0] * (ORDER + 1)
+        autocorrelation(x, r, len(x), ORDER)
+        assert r[0] >= max(abs(v) for v in r[1:])
+
+    def test_autocorrelation_detects_period(self):
+        period = 8
+        x = [100 if i % period == 0 else 0 for i in range(120)]
+        r = [0] * (period + 1)
+        autocorrelation(x, r, len(x), period)
+        assert r[period] > r[period - 1]
+
+    def test_levinson_stable_coefficients(self):
+        x = [((i * 13) % 50) - 25 for i in range(160)]
+        r = [0] * (ORDER + 1)
+        a = [0] * (ORDER + 1)
+        tmp = [0] * (ORDER + 1)
+        autocorrelation(x, r, len(x), ORDER)
+        levinson_durbin(r, a, tmp, ORDER)
+        assert a[0] == 4096
+        assert all(abs(v) < 4096 for v in a[1:])
+
+    def test_levinson_degenerate_frame(self):
+        """An all-zero frame must not divide by zero."""
+        r = [0] * (ORDER + 1)
+        a = [0] * (ORDER + 1)
+        levinson_durbin(r, a, [0] * (ORDER + 1), ORDER)
+        assert a[1:] == [0] * ORDER
+
+    def test_lpc_interpolation_endpoints(self):
+        a_prev = [4096] + [100] * ORDER
+        a_new = [4096] + [500] * ORDER
+        a_sub = [0] * (4 * (ORDER + 1))
+        lpc_interpolate(a_prev, a_new, a_sub, ORDER, 4)
+        # last subframe uses the new coefficients exactly
+        last = a_sub[3 * (ORDER + 1): 4 * (ORDER + 1)]
+        assert last == a_new
+        # earlier subframes lie between the two sets
+        first = a_sub[1: ORDER + 1]
+        assert all(100 <= v <= 500 for v in first)
+
+    def test_acb_finds_planted_period(self):
+        lag = 40
+        n = SUBFRAME
+        pattern = [200 if i % lag == 0 else -10 for i in range(MAX_LAG + n)]
+        target = pattern[MAX_LAG:MAX_LAG + n]
+        found = acb_search(pattern, target, n, MIN_LAG, MAX_LAG)
+        assert int(found) % lag == 0
+
+    def test_icb_picks_peak_positions(self):
+        target = [0] * SUBFRAME
+        target[5] = -900   # track 1
+        target[10] = 700   # track 2
+        pulses = [0] * 4
+        icb_search(target, pulses, SUBFRAME, 4)
+        assert pulses[1] == 5
+        assert pulses[2] == 10
+
+    def test_postprocess_removes_dc(self):
+        x = [1000] * 200   # pure DC
+        y = [0] * 200
+        postprocess(x, y, 200, [0, 0])
+        assert abs(y[-1]) < abs(y[0])
+
+    def test_postprocess_saturates(self):
+        x = [100000, -100000] * 10
+        y = [0] * 20
+        postprocess(x, y, 20, [0, 0])
+        assert max(y) <= 32767 and min(y) >= -32768
+
+    def test_postprocess_state_carries_across_frames(self):
+        x = [((i * 7) % 100) - 50 for i in range(80)]
+        # one 80-sample call == two 40-sample calls with shared state
+        y_once = [0] * 80
+        postprocess(list(x), y_once, 80, [0, 0])
+        y_split = [0] * 80
+        state = [0, 0]
+        a, b = [0] * 40, [0] * 40
+        postprocess(x[:40], a, 40, state)
+        postprocess(x[40:], b, 40, state)
+        y_split = a + b
+        assert y_split == y_once
+
+
+class TestPipeline:
+    def test_concurrent_matches_sequential_reference(self):
+        frames = make_frames(4)
+        reference = run_reference(frames)
+        sim = Simulator()
+        design = build_vocoder(sim, frames, annotate=False)
+        sim.run()
+        sim.assert_quiescent()
+        assert len(design.results) == 4
+        for got, expected in zip(design.results, reference):
+            assert got["check"] == expected["check"]
+            assert got["lags"] == expected["lags"]
+            assert got["pulses"] == expected["pulses"]
+            assert got["output"] == expected["output"]
+
+    def test_annotated_pipeline_matches_plain(self):
+        frames = make_frames(2)
+        sim_a = Simulator()
+        design_a = build_vocoder(sim_a, frames, annotate=True)
+        sim_a.run()
+        sim_b = Simulator()
+        design_b = build_vocoder(sim_b, frames, annotate=False)
+        sim_b.run()
+        assert [p["check"] for p in design_a.results] == \
+            [p["check"] for p in design_b.results]
+
+    def test_executors_agree(self):
+        frames = make_frames(2)
+        plain = run_reference(frames, execute=plain_executor)
+        annotated = run_reference(frames, execute=annotated_executor)
+        assert [p["check"] for p in plain] == [p["check"] for p in annotated]
+        assert [p["output"] for p in plain] == [p["output"] for p in annotated]
+
+    def test_iss_executor_agrees(self):
+        frames = make_frames(1)
+        machine = Machine(memory_words=1 << 16)
+        programs = {}
+        for stage in make_stages():
+            programs[stage.kernels[0].__name__] = (
+                prepare_program(list(stage.kernels), entry=stage.kernels[0]),
+                stage.kernels[0].__name__,
+            )
+
+        def iss_execute(fn, args):
+            program, entry = programs[fn.__name__]
+            return run_program(program, entry, args, machine=machine).return_value
+
+        compiled = run_reference(frames, execute=iss_execute)
+        plain = run_reference(frames)
+        assert [p["check"] for p in compiled] == [p["check"] for p in plain]
+        assert [p["lags"] for p in compiled] == [p["lags"] for p in plain]
+
+    def test_stage_names_cover_table3(self):
+        assert STAGE_NAMES == ("lsp_estim", "lpc_int", "acb_search",
+                               "icb_search", "post_proc")
+        assert [s.name for s in make_stages()] == list(STAGE_NAMES)
+
+    def test_frames_shape(self):
+        frames = make_frames(3, frame_length=160)
+        assert len(frames) == 3
+        assert all(len(f) == 160 for f in frames)
+        flat = [v for f in frames for v in f]
+        assert max(flat) < 8192 and min(flat) > -8192  # 13-bit-ish

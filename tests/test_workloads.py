@@ -1,0 +1,189 @@
+"""Workload kernel tests: single-source equivalence across all backends.
+
+For every Table 1/2 kernel: plain run == annotated run == compiled run,
+plus functional correctness against independent references.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotate import CostContext, MODE_SW, active, uniform_costs
+from repro.iss import run_compiled
+from repro.workloads import lcg_stream, run_annotated, wrap_args
+from repro.workloads.array_ops import array_ops, make_array_inputs
+from repro.workloads.compressor import (
+    compress,
+    decompress,
+    make_compress_inputs,
+)
+from repro.workloads.euler import euler_oscillator, euler_reference, euler_segment
+from repro.workloads.fibonacci import fib_benchmark, fib_iterative, fib_recursive
+from repro.workloads.fir import (
+    fir_filter,
+    fir_reference,
+    fir_sample,
+    make_fir_inputs,
+)
+from repro.workloads.sorting import (
+    bubble_sort,
+    make_sort_inputs,
+    quick_partition,
+    quick_sort,
+    quick_sort_checked,
+)
+
+CASES = [
+    ("fir", (fir_filter,), lambda: make_fir_inputs(48, 8)),
+    ("compress", (compress,), lambda: make_compress_inputs(160)),
+    ("quick_sort", (quick_sort_checked, quick_sort, quick_partition),
+     lambda: (make_sort_inputs(40)[0], 40)),
+    ("bubble", (bubble_sort,), lambda: make_sort_inputs(32, seed=5)),
+    ("fibonacci", (fib_benchmark, fib_recursive, fib_iterative),
+     lambda: (10,)),
+    ("array_ops", (array_ops,), lambda: make_array_inputs(48)),
+    ("euler", (euler_oscillator,), lambda: (24, 4)),
+]
+
+
+@pytest.mark.parametrize("name,functions,make_args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_three_backend_equivalence(name, functions, make_args):
+    entry = functions[0]
+    plain = int(entry(*make_args()))
+    annotated, t_max, t_min = run_annotated(entry, make_args(),
+                                            uniform_costs())
+    compiled = run_compiled(list(functions), args=make_args(), entry=entry)
+    assert plain == annotated == compiled.return_value
+    assert t_max >= t_min >= 0.0
+    assert t_max > 0.0, "annotated run must charge something"
+    assert compiled.cycles > 0
+
+
+class TestFir:
+    def test_against_reference(self):
+        x, h, y, n, taps = make_fir_inputs(32, 8)
+        fir_filter(x, h, list(y), n, taps)
+        expected = fir_reference(x, h, n, taps)
+        out = [0] * n
+        fir_filter(x, h, out, n, taps)
+        assert out == expected
+
+    def test_fir_sample_matches_first_output(self):
+        x, h, _y, n, taps = make_fir_inputs(16, 8)
+        assert int(fir_sample(x[:taps], h, taps)) == \
+            fir_reference(x, h, 1, taps)[0]
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_impulse_response_recovers_taps(self, taps):
+        """Filtering a unit impulse yields the (scaled) tap values."""
+        from repro.workloads.fir import _lowpass_taps
+        h = _lowpass_taps(taps)
+        x = [256] + [0] * (2 * taps)
+        out = [0] * taps
+        fir_filter(x, h, out, taps, taps)
+        assert out[0] == (h[0] * 256) >> 8
+
+
+class TestCompress:
+    def test_roundtrip(self):
+        src, dst, mtf, n = make_compress_inputs(200)
+        pairs = compress(list(src), dst, mtf, n) // 2
+        out = [0] * n
+        produced = decompress(dst, out, [0] * 256, pairs)
+        assert produced == n
+        assert out == src
+
+    def test_compresses_runs(self):
+        src = [7] * 100
+        dst = [0] * 200
+        words = compress(src, dst, [0] * 256, 100)
+        assert words == 2  # one (run, rank) pair
+
+    @given(st.lists(st.integers(min_value=0, max_value=20),
+                    min_size=1, max_size=120))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, src):
+        n = len(src)
+        dst = [0] * (2 * n)
+        pairs = compress(list(src), dst, [0] * 256, n) // 2
+        out = [0] * n
+        assert decompress(dst, out, [0] * 256, pairs) == n
+        assert out == src
+
+
+class TestSorting:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_quick_sort_sorts(self, values):
+        data = list(values)
+        quick_sort(data, 0, len(data) - 1)
+        assert data == sorted(values)
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_bubble_sort_sorts(self, values):
+        data = list(values)
+        bubble_sort(data, len(data))
+        assert data == sorted(values)
+
+    def test_checksums_agree_across_algorithms(self):
+        data, n = make_sort_inputs(50)
+        quick_check = quick_sort_checked(list(data), n)
+        bubble_check = bubble_sort(list(data), n)
+        assert quick_check == bubble_check
+
+
+class TestFibonacci:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 1),
+                                            (10, 55), (15, 610)])
+    def test_values(self, n, expected):
+        assert fib_iterative(n) == expected
+        assert fib_recursive(n) == expected
+        assert fib_benchmark(n) == expected
+
+
+class TestEuler:
+    def test_matches_reference(self):
+        assert euler_oscillator(48, 4) == euler_reference(48, 4)
+
+    def test_segment_is_four_steps(self):
+        stepped = euler_segment(4096, 0, 4)
+        y, v = 4096, 0
+        for _ in range(4):
+            ay = -y
+            y = y + (v >> 4)
+            v = v + (ay >> 4)
+        assert int(stepped) == y + v
+
+    def test_oscillator_oscillates(self):
+        """Energy-preserving-ish: y must change sign within a period."""
+        values = [euler_reference(steps, 4) for steps in range(0, 120, 8)]
+        assert any(v < 0 for v in values)
+        assert any(v > 0 for v in values)
+
+
+class TestInputGenerators:
+    def test_lcg_deterministic(self):
+        assert lcg_stream(1, 10, 100) == lcg_stream(1, 10, 100)
+        assert lcg_stream(1, 10, 100) != lcg_stream(2, 10, 100)
+
+    def test_lcg_bounds(self):
+        values = lcg_stream(3, 1000, 17)
+        assert all(0 <= v < 17 for v in values)
+
+    def test_lcg_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            lcg_stream(1, 1, 0)
+
+    def test_wrap_args_copies(self):
+        data = [1, 2, 3]
+        wrapped = wrap_args((data, 5))
+        wrapped[0][0] = 99
+        assert data[0] == 1, "wrap_args must not alias the original"
+
+    def test_wrap_args_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            wrap_args(({"a": 1},))

@@ -1,0 +1,155 @@
+"""Extended workload tests: DCT, CRC-32, matmul."""
+
+import binascii
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotate import uniform_costs
+from repro.iss import run_compiled
+from repro.workloads import run_annotated
+from repro.workloads.extended import (
+    crc32_bitwise,
+    dct_2d,
+    dct_reference,
+    make_crc_inputs,
+    make_dct_inputs,
+    make_matmul_inputs,
+    matmul,
+)
+
+CASES = [
+    ("dct", (dct_2d,), make_dct_inputs),
+    ("crc32", (crc32_bitwise,), lambda: make_crc_inputs(96)),
+    ("matmul", (matmul,), lambda: make_matmul_inputs(6)),
+]
+
+
+@pytest.mark.parametrize("name,functions,make_args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_three_backend_equivalence(name, functions, make_args):
+    entry = functions[0]
+    plain = int(entry(*make_args()))
+    annotated, _t_max, _t_min = run_annotated(entry, make_args(),
+                                              uniform_costs())
+    compiled = run_compiled(list(functions), args=make_args(), entry=entry)
+    assert plain == annotated == compiled.return_value
+
+
+class TestCrc32:
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_binascii(self, payload):
+        data = list(payload)
+        ours = crc32_bitwise(data, len(data))
+        assert int(ours) == binascii.crc32(payload)
+
+    def test_empty_message(self):
+        assert int(crc32_bitwise([], 0)) == 0
+
+
+class TestDct:
+    def test_against_float_reference(self):
+        block, cosines, tmp, out, n = make_dct_inputs()
+        dct_2d(block, cosines, tmp, out, n)
+        reference = dct_reference(block, n)
+        for got, expected in zip(out, reference):
+            # Q10 arithmetic with two >>10 stages: tolerate small error
+            assert abs(got - expected) <= max(4.0, abs(expected) * 0.02)
+
+    def test_dc_coefficient_of_flat_block(self):
+        n = 8
+        block = [100] * (n * n)
+        from repro.workloads.extended import make_dct_cosines
+        out = [0] * (n * n)
+        dct_2d(block, make_dct_cosines(n), [0] * (n * n), out, n)
+        # flat block: all energy in DC, AC coefficients ~0
+        assert abs(out[0] - 100 * n) <= 8
+        assert all(abs(v) <= 2 for v in out[1:])
+
+
+class TestMatmul:
+    def test_identity(self):
+        n = 4
+        identity = [1 if i % (n + 1) == 0 else 0 for i in range(n * n)]
+        a = list(range(n * n))
+        c = [0] * (n * n)
+        matmul(a, identity, c, n)
+        assert c == a
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_against_naive(self, n):
+        a, b, c, _ = make_matmul_inputs(n)
+        matmul(a, b, c, n)
+        for i in range(n):
+            for j in range(n):
+                expected = sum(a[i * n + k] * b[k * n + j] for k in range(n))
+                assert c[i * n + j] == expected
+
+
+class TestBiquadFloat:
+    """The AFloat path: plain/annotated equivalence + FPU synthesis."""
+
+    def test_plain_matches_annotated(self):
+        from repro.platform import OPENRISC_SW_COSTS
+        from repro.workloads.biquad import biquad_filter, make_biquad_inputs
+
+        plain = biquad_filter(*make_biquad_inputs(64))
+        annotated, t_max, t_min = run_annotated(
+            biquad_filter, make_biquad_inputs(64), OPENRISC_SW_COSTS)
+        assert annotated == pytest.approx(plain, rel=1e-12)
+        assert t_max >= t_min > 0
+
+    def test_charges_float_operations(self):
+        from repro.annotate import CostContext, MODE_SW, active
+        from repro.platform import OPENRISC_SW_COSTS
+        from repro.workloads import wrap_args
+        from repro.workloads.biquad import biquad_filter, make_biquad_inputs
+
+        ctx = CostContext(OPENRISC_SW_COSTS, MODE_SW)
+        with active(ctx):
+            biquad_filter(*wrap_args(make_biquad_inputs(16)))
+        counts = ctx.snapshot_op_counts()
+        assert counts.get("fmul", 0) > 0
+        assert counts.get("fadd", 0) > 0
+
+    def test_lowpass_attenuates(self):
+        import math
+        from repro.workloads.biquad import biquad_filter, lowpass_coefficients
+
+        coeffs = lowpass_coefficients(500.0, 8000.0)
+        n = 256
+        high = [math.sin(2 * math.pi * 3500 * i / 8000) for i in range(n)]
+        low = [math.sin(2 * math.pi * 100 * i / 8000) for i in range(n)]
+        out_hi, out_lo = [0.0] * n, [0.0] * n
+        biquad_filter(high, out_hi, n, *coeffs)
+        biquad_filter(low, out_lo, n, *coeffs)
+        tail = slice(n // 2, None)
+        energy = lambda xs: sum(v * v for v in xs[tail])
+        assert energy(out_hi) < 0.05 * energy(high)
+        assert energy(out_lo) > 0.5 * energy(low)
+
+    def test_bad_cutoff_rejected(self):
+        from repro.workloads.biquad import lowpass_coefficients
+        with pytest.raises(ValueError):
+            lowpass_coefficients(5000.0, 8000.0)
+
+    def test_hw_synthesis_with_fpu(self):
+        from repro.annotate import AFloat
+        from repro.hls import capture_dfg, synthesize_constrained, synthesize_worst_case
+        from repro.kernel import Clock
+        from repro.platform import ASIC_HW_COSTS
+        from repro.workloads.biquad import biquad_section, lowpass_coefficients
+
+        coeffs = lowpass_coefficients(1000.0, 8000.0)
+        args = tuple(AFloat(v) for v in (0.5, 0.25, -0.1, 0.3, -0.2)) + \
+            tuple(AFloat(c) for c in coeffs)
+        graph = capture_dfg(biquad_section, args, ASIC_HW_COSTS)
+        assert "fmul" in graph.operations_used()
+        clock = Clock.from_frequency_mhz(100.0)
+        worst = synthesize_worst_case(graph, clock)
+        one_fpu = synthesize_constrained(graph, clock, {"fpu": 1})
+        two_fpu = synthesize_constrained(graph, clock, {"fpu": 2})
+        assert two_fpu.latency_cycles <= one_fpu.latency_cycles
+        assert one_fpu.latency_cycles <= worst.latency_cycles
