@@ -2,20 +2,24 @@
 single ALU (plus ablation C: k-factor sensitivity).
 
 The FIR segment's dataflow graph is scheduled under every functional-
-unit allocation up to 3 units per class; the area/time Pareto frontier
-spans the figure's two extremes.  The second half sweeps the paper's
-``k`` constant from 0 to 1 and verifies the annotated time interpolates
-monotonically between Tmin and Tmax.
+unit allocation up to 3 units per class — fanned out through the batch
+:class:`~repro.batch.Campaign` API, one ``hw-point`` configuration per
+allocation — and the area/time Pareto frontier spans the figure's two
+extremes.  The second half sweeps the paper's ``k`` constant from 0 to
+1 and verifies the annotated time interpolates monotonically between
+Tmin and Tmax.
 """
 
 from __future__ import annotations
 
 from harness import format_table, write_result
 from repro.annotate import AArray, CostContext, MODE_HW, active
+from repro.batch import Campaign, fig4_sweep_configs
 from repro.core import SegmentEstimate
 from repro.hls import (
+    Allocation,
+    DesignPoint,
     capture_dfg,
-    explore_design_space,
     pareto_front,
     synthesize_best_case,
     synthesize_worst_case,
@@ -33,13 +37,29 @@ def _segment_args():
     return (x, h, FIR_TAPS)
 
 
+def _campaign_design_points():
+    """The Fig. 4 allocation sweep through the batch orchestrator."""
+    configs = fig4_sweep_configs(max_units_per_class=3, taps=FIR_TAPS,
+                                 evaluate_system=False)
+    campaign = Campaign(configs, workers=0, cache=None, retries=0)
+    results = campaign.run()
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    points = [
+        DesignPoint(Allocation.of(r.payload["allocation"]),
+                    r.payload["latency_cycles"], r.payload["area"])
+        for r in results
+    ]
+    points.sort(key=lambda p: (p.area, p.latency_cycles))
+    return points
+
+
 def test_fig4_design_space(benchmark):
     clock = Clock.from_frequency_mhz(HW_CLOCK_MHZ)
     outcome = {}
 
     def run():
         graph = capture_dfg(fir_sample, _segment_args(), ASIC_HW_COSTS)
-        points = explore_design_space(graph, max_units_per_class=3)
+        points = _campaign_design_points()
         front = pareto_front(points)
         best = synthesize_best_case(graph, clock)
         worst = synthesize_worst_case(graph, clock)

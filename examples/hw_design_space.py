@@ -4,17 +4,23 @@ Captures the dataflow of a FIR output-sample segment, then:
 
 * sweeps the paper's ``k`` constant to show the single annotated value
   moving between the critical-path and single-ALU extremes,
-* runs the behavioral-synthesis substrate over every functional-unit
-  allocation to chart the real area/time trade-off curve.
+* fans one ``hw-point`` campaign configuration per functional-unit
+  allocation through the batch orchestrator (``repro.batch``) to chart
+  the real area/time trade-off curve, with cached re-runs.
 
-Run with:  python examples/hw_design_space.py
+Run with:  python examples/hw_design_space.py [workers]
 """
 
+import sys
+import tempfile
+
 from repro.annotate import AArray, CostContext, MODE_HW, active
+from repro.batch import Campaign, fig4_sweep_configs
 from repro.core import SegmentEstimate
 from repro.hls import (
+    Allocation,
+    DesignPoint,
     capture_dfg,
-    explore_design_space,
     pareto_front,
     synthesize_best_case,
     synthesize_worst_case,
@@ -26,7 +32,7 @@ from repro.workloads.fir import _lowpass_taps, fir_sample
 TAPS = 12
 
 
-def main():
+def main(workers: int = 0):
     clock = Clock.from_frequency_mhz(HW_CLOCK_MHZ)
     x = AArray([(i * 23 + 7) % 256 - 128 for i in range(TAPS)])
     h = AArray(_lowpass_taps(TAPS))
@@ -57,12 +63,27 @@ def main():
     print(f"resource-constrained (1 universal ALU): {worst.latency_cycles} cyc, "
           f"area {worst.area:.0f}")
 
-    print("\narea/time Pareto frontier (list scheduling, <=3 units/class):")
-    points = explore_design_space(graph, max_units_per_class=3)
-    for point in pareto_front(points):
-        print(f"  area {point.area:5.1f}  {point.latency_cycles:3d} cyc   "
-              f"{point.allocation}")
+    print("\narea/time Pareto frontier (list scheduling, <=3 units/class,")
+    print(f"swept as a {workers or 'serial'}-worker batch campaign):")
+    configs = fig4_sweep_configs(max_units_per_class=3, taps=TAPS,
+                                 evaluate_system=False)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        campaign = Campaign(configs, workers=workers, cache=cache_dir)
+        results = campaign.run()
+        points = [DesignPoint(Allocation.of(r.payload["allocation"]),
+                              r.payload["latency_cycles"], r.payload["area"])
+                  for r in results if r.ok]
+        points.sort(key=lambda p: (p.area, p.latency_cycles))
+        for point in pareto_front(points):
+            print(f"  area {point.area:5.1f}  {point.latency_cycles:3d} cyc   "
+                  f"{point.allocation}")
+        print(f"  campaign: {campaign.metrics.summary()}")
+
+        # A re-run of the same sweep is answered from the result cache.
+        rerun = Campaign(configs, workers=workers, cache=cache_dir)
+        rerun.run()
+        print(f"  re-run:   {rerun.metrics.summary()}")
 
 
 if __name__ == "__main__":
-    main()
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 0)

@@ -1,0 +1,54 @@
+"""Parallel batch-simulation subsystem (design-space campaigns).
+
+The paper's payoff is fast design-space exploration: strict-timed
+simulation is orders of magnitude faster than the ISS precisely so that
+*many* HW/SW mappings can be evaluated.  This package supplies the
+batch orchestrator for that workflow:
+
+* :class:`Campaign` — fan a list of :class:`RunConfig` simulation
+  points out over a pool of worker processes with per-run timeout and
+  bounded retry, collecting structured :class:`RunResult` records,
+* :class:`ResultCache` — content-addressed cache so re-running a sweep
+  only simulates changed points,
+* :class:`CampaignObserver` / :class:`CampaignMetrics` — passive
+  progress and metrics hooks in the kernel's observer idiom,
+* :mod:`~repro.batch.sweeps` — ready-made sweeps (Fig. 4 allocations,
+  workload × backend grid),
+* :mod:`~repro.batch.runner` — the registry of executable run kinds.
+
+The correctness of the whole scheme rests on simulation determinism —
+identical configurations must produce byte-identical results in any
+process — which ``tests/test_determinism_props.py`` establishes as a
+tested invariant.
+"""
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .campaign import (
+    Campaign,
+    CampaignMetrics,
+    CampaignObserver,
+    ProgressObserver,
+    RunResult,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    default_workers,
+    resolve_start_method,
+)
+from .config import BatchError, RunConfig
+from .runner import execute_config, register_runner, runner_kinds
+from .sweeps import (
+    WORKLOAD_BACKENDS,
+    fig4_sweep_configs,
+    workload_sweep_configs,
+)
+
+__all__ = [
+    "BatchError", "Campaign", "CampaignMetrics", "CampaignObserver",
+    "DEFAULT_CACHE_DIR", "ProgressObserver", "ResultCache", "RunConfig",
+    "RunResult",
+    "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT", "WORKLOAD_BACKENDS",
+    "default_workers", "execute_config", "fig4_sweep_configs",
+    "register_runner", "resolve_start_method", "runner_kinds",
+    "workload_sweep_configs",
+]

@@ -1,0 +1,84 @@
+"""Content-addressed result cache for batch campaigns.
+
+One JSON file per cache key under a root directory, fanned out by the
+first two hex digits of the key (git-object style) so large sweeps do
+not pile thousands of files into one directory.  Writes go through a
+temporary file plus :func:`os.replace` so concurrent campaigns sharing
+a cache directory never observe a torn entry.
+
+The key (see :meth:`repro.batch.config.RunConfig.cache_key`) already
+covers the runner kind, all parameters and the library version, so a
+lookup is a plain existence check — no validation beyond JSON parsing
+is required, and a corrupt or truncated entry is treated as a miss and
+rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional
+
+#: Default cache location (relative to the working directory) used by
+#: the CLI; tests and library users pass an explicit root instead.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultCache:
+    """Directory-backed map from cache key to result payload."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the stored payload for ``key``, or None on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        payload = entry.get("payload")
+        return payload if isinstance(payload, dict) else None
+
+    def put(self, key: str, payload: dict, describe: str = "") -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "describe": describe, "payload": payload}
+        body = json.dumps(entry, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

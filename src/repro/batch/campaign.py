@@ -1,0 +1,450 @@
+"""The campaign orchestrator: fan simulation points out across workers.
+
+A :class:`Campaign` takes a list of :class:`~repro.batch.config.RunConfig`
+points and executes them either inline (``workers <= 1``) or on a pool
+of persistent worker processes connected by pipes.  The pool supports:
+
+* a configurable worker count and start method (``fork``/``spawn``;
+  tests pin ``spawn`` via ``REPRO_BATCH_START_METHOD``),
+* a per-run timeout — a worker that overruns is killed and replaced,
+* bounded retry of failed / timed-out / crashed runs,
+* a content-addressed result cache consulted before any work is
+  enqueued (see :mod:`repro.batch.cache`),
+* passive :class:`CampaignObserver` hooks, mirroring the kernel's
+  :class:`~repro.kernel.scheduler.SchedulerObserver` pattern, through
+  which progress display and metrics are layered without coupling.
+
+Results come back as structured :class:`RunResult` records in the same
+order as the input configurations, whatever order workers finished in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import multiprocessing.connection
+import os
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence, Union
+
+from .cache import ResultCache
+from .config import BatchError, RunConfig
+from .runner import execute_config
+
+#: Environment knob for the default worker start method; the test suite
+#: pins this to ``spawn`` so determinism across fresh interpreters is
+#: what gets exercised.
+START_METHOD_ENV = "REPRO_BATCH_START_METHOD"
+
+#: How often (seconds) the parent polls worker pipes / deadlines.
+_POLL_S = 0.05
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one campaign point."""
+
+    config: RunConfig
+    key: str                       # content-addressed cache key
+    status: str                    # ok | failed | timeout
+    payload: Optional[dict] = None
+    error: str = ""
+    attempts: int = 0              # executions performed (0 for cache hits)
+    wall_s: float = 0.0            # wall time of the final attempt
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+class CampaignObserver:
+    """Passive hook interface; all methods are optional no-ops.
+
+    The same shape as the kernel's ``SchedulerObserver``: metrics and
+    progress reporting subscribe without the orchestrator knowing them.
+    """
+
+    def on_campaign_start(self, total_runs: int) -> None: ...
+
+    def on_run_started(self, config: RunConfig, attempt: int) -> None: ...
+
+    def on_run_finished(self, result: RunResult) -> None: ...
+
+    def on_cache_hit(self, result: RunResult) -> None: ...
+
+    def on_retry(self, config: RunConfig, attempt: int, error: str) -> None: ...
+
+    def on_campaign_end(self, metrics: "CampaignMetrics") -> None: ...
+
+
+class CampaignMetrics(CampaignObserver):
+    """Counting observer: runs, cache hits, retries, wall time per point."""
+
+    def __init__(self) -> None:
+        self.total_runs = 0
+        self.completed = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self.run_wall_s: List[float] = []
+        self.wall_s = 0.0
+        self._started_at = 0.0
+
+    # -- observer callbacks ----------------------------------------------
+
+    def on_campaign_start(self, total_runs: int) -> None:
+        self.total_runs = total_runs
+        self._started_at = time.perf_counter()
+
+    def on_run_finished(self, result: RunResult) -> None:
+        if result.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        if not result.cached:
+            self.run_wall_s.append(result.wall_s)
+
+    def on_cache_hit(self, result: RunResult) -> None:
+        self.cache_hits += 1
+
+    def on_retry(self, config: RunConfig, attempt: int, error: str) -> None:
+        self.retries += 1
+
+    def on_campaign_end(self, metrics: "CampaignMetrics") -> None:
+        self.wall_s = time.perf_counter() - self._started_at
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def mean_run_wall_s(self) -> float:
+        if not self.run_wall_s:
+            return 0.0
+        return sum(self.run_wall_s) / len(self.run_wall_s)
+
+    def summary(self) -> str:
+        simulated = len(self.run_wall_s)
+        parts = [
+            f"{self.completed}/{self.total_runs} runs ok",
+            f"{self.cache_hits} cache hits",
+            f"{simulated} simulated",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        parts.append(f"wall {self.wall_s:.2f}s")
+        if simulated:
+            parts.append(f"mean {1e3 * self.mean_run_wall_s:.1f}ms/point")
+        return ", ".join(parts)
+
+
+class ProgressObserver(CampaignObserver):
+    """Prints one line per finished run — the CLI's progress display."""
+
+    def __init__(self, stream=None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+        self._total = 0
+        self._done = 0
+
+    def on_campaign_start(self, total_runs: int) -> None:
+        self._total = total_runs
+        self._done = 0
+
+    def on_run_finished(self, result: RunResult) -> None:
+        self._done += 1
+        width = len(str(self._total))
+        if result.cached:
+            detail = "cache"
+        elif result.ok:
+            detail = f"{1e3 * result.wall_s:.0f}ms"
+        else:
+            detail = result.status
+        retried = f" (attempt {result.attempts})" if result.attempts > 1 else ""
+        print(f"[{self._done:{width}d}/{self._total}] "
+              f"{result.config.name}: {detail}{retried}",
+              file=self.stream)
+
+    def on_retry(self, config: RunConfig, attempt: int, error: str) -> None:
+        last_line = error.strip().splitlines()[-1] if error.strip() else error
+        print(f"    retrying {config.name} after attempt {attempt}: "
+              f"{last_line}", file=self.stream)
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive (index, config, attempt), send back outcomes."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, config, attempt = message
+        started = time.perf_counter()
+        try:
+            payload = execute_config(config)
+            outcome = (index, STATUS_OK, payload,
+                       time.perf_counter() - started)
+        except BaseException:
+            outcome = (index, STATUS_FAILED, traceback.format_exc(limit=8),
+                       time.perf_counter() - started)
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(target=_worker_main,
+                                       args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[tuple] = None   # (index, config, attempt)
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def assign(self, task: tuple, timeout_s: Optional[float]) -> None:
+        self.task = task
+        self.deadline = (time.perf_counter() + timeout_s
+                         if timeout_s is not None else None)
+        self.conn.send(task)
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Polite shutdown of an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+def default_workers() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Explicit argument > ``REPRO_BATCH_START_METHOD`` > platform default."""
+    method = start_method or os.environ.get(START_METHOD_ENV)
+    if method:
+        if method not in multiprocessing.get_all_start_methods():
+            raise BatchError(f"start method {method!r} not available here")
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+class Campaign:
+    """Execute a list of run configurations with caching and fan-out."""
+
+    def __init__(self,
+                 configs: Sequence[RunConfig],
+                 workers: Optional[int] = None,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 cache: Union[ResultCache, str, os.PathLike, None] = None,
+                 start_method: Optional[str] = None,
+                 observers: Sequence[CampaignObserver] = ()) -> None:
+        self.configs = list(configs)
+        for config in self.configs:
+            if not isinstance(config, RunConfig):
+                raise BatchError(f"not a RunConfig: {config!r}")
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 0:
+            raise BatchError("workers must be >= 0")
+        self.timeout_s = timeout_s
+        if retries < 0:
+            raise BatchError("retries must be >= 0")
+        self.retries = int(retries)
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.start_method = resolve_start_method(start_method)
+        self.metrics = CampaignMetrics()
+        self._observers: List[CampaignObserver] = [self.metrics]
+        self._observers.extend(observers)
+
+    def add_observer(self, observer: CampaignObserver) -> None:
+        self._observers.append(observer)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> List[RunResult]:
+        """Run every point; results are returned in input order."""
+        for obs in self._observers:
+            obs.on_campaign_start(len(self.configs))
+
+        results: List[Optional[RunResult]] = [None] * len(self.configs)
+        pending: List[tuple] = []
+        for index, config in enumerate(self.configs):
+            key = config.cache_key()
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                result = RunResult(config, key, STATUS_OK, payload,
+                                   attempts=0, cached=True)
+                results[index] = result
+                for obs in self._observers:
+                    obs.on_cache_hit(result)
+                    obs.on_run_finished(result)
+            else:
+                pending.append((index, config, 1))
+
+        if pending:
+            if self.workers <= 1:
+                self._run_inline(pending, results)
+            else:
+                self._run_pool(pending, results)
+
+        for obs in self._observers:
+            obs.on_campaign_end(self.metrics)
+        if any(r is None for r in results):  # pragma: no cover - defensive
+            raise BatchError("campaign finished with unaccounted runs")
+        return results
+
+    # -- inline (serial) path ----------------------------------------------
+
+    def _run_inline(self, pending: List[tuple], results: List) -> None:
+        queue = list(pending)
+        while queue:
+            index, config, attempt = queue.pop(0)
+            for obs in self._observers:
+                obs.on_run_started(config, attempt)
+            started = time.perf_counter()
+            try:
+                payload = execute_config(config)
+                status, detail = STATUS_OK, payload
+            except BaseException:
+                status, detail = STATUS_FAILED, traceback.format_exc(limit=8)
+            wall = time.perf_counter() - started
+            retry = self._settle(results, index, config, attempt,
+                                 status, detail, wall)
+            if retry is not None:
+                queue.append(retry)
+
+    # -- pooled path ------------------------------------------------------
+
+    def _run_pool(self, pending: List[tuple], results: List) -> None:
+        context = multiprocessing.get_context(self.start_method)
+        queue = list(pending)
+        pool: List[_Worker] = []
+        try:
+            for _ in range(min(self.workers, len(queue))):
+                pool.append(_Worker(context))
+            outstanding = len(queue)
+            while outstanding:
+                for worker in pool:
+                    if queue and not worker.busy:
+                        task = queue.pop(0)
+                        for obs in self._observers:
+                            obs.on_run_started(task[1], task[2])
+                        worker.assign(task, self.timeout_s)
+                self._pump(pool, results, queue)
+                settled = sum(1 for r in results if r is not None)
+                outstanding = len(results) - settled
+        finally:
+            for worker in pool:
+                if worker.busy:
+                    worker.kill()
+                else:
+                    worker.stop()
+
+    def _pump(self, pool: List[_Worker], results: List,
+              queue: List[tuple]) -> None:
+        """Wait for one poll tick; collect finished runs and timeouts."""
+        busy = [w for w in pool if w.busy]
+        if not busy:
+            return
+        conns = [w.conn for w in busy]
+        ready = multiprocessing.connection.wait(conns, timeout=_POLL_S)
+        for worker in busy:
+            if worker.conn in ready:
+                index, config, attempt = worker.task
+                try:
+                    _, status, detail, wall = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._replace(pool, worker)
+                    status, detail, wall = (STATUS_FAILED,
+                                            "worker process died", 0.0)
+                else:
+                    worker.task = worker.deadline = None
+                retry = self._settle(results, index, config, attempt,
+                                     status, detail, wall)
+                if retry is not None:
+                    queue.append(retry)
+        now = time.perf_counter()
+        for worker in list(pool):
+            if worker.busy and worker.deadline is not None \
+                    and now > worker.deadline:
+                index, config, attempt = worker.task
+                self._replace(pool, worker)
+                retry = self._settle(results, index, config, attempt,
+                                     STATUS_TIMEOUT,
+                                     f"run exceeded {self.timeout_s}s",
+                                     self.timeout_s or 0.0)
+                if retry is not None:
+                    queue.append(retry)
+
+    def _replace(self, pool: List[_Worker], worker: _Worker) -> None:
+        worker.kill()
+        position = pool.index(worker)
+        pool[position] = _Worker(
+            multiprocessing.get_context(self.start_method))
+
+    # -- shared settlement --------------------------------------------------
+
+    def _settle(self, results: List, index: int, config: RunConfig,
+                attempt: int, status: str, detail, wall: float):
+        """Record one attempt's outcome; return a retry task or None."""
+        if status == STATUS_OK:
+            result = RunResult(config, config.cache_key(), STATUS_OK,
+                               detail, attempts=attempt, wall_s=wall)
+            if self.cache is not None:
+                self.cache.put(result.key, detail, describe=str(config))
+            results[index] = result
+            for obs in self._observers:
+                obs.on_run_finished(result)
+            return None
+        if attempt <= self.retries:
+            for obs in self._observers:
+                obs.on_retry(config, attempt, str(detail))
+            return (index, config, attempt + 1)
+        result = RunResult(config, config.cache_key(), status,
+                           None, error=str(detail),
+                           attempts=attempt, wall_s=wall)
+        results[index] = result
+        for obs in self._observers:
+            obs.on_run_finished(result)
+        return None

@@ -1,0 +1,112 @@
+"""Run configurations and content-addressed cache keys.
+
+A :class:`RunConfig` names one simulation point of a campaign: a
+registered runner *kind* plus its parameters (workload id, platform
+parameters, annotation mode, ...).  Configurations are immutable,
+picklable (they cross process boundaries) and hashable into a stable
+content-addressed cache key.
+
+The key covers the runner kind, the canonicalized parameters and the
+library version — *not* the display name — so that re-labelling a sweep
+point still hits the cache while any change to what is simulated (or to
+the library itself) misses it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Mapping, Tuple
+
+from .. import __version__
+from ..errors import ReproError
+
+
+class BatchError(ReproError):
+    """Raised for malformed campaign configurations."""
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize ``value`` into a JSON-stable structure.
+
+    Mappings become sorted key/value lists, tuples become lists; only
+    scalars survive as leaves so two configs that mean the same thing
+    serialize identically.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise BatchError(
+        f"config parameter {value!r} of type {type(value).__name__} is not "
+        f"cache-keyable; use scalars, lists or mappings"
+    )
+
+
+#: Tag distinguishing a frozen mapping from a frozen list of pairs.
+_MAP_TAG = "__map__"
+
+
+def _freeze(value: Any) -> Any:
+    """Immutable (hashable) mirror of :func:`_canonical`."""
+    if isinstance(value, Mapping):
+        return (_MAP_TAG,) + tuple(
+            (str(k), _freeze(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """One point of a batch campaign.
+
+    ``kind`` selects a registered runner (see :mod:`repro.batch.runner`),
+    ``name`` is a human label for progress output, and ``params`` holds
+    the runner's keyword parameters in frozen canonical form.
+    """
+
+    kind: str
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(cls, kind: str, name: str = "", **params: Any) -> "RunConfig":
+        _canonical(params)  # validate early, at construction site
+        frozen = tuple((key, _freeze(value))
+                       for key, value in sorted(params.items()))
+        return cls(kind, name or kind, frozen)
+
+    def params_dict(self) -> dict:
+        return {key: _thaw(value) for key, value in self.params}
+
+    def key_material(self) -> str:
+        """Canonical JSON string the cache key is derived from."""
+        body = {
+            "kind": self.kind,
+            "params": _canonical(self.params_dict()),
+            "version": __version__,
+        }
+        return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        """Stable content-addressed key (sha256 hex digest)."""
+        return hashlib.sha256(self.key_material().encode("utf-8")).hexdigest()
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+def _thaw(value: Any) -> Any:
+    """Undo :func:`_freeze`: tagged tuples become dicts, tuples lists."""
+    if isinstance(value, tuple):
+        if value and value[0] == _MAP_TAG:
+            return {key: _thaw(inner) for key, inner in value[1:]}
+        return [_thaw(item) for item in value]
+    return value

@@ -1,0 +1,340 @@
+"""Runner registry: the executable kinds behind batch configurations.
+
+Each campaign point names a *kind*; :func:`execute_config` looks the
+kind up here and calls it with the config's parameters, returning a
+JSON-able payload dict (it must survive the result cache and the
+worker-process boundary).  Built-in kinds:
+
+``workload``
+    One paper benchmark on one backend (``plain`` functional run,
+    ``annotated`` estimation, or the ``iss`` reference) — the
+    single-source grid the differential tests sweep.
+
+``hw-point``
+    One Fig. 4 design point: schedule the FIR segment's dataflow graph
+    under a functional-unit allocation, derive the paper's ``k`` for
+    that allocation from the segment's Tmin/Tmax bounds, and (optionally)
+    run the annotated SW estimate and a strict-timed system simulation
+    of the full filter at that design point.
+
+``topology``
+    A deterministic process/channel chain built from a plain parameter
+    spec; returns the final simulated time plus a digest of the full
+    event trace.  This is the probe the determinism test layer uses to
+    prove byte-identical behavior across worker processes — the
+    invariant the result cache relies on.
+
+``probe``
+    Campaign-infrastructure self-test: succeed, fail, sleep, or fail
+    until a marker file exists (exercises timeout and retry paths).
+
+New kinds register with the :func:`register_runner` decorator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List
+
+from .config import BatchError, RunConfig
+
+#: kind -> runner callable taking the params dict.
+_RUNNERS: Dict[str, Callable[[dict], dict]] = {}
+
+
+def register_runner(kind: str):
+    """Class-of-work decorator: ``@register_runner("my-kind")``."""
+
+    def decorate(fn: Callable[[dict], dict]):
+        if kind in _RUNNERS:
+            raise BatchError(f"runner kind {kind!r} already registered")
+        _RUNNERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def runner_kinds() -> List[str]:
+    return sorted(_RUNNERS)
+
+
+def execute_config(config: RunConfig) -> dict:
+    """Run one configuration in the current process; returns its payload."""
+    try:
+        runner = _RUNNERS[config.kind]
+    except KeyError:
+        raise BatchError(
+            f"unknown runner kind {config.kind!r}; "
+            f"registered: {', '.join(runner_kinds())}"
+        )
+    payload = runner(config.params_dict())
+    if not isinstance(payload, dict):
+        raise BatchError(
+            f"runner {config.kind!r} returned {type(payload).__name__}, "
+            f"expected a payload dict"
+        )
+    return payload
+
+
+# -- workload: one benchmark on one backend ------------------------------
+
+
+def _plain_lists(args) -> list:
+    """Post-run state of the mutable (array) arguments."""
+    return [list(a) for a in args if isinstance(a, list)]
+
+
+@register_runner("workload")
+def run_workload(params: dict) -> dict:
+    """Run one registry workload on one backend.
+
+    Parameters: ``workload`` (registry name), ``backend`` (``plain`` |
+    ``annotated`` | ``iss``).  The payload carries the functional result
+    and the post-run contents of array arguments so backends can be
+    compared point-wise.
+    """
+    from ..annotate.context import CostContext, MODE_SW, active
+    from ..annotate.types import unwrap
+    from ..platform import OPENRISC_SW_COSTS
+    from ..workloads import registry, wrap_args
+
+    name = params["workload"]
+    backend = params.get("backend", "annotated")
+    try:
+        functions, make_args = registry()[name]
+    except KeyError:
+        raise BatchError(f"unknown workload {name!r}")
+    entry = functions[0]
+    args = make_args()
+
+    if backend == "plain":
+        result = entry(*args)
+        return {"workload": name, "backend": backend,
+                "result": unwrap(result), "arrays": _plain_lists(args)}
+
+    if backend == "annotated":
+        context = CostContext(OPENRISC_SW_COSTS, MODE_SW)
+        wrapped = wrap_args(args)
+        with active(context):
+            result = entry(*wrapped)
+        t_max, t_min = context.segment_totals()
+        unwrapped = [unwrap(a) for a in wrapped]
+        return {"workload": name, "backend": backend,
+                "result": unwrap(result),
+                "arrays": [a for a in unwrapped if isinstance(a, list)],
+                "cycles_max": t_max, "cycles_min": t_min}
+
+    if backend == "iss":
+        from ..iss import run_compiled
+        measured = run_compiled(list(functions), args=args, entry=entry)
+        return {"workload": name, "backend": backend,
+                "result": measured.return_value,
+                "arrays": _plain_lists(args),
+                "cycles": measured.cycles,
+                "instructions": measured.instructions}
+
+    raise BatchError(f"unknown workload backend {backend!r}")
+
+
+# -- hw-point: one Fig. 4 design-space point -----------------------------
+
+
+def _fir_segment_args(taps: int):
+    from ..annotate.types import AArray
+    from ..workloads.fir import _lowpass_taps
+
+    x = AArray([(i * 17 + 3) % 128 - 64 for i in range(taps)])
+    h = AArray(_lowpass_taps(taps))
+    return (x, h, taps)
+
+
+@register_runner("hw-point")
+def run_hw_point(params: dict) -> dict:
+    """Evaluate one functional-unit allocation of the FIR segment.
+
+    Parameters: ``allocation`` ({fu-class: units}), ``taps`` (segment
+    size, default 12), ``evaluate_system`` (bool; also run the annotated
+    SW estimate of the full filter and a strict-timed simulation of the
+    pipeline at this design point), ``samples`` (filter length for the
+    system evaluation, default 256).
+    """
+    from .. import Simulator, wait
+    from ..annotate.context import CostContext, MODE_HW, active
+    from ..hls import Allocation, capture_dfg, list_schedule
+    from ..kernel import Clock
+    from ..platform import ASIC_HW_COSTS, HW_CLOCK_MHZ
+    from ..workloads.fir import fir_sample
+
+    allocation_map = {str(k): int(v) for k, v in params["allocation"].items()}
+    taps = int(params.get("taps", 12))
+    clock = Clock.from_frequency_mhz(float(params.get("clock_mhz",
+                                                      HW_CLOCK_MHZ)))
+
+    graph = capture_dfg(fir_sample, _fir_segment_args(taps), ASIC_HW_COSTS)
+    allocation = Allocation.of(allocation_map)
+    schedule = list_schedule(graph, allocation.as_dict())
+    latency = schedule.makespan
+
+    context = CostContext(ASIC_HW_COSTS, MODE_HW)
+    with active(context):
+        fir_sample(*_fir_segment_args(taps))
+    t_max, t_min = context.segment_totals()
+    spread = (t_max - t_min) or 1.0
+    k = min(1.0, max(0.0, (latency - t_min) / spread))
+
+    payload = {
+        "allocation": allocation_map,
+        "area": allocation.area,
+        "latency_cycles": latency,
+        "latency_ns": clock.cycles_to_time(latency).to_ns(),
+        "t_min_cycles": t_min,
+        "t_max_cycles": t_max,
+        "k": k,
+    }
+    if not params.get("evaluate_system", False):
+        return payload
+
+    # System-level view of the point: the annotated SW estimate of the
+    # full filter (what a CPU mapping would cost) ...
+    from ..platform import OPENRISC_SW_COSTS
+    from ..workloads.common import run_annotated
+    from ..workloads.fir import fir_filter, make_fir_inputs
+
+    samples = int(params.get("samples", 256))
+    _result, sw_cycles, _sw_min = run_annotated(
+        fir_filter, make_fir_inputs(samples, taps), OPENRISC_SW_COSTS)
+    payload["sw_cycles"] = sw_cycles
+
+    # ... and a strict-timed simulation of the sample pipeline with the
+    # HW segment pinned at this allocation's scheduled latency.
+    simulator = Simulator()
+    source = simulator.fifo("source", capacity=4)
+    sink = simulator.fifo("sink", capacity=4)
+    top = simulator.module("top")
+    latency_time = clock.cycles_to_time(latency)
+
+    def producer():
+        for i in range(samples):
+            yield from source.write((i * 29 + 11) % 256)
+
+    def fir_hw():
+        for _ in range(samples):
+            value = yield from source.read()
+            yield wait(latency_time)
+            yield from sink.write(value)
+
+    def consumer():
+        total = 0
+        for _ in range(samples):
+            total += yield from sink.read()
+
+    top.add_process(producer, name="producer")
+    top.add_process(fir_hw, name="fir")
+    top.add_process(consumer, name="consumer")
+    final = simulator.run()
+    payload["system_end_ns"] = final.to_ns()
+    payload["system_end_fs"] = final.femtoseconds
+    return payload
+
+
+# -- topology: deterministic chain for the determinism test layer --------
+
+
+@register_runner("topology")
+def run_topology(params: dict) -> dict:
+    """Build and run a producer/transform/consumer fifo chain.
+
+    Parameters: ``stages`` (number of transform processes), ``messages``,
+    ``capacities`` (per-fifo, cycled), ``waits_ns`` (per-stage delay per
+    message, cycled; 0 means no wait), ``seed`` (payload values).
+    Returns the final simulated time and a sha256 digest over the full
+    event trace — byte-identical traces are the determinism criterion.
+    """
+    from .. import SimTime, Simulator, wait
+    from ..workloads.common import lcg_stream
+
+    stages = int(params.get("stages", 1))
+    messages = int(params.get("messages", 4))
+    capacities = [int(c) for c in params.get("capacities", [1])] or [1]
+    waits_ns = [int(w) for w in params.get("waits_ns", [0])] or [0]
+    seed = int(params.get("seed", 1))
+    if stages < 0 or messages <= 0:
+        raise BatchError("topology needs stages >= 0 and messages > 0")
+
+    simulator = Simulator(trace=True)
+    fifos = [simulator.fifo(f"ch{i}",
+                            capacity=capacities[i % len(capacities)])
+             for i in range(stages + 1)]
+    top = simulator.module("top")
+    values = lcg_stream(seed, messages, 1 << 16)
+
+    def producer():
+        for value in values:
+            yield from fifos[0].write(value)
+
+    def transform(index):
+        delay_ns = waits_ns[index % len(waits_ns)]
+
+        def body():
+            for _ in range(messages):
+                value = yield from fifos[index].read()
+                if delay_ns:
+                    yield wait(SimTime.ns(delay_ns))
+                yield from fifos[index + 1].write((value * 3 + index) & 0xFFFF)
+
+        return body
+
+    def consumer():
+        checksum = 0
+        for _ in range(messages):
+            value = yield from fifos[stages].read()
+            checksum = (checksum * 31 + value) & 0xFFFFFFFF
+        results["checksum"] = checksum
+
+    results: dict = {}
+    top.add_process(producer, name="producer")
+    for index in range(stages):
+        top.add_process(transform(index), name=f"stage{index}")
+    top.add_process(consumer, name="consumer")
+    final = simulator.run()
+    simulator.assert_quiescent()
+
+    trace_text = "\n".join(str(r) for r in simulator.trace.records)
+    return {
+        "final_fs": final.femtoseconds,
+        "checksum": results["checksum"],
+        "records": len(simulator.trace.records),
+        "trace_sha256": hashlib.sha256(trace_text.encode("ascii")).hexdigest(),
+    }
+
+
+# -- probe: infrastructure self-test kinds -------------------------------
+
+
+@register_runner("probe")
+def run_probe(params: dict) -> dict:
+    """Deterministic success/failure/sleep probe for the campaign pool.
+
+    Parameters: ``behavior`` = ``ok`` | ``fail`` | ``sleep`` |
+    ``fail-until-marker`` (+ ``marker`` path, ``seconds`` for sleep,
+    ``value`` echoed back).
+    """
+    import os
+    import time
+
+    behavior = params.get("behavior", "ok")
+    if behavior == "ok":
+        return {"value": params.get("value", 0), "pid": os.getpid()}
+    if behavior == "sleep":
+        time.sleep(float(params.get("seconds", 1.0)))
+        return {"value": params.get("value", 0), "pid": os.getpid()}
+    if behavior == "fail":
+        raise RuntimeError("probe asked to fail")
+    if behavior == "fail-until-marker":
+        marker = params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="ascii") as handle:
+                handle.write("attempted\n")
+            raise RuntimeError("probe failing on first attempt")
+        return {"value": params.get("value", 0), "pid": os.getpid()}
+    raise BatchError(f"unknown probe behavior {behavior!r}")

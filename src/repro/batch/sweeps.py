@@ -1,0 +1,67 @@
+"""Pre-built campaign sweeps over the paper's design spaces.
+
+These helpers turn a design space into the flat list of
+:class:`~repro.batch.config.RunConfig` points a :class:`Campaign`
+fans out — the Fig. 4 functional-unit allocation sweep and the
+workload × backend grid behind the single-source claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence
+
+from .config import RunConfig
+
+#: Backends of the single-source grid (Table 1's three views of a kernel).
+WORKLOAD_BACKENDS = ("plain", "annotated", "iss")
+
+
+def fig4_sweep_configs(max_units_per_class: int = 3,
+                       taps: int = 12,
+                       evaluate_system: bool = False,
+                       samples: int = 256) -> List[RunConfig]:
+    """One ``hw-point`` config per functional-unit allocation.
+
+    Mirrors :func:`repro.hls.explore_design_space`: every combination of
+    1..``max_units_per_class`` units for each FU class the FIR segment
+    uses.  With ``evaluate_system`` the points also carry the annotated
+    SW estimate and a strict-timed pipeline simulation (the CLI's
+    system-level sweep); without it they reduce to the schedule-only
+    points the Fig. 4 benchmark plots.
+    """
+    from ..annotate.types import AArray
+    from ..hls import capture_dfg, required_classes
+    from ..platform import ASIC_HW_COSTS
+    from ..workloads.fir import _lowpass_taps, fir_sample
+
+    x = AArray([(i * 17 + 3) % 128 - 64 for i in range(taps)])
+    h = AArray(_lowpass_taps(taps))
+    graph = capture_dfg(fir_sample, (x, h, taps), ASIC_HW_COSTS)
+    classes = required_classes(graph)
+
+    configs = []
+    ranges = [range(1, max_units_per_class + 1)] * len(classes)
+    for combo in itertools.product(*ranges):
+        allocation = dict(zip(classes, combo))
+        label = ",".join(f"{count}x{fu}"
+                         for fu, count in sorted(allocation.items()))
+        configs.append(RunConfig.of(
+            "hw-point", name=f"fir[{label}]",
+            allocation=allocation, taps=taps,
+            evaluate_system=evaluate_system, samples=samples))
+    return configs
+
+
+def workload_sweep_configs(
+        workloads: Optional[Sequence[str]] = None,
+        backends: Sequence[str] = WORKLOAD_BACKENDS) -> List[RunConfig]:
+    """The workload × backend grid as ``workload`` configs."""
+    from ..workloads import registry
+
+    names = list(workloads) if workloads else sorted(registry())
+    return [
+        RunConfig.of("workload", name=f"{name}/{backend}",
+                     workload=name, backend=backend)
+        for name in names for backend in backends
+    ]

@@ -22,36 +22,9 @@ from . import __version__
 
 #: name -> (functions tuple (entry first), argument builder)
 def _workload_registry() -> Dict[str, Tuple[tuple, Callable[[], tuple]]]:
-    from .workloads.array_ops import array_ops, make_array_inputs
-    from .workloads.compressor import compress, make_compress_inputs
-    from .workloads.euler import euler_oscillator
-    from .workloads.extended import (
-        crc32_bitwise, dct_2d, make_crc_inputs, make_dct_inputs,
-        make_matmul_inputs, matmul,
-    )
-    from .workloads.fibonacci import (
-        fib_benchmark, fib_iterative, fib_recursive,
-    )
-    from .workloads.fir import fir_filter, make_fir_inputs
-    from .workloads.sorting import (
-        bubble_sort, make_sort_inputs, quick_partition, quick_sort,
-        quick_sort_checked,
-    )
+    from .workloads import registry
 
-    return {
-        "fir": ((fir_filter,), lambda: make_fir_inputs(256, 16)),
-        "compress": ((compress,), lambda: make_compress_inputs(1024)),
-        "quicksort": ((quick_sort_checked, quick_sort, quick_partition),
-                      lambda: (make_sort_inputs(256)[0], 256)),
-        "bubble": ((bubble_sort,), lambda: make_sort_inputs(96, seed=3)),
-        "fibonacci": ((fib_benchmark, fib_recursive, fib_iterative),
-                      lambda: (17,)),
-        "array": ((array_ops,), lambda: make_array_inputs(512)),
-        "euler": ((euler_oscillator,), lambda: (64, 4)),
-        "dct": ((dct_2d,), make_dct_inputs),
-        "crc32": ((crc32_bitwise,), lambda: make_crc_inputs(512)),
-        "matmul": ((matmul,), lambda: make_matmul_inputs(12)),
-    }
+    return registry()
 
 
 def _cmd_info(_args) -> int:
@@ -137,6 +110,88 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _cmd_batch(args) -> int:
+    from .batch import (
+        Campaign,
+        ProgressObserver,
+        ResultCache,
+        fig4_sweep_configs,
+        workload_sweep_configs,
+    )
+
+    if args.sweep == "fig4":
+        configs = fig4_sweep_configs(max_units_per_class=args.max_units,
+                                     taps=args.taps,
+                                     evaluate_system=not args.schedule_only,
+                                     samples=args.samples)
+    else:
+        workloads = args.workload or None
+        configs = workload_sweep_configs(workloads=workloads)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cleared {removed} cache entries from {cache.root}")
+
+    observers = [] if args.quiet else [ProgressObserver()]
+    workers = 0 if args.serial else args.workers
+    campaign = Campaign(configs, workers=workers, timeout_s=args.timeout,
+                        retries=args.retries, cache=cache,
+                        start_method=args.start_method or None,
+                        observers=observers)
+    mode = "serial (in-process)" if workers <= 1 else \
+        f"{workers} workers ({campaign.start_method})"
+    print(f"campaign: {len(configs)} points, {mode}, "
+          f"cache {'off' if cache is None else cache.root}")
+    results = campaign.run()
+
+    print()
+    if args.sweep == "fig4":
+        rows = []
+        for r in sorted((r for r in results if r.ok),
+                        key=lambda r: (r.payload["area"],
+                                       r.payload["latency_cycles"])):
+            p = r.payload
+            cells = [r.config.name, f"{p['area']:.0f}",
+                     str(p["latency_cycles"]), f"{p['latency_ns']:.0f}",
+                     f"{p['k']:.2f}"]
+            if "system_end_ns" in p:
+                cells.append(f"{p['system_end_ns'] / 1e3:.2f}")
+            rows.append(cells)
+        headers = ["design point", "area", "cycles", "time (ns)", "k"]
+        if rows and len(rows[0]) == 6:
+            headers.append("system end (us)")
+        print(_format_rows("Fig. 4 design-space sweep", headers, rows))
+    else:
+        rows = [[r.config.name,
+                 str(r.payload.get("result")),
+                 str(r.payload.get("cycles", r.payload.get("cycles_max", "")))]
+                for r in results if r.ok]
+        print(_format_rows("workload x backend sweep",
+                           ["point", "result", "cycles"], rows))
+
+    failed = [r for r in results if not r.ok]
+    for r in failed:
+        print(f"FAILED {r.config}: {r.status} after {r.attempts} attempts")
+    print(f"\n{campaign.metrics.summary()}")
+    return 1 if failed else 0
+
+
+def _format_rows(title, headers, rows) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w)
+                         for c, w in zip(cells, widths)).rstrip()
+    lines = [title, fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
 def _cmd_graph(_args) -> int:
     from . import SimTime, Simulator, wait
     from .segments import SegmentTracker
@@ -207,6 +262,44 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("graph",
                    help="dump the Fig. 2 process graph as GraphViz"
                    ).set_defaults(fn=_cmd_graph)
+
+    batch_parser = sub.add_parser(
+        "batch",
+        help="run a design-space sweep on the parallel campaign runner")
+    batch_parser.add_argument("--sweep", choices=("fig4", "workloads"),
+                              default="fig4",
+                              help="which prebuilt sweep to run")
+    batch_parser.add_argument("--workers", type=int, default=None,
+                              help="worker processes (default: up to 4)")
+    batch_parser.add_argument("--serial", action="store_true",
+                              help="run in-process, no worker pool")
+    batch_parser.add_argument("--timeout", type=float, default=None,
+                              help="per-run timeout in seconds")
+    batch_parser.add_argument("--retries", type=int, default=1,
+                              help="retry attempts per failed run")
+    batch_parser.add_argument("--cache-dir", default=".repro-cache",
+                              help="result cache directory")
+    batch_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the result cache")
+    batch_parser.add_argument("--clear-cache", action="store_true",
+                              help="empty the cache before running")
+    batch_parser.add_argument("--start-method",
+                              choices=("fork", "spawn"), default="",
+                              help="worker start method (default: platform)")
+    batch_parser.add_argument("--quiet", action="store_true",
+                              help="suppress per-run progress lines")
+    batch_parser.add_argument("--max-units", type=int, default=3,
+                              help="fig4: max units per FU class")
+    batch_parser.add_argument("--taps", type=int, default=12,
+                              help="fig4: FIR segment taps")
+    batch_parser.add_argument("--samples", type=int, default=256,
+                              help="fig4: samples for the system evaluation")
+    batch_parser.add_argument("--schedule-only", action="store_true",
+                              help="fig4: skip the system-level evaluation")
+    batch_parser.add_argument("--workload", action="append", default=[],
+                              help="workloads sweep: restrict to this "
+                                   "workload (repeatable)")
+    batch_parser.set_defaults(fn=_cmd_batch)
     return parser
 
 

@@ -34,7 +34,32 @@ from .sorting import (
     quick_sort_checked,
 )
 
+
+def registry():
+    """name -> (functions tuple (entry first), argument builder).
+
+    The canonical benchmark inventory shared by the CLI, the batch
+    subsystem and the differential tests: every entry runs single-source
+    on all three backends (plain, annotated, ISS-compiled).
+    """
+    return {
+        "fir": ((fir_filter,), lambda: make_fir_inputs(256, 16)),
+        "compress": ((compress,), lambda: make_compress_inputs(1024)),
+        "quicksort": ((quick_sort_checked, quick_sort, quick_partition),
+                      lambda: (make_sort_inputs(256)[0], 256)),
+        "bubble": ((bubble_sort,), lambda: make_sort_inputs(96, seed=3)),
+        "fibonacci": ((fib_benchmark, fib_recursive, fib_iterative),
+                      lambda: (17,)),
+        "array": ((array_ops,), lambda: make_array_inputs(512)),
+        "euler": ((euler_oscillator,), lambda: (64, 4)),
+        "dct": ((dct_2d,), make_dct_inputs),
+        "crc32": ((crc32_bitwise,), lambda: make_crc_inputs(512)),
+        "matmul": ((matmul,), lambda: make_matmul_inputs(12)),
+    }
+
+
 __all__ = [
+    "registry",
     "array_ops", "make_array_inputs",
     "biquad_filter", "biquad_section", "lowpass_coefficients",
     "make_biquad_inputs",

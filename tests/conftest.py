@@ -1,11 +1,44 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The suite is written to run under ``pytest -n auto`` (pytest-xdist):
+
+* batch-campaign worker processes are pinned to the ``spawn`` start
+  method (``REPRO_BATCH_START_METHOD``) so every worker is a fresh
+  interpreter — no state accidentally inherited from a fork of an
+  xdist worker, and the determinism-across-processes property is what
+  actually gets exercised;
+* anything that writes outside pytest's managed ``tmp_path`` goes
+  through :func:`worker_tmp_path`, which namespaces a private directory
+  per xdist worker (``PYTEST_XDIST_WORKER``) so parallel test processes
+  never share scratch state.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.calibration import calibrate, default_microbenchmarks
 from repro.platform import OPENRISC_SW_COSTS
+
+
+def pytest_configure(config):
+    # Pin batch-campaign workers to spawn for the whole test session
+    # (tests may still override per-campaign with start_method=...).
+    os.environ.setdefault("REPRO_BATCH_START_METHOD", "spawn")
+
+
+@pytest.fixture
+def worker_tmp_path(tmp_path_factory):
+    """A scratch directory namespaced per xdist worker.
+
+    ``tmp_path`` is already unique per test; this fixture is for state
+    that outlives one test (caches, marker files) while staying
+    isolated between ``pytest -n auto`` worker processes.
+    """
+    worker = os.environ.get("PYTEST_XDIST_WORKER", "master")
+    return tmp_path_factory.mktemp(f"repro-{worker}-", numbered=True)
 
 
 @pytest.fixture(scope="session")

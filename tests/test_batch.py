@@ -1,0 +1,249 @@
+"""Batch subsystem: configs, cache, campaign orchestration, worker pool.
+
+Pool tests run under the ``spawn`` start method (pinned session-wide in
+``conftest.py``) so every worker is a fresh interpreter — the same
+regime the determinism property suite certifies.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.batch import (
+    BatchError,
+    Campaign,
+    CampaignObserver,
+    ResultCache,
+    RunConfig,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    execute_config,
+    fig4_sweep_configs,
+    runner_kinds,
+    workload_sweep_configs,
+)
+
+TOPOLOGY = dict(stages=2, messages=4, capacities=[1, 2], waits_ns=[0, 3],
+                seed=7)
+
+
+# -- RunConfig / cache keys ----------------------------------------------
+
+
+def test_cache_key_ignores_label_and_kwarg_order():
+    a = RunConfig.of("topology", "first", **TOPOLOGY)
+    b = RunConfig.of("topology", "second",
+                     **dict(reversed(list(TOPOLOGY.items()))))
+    assert a.cache_key() == b.cache_key()
+
+
+def test_cache_key_separates_params_and_kinds():
+    base = RunConfig.of("topology", **TOPOLOGY)
+    changed = dict(TOPOLOGY, messages=5)
+    assert base.cache_key() != RunConfig.of("topology", **changed).cache_key()
+    assert base.cache_key() != RunConfig.of("probe", **TOPOLOGY).cache_key()
+
+
+def test_params_round_trip_through_freezing():
+    config = RunConfig.of("hw-point", allocation={"alu": 2, "mem": 1},
+                          taps=12, evaluate_system=False)
+    params = config.params_dict()
+    assert params["allocation"] == {"alu": 2, "mem": 1}
+    assert params["taps"] == 12
+    assert params["evaluate_system"] is False
+
+
+def test_unkeyable_param_rejected():
+    with pytest.raises(BatchError):
+        RunConfig.of("probe", fn=object())
+
+
+def test_builtin_runner_kinds_registered():
+    kinds = runner_kinds()
+    for kind in ("workload", "hw-point", "topology", "probe"):
+        assert kind in kinds
+    with pytest.raises(BatchError):
+        execute_config(RunConfig.of("no-such-kind"))
+
+
+# -- ResultCache ----------------------------------------------------------
+
+
+def test_cache_round_trip_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get("ab" * 32) is None
+    cache.put("ab" * 32, {"x": 1}, describe="t")
+    assert cache.get("ab" * 32) == {"x": 1}
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get("ab" * 32) is None
+
+
+def test_cache_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    cache.put(key, {"x": 2})
+    cache.path_for(key).write_text("{ truncated", encoding="utf-8")
+    assert cache.get(key) is None
+
+
+# -- inline campaigns ------------------------------------------------------
+
+
+def test_inline_campaign_matches_direct_execution(tmp_path):
+    configs = fig4_sweep_configs(max_units_per_class=2)
+    campaign = Campaign(configs, workers=0, cache=tmp_path / "c")
+    results = campaign.run()
+    assert [r.config for r in results] == configs
+    assert all(r.ok and not r.cached and r.attempts == 1 for r in results)
+    direct = execute_config(configs[0])
+    assert results[0].payload == direct
+
+
+def test_second_campaign_is_pure_cache_hits(tmp_path):
+    configs = fig4_sweep_configs(max_units_per_class=2)
+    first = Campaign(configs, workers=0, cache=tmp_path / "c").run()
+    rerun = Campaign(configs, workers=0, cache=tmp_path / "c")
+    second = rerun.run()
+    assert rerun.metrics.cache_hits == len(configs)
+    assert all(r.cached and r.attempts == 0 for r in second)
+    assert [r.payload for r in first] == [r.payload for r in second]
+
+
+def test_retry_recovers_from_transient_failure(worker_tmp_path):
+    marker = worker_tmp_path / "marker"
+    config = RunConfig.of("probe", "flaky", behavior="fail-until-marker",
+                          marker=str(marker))
+    campaign = Campaign([config], workers=0, cache=None, retries=2)
+    result = campaign.run()[0]
+    assert result.status == STATUS_OK
+    assert result.attempts == 2
+    assert campaign.metrics.retries == 1
+
+
+def test_failure_reported_after_retries_exhausted():
+    config = RunConfig.of("probe", "broken", behavior="fail")
+    campaign = Campaign([config], workers=0, cache=None, retries=1)
+    result = campaign.run()[0]
+    assert result.status == STATUS_FAILED
+    assert result.attempts == 2
+    assert "probe asked to fail" in result.error
+    assert result.payload is None
+    assert campaign.metrics.failed == 1
+
+
+def test_failed_runs_are_not_cached(tmp_path):
+    config = RunConfig.of("probe", "broken", behavior="fail")
+    cache = ResultCache(tmp_path)
+    Campaign([config], workers=0, cache=cache, retries=0).run()
+    assert len(cache) == 0
+
+
+def test_observer_receives_lifecycle_events(tmp_path):
+    events = []
+
+    class Recorder(CampaignObserver):
+        def on_campaign_start(self, total):
+            events.append(("start", total))
+
+        def on_run_started(self, config, attempt):
+            events.append(("run", config.name, attempt))
+
+        def on_run_finished(self, result):
+            events.append(("done", result.config.name, result.cached))
+
+        def on_cache_hit(self, result):
+            events.append(("hit", result.config.name))
+
+        def on_campaign_end(self, metrics):
+            events.append(("end", metrics.completed))
+
+    config = RunConfig.of("probe", "p", behavior="ok", value=3)
+    Campaign([config], workers=0, cache=tmp_path,
+             observers=[Recorder()]).run()
+    assert events == [("start", 1), ("run", "p", 1), ("done", "p", False),
+                      ("end", 1)]
+    events.clear()
+    Campaign([config], workers=0, cache=tmp_path,
+             observers=[Recorder()]).run()
+    assert events == [("start", 1), ("hit", "p"), ("done", "p", True),
+                      ("end", 1)]
+
+
+# -- pooled campaigns (spawn workers) -------------------------------------
+
+
+def test_pool_results_match_inline(tmp_path):
+    configs = [
+        RunConfig.of("topology", f"t{seed}", **dict(TOPOLOGY, seed=seed))
+        for seed in range(5)
+    ]
+    inline = [r.payload for r in Campaign(configs, workers=0,
+                                          cache=None).run()]
+    pooled = Campaign(configs, workers=2, cache=tmp_path)
+    results = pooled.run()
+    assert pooled.start_method == "spawn"
+    assert [r.payload for r in results] == inline
+    assert all(r.ok for r in results)
+
+
+def test_pool_worker_crash_is_retried_and_isolated(worker_tmp_path):
+    marker = worker_tmp_path / "crash-marker"
+    configs = [
+        RunConfig.of("probe", "ok-1", behavior="ok", value=1),
+        RunConfig.of("probe", "flaky", behavior="fail-until-marker",
+                     marker=str(marker)),
+        RunConfig.of("probe", "ok-2", behavior="ok", value=2),
+    ]
+    campaign = Campaign(configs, workers=2, cache=None, retries=2)
+    results = campaign.run()
+    assert [r.status for r in results] == [STATUS_OK] * 3
+    assert results[1].attempts == 2
+
+
+def test_pool_timeout_kills_and_reports():
+    configs = [RunConfig.of("probe", "hang", behavior="sleep", seconds=60)]
+    campaign = Campaign(configs, workers=2, cache=None, retries=0,
+                        timeout_s=3.0)
+    started = time.perf_counter()
+    result = campaign.run()[0]
+    elapsed = time.perf_counter() - started
+    assert result.status == STATUS_TIMEOUT
+    assert elapsed < 30.0
+
+
+def test_pool_overlaps_sleeping_runs():
+    """Four concurrent workers drain sleep-bound points ~in parallel.
+
+    Sleeping probes measure orchestration concurrency without needing
+    multiple CPUs, so this holds on single-core CI too.
+    """
+    naps = 8
+    per_nap_s = 0.5
+    configs = [RunConfig.of("probe", f"nap{i}", behavior="sleep",
+                            seconds=per_nap_s, value=i)
+               for i in range(naps)]
+    campaign = Campaign(configs, workers=4, cache=None, retries=0)
+    started = time.perf_counter()
+    results = campaign.run()
+    elapsed = time.perf_counter() - started
+    assert all(r.ok for r in results)
+    serial_floor = naps * per_nap_s
+    assert elapsed < 0.75 * serial_floor, (
+        f"pool took {elapsed:.2f}s vs {serial_floor:.2f}s serial floor"
+    )
+    # Distinct worker processes actually participated.
+    pids = {r.payload["pid"] for r in results}
+    assert len(pids) > 1
+    assert os.getpid() not in pids
+
+
+def test_workload_sweep_config_grid():
+    configs = workload_sweep_configs(workloads=["fir", "euler"])
+    assert [c.params_dict()["backend"] for c in configs] == \
+        ["plain", "annotated", "iss"] * 2
+    assert len({c.cache_key() for c in configs}) == len(configs)

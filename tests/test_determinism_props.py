@@ -1,0 +1,122 @@
+"""Determinism property suite (hypothesis).
+
+The batch result cache is only sound if simulation is a pure function
+of its configuration: two runs with identical inputs must produce
+byte-identical event traces and final times — in the same process and
+in a freshly spawned worker.  These properties establish exactly that
+invariant over randomized process/channel topologies; the paper's §6
+makes the same observation in reverse (diverging runs expose a
+non-deterministic specification).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import SimTime, Simulator, wait
+from repro.batch import Campaign, RunConfig, execute_config
+
+#: Random-but-valid fifo-chain topology specs (always terminating:
+#: every stage moves exactly ``messages`` items downstream).
+topologies = st.fixed_dictionaries({
+    "stages": st.integers(min_value=0, max_value=3),
+    "messages": st.integers(min_value=1, max_value=8),
+    "capacities": st.lists(st.integers(min_value=1, max_value=4),
+                           min_size=1, max_size=4),
+    "waits_ns": st.lists(st.integers(min_value=0, max_value=5),
+                         min_size=1, max_size=4),
+    "seed": st.integers(min_value=0, max_value=2**32 - 1),
+})
+
+
+def _trace_digest(simulator: Simulator) -> str:
+    text = "\n".join(str(record) for record in simulator.trace.records)
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+def _run_mixed_design(spec: dict):
+    """Build and run a two-process design with fifo + signal + waits."""
+    simulator = Simulator(trace=True)
+    fifo = simulator.fifo("link", capacity=spec["capacity"])
+    sign = simulator.signal("flag", initial=0)
+    top = simulator.module("top")
+    waits = spec["waits_ns"]
+    count = spec["count"]
+
+    def producer():
+        for i in range(count):
+            yield from fifo.write(i * spec["seed"] % 97)
+            if waits:
+                yield wait(SimTime.ns(waits[i % len(waits)]))
+            yield from sign.write(i)
+
+    def consumer():
+        total = 0
+        for i in range(count):
+            value = yield from fifo.read()
+            total += value + sign.value
+            if waits:
+                yield wait(SimTime.ns(waits[(i * 3 + 1) % len(waits)]))
+
+    top.add_process(producer, name="producer")
+    top.add_process(consumer, name="consumer")
+    final = simulator.run()
+    return final.femtoseconds, _trace_digest(simulator)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=topologies)
+def test_topology_reruns_are_byte_identical(spec):
+    """Property 1: same inputs, same process => identical trace + time."""
+    config = RunConfig.of("topology", "prop", **spec)
+    first = execute_config(config)
+    second = execute_config(config)
+    assert first == second
+    assert first["trace_sha256"] == second["trace_sha256"]
+    assert first["final_fs"] == second["final_fs"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=st.fixed_dictionaries({
+    "capacity": st.integers(min_value=1, max_value=3),
+    "count": st.integers(min_value=1, max_value=10),
+    "waits_ns": st.lists(st.integers(min_value=0, max_value=7), max_size=3),
+    "seed": st.integers(min_value=1, max_value=1000),
+}))
+def test_mixed_channel_design_is_deterministic(spec):
+    """Property 2: fifo + signal + timed waits replay identically."""
+    assert _run_mixed_design(spec) == _run_mixed_design(spec)
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=topologies)
+def test_spawned_worker_reproduces_in_process_run(spec):
+    """Property 3: a fresh spawned interpreter yields the same bytes.
+
+    This is the exact invariant the cross-process batch cache relies
+    on: a payload computed by any worker equals the in-process result.
+    """
+    config = RunConfig.of("topology", "spawned", **spec)
+    local = execute_config(config)
+    campaign = Campaign([config], workers=2, cache=None, retries=0,
+                        start_method="spawn")
+    remote = campaign.run()[0]
+    assert remote.ok
+    assert remote.payload == local
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=topologies, other=topologies)
+def test_cache_keys_are_stable_and_injective_on_params(spec, other):
+    """Property 4: key is a pure function of (kind, params, version)."""
+    config = RunConfig.of("topology", "a", **spec)
+    relabeled = RunConfig.of("topology", "b", **spec)
+    assert config.cache_key() == relabeled.cache_key()
+    twin = RunConfig.of("topology", "c", **other)
+    if spec == other:
+        assert config.cache_key() == twin.cache_key()
+    else:
+        assert config.cache_key() != twin.cache_key()

@@ -1,0 +1,62 @@
+"""Differential backend tests over the full workload registry.
+
+The paper's single-source claim: one specification runs unchanged as a
+plain functional model, under annotated types (estimation), and through
+the ISS compiler (reference measurement), and all three agree on the
+functional results.  The original suite spot-checked this on reduced
+inputs; here every registry workload is swept at its canonical size on
+all three backends — the same ``workload`` runner the batch campaigns
+fan out — and compared point-wise, including the post-run contents of
+in-place-mutated arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch import RunConfig, WORKLOAD_BACKENDS, execute_config
+from repro.workloads import registry
+
+WORKLOADS = sorted(registry())
+
+
+def _payloads(workload: str) -> dict:
+    return {
+        backend: execute_config(
+            RunConfig.of("workload", f"{workload}/{backend}",
+                         workload=workload, backend=backend))
+        for backend in WORKLOAD_BACKENDS
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_backends_agree_functionally(workload):
+    payloads = _payloads(workload)
+    plain, annotated, iss = (payloads[b] for b in WORKLOAD_BACKENDS)
+
+    assert plain["result"] == annotated["result"], \
+        f"{workload}: annotated result diverges from plain run"
+    assert plain["result"] == iss["result"], \
+        f"{workload}: ISS result diverges from plain run"
+
+    # In-place algorithms (sorting, compress buffers, ...) must leave
+    # identical array contents behind on every backend.
+    assert plain["arrays"] == annotated["arrays"], \
+        f"{workload}: annotated run mutated arrays differently"
+    assert plain["arrays"] == iss["arrays"], \
+        f"{workload}: ISS run mutated arrays differently"
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_annotation_yields_positive_estimates(workload):
+    annotated = execute_config(
+        RunConfig.of("workload", workload=workload, backend="annotated"))
+    assert annotated["cycles_max"] > 0
+    assert 0 < annotated["cycles_min"] <= annotated["cycles_max"]
+
+
+def test_registry_covers_the_paper_benchmarks():
+    # Table 1's six sequential benchmarks must stay in the grid.
+    for name in ("fir", "compress", "quicksort", "bubble", "fibonacci",
+                 "array"):
+        assert name in WORKLOADS
