@@ -1,0 +1,66 @@
+"""repro.analysis — the model linter ("repro lint").
+
+Static enforcement of the paper's §2 methodological contract: processes
+interact only through predefined channels and timed waits, every
+operation in an annotated kernel is cost-charged, and the static
+segment graph matches what the simulation actually executed.
+
+Grown out of :mod:`repro.segments.static`; see ``docs/analysis.md`` for
+the rule catalog.
+"""
+
+from .diagnostics import (
+    AnalysisResult,
+    Diagnostic,
+    RULES,
+    Rule,
+    Severity,
+    apply_suppressions,
+    register_rule,
+    render_json,
+    render_text,
+    rule_catalog,
+    suppressions_in,
+)
+from .engine import (
+    analyze_file,
+    analyze_process,
+    analyze_source,
+    attach_parents,
+    lint_paths,
+)
+from .graphdiff import (
+    GraphDiff,
+    StaticSegmentGraph,
+    build_static_graph,
+    diff_graphs,
+    diff_process,
+)
+from .passes import PASSES, find_kernels, find_process_bodies
+
+__all__ = [
+    "AnalysisResult",
+    "Diagnostic",
+    "GraphDiff",
+    "PASSES",
+    "RULES",
+    "Rule",
+    "Severity",
+    "StaticSegmentGraph",
+    "analyze_file",
+    "analyze_process",
+    "analyze_source",
+    "apply_suppressions",
+    "attach_parents",
+    "build_static_graph",
+    "diff_graphs",
+    "diff_process",
+    "find_kernels",
+    "find_process_bodies",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_catalog",
+    "suppressions_in",
+]

@@ -1,0 +1,229 @@
+"""Diagnostics framework for the model linter.
+
+The analysis passes (:mod:`repro.analysis.passes`) express their
+findings as :class:`Diagnostic` objects attached to a registered
+:class:`Rule`.  Rules carry stable codes (``RPR001`` …) so suppression
+comments and CI gates survive message rewording; the catalog lives in
+``docs/analysis.md``.
+
+Suppression follows the methodology contract rather than silencing it:
+``# repro: noqa[RPR103]`` on the offending line hides the diagnostic
+but the JSON report still records it (with the author's reason, when
+one is given after ``--``), so "suppressed-with-reason" stays
+auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One registered lint rule with a stable public code."""
+
+    code: str          # "RPR101"
+    name: str          # "untimed-wait" (kebab-case slug)
+    severity: Severity
+    summary: str       # one-line description for `repro lint --rules`
+
+    def describe(self) -> str:
+        return f"{self.code} {self.name} [{self.severity}]: {self.summary}"
+
+
+#: code -> Rule.  Populated at import time by :func:`register_rule`.
+RULES: Dict[str, Rule] = {}
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+def register_rule(code: str, name: str, severity: Severity,
+                  summary: str) -> Rule:
+    """Register a rule under a stable code; duplicate codes are a bug."""
+    if not _CODE_RE.match(code):
+        raise ValueError(f"rule code must look like RPR123, got {code!r}")
+    if code in RULES:
+        raise ValueError(f"duplicate rule code {code}")
+    rule = Rule(code, name, severity, summary)
+    RULES[code] = rule
+    return rule
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violated at a source span."""
+
+    rule: Rule
+    message: str
+    path: str = "<string>"
+    line: int = 0            # 1-based; 0 = whole file
+    col: int = 0             # 0-based, as in ast
+    source: str = ""         # the offending source line, stripped
+    #: populated when a noqa comment hid this diagnostic
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    @property
+    def code(self) -> str:
+        return self.rule.code
+
+    @property
+    def severity(self) -> Severity:
+        return self.rule.severity
+
+    def describe(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col + 1}"
+        text = f"{location}: {self.code} [{self.severity}] {self.message}"
+        if self.suppressed:
+            reason = self.suppress_reason or "no reason given"
+            text += f"  (suppressed: {reason})"
+        return text
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "rule": self.rule.name,
+            "severity": str(self.severity),
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "source": self.source,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+#: ``# repro: noqa[RPR101]`` / ``# repro: noqa[RPR101,RPR103] -- reason``
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<codes>[A-Z0-9,\s]+)\]"
+    r"(?:\s*(?:--|:)\s*(?P<reason>.*\S))?"
+)
+
+
+def suppressions_in(source_lines: Sequence[str]) -> Dict[int, Tuple[frozenset, str]]:
+    """Map 1-based line number -> (codes, reason) for noqa comments."""
+    found: Dict[int, Tuple[frozenset, str]] = {}
+    for index, text in enumerate(source_lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        found[index] = (codes, (match.group("reason") or "").strip())
+    return found
+
+
+def apply_suppressions(diagnostics: Iterable[Diagnostic],
+                       source_lines: Sequence[str]) -> List[Diagnostic]:
+    """Mark diagnostics hidden by a same-line noqa comment as suppressed."""
+    noqa = suppressions_in(source_lines)
+    out: List[Diagnostic] = []
+    for diag in diagnostics:
+        entry = noqa.get(diag.line)
+        if entry is not None and diag.code in entry[0]:
+            diag = dataclasses.replace(diag, suppressed=True,
+                                       suppress_reason=entry[1])
+        out.append(diag)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Result container + reporters
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Findings of one lint run (possibly aggregated over many files)."""
+
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+    suppressed: List[Diagnostic] = dataclasses.field(default_factory=list)
+    files: List[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no *active* (non-suppressed) diagnostic remains."""
+        return not self.diagnostics
+
+    def extend(self, other: "AnalysisResult") -> "AnalysisResult":
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        self.files.extend(other.files)
+        return self
+
+    def add(self, diagnostics: Iterable[Diagnostic]) -> None:
+        for diag in diagnostics:
+            (self.suppressed if diag.suppressed else self.diagnostics).append(diag)
+
+    def counts(self) -> Dict[str, int]:
+        by_severity: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            key = str(diag.severity)
+            by_severity[key] = by_severity.get(key, 0) + 1
+        return by_severity
+
+    def sorted_diagnostics(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.path, d.line, d.col, d.code))
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [diag.describe() for diag in result.sorted_diagnostics()]
+    counts = result.counts()
+    summary = ", ".join(f"{counts[key]} {key}(s)"
+                        for key in ("error", "warning", "info") if key in counts)
+    checked = f"{len(result.files)} file(s) checked"
+    if result.clean:
+        note = f"clean: {checked}"
+        if result.suppressed:
+            note += f", {len(result.suppressed)} suppressed finding(s)"
+        lines.append(note)
+    else:
+        lines.append(f"{summary} in {checked}"
+                     + (f", {len(result.suppressed)} suppressed"
+                        if result.suppressed else ""))
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-oriented report (the CI artifact format)."""
+    payload = {
+        "version": 1,
+        "files": sorted(result.files),
+        "summary": result.counts(),
+        "clean": result.clean,
+        "diagnostics": [d.as_dict() for d in result.sorted_diagnostics()],
+        "suppressed": [d.as_dict() for d in sorted(
+            result.suppressed, key=lambda d: (d.path, d.line, d.code))],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_catalog() -> str:
+    """The `repro lint --rules` listing."""
+    lines = ["model-lint rule catalog (see docs/analysis.md for examples):"]
+    for code in sorted(RULES):
+        lines.append("  " + RULES[code].describe())
+    return "\n".join(lines)

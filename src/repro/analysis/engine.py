@@ -1,0 +1,114 @@
+"""Lint engine: parse, attach parents, run passes, apply suppressions.
+
+Entry points:
+
+* :func:`analyze_source` / :func:`analyze_file` — lint one module;
+* :func:`lint_paths` — lint files and directories (the CLI's backend);
+* :func:`analyze_process` — lint a *live* process body callable, with
+  line numbers mapped back to the defining file.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..errors import ReproError
+from ..segments.static import parse_body
+from .diagnostics import (
+    AnalysisResult,
+    Diagnostic,
+    apply_suppressions,
+)
+from .passes import PASSES, RPR001
+
+
+def attach_parents(tree: ast.AST) -> ast.AST:
+    """Set ``.repro_parent`` on every node so passes can look upward."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.repro_parent = node
+    return tree
+
+
+def _select(diagnostics: Iterable[Diagnostic],
+            rules: Optional[Sequence[str]]) -> List[Diagnostic]:
+    if not rules:
+        return list(diagnostics)
+    wanted = set(rules)
+    return [d for d in diagnostics if d.code in wanted]
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   rules: Optional[Sequence[str]] = None) -> AnalysisResult:
+    """Run every analysis pass over ``source``; apply noqa suppression."""
+    result = AnalysisResult(files=[path])
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.add([Diagnostic(
+            RPR001, f"could not parse: {exc.msg}", path,
+            exc.lineno or 0, (exc.offset or 1) - 1)])
+        return result
+    attach_parents(tree)
+    diagnostics: List[Diagnostic] = []
+    for pass_fn in PASSES:
+        diagnostics.extend(pass_fn(tree, path, lines))
+    diagnostics = _select(diagnostics, rules)
+    result.add(apply_suppressions(diagnostics, lines))
+    return result
+
+
+def analyze_file(path: Union[str, pathlib.Path],
+                 rules: Optional[Sequence[str]] = None) -> AnalysisResult:
+    path = pathlib.Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    return analyze_source(source, str(path), rules)
+
+
+def _python_files(target: pathlib.Path) -> List[pathlib.Path]:
+    if target.is_dir():
+        return sorted(p for p in target.rglob("*.py")
+                      if "__pycache__" not in p.parts)
+    return [target]
+
+
+def lint_paths(targets: Sequence[Union[str, pathlib.Path]],
+               rules: Optional[Sequence[str]] = None) -> AnalysisResult:
+    """Lint every ``.py`` file under the given files/directories."""
+    result = AnalysisResult()
+    for raw in targets:
+        target = pathlib.Path(raw)
+        if not target.exists():
+            raise ReproError(f"lint target does not exist: {target}")
+        for path in _python_files(target):
+            result.extend(analyze_file(path, rules))
+    return result
+
+
+def analyze_process(body,
+                    rules: Optional[Sequence[str]] = None) -> AnalysisResult:
+    """Lint one live process-body callable.
+
+    The dedented extract is re-parsed, so line numbers are shifted back
+    to match the defining file.
+    """
+    tree, first_line, source = parse_body(body)
+    path = getattr(getattr(body, "__code__", None), "co_filename", "<process>")
+    result = analyze_source(source, path, rules)
+    offset = first_line - 1
+
+    def shift(diag: Diagnostic) -> Diagnostic:
+        if diag.line:
+            return dataclasses.replace(diag, line=diag.line + offset)
+        return diag
+
+    result.diagnostics = [shift(d) for d in result.diagnostics]
+    result.suppressed = [shift(d) for d in result.suppressed]
+    return result

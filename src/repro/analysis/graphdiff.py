@@ -1,0 +1,335 @@
+"""Static segment-graph construction and dynamic diffing (paper §2).
+
+The dynamic :class:`~repro.segments.graph.ProcessGraph` records the
+nodes and segments a simulation *actually* executed.  This module
+builds the same node/arc graph **from source alone** — an abstract
+control-flow walk over the process body where the only interesting
+statements are the node sites (channel accesses, timed waits) — and
+diffs the two:
+
+* a static node the simulation never visited means the stimulus never
+  reached that code path (the estimation figures are incomplete);
+* a static arc (possible segment) that never executed is a dead
+  segment — reachable in principle, unexercised in practice.
+
+This subsumes :func:`repro.segments.static.coverage_report` (node-level
+only) and extends it to segment level.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..segments.graph import ProcessGraph
+from ..segments.static import (
+    StaticNode,
+    _collect_aliases,
+    parse_body,
+    sites_in,
+)
+from .diagnostics import Diagnostic
+from . import passes as _passes
+
+#: Pseudo-line identities of the implicit entry/exit nodes.
+ENTRY_LINE = 0
+EXIT_LINE = -1
+
+Arc = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticSegmentGraph:
+    """The §2 node/arc graph of one process body, built from source."""
+
+    name: str
+    sites: Tuple[StaticNode, ...]            # channel/wait node sites
+    arcs: FrozenSet[Arc]                     # (line, line) possible segments
+
+    def site_lines(self) -> Set[int]:
+        return {site.lineno for site in self.sites}
+
+    def _label(self, line: int) -> str:
+        if line == ENTRY_LINE:
+            return "entry"
+        if line == EXIT_LINE:
+            return "exit"
+        for site in self.sites:
+            if site.lineno == line:
+                return site.describe()
+        return f"@{line}"
+
+    def describe(self) -> str:
+        lines = [f"static graph of {self.name}: {len(self.sites)} node "
+                 f"site(s), {len(self.arcs)} possible segment(s)"]
+        for start, end in sorted(self.arcs):
+            lines.append(f"  {self._label(start)} -> {self._label(end)}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """GraphViz rendering mirroring ProcessGraph.to_dot (Fig. 2)."""
+        ordered = [ENTRY_LINE] + [s.lineno for s in self.sites] + [EXIT_LINE]
+        labels = {line: f"N{i}" for i, line in enumerate(dict.fromkeys(ordered))}
+        out = [f'digraph "{self.name} (static)" {{']
+        for line, label in labels.items():
+            shape = ("circle" if line == ENTRY_LINE
+                     else "doublecircle" if line == EXIT_LINE else "box")
+            out.append(f'  {label} [shape={shape}, '
+                       f'label="{label}\\n{self._label(line)}"];')
+        for start, end in sorted(self.arcs):
+            if start in labels and end in labels:
+                out.append(f"  {labels[start]} -> {labels[end]};")
+        out.append("}")
+        return "\n".join(out)
+
+
+class _LoopFrame:
+    __slots__ = ("breaks", "continues")
+
+    def __init__(self):
+        self.breaks: Set[int] = set()
+        self.continues: Set[int] = set()
+
+
+class _ArcWalker:
+    """Abstract control-flow walk collecting node-site arcs.
+
+    The frontier is the set of node sites the process may most recently
+    have passed; every new site draws an arc from each frontier member.
+    Loops are iterated to a fixpoint (arc sets only grow, so a handful
+    of passes suffice).
+    """
+
+    _MAX_LOOP_PASSES = 8
+
+    def __init__(self, first_line: int, aliases: Dict[str, str]):
+        self.first_line = first_line
+        self.aliases = aliases
+        self.arcs: Set[Arc] = set()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _sites(self, node: ast.AST) -> List[StaticNode]:
+        return sites_in(node, self.first_line, self.aliases)
+
+    def _chain(self, sites: Sequence[StaticNode],
+               frontier: Set[int]) -> Set[int]:
+        for site in sites:
+            for start in frontier:
+                self.arcs.add((start, site.lineno))
+            frontier = {site.lineno}
+        return frontier
+
+    # -- statement walk --------------------------------------------------
+
+    def walk(self, stmts: Sequence[ast.stmt], frontier: Set[int],
+             loop: Optional[_LoopFrame]) -> Set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code draws no arcs (see RPR105)
+            frontier = self._walk_stmt(stmt, frontier, loop)
+        return frontier
+
+    def _walk_stmt(self, stmt: ast.stmt, frontier: Set[int],
+                   loop: Optional[_LoopFrame]) -> Set[int]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return frontier
+        if isinstance(stmt, ast.Return):
+            frontier = self._chain(self._sites(stmt), frontier)
+            for start in frontier:
+                self.arcs.add((start, EXIT_LINE))
+            return set()
+        if isinstance(stmt, ast.Raise):
+            self._chain(self._sites(stmt), frontier)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                loop.breaks |= frontier
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                loop.continues |= frontier
+            return set()
+        if isinstance(stmt, ast.If):
+            frontier = self._chain(self._sites(stmt.test), frontier)
+            taken = self.walk(stmt.body, set(frontier), loop)
+            other = (self.walk(stmt.orelse, set(frontier), loop)
+                     if stmt.orelse else set(frontier))
+            return taken | other
+        if isinstance(stmt, (ast.While, ast.For)):
+            return self._walk_loop(stmt, frontier, loop)
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                frontier = self._chain(self._sites(item), frontier)
+            return self.walk(stmt.body, frontier, loop)
+        if isinstance(stmt, ast.Try):
+            body_out = self.walk(stmt.body, set(frontier), loop)
+            handler_outs: Set[int] = set()
+            for handler in stmt.handlers:
+                handler_outs |= self.walk(handler.body,
+                                          frontier | body_out, loop)
+            else_out = (self.walk(stmt.orelse, set(body_out), loop)
+                        if stmt.orelse else body_out)
+            merged = else_out | handler_outs
+            if stmt.finalbody:
+                return self.walk(stmt.finalbody, merged or set(frontier), loop)
+            return merged
+        # simple statement: chain any sites it contains, in source order
+        return self._chain(self._sites(stmt), frontier)
+
+    def _walk_loop(self, stmt, frontier: Set[int],
+                   outer: Optional[_LoopFrame]) -> Set[int]:
+        test_sites = (self._sites(stmt.test)
+                      if isinstance(stmt, ast.While) else
+                      self._sites(stmt.iter))
+        const_true = (isinstance(stmt, ast.While)
+                      and isinstance(stmt.test, ast.Constant)
+                      and bool(stmt.test.value))
+        frame = _LoopFrame()
+        entry = set(frontier)
+        body_out: Set[int] = set()
+        for _ in range(self._MAX_LOOP_PASSES):
+            arcs_before = len(self.arcs)
+            head = self._chain(test_sites, set(entry))
+            body_out = self.walk(stmt.body, set(head), frame)
+            new_entry = entry | body_out | frame.continues
+            if len(self.arcs) == arcs_before and new_entry == entry:
+                break
+            entry = new_entry
+        if const_true:
+            exit_frontier: Set[int] = set(frame.breaks)
+        else:
+            exit_frontier = self._chain(test_sites, set(entry)) | frame.breaks
+        if getattr(stmt, "orelse", None):
+            exit_frontier = self.walk(stmt.orelse, exit_frontier, outer)
+        return exit_frontier
+
+
+def build_static_graph(body) -> StaticSegmentGraph:
+    """Build the §2 node/arc graph of ``body`` from source alone."""
+    tree, first_line, _source = parse_body(body)
+    fn = next((node for node in ast.walk(tree)
+               if isinstance(node, ast.FunctionDef)), None)
+    if fn is None:
+        raise ReproError(f"no function definition found in source of {body!r}")
+    aliases = _collect_aliases(tree)
+    sites = tuple(sites_in(fn, first_line, aliases))
+    walker = _ArcWalker(first_line, aliases)
+    final = walker.walk(fn.body, {ENTRY_LINE}, None)
+    for start in final:
+        walker.arcs.add((start, EXIT_LINE))
+    name = getattr(body, "__qualname__", getattr(body, "__name__", "process"))
+    return StaticSegmentGraph(name, sites, frozenset(walker.arcs))
+
+
+# ---------------------------------------------------------------------------
+# Diff against a dynamic ProcessGraph
+# ---------------------------------------------------------------------------
+
+def _dynamic_lines(graph: ProcessGraph) -> Set[int]:
+    lines: Set[int] = set()
+    for node in graph.nodes:
+        if node.kind == "entry":
+            lines.add(ENTRY_LINE)
+        elif node.kind == "exit":
+            lines.add(EXIT_LINE)
+        else:
+            lines.add(node.site)
+    return lines
+
+
+def _dynamic_arcs(graph: ProcessGraph) -> Set[Arc]:
+    arcs: Set[Arc] = set()
+    for start, end in graph.segments:
+        def line_of(node):
+            if node.kind == "entry":
+                return ENTRY_LINE
+            if node.kind == "exit":
+                return EXIT_LINE
+            return node.site
+        arcs.add((line_of(start), line_of(end)))
+    return arcs
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphDiff:
+    """Static-vs-dynamic comparison of one process's segment graph."""
+
+    static: StaticSegmentGraph
+    never_visited: Tuple[StaticNode, ...]     # static sites with no dynamic node
+    dead_arcs: Tuple[Arc, ...]                # possible segments never executed
+    unpredicted: Tuple[int, ...]              # dynamic node lines the static
+                                              # scan has no site for (helpers)
+
+    @property
+    def complete(self) -> bool:
+        """Every static node site was visited at least once."""
+        return not self.never_visited
+
+    def describe(self) -> str:
+        out = [f"graph diff for {self.static.name}: "
+               f"{len(self.static.sites) - len(self.never_visited)}"
+               f"/{len(self.static.sites)} node sites visited, "
+               f"{len(self.dead_arcs)} dead segment(s)"]
+        for site in self.never_visited:
+            out.append(f"  MISSED {site.describe()}")
+        for start, end in sorted(self.dead_arcs):
+            out.append(f"  DEAD SEGMENT {self.static._label(start)} -> "
+                       f"{self.static._label(end)}")
+        for line in sorted(self.unpredicted):
+            out.append(f"  note: dynamic node at line {line} has no static "
+                       f"site (helper sub-generator?)")
+        return "\n".join(out)
+
+    def to_diagnostics(self, path: str = "<process>") -> List[Diagnostic]:
+        diags = []
+        for site in self.never_visited:
+            diags.append(Diagnostic(
+                _passes.RPR401,
+                f"node site {site.describe()} was never visited by the "
+                "simulation; its segments have no cost figures",
+                path, site.lineno, 0))
+        for start, end in sorted(self.dead_arcs):
+            diags.append(Diagnostic(
+                _passes.RPR402,
+                f"possible segment {self.static._label(start)} -> "
+                f"{self.static._label(end)} never executed",
+                path, max(start, 0), 0))
+        return diags
+
+
+def diff_graphs(static: StaticSegmentGraph,
+                dynamic: ProcessGraph) -> GraphDiff:
+    """Compare a static graph with the dynamic tracker's graph."""
+    visited = _dynamic_lines(dynamic)
+    executed = _dynamic_arcs(dynamic)
+    never_visited = tuple(site for site in static.sites
+                          if site.lineno not in visited)
+    known = static.site_lines() | {ENTRY_LINE, EXIT_LINE}
+    dead = tuple(sorted(
+        arc for arc in static.arcs
+        if arc not in executed
+        and arc[0] in visited and arc[1] in visited))
+    unpredicted = tuple(sorted(
+        line for line in visited
+        if line not in known))
+    return GraphDiff(static, never_visited, dead, unpredicted)
+
+
+def diff_process(process, tracker) -> GraphDiff:
+    """Diff a live kernel process against a tracker's dynamic graph.
+
+    Uses the :attr:`~repro.kernel.process.Process.body` introspection
+    hook, so the process must have been registered through
+    ``Module.add_process``.
+    """
+    body = getattr(process, "body", None)
+    if body is None:
+        raise ReproError(
+            f"process {getattr(process, 'full_name', process)!r} carries no "
+            "body reference; register it via Module.add_process")
+    return diff_graphs(build_static_graph(body),
+                       tracker.graph_of(process.full_name))

@@ -1,0 +1,608 @@
+"""The analysis passes: protocol, shared-state race, annotation coverage.
+
+Each pass is a function ``(tree, path, lines) -> List[Diagnostic]``
+over a parsed module whose nodes carry ``.repro_parent`` links (set by
+:func:`repro.analysis.engine.attach_parents`).  The passes enforce the
+paper's §2 methodological contract statically:
+
+* **protocol pass** — processes interact with the rest of the system
+  *only* through predefined channels and ``wait(sc_time)``, driven by
+  the generator yield protocol (RPR101–RPR105);
+* **race pass** — no shared state between processes outside channels;
+  under strict-timed reordering such state is a nondeterminism bug, not
+  a style issue (RPR201);
+* **annotation pass** — every operation inside an annotated kernel goes
+  through the overloaded cost-charging types; native arithmetic or
+  builtins silently under-count segment costs (RPR301–RPR303).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..annotate.functions import (
+    ANNOTATION_DECORATORS,
+    ANNOTATION_ENTRY_POINTS,
+    ANNOTATION_WRAPPERS,
+)
+from ..segments.static import CHANNEL_OPERATIONS
+from .diagnostics import Diagnostic, Severity, register_rule
+
+# ---------------------------------------------------------------------------
+# Rule catalog (stable codes; see docs/analysis.md)
+# ---------------------------------------------------------------------------
+
+RPR001 = register_rule(
+    "RPR001", "parse-error", Severity.ERROR,
+    "file could not be parsed; nothing else was checked")
+RPR101 = register_rule(
+    "RPR101", "untimed-wait", Severity.ERROR,
+    "wait() without a duration — untimed waits are outside the methodology")
+RPR102 = register_rule(
+    "RPR102", "literal-wait-duration", Severity.ERROR,
+    "wait() with a bare number — durations must be SimTime quantities")
+RPR103 = register_rule(
+    "RPR103", "unyielded-channel-op", Severity.ERROR,
+    "channel operation not driven with `yield from` — it never executes")
+RPR104 = register_rule(
+    "RPR104", "non-channel-target", Severity.ERROR,
+    "channel operation on a target that is provably not a channel")
+RPR105 = register_rule(
+    "RPR105", "unreachable-after-loop", Severity.WARNING,
+    "code after an infinite segment loop with no break never runs")
+RPR201 = register_rule(
+    "RPR201", "shared-state-race", Severity.ERROR,
+    "state shared by several processes without channel mediation")
+RPR301 = register_rule(
+    "RPR301", "native-loop-in-kernel", Severity.WARNING,
+    "range() loop in an annotated kernel — use arange so bookkeeping charges")
+RPR302 = register_rule(
+    "RPR302", "uncharged-builtin", Severity.WARNING,
+    "builtin call in an annotated kernel bypasses operator cost accounting")
+RPR303 = register_rule(
+    "RPR303", "annotation-stripped", Severity.WARNING,
+    "int()/float() inside a kernel loop strips cost tracking from the value")
+RPR401 = register_rule(
+    "RPR401", "never-visited-node", Severity.WARNING,
+    "static node site never reached by the simulation (estimates incomplete)")
+RPR402 = register_rule(
+    "RPR402", "never-executed-segment", Severity.INFO,
+    "statically possible segment never executed by the simulation")
+
+#: Methods considered channel operations (mirrors segments.static).
+CHANNEL_OPS = CHANNEL_OPERATIONS
+
+#: Factory methods/classes whose results are channel-like (exempt from
+#: the race rule: access through them *is* the mediation).
+_FACTORY_METHODS = frozenset({
+    "fifo", "rendezvous", "signal", "shared_variable", "point",
+    "add_port", "module",
+})
+_FACTORY_CLASSES = frozenset({
+    "Fifo", "Rendezvous", "Signal", "SharedVariable", "Port",
+    "CaptureBoard", "CapturePoint",
+})
+
+#: Container methods that mutate their receiver.
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+    "appendleft", "popleft",
+})
+
+#: Calls/decorators that mark a function as an annotated kernel —
+#: sourced from repro.annotate so the two stay in sync.
+_KERNEL_MARKERS = ANNOTATION_ENTRY_POINTS
+_KERNEL_DECORATORS = ANNOTATION_DECORATORS
+
+#: Builtins whose work is invisible to the cost context.
+_UNCHARGED_BUILTINS = frozenset({
+    "sum", "min", "max", "sorted", "map", "filter", "enumerate", "zip",
+    "reversed", "round", "pow", "divmod", "any", "all",
+})
+
+#: Wrappers that legitimately re-enter the annotated domain.
+_ANNOTATION_WRAPPERS = ANNOTATION_WRAPPERS
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+def own_walk(fn: ast.AST) -> Iterable[ast.AST]:
+    """Walk ``fn`` without descending into nested function/class scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "repro_parent", None)
+
+
+def base_name(expr: ast.AST) -> Optional[str]:
+    """Root Name of an Attribute/Subscript chain, or None."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def call_name(call: ast.Call) -> str:
+    """The called name: ``f(...)`` -> "f", ``a.b.f(...)`` -> "f"."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def is_generator(fn: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in own_walk(fn))
+
+
+def is_channel_op_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in CHANNEL_OPS)
+
+
+def _function_defs(tree: ast.AST) -> List[ast.FunctionDef]:
+    return [n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+
+
+def _decorator_names(fn: ast.FunctionDef) -> Set[str]:
+    names = set()
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _source_at(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _diag(rule, message: str, node: ast.AST, path: str,
+          lines: Sequence[str]) -> Diagnostic:
+    lineno = getattr(node, "lineno", 0)
+    col = getattr(node, "col_offset", 0)
+    return Diagnostic(rule, message, path, lineno, col,
+                      _source_at(lines, lineno))
+
+
+def _added_process_names(tree: ast.AST) -> Set[str]:
+    """Names passed (as bare names) to any ``*.add_process(...)`` call."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_process"
+                and node.args and isinstance(node.args[0], ast.Name)):
+            names.add(node.args[0].id)
+    return names
+
+
+def find_process_bodies(tree: ast.AST) -> List[ast.FunctionDef]:
+    """Generator functions that look like (or are registered as) processes."""
+    registered = _added_process_names(tree)
+    bodies = []
+    for fn in _function_defs(tree):
+        if not is_generator(fn):
+            continue
+        if fn.name in registered:
+            bodies.append(fn)
+            continue
+        for node in own_walk(fn):
+            if isinstance(node, ast.YieldFrom):
+                bodies.append(fn)
+                break
+            if (isinstance(node, ast.Yield)
+                    and isinstance(node.value, ast.Call)
+                    and (call_name(node.value) in ("wait", "WaitFor", "Mark")
+                         or is_channel_op_call(node.value))):
+                # yielding a channel-op call is itself the RPR103 misuse,
+                # so it still marks the function as a process body
+                bodies.append(fn)
+                break
+    return bodies
+
+
+def find_kernels(tree: ast.AST) -> List[ast.FunctionDef]:
+    """Non-generator functions written in the annotated single-source style."""
+    kernels = []
+    for fn in _function_defs(tree):
+        if is_generator(fn):
+            continue
+        if _decorator_names(fn) & _KERNEL_DECORATORS:
+            kernels.append(fn)
+            continue
+        for node in own_walk(fn):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in _KERNEL_MARKERS):
+                kernels.append(fn)
+                break
+    return kernels
+
+
+# ---------------------------------------------------------------------------
+# Protocol pass (RPR101..RPR105)
+# ---------------------------------------------------------------------------
+
+def _constant_aliases(fn: ast.FunctionDef) -> Dict[str, ast.Constant]:
+    """Names assigned a literal constant somewhere in ``fn``."""
+    aliases: Dict[str, ast.Constant] = {}
+    for node in own_walk(fn):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            if isinstance(node.value, ast.Constant):
+                aliases[node.targets[0].id] = node.value
+            else:
+                aliases.pop(node.targets[0].id, None)
+    return aliases
+
+
+def _has_toplevel_break(loop: ast.While) -> bool:
+    """True when ``loop`` contains a break that exits *this* loop."""
+    def scan(stmts) -> bool:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Break):
+                return True
+            if isinstance(stmt, (ast.For, ast.While, ast.FunctionDef,
+                                 ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # a break in there belongs to the inner loop
+            if isinstance(stmt, ast.If):
+                if scan(stmt.body) or scan(stmt.orelse):
+                    return True
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    if scan(block):
+                        return True
+                for handler in stmt.handlers:
+                    if scan(handler.body):
+                        return True
+            elif isinstance(stmt, ast.With):
+                if scan(stmt.body):
+                    return True
+        return False
+    return scan(loop.body)
+
+
+def _is_const_true(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def protocol_pass(tree: ast.AST, path: str,
+                  lines: Sequence[str]) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for body in find_process_bodies(tree):
+        aliases = _constant_aliases(body)
+        for node in own_walk(body):
+            if isinstance(node, ast.Call) and call_name(node) == "wait":
+                if not node.args and not node.keywords:
+                    diagnostics.append(_diag(
+                        RPR101,
+                        "wait() needs a SimTime duration; event-style "
+                        "untimed waits are not part of the methodology",
+                        node, path, lines))
+                elif (len(node.args) == 1
+                      and isinstance(node.args[0], ast.Constant)
+                      and isinstance(node.args[0].value, (int, float))
+                      and not isinstance(node.args[0].value, bool)):
+                    diagnostics.append(_diag(
+                        RPR102,
+                        f"wait({node.args[0].value!r}) passes a bare number; "
+                        "wrap it in a SimTime (e.g. SimTime.ns(...))",
+                        node, path, lines))
+            if is_channel_op_call(node):
+                parent = parent_of(node)
+                op = node.func.attr
+                target = ast.unparse(node.func.value)
+                if isinstance(parent, ast.YieldFrom):
+                    root = base_name(node.func)
+                    if root is not None and root in aliases:
+                        constant = aliases[root]
+                        diagnostics.append(_diag(
+                            RPR104,
+                            f"{target}.{op}() targets {root!r} which holds "
+                            f"the constant {constant.value!r}, not a channel",
+                            node, path, lines))
+                elif isinstance(parent, ast.Yield):
+                    diagnostics.append(_diag(
+                        RPR103,
+                        f"`yield {target}.{op}(...)` yields the generator "
+                        "object itself; use `yield from` to run the access",
+                        node, path, lines))
+                else:
+                    diagnostics.append(_diag(
+                        RPR103,
+                        f"{target}.{op}(...) creates a channel-access "
+                        "generator that is never driven; prefix it with "
+                        "`yield from`",
+                        node, path, lines))
+        diagnostics.extend(_unreachable_after_loops(body, path, lines))
+    return diagnostics
+
+
+def _unreachable_after_loops(body: ast.FunctionDef, path: str,
+                             lines: Sequence[str]) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+
+    def scan_block(stmts) -> None:
+        for index, stmt in enumerate(stmts):
+            if (isinstance(stmt, ast.While) and _is_const_true(stmt.test)
+                    and not _has_toplevel_break(stmt)
+                    and index + 1 < len(stmts)):
+                trailing = stmts[index + 1]
+                diagnostics.append(_diag(
+                    RPR105,
+                    "statement is unreachable: the preceding "
+                    "`while True` segment loop never breaks",
+                    trailing, path, lines))
+            if isinstance(stmt, (ast.For, ast.While)):
+                scan_block(stmt.body)
+                scan_block(stmt.orelse)
+            elif isinstance(stmt, ast.If):
+                scan_block(stmt.body)
+                scan_block(stmt.orelse)
+            elif isinstance(stmt, ast.With):
+                scan_block(stmt.body)
+            elif isinstance(stmt, ast.Try):
+                scan_block(stmt.body)
+                scan_block(stmt.orelse)
+                scan_block(stmt.finalbody)
+                for handler in stmt.handlers:
+                    scan_block(handler.body)
+
+    scan_block(body.body)
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Shared-state race pass (RPR201)
+# ---------------------------------------------------------------------------
+
+def _contains_factory_call(expr: ast.AST) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _FACTORY_METHODS):
+                return True
+            if isinstance(func, ast.Name) and func.id in _FACTORY_CLASSES:
+                return True
+    return False
+
+
+def _channel_names_in_scope(scope: ast.AST) -> Set[str]:
+    """Names in ``scope`` bound to channels / channel containers."""
+    names: Set[str] = set()
+    for node in own_walk(scope):
+        if isinstance(node, ast.Assign) and _contains_factory_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            names.add(element.id)
+    return names
+
+
+def _local_names(fn: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """(locals, declared_nonlocal_or_global) of ``fn``'s own scope."""
+    locals_: Set[str] = set()
+    declared: Set[str] = set()
+    args = fn.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])):
+        locals_.add(arg.arg)
+    for node in own_walk(fn):
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            locals_.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            locals_.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                locals_.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                locals_.add(alias.asname or alias.name)
+    return locals_ - declared, declared
+
+
+def _is_channel_mediated(name_node: ast.Name) -> bool:
+    """True when this use of the name is the target of a channel op."""
+    node: ast.AST = name_node
+    parent = parent_of(node)
+    while isinstance(parent, (ast.Attribute, ast.Subscript)):
+        node, parent = parent, parent_of(parent)
+    # now `parent` may be the Call whose func is the attribute chain
+    if (isinstance(parent, ast.Call) and parent.func is node
+            and is_channel_op_call(parent)):
+        return True
+    return False
+
+
+class _BodyAccesses:
+    """Reads/writes of free (non-local) names inside one process body."""
+
+    def __init__(self, fn: ast.FunctionDef):
+        self.fn = fn
+        self.reads: Dict[str, int] = {}
+        self.writes: Dict[str, Tuple[int, str]] = {}
+        locals_, declared = _local_names(fn)
+        for node in own_walk(fn):
+            if isinstance(node, ast.Name):
+                name = node.id
+                if name in locals_ and name not in declared:
+                    continue
+                if name in _BUILTIN_NAMES:
+                    continue
+                if isinstance(node.ctx, ast.Store):
+                    if name in declared:
+                        self.writes.setdefault(
+                            name, (node.lineno, "rebinding"))
+                elif isinstance(node.ctx, ast.Load):
+                    if not _is_channel_mediated(node):
+                        self.reads.setdefault(name, node.lineno)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = base_name(target)
+                        if root and root not in locals_:
+                            self.writes.setdefault(
+                                root, (node.lineno, "element assignment"))
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr in _MUTATORS):
+                root = base_name(node.func)
+                if root and root not in locals_ and root not in _BUILTIN_NAMES:
+                    self.writes.setdefault(
+                        root, (node.lineno, f".{node.func.attr}() call"))
+
+    def touched(self) -> Set[str]:
+        return set(self.reads) | set(self.writes)
+
+
+def _design_scopes(tree: ast.AST) -> List[Tuple[ast.AST, List[ast.FunctionDef]]]:
+    """(scope, process bodies) for scopes registering >= 2 local bodies."""
+    scopes = []
+    candidates = [tree] + [n for n in ast.walk(tree)
+                           if isinstance(n, ast.FunctionDef)]
+    for scope in candidates:
+        registered: Set[str] = set()
+        for node in own_walk(scope):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_process"
+                    and node.args and isinstance(node.args[0], ast.Name)):
+                registered.add(node.args[0].id)
+        if len(registered) < 2:
+            continue
+        bodies = [node for node in own_walk(scope)
+                  if isinstance(node, ast.FunctionDef)
+                  and node.name in registered]
+        if len(bodies) >= 2:
+            scopes.append((scope, bodies))
+    return scopes
+
+
+def race_pass(tree: ast.AST, path: str,
+              lines: Sequence[str]) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for scope, bodies in _design_scopes(tree):
+        channels = _channel_names_in_scope(scope)
+        if not isinstance(scope, ast.Module):
+            channels |= _channel_names_in_scope(tree)  # module-level channels
+        accesses = [_BodyAccesses(body) for body in bodies]
+        shared: Dict[str, List[_BodyAccesses]] = {}
+        for access in accesses:
+            for name in access.touched():
+                shared.setdefault(name, []).append(access)
+        for name, users in sorted(shared.items()):
+            if len(users) < 2 or name in channels:
+                continue
+            writers = [u for u in users if name in u.writes]
+            if not writers:
+                continue  # shared read-only data is fine
+            writer = writers[0]
+            line, how = writer.writes[name]
+            others = [u.fn.name for u in users if u is not writer]
+            anchor = ast.Constant(value=None)
+            anchor.lineno, anchor.col_offset = line, 0
+            diagnostics.append(_diag(
+                RPR201,
+                f"process {writer.fn.name!r} writes shared state {name!r} "
+                f"({how}) also used by {', '.join(repr(o) for o in others)}; "
+                "processes may only interact through predefined channels "
+                "(use a Fifo/Signal/SharedVariable)",
+                anchor, path, lines))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Annotation-coverage pass (RPR301..RPR303)
+# ---------------------------------------------------------------------------
+
+def _enclosing_loop(node: ast.AST, stop: ast.AST) -> Optional[ast.AST]:
+    current = parent_of(node)
+    while current is not None and current is not stop:
+        if isinstance(current, (ast.For, ast.While)):
+            return current
+        current = parent_of(current)
+    return None
+
+
+def _wrapped_by_annotation(node: ast.AST) -> bool:
+    parent = parent_of(node)
+    return (isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ANNOTATION_WRAPPERS)
+
+
+def annotation_pass(tree: ast.AST, path: str,
+                    lines: Sequence[str]) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    for kernel in find_kernels(tree):
+        for node in own_walk(kernel):
+            if isinstance(node, ast.For):
+                iterator = node.iter
+                if (isinstance(iterator, ast.Call)
+                        and isinstance(iterator.func, ast.Name)
+                        and iterator.func.id == "range"):
+                    diagnostics.append(_diag(
+                        RPR301,
+                        f"kernel {kernel.name!r} iterates with range(); "
+                        "use arange() so per-iteration loop bookkeeping is "
+                        "charged and indices stay annotated",
+                        iterator, path, lines))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in _UNCHARGED_BUILTINS:
+                    diagnostics.append(_diag(
+                        RPR302,
+                        f"builtin {name}() inside kernel {kernel.name!r} "
+                        "does native work the cost context never sees; "
+                        "spell the loop out over annotated values",
+                        node, path, lines))
+                elif (name in ("int", "float")
+                      and node.args
+                      and not isinstance(node.args[0], ast.Constant)
+                      and _enclosing_loop(node, kernel) is not None
+                      and not _wrapped_by_annotation(node)):
+                    diagnostics.append(_diag(
+                        RPR303,
+                        f"{name}() inside a loop of kernel {kernel.name!r} "
+                        "unwraps the annotated value; operations on the "
+                        "result are no longer charged",
+                        node, path, lines))
+    return diagnostics
+
+
+#: The pass pipeline run by the engine, in order.
+PASSES = (protocol_pass, race_pass, annotation_pass)

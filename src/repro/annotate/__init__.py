@@ -16,7 +16,16 @@ from .costs import (
     OperationCosts,
     uniform_costs,
 )
-from .functions import aint, annotated_function, arange, branch, make_array
+from .functions import (
+    ANNOTATION_DECORATORS,
+    ANNOTATION_ENTRY_POINTS,
+    ANNOTATION_WRAPPERS,
+    aint,
+    annotated_function,
+    arange,
+    branch,
+    make_array,
+)
 from .types import AArray, ABool, AFloat, AInt, Var, unwrap
 
 __all__ = [
@@ -24,6 +33,8 @@ __all__ = [
     "active", "current_context", "set_current",
     "COMPARE_OPERATIONS", "KNOWN_OPERATIONS", "MEMORY_OPERATIONS",
     "OperationCosts", "uniform_costs",
+    "ANNOTATION_DECORATORS", "ANNOTATION_ENTRY_POINTS",
+    "ANNOTATION_WRAPPERS",
     "aint", "annotated_function", "arange", "branch", "make_array",
     "AArray", "ABool", "AFloat", "AInt", "Var", "unwrap",
 ]

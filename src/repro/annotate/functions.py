@@ -15,6 +15,16 @@ from typing import Iterator
 from .context import current_context
 from .types import AInt, unwrap
 
+#: Call names that move a value into the annotated domain, and the
+#: decorators that mark a whole function as annotated.  The model
+#: linter (:mod:`repro.analysis`) keys its kernel detection off these
+#: sets, so extending the annotation API here keeps the linter in sync.
+ANNOTATION_ENTRY_POINTS = frozenset({"aint", "arange", "make_array"})
+ANNOTATION_DECORATORS = frozenset({"annotated_function"})
+#: Wrappers that legitimately re-enter the annotated domain after a
+#: native conversion (``AInt(int(x))`` is not an annotation bypass).
+ANNOTATION_WRAPPERS = frozenset({"AInt", "AFloat", "ABool", "AArray", "aint"})
+
 
 def annotated_function(fn):
     """Decorator charging the platform's call overhead (``t_fc``) per call.

@@ -8,8 +8,10 @@ script:
 * ``calibrate``  — fit operator weights against the ISS and print them,
 * ``disasm``     — compile a named workload and print its assembly,
 * ``estimate``   — annotated estimate vs ISS measurement of a workload,
-* ``graph``      — run a workload's paper-style process and dump its
-  process graph as GraphViz.
+* ``graph``      — run a demo process and dump its process graph as
+  GraphViz (``--check-coverage`` gates on static node coverage),
+* ``lint``       — model lint: statically enforce the §2 methodology
+  (see ``docs/analysis.md`` for the rule catalog).
 """
 
 from __future__ import annotations
@@ -192,9 +194,15 @@ def _format_rows(title, headers, rows) -> str:
     return "\n".join(lines)
 
 
-def _cmd_graph(_args) -> int:
+def _cmd_graph(args) -> int:
     from . import SimTime, Simulator, wait
-    from .segments import SegmentTracker
+    from .segments import SegmentTracker, coverage_report
+
+    try:
+        values = [int(v) for v in args.values.split(",") if v.strip()]
+    except ValueError:
+        raise SystemExit(f"--values must be a comma-separated list of "
+                         f"integers, got {args.values!r}")
 
     simulator = Simulator()
     tracker = SegmentTracker()
@@ -204,7 +212,7 @@ def _cmd_graph(_args) -> int:
     top = simulator.module("top")
 
     def process():
-        for i in range(6):
+        for _ in values:
             value = yield from ch1.read()
             if value % 2 == 0:
                 yield from ch2.write(value)
@@ -212,7 +220,7 @@ def _cmd_graph(_args) -> int:
             yield from ch2.write(0)
 
     def environment():
-        for i in range(6):
+        for i in values:
             yield from ch1.write(i)
             if i % 2 == 0:
                 yield from ch2.read()
@@ -221,8 +229,41 @@ def _cmd_graph(_args) -> int:
     top.add_process(process)
     top.add_process(environment)
     simulator.run()
-    print(tracker.graph_of("top.process").to_dot())
+    graph = tracker.graph_of("top.process")
+    print(graph.to_dot())
+    if args.check_coverage:
+        report = coverage_report(process, graph)
+        print(report.describe(), file=sys.stderr)
+        if not report.complete:
+            return 1
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import lint_paths, render_json, render_text, rule_catalog
+    from .errors import ReproError
+
+    if args.rules_catalog:
+        print(rule_catalog())
+        return 0
+    if not args.targets:
+        raise SystemExit("repro lint: give at least one file or directory "
+                         "to check (or --rules for the catalog)")
+    try:
+        result = lint_paths(args.targets, rules=args.select or None)
+    except ReproError as exc:
+        raise SystemExit(f"repro lint: {exc}")
+    report = (render_json(result) if args.format == "json"
+              else render_text(result))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+        if args.format == "json":
+            print(render_text(result))
+    else:
+        print(report)
+    return 0 if result.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,9 +300,32 @@ def build_parser() -> argparse.ArgumentParser:
                                       "of calibrating")
     estimate_parser.set_defaults(fn=_cmd_estimate)
 
-    sub.add_parser("graph",
-                   help="dump the Fig. 2 process graph as GraphViz"
-                   ).set_defaults(fn=_cmd_graph)
+    graph_parser = sub.add_parser(
+        "graph", help="dump the Fig. 2 process graph as GraphViz")
+    graph_parser.add_argument("--values", default="0,1,2,3,4,5",
+                              help="comma-separated stimulus values the "
+                                   "environment writes (default 0..5)")
+    graph_parser.add_argument("--check-coverage", action="store_true",
+                              help="compare against the static node scan; "
+                                   "exit 1 and print MISSED lines when a "
+                                   "static site was never visited")
+    graph_parser.set_defaults(fn=_cmd_graph)
+
+    lint_parser = sub.add_parser(
+        "lint", help="model lint: statically check the §2 methodology")
+    lint_parser.add_argument("targets", nargs="*",
+                             help="files or directories to check")
+    lint_parser.add_argument("--format", choices=("text", "json"),
+                             default="text", help="report format")
+    lint_parser.add_argument("--output", "-o", default="",
+                             help="write the report to a file")
+    lint_parser.add_argument("--select", action="append", default=[],
+                             metavar="CODE",
+                             help="only run this rule code (repeatable)")
+    lint_parser.add_argument("--rules", dest="rules_catalog",
+                             action="store_true",
+                             help="print the rule catalog and exit")
+    lint_parser.set_defaults(fn=_cmd_lint)
 
     batch_parser = sub.add_parser(
         "batch",

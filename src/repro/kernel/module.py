@@ -93,7 +93,8 @@ class Module:
             raise ElaborationError(
                 f"module {self.name!r} already has a process named {process_name!r}"
             )
-        process = Process(process_name, body(), module=self, priority=priority)
+        process = Process(process_name, body(), module=self,
+                          priority=priority, body=body)
         self.scheduler.register(process)
         self.processes.append(process)
         return process

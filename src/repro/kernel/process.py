@@ -16,7 +16,7 @@ agent at every node and inserts the delays the agent requests.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from .commands import Command
 from .time import SimTime
@@ -42,6 +42,7 @@ class Process:
         "name",
         "module",
         "generator",
+        "body",
         "state",
         "agent",
         "priority",
@@ -59,6 +60,7 @@ class Process:
         generator: Generator,
         module: Optional["Module"] = None,
         priority: int = 0,
+        body: Optional[Callable] = None,
     ):
         if not hasattr(generator, "send"):
             raise TypeError(
@@ -68,6 +70,10 @@ class Process:
         self.name = name
         self.module = module
         self.generator = generator
+        #: The body callable the generator came from, when known — the
+        #: introspection hook used by static analysis (`repro.analysis`)
+        #: to re-scan a live process's source.
+        self.body = body
         self.state = ProcessState.READY
         #: Timing agent consulted at every node; installed by the
         #: performance library.  None means untimed (pure delta) mode.

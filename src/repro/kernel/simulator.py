@@ -54,6 +54,24 @@ class Simulator:
     def add_observer(self, observer: SchedulerObserver) -> None:
         self.scheduler.add_observer(observer)
 
+    def iter_processes(self):
+        """All registered processes, across the module hierarchy.
+
+        Introspection hook for post-simulation tooling (coverage
+        reports, static/dynamic graph diffs in :mod:`repro.analysis`).
+        """
+        def walk(module: Module):
+            yield from module.processes
+            for child in module.children:
+                yield from walk(child)
+
+        seen = set()
+        for module in self.modules:
+            for process in walk(module):
+                if id(process) not in seen:
+                    seen.add(id(process))
+                    yield process
+
     # -- channel factories -----------------------------------------------
 
     def fifo(self, name: str = "", capacity: Optional[int] = None) -> Fifo:

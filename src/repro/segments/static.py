@@ -4,7 +4,9 @@ The C++ flow needs a parser to insert segment marks into the source.
 Our dynamic tracker makes that unnecessary at runtime, but the static
 scan is still useful: it lists the node sites of a process *before*
 simulation (documentation, coverage checks: did the simulation visit
-every static node?) and reproduces Fig. 1's annotated listing.
+every static node?) and reproduces Fig. 1's annotated listing.  The
+scanner also feeds :mod:`repro.analysis`, which grows it into a full
+model linter and a static segment-graph builder.
 """
 
 from __future__ import annotations
@@ -13,14 +15,17 @@ import ast
 import dataclasses
 import inspect
 import textwrap
-from typing import Callable, List
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 
 #: Channel method names treated as access sites.
-_CHANNEL_OPERATIONS = frozenset({
+CHANNEL_OPERATIONS = frozenset({
     "read", "write", "try_read", "await_change",
 })
+
+#: Backwards-compatible private alias (pre-analysis-subsystem name).
+_CHANNEL_OPERATIONS = CHANNEL_OPERATIONS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,9 +40,50 @@ class StaticNode:
         return f"{self.kind}:{self.detail}@{self.lineno}"
 
 
+def _collect_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Simple local aliases: ``ch = self.out`` -> {"ch": "self.out"}.
+
+    Only single-target assignments of bare names/attribute chains are
+    tracked (the idiom the paper's listing style produces); anything
+    fancier invalidates the alias.  Last assignment wins, which is the
+    common straight-line case — the scanner is documentation tooling,
+    not a dataflow engine.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        name = node.targets[0].id
+        value = node.value
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            aliases[name] = ast.unparse(value)
+        else:
+            aliases.pop(name, None)
+    return aliases
+
+
+def _resolve_target(target: str, aliases: Dict[str, str]) -> str:
+    """Follow alias chains (``ch`` -> ``self.out``), bounded."""
+    seen = set()
+    while target in aliases and target not in seen:
+        seen.add(target)
+        target = aliases[target]
+    return target
+
+
 class _NodeScanner(ast.NodeVisitor):
-    def __init__(self, first_line: int):
+    """Collects channel/wait node sites in any AST subtree.
+
+    Understands accesses spelled through local aliases and does not care
+    about the enclosing statement shape, so sites inside ``try``/
+    ``finally`` and ``with`` blocks (and assignments, conditions, nested
+    calls) are all found.
+    """
+
+    def __init__(self, first_line: int, aliases: Optional[Dict[str, str]] = None):
         self.first_line = first_line
+        self.aliases = aliases or {}
         self.nodes: List[StaticNode] = []
 
     def _abs_line(self, node: ast.AST) -> int:
@@ -46,8 +92,9 @@ class _NodeScanner(ast.NodeVisitor):
     def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
         call = node.value
         if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
-            if call.func.attr in _CHANNEL_OPERATIONS:
+            if call.func.attr in CHANNEL_OPERATIONS:
                 target = ast.unparse(call.func.value)
+                target = _resolve_target(target, self.aliases)
                 self.nodes.append(StaticNode(
                     "channel", f"{target}.{call.func.attr}", self._abs_line(node)
                 ))
@@ -65,20 +112,56 @@ class _NodeScanner(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def scan_process(body: Callable) -> List[StaticNode]:
-    """Statically list the node sites of a process body function.
+def parse_body(body: Callable) -> Tuple[ast.AST, int, str]:
+    """(tree, first_line, dedented_source) of a process body function.
 
-    Raises :class:`~repro.errors.ReproError` when the source is not
-    available (e.g. functions defined interactively).
+    Unwraps decorated bodies (``functools.wraps`` chains) so the scan
+    sees the user's code, not the decorator's wrapper.  Raises
+    :class:`~repro.errors.ReproError` for lambdas and for functions
+    whose source is unavailable (e.g. defined interactively).
     """
+    body = inspect.unwrap(body)
+    if getattr(body, "__name__", "") == "<lambda>":
+        raise ReproError(
+            "cannot scan a lambda process body; use a def so the source "
+            "is a standalone statement"
+        )
     try:
         source = inspect.getsource(body)
         first_line = inspect.getsourcelines(body)[1]
     except (OSError, TypeError) as exc:
         raise ReproError(f"cannot obtain source of {body!r}: {exc}") from exc
-    tree = ast.parse(textwrap.dedent(source))
-    scanner = _NodeScanner(first_line)
+    dedented = textwrap.dedent(source)
+    try:
+        tree = ast.parse(dedented)
+    except SyntaxError as exc:  # dedent could not normalize the extract
+        raise ReproError(
+            f"cannot parse source of {body!r}: {exc}") from exc
+    return tree, first_line, dedented
+
+
+def scan_process(body: Callable) -> List[StaticNode]:
+    """Statically list the node sites of a process body function.
+
+    Channel accesses are found whether written directly
+    (``yield from self.out.write(x)``), through a local alias
+    (``ch = self.out; yield from ch.write(x)`` — reported against the
+    resolved target), or nested inside ``try``/``finally``/``with``
+    blocks.  Raises :class:`~repro.errors.ReproError` when the source is
+    not available (e.g. functions defined interactively) or the body is
+    a lambda.
+    """
+    tree, first_line, _source = parse_body(body)
+    scanner = _NodeScanner(first_line, _collect_aliases(tree))
     scanner.visit(tree)
+    return sorted(scanner.nodes, key=lambda n: n.lineno)
+
+
+def sites_in(node: ast.AST, first_line: int,
+             aliases: Optional[Dict[str, str]] = None) -> List[StaticNode]:
+    """Node sites inside one AST subtree (used by the graph builder)."""
+    scanner = _NodeScanner(first_line, aliases)
+    scanner.visit(node)
     return sorted(scanner.nodes, key=lambda n: n.lineno)
 
 
@@ -128,10 +211,12 @@ def annotate_listing(body: Callable) -> str:
     """Render the function source with node sites marked (Fig. 1 style).
 
     Each node line gets a ``# <- Nk`` comment appended, numbering node
-    sites in textual order (entry/exit implicit).
+    sites in textual order (entry/exit implicit).  Works on decorated
+    bodies (the original source is listed) and keeps the numbering
+    aligned for nested, indented definitions.
     """
-    source = textwrap.dedent(inspect.getsource(body))
-    first_line = inspect.getsourcelines(body)[1]
+    body = inspect.unwrap(body)
+    _tree, first_line, source = parse_body(body)
     nodes = scan_process(body)
     by_line = {n.lineno: i for i, n in enumerate(nodes, start=1)}
     out = []

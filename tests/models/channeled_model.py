@@ -1,0 +1,37 @@
+"""The fixed rewrite of :mod:`tests.models.racy_model`.
+
+The shared counter becomes a single-writer accumulator process fed by a
+fifo: workers emit increments as messages, one process owns the state.
+No update can be lost and `repro lint` reports nothing.
+"""
+
+from repro import SimTime, wait
+
+ITERATIONS = 3
+
+
+def build(simulator):
+    top = simulator.module("top")
+    ticks = simulator.fifo("ticks")
+    totals = []
+
+    def worker_a():
+        for _ in range(ITERATIONS):
+            yield wait(SimTime.ns(10))
+            yield from ticks.write(1)
+
+    def worker_b():
+        for _ in range(ITERATIONS):
+            yield wait(SimTime.ns(10))
+            yield from ticks.write(1)
+
+    def accumulator():
+        count = 0
+        for _ in range(2 * ITERATIONS):
+            count += yield from ticks.read()
+            totals.append(count)
+
+    top.add_process(worker_a)
+    top.add_process(worker_b)
+    top.add_process(accumulator)
+    return totals

@@ -1,0 +1,24 @@
+"""Annotation-bypass fixture kernels for the model-lint tests.
+
+``poly_bypass`` iterates with native ``range()``, so the per-iteration
+loop bookkeeping (add + branch) is never charged to the cost context —
+a real under-count of the segment cost.  ``poly_annotated`` is the same
+computation through ``arange`` and charges fully.  `repro lint` flags
+the bypass (RPR301) and stays silent on the annotated version.
+"""
+
+from repro.annotate import aint, arange
+
+
+def poly_bypass(n):
+    acc = aint(0)
+    for i in range(n):
+        acc = acc + i
+    return acc
+
+
+def poly_annotated(n):
+    acc = aint(0)
+    for i in arange(n):
+        acc = acc + i
+    return acc

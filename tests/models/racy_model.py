@@ -1,0 +1,35 @@
+"""A genuinely racy model: two processes share a plain Python dict.
+
+Each worker does a read/wait/write cycle on ``stats["count"]`` — the
+classic lost-update race.  Both workers read the same value at the same
+instant, so half the increments vanish.  `repro lint` flags this as
+RPR201 (shared-state-race): under the paper's §2 contract processes may
+interact only through predefined channels.
+
+The channel-mediated rewrite is :mod:`tests.models.channeled_model`.
+"""
+
+from repro import SimTime, wait
+
+ITERATIONS = 3
+
+
+def build(simulator):
+    top = simulator.module("top")
+    stats = {"count": 0}
+
+    def worker_a():
+        for _ in range(ITERATIONS):
+            current = stats["count"]
+            yield wait(SimTime.ns(10))
+            stats["count"] = current + 1
+
+    def worker_b():
+        for _ in range(ITERATIONS):
+            current = stats["count"]
+            yield wait(SimTime.ns(10))
+            stats["count"] = current + 1
+
+    top.add_process(worker_a)
+    top.add_process(worker_b)
+    return stats

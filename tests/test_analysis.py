@@ -1,0 +1,465 @@
+"""Tests for repro.analysis — the model linter.
+
+Each rule gets a minimal bad model that makes it fire and a fixed
+version that keeps it silent.  Two cases are *real*, not synthetic:
+
+* the lost-update race in ``tests/models/racy_model.py`` actually loses
+  half its increments when simulated (RPR201), and the channel-mediated
+  rewrite does not;
+* the ``range()`` kernel in ``tests/models/kernels.py`` actually
+  under-counts segment cost versus its ``arange`` twin (RPR301).
+"""
+
+import importlib.util
+import inspect
+import json
+import pathlib
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.analysis import (
+    RULES,
+    Severity,
+    analyze_file,
+    analyze_process,
+    analyze_source,
+    build_static_graph,
+    diff_graphs,
+    diff_process,
+    lint_paths,
+    render_json,
+    render_text,
+    rule_catalog,
+)
+from repro.annotate import MODE_SW, CostContext, active, uniform_costs, unwrap
+from repro.errors import ReproError
+from repro.segments import SegmentTracker
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+MODELS = pathlib.Path(__file__).resolve().parent / "models"
+
+
+def load_model(name):
+    spec = importlib.util.spec_from_file_location(name, MODELS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def codes(result):
+    return [d.code for d in result.sorted_diagnostics()]
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics framework
+# ---------------------------------------------------------------------------
+
+class TestFramework:
+    def test_rule_catalog_is_complete(self):
+        assert set(RULES) == {
+            "RPR001", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105",
+            "RPR201", "RPR301", "RPR302", "RPR303", "RPR401", "RPR402",
+        }
+        text = rule_catalog()
+        for code in RULES:
+            assert code in text
+
+    def test_severities_order(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert str(Severity.ERROR) == "error"
+
+    def test_parse_error_is_rpr001(self):
+        result = analyze_source("def broken(:\n", "bad.py")
+        assert codes(result) == ["RPR001"]
+        assert not result.clean
+
+    def test_noqa_suppresses_but_stays_auditable(self):
+        source = (
+            "def proc(self):\n"
+            "    yield wait()  # repro: noqa[RPR101] -- event demo\n"
+        )
+        result = analyze_source(source, "m.py")
+        assert result.clean
+        assert [d.code for d in result.suppressed] == ["RPR101"]
+        assert result.suppressed[0].suppress_reason == "event demo"
+        payload = json.loads(render_json(result))
+        assert payload["clean"] is True
+        assert payload["suppressed"][0]["code"] == "RPR101"
+
+    def test_noqa_only_hides_listed_codes(self):
+        source = (
+            "def proc(self):\n"
+            "    yield wait()  # repro: noqa[RPR103]\n"
+        )
+        result = analyze_source(source, "m.py")
+        assert codes(result) == ["RPR101"]
+
+    def test_text_report_lists_location(self):
+        result = analyze_source(
+            "def proc(self):\n    yield wait()\n", "model.py")
+        text = render_text(result)
+        assert "model.py:2:" in text and "RPR101" in text
+
+    def test_select_filters_rules(self):
+        source = (
+            "def proc(self):\n"
+            "    yield wait()\n"
+            "    self.out.write(1)\n"
+        )
+        result = analyze_source(source, "m.py", rules=["RPR103"])
+        assert codes(result) == ["RPR103"]
+
+
+# ---------------------------------------------------------------------------
+# Protocol pass (RPR101..RPR105)
+# ---------------------------------------------------------------------------
+
+class TestProtocolPass:
+    def test_untimed_wait_fires(self):
+        bad = "def proc(self):\n    yield wait()\n"
+        assert codes(analyze_source(bad)) == ["RPR101"]
+
+    def test_timed_wait_is_silent(self):
+        good = "def proc(self):\n    yield wait(SimTime.ns(10))\n"
+        assert analyze_source(good).clean
+
+    def test_literal_wait_duration_fires(self):
+        bad = "def proc(self):\n    yield wait(10)\n"
+        assert codes(analyze_source(bad)) == ["RPR102"]
+
+    def test_unyielded_channel_op_fires(self):
+        bad = (
+            "def proc(self):\n"
+            "    self.out.write(1)\n"
+            "    yield wait(SimTime.ns(5))\n"
+        )
+        result = analyze_source(bad)
+        assert codes(result) == ["RPR103"]
+        assert "never driven" in result.diagnostics[0].message
+
+    def test_plain_yield_channel_op_fires(self):
+        bad = (
+            "def proc(self):\n"
+            "    value = yield self.inp.read()\n"
+        )
+        result = analyze_source(bad)
+        assert codes(result) == ["RPR103"]
+        assert "yield from" in result.diagnostics[0].message
+
+    def test_yield_from_channel_op_is_silent(self):
+        good = (
+            "def proc(self):\n"
+            "    value = yield from self.inp.read()\n"
+            "    yield from self.out.write(value)\n"
+        )
+        assert analyze_source(good).clean
+
+    def test_non_channel_target_fires(self):
+        bad = (
+            "def proc(self):\n"
+            "    ch = 42\n"
+            "    yield from ch.write(1)\n"
+        )
+        result = analyze_source(bad)
+        assert codes(result) == ["RPR104"]
+        assert "42" in result.diagnostics[0].message
+
+    def test_aliased_channel_target_is_silent(self):
+        good = (
+            "def proc(self):\n"
+            "    ch = self.out\n"
+            "    yield from ch.write(1)\n"
+        )
+        assert analyze_source(good).clean
+
+    def test_unreachable_after_infinite_loop_fires(self):
+        bad = (
+            "def proc(self):\n"
+            "    while True:\n"
+            "        yield from self.inp.read()\n"
+            "    yield from self.out.write(0)\n"
+        )
+        assert codes(analyze_source(bad)) == ["RPR105"]
+
+    def test_loop_with_break_is_silent(self):
+        good = (
+            "def proc(self):\n"
+            "    while True:\n"
+            "        value = yield from self.inp.read()\n"
+            "        if value < 0:\n"
+            "            break\n"
+            "    yield from self.out.write(0)\n"
+        )
+        assert analyze_source(good).clean
+
+    def test_non_process_functions_are_ignored(self):
+        # a plain helper calling something named write() is not a process
+        source = "def helper(buffer):\n    buffer.write(1)\n"
+        assert analyze_source(source).clean
+
+
+# ---------------------------------------------------------------------------
+# Shared-state race pass (RPR201)
+# ---------------------------------------------------------------------------
+
+RACY = """
+def build(simulator):
+    top = simulator.module("top")
+    shared = []
+
+    def producer():
+        shared.append(1)
+        yield wait(SimTime.ns(1))
+
+    def consumer():
+        value = shared[0]
+        yield wait(SimTime.ns(1))
+
+    top.add_process(producer)
+    top.add_process(consumer)
+"""
+
+FIXED = """
+def build(simulator):
+    top = simulator.module("top")
+    link = simulator.fifo("link")
+
+    def producer():
+        yield from link.write(1)
+
+    def consumer():
+        value = yield from link.read()
+
+    top.add_process(producer)
+    top.add_process(consumer)
+"""
+
+
+class TestRacePass:
+    def test_shared_state_fires(self):
+        result = analyze_source(RACY, "racy.py")
+        assert codes(result) == ["RPR201"]
+        assert "'shared'" in result.diagnostics[0].message
+
+    def test_channel_mediation_is_silent(self):
+        assert analyze_source(FIXED, "fixed.py").clean
+
+    def test_shared_read_only_data_is_silent(self):
+        source = RACY.replace("shared.append(1)", "value = shared[0]")
+        assert analyze_source(source, "ro.py").clean
+
+    def test_real_race_loses_updates_and_lints_dirty(self):
+        # the model really races: half the increments are lost
+        model = load_model("racy_model")
+        simulator = Simulator()
+        stats = model.build(simulator)
+        simulator.run()
+        assert stats["count"] == model.ITERATIONS  # not 2 * ITERATIONS!
+        result = analyze_file(MODELS / "racy_model.py")
+        assert codes(result) == ["RPR201"]
+
+    def test_channeled_rewrite_is_correct_and_clean(self):
+        model = load_model("channeled_model")
+        simulator = Simulator()
+        totals = model.build(simulator)
+        simulator.run()
+        assert totals[-1] == 2 * model.ITERATIONS  # no update lost
+        assert analyze_file(MODELS / "channeled_model.py").clean
+
+
+# ---------------------------------------------------------------------------
+# Annotation-coverage pass (RPR301..RPR303)
+# ---------------------------------------------------------------------------
+
+class TestAnnotationPass:
+    def test_range_in_kernel_fires(self):
+        bad = (
+            "def kernel(n):\n"
+            "    acc = aint(0)\n"
+            "    for i in range(n):\n"
+            "        acc = acc + i\n"
+            "    return acc\n"
+        )
+        assert codes(analyze_source(bad)) == ["RPR301"]
+
+    def test_arange_in_kernel_is_silent(self):
+        good = (
+            "def kernel(n):\n"
+            "    acc = aint(0)\n"
+            "    for i in arange(n):\n"
+            "        acc = acc + i\n"
+            "    return acc\n"
+        )
+        assert analyze_source(good).clean
+
+    def test_uncharged_builtin_fires(self):
+        bad = (
+            "def kernel(values):\n"
+            "    acc = aint(0)\n"
+            "    return acc + sum(values)\n"
+        )
+        assert codes(analyze_source(bad)) == ["RPR302"]
+
+    def test_int_conversion_in_loop_fires(self):
+        bad = (
+            "def kernel(values):\n"
+            "    acc = aint(0)\n"
+            "    for v in arange(8):\n"
+            "        acc = acc + int(v)\n"
+            "    return acc\n"
+        )
+        assert codes(analyze_source(bad)) == ["RPR303"]
+
+    def test_annotation_wrapped_conversion_is_silent(self):
+        good = (
+            "def kernel(seed):\n"
+            "    acc = aint(0)\n"
+            "    for v in arange(8):\n"
+            "        acc = acc + AInt(int(seed))\n"
+            "    return acc\n"
+        )
+        assert analyze_source(good).clean
+
+    def test_process_bodies_are_not_kernels(self):
+        # structural range() loops in generator processes are fine
+        source = (
+            "def proc(self):\n"
+            "    for _ in range(4):\n"
+            "        yield from self.out.write(0)\n"
+        )
+        assert analyze_source(source).clean
+
+    def test_real_bypass_undercounts_cost(self):
+        kernels = load_model("kernels")
+        bypass_ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(bypass_ctx):
+            bypass_value = unwrap(kernels.poly_bypass(16))
+        full_ctx = CostContext(uniform_costs(cycles=1.0), MODE_SW)
+        with active(full_ctx):
+            full_value = unwrap(kernels.poly_annotated(16))
+        assert bypass_value == full_value  # same result ...
+        assert bypass_ctx.total_cycles < full_ctx.total_cycles  # ... cheaper
+        result = analyze_file(MODELS / "kernels.py")
+        assert codes(result) == ["RPR301"]
+        assert result.diagnostics[0].line == inspect.getsource(
+            kernels.poly_bypass).splitlines().index(
+                "    for i in range(n):") + 13  # def starts at line 13
+
+
+# ---------------------------------------------------------------------------
+# Static segment graph + dynamic diff (RPR401/RPR402)
+# ---------------------------------------------------------------------------
+
+def make_design(values):
+    simulator = Simulator()
+    tracker = SegmentTracker()
+    simulator.add_observer(tracker)
+    ch1 = simulator.fifo("ch1")
+    ch2 = simulator.fifo("ch2")
+    top = simulator.module("top")
+
+    def process():
+        for _ in values:
+            value = yield from ch1.read()
+            if value % 2 == 0:
+                yield from ch2.write(value)
+            yield wait(SimTime.ns(10))
+
+    def environment():
+        for i in values:
+            yield from ch1.write(i)
+            if i % 2 == 0:
+                yield from ch2.read()
+
+    proc = top.add_process(process)
+    top.add_process(environment)
+    simulator.run()
+    return proc, tracker, process
+
+
+class TestGraphDiff:
+    def test_static_graph_structure(self):
+        _proc, _tracker, body = make_design([0, 1])
+        graph = build_static_graph(body)
+        details = sorted(site.detail for site in graph.sites)
+        assert details == ["ch1.read", "ch2.write", "wait"]
+        lines = {site.detail: site.lineno for site in graph.sites}
+        # conditional write: reachable from the read, skippable to the wait
+        assert (lines["ch1.read"], lines["ch2.write"]) in graph.arcs
+        assert (lines["ch1.read"], lines["wait"]) in graph.arcs
+        assert (lines["ch2.write"], lines["wait"]) in graph.arcs
+        # loop back-arc and loop-skip arc
+        assert (lines["wait"], lines["ch1.read"]) in graph.arcs
+        assert (0, -1) in graph.arcs  # zero-iteration path entry -> exit
+
+    def test_full_stimulus_visits_every_node(self):
+        proc, tracker, _body = make_design([0, 1, 2, 3])
+        diff = diff_process(proc, tracker)
+        assert diff.complete
+        assert not diff.unpredicted
+
+    def test_missed_branch_is_reported(self):
+        proc, tracker, body = make_design([1, 3, 5])  # write branch never taken
+        diff = diff_process(proc, tracker)
+        assert not diff.complete
+        assert [site.detail for site in diff.never_visited] == ["ch2.write"]
+        diagnostics = diff.to_diagnostics("design.py")
+        assert "RPR401" in [d.code for d in diagnostics]
+        assert "MISSED" in diff.describe()
+
+    def test_dead_segment_is_reported(self):
+        proc, tracker, _body = make_design([0, 2, 4])  # loop always iterates
+        diff = diff_process(proc, tracker)
+        # the zero-iteration entry->exit arc exists statically, never ran
+        assert (0, -1) in diff.dead_arcs
+        assert "RPR402" in [d.code for d in diff.to_diagnostics()]
+
+    def test_diff_graphs_direct(self):
+        proc, tracker, body = make_design([0, 1, 2, 3])
+        static = build_static_graph(body)
+        diff = diff_graphs(static, tracker.graph_of(proc.full_name))
+        assert diff.complete
+
+    def test_static_graph_to_dot(self):
+        _proc, _tracker, body = make_design([0])
+        dot = build_static_graph(body).to_dot()
+        assert dot.startswith("digraph") and "->" in dot
+
+    def test_process_without_body_hook_raises(self):
+        class Stub:
+            full_name = "top.stub"
+            body = None
+        with pytest.raises(ReproError):
+            diff_process(Stub(), SegmentTracker())
+
+
+# ---------------------------------------------------------------------------
+# Engine entry points
+# ---------------------------------------------------------------------------
+
+class TestEngine:
+    def test_analyze_process_maps_lines_to_file(self):
+        def bad_proc():
+            yield wait()  # noqa site (deliberately untimed)
+
+        result = analyze_process(bad_proc)
+        assert codes(result) == ["RPR101"]
+        expected = inspect.getsourcelines(bad_proc)[1] + 1
+        assert result.diagnostics[0].line == expected
+        assert result.diagnostics[0].path.endswith("test_analysis.py")
+
+    def test_lint_paths_rejects_missing_target(self):
+        with pytest.raises(ReproError):
+            lint_paths(["no/such/path"])
+
+    def test_lint_paths_walks_directories(self):
+        result = lint_paths([MODELS])
+        assert "RPR201" in codes(result)
+        assert any(path.endswith("racy_model.py") for path in result.files)
+
+    def test_workloads_and_examples_are_clean(self):
+        result = lint_paths([REPO / "src" / "repro" / "workloads",
+                             REPO / "examples"])
+        assert result.clean, render_text(result)
+        assert len(result.files) >= 16  # ten workloads + six examples

@@ -93,3 +93,75 @@ def test_malformed_cost_json_rejected():
         OperationCosts.from_json("not json at all")
     with _pytest.raises(AnnotationError, match="malformed"):
         OperationCosts.from_json('{"no_costs": 1}')
+
+
+def test_graph_check_coverage_passes_with_full_stimulus(capsys):
+    assert main(["graph", "--check-coverage"]) == 0
+    captured = capsys.readouterr()
+    assert "digraph" in captured.out
+    assert "node coverage: 4/4" in captured.err
+
+
+def test_graph_check_coverage_fails_on_missed_site(capsys):
+    assert main(["graph", "--check-coverage", "--values", "1,3,5"]) == 1
+    captured = capsys.readouterr()
+    assert "MISSED" in captured.err
+    assert "ch2.write" in captured.err
+
+
+def test_graph_rejects_bad_values():
+    with pytest.raises(SystemExit, match="--values"):
+        main(["graph", "--values", "a,b"])
+
+
+def test_lint_rule_catalog(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR101" in out and "RPR201" in out
+
+
+def test_lint_requires_targets():
+    with pytest.raises(SystemExit, match="at least one"):
+        main(["lint"])
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint", "src/repro/workloads", "examples"]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+
+
+def test_lint_dirty_file_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "bad_model.py"
+    bad.write_text("def proc(self):\n    yield wait()\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR101" in out
+
+
+def test_lint_json_report_written(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad_model.py"
+    bad.write_text("def proc(self):\n    yield wait(5)\n")
+    report = tmp_path / "report.json"
+    assert main(["lint", str(bad), "--format", "json",
+                 "-o", str(report)]) == 1
+    payload = json.loads(report.read_text())
+    assert payload["clean"] is False
+    assert payload["diagnostics"][0]["code"] == "RPR102"
+    assert "wrote json report" in capsys.readouterr().out
+
+
+def test_lint_select_restricts_rules(tmp_path, capsys):
+    bad = tmp_path / "bad_model.py"
+    bad.write_text("def proc(self):\n    yield wait()\n"
+                   "    self.out.write(1)\n")
+    assert main(["lint", str(bad), "--select", "RPR103"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR103" in out and "RPR101" not in out
+
+
+def test_lint_missing_target_rejected():
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["lint", "no/such/dir"])

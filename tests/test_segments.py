@@ -169,6 +169,94 @@ class TestStaticScanner:
         with pytest.raises(ReproError, match="cannot obtain source"):
             scan_process(exec_namespace["synthetic"])
 
+    def test_lambda_body_rejected(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="lambda"):
+            scan_process(lambda: None)
+
+    def test_aliased_channel_access_resolved(self):
+        def body(out):
+            ch = out
+            yield from ch.write(1)
+            yield from ch.read()
+
+        sites = scan_process(body)
+        assert [s.detail for s in sites] == ["out.write", "out.read"]
+
+    def test_attribute_alias_resolved(self):
+        def body(self):
+            port = self.out
+            yield from port.write(0)
+
+        sites = scan_process(body)
+        assert [s.detail for s in sites] == ["self.out.write"]
+
+    def test_reassigned_alias_invalidated(self):
+        def body(out):
+            ch = out
+            ch = compute()  # noqa: F821 — alias clobbered, stop resolving
+            yield from ch.write(1)
+
+        sites = scan_process(body)
+        assert [s.detail for s in sites] == ["ch.write"]
+
+    def test_sites_inside_try_finally_and_with(self):
+        def body(self, lock):
+            try:
+                yield from self.inp.read()
+            finally:
+                with lock:
+                    yield from self.out.write(0)
+
+        sites = scan_process(body)
+        assert [s.detail for s in sites] == ["self.inp.read", "self.out.write"]
+
+    def test_decorated_body_scans_original_source(self):
+        import functools
+
+        def logged(fn):
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                return fn(*args, **kwargs)
+            return wrapper
+
+        @logged
+        def body(self):
+            yield from self.inp.read()
+            yield wait(SimTime.ns(1))
+
+        sites = scan_process(body)
+        assert [s.kind for s in sites] == ["channel", "wait"]
+
+    def test_nested_definition_dedents_and_keeps_lines(self):
+        import inspect
+
+        def make():
+            def body(self):
+                yield from self.inp.read()
+            return body
+
+        body = make()
+        sites = scan_process(body)
+        first_line = inspect.getsourcelines(body)[1]
+        assert [s.detail for s in sites] == ["self.inp.read"]
+        assert sites[0].lineno == first_line + 1  # the read, one line in
+
+    def test_annotate_listing_numbering_on_nested_body(self):
+        def make():
+            def body(self):
+                yield from self.inp.read()
+                yield wait(SimTime.ns(2))
+                yield from self.out.write(1)
+            return body
+
+        listing = annotate_listing(make())
+        lines = listing.splitlines()
+        assert lines[1].endswith("# <- N1")
+        assert lines[2].endswith("# <- N2")
+        assert lines[3].endswith("# <- N3")
+        assert "# <-" not in lines[0]
+
 
 class TestConfidenceIntervals:
     def _stats_with(self, samples):
