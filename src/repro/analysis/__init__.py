@@ -29,6 +29,7 @@ from .engine import (
     attach_parents,
     lint_paths,
 )
+from .live import lint_simulation
 from .graphdiff import (
     GraphDiff,
     StaticSegmentGraph,
@@ -58,6 +59,7 @@ __all__ = [
     "find_kernels",
     "find_process_bodies",
     "lint_paths",
+    "lint_simulation",
     "register_rule",
     "render_json",
     "render_text",

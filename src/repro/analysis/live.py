@@ -1,0 +1,81 @@
+"""Live lint: check a *simulated* design, not just its source.
+
+The static linter (``repro lint <paths>``) sees files; this layer sees
+the running system.  After a simulation finishes, :func:`lint_simulation`
+walks every registered process of the simulator and
+
+* re-runs the static rule catalog over each process body
+  (:func:`~repro.analysis.engine.analyze_process` — line numbers map
+  back to the defining file), and
+* diffs each body's static segment graph against what the
+  :class:`~repro.segments.SegmentTracker` actually observed
+  (:func:`~repro.analysis.graphdiff.diff_process` — RPR401 "node never
+  visited", RPR402 "segment never executed").
+
+``repro lint --live <script.py>`` drives this over unmodified example
+scripts via :class:`~repro.observe.ObserveSession`-style default
+observers: the tracker attaches to every simulator the script builds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..errors import ReproError
+from .diagnostics import AnalysisResult
+from .engine import analyze_process
+from .graphdiff import diff_process
+
+#: process names whose dynamic graph the tracker never saw (e.g. the
+#: process was registered but the simulation ended before it ran).
+_UNTRACKED = "untracked"
+
+
+def lint_simulation(simulator, tracker,
+                    rules: Optional[Sequence[str]] = None,
+                    skipped: Optional[List[str]] = None) -> AnalysisResult:
+    """Lint every process of a finished simulation.
+
+    ``tracker`` must have observed the run (added before ``run()``).
+    Processes without a ``body`` reference (not registered through
+    ``Module.add_process``) and processes the tracker never saw are
+    skipped; their names are appended to ``skipped`` when given.
+    """
+    result = AnalysisResult()
+    for process in simulator.iter_processes():
+        body = getattr(process, "body", None)
+        if body is None:
+            if skipped is not None:
+                skipped.append(f"{process.full_name} (no body reference)")
+            continue
+        path = getattr(getattr(body, "__code__", None),
+                       "co_filename", "<process>")
+        try:
+            static = analyze_process(body, rules)
+        except (ReproError, OSError, TypeError) as exc:
+            if skipped is not None:
+                skipped.append(f"{process.full_name} (source unavailable: "
+                               f"{exc})")
+            continue
+        result.extend(static)
+        if process.full_name not in tracker.graphs:
+            if skipped is not None:
+                skipped.append(f"{process.full_name} ({_UNTRACKED})")
+            continue
+        diff = diff_process(process, tracker)
+        result.add(_select(diff.to_diagnostics(path), rules))
+        if path not in result.files:
+            result.files.append(path)
+    # Several processes often share one defining file.
+    result.files = sorted(set(result.files))
+    return result
+
+
+def _select(diagnostics, rules):
+    if not rules:
+        return diagnostics
+    wanted = {str(r).upper() for r in rules}
+    return [d for d in diagnostics if d.code in wanted]
+
+
+__all__ = ["lint_simulation"]

@@ -225,13 +225,30 @@ def find_process_bodies(tree: ast.AST) -> List[ast.FunctionDef]:
     return bodies
 
 
+def _registered_entry_points() -> frozenset:
+    """Kernel names announced by the workload registry.
+
+    Native-typed kernels (wrapped arguments, no in-body markers) are
+    invisible to the marker scan below; the registry names them.  Lazy
+    import: repro.workloads is a leaf package the analysis layer must
+    not hard-depend on (and the import would be cyclic at module load).
+    """
+    try:
+        from ..workloads import entry_point_names
+    except ImportError:  # pragma: no cover - stripped installs
+        return frozenset()
+    return frozenset(entry_point_names())
+
+
 def find_kernels(tree: ast.AST) -> List[ast.FunctionDef]:
     """Non-generator functions written in the annotated single-source style."""
     kernels = []
+    registered = _registered_entry_points()
     for fn in _function_defs(tree):
         if is_generator(fn):
             continue
-        if _decorator_names(fn) & _KERNEL_DECORATORS:
+        if (_decorator_names(fn) & _KERNEL_DECORATORS
+                or fn.name in registered):
             kernels.append(fn)
             continue
         for node in own_walk(fn):

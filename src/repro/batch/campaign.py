@@ -179,7 +179,7 @@ class ProgressObserver(CampaignObserver):
 
 
 def _worker_main(conn) -> None:
-    """Worker loop: receive (index, config, attempt), send back outcomes."""
+    """Worker loop: receive (index, config, attempt, trace), send outcomes."""
     while True:
         try:
             message = conn.recv()
@@ -187,10 +187,10 @@ def _worker_main(conn) -> None:
             break
         if message is None:
             break
-        index, config, attempt = message
+        index, config, attempt, trace_path = message
         started = time.perf_counter()
         try:
-            payload = execute_config(config)
+            payload = execute_config(config, trace_path=trace_path)
             outcome = (index, STATUS_OK, payload,
                        time.perf_counter() - started)
         except BaseException:
@@ -219,11 +219,12 @@ class _Worker:
     def busy(self) -> bool:
         return self.task is not None
 
-    def assign(self, task: tuple, timeout_s: Optional[float]) -> None:
+    def assign(self, task: tuple, timeout_s: Optional[float],
+               trace_path: Optional[str]) -> None:
         self.task = task
         self.deadline = (time.perf_counter() + timeout_s
                          if timeout_s is not None else None)
-        self.conn.send(task)
+        self.conn.send(task + (trace_path,))
 
     def kill(self) -> None:
         try:
@@ -276,7 +277,8 @@ class Campaign:
                  retries: int = 1,
                  cache: Union[ResultCache, str, os.PathLike, None] = None,
                  start_method: Optional[str] = None,
-                 observers: Sequence[CampaignObserver] = ()) -> None:
+                 observers: Sequence[CampaignObserver] = (),
+                 trace_dir: Union[str, os.PathLike, None] = None) -> None:
         self.configs = list(configs)
         for config in self.configs:
             if not isinstance(config, RunConfig):
@@ -293,12 +295,23 @@ class Campaign:
         else:
             self.cache = ResultCache(cache)
         self.start_method = resolve_start_method(start_method)
+        if trace_dir is None:
+            self.trace_dir: Optional[str] = None
+        else:
+            self.trace_dir = os.fspath(trace_dir)
+            os.makedirs(self.trace_dir, exist_ok=True)
         self.metrics = CampaignMetrics()
         self._observers: List[CampaignObserver] = [self.metrics]
         self._observers.extend(observers)
 
     def add_observer(self, observer: CampaignObserver) -> None:
         self._observers.append(observer)
+
+    def _trace_path(self, config: RunConfig) -> Optional[str]:
+        """Per-run trace artifact path, keyed by the run's cache hash."""
+        if self.trace_dir is None:
+            return None
+        return os.path.join(self.trace_dir, f"{config.cache_key()}.jsonl")
 
     # -- execution ------------------------------------------------------------
 
@@ -344,7 +357,8 @@ class Campaign:
                 obs.on_run_started(config, attempt)
             started = time.perf_counter()
             try:
-                payload = execute_config(config)
+                payload = execute_config(config,
+                                         trace_path=self._trace_path(config))
                 status, detail = STATUS_OK, payload
             except BaseException:
                 status, detail = STATUS_FAILED, traceback.format_exc(limit=8)
@@ -370,7 +384,8 @@ class Campaign:
                         task = queue.pop(0)
                         for obs in self._observers:
                             obs.on_run_started(task[1], task[2])
-                        worker.assign(task, self.timeout_s)
+                        worker.assign(task, self.timeout_s,
+                                      self._trace_path(task[1]))
                 self._pump(pool, results, queue)
                 settled = sum(1 for r in results if r is not None)
                 outstanding = len(results) - settled

@@ -34,7 +34,7 @@ New kinds register with the :func:`register_runner` decorator.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .config import BatchError, RunConfig
 
@@ -58,8 +58,14 @@ def runner_kinds() -> List[str]:
     return sorted(_RUNNERS)
 
 
-def execute_config(config: RunConfig) -> dict:
-    """Run one configuration in the current process; returns its payload."""
+def execute_config(config: RunConfig, trace_path: Optional[str] = None) -> dict:
+    """Run one configuration in the current process; returns its payload.
+
+    With ``trace_path`` set, every simulator the runner constructs is
+    instrumented with a streaming JSONL trace sink (the campaign's
+    opt-in per-run artifact, keyed by the run's cache hash); the payload
+    gains a ``trace`` entry naming the artifact.
+    """
     try:
         runner = _RUNNERS[config.kind]
     except KeyError:
@@ -67,7 +73,21 @@ def execute_config(config: RunConfig) -> dict:
             f"unknown runner kind {config.kind!r}; "
             f"registered: {', '.join(runner_kinds())}"
         )
-    payload = runner(config.params_dict())
+    if trace_path is None:
+        payload = runner(config.params_dict())
+    else:
+        from ..observe import JsonlSink, ObserveSession
+
+        # Scripts building several simulators get numbered artifacts.
+        def sink(index: int, base=trace_path):
+            if index == 0:
+                return JsonlSink(base)
+            return JsonlSink(f"{base}.{index}")
+
+        with ObserveSession(sink_factory=sink) as session:
+            payload = runner(config.params_dict())
+        if isinstance(payload, dict):
+            payload["trace"] = trace_path if session.observations else None
     if not isinstance(payload, dict):
         raise BatchError(
             f"runner {config.kind!r} returned {type(payload).__name__}, "

@@ -142,9 +142,13 @@ def _cmd_batch(args) -> int:
     campaign = Campaign(configs, workers=workers, timeout_s=args.timeout,
                         retries=args.retries, cache=cache,
                         start_method=args.start_method or None,
-                        observers=observers)
-    mode = "serial (in-process)" if workers <= 1 else \
-        f"{workers} workers ({campaign.start_method})"
+                        observers=observers,
+                        trace_dir=args.trace_dir or None)
+    if campaign.trace_dir:
+        print(f"per-run trace artifacts (JSONL, keyed by cache hash) "
+              f"in {campaign.trace_dir}")
+    mode = "serial (in-process)" if campaign.workers <= 1 else \
+        f"{campaign.workers} workers ({campaign.start_method})"
     print(f"campaign: {len(configs)} points, {mode}, "
           f"cache {'off' if cache is None else cache.root}")
     results = campaign.run()
@@ -239,6 +243,48 @@ def _cmd_graph(args) -> int:
     return 0
 
 
+def _lint_live(args):
+    """Run each target script instrumented; lint what actually simulated."""
+    import pathlib
+
+    from .analysis import AnalysisResult, lint_simulation
+    from .kernel.simulator import Simulator
+    from .segments import SegmentTracker
+
+    observed = []
+
+    def instrument(simulator):
+        tracker = SegmentTracker()
+        simulator.add_observer(tracker)
+        observed.append((simulator, tracker))
+
+    result = AnalysisResult()
+    skipped: list = []
+    for target in args.targets:
+        script = pathlib.Path(target)
+        if not script.exists() or script.suffix != ".py":
+            raise SystemExit(f"repro lint --live: {target} is not a Python "
+                             "script (live lint executes its targets)")
+        import runpy
+
+        observed.clear()
+        Simulator.add_default_observer_factory(instrument)
+        try:
+            runpy.run_path(str(script), run_name="__main__")
+        finally:
+            Simulator.remove_default_observer_factory(instrument)
+        if not observed:
+            raise SystemExit(
+                f"repro lint --live: {target} built no simulator")
+        for simulator, tracker in observed:
+            result.extend(lint_simulation(simulator, tracker,
+                                          rules=args.select or None,
+                                          skipped=skipped))
+    for name in skipped:
+        print(f"  (skipped {name})", file=sys.stderr)
+    return result
+
+
 def _cmd_lint(args) -> int:
     from .analysis import lint_paths, render_json, render_text, rule_catalog
     from .errors import ReproError
@@ -249,10 +295,13 @@ def _cmd_lint(args) -> int:
     if not args.targets:
         raise SystemExit("repro lint: give at least one file or directory "
                          "to check (or --rules for the catalog)")
-    try:
-        result = lint_paths(args.targets, rules=args.select or None)
-    except ReproError as exc:
-        raise SystemExit(f"repro lint: {exc}")
+    if args.live:
+        result = _lint_live(args)
+    else:
+        try:
+            result = lint_paths(args.targets, rules=args.select or None)
+        except ReproError as exc:
+            raise SystemExit(f"repro lint: {exc}")
     report = (render_json(result) if args.format == "json"
               else render_text(result))
     if args.output:
@@ -264,6 +313,123 @@ def _cmd_lint(args) -> int:
     else:
         print(report)
     return 0 if result.clean else 1
+
+
+_TRACE_EXTENSIONS = {"perfetto": "json", "vcd": "vcd",
+                     "flame": "folded", "jsonl": "jsonl"}
+
+
+def _numbered(path: str, index: int) -> str:
+    """Scripts may build several simulators: 1st keeps ``path``, rest .N."""
+    return path if index == 0 else f"{path}.{index}"
+
+
+def _run_traced_workload(name: str) -> None:
+    """Run one registry workload as a mapped, strict-timed simulation.
+
+    A minimal harness around the kernel: an environment driver feeds a
+    stimulus token; the kernel process consumes it and runs the
+    annotated entry on a CPU resource — so the trace carries real node
+    events and the profile carries real per-segment cycle figures.
+    """
+    from . import Simulator
+    from .annotate.types import unwrap
+    from .core import PerformanceLibrary
+    from .platform import EnvironmentResource, Mapping, make_cpu
+    from .workloads import wrap_args
+
+    functions, make_args = _resolve_workload(name)
+    entry = functions[0]
+    wrapped = wrap_args(make_args())
+
+    simulator = Simulator()
+    stimulus = simulator.fifo("stimulus", capacity=1)
+    top = simulator.module("top")
+    outcome: dict = {}
+
+    def kernel():
+        yield from stimulus.read()
+        outcome["result"] = unwrap(entry(*wrapped))
+
+    def driver():
+        yield from stimulus.write(1)
+
+    kernel_proc = top.add_process(kernel, name=name)
+    driver_proc = top.add_process(driver, name="driver")
+
+    mapping = Mapping()
+    mapping.assign(kernel_proc, make_cpu("cpu0"))
+    mapping.assign(driver_proc, EnvironmentResource("env"))
+    PerformanceLibrary(mapping).attach(simulator)
+    final = simulator.run()
+    print(f"workload {name!r}: result = {outcome.get('result')}, "
+          f"simulated end = {final}")
+
+
+def _cmd_trace(args) -> int:
+    import pathlib
+
+    from .observe import (
+        CLOCK_BOTH,
+        CLOCK_DELTA,
+        CLOCK_TIME,
+        JsonlSink,
+        ObserveError,
+        ObserveSession,
+        export_flamegraph,
+        export_perfetto,
+        export_vcd,
+        validate_trace_events,
+    )
+
+    out = args.output or f"trace.{_TRACE_EXTENSIONS[args.format]}"
+    clock = {"time": CLOCK_TIME, "delta": CLOCK_DELTA,
+             "both": CLOCK_BOTH}[args.clock]
+    # Flame output is built from the profile, not the raw records.
+    profile = args.profile or args.format == "flame"
+
+    sink_factory = None
+    if args.format == "jsonl":
+        def sink_factory(index):
+            return JsonlSink(_numbered(out, index))
+
+    session = ObserveSession(sink_factory=sink_factory, profile=profile)
+    target = pathlib.Path(args.target)
+    try:
+        with session:
+            if target.suffix == ".py":
+                session.run_script(target)
+            else:
+                _run_traced_workload(args.target)
+    except ObserveError as exc:
+        raise SystemExit(f"repro trace: {exc}")
+    if not session.observations:
+        raise SystemExit(f"repro trace: {args.target} built no simulator")
+
+    for observed in session.observations:
+        path = _numbered(out, observed.index)
+        if args.format == "jsonl":
+            print(f"wrote {observed.recorder.sink.count} records to {path}")
+        elif args.format == "perfetto":
+            payload = export_perfetto(observed.records(), path, clock=clock)
+            problems = validate_trace_events(payload)
+            if problems:
+                for problem in problems:
+                    print(f"  invalid: {problem}", file=sys.stderr)
+                raise SystemExit(f"repro trace: {path} failed validation")
+            print(f"wrote {len(payload['traceEvents'])} trace events to "
+                  f"{path} (load at https://ui.perfetto.dev)")
+        elif args.format == "vcd":
+            text = export_vcd(observed.records(), path)
+            print(f"wrote {len(text.splitlines())} VCD lines to {path} "
+                  f"(view with GTKWave)")
+        else:
+            text = export_flamegraph(observed.profiler, path)
+            print(f"wrote {len(text.splitlines())} collapsed stacks to "
+                  f"{path} (feed to flamegraph.pl / speedscope)")
+        if args.profile and observed.profiler is not None:
+            print(observed.profiler.report())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +491,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--rules", dest="rules_catalog",
                              action="store_true",
                              help="print the rule catalog and exit")
+    lint_parser.add_argument("--live", action="store_true",
+                             help="execute each target script instrumented "
+                                  "and lint the simulated processes "
+                                  "(adds the RPR401/402 graph-diff rules)")
     lint_parser.set_defaults(fn=_cmd_lint)
 
     batch_parser = sub.add_parser(
@@ -363,7 +533,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--workload", action="append", default=[],
                               help="workloads sweep: restrict to this "
                                    "workload (repeatable)")
+    batch_parser.add_argument("--trace-dir", default="",
+                              help="write a streaming JSONL trace artifact "
+                                   "per executed run, keyed by its cache "
+                                   "hash, into this directory")
     batch_parser.set_defaults(fn=_cmd_batch)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run a script or workload instrumented; export its trace")
+    trace_parser.add_argument("target",
+                              help="a Python script path (executed as "
+                                   "__main__) or a workload registry name")
+    trace_parser.add_argument("--format", choices=("perfetto", "vcd",
+                                                   "flame", "jsonl"),
+                              default="perfetto",
+                              help="export format (default: perfetto)")
+    trace_parser.add_argument("--output", "-o", default="",
+                              help="output path (default: trace.<ext>)")
+    trace_parser.add_argument("--clock", choices=("time", "delta", "both"),
+                              default="both",
+                              help="perfetto: which clock tracks to emit")
+    trace_parser.add_argument("--profile", action="store_true",
+                              help="also print the per-segment profile "
+                                   "(cycles, calls, host time)")
+    trace_parser.set_defaults(fn=_cmd_trace)
     return parser
 
 

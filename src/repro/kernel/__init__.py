@@ -24,7 +24,7 @@ from .process import Process, ProcessState, TimingAgent
 from .scheduler import Scheduler, SchedulerObserver
 from .simulator import Simulator
 from .time import Clock, SimTime, ZERO, time_from
-from .tracing import TraceRecord, TraceRecorder, VcdWriter
+from .tracing import MemorySink, TraceRecord, TraceRecorder, TraceSink, VcdWriter
 
 __all__ = [
     "Channel", "Fifo", "Rendezvous", "SharedVariable", "Signal",
@@ -34,5 +34,6 @@ __all__ = [
     "Process", "ProcessState", "TimingAgent",
     "Scheduler", "SchedulerObserver", "Simulator",
     "Clock", "SimTime", "ZERO", "time_from",
-    "TraceRecord", "TraceRecorder", "VcdWriter",
+    "MemorySink", "TraceRecord", "TraceRecorder", "TraceSink",
+    "VcdWriter",
 ]

@@ -19,28 +19,62 @@ playing the role of SystemC's ``sc_main`` environment:
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..errors import ElaborationError
 from .channels import Fifo, Rendezvous, SharedVariable, Signal
 from .module import Module
 from .scheduler import Scheduler, SchedulerObserver
 from .time import SimTime
-from .tracing import TraceRecorder
+from .tracing import TraceRecorder, TraceSink
 
 
 class Simulator:
-    """Top-level simulation context (the ``sc_main`` analogue)."""
+    """Top-level simulation context (the ``sc_main`` analogue).
+
+    Tracing is pluggable: ``trace=True`` attaches a
+    :class:`~repro.kernel.tracing.TraceRecorder` whose records go to
+    ``trace_sink`` (default: an in-memory list; pass a streaming sink
+    from :mod:`repro.observe` for bounded-memory tracing).  Additional
+    ``observers`` are attached at construction, before any process runs.
+    """
+
+    #: Factories called with every newly constructed simulator —
+    #: the hook external observability sessions (``repro.observe``,
+    #: ``repro trace`` / ``repro lint --live``) use to instrument
+    #: designs built by unmodified scripts.
+    _default_observer_factories: List[Callable[["Simulator"], None]] = []
 
     def __init__(self, trace: bool = False,
-                 max_deltas_per_instant: int = 1_000_000):
+                 max_deltas_per_instant: int = 1_000_000,
+                 trace_sink: Optional[TraceSink] = None,
+                 record_states: bool = False,
+                 observers: Sequence[SchedulerObserver] = ()):
         self.scheduler = Scheduler(max_deltas_per_instant=max_deltas_per_instant)
         self.modules: List[Module] = []
         self.trace: Optional[TraceRecorder] = None
-        if trace:
-            self.trace = TraceRecorder()
+        if trace or trace_sink is not None:
+            self.trace = TraceRecorder(sink=trace_sink,
+                                       record_states=record_states)
             self.scheduler.add_observer(self.trace)
+        for observer in observers:
+            self.scheduler.add_observer(observer)
         self._ran = False
+        for factory in list(self._default_observer_factories):
+            factory(self)
+
+    # -- session hooks -----------------------------------------------------
+
+    @classmethod
+    def add_default_observer_factory(
+            cls, factory: Callable[["Simulator"], None]) -> None:
+        """Register ``factory`` to be called with every new simulator."""
+        cls._default_observer_factories.append(factory)
+
+    @classmethod
+    def remove_default_observer_factory(
+            cls, factory: Callable[["Simulator"], None]) -> None:
+        cls._default_observer_factories.remove(factory)
 
     # -- structure ---------------------------------------------------------
 

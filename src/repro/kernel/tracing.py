@@ -7,12 +7,19 @@ coordinates matter: in untimed simulation all activity collapses onto
 strict-timed simulation the time axis carries platform behaviour
 (Fig. 5b).  Comparing the two traces of one design is the paper's
 determinism check.
+
+Records flow through a pluggable :class:`TraceSink`.  The default
+:class:`MemorySink` buffers everything in a list (the historical
+behaviour); the :mod:`repro.observe` subsystem adds a bounded ring
+buffer and a streaming JSONL writer so multi-million-event runs hold
+O(1) memory, plus exporters (Perfetto, VCD, flamegraph) over the same
+record stream.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .commands import ChannelAccess, Command, NodeDone, ProcessExit, WaitFor
 from .process import Process
@@ -22,13 +29,19 @@ from .time import SimTime
 
 @dataclasses.dataclass(frozen=True)
 class TraceRecord:
-    """One timestamped simulation event."""
+    """One timestamped simulation event.
+
+    ``depth`` carries the channel occupancy after a completed channel
+    access (``node-finished`` records on channels with a ``__len__``,
+    e.g. FIFOs); it is ``-1`` when no occupancy applies.
+    """
 
     time_fs: int
     delta: int
     process: str
-    kind: str          # node-reached | node-finished | mark | exit | resume
+    kind: str          # node-reached | node-finished | mark | exit | resume | suspend
     detail: str        # channel.op, wait duration, or mark label
+    depth: int = -1
 
     @property
     def time(self) -> SimTime:
@@ -46,26 +59,92 @@ def _describe(command: Command) -> str:
         return f"wait({command.duration})"
     if isinstance(command, ProcessExit):
         return "exit"
-    return repr(command)
+    # Stable class-name fallback: repr() would leak object addresses
+    # into the stream and break record-level determinism across runs.
+    return type(command).__name__
+
+
+class TraceSink:
+    """Where trace records go.  The protocol is deliberately tiny.
+
+    ``emit`` receives every record in simulation order; ``close``
+    releases any backing resource (a no-op for in-memory sinks);
+    ``count`` is the number of records emitted so far.  Sinks that
+    retain records expose them as ``records``.
+    """
+
+    def emit(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release; safe to call more than once."""
+
+    @property
+    def count(self) -> int:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class MemorySink(TraceSink):
+    """Unbounded in-memory sink — the historical TraceRecorder buffer."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
 
 
 class TraceRecorder(SchedulerObserver):
-    """Scheduler observer that accumulates :class:`TraceRecord` entries.
+    """Scheduler observer that feeds :class:`TraceRecord` entries to a sink.
 
     ``kinds`` restricts recording (None = record everything); traces of
-    long simulations can otherwise grow large.
+    long simulations can otherwise grow large.  ``record_states`` adds
+    ``resume``/``suspend`` records on process state transitions — the
+    raw material for process-activity waveforms; it is off by default so
+    existing record streams (and their digests) are unchanged.
     """
 
-    def __init__(self, kinds: Optional[set] = None):
-        self.records: List[TraceRecord] = []
+    def __init__(self, kinds: Optional[set] = None,
+                 sink: Optional[TraceSink] = None,
+                 record_states: bool = False):
+        self.sink: TraceSink = sink if sink is not None else MemorySink()
         self._kinds = kinds
+        self.record_states = record_states
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The retained records (memory-backed sinks only).
+
+        Streaming sinks do not retain records; read their output back
+        instead (e.g. :func:`repro.observe.read_jsonl`).
+        """
+        retained = getattr(self.sink, "records", None)
+        if retained is None:
+            raise AttributeError(
+                f"sink {type(self.sink).__name__} does not retain records"
+            )
+        return list(retained)
 
     def _emit(self, now: SimTime, delta: int, process: Process,
-              kind: str, detail: str) -> None:
+              kind: str, detail: str, depth: int = -1) -> None:
         if self._kinds is not None and kind not in self._kinds:
             return
-        self.records.append(
-            TraceRecord(now.femtoseconds, delta, process.full_name, kind, detail)
+        self.sink.emit(
+            TraceRecord(now.femtoseconds, delta, process.full_name,
+                        kind, detail, depth)
         )
 
     # -- observer callbacks ----------------------------------------------
@@ -74,10 +153,28 @@ class TraceRecorder(SchedulerObserver):
         self._emit(now, delta, process, "node-reached", _describe(command))
 
     def on_node_finished(self, process, command, now, delta):
-        self._emit(now, delta, process, "node-finished", _describe(command))
+        depth = -1
+        channel = getattr(command, "channel", None)
+        if channel is not None:
+            try:
+                depth = len(channel)
+            except TypeError:
+                depth = -1
+        self._emit(now, delta, process, "node-finished",
+                   _describe(command), depth)
 
     def on_mark(self, process, label, now, delta):
         self._emit(now, delta, process, "mark", label)
+
+    def on_process_resume(self, process, now):
+        if self.record_states:
+            self._emit(now, 0, process, "resume", "")
+
+    def on_process_suspend(self, process, now):
+        # A terminated process emits `exit`; the trailing suspend
+        # callback would only flip state waveforms back to waiting.
+        if self.record_states and not process.done:
+            self._emit(now, 0, process, "suspend", "")
 
     def on_process_exit(self, process, now):
         self._emit(now, 0, process, "exit", "")
@@ -90,11 +187,19 @@ class TraceRecorder(SchedulerObserver):
     def of_kind(self, kind: str) -> List[TraceRecord]:
         return [r for r in self.records if r.kind == kind]
 
+    def close(self) -> None:
+        self.sink.close()
+
     def clear(self) -> None:
-        self.records.clear()
+        clear = getattr(self.sink, "clear", None)
+        if clear is None:
+            raise AttributeError(
+                f"sink {type(self.sink).__name__} cannot be cleared"
+            )
+        clear()
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self.sink.count
 
 
 class VcdWriter:
@@ -102,7 +207,9 @@ class VcdWriter:
 
     Produces a waveform file viewable in GTKWave from the committed
     value history of a set of signals — a convenience for inspecting
-    strict-timed simulations with standard EDA tooling.
+    strict-timed simulations with standard EDA tooling.  For waveforms
+    of process states and channel occupancy derived from the event
+    trace, see :func:`repro.observe.export_vcd`.
     """
 
     _ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"

@@ -1,0 +1,77 @@
+"""repro.observe — streaming trace/profile observability.
+
+The paper's whole point is *visibility* into a strict-timed simulation
+(Fig. 5's timelines, §4's timing analyses); this subsystem makes that
+visibility scale from one interactive run to production campaigns:
+
+* **sinks** — the kernel's :class:`~repro.kernel.tracing.TraceRecorder`
+  writes through a pluggable :class:`TraceSink`: unbounded
+  :class:`MemorySink`, bounded :class:`RingSink` (keep the tail),
+  streaming :class:`JsonlSink` (O(1) memory, canonical byte-stable
+  JSONL on disk);
+* **exporters** — :func:`export_perfetto` (Chrome/Perfetto
+  ``trace_event`` JSON; processes as tracks, segments as duration
+  events, on both the time and delta clocks), :func:`export_vcd`
+  (GTKWave waveforms of process states and channel occupancy),
+  :func:`export_flamegraph` (collapsed stacks of per-segment,
+  per-operator annotated cost);
+* **profiler** — the :class:`Profiler` observer aggregates per-segment
+  call counts, estimated cycles and host wall-time, reconciling with
+  the performance library's per-process totals;
+* **sessions** — :class:`ObserveSession` instruments every simulator an
+  unmodified script constructs; ``repro trace`` and the batch
+  subsystem's per-run artifacts drive it.
+
+See ``docs/observe.md`` for the guide.
+"""
+
+from .flame import (
+    WEIGHT_CYCLES,
+    WEIGHT_HOST,
+    collapsed_stacks,
+    export_flamegraph,
+    render_flamegraph,
+)
+from .perfetto import (
+    CLOCK_BOTH,
+    CLOCK_DELTA,
+    CLOCK_TIME,
+    export_perfetto,
+    render_perfetto,
+    to_trace_events,
+    validate_trace_events,
+)
+from .profiler import Profiler, SegmentProfile
+from .session import Observation, ObserveSession, observe_script
+from .sinks import (
+    JsonlSink,
+    MemorySink,
+    ObserveError,
+    RingSink,
+    TraceSink,
+    iter_jsonl,
+    read_jsonl,
+    record_from_json,
+    record_to_json,
+)
+from .vcd import (
+    STATE_DONE,
+    STATE_RUNNING,
+    STATE_WAITING,
+    export_vcd,
+    parse_vcd,
+    render_vcd,
+)
+
+__all__ = [
+    "CLOCK_BOTH", "CLOCK_DELTA", "CLOCK_TIME",
+    "JsonlSink", "MemorySink", "ObserveError", "Observation",
+    "ObserveSession", "Profiler", "RingSink", "SegmentProfile",
+    "STATE_DONE", "STATE_RUNNING", "STATE_WAITING", "TraceSink",
+    "WEIGHT_CYCLES", "WEIGHT_HOST",
+    "collapsed_stacks", "export_flamegraph", "export_perfetto",
+    "export_vcd", "iter_jsonl", "observe_script", "parse_vcd",
+    "read_jsonl", "record_from_json", "record_to_json",
+    "render_flamegraph", "render_perfetto", "render_vcd",
+    "to_trace_events", "validate_trace_events",
+]

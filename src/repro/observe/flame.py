@@ -1,0 +1,85 @@
+"""Flamegraph (collapsed-stack) export of annotated cost.
+
+Turns a :class:`~repro.observe.profiler.Profiler` into the classic
+``flamegraph.pl`` / speedscope collapsed-stack format — one line per
+stack with an integer weight::
+
+    top.consumer;S1-2;mul 1024
+    top.consumer;S1-2;add 512
+
+The stack is ``process;segment;operation`` and the weight is the
+operation's total annotated cost in cycles (count × per-operation cost
+from the :mod:`repro.annotate` tables), so the flamegraph answers
+"where do the estimated cycles come from" — per process, per segment,
+per operator.  Feed the output to ``flamegraph.pl`` or paste it into
+https://www.speedscope.app (import as "collapsed stacks").
+
+``weight="host"`` switches the leaf weight to host wall-time in
+microseconds — where the *simulation itself* burns time — using the
+same stack layout without the per-operator leaves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Union
+
+from .profiler import Profiler
+from .sinks import ObserveError
+
+WEIGHT_CYCLES = "cycles"
+WEIGHT_HOST = "host"
+
+
+def collapsed_stacks(profiler: Profiler,
+                     weight: str = WEIGHT_CYCLES) -> List[str]:
+    """Collapsed-stack lines for ``profiler``, heaviest first."""
+    if weight not in (WEIGHT_CYCLES, WEIGHT_HOST):
+        raise ObserveError(
+            f"unknown weight {weight!r}; choose {WEIGHT_CYCLES!r} "
+            f"or {WEIGHT_HOST!r}")
+    lines: List[tuple] = []
+    for (process, label), profile in profiler.segments.items():
+        if weight == WEIGHT_HOST:
+            value = int(round(1e6 * profile.host_s))
+            if value > 0:
+                lines.append((value, f"{process};{label}"))
+            continue
+        charged = 0.0
+        for operation in sorted(profile.op_cycles):
+            cycles = profile.op_cycles[operation]
+            charged += cycles
+            value = int(round(cycles))
+            if value > 0:
+                lines.append((value, f"{process};{label};{operation}"))
+        # Cost not attributable to a single operator (fractional
+        # residue, ops missing from the table) stays on the segment.
+        residue = int(round(profile.cycles_max - charged))
+        if residue > 0:
+            lines.append((residue, f"{process};{label}"))
+    lines.sort(key=lambda item: (-item[0], item[1]))
+    return [f"{stack} {value}" for value, stack in lines]
+
+
+def render_flamegraph(profiler: Profiler,
+                      weight: str = WEIGHT_CYCLES) -> str:
+    return "\n".join(collapsed_stacks(profiler, weight=weight)) + "\n"
+
+
+def export_flamegraph(profiler: Profiler,
+                      path: Union[str, pathlib.Path],
+                      weight: str = WEIGHT_CYCLES) -> str:
+    """Write collapsed stacks to ``path``; returns the rendered text."""
+    text = render_flamegraph(profiler, weight=weight)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+__all__ = [
+    "WEIGHT_CYCLES",
+    "WEIGHT_HOST",
+    "collapsed_stacks",
+    "export_flamegraph",
+    "render_flamegraph",
+]

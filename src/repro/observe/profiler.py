@@ -1,0 +1,186 @@
+"""The :class:`Profiler` observer: per-segment counts, cycles and host time.
+
+The paper's tables report overload/gain *per run*; production-scale
+campaigns need the same columns **per segment**: how often each closed
+piece of code executed, how many estimated cycles it accumulated (both
+the sequential Tmax and the critical-path Tmin bound), which operations
+those cycles came from, and how much *host* wall-time the simulation
+spent executing it (where the Python model itself is slow).
+
+The profiler is a passive scheduler observer, attached like the
+tracer::
+
+    profiler = Profiler()
+    simulator.add_observer(profiler)
+    ...
+    print(profiler.report())
+
+Cycle figures need an active cost context (i.e. a
+:class:`~repro.core.PerformanceLibrary` attached, or ``with active(ctx)``
+around the run); without one the profiler still counts calls and host
+time.  Because scheduler observers run *before* the timing agent resets
+the context at each node, the profiler reads exactly the accumulation
+the agent turns into sleep time — per-process totals therefore
+reconcile with :class:`~repro.core.ProcessTimingStats` (asserted in the
+test suite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+from ..annotate.context import current_context
+from ..kernel.commands import Command
+from ..kernel.process import Process
+from ..kernel.scheduler import SchedulerObserver
+from ..kernel.time import SimTime
+from ..segments.tracker import node_id_for
+
+
+@dataclasses.dataclass
+class SegmentProfile:
+    """Aggregated figures for one segment of one process."""
+
+    process: str
+    label: str                  # Si-j over first-appearance node labels
+    end_detail: str             # the node the segment runs into
+    calls: int = 0
+    cycles_max: float = 0.0     # sequential bound (sum of operation costs)
+    cycles_min: float = 0.0     # critical-path bound
+    host_s: float = 0.0         # host wall-time spent in the segment
+    op_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+    op_cycles: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.cycles_max / self.calls if self.calls else 0.0
+
+
+class Profiler(SchedulerObserver):
+    """Aggregates per-segment call counts, cycles and host wall-time."""
+
+    def __init__(self) -> None:
+        #: (process, segment key) -> SegmentProfile, in first-appearance order
+        self.segments: Dict[Tuple[str, str], SegmentProfile] = {}
+        self._node_labels: Dict[str, Dict[object, str]] = {}
+        self._last_node: Dict[str, str] = {}
+        self._host_marker: Dict[str, float] = {}
+        self._started_at = _time.perf_counter()
+        self.wall_s = 0.0
+
+    # -- node labelling (mirrors the tracker's N0/N1... scheme) -----------
+
+    def _label(self, process: str, node) -> str:
+        labels = self._node_labels.setdefault(process, {})
+        label = labels.get(node)
+        if label is None:
+            label = f"N{len(labels)}"
+            labels[node] = label
+        return label
+
+    # -- observer callbacks ----------------------------------------------
+
+    def on_process_start(self, process: Process, now: SimTime) -> None:
+        name = process.full_name
+        self._last_node[name] = "entry"
+        self._node_labels.setdefault(name, {})["__entry__"] = "N0"
+
+    def on_process_resume(self, process: Process, now: SimTime) -> None:
+        self._host_marker[process.full_name] = _time.perf_counter()
+
+    def on_node_reached(self, process: Process, command: Command,
+                        now: SimTime, delta: int) -> None:
+        name = process.full_name
+        node = node_id_for(process, command)
+        if name not in self._last_node:     # attached mid-simulation
+            self.on_process_start(process, now)
+        start_label = self._last_node.get(name, "entry")
+        if start_label == "entry":
+            start_label = "N0"
+        end_label = self._label(name, node)
+        key = f"S{start_label[1:]}-{end_label[1:]}"
+        profile = self.segments.get((name, key))
+        if profile is None:
+            profile = SegmentProfile(name, key, node.describe())
+            self.segments[(name, key)] = profile
+
+        profile.calls += 1
+        host_marker = self._host_marker.get(name)
+        if host_marker is not None:
+            nowh = _time.perf_counter()
+            profile.host_s += nowh - host_marker
+            self._host_marker[name] = nowh
+
+        context = current_context()
+        if context is not None:
+            t_max, t_min = context.segment_totals()
+            profile.cycles_max += t_max
+            profile.cycles_min += t_min
+            for operation, count in context.op_counts.items():
+                profile.op_counts[operation] = (
+                    profile.op_counts.get(operation, 0) + count)
+                if operation in context.costs:
+                    profile.op_cycles[operation] = (
+                        profile.op_cycles.get(operation, 0.0)
+                        + count * context.costs.get(operation))
+        self._last_node[name] = end_label
+
+    def on_node_finished(self, process: Process, command: Command,
+                         now: SimTime, delta: int) -> None:
+        # Communication time is not segment time: restart the host clock.
+        self._host_marker[process.full_name] = _time.perf_counter()
+
+    def on_process_exit(self, process: Process, now: SimTime) -> None:
+        self._host_marker.pop(process.full_name, None)
+        self.wall_s = _time.perf_counter() - self._started_at
+
+    # -- queries ------------------------------------------------------------
+
+    def profiles_of(self, process: str) -> List[SegmentProfile]:
+        return [p for (name, _), p in self.segments.items() if name == process]
+
+    def processes(self) -> List[str]:
+        seen: List[str] = []
+        for name, _ in self.segments:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def total_cycles_of(self, process: str) -> Tuple[float, float]:
+        """``(sum Tmax, sum Tmin)`` over the process's segments.
+
+        Both estimation bounds are linear over segments, so for a
+        process on a resource with interpolation factor ``k`` the
+        back-annotated total is ``sum_min + (sum_max - sum_min) * k`` —
+        the reconciliation identity the tests assert against
+        :class:`~repro.core.ProcessTimingStats`.
+        """
+        profiles = self.profiles_of(process)
+        return (sum(p.cycles_max for p in profiles),
+                sum(p.cycles_min for p in profiles))
+
+    def report(self) -> str:
+        """Plain-text per-segment profile (the overload/gain columns)."""
+        lines: List[str] = []
+        for name in self.processes():
+            profiles = self.profiles_of(name)
+            total_max, _ = self.total_cycles_of(name)
+            total_host = sum(p.host_s for p in profiles)
+            lines.append(f"process {name}: {len(profiles)} segments, "
+                         f"{total_max:.1f} cycles, host {1e3 * total_host:.2f}ms")
+            for p in profiles:
+                top = ""
+                if p.op_cycles:
+                    op, cycles = max(p.op_cycles.items(),
+                                     key=lambda item: (item[1], item[0]))
+                    top = f"  top={op}({cycles:.0f}cyc)"
+                lines.append(
+                    f"  {p.label} (→{p.end_detail}) x{p.calls}"
+                    f"  cycles={p.cycles_max:.1f}"
+                    f"  host={1e6 * p.host_s:.0f}us{top}")
+        return "\n".join(lines)
+
+
+__all__ = ["Profiler", "SegmentProfile"]

@@ -1,0 +1,137 @@
+"""Observe sessions: instrument simulators built by unmodified code.
+
+The paper's library attaches "by simply including the library within a
+usual simulation"; the observability layer goes one step further — it
+instruments designs it never sees the source of.  An
+:class:`ObserveSession` registers a default-observer factory on
+:class:`~repro.kernel.Simulator`, so every simulator constructed while
+the session is active (by an example script, a workload harness, a
+batch runner) gets a :class:`~repro.kernel.tracing.TraceRecorder` and,
+optionally, a :class:`~repro.observe.profiler.Profiler` attached before
+its first process runs::
+
+    with ObserveSession(profile=True) as session:
+        runpy.run_path("examples/quickstart.py", run_name="__main__")
+    for observed in session.observations:
+        export_perfetto(observed.records(), "trace.json")
+
+This is what ``repro trace <script.py>`` and the batch subsystem's
+per-run trace artifacts are built on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import runpy
+from typing import Callable, List, Optional, Union
+
+from ..kernel.simulator import Simulator
+from ..kernel.tracing import MemorySink, TraceRecord, TraceRecorder, TraceSink
+from .profiler import Profiler
+from .sinks import ObserveError, read_jsonl
+
+#: A sink factory receives the 0-based index of the simulator within
+#: the session (scripts may build several) and returns a fresh sink.
+SinkFactory = Callable[[int], TraceSink]
+
+
+@dataclasses.dataclass
+class Observation:
+    """One instrumented simulator and its attached observers."""
+
+    index: int
+    simulator: Simulator
+    recorder: TraceRecorder
+    profiler: Optional[Profiler] = None
+
+    def records(self) -> List[TraceRecord]:
+        """The trace records, read back from disk for streaming sinks."""
+        sink = self.recorder.sink
+        retained = getattr(sink, "records", None)
+        if retained is not None:
+            return list(retained)
+        path = getattr(sink, "path", None)
+        if path is None:
+            raise ObserveError(
+                f"sink {type(sink).__name__} retains no records and has "
+                "no path to read back")
+        self.recorder.close()
+        return read_jsonl(path)
+
+
+class ObserveSession:
+    """Attach tracing/profiling to every simulator built inside a scope."""
+
+    def __init__(self, sink_factory: Optional[SinkFactory] = None,
+                 profile: bool = False, record_states: bool = True,
+                 kinds: Optional[set] = None):
+        self._sink_factory = sink_factory or (lambda index: MemorySink())
+        self._profile = profile
+        self._record_states = record_states
+        self._kinds = kinds
+        self.observations: List[Observation] = []
+        self._installed = False
+
+    # -- the Simulator hook -------------------------------------------------
+
+    def _instrument(self, simulator: Simulator) -> None:
+        index = len(self.observations)
+        recorder = TraceRecorder(kinds=self._kinds,
+                                 sink=self._sink_factory(index),
+                                 record_states=self._record_states)
+        simulator.add_observer(recorder)
+        profiler = None
+        if self._profile:
+            profiler = Profiler()
+            simulator.add_observer(profiler)
+        self.observations.append(
+            Observation(index, simulator, recorder, profiler))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ObserveSession":
+        if self._installed:
+            raise ObserveError("observe session is already active")
+        Simulator.add_default_observer_factory(self._instrument)
+        self._installed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._installed:
+            Simulator.remove_default_observer_factory(self._instrument)
+            self._installed = False
+        for observed in self.observations:
+            observed.recorder.close()
+
+    # -- drivers -----------------------------------------------------------
+
+    def run_script(self, path: Union[str, pathlib.Path]) -> None:
+        """Execute a Python file (as ``__main__``) under this session."""
+        script = pathlib.Path(path)
+        if not script.exists():
+            raise ObserveError(f"script does not exist: {script}")
+        runpy.run_path(str(script), run_name="__main__")
+
+    def single(self) -> Observation:
+        """The session's one observation; error if none or several."""
+        if len(self.observations) != 1:
+            raise ObserveError(
+                f"expected exactly one simulator in the session, "
+                f"observed {len(self.observations)}")
+        return self.observations[0]
+
+
+def observe_script(path: Union[str, pathlib.Path],
+                   sink_factory: Optional[SinkFactory] = None,
+                   profile: bool = False,
+                   record_states: bool = True) -> ObserveSession:
+    """Run ``path`` under a fresh session; returns the finished session."""
+    session = ObserveSession(sink_factory=sink_factory, profile=profile,
+                             record_states=record_states)
+    with session:
+        session.run_script(path)
+    return session
+
+
+__all__ = ["Observation", "ObserveSession", "observe_script"]

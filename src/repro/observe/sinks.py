@@ -1,0 +1,168 @@
+"""Trace sinks: where the kernel's record stream goes.
+
+The :class:`~repro.kernel.tracing.TraceSink` protocol (and the
+unbounded :class:`~repro.kernel.tracing.MemorySink`) live in the kernel
+next to the recorder; this module adds the sinks that make large
+campaigns observable:
+
+* :class:`RingSink` — a bounded buffer that keeps only the most recent
+  records (drop-oldest), for always-on tracing of long runs where only
+  the tail matters (post-mortem of a deadlock or timeout);
+* :class:`JsonlSink` — a streaming writer that serializes each record
+  to one JSON line as it is emitted, so the full trace of a
+  multi-million-event run costs O(1) memory and lands on disk in a
+  format every downstream exporter (and ``jq``) can read back.
+
+Serialization is canonical — sorted keys, no whitespace, no
+timestamps — so two identical simulations produce byte-identical
+trace files; the determinism/differential test layer relies on it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from collections import deque
+from typing import IO, Iterator, List, Optional, Union
+
+from ..errors import ReproError
+from ..kernel.tracing import MemorySink, TraceRecord, TraceSink
+
+
+class ObserveError(ReproError):
+    """Raised for malformed trace streams and exporter misuse."""
+
+
+class RingSink(TraceSink):
+    """Bounded in-memory sink: keeps the newest ``capacity`` records.
+
+    Once full, each new record evicts the oldest — memory stays flat
+    however long the simulation runs.  ``count`` still reports the
+    total number of records ever emitted, so callers can tell how much
+    history was dropped (``count - len(records)``).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ObserveError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        self._emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        self._ring.append(record)
+        self._emitted += 1
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return list(self._ring)
+
+    @property
+    def count(self) -> int:
+        return self._emitted
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted so far."""
+        return self._emitted - len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._emitted = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._ring)
+
+
+#: Field order of the JSONL wire format (also the CSV-ish human order).
+_FIELDS = ("time_fs", "delta", "process", "kind", "detail", "depth")
+
+
+def record_to_json(record: TraceRecord) -> str:
+    """Canonical one-line JSON for ``record`` (sorted keys, no spaces)."""
+    return json.dumps(dataclasses.asdict(record),
+                      sort_keys=True, separators=(",", ":"))
+
+
+def record_from_json(line: str) -> TraceRecord:
+    """Inverse of :func:`record_to_json`; tolerant of missing ``depth``."""
+    try:
+        payload = json.loads(line)
+        return TraceRecord(**{name: payload[name] for name in _FIELDS
+                              if name in payload})
+    except (ValueError, TypeError, KeyError) as exc:
+        raise ObserveError(f"malformed trace record line: {exc}") from exc
+
+
+class JsonlSink(TraceSink):
+    """Streaming sink: one canonical JSON line per record, written as
+    records arrive.
+
+    Holds no record history — peak memory is one record plus the file
+    buffer, independent of event count.  Pass a path (the sink opens and
+    owns the file) or an open text handle (the caller keeps ownership).
+    """
+
+    def __init__(self, target: Union[str, pathlib.Path, IO[str]]):
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target
+            self._owns_handle = False
+            self.path: Optional[pathlib.Path] = None
+        else:
+            self.path = pathlib.Path(target)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._owns_handle = True
+        self._emitted = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        self._handle.write(record_to_json(record))
+        self._handle.write("\n")
+        self._emitted += 1
+
+    @property
+    def count(self) -> int:
+        return self._emitted
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, pathlib.Path]) -> List[TraceRecord]:
+    """Load a JSONL trace back into records (for exporters and tests)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_json(line))
+    return records
+
+
+def iter_jsonl(path: Union[str, pathlib.Path]) -> Iterator[TraceRecord]:
+    """Streaming variant of :func:`read_jsonl` (O(1) memory)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_json(line)
+
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "ObserveError",
+    "RingSink",
+    "TraceSink",
+    "iter_jsonl",
+    "read_jsonl",
+    "record_from_json",
+    "record_to_json",
+]

@@ -1,0 +1,198 @@
+"""VCD waveforms of process activity and channel occupancy.
+
+Complements the kernel's :class:`~repro.kernel.tracing.VcdWriter`
+(which dumps :class:`Signal` value histories): this exporter works from
+the **event trace** alone, so any traced simulation — including ones
+with no signals at all — yields a waveform viewable in GTKWave:
+
+* one 2-bit ``<process>_state`` wire per process —
+  0 waiting, 1 running, 2 done.  Needs ``resume``/``suspend`` records
+  (``record_states=True``); without them it falls back to marking the
+  process active around each node event.
+* one 16-bit ``<channel>_depth`` register per channel that reported an
+  occupancy (FIFOs) — the committed depth after each completed access.
+
+The time axis is simulated femtoseconds, *delta-expanded*: VCD has no
+zero-time transitions, so each successive change inside one simulated
+instant is pushed one femtosecond later.  At nanosecond scales the
+distortion is invisible, while purely untimed activity (the paper's
+Fig. 5a, everything at t = 0) spreads into a readable waveform instead
+of collapsing onto a single tick.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..kernel.tracing import TraceRecord
+from .sinks import ObserveError
+
+STATE_WAITING = 0
+STATE_RUNNING = 1
+STATE_DONE = 2
+
+_ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _identifier(index: int) -> str:
+    code = _ID_CHARS[index % len(_ID_CHARS)]
+    index //= len(_ID_CHARS)
+    while index:
+        code += _ID_CHARS[index % len(_ID_CHARS)]
+        index //= len(_ID_CHARS)
+    return code
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.]", "_", name)
+
+
+def render_vcd(records: Iterable[TraceRecord]) -> str:
+    """Render the trace as VCD text (see module docstring)."""
+    records = list(records)
+    processes: List[str] = []
+    channels: List[str] = []
+    for record in records:
+        if record.process not in processes:
+            processes.append(record.process)
+        if record.kind == "node-finished" and record.depth >= 0:
+            channel = record.detail.rsplit(".", 1)[0]
+            if channel not in channels:
+                channels.append(channel)
+    if not processes:
+        raise ObserveError("empty trace: nothing to export")
+
+    has_states = any(r.kind == "resume" for r in records)
+
+    ids: Dict[Tuple[str, str], str] = {}
+    lines = [
+        "$date reproduction run $end",
+        "$version repro.observe VCD export $end",
+        "$timescale 1 fs $end",
+        "$scope module processes $end",
+    ]
+    for process in processes:
+        code = _identifier(len(ids))
+        ids[("state", process)] = code
+        lines.append(f"$var wire 2 {code} {_sanitize(process)}_state $end")
+    lines.append("$upscope $end")
+    if channels:
+        lines.append("$scope module channels $end")
+        for channel in channels:
+            code = _identifier(len(ids))
+            ids[("depth", channel)] = code
+            lines.append(f"$var integer 16 {code} {_sanitize(channel)}_depth $end")
+        lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    # Change groups: (time_fs, [(code, value), ...]); one group per
+    # record (scheduler time is monotone, so groups arrive in order).
+    groups: List[Tuple[int, List[Tuple[str, int]]]] = [(0, [])]
+    for process in processes:
+        groups[0][1].append((ids[("state", process)], STATE_WAITING))
+    for channel in channels:
+        groups[0][1].append((ids[("depth", channel)], 0))
+
+    for record in records:
+        group: List[Tuple[str, int]] = []
+        code = ids[("state", record.process)]
+        if has_states:
+            if record.kind == "resume":
+                group.append((code, STATE_RUNNING))
+            elif record.kind == "suspend":
+                group.append((code, STATE_WAITING))
+        else:
+            if record.kind == "node-reached":
+                group.append((code, STATE_RUNNING))
+            elif record.kind == "node-finished":
+                group.append((code, STATE_WAITING))
+        if record.kind == "exit":
+            group.append((code, STATE_DONE))
+        if record.kind == "node-finished" and record.depth >= 0:
+            channel = record.detail.rsplit(".", 1)[0]
+            group.append((ids[("depth", channel)], record.depth))
+        if group:
+            groups.append((record.time_fs, group))
+
+    body: List[str] = []
+    current: Dict[str, Optional[int]] = {code: None for code in ids.values()}
+    last_stamp = -1
+    for time_fs, group in groups:
+        writes = [(code, value) for code, value in group
+                  if current[code] != value]
+        if not writes:
+            continue
+        # Delta expansion: changes inside one instant each move 1 fs on.
+        stamp = max(time_fs, last_stamp + 1)
+        body.append(f"#{stamp}")
+        for code, value in writes:
+            body.append(f"b{bin(value)[2:]} {code}")
+            current[code] = value
+        last_stamp = stamp
+
+    return "\n".join(lines + body) + "\n"
+
+
+def export_vcd(records: Iterable[TraceRecord],
+               path: Union[str, pathlib.Path]) -> str:
+    """Write the waveform to ``path``; returns the rendered text."""
+    text = render_vcd(records)
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(text)
+    return text
+
+
+def parse_vcd(text: str) -> Tuple[Dict[str, str], List[Tuple[int, str, int]]]:
+    """Parse VCD text into ``(id -> var name, [(time, id, value)])``.
+
+    A deliberately small reader covering the subset this exporter (and
+    the kernel's VcdWriter) produce — scalar/vector ``b...`` changes —
+    used by the test layer and handy for scripting over waveforms
+    without GTKWave.
+    """
+    variables: Dict[str, str] = {}
+    changes: List[Tuple[int, str, int]] = []
+    in_definitions = True
+    now = 0
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                if len(parts) < 6 or parts[-1] != "$end":
+                    raise ObserveError(f"malformed $var line: {line!r}")
+                variables[parts[3]] = parts[4]
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            try:
+                now = int(line[1:])
+            except ValueError as exc:
+                raise ObserveError(f"malformed timestamp {line!r}") from exc
+        elif line.startswith("b"):
+            try:
+                bits, code = line[1:].split()
+                value = int(bits, 2)
+            except ValueError as exc:
+                raise ObserveError(f"malformed value change {line!r}") from exc
+            if code not in variables:
+                raise ObserveError(f"value change for undeclared id {code!r}")
+            changes.append((now, code, value))
+        else:
+            raise ObserveError(f"unsupported VCD statement {line!r}")
+    return variables, changes
+
+
+__all__ = [
+    "STATE_DONE",
+    "STATE_RUNNING",
+    "STATE_WAITING",
+    "export_vcd",
+    "parse_vcd",
+    "render_vcd",
+]

@@ -58,8 +58,45 @@ def registry():
     }
 
 
+#: Extra kernel entry-point names announced via
+#: :func:`register_kernel_entry_point` (out-of-tree workloads).
+_EXTRA_ENTRY_POINTS: set = set()
+
+
+def register_kernel_entry_point(name: str) -> str:
+    """Announce ``name`` as an annotated-kernel entry point.
+
+    The model linter treats any function with this name as a kernel
+    even when its body carries no annotation markers (``aint``,
+    ``arange``, ...) — the case for kernels that take already-wrapped
+    arguments and never construct annotated values themselves.
+    Returns the name so it can be used as a decorator-ish one-liner::
+
+        register_kernel_entry_point("my_kernel")
+    """
+    _EXTRA_ENTRY_POINTS.add(str(name))
+    return name
+
+
+def entry_point_names() -> list:
+    """Every known kernel entry-point function name, sorted.
+
+    The union of the benchmark :func:`registry` (all functions of every
+    entry, since helpers like ``quick_partition`` are kernels too) and
+    the names announced via :func:`register_kernel_entry_point`.  The
+    linter's kernel detection consults this, so native-typed registry
+    kernels are linted even though their bodies carry no markers.
+    """
+    names = set(_EXTRA_ENTRY_POINTS)
+    for functions, _make_args in registry().values():
+        for fn in functions:
+            names.add(fn.__name__)
+    return sorted(names)
+
+
 __all__ = [
     "registry",
+    "entry_point_names", "register_kernel_entry_point",
     "array_ops", "make_array_inputs",
     "biquad_filter", "biquad_section", "lowpass_coefficients",
     "make_biquad_inputs",

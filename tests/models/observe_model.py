@@ -1,0 +1,50 @@
+"""Stable two-process model behind the observability golden files.
+
+Deliberately tiny and fully deterministic: a producer pushes a few
+values through a capacity-2 fifo with a 10 ns gap, a consumer drains
+them.  The golden Perfetto/VCD exports in ``tests/golden/`` are
+rendered from this build — everything they contain (process names,
+channel names, node details, timestamps) is position-independent, so
+editing unrelated code must not invalidate them.
+
+Run directly, it simulates once and prints the consumed values — which
+also makes it a target for ``repro trace`` / ``repro lint --live``.
+"""
+
+from repro import SimTime, Simulator, wait
+
+MESSAGES = 3
+GAP_NS = 10
+
+
+def build(simulator):
+    """Attach the producer/consumer pair; returns the consumed-values list."""
+    top = simulator.module("top")
+    link = simulator.fifo("link", capacity=2)
+    consumed = []
+
+    def producer():
+        for i in range(MESSAGES):
+            yield from link.write(i * 7 + 1)
+            yield wait(SimTime.ns(GAP_NS))
+
+    def consumer():
+        for _ in range(MESSAGES):
+            value = yield from link.read()
+            consumed.append(value)
+
+    top.add_process(producer)
+    top.add_process(consumer)
+    return consumed
+
+
+def main():
+    simulator = Simulator()
+    consumed = build(simulator)
+    final = simulator.run()
+    print(f"consumed {consumed} by {final}")
+    return consumed
+
+
+if __name__ == "__main__":
+    main()

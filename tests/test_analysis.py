@@ -463,3 +463,88 @@ class TestEngine:
                              REPO / "examples"])
         assert result.clean, render_text(result)
         assert len(result.files) >= 16  # ten workloads + six examples
+
+
+class TestEntryPointRegistry:
+    """Satellite: registry-announced kernels need no in-body markers."""
+
+    def test_registry_names_cover_the_benchmark_inventory(self):
+        from repro.workloads import entry_point_names, registry
+
+        names = entry_point_names()
+        for functions, _make_args in registry().values():
+            for fn in functions:
+                assert fn.__name__ in names
+
+    def test_registry_named_kernel_is_linted_without_markers(self):
+        # `fir_filter` is a registry name; a native-typed body with a
+        # plain range() loop must fire RPR301 even with no aint/arange
+        # markers to trip the kernel scan.
+        bad = (
+            "def fir_filter(x, h, y, n, taps):\n"
+            "    check = 0\n"
+            "    for i in range(n):\n"
+            "        check = check + x[i]\n"
+            "    return check\n"
+        )
+        assert "RPR301" in codes(analyze_source(bad))
+
+    def test_unregistered_plain_function_stays_invisible(self):
+        plain = (
+            "def helper(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+        assert analyze_source(plain).clean
+
+    def test_register_kernel_entry_point_hook(self):
+        import repro.workloads as workloads
+
+        source = (
+            "def my_custom_kernel(n):\n"
+            "    total = 0\n"
+            "    for i in range(n):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+        assert analyze_source(source).clean
+        workloads.register_kernel_entry_point("my_custom_kernel")
+        try:
+            assert "RPR301" in codes(analyze_source(source))
+        finally:
+            workloads._EXTRA_ENTRY_POINTS.discard("my_custom_kernel")
+
+
+class TestLiveLint:
+    def test_lint_simulation_merges_static_and_graph_diff(self):
+        from repro import Simulator
+        from repro.analysis import lint_simulation
+
+        model = load_model("channeled_model")
+        simulator = Simulator()
+        tracker = SegmentTracker()
+        simulator.add_observer(tracker)
+        model.build(simulator)
+        simulator.run()
+        skipped = []
+        result = lint_simulation(simulator, tracker, skipped=skipped)
+        assert not skipped
+        assert result.files
+        # The fixed model lints clean statically; only info-level
+        # graph-diff notes may remain.
+        assert all(str(d.severity) == "info" for d in result.diagnostics)
+
+    def test_rule_selection_applies_to_graph_diff_rules(self):
+        from repro import Simulator
+        from repro.analysis import lint_simulation
+
+        model = load_model("channeled_model")
+        simulator = Simulator()
+        tracker = SegmentTracker()
+        simulator.add_observer(tracker)
+        model.build(simulator)
+        simulator.run()
+        result = lint_simulation(simulator, tracker, rules=["RPR101"])
+        assert all(d.code == "RPR101" for d in result.diagnostics)

@@ -247,3 +247,43 @@ def test_workload_sweep_config_grid():
     assert [c.params_dict()["backend"] for c in configs] == \
         ["plain", "annotated", "iss"] * 2
     assert len({c.cache_key() for c in configs}) == len(configs)
+
+
+# ---------------------------------------------------------------------------
+# Per-run trace artifacts (repro.observe integration)
+# ---------------------------------------------------------------------------
+
+def test_trace_dir_writes_artifact_keyed_by_cache_hash(tmp_path):
+    config = RunConfig.of("topology", **TOPOLOGY)
+    campaign = Campaign([config], workers=0, cache=None,
+                        trace_dir=tmp_path / "traces")
+    (result,) = campaign.run()
+    assert result.ok
+    expected = tmp_path / "traces" / f"{config.cache_key()}.jsonl"
+    assert result.payload["trace"] == str(expected)
+    assert expected.exists()
+
+    from repro.observe import read_jsonl
+    records = read_jsonl(expected)
+    assert records
+    processes = {r.process for r in records}
+    assert "top.producer" in processes and "top.consumer" in processes
+
+
+def test_trace_artifact_does_not_change_the_cache_key(tmp_path):
+    config = RunConfig.of("topology", **TOPOLOGY)
+    untraced = Campaign([config], workers=0, cache=None).run()[0]
+    traced = Campaign([config], workers=0, cache=None,
+                      trace_dir=tmp_path / "traces").run()[0]
+    # The simulation outcome is identical; only the artifact pointer
+    # is added to the traced payload.
+    payload = dict(traced.payload)
+    assert payload.pop("trace")
+    assert payload == untraced.payload
+
+
+def test_without_trace_dir_no_artifacts_appear(tmp_path):
+    config = RunConfig.of("topology", **TOPOLOGY)
+    (result,) = Campaign([config], workers=0, cache=None).run()
+    assert result.ok
+    assert "trace" not in result.payload

@@ -1,0 +1,378 @@
+"""repro.observe — sinks, exporters, profiler, sessions, CLI.
+
+The load-bearing assertions:
+
+* the Perfetto and VCD exports of the stable two-process model match
+  the committed golden files byte for byte (and the Perfetto payload
+  passes its own validator),
+* a bounded :class:`RingSink` drops oldest-first at capacity,
+* two identical runs streamed through :class:`JsonlSink` produce
+  byte-identical files (the determinism criterion at the artifact
+  level),
+* :class:`JsonlSink` holds O(1) memory while :class:`MemorySink` grows
+  linearly,
+* the :class:`Profiler`'s per-process cycle totals reconcile exactly
+  with the performance library's :class:`ProcessTimingStats` — on SW
+  (sum mode) and on HW via the ``Tmin + (Tmax - Tmin) * k`` identity.
+"""
+
+import importlib.util
+import json
+import pathlib
+import tracemalloc
+
+import pytest
+
+from repro import Simulator
+from repro.cli import main
+from repro.core import PerformanceLibrary
+from repro.kernel.tracing import MemorySink, TraceRecord, TraceRecorder
+from repro.observe import (
+    CLOCK_DELTA,
+    CLOCK_TIME,
+    JsonlSink,
+    ObserveError,
+    ObserveSession,
+    Profiler,
+    RingSink,
+    collapsed_stacks,
+    observe_script,
+    parse_vcd,
+    read_jsonl,
+    record_from_json,
+    record_to_json,
+    render_perfetto,
+    render_vcd,
+    to_trace_events,
+    validate_trace_events,
+)
+from repro.platform import EnvironmentResource, Mapping, make_cpu, make_fabric
+
+HERE = pathlib.Path(__file__).resolve().parent
+GOLDEN = HERE / "golden"
+MODEL_PATH = HERE / "models" / "observe_model.py"
+
+
+def _load_model():
+    spec = importlib.util.spec_from_file_location("observe_model", MODEL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+MODEL = _load_model()
+
+
+def _traced_model(sink=None, record_states=True):
+    simulator = Simulator()
+    recorder = TraceRecorder(sink=sink, record_states=record_states)
+    simulator.add_observer(recorder)
+    consumed = MODEL.build(simulator)
+    final = simulator.run()
+    return simulator, recorder, consumed, final
+
+
+def _synthetic_records(n):
+    for i in range(n):
+        yield TraceRecord(i * 1000, i % 3, "top.worker",
+                          "node-reached", "link.read")
+
+
+# ---------------------------------------------------------------------------
+# Golden exports
+# ---------------------------------------------------------------------------
+
+class TestGoldenExports:
+    def test_model_behaviour_is_the_golden_scenario(self):
+        _sim, recorder, consumed, final = _traced_model()
+        assert consumed == [1, 8, 15]
+        assert final.to_ns() == 30
+        assert len(recorder.records) == 34
+
+    def test_perfetto_matches_golden(self):
+        _sim, recorder, _consumed, _final = _traced_model()
+        golden = (GOLDEN / "observe_model.perfetto.json").read_text()
+        assert render_perfetto(recorder.records) == golden
+
+    def test_golden_perfetto_validates(self):
+        payload = json.loads(
+            (GOLDEN / "observe_model.perfetto.json").read_text())
+        assert validate_trace_events(payload) == []
+
+    def test_vcd_matches_golden(self):
+        _sim, recorder, _consumed, _final = _traced_model()
+        golden = (GOLDEN / "observe_model.vcd").read_text()
+        assert render_vcd(recorder.records) == golden
+
+    def test_golden_vcd_parses(self):
+        variables, changes = parse_vcd(
+            (GOLDEN / "observe_model.vcd").read_text())
+        names = set(variables.values())
+        assert {"top.producer_state", "top.consumer_state",
+                "link_depth"} <= names
+        assert changes
+        stamps = [time for time, _code, _value in changes]
+        assert stamps == sorted(stamps)
+
+    def test_clock_selection(self):
+        _sim, recorder, _consumed, _final = _traced_model()
+        time_only = to_trace_events(recorder.records, clock=CLOCK_TIME)
+        delta_only = to_trace_events(recorder.records, clock=CLOCK_DELTA)
+        assert {e["pid"] for e in time_only["traceEvents"]} == {1}
+        assert {e["pid"] for e in delta_only["traceEvents"]} == {2}
+
+    def test_validator_flags_malformed_events(self):
+        payload = {"traceEvents": [
+            {"ph": "X", "name": "n", "pid": 1, "tid": 1},       # no ts/dur
+            {"ph": "Z", "name": "n", "pid": 1, "tid": 1, "ts": 0},
+        ]}
+        problems = validate_trace_events(payload)
+        assert len(problems) == 3  # missing ts, missing dur, unknown phase
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+class TestRingSink:
+    def test_drops_oldest_at_capacity(self):
+        sink = RingSink(capacity=8)
+        for record in _synthetic_records(20):
+            sink.emit(record)
+        assert len(sink.records) == 8
+        assert sink.count == 20
+        assert sink.dropped == 12
+        # The retained tail is the *last* 8 records, in order.
+        assert [r.time_fs for r in sink.records] == \
+            [i * 1000 for i in range(12, 20)]
+
+    def test_under_capacity_keeps_everything(self):
+        sink = RingSink(capacity=8)
+        for record in _synthetic_records(5):
+            sink.emit(record)
+        assert len(sink.records) == 5
+        assert sink.dropped == 0
+
+
+class TestJsonlSink:
+    def test_roundtrip(self):
+        record = TraceRecord(1500, 2, "top.p", "node-finished", "ch.write", 3)
+        assert record_from_json(record_to_json(record)) == record
+
+    def test_two_identical_runs_are_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            _sim, recorder, _consumed, _final = _traced_model(
+                sink=JsonlSink(path))
+            recorder.close()
+        first, second = (p.read_bytes() for p in paths)
+        assert first == second
+        assert first  # not trivially empty
+        records = read_jsonl(paths[0])
+        assert len(records) == 34
+
+    def test_streaming_sink_retains_nothing(self, tmp_path):
+        _sim, recorder, _consumed, _final = _traced_model(
+            sink=JsonlSink(tmp_path / "t.jsonl"))
+        with pytest.raises(AttributeError):
+            recorder.records
+
+    def test_o1_memory_versus_memory_sink(self, tmp_path):
+        def peak_feeding(sink, n):
+            tracemalloc.start()
+            for record in _synthetic_records(n):
+                sink.emit(record)
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            sink.close()
+            return peak
+
+        small = peak_feeding(JsonlSink(tmp_path / "small.jsonl"), 2_000)
+        large = peak_feeding(JsonlSink(tmp_path / "large.jsonl"), 20_000)
+        retained = peak_feeding(MemorySink(), 20_000)
+        # Streaming: 10x the records must not mean 10x the memory —
+        # the peak stays within a constant factor (buffering slack).
+        assert large < 3 * small
+        # The retaining sink pays for every record it holds.
+        assert retained > 5 * large
+
+
+# ---------------------------------------------------------------------------
+# Profiler reconciliation with the performance library
+# ---------------------------------------------------------------------------
+
+def _profiled_kernel_run(resource):
+    """One annotated FIR kernel mapped onto ``resource``; driver is env."""
+    from repro.workloads import wrap_args
+    from repro.workloads.fir import fir_filter, make_fir_inputs
+
+    simulator = Simulator()
+    profiler = Profiler()
+    simulator.add_observer(profiler)
+    stimulus = simulator.fifo("stimulus", capacity=1)
+    top = simulator.module("top")
+    wrapped = wrap_args(make_fir_inputs(32, 4))
+
+    def kernel():
+        yield from stimulus.read()
+        fir_filter(*wrapped)
+
+    def driver():
+        yield from stimulus.write(1)
+
+    kernel_proc = top.add_process(kernel, name="kernel")
+    driver_proc = top.add_process(driver, name="driver")
+    mapping = Mapping()
+    mapping.assign(kernel_proc, resource)
+    mapping.assign(driver_proc, EnvironmentResource("env"))
+    perf = PerformanceLibrary(mapping).attach(simulator)
+    simulator.run()
+    return profiler, perf
+
+
+class TestProfilerReconciliation:
+    def test_sw_totals_match_timing_stats(self):
+        profiler, perf = _profiled_kernel_run(make_cpu("cpu0"))
+        stats = perf.stats["top.kernel"]
+        total_max, _total_min = profiler.total_cycles_of("top.kernel")
+        assert total_max > 0
+        # SW estimation charges the sequential bound, segment by
+        # segment; both sides sum the same accumulations.
+        assert total_max == pytest.approx(stats.cycles)
+
+    def test_hw_totals_match_via_k_interpolation(self):
+        k = 0.3
+        profiler, perf = _profiled_kernel_run(
+            make_fabric("hw0", k_factor=k))
+        stats = perf.stats["top.kernel"]
+        total_max, total_min = profiler.total_cycles_of("top.kernel")
+        assert total_max > total_min > 0
+        # interpolate() is linear, so it commutes with summation.
+        assert total_min + (total_max - total_min) * k == \
+            pytest.approx(stats.cycles)
+
+    def test_profile_counts_and_report(self):
+        profiler, _perf = _profiled_kernel_run(make_cpu("cpu0"))
+        kernel_profiles = profiler.profiles_of("top.kernel")
+        assert sum(p.calls for p in kernel_profiles) >= 2
+        report = profiler.report()
+        assert "top.kernel" in report and "cycles=" in report
+
+    def test_flamegraph_stacks_carry_operator_cost(self):
+        profiler, _perf = _profiled_kernel_run(make_cpu("cpu0"))
+        stacks = collapsed_stacks(profiler)
+        assert stacks
+        # Heaviest-first, "process;segment;op weight" shape, no
+        # source line numbers anywhere (golden-stability contract).
+        weights = [int(line.rsplit(" ", 1)[1]) for line in stacks]
+        assert weights == sorted(weights, reverse=True)
+        assert all(line.startswith("top.kernel;S") for line in stacks)
+
+
+# ---------------------------------------------------------------------------
+# Sessions and the trace CLI
+# ---------------------------------------------------------------------------
+
+class TestObserveSession:
+    def test_instruments_every_simulator_in_scope(self):
+        with ObserveSession() as session:
+            for _ in range(2):
+                simulator = Simulator()
+                MODEL.build(simulator)
+                simulator.run()
+        assert [o.index for o in session.observations] == [0, 1]
+        for observed in session.observations:
+            assert len(observed.records()) == 34
+        with pytest.raises(ObserveError):
+            session.single()
+
+    def test_outside_the_scope_nothing_attaches(self):
+        with ObserveSession():
+            pass
+        simulator = Simulator()
+        MODEL.build(simulator)
+        simulator.run()
+        assert simulator.trace is None
+
+    def test_observe_script_runs_main(self):
+        session = observe_script(MODEL_PATH)
+        observed = session.single()
+        assert len(observed.records()) == 34
+
+    def test_nested_sessions_are_rejected(self):
+        session = ObserveSession()
+        with session:
+            with pytest.raises(ObserveError):
+                session.__enter__()
+
+
+class TestTraceCli:
+    def test_perfetto_export_of_script(self, tmp_path, capsys):
+        out = tmp_path / "model.json"
+        assert main(["trace", str(MODEL_PATH), "--format", "perfetto",
+                     "-o", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_trace_events(payload) == []
+        assert "trace events" in capsys.readouterr().out
+
+    def test_vcd_export_of_script(self, tmp_path, capsys):
+        out = tmp_path / "model.vcd"
+        assert main(["trace", str(MODEL_PATH), "--format", "vcd",
+                     "-o", str(out)]) == 0
+        variables, changes = parse_vcd(out.read_text())
+        assert variables and changes
+
+    def test_jsonl_export_of_script(self, tmp_path, capsys):
+        out = tmp_path / "model.jsonl"
+        assert main(["trace", str(MODEL_PATH), "--format", "jsonl",
+                     "-o", str(out)]) == 0
+        assert len(read_jsonl(out)) == 34
+
+    def test_flame_export_of_workload(self, tmp_path, capsys):
+        out = tmp_path / "fir.folded"
+        assert main(["trace", "fir", "--format", "flame",
+                     "-o", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines and all(" " in line for line in lines)
+
+    def test_workload_trace_with_profile(self, tmp_path, capsys):
+        out = tmp_path / "fir.json"
+        assert main(["trace", "fir", "--profile", "-o", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "result = 26040" in captured
+        assert "segments" in captured
+        assert validate_trace_events(json.loads(out.read_text())) == []
+
+    def test_unknown_workload_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "no-such-workload",
+                  "-o", str(tmp_path / "x.json")])
+
+
+# ---------------------------------------------------------------------------
+# Live lint
+# ---------------------------------------------------------------------------
+
+class TestLiveLint:
+    def test_lint_simulation_walks_every_process(self):
+        from repro.analysis import lint_simulation
+        from repro.segments import SegmentTracker
+
+        simulator = Simulator()
+        tracker = SegmentTracker()
+        simulator.add_observer(tracker)
+        MODEL.build(simulator)
+        simulator.run()
+        skipped = []
+        result = lint_simulation(simulator, tracker, skipped=skipped)
+        assert str(MODEL_PATH) in result.files
+        assert not skipped
+        # The model is methodologically clean: at most info-level
+        # graph-diff notes (zero-trip-loop arcs), never errors.
+        assert all(str(d.severity) == "info" for d in result.diagnostics)
+
+    def test_cli_lint_live(self, capsys):
+        rc = main(["lint", "--live", str(MODEL_PATH)])
+        captured = capsys.readouterr().out
+        assert "file(s) checked" in captured
+        assert rc in (0, 1)
