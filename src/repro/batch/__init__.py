@@ -14,7 +14,11 @@ batch orchestrator for that workflow:
   progress and metrics hooks in the kernel's observer idiom,
 * :mod:`~repro.batch.sweeps` — ready-made sweeps (Fig. 4 allocations,
   workload × backend grid),
-* :mod:`~repro.batch.runner` — the registry of executable run kinds.
+* :mod:`~repro.batch.runner` — the registry of executable run kinds,
+* :mod:`~repro.batch.maintenance` — cache/artifact integrity sweeps
+  (``repro cache stats|verify|gc``),
+* :mod:`~repro.batch.faults` — deterministic fault injection for the
+  cache layer (the worker half lives in the ``probe`` runner kinds).
 
 The correctness of the whole scheme rests on simulation determinism —
 identical configurations must produce byte-identical results in any
@@ -22,7 +26,24 @@ process — which ``tests/test_determinism_props.py`` establishes as a
 tested invariant.
 """
 
-from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    payload_checksum,
+    validate_entry,
+)
+from .faults import CacheFault, FaultingCache, corrupt_entry_file
+from .maintenance import (
+    CacheStats,
+    GcReport,
+    PARTIAL_SUFFIX,
+    VerifyReport,
+    artifact_paths,
+    cache_stats,
+    gc_cache,
+    verify_cache,
+)
 from .campaign import (
     Campaign,
     CampaignMetrics,
@@ -44,11 +65,14 @@ from .sweeps import (
 )
 
 __all__ = [
-    "BatchError", "Campaign", "CampaignMetrics", "CampaignObserver",
-    "DEFAULT_CACHE_DIR", "ProgressObserver", "ResultCache", "RunConfig",
-    "RunResult",
-    "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT", "WORKLOAD_BACKENDS",
-    "default_workers", "execute_config", "fig4_sweep_configs",
+    "BatchError", "CACHE_SCHEMA_VERSION", "CacheFault", "CacheStats",
+    "Campaign", "CampaignMetrics", "CampaignObserver",
+    "DEFAULT_CACHE_DIR", "FaultingCache", "GcReport", "PARTIAL_SUFFIX",
+    "ProgressObserver", "ResultCache", "RunConfig", "RunResult",
+    "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT", "VerifyReport",
+    "WORKLOAD_BACKENDS", "artifact_paths", "cache_stats",
+    "corrupt_entry_file", "default_workers", "execute_config",
+    "fig4_sweep_configs", "gc_cache", "payload_checksum",
     "register_runner", "resolve_start_method", "runner_kinds",
-    "workload_sweep_configs",
+    "validate_entry", "verify_cache", "workload_sweep_configs",
 ]

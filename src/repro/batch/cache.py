@@ -3,61 +3,148 @@
 One JSON file per cache key under a root directory, fanned out by the
 first two hex digits of the key (git-object style) so large sweeps do
 not pile thousands of files into one directory.  Writes go through a
-temporary file plus :func:`os.replace` so concurrent campaigns sharing
-a cache directory never observe a torn entry.
+temporary file, an ``fsync``, and :func:`os.replace` so concurrent
+campaigns sharing a cache directory never observe a torn entry — and a
+machine crash mid-write never leaves a renamed-but-empty one.
 
-The key (see :meth:`repro.batch.config.RunConfig.cache_key`) already
-covers the runner kind, all parameters and the library version, so a
-lookup is a plain existence check — no validation beyond JSON parsing
-is required, and a corrupt or truncated entry is treated as a miss and
-rewritten.
+Every entry carries a ``meta`` block — schema version, a SHA-256
+checksum of the canonical payload JSON, the library version and a
+creation timestamp — which :meth:`ResultCache.get` validates before
+trusting the payload.  A corrupt, truncated, tampered-with, foreign
+(wrong-key) or schema-incompatible entry degrades to a cache miss,
+counted in :attr:`ResultCache.invalidated`, and is rewritten by the
+next successful run.  The key itself (see
+:meth:`repro.batch.config.RunConfig.cache_key`) already covers the
+runner kind, all parameters and the library version, so validation is
+purely an *integrity* check, never a semantic one.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pathlib
 import tempfile
-from typing import Optional
+import time
+from typing import Optional, Tuple
+
+from .. import __version__
 
 #: Default cache location (relative to the working directory) used by
 #: the CLI; tests and library users pass an explicit root instead.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Version of the on-disk entry layout.  Bump when the entry structure
+#: changes incompatibly; entries with any other schema (including the
+#: pre-meta layout) are treated as invalid and rewritten.
+CACHE_SCHEMA_VERSION = 1
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 hex digest over the canonical JSON of ``payload``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def validate_entry(key: str, entry) -> Tuple[Optional[dict], str]:
+    """Check one parsed cache entry; returns ``(payload, problem)``.
+
+    ``payload`` is None exactly when the entry is invalid, in which
+    case ``problem`` is a short human-readable reason.  Shared by
+    :meth:`ResultCache.get` and the maintenance sweeps so the CLI's
+    ``repro cache verify`` applies the same rules as a live campaign.
+    """
+    if not isinstance(entry, dict):
+        return None, "entry is not a JSON object"
+    if entry.get("key") != key:
+        return None, f"key mismatch (entry says {entry.get('key')!r})"
+    meta = entry.get("meta")
+    if not isinstance(meta, dict):
+        return None, "no meta block (pre-integrity schema)"
+    schema = meta.get("schema")
+    if schema != CACHE_SCHEMA_VERSION:
+        return None, f"schema {schema!r} != {CACHE_SCHEMA_VERSION}"
+    payload = entry.get("payload")
+    if not isinstance(payload, dict):
+        return None, "payload is not a JSON object"
+    checksum = meta.get("checksum")
+    actual = payload_checksum(payload)
+    if checksum != actual:
+        return None, f"checksum mismatch (stored {str(checksum)[:12]}…)"
+    return payload, ""
+
 
 class ResultCache:
-    """Directory-backed map from cache key to result payload."""
+    """Directory-backed map from cache key to integrity-checked payload."""
 
     def __init__(self, root) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Entries found on disk but rejected by integrity validation.
+        self.invalidated = 0
+        #: Successful lookups / lookups that found nothing at all.
+        self.hits = 0
+        self.misses = 0
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
-        """Return the stored payload for ``key``, or None on a miss."""
+        """Return the validated payload for ``key``, or None on a miss.
+
+        A missing file is a clean miss; an unreadable, unparsable or
+        integrity-failed entry is also a miss but is counted in
+        :attr:`invalidated` so campaigns and ``repro cache stats`` can
+        surface silent corruption.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            self.misses += 1
             return None
-        payload = entry.get("payload")
-        return payload if isinstance(payload, dict) else None
+        except (OSError, ValueError):
+            self.invalidated += 1
+            self.misses += 1
+            return None
+        payload, _problem = validate_entry(key, entry)
+        if payload is None:
+            self.invalidated += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
 
     def put(self, key: str, payload: dict, describe: str = "") -> None:
-        """Store ``payload`` under ``key`` atomically."""
+        """Store ``payload`` under ``key`` atomically and durably.
+
+        The temporary file is flushed and ``fsync``-ed before the
+        :func:`os.replace`, so a crash can lose the entry but never
+        publish a torn or empty one under the final name.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"key": key, "describe": describe, "payload": payload}
+        entry = {
+            "key": key,
+            "describe": describe,
+            "meta": {
+                "schema": CACHE_SCHEMA_VERSION,
+                "checksum": payload_checksum(payload),
+                "created_at": time.time(),
+                "version": __version__,
+            },
+            "payload": payload,
+        }
         body = json.dumps(entry, sort_keys=True, indent=1)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -65,6 +152,14 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def remove(self, key: str) -> bool:
+        """Delete the entry for ``key``; returns whether one existed."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None

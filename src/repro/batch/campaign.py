@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from .cache import ResultCache
 from .config import BatchError, RunConfig
+from .maintenance import artifact_paths
 from .runner import execute_config
 
 #: Environment knob for the default worker start method; the test suite
@@ -80,6 +81,15 @@ class CampaignObserver:
 
     def on_retry(self, config: RunConfig, attempt: int, error: str) -> None: ...
 
+    def on_trace_invalidated(self, config: RunConfig,
+                             missing: List[str]) -> None: ...
+
+    def on_cache_error(self, key: str, operation: str,
+                       error: str) -> None: ...
+
+    def on_worker_replaced(self, config: Optional[RunConfig],
+                           reason: str) -> None: ...
+
     def on_campaign_end(self, metrics: "CampaignMetrics") -> None: ...
 
 
@@ -92,6 +102,9 @@ class CampaignMetrics(CampaignObserver):
         self.failed = 0
         self.cache_hits = 0
         self.retries = 0
+        self.trace_reruns = 0        # cache hits re-executed: artifact gone
+        self.cache_errors = 0        # cache get/put raised (tolerated)
+        self.worker_replacements = 0
         self.run_wall_s: List[float] = []
         self.wall_s = 0.0
         self._started_at = 0.0
@@ -116,6 +129,17 @@ class CampaignMetrics(CampaignObserver):
     def on_retry(self, config: RunConfig, attempt: int, error: str) -> None:
         self.retries += 1
 
+    def on_trace_invalidated(self, config: RunConfig,
+                             missing: List[str]) -> None:
+        self.trace_reruns += 1
+
+    def on_cache_error(self, key: str, operation: str, error: str) -> None:
+        self.cache_errors += 1
+
+    def on_worker_replaced(self, config: Optional[RunConfig],
+                           reason: str) -> None:
+        self.worker_replacements += 1
+
     def on_campaign_end(self, metrics: "CampaignMetrics") -> None:
         self.wall_s = time.perf_counter() - self._started_at
 
@@ -138,6 +162,12 @@ class CampaignMetrics(CampaignObserver):
             parts.append(f"{self.failed} failed")
         if self.retries:
             parts.append(f"{self.retries} retries")
+        if self.trace_reruns:
+            parts.append(f"{self.trace_reruns} trace re-runs")
+        if self.cache_errors:
+            parts.append(f"{self.cache_errors} cache errors")
+        if self.worker_replacements:
+            parts.append(f"{self.worker_replacements} workers replaced")
         parts.append(f"wall {self.wall_s:.2f}s")
         if simulated:
             parts.append(f"mean {1e3 * self.mean_run_wall_s:.1f}ms/point")
@@ -220,11 +250,23 @@ class _Worker:
         return self.task is not None
 
     def assign(self, task: tuple, timeout_s: Optional[float],
-               trace_path: Optional[str]) -> None:
+               trace_path: Optional[str]) -> bool:
+        """Hand ``task`` to the worker; False if it died before accepting.
+
+        A worker can die between finishing its last run and the next
+        assignment (crash, OOM-kill); ``send`` then raises into the
+        parent.  That must not take the whole campaign down — report
+        the failed hand-off so the caller replaces the worker and
+        requeues the task.
+        """
+        try:
+            self.conn.send(task + (trace_path,))
+        except (BrokenPipeError, OSError):
+            return False
         self.task = task
         self.deadline = (time.perf_counter() + timeout_s
                          if timeout_s is not None else None)
-        self.conn.send(task + (trace_path,))
+        return True
 
     def kill(self) -> None:
         try:
@@ -313,6 +355,26 @@ class Campaign:
             return None
         return os.path.join(self.trace_dir, f"{config.cache_key()}.jsonl")
 
+    def _missing_artifacts(self, payload: dict) -> Optional[List[str]]:
+        """Trace pointers a cache hit records but disk no longer has.
+
+        Returns None when the hit is usable as-is; a (possibly empty)
+        list of missing paths when the run must be re-executed with
+        tracing.  Only meaningful when this campaign wants artifacts
+        (``trace_dir`` set): a payload cached by an untraced campaign
+        has no ``trace`` entry at all and must be re-traced, and a
+        payload whose recorded artifacts were pruned (retention
+        divergence, manual deletion) must be regenerated rather than
+        reported with dangling pointers.
+        """
+        if self.trace_dir is None:
+            return None
+        if "trace" not in payload:
+            return []
+        missing = [path for path in artifact_paths(payload)
+                   if not os.path.exists(path)]
+        return missing or None
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> List[RunResult]:
@@ -324,7 +386,20 @@ class Campaign:
         pending: List[tuple] = []
         for index, config in enumerate(self.configs):
             key = config.cache_key()
-            payload = self.cache.get(key) if self.cache is not None else None
+            try:
+                payload = (self.cache.get(key)
+                           if self.cache is not None else None)
+            except OSError as exc:
+                # A flaky cache store degrades to a miss, never a crash.
+                payload = None
+                for obs in self._observers:
+                    obs.on_cache_error(key, "get", str(exc))
+            if payload is not None:
+                missing = self._missing_artifacts(payload)
+                if missing is not None:
+                    for obs in self._observers:
+                        obs.on_trace_invalidated(config, missing)
+                    payload = None
             if payload is not None:
                 result = RunResult(config, key, STATUS_OK, payload,
                                    attempts=0, cached=True)
@@ -382,10 +457,18 @@ class Campaign:
                 for worker in pool:
                     if queue and not worker.busy:
                         task = queue.pop(0)
+                        if not worker.assign(task, self.timeout_s,
+                                             self._trace_path(task[1])):
+                            # The worker died before taking the task:
+                            # replace it and requeue — the task never
+                            # started, so this is not a retry attempt.
+                            queue.append(task)
+                            self._replace(pool, worker,
+                                          "worker died before assignment",
+                                          config=task[1])
+                            continue
                         for obs in self._observers:
                             obs.on_run_started(task[1], task[2])
-                        worker.assign(task, self.timeout_s,
-                                      self._trace_path(task[1]))
                 self._pump(pool, results, queue)
                 settled = sum(1 for r in results if r is not None)
                 outstanding = len(results) - settled
@@ -410,7 +493,8 @@ class Campaign:
                 try:
                     _, status, detail, wall = worker.conn.recv()
                 except (EOFError, OSError):
-                    self._replace(pool, worker)
+                    self._replace(pool, worker, "worker died mid-run",
+                                  config=config)
                     status, detail, wall = (STATUS_FAILED,
                                             "worker process died", 0.0)
                 else:
@@ -424,7 +508,7 @@ class Campaign:
             if worker.busy and worker.deadline is not None \
                     and now > worker.deadline:
                 index, config, attempt = worker.task
-                self._replace(pool, worker)
+                self._replace(pool, worker, "run timed out", config=config)
                 retry = self._settle(results, index, config, attempt,
                                      STATUS_TIMEOUT,
                                      f"run exceeded {self.timeout_s}s",
@@ -432,11 +516,14 @@ class Campaign:
                 if retry is not None:
                     queue.append(retry)
 
-    def _replace(self, pool: List[_Worker], worker: _Worker) -> None:
+    def _replace(self, pool: List[_Worker], worker: _Worker, reason: str,
+                 config: Optional[RunConfig] = None) -> None:
         worker.kill()
         position = pool.index(worker)
         pool[position] = _Worker(
             multiprocessing.get_context(self.start_method))
+        for obs in self._observers:
+            obs.on_worker_replaced(config, reason)
 
     # -- shared settlement --------------------------------------------------
 
@@ -447,7 +534,14 @@ class Campaign:
             result = RunResult(config, config.cache_key(), STATUS_OK,
                                detail, attempts=attempt, wall_s=wall)
             if self.cache is not None:
-                self.cache.put(result.key, detail, describe=str(config))
+                try:
+                    self.cache.put(result.key, detail, describe=str(config))
+                except OSError as exc:
+                    # A cache that cannot persist must not lose the
+                    # already-computed result; the point just stays
+                    # uncached for the next sweep.
+                    for obs in self._observers:
+                        obs.on_cache_error(result.key, "put", str(exc))
             results[index] = result
             for obs in self._observers:
                 obs.on_run_finished(result)

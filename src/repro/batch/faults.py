@@ -1,0 +1,110 @@
+"""Deterministic fault injection for the batch cache layer.
+
+The campaign's crash-safety claims ("a flaky cache never loses a
+computed result", "a corrupt entry is a counted miss") are only worth
+anything if they are driven by tests — the same way the strict-timed
+kernel is driven by the determinism property layer.  This module
+supplies the cache half of that harness; the worker-process half lives
+in the ``probe`` runner kinds (``die``, ``slow-then-ok``,
+``corrupt-cache`` in :mod:`repro.batch.runner`).
+
+:class:`FaultingCache` wraps the real on-disk :class:`ResultCache`
+with a *deterministic* fault plan — faults fire on exact call ordinals
+and exact keys, never randomness — so a failing test replays exactly:
+
+* ``fail_gets_for`` / ``fail_puts_for`` — raise :class:`OSError` on
+  ``get``/``put`` for these keys (every time, simulating a dead shard
+  or a permission wall);
+* ``fail_first_gets`` / ``fail_first_puts`` — raise on the first N
+  calls regardless of key (a cache that comes up late);
+* ``corrupt_puts_for`` — the write *appears* to succeed but the entry
+  lands with a wrong payload checksum (torn write past the atomic
+  rename, e.g. a buggy foreign writer sharing the directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterable, Optional
+
+from .cache import CACHE_SCHEMA_VERSION, ResultCache
+
+
+class CacheFault(OSError):
+    """The injected failure; an OSError so real handling paths fire."""
+
+
+class FaultingCache(ResultCache):
+    """A :class:`ResultCache` with a deterministic fault plan."""
+
+    def __init__(self, root,
+                 fail_gets_for: Iterable[str] = (),
+                 fail_puts_for: Iterable[str] = (),
+                 corrupt_puts_for: Iterable[str] = (),
+                 fail_first_gets: int = 0,
+                 fail_first_puts: int = 0) -> None:
+        super().__init__(root)
+        self.fail_gets_for = set(fail_gets_for)
+        self.fail_puts_for = set(fail_puts_for)
+        self.corrupt_puts_for = set(corrupt_puts_for)
+        self.fail_first_gets = int(fail_first_gets)
+        self.fail_first_puts = int(fail_first_puts)
+        self.get_calls = 0
+        self.put_calls = 0
+        self.faults_injected = 0
+
+    def get(self, key: str) -> Optional[dict]:
+        self.get_calls += 1
+        if key in self.fail_gets_for or self.get_calls <= self.fail_first_gets:
+            self.faults_injected += 1
+            raise CacheFault(f"injected get fault for {key[:12]}…")
+        return super().get(key)
+
+    def put(self, key: str, payload: dict, describe: str = "") -> None:
+        self.put_calls += 1
+        if key in self.fail_puts_for or self.put_calls <= self.fail_first_puts:
+            self.faults_injected += 1
+            raise CacheFault(f"injected put fault for {key[:12]}…")
+        if key in self.corrupt_puts_for:
+            self.faults_injected += 1
+            self._put_corrupt(key, payload, describe)
+            return
+        super().put(key, payload, describe)
+
+    def _put_corrupt(self, key: str, payload: dict, describe: str) -> None:
+        """Write a structurally plausible entry with a bad checksum."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "key": key,
+            "describe": describe,
+            "meta": {
+                "schema": CACHE_SCHEMA_VERSION,
+                "checksum": "0" * 64,
+                "created_at": 0.0,
+                "version": "faulting",
+            },
+            "payload": payload,
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, sort_keys=True, indent=1)
+        os.replace(tmp_name, path)
+
+
+def corrupt_entry_file(cache: ResultCache, key: str,
+                       text: str = "{ truncated mid-write") -> None:
+    """Overwrite ``key``'s entry file in place with non-JSON garbage.
+
+    Test helper simulating a torn write from outside the atomic-rename
+    protocol (a crashed foreign process, a bad filesystem).
+    """
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text, encoding="utf-8")
+
+
+__all__ = ["CacheFault", "FaultingCache", "corrupt_entry_file"]

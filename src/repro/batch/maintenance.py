@@ -1,0 +1,339 @@
+"""Cache/artifact maintenance: the machinery behind ``repro cache``.
+
+A long-lived campaign cache accumulates three kinds of rot: entries
+invalidated by corruption or schema drift, trace artifacts whose cache
+entry was pruned (orphans), and ``.partial`` files left by runs that
+failed mid-trace.  This module sweeps the cache directory and the
+per-run trace-artifact directory *in lockstep* so retention of the two
+never diverges — the ROADMAP failure mode where a sweep reports a
+``trace`` path that no longer exists.
+
+Three operations, mirrored 1:1 by the CLI:
+
+* :func:`cache_stats`   — inventory: entries, bytes, ages, artifacts;
+* :func:`verify_cache`  — full integrity pass: every entry re-checked
+  with the same rules a live :meth:`ResultCache.get` applies, every
+  recorded ``trace`` pointer checked on disk, orphan and partial
+  artifacts reported;
+* :func:`gc_cache`      — retention: drop entries older than a cutoff
+  and/or beyond a keep-newest budget, deleting their artifacts with
+  them, and sweep orphans/partials.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..observe.sinks import PARTIAL_SUFFIX
+from .cache import ResultCache, validate_entry
+
+#: ``<64-hex-key>.jsonl`` with an optional ``.N`` sibling index.
+_ARTIFACT_RE = re.compile(r"^([0-9a-f]{64})\.jsonl(?:\.\d+)?$")
+
+
+def artifact_paths(payload: dict) -> List[str]:
+    """Every trace-artifact path a payload records.
+
+    Understands both the full ``trace_artifacts`` list and the legacy
+    single ``trace`` pointer; a payload traced to no artifacts (or an
+    untraced payload) yields an empty list.
+    """
+    artifacts = payload.get("trace_artifacts")
+    if isinstance(artifacts, list):
+        return [str(a) for a in artifacts if a]
+    trace = payload.get("trace")
+    return [str(trace)] if trace else []
+
+
+@dataclasses.dataclass
+class EntryInfo:
+    """One on-disk cache entry, validated."""
+
+    key: str
+    path: pathlib.Path
+    size: int
+    created_at: float            # meta timestamp, else file mtime
+    describe: str
+    valid: bool
+    problem: str                 # why invalid ("" when valid)
+    artifacts: List[str]         # trace paths the payload records
+
+
+def scan_entries(cache: ResultCache) -> List[EntryInfo]:
+    """Read and validate every entry under the cache root."""
+    import json
+
+    infos: List[EntryInfo] = []
+    for path in sorted(cache.root.glob("??/*.json")):
+        key = path.stem
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError) as exc:
+            infos.append(EntryInfo(key, path, stat.st_size, stat.st_mtime,
+                                   "", False, f"unreadable: {exc}", []))
+            continue
+        payload, problem = validate_entry(key, entry)
+        meta = entry.get("meta") if isinstance(entry, dict) else None
+        created = stat.st_mtime
+        if isinstance(meta, dict) and isinstance(
+                meta.get("created_at"), (int, float)):
+            created = float(meta["created_at"])
+        describe = entry.get("describe", "") if isinstance(entry, dict) else ""
+        infos.append(EntryInfo(
+            key, path, stat.st_size, created, str(describe),
+            payload is not None, problem,
+            artifact_paths(payload) if payload is not None else []))
+    return infos
+
+
+@dataclasses.dataclass
+class TraceInventory:
+    """Keyed view of a trace-artifact directory."""
+
+    by_key: Dict[str, List[pathlib.Path]]
+    partial: List[pathlib.Path]      # .partial leftovers of failed runs
+    foreign: List[pathlib.Path]      # files not named like keyed artifacts
+
+    @property
+    def artifact_count(self) -> int:
+        return sum(len(paths) for paths in self.by_key.values())
+
+
+def scan_trace_dir(
+        trace_dir: Union[str, pathlib.Path, None]) -> TraceInventory:
+    inventory = TraceInventory({}, [], [])
+    if trace_dir is None:
+        return inventory
+    root = pathlib.Path(trace_dir)
+    if not root.is_dir():
+        return inventory
+    for path in sorted(root.iterdir()):
+        if not path.is_file():
+            continue
+        name = path.name
+        if name.endswith(PARTIAL_SUFFIX):
+            inventory.partial.append(path)
+            continue
+        match = _ARTIFACT_RE.match(name)
+        if match is None:
+            inventory.foreign.append(path)
+            continue
+        inventory.by_key.setdefault(match.group(1), []).append(path)
+    return inventory
+
+
+# -- stats ----------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class CacheStats:
+    root: pathlib.Path
+    entries: int
+    valid: int
+    invalid: int
+    bytes: int
+    oldest: Optional[float]
+    newest: Optional[float]
+    trace_dir: Optional[pathlib.Path]
+    trace_artifacts: int
+    trace_partials: int
+    trace_bytes: int
+
+    def describe(self) -> str:
+        lines = [f"cache {self.root}: {self.entries} entries "
+                 f"({self.valid} valid, {self.invalid} invalid), "
+                 f"{self.bytes} bytes"]
+        if self.entries and self.oldest is not None:
+            age = max(0.0, time.time() - self.oldest)
+            lines.append(f"  oldest entry {age / 86400.0:.1f} days old")
+        if self.trace_dir is not None:
+            lines.append(f"traces {self.trace_dir}: "
+                         f"{self.trace_artifacts} artifacts, "
+                         f"{self.trace_partials} partial, "
+                         f"{self.trace_bytes} bytes")
+        return "\n".join(lines)
+
+
+def cache_stats(cache: ResultCache,
+                trace_dir: Union[str, pathlib.Path, None] = None
+                ) -> CacheStats:
+    infos = scan_entries(cache)
+    inventory = scan_trace_dir(trace_dir)
+    trace_bytes = 0
+    for paths in inventory.by_key.values():
+        for path in paths:
+            try:
+                trace_bytes += path.stat().st_size
+            except OSError:
+                pass
+    created = [info.created_at for info in infos]
+    return CacheStats(
+        root=cache.root,
+        entries=len(infos),
+        valid=sum(1 for info in infos if info.valid),
+        invalid=sum(1 for info in infos if not info.valid),
+        bytes=sum(info.size for info in infos),
+        oldest=min(created) if created else None,
+        newest=max(created) if created else None,
+        trace_dir=pathlib.Path(trace_dir) if trace_dir is not None else None,
+        trace_artifacts=inventory.artifact_count,
+        trace_partials=len(inventory.partial),
+        trace_bytes=trace_bytes,
+    )
+
+
+# -- verify ---------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    checked: int
+    invalid: List[Tuple[str, str]]                 # (key, problem)
+    missing_artifacts: List[Tuple[str, str]]       # (key, missing path)
+    orphan_artifacts: List[pathlib.Path]           # no cache entry
+    partial_artifacts: List[pathlib.Path]          # failed-run leftovers
+
+    @property
+    def ok(self) -> bool:
+        return not (self.invalid or self.missing_artifacts
+                    or self.orphan_artifacts or self.partial_artifacts)
+
+    def describe(self) -> str:
+        lines = [f"verified {self.checked} cache entries: "
+                 f"{len(self.invalid)} invalid"]
+        for key, problem in self.invalid:
+            lines.append(f"  invalid {key[:12]}…: {problem}")
+        for key, path in self.missing_artifacts:
+            lines.append(f"  missing artifact of {key[:12]}…: {path}")
+        for path in self.orphan_artifacts:
+            lines.append(f"  orphan artifact: {path}")
+        for path in self.partial_artifacts:
+            lines.append(f"  partial artifact: {path}")
+        if self.ok:
+            lines.append("cache and artifacts are coherent")
+        return "\n".join(lines)
+
+
+def verify_cache(cache: ResultCache,
+                 trace_dir: Union[str, pathlib.Path, None] = None
+                 ) -> VerifyReport:
+    """Integrity-check every entry and cross-check the trace dir."""
+    infos = scan_entries(cache)
+    inventory = scan_trace_dir(trace_dir)
+    invalid = [(info.key, info.problem) for info in infos if not info.valid]
+    missing: List[Tuple[str, str]] = []
+    for info in infos:
+        if not info.valid:
+            continue
+        for artifact in info.artifacts:
+            if not pathlib.Path(artifact).exists():
+                missing.append((info.key, artifact))
+    live_keys = {info.key for info in infos if info.valid}
+    orphans = [path for key, paths in sorted(inventory.by_key.items())
+               if key not in live_keys for path in paths]
+    return VerifyReport(
+        checked=len(infos),
+        invalid=invalid,
+        missing_artifacts=missing,
+        orphan_artifacts=orphans,
+        partial_artifacts=list(inventory.partial),
+    )
+
+
+# -- gc -------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class GcReport:
+    removed_entries: int
+    removed_artifacts: int
+    removed_partials: int
+    kept_entries: int
+    dry_run: bool
+
+    def describe(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (f"{verb} {self.removed_entries} entries, "
+                f"{self.removed_artifacts} artifacts, "
+                f"{self.removed_partials} partial files; "
+                f"{self.kept_entries} entries kept")
+
+
+def _unlink(path: pathlib.Path, dry_run: bool) -> bool:
+    if dry_run:
+        return True
+    try:
+        path.unlink()
+        return True
+    except OSError:
+        return False
+
+
+def gc_cache(cache: ResultCache,
+             trace_dir: Union[str, pathlib.Path, None] = None,
+             older_than_s: Optional[float] = None,
+             keep: Optional[int] = None,
+             now: Optional[float] = None,
+             dry_run: bool = False) -> GcReport:
+    """Apply a retention policy to the cache and its trace artifacts.
+
+    ``older_than_s`` drops entries created more than that many seconds
+    ago; ``keep`` drops all but the newest N; both combine as a union
+    of removals.  Invalid entries are always dropped.  When
+    ``trace_dir`` is given, each removed entry's keyed artifacts go
+    with it, and orphan/partial artifacts are swept unconditionally —
+    cache and artifact retention cannot diverge.
+    """
+    now = time.time() if now is None else now
+    infos = scan_entries(cache)
+    inventory = scan_trace_dir(trace_dir)
+
+    doomed = {info.key for info in infos if not info.valid}
+    valid = sorted((info for info in infos if info.valid),
+                   key=lambda info: info.created_at, reverse=True)
+    if older_than_s is not None:
+        doomed.update(info.key for info in valid
+                      if now - info.created_at > older_than_s)
+    if keep is not None:
+        doomed.update(info.key for info in valid[max(0, keep):])
+
+    removed_entries = 0
+    for info in infos:
+        if info.key in doomed and _unlink(info.path, dry_run):
+            removed_entries += 1
+
+    removed_artifacts = 0
+    survivors = {info.key for info in infos if info.key not in doomed}
+    for key, paths in inventory.by_key.items():
+        if key in survivors:
+            continue
+        for path in paths:
+            if _unlink(path, dry_run):
+                removed_artifacts += 1
+
+    removed_partials = sum(
+        1 for path in inventory.partial if _unlink(path, dry_run))
+
+    return GcReport(
+        removed_entries=removed_entries,
+        removed_artifacts=removed_artifacts,
+        removed_partials=removed_partials,
+        kept_entries=len(survivors),
+        dry_run=dry_run,
+    )
+
+
+__all__ = [
+    "CacheStats", "EntryInfo", "GcReport", "PARTIAL_SUFFIX",
+    "TraceInventory", "VerifyReport", "artifact_paths", "cache_stats",
+    "gc_cache", "scan_entries", "scan_trace_dir", "verify_cache",
+]

@@ -85,9 +85,30 @@ def execute_config(config: RunConfig, trace_path: Optional[str] = None) -> dict:
             return JsonlSink(f"{base}.{index}")
 
         with ObserveSession(sink_factory=sink) as session:
-            payload = runner(config.params_dict())
+            try:
+                payload = runner(config.params_dict())
+            except BaseException:
+                # A failed run's JSONL is truncated mid-stream; a later
+                # sweep must never read it as a complete trace.  Mark
+                # every artifact this run opened as partial.
+                for observed in session.observations:
+                    observed.recorder.close()
+                    abandon = getattr(observed.recorder.sink, "abandon", None)
+                    if abandon is not None:
+                        abandon()
+                raise
         if isinstance(payload, dict):
-            payload["trace"] = trace_path if session.observations else None
+            artifacts = []
+            for observed in session.observations:
+                observed.recorder.close()
+                path = getattr(observed.recorder.sink, "path", None)
+                if path is not None:
+                    artifacts.append(str(path))
+            # Primary pointer plus the full list, so numbered .1/.2
+            # siblings of multi-simulator runs stay visible to sweeps
+            # and to `repro cache verify`.
+            payload["trace"] = artifacts[0] if artifacts else None
+            payload["trace_artifacts"] = artifacts
     if not isinstance(payload, dict):
         raise BatchError(
             f"runner {config.kind!r} returned {type(payload).__name__}, "
@@ -336,8 +357,25 @@ def run_probe(params: dict) -> dict:
     """Deterministic success/failure/sleep probe for the campaign pool.
 
     Parameters: ``behavior`` = ``ok`` | ``fail`` | ``sleep`` |
-    ``fail-until-marker`` (+ ``marker`` path, ``seconds`` for sleep,
-    ``value`` echoed back).
+    ``fail-until-marker`` | ``die`` | ``slow-then-ok`` |
+    ``corrupt-cache`` (+ ``marker`` path, ``seconds`` for the sleeping
+    behaviors, ``value`` echoed back).
+
+    The last three are the fault-injection harness's worker half:
+
+    ``die``
+        Hard-exit the worker process mid-run (no exception, no result
+        message) — the parent sees pipe EOF and must replace the
+        worker.  With a ``marker`` path the probe dies only while the
+        marker is absent (writing it first), so a retry succeeds.
+    ``slow-then-ok``
+        Sleep ``seconds`` on the first attempt (writing ``marker``),
+        return instantly once the marker exists — drives the
+        timeout → kill → replace → retry path deterministically.
+    ``corrupt-cache``
+        Succeed, but first trash the cache entry at (``cache_root``,
+        ``key``) with non-JSON garbage — a foreign writer sharing the
+        cache directory, which integrity validation must absorb.
     """
     import os
     import time
@@ -357,4 +395,27 @@ def run_probe(params: dict) -> dict:
                 handle.write("attempted\n")
             raise RuntimeError("probe failing on first attempt")
         return {"value": params.get("value", 0), "pid": os.getpid()}
+    if behavior == "die":
+        marker = params.get("marker")
+        if marker and os.path.exists(marker):
+            return {"value": params.get("value", 0), "pid": os.getpid()}
+        if marker:
+            with open(marker, "w", encoding="ascii") as handle:
+                handle.write("died\n")
+        os._exit(int(params.get("exit_code", 3)))
+    if behavior == "slow-then-ok":
+        marker = params["marker"]
+        if not os.path.exists(marker):
+            with open(marker, "w", encoding="ascii") as handle:
+                handle.write("slow\n")
+            time.sleep(float(params.get("seconds", 60.0)))
+        return {"value": params.get("value", 0), "pid": os.getpid()}
+    if behavior == "corrupt-cache":
+        from .cache import ResultCache
+
+        target = ResultCache(params["cache_root"]).path_for(params["key"])
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("{ corrupted by foreign writer", encoding="utf-8")
+        return {"value": params.get("value", 0), "pid": os.getpid(),
+                "corrupted": params["key"]}
     raise BatchError(f"unknown probe behavior {behavior!r}")

@@ -11,7 +11,9 @@ script:
 * ``graph``      — run a demo process and dump its process graph as
   GraphViz (``--check-coverage`` gates on static node coverage),
 * ``lint``       — model lint: statically enforce the §2 methodology
-  (see ``docs/analysis.md`` for the rule catalog).
+  (see ``docs/analysis.md`` for the rule catalog),
+* ``cache``      — inspect / verify / garbage-collect the batch result
+  cache and its per-run trace artifacts (``stats``/``verify``/``gc``).
 """
 
 from __future__ import annotations
@@ -183,6 +185,50 @@ def _cmd_batch(args) -> int:
         print(f"FAILED {r.config}: {r.status} after {r.attempts} attempts")
     print(f"\n{campaign.metrics.summary()}")
     return 1 if failed else 0
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def _parse_age(text: str) -> float:
+    """``"30m"``/``"12h"``/``"7d"`` (or plain seconds) → seconds."""
+    text = text.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise SystemExit(f"bad age {text!r}; use e.g. 3600, 30m, 12h, 7d")
+    if value < 0:
+        raise SystemExit("age must be >= 0")
+    return value * unit
+
+
+def _cmd_cache(args) -> int:
+    from .batch import ResultCache, cache_stats, gc_cache, verify_cache
+
+    cache = ResultCache(args.cache_dir)
+    trace_dir = args.trace_dir or None
+    if args.cache_command == "stats":
+        print(cache_stats(cache, trace_dir).describe())
+        return 0
+    if args.cache_command == "verify":
+        report = verify_cache(cache, trace_dir)
+        print(report.describe())
+        return 0 if report.ok else 1
+    # gc
+    if args.older_than is None and args.keep is None and not args.prune_only:
+        raise SystemExit("repro cache gc: give --older-than and/or --keep "
+                         "(or --prune-only to drop just invalid entries "
+                         "and orphaned artifacts)")
+    older_than_s = (None if args.older_than is None
+                    else _parse_age(args.older_than))
+    report = gc_cache(cache, trace_dir, older_than_s=older_than_s,
+                      keep=args.keep, dry_run=args.dry_run)
+    print(report.describe())
+    return 0
 
 
 def _format_rows(title, headers, rows) -> str:
@@ -538,6 +584,43 @@ def build_parser() -> argparse.ArgumentParser:
                                    "per executed run, keyed by its cache "
                                    "hash, into this directory")
     batch_parser.set_defaults(fn=_cmd_batch)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect, verify or garbage-collect the batch result cache "
+             "and its per-run trace artifacts")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command",
+                                            required=True)
+
+    def _cache_common(p):
+        p.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache directory")
+        p.add_argument("--trace-dir", default="",
+                       help="per-run trace artifact directory to sweep "
+                            "in lockstep with the cache")
+        p.set_defaults(fn=_cmd_cache)
+
+    _cache_common(cache_sub.add_parser(
+        "stats", help="entry/artifact counts, sizes and ages"))
+    _cache_common(cache_sub.add_parser(
+        "verify",
+        help="integrity-check every entry and every recorded trace "
+             "pointer; exit 1 on any invalid entry, dangling pointer, "
+             "orphan or partial artifact"))
+    gc_parser = cache_sub.add_parser(
+        "gc", help="apply a retention policy to cache and artifacts")
+    gc_parser.add_argument("--older-than", default=None, metavar="AGE",
+                           help="drop entries older than AGE "
+                                "(seconds, or e.g. 30m / 12h / 7d)")
+    gc_parser.add_argument("--keep", type=int, default=None, metavar="N",
+                           help="keep only the newest N valid entries")
+    gc_parser.add_argument("--prune-only", action="store_true",
+                           help="no age/count policy: drop only invalid "
+                                "entries, orphaned and partial artifacts")
+    gc_parser.add_argument("--dry-run", action="store_true",
+                           help="report what would be removed, remove "
+                                "nothing")
+    _cache_common(gc_parser)
 
     trace_parser = sub.add_parser(
         "trace",

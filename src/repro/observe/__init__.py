@@ -47,6 +47,7 @@ from .sinks import (
     JsonlSink,
     MemorySink,
     ObserveError,
+    PARTIAL_SUFFIX,
     RingSink,
     TraceSink,
     iter_jsonl,
@@ -66,7 +67,8 @@ from .vcd import (
 __all__ = [
     "CLOCK_BOTH", "CLOCK_DELTA", "CLOCK_TIME",
     "JsonlSink", "MemorySink", "ObserveError", "Observation",
-    "ObserveSession", "Profiler", "RingSink", "SegmentProfile",
+    "ObserveSession", "PARTIAL_SUFFIX", "Profiler", "RingSink",
+    "SegmentProfile",
     "STATE_DONE", "STATE_RUNNING", "STATE_WAITING", "TraceSink",
     "WEIGHT_CYCLES", "WEIGHT_HOST",
     "collapsed_stacks", "export_flamegraph", "export_perfetto",

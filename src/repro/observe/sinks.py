@@ -22,12 +22,18 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 from collections import deque
 from typing import IO, Iterator, List, Optional, Union
 
 from ..errors import ReproError
 from ..kernel.tracing import MemorySink, TraceRecord, TraceSink
+
+#: Suffix a truncated trace file is renamed to when its run fails
+#: mid-stream; readers and the cache maintenance sweeps treat such
+#: files as incomplete, never as traces.
+PARTIAL_SUFFIX = ".partial"
 
 
 class ObserveError(ReproError):
@@ -128,6 +134,25 @@ class JsonlSink(TraceSink):
         if self._owns_handle and not self._handle.closed:
             self._handle.close()
 
+    def abandon(self) -> Optional[pathlib.Path]:
+        """Close and mark the file as incomplete (rename to ``.partial``).
+
+        Called when the run producing this trace failed: whatever hit
+        disk is truncated mid-stream, and leaving it under the real
+        name would let a later sweep read it as a complete trace.
+        Returns the ``.partial`` path, or None when the sink wraps a
+        caller-owned handle (nothing to rename).
+        """
+        self.close()
+        if self.path is None or not self._owns_handle:
+            return None
+        partial = self.path.with_name(self.path.name + PARTIAL_SUFFIX)
+        try:
+            os.replace(self.path, partial)
+        except OSError:
+            return None
+        return partial
+
     def __enter__(self) -> "JsonlSink":
         return self
 
@@ -159,6 +184,7 @@ __all__ = [
     "JsonlSink",
     "MemorySink",
     "ObserveError",
+    "PARTIAL_SUFFIX",
     "RingSink",
     "TraceSink",
     "iter_jsonl",

@@ -275,10 +275,12 @@ def test_trace_artifact_does_not_change_the_cache_key(tmp_path):
     untraced = Campaign([config], workers=0, cache=None).run()[0]
     traced = Campaign([config], workers=0, cache=None,
                       trace_dir=tmp_path / "traces").run()[0]
-    # The simulation outcome is identical; only the artifact pointer
-    # is added to the traced payload.
+    # The simulation outcome is identical; only the artifact pointers
+    # are added to the traced payload.
     payload = dict(traced.payload)
-    assert payload.pop("trace")
+    trace = payload.pop("trace")
+    assert trace
+    assert payload.pop("trace_artifacts") == [trace]
     assert payload == untraced.payload
 
 

@@ -1,0 +1,566 @@
+"""Fault-injection suite: the campaign's crash paths and the
+integrity-checked cache/artifact lifecycle.
+
+The batch layer's value is that thousands of cached design points can
+be *trusted after failures* — so every claim here is driven the hard
+way: workers killed before and during runs, timeouts, corrupt and
+truncated cache entries, deleted artifacts, flaky cache storage
+(:class:`FaultingCache`), and a simulated kill-mid-campaign that must
+converge to the uninterrupted result.  Pool tests run under ``spawn``
+(pinned session-wide in ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.batch import (
+    CACHE_SCHEMA_VERSION,
+    Campaign,
+    CacheFault,
+    FaultingCache,
+    ResultCache,
+    RunConfig,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    corrupt_entry_file,
+    execute_config,
+    gc_cache,
+    payload_checksum,
+    register_runner,
+    verify_cache,
+)
+from repro.batch.campaign import _Worker
+
+TOPOLOGY = dict(stages=2, messages=4, capacities=[1, 2], waits_ns=[0, 3],
+                seed=7)
+
+
+def _topology(name="t", **overrides):
+    return RunConfig.of("topology", name, **dict(TOPOLOGY, **overrides))
+
+
+# -- test-only runner kinds (inline campaigns only: these are not
+#    registered inside spawned workers) ----------------------------------
+
+
+def _tiny_sim(tag: str):
+    from repro import SimTime, Simulator, wait
+
+    simulator = Simulator()
+    top = simulator.module("top")
+
+    def body():
+        yield wait(SimTime.ns(1))
+
+    top.add_process(body, name=tag)
+    simulator.run()
+
+
+@register_runner("sim-then-fail")
+def _run_sim_then_fail(params: dict) -> dict:
+    _tiny_sim("doomed")
+    raise RuntimeError("failure after the simulator already traced")
+
+
+@register_runner("two-sims")
+def _run_two_sims(params: dict) -> dict:
+    _tiny_sim("first")
+    _tiny_sim("second")
+    return {"sims": 2}
+
+
+# -- cache entry integrity ------------------------------------------------
+
+
+def test_entry_carries_meta_block(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ab" * 32
+    cache.put(key, {"x": 1}, describe="point")
+    raw = json.loads(cache.path_for(key).read_text(encoding="utf-8"))
+    assert raw["key"] == key
+    assert raw["meta"]["schema"] == CACHE_SCHEMA_VERSION
+    assert raw["meta"]["checksum"] == payload_checksum({"x": 1})
+    assert raw["meta"]["created_at"] > 0
+    assert cache.get(key) == {"x": 1}
+    assert cache.hits == 1 and cache.invalidated == 0
+
+
+def test_garbage_entry_is_counted_invalidated(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    cache.put(key, {"x": 2})
+    corrupt_entry_file(cache, key)
+    assert cache.get(key) is None
+    assert cache.invalidated == 1 and cache.misses == 1
+
+
+def test_tampered_payload_fails_checksum(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ef" * 32
+    cache.put(key, {"x": 3})
+    path = cache.path_for(key)
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    entry["payload"]["x"] = 99          # bit-flip past the atomic rename
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.invalidated == 1
+
+
+def test_foreign_entry_under_wrong_key_rejected(tmp_path):
+    cache = ResultCache(tmp_path)
+    key_a, key_b = "aa" * 32, "bb" * 32
+    cache.put(key_a, {"x": 4})
+    target = cache.path_for(key_b)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_bytes(cache.path_for(key_a).read_bytes())
+    assert cache.get(key_b) is None     # key mismatch: foreign entry
+    assert cache.get(key_a) == {"x": 4}
+    assert cache.invalidated == 1
+
+
+def test_pre_integrity_schema_entry_invalidated(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "dd" * 32
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"key": key, "describe": "",
+                                "payload": {"x": 5}}), encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.invalidated == 1
+
+
+def test_missing_entry_is_clean_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get("ee" * 32) is None
+    assert cache.misses == 1 and cache.invalidated == 0
+
+
+def test_campaign_self_heals_corrupt_entry(tmp_path):
+    config = _topology()
+    cache = ResultCache(tmp_path / "cache")
+    reference = Campaign([config], workers=0, cache=cache).run()[0]
+    corrupt_entry_file(cache, config.cache_key())
+
+    rerun = Campaign([config], workers=0, cache=cache)
+    result = rerun.run()[0]
+    assert not result.cached and result.attempts == 1
+    assert result.payload == reference.payload
+    assert cache.invalidated == 1
+    assert verify_cache(cache).ok     # rewritten entry is valid again
+
+
+def test_corrupt_cache_probe_exercises_foreign_writer(tmp_path):
+    cache_root = tmp_path / "cache"
+    victim = _topology()
+    Campaign([victim], workers=0, cache=cache_root).run()
+
+    saboteur = RunConfig.of("probe", "saboteur", behavior="corrupt-cache",
+                            cache_root=str(cache_root),
+                            key=victim.cache_key())
+    Campaign([saboteur], workers=0, cache=None).run()
+
+    healed = Campaign([victim], workers=0, cache=cache_root)
+    result = healed.run()[0]
+    assert not result.cached            # corrupt entry was a miss
+    assert result.ok
+    assert healed.cache.invalidated == 1
+    assert verify_cache(healed.cache).ok
+
+
+# -- FaultingCache: flaky cache storage must never lose results ----------
+
+
+def test_injected_get_fault_degrades_to_miss(tmp_path):
+    config = _topology()
+    cache = FaultingCache(tmp_path, fail_first_gets=1)
+    campaign = Campaign([config], workers=0, cache=cache)
+    result = campaign.run()[0]
+    assert result.ok and not result.cached
+    assert campaign.metrics.cache_errors == 1
+    assert cache.faults_injected == 1
+    # The put still happened; the next campaign is a pure hit.
+    hit = Campaign([config], workers=0, cache=cache).run()[0]
+    assert hit.cached
+
+
+def test_injected_put_fault_does_not_lose_result(tmp_path):
+    config = _topology()
+    cache = FaultingCache(tmp_path, fail_puts_for={config.cache_key()})
+    campaign = Campaign([config], workers=0, cache=cache)
+    result = campaign.run()[0]
+    assert result.status == STATUS_OK and result.payload is not None
+    assert campaign.metrics.cache_errors == 1
+    assert len(cache) == 0              # nothing persisted...
+    assert campaign.metrics.completed == 1   # ...but the run succeeded
+
+
+def test_injected_corrupt_put_is_healed_by_next_campaign(tmp_path):
+    config = _topology()
+    faulty = FaultingCache(tmp_path, corrupt_puts_for={config.cache_key()})
+    first = Campaign([config], workers=0, cache=faulty).run()[0]
+    assert first.ok
+    report = verify_cache(ResultCache(tmp_path))
+    assert [key for key, _ in report.invalid] == [config.cache_key()]
+
+    clean = ResultCache(tmp_path)
+    second = Campaign([config], workers=0, cache=clean)
+    result = second.run()[0]
+    assert not result.cached and result.payload == first.payload
+    assert clean.invalidated == 1
+    assert verify_cache(clean).ok
+
+
+def test_cache_fault_is_oserror():
+    # Campaign tolerance hinges on the injected fault taking the real
+    # OSError handling path, not a bespoke exception type.
+    assert issubclass(CacheFault, OSError)
+
+
+# -- worker crash paths ---------------------------------------------------
+
+
+def test_assign_to_dead_worker_reports_false():
+    context = multiprocessing.get_context("spawn")
+    worker = _Worker(context)
+    try:
+        worker.process.terminate()
+        worker.process.join(timeout=10.0)
+        deadline = time.perf_counter() + 10.0
+        accepted = True
+        # The pipe may take a beat to report the peer closed; the
+        # campaign sees the same race and must always land on False.
+        while time.perf_counter() < deadline:
+            accepted = worker.assign(
+                (0, RunConfig.of("probe", behavior="ok"), 1), None, None)
+            if not accepted:
+                break
+            worker.task = worker.deadline = None
+            time.sleep(0.05)
+        assert accepted is False
+        assert not worker.busy
+    finally:
+        worker.kill()
+
+
+def test_pool_requeues_task_when_worker_dies_before_assignment(monkeypatch):
+    from repro.batch import campaign as campaign_mod
+
+    original = campaign_mod._Worker.assign
+    state = {"killed": False}
+
+    def flaky_assign(self, task, timeout_s, trace_path):
+        if not state["killed"]:
+            state["killed"] = True
+            self.process.terminate()
+            self.process.join(timeout=10.0)
+        return original(self, task, timeout_s, trace_path)
+
+    monkeypatch.setattr(campaign_mod._Worker, "assign", flaky_assign)
+    configs = [RunConfig.of("probe", f"p{i}", behavior="ok", value=i)
+               for i in range(3)]
+    campaign = Campaign(configs, workers=2, cache=None, retries=0)
+    results = campaign.run()
+    assert [r.status for r in results] == [STATUS_OK] * 3
+    # The dead worker never started the task: one replacement, no
+    # attempt consumed (all runs completed on their first attempt).
+    assert all(r.attempts == 1 for r in results)
+    assert campaign.metrics.worker_replacements >= 1
+    assert campaign.metrics.retries == 0
+
+
+def test_worker_death_mid_run_is_replaced_and_retried(worker_tmp_path):
+    marker = worker_tmp_path / "die-once"
+    configs = [
+        RunConfig.of("probe", "ok-1", behavior="ok", value=1),
+        RunConfig.of("probe", "victim", behavior="die", marker=str(marker)),
+        RunConfig.of("probe", "ok-2", behavior="ok", value=2),
+    ]
+    campaign = Campaign(configs, workers=2, cache=None, retries=1)
+    results = campaign.run()
+    assert [r.status for r in results] == [STATUS_OK] * 3
+    assert results[1].attempts == 2
+    assert campaign.metrics.worker_replacements >= 1
+    assert campaign.metrics.retries == 1
+
+
+def test_worker_death_every_attempt_reports_failed():
+    config = RunConfig.of("probe", "doomed", behavior="die")
+    campaign = Campaign([config], workers=2, cache=None, retries=1)
+    result = campaign.run()[0]
+    assert result.status == STATUS_FAILED
+    assert result.attempts == 2
+    assert "worker process died" in result.error
+    assert campaign.metrics.worker_replacements >= 2
+
+
+def test_timeout_replace_retry_with_shared_cache(worker_tmp_path, tmp_path):
+    marker = worker_tmp_path / "slow-once"
+    config = RunConfig.of("probe", "laggard", behavior="slow-then-ok",
+                          marker=str(marker), seconds=60, value=7)
+    cache_root = tmp_path / "cache"
+    campaign = Campaign([config], workers=2, cache=cache_root,
+                        retries=1, timeout_s=3.0)
+    started = time.perf_counter()
+    result = campaign.run()[0]
+    assert time.perf_counter() - started < 30.0
+    assert result.status == STATUS_OK
+    assert result.attempts == 2           # timeout, then instant success
+    assert campaign.metrics.retries == 1
+    assert campaign.metrics.worker_replacements >= 1
+
+    rerun = Campaign([config], workers=0, cache=cache_root)
+    hit = rerun.run()[0]
+    assert hit.cached and hit.payload == result.payload
+    assert verify_cache(rerun.cache).ok
+
+
+def test_timeout_without_retry_settles_timeout_status():
+    config = RunConfig.of("probe", "hang", behavior="sleep", seconds=60)
+    campaign = Campaign([config], workers=2, cache=None, retries=0,
+                        timeout_s=3.0)
+    result = campaign.run()[0]
+    assert result.status == STATUS_TIMEOUT
+    assert campaign.metrics.worker_replacements >= 1
+
+
+# -- concurrent campaigns on one cache root -------------------------------
+
+
+def test_concurrent_campaigns_share_cache_root(tmp_path):
+    configs = [_topology(f"s{i}", seed=i + 1) for i in range(4)]
+    cache_root = tmp_path / "cache"
+    outcomes = [None, None]
+
+    def drive(slot):
+        campaign = Campaign(configs, workers=0, cache=cache_root)
+        outcomes[slot] = campaign.run()
+
+    threads = [threading.Thread(target=drive, args=(slot,))
+               for slot in range(2)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    first, second = outcomes
+    assert all(r.ok for r in first) and all(r.ok for r in second)
+    assert [r.payload for r in first] == [r.payload for r in second]
+    cache = ResultCache(cache_root)
+    assert len(cache) == len(configs)
+    assert verify_cache(cache).ok
+
+
+# -- artifact lifecycle ----------------------------------------------------
+
+
+def test_failed_traced_run_leaves_partial_not_truncated(tmp_path):
+    config = RunConfig.of("sim-then-fail")
+    trace = tmp_path / f"{config.cache_key()}.jsonl"
+    with pytest.raises(RuntimeError):
+        execute_config(config, trace_path=str(trace))
+    assert not trace.exists()                       # never a fake trace
+    partial = trace.with_name(trace.name + ".partial")
+    assert partial.exists()
+    assert partial.read_text(encoding="utf-8")      # evidence retained
+
+
+def test_multi_simulator_artifacts_all_recorded(tmp_path):
+    config = RunConfig.of("two-sims")
+    base = tmp_path / f"{config.cache_key()}.jsonl"
+    payload = execute_config(config, trace_path=str(base))
+    assert payload["trace"] == str(base)
+    assert payload["trace_artifacts"] == [str(base), f"{base}.1"]
+    assert base.exists() and os.path.exists(f"{base}.1")
+
+
+def test_cache_hit_with_pruned_artifact_is_reexecuted(tmp_path):
+    config = _topology()
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    first = Campaign([config], workers=0, cache=cache_root,
+                     trace_dir=trace_root).run()[0]
+    artifact = trace_root / f"{config.cache_key()}.jsonl"
+    assert artifact.exists()
+    artifact.unlink()
+
+    rerun = Campaign([config], workers=0, cache=cache_root,
+                     trace_dir=trace_root)
+    result = rerun.run()[0]
+    assert not result.cached and result.attempts == 1
+    assert result.payload == first.payload
+    assert artifact.exists()                        # regenerated
+    assert rerun.metrics.trace_reruns == 1
+    assert rerun.metrics.cache_hits == 0
+
+
+def test_cache_hit_missing_numbered_sibling_is_reexecuted(tmp_path):
+    config = RunConfig.of("two-sims")
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    Campaign([config], workers=0, cache=cache_root,
+             trace_dir=trace_root).run()
+    sibling = trace_root / f"{config.cache_key()}.jsonl.1"
+    assert sibling.exists()
+    sibling.unlink()
+
+    rerun = Campaign([config], workers=0, cache=cache_root,
+                     trace_dir=trace_root)
+    result = rerun.run()[0]
+    assert not result.cached
+    assert sibling.exists()
+    assert rerun.metrics.trace_reruns == 1
+
+
+def test_untraced_cache_entry_is_retraced_when_artifacts_wanted(tmp_path):
+    config = _topology()
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    untraced = Campaign([config], workers=0, cache=cache_root).run()[0]
+    assert "trace" not in untraced.payload
+
+    traced = Campaign([config], workers=0, cache=cache_root,
+                      trace_dir=trace_root)
+    result = traced.run()[0]
+    assert not result.cached
+    assert result.payload["trace"]
+    assert (trace_root / f"{config.cache_key()}.jsonl").exists()
+    assert traced.metrics.trace_reruns == 1
+
+    # And without trace_dir the (now traced) entry is still a plain hit.
+    plain = Campaign([config], workers=0, cache=cache_root).run()[0]
+    assert plain.cached
+
+
+def test_cache_hit_without_trace_dir_never_checks_artifacts(tmp_path):
+    config = _topology()
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    Campaign([config], workers=0, cache=cache_root,
+             trace_dir=trace_root).run()
+    (trace_root / f"{config.cache_key()}.jsonl").unlink()
+    hit = Campaign([config], workers=0, cache=cache_root).run()[0]
+    assert hit.cached                   # no artifacts wanted, no re-run
+
+
+# -- verify / gc lockstep --------------------------------------------------
+
+
+def _seeded_dirs(tmp_path, count=3):
+    configs = [_topology(f"g{i}", seed=i + 1) for i in range(count)]
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    Campaign(configs, workers=0, cache=cache_root,
+             trace_dir=trace_root).run()
+    return configs, ResultCache(cache_root), trace_root
+
+
+def test_verify_flags_partial_and_orphan_artifacts(tmp_path):
+    configs, cache, trace_root = _seeded_dirs(tmp_path)
+    (trace_root / ("ff" * 32 + ".jsonl")).write_text("{}\n")      # orphan
+    (trace_root / (configs[0].cache_key() + ".jsonl.partial")
+     ).write_text("truncated")
+    report = verify_cache(cache, trace_root)
+    assert not report.ok
+    assert len(report.orphan_artifacts) == 1
+    assert len(report.partial_artifacts) == 1
+    assert not report.invalid and not report.missing_artifacts
+
+
+def test_gc_prune_sweeps_invalid_orphan_partial_only(tmp_path):
+    configs, cache, trace_root = _seeded_dirs(tmp_path)
+    corrupt_entry_file(cache, configs[0].cache_key())
+    (trace_root / ("ff" * 32 + ".jsonl")).write_text("{}\n")
+    (trace_root / (configs[1].cache_key() + ".jsonl.partial")
+     ).write_text("truncated")
+
+    report = gc_cache(cache, trace_root)       # no age/keep policy
+    assert report.removed_entries == 1         # the corrupt one
+    assert report.removed_artifacts == 2       # its artifact + the orphan
+    assert report.removed_partials == 1
+    assert report.kept_entries == 2
+    assert verify_cache(cache, trace_root).ok  # coherent afterwards
+
+
+def test_gc_keep_newest_removes_artifacts_in_lockstep(tmp_path):
+    configs, cache, trace_root = _seeded_dirs(tmp_path, count=4)
+    report = gc_cache(cache, trace_root, keep=1)
+    assert report.removed_entries == 3
+    assert report.removed_artifacts == 3
+    assert len(cache) == 1
+    remaining = [p for p in trace_root.iterdir()]
+    assert len(remaining) == 1
+    assert verify_cache(cache, trace_root).ok
+
+
+def test_gc_older_than_uses_entry_creation_time(tmp_path):
+    _configs, cache, trace_root = _seeded_dirs(tmp_path)
+    future = time.time() + 1000.0
+    dry = gc_cache(cache, trace_root, older_than_s=2000.0, now=future,
+                   dry_run=True)
+    assert dry.removed_entries == 0            # all newer than the cutoff
+    assert len(cache) == 3
+    wet = gc_cache(cache, trace_root, older_than_s=500.0, now=future)
+    assert wet.removed_entries == 3 and wet.removed_artifacts == 3
+    assert len(cache) == 0
+
+
+def test_gc_dry_run_removes_nothing(tmp_path):
+    _configs, cache, trace_root = _seeded_dirs(tmp_path)
+    report = gc_cache(cache, trace_root, keep=0, dry_run=True)
+    assert report.dry_run and report.removed_entries == 3
+    assert len(cache) == 3
+    assert verify_cache(cache, trace_root).ok
+
+
+# -- acceptance: killed-mid-campaign convergence ---------------------------
+
+
+def _sans_pointers(payload):
+    """Payload minus the artifact pointers (they embed the trace dir)."""
+    return {k: v for k, v in payload.items()
+            if k not in ("trace", "trace_artifacts")}
+
+
+def test_killed_mid_campaign_rerun_converges(tmp_path):
+    configs = [_topology(f"k{i}", seed=i + 1) for i in range(4)]
+
+    # Reference: one uninterrupted campaign in pristine dirs.
+    ref_cache, ref_traces = tmp_path / "ref-cache", tmp_path / "ref-traces"
+    reference = Campaign(configs, workers=0, cache=ref_cache,
+                         trace_dir=ref_traces).run()
+    ref_payloads = [_sans_pointers(r.payload) for r in reference]
+    ref_artifacts = sorted(p.name for p in ref_traces.iterdir())
+
+    # "Killed" campaign: only half the points landed, one entry was
+    # torn by the kill, and one trace died mid-stream as a .partial.
+    cache_root, trace_root = tmp_path / "cache", tmp_path / "traces"
+    Campaign(configs[:2], workers=0, cache=cache_root,
+             trace_dir=trace_root).run()
+    survivor_cache = ResultCache(cache_root)
+    corrupt_entry_file(survivor_cache, configs[1].cache_key())
+    torn = trace_root / f"{configs[1].cache_key()}.jsonl"
+    torn.rename(torn.with_name(torn.name + ".partial"))
+
+    # Rerun the full sweep over the same dirs.
+    rerun = Campaign(configs, workers=0, cache=cache_root,
+                     trace_dir=trace_root)
+    results = rerun.run()
+    assert all(r.ok for r in results)
+    assert [_sans_pointers(r.payload) for r in results] == ref_payloads
+    assert results[0].cached                   # the intact point survived
+    assert not results[1].cached               # the torn one re-ran
+
+    # Sweep the kill's leftovers; then the state must be exactly the
+    # uninterrupted state: same artifact set, zero invalid entries.
+    gc_cache(survivor_cache, trace_root)
+    report = verify_cache(survivor_cache, trace_root)
+    assert report.ok and not report.invalid
+    assert sorted(p.name for p in trace_root.iterdir()) == ref_artifacts
+
+    # A final rerun is pure cache hits.
+    final = Campaign(configs, workers=0, cache=cache_root,
+                     trace_dir=trace_root)
+    assert all(r.cached for r in final.run())

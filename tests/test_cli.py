@@ -165,3 +165,76 @@ def test_lint_select_restricts_rules(tmp_path, capsys):
 def test_lint_missing_target_rejected():
     with pytest.raises(SystemExit, match="does not exist"):
         main(["lint", "no/such/dir"])
+
+
+# -- repro cache (stats / verify / gc) -----------------------------------
+
+
+def _seed_cache(tmp_path):
+    from repro.batch import Campaign, RunConfig
+
+    configs = [RunConfig.of("topology", f"c{i}", stages=1, messages=2,
+                            seed=i + 1) for i in range(2)]
+    cache_root = tmp_path / "cache"
+    trace_root = tmp_path / "traces"
+    Campaign(configs, workers=0, cache=cache_root,
+             trace_dir=trace_root).run()
+    return configs, cache_root, trace_root
+
+
+def test_cache_stats(tmp_path, capsys):
+    _configs, cache_root, trace_root = _seed_cache(tmp_path)
+    assert main(["cache", "stats", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root)]) == 0
+    out = capsys.readouterr().out
+    assert "2 entries (2 valid, 0 invalid)" in out
+    assert "2 artifacts" in out
+
+
+def test_cache_verify_detects_corruption_and_missing_artifact(
+        tmp_path, capsys):
+    from repro.batch import ResultCache, corrupt_entry_file
+
+    configs, cache_root, trace_root = _seed_cache(tmp_path)
+    assert main(["cache", "verify", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root)]) == 0
+    assert "coherent" in capsys.readouterr().out
+
+    corrupt_entry_file(ResultCache(cache_root), configs[0].cache_key())
+    (trace_root / f"{configs[1].cache_key()}.jsonl").unlink()
+    assert main(["cache", "verify", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root)]) == 1
+    out = capsys.readouterr().out
+    assert "invalid" in out and "missing artifact" in out
+
+
+def test_cache_gc_keep_and_age(tmp_path, capsys):
+    _configs, cache_root, trace_root = _seed_cache(tmp_path)
+    assert main(["cache", "gc", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root), "--keep", "1",
+                 "--dry-run"]) == 0
+    assert "would remove 1 entries" in capsys.readouterr().out
+    assert main(["cache", "gc", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root), "--older-than", "0s"]) == 0
+    assert "removed 2 entries, 2 artifacts" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root)]) == 0
+
+
+def test_cache_gc_requires_a_policy(tmp_path):
+    with pytest.raises(SystemExit, match="older-than"):
+        main(["cache", "gc", "--cache-dir", str(tmp_path / "cache")])
+
+
+def test_cache_gc_prune_only_sweeps_partials(tmp_path, capsys):
+    _configs, cache_root, trace_root = _seed_cache(tmp_path)
+    (trace_root / ("00" * 32 + ".jsonl.partial")).write_text("torn")
+    assert main(["cache", "gc", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root), "--prune-only"]) == 0
+    assert "1 partial files" in capsys.readouterr().out
+
+
+def test_cache_gc_rejects_bad_age(tmp_path):
+    with pytest.raises(SystemExit, match="bad age"):
+        main(["cache", "gc", "--cache-dir", str(tmp_path),
+              "--older-than", "soon"])
