@@ -1,0 +1,86 @@
+"""The performance model's own performance — both paper speed claims.
+
+The paper positions annotated strict-timed simulation between two
+reference points: >142x faster than the ISS, <73x overload over the
+untimed specification.  This bench measures both ratios for every
+registry workload plus the concurrent vocoder pipeline (via
+``repro.bench``, the same engine behind ``repro bench --json``), writes
+the machine-readable ``BENCH_overhead.json`` trajectory artifact, and
+compares against the recorded pre-fast-path baselines.
+
+Baselines below were measured on this container immediately before the
+charging fast path landed (best-of-10 for the function workloads,
+best-of-3 for the pipeline); the fast path + fast-forward engine must
+keep at least a 2x reduction on fibonacci and the vocoder pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from harness import RESULTS_DIR, format_table, write_result
+from repro.bench import render_table, run_bench
+
+#: Overload factors (annotated / untimed host time) measured at the
+#: commit before the charging fast path, same workload sizes.
+PRE_FAST_PATH_OVERLOAD = {
+    "fibonacci": 20.59,
+    "array": 74.90,
+    "fir": 42.70,
+    "bubble": 29.61,
+    "vocoder": 46.78,
+}
+
+#: The paper's Table 2 bound: overload stays below 73x.
+PAPER_OVERLOAD_BOUND = 73.0
+
+#: Required reduction vs the recorded pre-fast-path baselines.
+REQUIRED_REDUCTION = 2.0
+
+
+def test_overhead(benchmark):
+    payload = {}
+
+    def run_all():
+        payload.clear()
+        # Best-of-7: the overload ratio divides two host times, so a
+        # single slow outlier on either side skews it; the recorded
+        # baselines were measured best-of-10 the same way.
+        payload.update(run_bench(repeats=7, fastforward=True))
+        return payload
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    write_result("bench_overhead.txt", render_table(payload) + "\n")
+    (RESULTS_DIR / "BENCH_overhead.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8")
+
+    rows = []
+    for name, baseline in sorted(PRE_FAST_PATH_OVERLOAD.items()):
+        entry = payload["workloads"][name]
+        reduction = baseline / entry["overload"]
+        rows.append([name, f"{baseline:.1f}x", f"{entry['overload']:.1f}x",
+                     f"{reduction:.2f}x"])
+    print()
+    print(format_table(
+        "Overhead reduction vs pre-fast-path baselines",
+        ["Workload", "Before", "After", "Reduction"], rows))
+
+    # Every workload honours the paper's overload bound.
+    for name, entry in payload["workloads"].items():
+        assert entry["overload"] < PAPER_OVERLOAD_BOUND, (
+            f"{name}: overload {entry['overload']:.1f}x breaches the "
+            f"paper's {PAPER_OVERLOAD_BOUND:.0f}x bound")
+        assert entry["gain"] is None or entry["gain"] > 1.0, (
+            f"{name}: annotated simulation slower than the ISS")
+
+    # The acceptance pair must hold the 2x reduction.
+    for name in ("fibonacci", "vocoder"):
+        entry = payload["workloads"][name]
+        reduction = PRE_FAST_PATH_OVERLOAD[name] / entry["overload"]
+        assert reduction >= REQUIRED_REDUCTION, (
+            f"{name}: only {reduction:.2f}x reduction vs pre-fast-path "
+            f"baseline {PRE_FAST_PATH_OVERLOAD[name]:.1f}x "
+            f"(now {entry['overload']:.1f}x); need >= "
+            f"{REQUIRED_REDUCTION:.1f}x")

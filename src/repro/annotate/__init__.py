@@ -13,7 +13,11 @@ from .costs import (
     COMPARE_OPERATIONS,
     KNOWN_OPERATIONS,
     MEMORY_OPERATIONS,
+    N_OPERATIONS,
+    OP_IDS,
+    OP_NAMES,
     OperationCosts,
+    op_id_of,
     uniform_costs,
 )
 from .functions import (
@@ -32,6 +36,7 @@ __all__ = [
     "CostContext", "MODE_HW", "MODE_SW", "OperationRecorder",
     "active", "current_context", "set_current",
     "COMPARE_OPERATIONS", "KNOWN_OPERATIONS", "MEMORY_OPERATIONS",
+    "N_OPERATIONS", "OP_IDS", "OP_NAMES", "op_id_of",
     "OperationCosts", "uniform_costs",
     "ANNOTATION_DECORATORS", "ANNOTATION_ENTRY_POINTS",
     "ANNOTATION_WRAPPERS",

@@ -26,6 +26,22 @@ estimation methods (§3):
   This is an incremental, single-pass computation — no graph is stored
   unless an operation recorder is attached (used by :mod:`repro.hls` to
   capture DFGs for actual synthesis).
+
+Charging fast path
+------------------
+
+The annotated simulation executes one :meth:`CostContext.charge` per
+simulated operation, so this is the hottest code in the whole library
+(the paper's host-time *overload* is dominated by it).  The common case
+— ``sw`` mode, no recorder — therefore avoids all per-operation dict
+traffic: the cost table is resolved **once per context** into a flat
+op-id→latency list (:attr:`_latencies`), per-segment operation counts
+live in a flat op-id→count list (:attr:`_counts`), and the lifetime
+totals are folded in at :meth:`reset` (once per *segment*) instead of
+once per *operation*.  The annotated types inline this fast path when
+``ctx._fast`` is true; everything name-based (:meth:`charge`,
+:attr:`op_counts`, :meth:`snapshot_op_counts`) stays available as the
+compatible view over the interned arrays.
 """
 
 from __future__ import annotations
@@ -34,10 +50,14 @@ import contextlib
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import AnnotationError
-from .costs import OperationCosts
+from .costs import N_OPERATIONS, OP_IDS, OP_NAMES, OperationCosts, op_id_of
 
 MODE_SW = "sw"
 MODE_HW = "hw"
+
+#: Shared all-zero template used to detect "segment charged nothing"
+#: without a per-operation dirty flag (list equality is C-speed).
+_ZERO_COUNTS = [0] * N_OPERATIONS
 
 
 class OperationRecorder:
@@ -56,25 +76,38 @@ class CostContext:
     """Per-resource accumulator for the currently-executing segment."""
 
     __slots__ = (
-        "costs", "mode", "total_cycles", "max_ready", "op_counts",
-        "lifetime_op_counts", "recorder", "_next_value_id", "_ready_base",
+        "costs", "mode", "total_cycles", "max_ready",
+        "_counts", "_lifetime", "_latencies",
+        "_recorder", "_fast", "_force_general",
+        "_next_value_id", "_ready_base",
     )
 
     def __init__(self, costs: OperationCosts, mode: str = MODE_SW,
-                 recorder: Optional[OperationRecorder] = None):
+                 recorder: Optional[OperationRecorder] = None,
+                 force_general: bool = False):
         if mode not in (MODE_SW, MODE_HW):
             raise AnnotationError(f"context mode must be 'sw' or 'hw', got {mode!r}")
         self.costs = costs
         self.mode = mode
         self.total_cycles = 0.0
         self.max_ready = 0.0
-        #: per-segment operation counts (cleared by :meth:`reset`)
-        self.op_counts: Dict[str, int] = {}
-        #: cumulative operation counts over the context's whole lifetime
-        #: (never reset) — the raw material for activity-based power
-        #: estimation (:mod:`repro.power`).
-        self.lifetime_op_counts: Dict[str, int] = {}
-        self.recorder = recorder
+        #: per-segment operation counts, indexed by interned op id
+        #: (cleared by :meth:`reset`); see the :attr:`op_counts` view.
+        self._counts = [0] * N_OPERATIONS
+        #: cumulative counts over completed segments — folded in once
+        #: per :meth:`reset`, *not* once per operation.  The
+        #: :attr:`lifetime_op_counts` view adds the live segment back
+        #: in, so readers never observe a stale total.
+        self._lifetime = [0] * N_OPERATIONS
+        #: op-id → latency, resolved once; ``None`` marks a missing
+        #: characterization (refused with :class:`AnnotationError`).
+        self._latencies = costs.latency_list()
+        self._recorder = recorder
+        #: Debug/differential hook: force every charge through the
+        #: general path even when the fast path would apply.
+        self._force_general = bool(force_general)
+        self._fast = (mode == MODE_SW and recorder is None
+                      and not self._force_general)
         self._next_value_id = 0
         # The dataflow ready clock is monotone across the context's whole
         # lifetime; _ready_base marks where the current segment started.
@@ -83,23 +116,72 @@ class CostContext:
         # segment's critical path can never exceed its operation sum.
         self._ready_base = 0.0
 
+    # -- recorder management -------------------------------------------------
+
+    @property
+    def recorder(self) -> Optional[OperationRecorder]:
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, recorder: Optional[OperationRecorder]) -> None:
+        self._recorder = recorder
+        self._fast = (self.mode == MODE_SW and recorder is None
+                      and not self._force_general)
+
+    # -- compatible dict views over the interned arrays ----------------------
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Per-segment operation counts as a name→count dict."""
+        counts = self._counts
+        return {name: counts[i] for i, name in enumerate(OP_NAMES)
+                if counts[i]}
+
+    @property
+    def lifetime_op_counts(self) -> Dict[str, int]:
+        """Cumulative operation counts over the context's whole lifetime
+        (including the segment currently accumulating) — the raw
+        material for activity-based power estimation (:mod:`repro.power`).
+        """
+        counts, lifetime = self._counts, self._lifetime
+        return {name: counts[i] + lifetime[i]
+                for i, name in enumerate(OP_NAMES)
+                if counts[i] + lifetime[i]}
+
     # -- charging (called from the annotated types) -------------------------
 
-    def charge(self, operation: str, operand_readys: Sequence[float] = (),
-               operand_ids: Sequence[int] = ()) -> Tuple[float, int]:
-        """Charge one operation; return ``(result_ready, result_id)``.
-
-        ``operand_readys`` are the dataflow ready times of the operands
-        (ignored in ``sw`` mode); ``operand_ids`` identify the operand
-        values for the optional recorder.  ``result_id`` is a unique id
-        for the produced value, ``-1`` when no recorder is attached.
-        """
-        latency = self.costs.get(operation)
-        self.total_cycles += latency
-        self.op_counts[operation] = self.op_counts.get(operation, 0) + 1
-        self.lifetime_op_counts[operation] = (
-            self.lifetime_op_counts.get(operation, 0) + 1
+    def _missing_cost(self, op: int) -> None:
+        raise AnnotationError(
+            f"cost table {self.costs.name!r} has no entry for operation "
+            f"{OP_NAMES[op]!r}; characterize the platform for it"
         )
+
+    def charge_fast(self, op: int) -> None:
+        """Slim ``sw``/no-recorder charge by interned op id.
+
+        The operator factories in :mod:`repro.annotate.types` inline
+        this body; the method exists for out-of-line callers (``Var``,
+        :mod:`repro.annotate.functions`) and tests.
+        """
+        latency = self._latencies[op]
+        if latency is None:
+            self._missing_cost(op)
+        self.total_cycles += latency
+        self._counts[op] += 1
+
+    def charge_id(self, op: int, operand_readys: Sequence[float] = (),
+                  operand_ids: Sequence[int] = ()) -> Tuple[float, int]:
+        """General charge by interned op id; returns ``(ready, result_id)``.
+
+        Handles ``hw``-mode dataflow propagation and the optional
+        operation recorder; the annotated types only reach this when
+        ``_fast`` is false.
+        """
+        latency = self._latencies[op]
+        if latency is None:
+            self._missing_cost(op)
+        self.total_cycles += latency
+        self._counts[op] += 1
 
         if self.mode == MODE_HW:
             start = max(max(operand_readys, default=0.0), self._ready_base)
@@ -110,12 +192,30 @@ class CostContext:
             ready = 0.0
 
         result_id = -1
-        if self.recorder is not None:
+        if self._recorder is not None:
             result_id = self._next_value_id
             self._next_value_id += 1
-            self.recorder.record(operation, latency,
-                                 [i for i in operand_ids if i >= 0], result_id)
+            self._recorder.record(OP_NAMES[op], latency,
+                                  [i for i in operand_ids if i >= 0],
+                                  result_id)
         return ready, result_id
+
+    def charge(self, operation: str, operand_readys: Sequence[float] = (),
+               operand_ids: Sequence[int] = ()) -> Tuple[float, int]:
+        """Charge one operation by name; return ``(result_ready, result_id)``.
+
+        ``operand_readys`` are the dataflow ready times of the operands
+        (ignored in ``sw`` mode); ``operand_ids`` identify the operand
+        values for the optional recorder.  ``result_id`` is a unique id
+        for the produced value, ``-1`` when no recorder is attached.
+        """
+        op = OP_IDS.get(operation)
+        if op is None:
+            raise AnnotationError(
+                f"cost table {self.costs.name!r} has no entry for operation "
+                f"{operation!r}; characterize the platform for it"
+            )
+        return self.charge_id(op, operand_readys, operand_ids)
 
     # -- segment lifecycle ---------------------------------------------------
 
@@ -135,15 +235,48 @@ class CostContext:
 
         The ready clock is *not* rewound: values computed in earlier
         segments stay timestamped in the past, which is exactly what
-        makes them "already available" to the new segment.
+        makes them "already available" to the new segment.  This is also
+        where the segment's operation counts fold into the lifetime
+        totals — once per segment instead of once per operation.
         """
         self.total_cycles = 0.0
         self._ready_base = self.max_ready
-        self.op_counts = {}
+        counts = self._counts
+        if counts != _ZERO_COUNTS:
+            self._lifetime = [a + b for a, b in zip(self._lifetime, counts)]
+            # In-place clear: the _counts list identity is stable for the
+            # context's lifetime, so generators suspended mid-segment
+            # (e.g. ``arange``) can never hold a dead reference.
+            counts[:] = _ZERO_COUNTS
         self._next_value_id = 0
 
     def snapshot_op_counts(self) -> Dict[str, int]:
-        return dict(self.op_counts)
+        return self.op_counts
+
+    # -- fast-forward support (:mod:`repro.segments.precharge`) --------------
+
+    def segment_snapshot(self) -> Tuple[float, float, tuple]:
+        """``(t_max, t_min, counts)`` of the live segment, for
+        pre-characterization.  ``counts`` is the raw interned-id tuple.
+        """
+        t_max, t_min = self.segment_totals()
+        return t_max, t_min, tuple(self._counts)
+
+    def apply_snapshot(self, t_max: float, t_min: float,
+                       counts: tuple) -> None:
+        """Install a pre-characterized segment accumulation.
+
+        Overwrites whatever the live segment accumulated (by eligibility
+        proof the two are identical when charging actually ran) and
+        advances the ``hw`` ready clock so downstream segments observe
+        the same critical-path state as a dynamically charged run.
+        """
+        self.total_cycles = t_max
+        self._counts[:] = counts
+        if self.mode == MODE_HW:
+            ready = self._ready_base + t_min
+            if ready > self.max_ready:
+                self.max_ready = ready
 
     def __repr__(self) -> str:
         return (f"CostContext(mode={self.mode!r}, total={self.total_cycles:.1f}, "

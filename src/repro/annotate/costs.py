@@ -46,6 +46,26 @@ KNOWN_OPERATIONS = frozenset({
     "fadd", "fsub", "fmul", "fdiv", "fneg", "fabs", "fcmp",
 })
 
+#: Interned operation ids: every known operation name mapped to a small
+#: dense integer.  The charging fast path indexes per-context flat lists
+#: with these ids instead of hashing name strings into dicts on every
+#: executed operation (see :mod:`repro.annotate.context`).
+OP_NAMES: tuple = tuple(sorted(KNOWN_OPERATIONS))
+OP_IDS = {name: index for index, name in enumerate(OP_NAMES)}
+N_OPERATIONS = len(OP_NAMES)
+
+
+def op_id_of(operation: str) -> int:
+    """The interned id of ``operation``; unknown names are an error."""
+    try:
+        return OP_IDS[operation]
+    except KeyError:
+        raise AnnotationError(
+            f"unknown operation name {operation!r}; known operations are "
+            f"{sorted(KNOWN_OPERATIONS)}"
+        ) from None
+
+
 #: Operations that read/write memory; useful for analyses that model
 #: memory pressure separately from ALU pressure.
 MEMORY_OPERATIONS = frozenset({"load", "store"})
@@ -85,6 +105,16 @@ class OperationCosts:
                 f"cost table {self.name!r} has no entry for operation "
                 f"{operation!r}; characterize the platform for it"
             ) from None
+
+    def latency_list(self) -> list:
+        """Latencies as a flat list indexed by interned op id.
+
+        Missing entries are ``None``: the charging fast path turns an
+        index hit on ``None`` into the same :class:`AnnotationError` as
+        :meth:`get`, so incomplete characterizations still refuse to
+        produce numbers instead of silently under-counting.
+        """
+        return [self._table.get(name) for name in OP_NAMES]
 
     def __contains__(self, operation: str) -> bool:
         return operation in self._table

@@ -5,6 +5,11 @@ the annotated types) and the whole-program costs a processor really
 pays: call overhead, loop bookkeeping and branching.  All three helpers
 degrade to plain behaviour when no cost context is active, preserving
 the single-source property.
+
+Like the operator methods in :mod:`repro.annotate.types`, the helpers
+inline the ``sw``/no-recorder charge (see ``CostContext.charge_fast``)
+— ``annotated_function`` in particular runs once per simulated call and
+dominates call-heavy workloads such as the recursive fibonacci.
 """
 
 from __future__ import annotations
@@ -12,8 +17,15 @@ from __future__ import annotations
 import functools
 from typing import Iterator
 
+from . import context as _context
 from .context import current_context
-from .types import AInt, unwrap
+from .costs import OP_IDS
+from .types import AInt, _new, unwrap
+
+_OP_CALL = OP_IDS["call"]
+_OP_ASSIGN = OP_IDS["assign"]
+_OP_ADD = OP_IDS["add"]
+_OP_BRANCH = OP_IDS["branch"]
 
 #: Call names that move a value into the annotated domain, and the
 #: decorators that mark a whole function as annotated.  The model
@@ -37,14 +49,31 @@ def annotated_function(fn):
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
-        ctx = current_context()
+        ctx = _context._current
         if ctx is not None:
-            ctx.charge("call")
             # Per-argument ABI cost (caller marshals, callee spills);
             # calibration fits the 'assign' weight to the target's
             # actual calling convention.
-            for _ in args:
-                ctx.charge("assign")
+            if ctx._fast:
+                latencies = ctx._latencies
+                call_latency = latencies[_OP_CALL]
+                if call_latency is None:
+                    ctx._missing_cost(_OP_CALL)
+                counts = ctx._counts
+                counts[_OP_CALL] += 1
+                n_args = len(args)
+                if n_args:
+                    assign_latency = latencies[_OP_ASSIGN]
+                    if assign_latency is None:
+                        ctx._missing_cost(_OP_ASSIGN)
+                    counts[_OP_ASSIGN] += n_args
+                    ctx.total_cycles += call_latency + assign_latency * n_args
+                else:
+                    ctx.total_cycles += call_latency
+            else:
+                ctx.charge_id(_OP_CALL)
+                for _ in args:
+                    ctx.charge_id(_OP_ASSIGN)
         return fn(*args, **kwargs)
 
     wrapper.__wrapped__ = fn
@@ -70,9 +99,29 @@ def arange(*bounds: int) -> Iterator[int]:
     if ctx is None:
         yield from range(*plain)
         return
+    if ctx._fast:
+        latencies = ctx._latencies
+        add_latency = latencies[_OP_ADD]
+        branch_latency = latencies[_OP_BRANCH]
+        if add_latency is None:
+            ctx._missing_cost(_OP_ADD)
+        if branch_latency is None:
+            ctx._missing_cost(_OP_BRANCH)
+        per_iteration = add_latency + branch_latency
+        counts = ctx._counts  # identity-stable across reset()
+        for index in range(*plain):
+            ctx.total_cycles += per_iteration
+            counts[_OP_ADD] += 1
+            counts[_OP_BRANCH] += 1
+            obj = _new(AInt)
+            obj.value = index
+            obj.ready = 0.0
+            obj.vid = -1
+            yield obj
+        return
     for index in range(*plain):
-        ctx.charge("add")
-        ready, vid = ctx.charge("branch")
+        ctx.charge_id(_OP_ADD)
+        ready, vid = ctx.charge_id(_OP_BRANCH)
         yield AInt(index, ready, vid)
 
 
@@ -89,9 +138,12 @@ def branch(condition) -> bool:
     from .types import ABool
     if isinstance(condition, ABool):
         return bool(condition)
-    ctx = current_context()
+    ctx = _context._current
     if ctx is not None:
-        ctx.charge("branch")
+        if ctx._fast:
+            ctx.charge_fast(_OP_BRANCH)
+        else:
+            ctx.charge_id(_OP_BRANCH)
     return bool(condition)
 
 

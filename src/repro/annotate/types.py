@@ -23,6 +23,26 @@ cycle at which a fully-parallel datapath would have produced it).  In a
 ``max(operand readys) + latency``; the segment's maximum completion is
 its critical path (the paper's best-case HW time).  In ``sw`` mode the
 tracking is skipped.
+
+Speed
+-----
+
+One operator call here stands in for one machine instruction of the
+model under estimation, so this file dominates the paper's *overload*
+metric (annotated host time / untimed host time).  Two structural
+choices keep it lean:
+
+* Operator methods are built *after* all classes exist and installed
+  with ``setattr``, so each closure binds its interned op id, its
+  result class and the raw allocator directly — no
+  name→class dict lookup, no ``__init__`` re-validation per result.
+* Each method inlines the ``sw``/no-recorder charge (one latency-list
+  index, one float add, one count increment — see
+  :meth:`CostContext.charge_fast`) and only falls back to the general
+  :meth:`CostContext.charge_id` path for ``hw`` mode or an attached
+  recorder.  The module-level context slot is read as a plain attribute
+  of the :mod:`~repro.annotate.context` module rather than through
+  ``current_context()``.
 """
 
 from __future__ import annotations
@@ -31,9 +51,13 @@ import operator as _op
 from typing import Iterable, List, Union
 
 from ..errors import AnnotationError
+from . import context as _context
 from .context import current_context
+from .costs import OP_IDS
 
 Number = Union[int, float]
+
+_new = object.__new__
 
 
 def unwrap(value):
@@ -71,86 +95,6 @@ def _float_operand(other):
     return None
 
 
-def _make_int_binop(py_op, cost_name, result_cls_name="AInt"):
-    def method(self, other):
-        operand = _int_operand(other)
-        if operand is None:
-            return NotImplemented
-        other_value, other_ready, other_vid = operand
-        result = py_op(self.value, other_value)
-        ctx = current_context()
-        cls = _RESULT_CLASSES[result_cls_name]
-        if ctx is None:
-            return cls(result)
-        ready, vid = ctx.charge(cost_name, (self.ready, other_ready),
-                                (self.vid, other_vid))
-        return cls(result, ready, vid)
-    method.__name__ = f"__{py_op.__name__.strip('_')}__"
-    return method
-
-
-def _make_int_rbinop(py_op, cost_name, result_cls_name="AInt"):
-    def method(self, other):
-        operand = _int_operand(other)
-        if operand is None:
-            return NotImplemented
-        other_value, other_ready, other_vid = operand
-        result = py_op(other_value, self.value)
-        ctx = current_context()
-        cls = _RESULT_CLASSES[result_cls_name]
-        if ctx is None:
-            return cls(result)
-        ready, vid = ctx.charge(cost_name, (other_ready, self.ready),
-                                (other_vid, self.vid))
-        return cls(result, ready, vid)
-    return method
-
-
-def _make_int_unop(py_op, cost_name):
-    def method(self):
-        result = py_op(self.value)
-        ctx = current_context()
-        if ctx is None:
-            return AInt(result)
-        ready, vid = ctx.charge(cost_name, (self.ready,), (self.vid,))
-        return AInt(result, ready, vid)
-    return method
-
-
-def _make_float_binop(py_op, cost_name, result_cls_name="AFloat"):
-    def method(self, other):
-        operand = _float_operand(other)
-        if operand is None:
-            return NotImplemented
-        other_value, other_ready, other_vid = operand
-        result = py_op(self.value, other_value)
-        ctx = current_context()
-        cls = _RESULT_CLASSES[result_cls_name]
-        if ctx is None:
-            return cls(result)
-        ready, vid = ctx.charge(cost_name, (self.ready, other_ready),
-                                (self.vid, other_vid))
-        return cls(result, ready, vid)
-    return method
-
-
-def _make_float_rbinop(py_op, cost_name, result_cls_name="AFloat"):
-    def method(self, other):
-        operand = _float_operand(other)
-        if operand is None:
-            return NotImplemented
-        other_value, other_ready, other_vid = operand
-        result = py_op(other_value, self.value)
-        ctx = current_context()
-        cls = _RESULT_CLASSES[result_cls_name]
-        if ctx is None:
-            return cls(result)
-        ready, vid = ctx.charge(cost_name, (other_ready, self.ready),
-                                (other_vid, self.vid))
-        return cls(result, ready, vid)
-    return method
-
-
 class ABool:
     """An annotated boolean (the result of annotated comparisons).
 
@@ -170,9 +114,16 @@ class ABool:
         self.vid = vid
 
     def __bool__(self) -> bool:
-        ctx = current_context()
+        ctx = _context._current
         if ctx is not None:
-            ctx.charge("branch", (self.ready,), (self.vid,))
+            if ctx._fast:
+                latency = ctx._latencies[_OP_BRANCH]
+                if latency is None:
+                    ctx._missing_cost(_OP_BRANCH)
+                ctx.total_cycles += latency
+                ctx._counts[_OP_BRANCH] += 1
+            else:
+                ctx.charge_id(_OP_BRANCH, (self.ready,), (self.vid,))
         return self.value
 
     # C semantics: a comparison result is an integer (0/1) usable in
@@ -253,6 +204,10 @@ class AInt:
     Division follows Python semantics (``//`` floors); the reference ISS
     implements the same semantics so that single-source functional
     equivalence is exact (see DESIGN.md, substitution notes).
+
+    Operator methods are installed below the class definitions (see
+    module docstring); only behaviour that does not charge, or that
+    delegates to charging operators, lives in the class body.
     """
 
     __slots__ = ("value", "ready", "vid")
@@ -270,43 +225,9 @@ class AInt:
         self.ready = ready
         self.vid = vid
 
-    # arithmetic
-    __add__ = _make_int_binop(_op.add, "add")
-    __radd__ = _make_int_rbinop(_op.add, "add")
-    __sub__ = _make_int_binop(_op.sub, "sub")
-    __rsub__ = _make_int_rbinop(_op.sub, "sub")
-    __mul__ = _make_int_binop(_op.mul, "mul")
-    __rmul__ = _make_int_rbinop(_op.mul, "mul")
-    __floordiv__ = _make_int_binop(_op.floordiv, "div")
-    __rfloordiv__ = _make_int_rbinop(_op.floordiv, "div")
-    __mod__ = _make_int_binop(_op.mod, "mod")
-    __rmod__ = _make_int_rbinop(_op.mod, "mod")
-    __lshift__ = _make_int_binop(_op.lshift, "shl")
-    __rlshift__ = _make_int_rbinop(_op.lshift, "shl")
-    __rshift__ = _make_int_binop(_op.rshift, "shr")
-    __rrshift__ = _make_int_rbinop(_op.rshift, "shr")
-    __and__ = _make_int_binop(_op.and_, "and")
-    __rand__ = _make_int_rbinop(_op.and_, "and")
-    __or__ = _make_int_binop(_op.or_, "or")
-    __ror__ = _make_int_rbinop(_op.or_, "or")
-    __xor__ = _make_int_binop(_op.xor, "xor")
-    __rxor__ = _make_int_rbinop(_op.xor, "xor")
-
-    # unary
-    __neg__ = _make_int_unop(_op.neg, "neg")
-    __invert__ = _make_int_unop(_op.invert, "inv")
-    __abs__ = _make_int_unop(abs, "abs")
-
     def __pos__(self):
         return self
 
-    # comparisons (annotated: they model ALU compare instructions)
-    __lt__ = _make_int_binop(_op.lt, "lt", "ABool")
-    __le__ = _make_int_binop(_op.le, "le", "ABool")
-    __gt__ = _make_int_binop(_op.gt, "gt", "ABool")
-    __ge__ = _make_int_binop(_op.ge, "ge", "ABool")
-    __eq__ = _make_int_binop(_op.eq, "eq", "ABool")
-    __ne__ = _make_int_binop(_op.ne, "ne", "ABool")
     __hash__ = None  # mutable-cost semantics: do not use as dict keys
 
     # true division promotes to float, as in C when one operand is float;
@@ -348,36 +269,7 @@ class AFloat:
         self.ready = ready
         self.vid = vid
 
-    __add__ = _make_float_binop(_op.add, "fadd")
-    __radd__ = _make_float_rbinop(_op.add, "fadd")
-    __sub__ = _make_float_binop(_op.sub, "fsub")
-    __rsub__ = _make_float_rbinop(_op.sub, "fsub")
-    __mul__ = _make_float_binop(_op.mul, "fmul")
-    __rmul__ = _make_float_rbinop(_op.mul, "fmul")
-    __truediv__ = _make_float_binop(_op.truediv, "fdiv")
-    __rtruediv__ = _make_float_rbinop(_op.truediv, "fdiv")
-
-    __lt__ = _make_float_binop(_op.lt, "fcmp", "ABool")
-    __le__ = _make_float_binop(_op.le, "fcmp", "ABool")
-    __gt__ = _make_float_binop(_op.gt, "fcmp", "ABool")
-    __ge__ = _make_float_binop(_op.ge, "fcmp", "ABool")
-    __eq__ = _make_float_binop(_op.eq, "fcmp", "ABool")
-    __ne__ = _make_float_binop(_op.ne, "fcmp", "ABool")
     __hash__ = None
-
-    def __neg__(self):
-        ctx = current_context()
-        if ctx is None:
-            return AFloat(-self.value)
-        ready, vid = ctx.charge("fneg", (self.ready,), (self.vid,))
-        return AFloat(-self.value, ready, vid)
-
-    def __abs__(self):
-        ctx = current_context()
-        if ctx is None:
-            return AFloat(abs(self.value))
-        ready, vid = ctx.charge("fabs", (self.ready,), (self.vid,))
-        return AFloat(abs(self.value), ready, vid)
 
     def __float__(self) -> float:
         return self.value
@@ -392,7 +284,272 @@ class AFloat:
         return f"AFloat({self.value})"
 
 
-_RESULT_CLASSES = {"AInt": AInt, "AFloat": AFloat, "ABool": ABool}
+# ---------------------------------------------------------------------------
+# Operator factories.  Defined *after* the value classes so each closure
+# binds the concrete result class (no registry lookup per operation) and
+# the interned op id (no name hashing per operation).
+# ---------------------------------------------------------------------------
+
+def _name_method(method, dunder, owner):
+    """Real names for generated operators — profiler/flamegraph frames
+    must read ``AInt.__radd__``, not the generic closure name."""
+    method.__name__ = dunder
+    method.__qualname__ = f"{owner.__name__}.{dunder}"
+    return method
+
+
+def _make_int_binop(py_op, cost_name, result_cls):
+    op = OP_IDS[cost_name]
+
+    def method(self, other):
+        tp = type(other)
+        if tp is AInt:
+            other_value = other.value
+        elif tp is int:
+            other_value = other
+        else:
+            operand = _int_operand(other)
+            if operand is None:
+                return NotImplemented
+            other_value = operand[0]
+        result = py_op(self.value, other_value)
+        ctx = _context._current
+        if ctx is not None:
+            if ctx._fast:
+                latency = ctx._latencies[op]
+                if latency is None:
+                    ctx._missing_cost(op)
+                ctx.total_cycles += latency
+                ctx._counts[op] += 1
+            else:
+                operand = _int_operand(other)
+                other_value, other_ready, other_vid = operand
+                ready, vid = ctx.charge_id(op, (self.ready, other_ready),
+                                           (self.vid, other_vid))
+                return result_cls(result, ready, vid)
+        # No context (untimed or fast-forward-suppressed segment) and the
+        # fast path share the slim allocation below.
+        obj = _new(result_cls)
+        obj.value = result
+        obj.ready = 0.0
+        obj.vid = -1
+        return obj
+
+    return method
+
+
+def _make_int_rbinop(py_op, cost_name, result_cls):
+    op = OP_IDS[cost_name]
+
+    def method(self, other):
+        operand = _int_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(other_value, self.value)
+        ctx = _context._current
+        if ctx is None:
+            return result_cls(result)
+        if ctx._fast:
+            latency = ctx._latencies[op]
+            if latency is None:
+                ctx._missing_cost(op)
+            ctx.total_cycles += latency
+            ctx._counts[op] += 1
+            obj = _new(result_cls)
+            obj.value = result
+            obj.ready = 0.0
+            obj.vid = -1
+            return obj
+        ready, vid = ctx.charge_id(op, (other_ready, self.ready),
+                                   (other_vid, self.vid))
+        return result_cls(result, ready, vid)
+
+    return method
+
+
+def _make_int_unop(py_op, cost_name):
+    op = OP_IDS[cost_name]
+
+    def method(self):
+        result = py_op(self.value)
+        ctx = _context._current
+        if ctx is None:
+            return AInt(result)
+        if ctx._fast:
+            latency = ctx._latencies[op]
+            if latency is None:
+                ctx._missing_cost(op)
+            ctx.total_cycles += latency
+            ctx._counts[op] += 1
+            obj = _new(AInt)
+            obj.value = result
+            obj.ready = 0.0
+            obj.vid = -1
+            return obj
+        ready, vid = ctx.charge_id(op, (self.ready,), (self.vid,))
+        return AInt(result, ready, vid)
+
+    return method
+
+
+def _make_float_binop(py_op, cost_name, result_cls):
+    op = OP_IDS[cost_name]
+
+    def method(self, other):
+        tp = type(other)
+        if tp is AFloat:
+            other_value = other.value
+        elif tp is float or tp is int:
+            other_value = float(other)
+        else:
+            operand = _float_operand(other)
+            if operand is None:
+                return NotImplemented
+            other_value = operand[0]
+        result = py_op(self.value, other_value)
+        ctx = _context._current
+        if ctx is not None:
+            if ctx._fast:
+                latency = ctx._latencies[op]
+                if latency is None:
+                    ctx._missing_cost(op)
+                ctx.total_cycles += latency
+                ctx._counts[op] += 1
+            else:
+                operand = _float_operand(other)
+                other_value, other_ready, other_vid = operand
+                ready, vid = ctx.charge_id(op, (self.ready, other_ready),
+                                           (self.vid, other_vid))
+                return result_cls(result, ready, vid)
+        obj = _new(result_cls)
+        obj.value = result
+        obj.ready = 0.0
+        obj.vid = -1
+        return obj
+
+    return method
+
+
+def _make_float_rbinop(py_op, cost_name, result_cls):
+    op = OP_IDS[cost_name]
+
+    def method(self, other):
+        operand = _float_operand(other)
+        if operand is None:
+            return NotImplemented
+        other_value, other_ready, other_vid = operand
+        result = py_op(other_value, self.value)
+        ctx = _context._current
+        if ctx is None:
+            return result_cls(result)
+        if ctx._fast:
+            latency = ctx._latencies[op]
+            if latency is None:
+                ctx._missing_cost(op)
+            ctx.total_cycles += latency
+            ctx._counts[op] += 1
+            obj = _new(result_cls)
+            obj.value = result
+            obj.ready = 0.0
+            obj.vid = -1
+            return obj
+        ready, vid = ctx.charge_id(op, (other_ready, self.ready),
+                                   (other_vid, self.vid))
+        return result_cls(result, ready, vid)
+
+    return method
+
+
+def _make_float_unop(py_op, cost_name):
+    op = OP_IDS[cost_name]
+
+    def method(self):
+        result = py_op(self.value)
+        ctx = _context._current
+        if ctx is None:
+            return AFloat(result)
+        if ctx._fast:
+            latency = ctx._latencies[op]
+            if latency is None:
+                ctx._missing_cost(op)
+            ctx.total_cycles += latency
+            ctx._counts[op] += 1
+            obj = _new(AFloat)
+            obj.value = result
+            obj.ready = 0.0
+            obj.vid = -1
+            return obj
+        ready, vid = ctx.charge_id(op, (self.ready,), (self.vid,))
+        return AFloat(result, ready, vid)
+
+    return method
+
+
+# (python operator, cost name); the dunder name derives from the
+# operator's own __name__, exactly like compiled code derives the
+# instruction from the source operator.
+_INT_BINOPS = (
+    (_op.add, "add"), (_op.sub, "sub"), (_op.mul, "mul"),
+    (_op.floordiv, "div"), (_op.mod, "mod"),
+    (_op.lshift, "shl"), (_op.rshift, "shr"),
+    (_op.and_, "and"), (_op.or_, "or"), (_op.xor, "xor"),
+)
+_INT_COMPARES = (
+    (_op.lt, "lt"), (_op.le, "le"), (_op.gt, "gt"),
+    (_op.ge, "ge"), (_op.eq, "eq"), (_op.ne, "ne"),
+)
+_INT_UNOPS = ((_op.neg, "neg"), (_op.invert, "inv"), (abs, "abs"))
+_FLOAT_BINOPS = (
+    (_op.add, "fadd"), (_op.sub, "fsub"),
+    (_op.mul, "fmul"), (_op.truediv, "fdiv"),
+)
+_FLOAT_COMPARES = tuple((cmp, "fcmp") for cmp, _ in _INT_COMPARES)
+_FLOAT_UNOPS = ((_op.neg, "fneg"), (abs, "fabs"))
+
+
+def _install_operators():
+    for py_op, cost in _INT_BINOPS:
+        stem = py_op.__name__.strip("_")
+        setattr(AInt, f"__{stem}__", _name_method(
+            _make_int_binop(py_op, cost, AInt), f"__{stem}__", AInt))
+        setattr(AInt, f"__r{stem}__", _name_method(
+            _make_int_rbinop(py_op, cost, AInt), f"__r{stem}__", AInt))
+    for py_op, cost in _INT_COMPARES:
+        dunder = f"__{py_op.__name__}__"
+        setattr(AInt, dunder, _name_method(
+            _make_int_binop(py_op, cost, ABool), dunder, AInt))
+    for py_op, cost in _INT_UNOPS:
+        dunder = f"__{py_op.__name__}__"
+        setattr(AInt, dunder, _name_method(
+            _make_int_unop(py_op, cost), dunder, AInt))
+    for py_op, cost in _FLOAT_BINOPS:
+        stem = py_op.__name__.strip("_")
+        setattr(AFloat, f"__{stem}__", _name_method(
+            _make_float_binop(py_op, cost, AFloat), f"__{stem}__", AFloat))
+        setattr(AFloat, f"__r{stem}__", _name_method(
+            _make_float_rbinop(py_op, cost, AFloat), f"__r{stem}__", AFloat))
+    for py_op, cost in _FLOAT_COMPARES:
+        dunder = f"__{py_op.__name__}__"
+        setattr(AFloat, dunder, _name_method(
+            _make_float_binop(py_op, cost, ABool), dunder, AFloat))
+    for py_op, cost in _FLOAT_UNOPS:
+        dunder = f"__{py_op.__name__}__"
+        setattr(AFloat, dunder, _name_method(
+            _make_float_unop(py_op, cost), dunder, AFloat))
+
+
+_install_operators()
+
+# Setting __eq__ after class creation leaves the default __hash__ in
+# the type dict from the class body ("__hash__ = None"), which is what
+# we want — but make the invariant explicit.
+assert AInt.__hash__ is None and AFloat.__hash__ is None
+
+_OP_BRANCH = OP_IDS["branch"]
+_OP_LOAD = OP_IDS["load"]
+_OP_STORE = OP_IDS["store"]
+_OP_ASSIGN = OP_IDS["assign"]
 
 
 class AArray:
@@ -435,17 +592,65 @@ class AArray:
         )
 
     def __getitem__(self, index):
+        ctx = _context._current
+        if ctx is not None and ctx._fast:
+            tp = type(index)
+            if tp is AInt:
+                i = index.value
+            elif tp is int:
+                i = index
+            else:
+                i = self._index_of(index)[0]
+            value = self._data[i]
+            latency = ctx._latencies[_OP_LOAD]
+            if latency is None:
+                ctx._missing_cost(_OP_LOAD)
+            ctx.total_cycles += latency
+            ctx._counts[_OP_LOAD] += 1
+            obj = _new(AInt) if isinstance(value, int) else _new(AFloat)
+            obj.value = value
+            obj.ready = 0.0
+            obj.vid = -1
+            return obj
         i, idx_ready, idx_vid = self._index_of(index)
         value = self._data[i]
-        ctx = current_context()
         cls = AInt if isinstance(value, int) else AFloat
         if ctx is None:
             return cls(value)
-        ready, vid = ctx.charge("load", (idx_ready, self._readys[i]),
-                                (idx_vid, self._vids[i]))
+        ready, vid = ctx.charge_id(_OP_LOAD, (idx_ready, self._readys[i]),
+                                   (idx_vid, self._vids[i]))
         return cls(value, ready, vid)
 
     def __setitem__(self, index, value) -> None:
+        ctx = _context._current
+        if ctx is not None and ctx._fast:
+            tp = type(index)
+            if tp is AInt:
+                i = index.value
+            elif tp is int:
+                i = index
+            else:
+                i = self._index_of(index)[0]
+            tp = type(value)
+            if tp is AInt or tp is AFloat:
+                plain = value.value
+            elif tp is int or tp is float:
+                plain = value
+            elif isinstance(value, (AInt, AFloat, ABool)):
+                plain = unwrap(value)
+            elif isinstance(value, (int, float)):
+                plain = value
+            else:
+                raise AnnotationError(
+                    f"array element must be a number, got {type(value).__name__}"
+                )
+            latency = ctx._latencies[_OP_STORE]
+            if latency is None:
+                ctx._missing_cost(_OP_STORE)
+            ctx.total_cycles += latency
+            ctx._counts[_OP_STORE] += 1
+            self._data[i] = plain
+            return
         i, idx_ready, idx_vid = self._index_of(index)
         if isinstance(value, (AInt, AFloat, ABool)):
             val_ready, val_vid, plain = value.ready, value.vid, unwrap(value)
@@ -455,10 +660,9 @@ class AArray:
             raise AnnotationError(
                 f"array element must be a number, got {type(value).__name__}"
             )
-        ctx = current_context()
         if ctx is not None:
-            ready, vid = ctx.charge("store", (idx_ready, val_ready),
-                                    (idx_vid, val_vid))
+            ready, vid = ctx.charge_id(_OP_STORE, (idx_ready, val_ready),
+                                       (idx_vid, val_vid))
             self._readys[i] = ready
             self._vids[i] = vid
         self._data[i] = plain
@@ -497,13 +701,19 @@ class Var:
 
     def assign(self, new_value) -> "Var":
         """Assign, charging one ``assign`` operation."""
-        if isinstance(new_value, (AInt, AFloat, ABool)):
-            src_ready, src_vid = new_value.ready, new_value.vid
-        else:
-            src_ready, src_vid = 0.0, -1
-        ctx = current_context()
+        ctx = _context._current
         if ctx is not None:
-            self.ready, self.vid = ctx.charge("assign", (src_ready,), (src_vid,))
+            if ctx._fast:
+                ctx.charge_fast(_OP_ASSIGN)
+                self.ready = 0.0
+                self.vid = -1
+            else:
+                if isinstance(new_value, (AInt, AFloat, ABool)):
+                    src_ready, src_vid = new_value.ready, new_value.vid
+                else:
+                    src_ready, src_vid = 0.0, -1
+                self.ready, self.vid = ctx.charge_id(
+                    _OP_ASSIGN, (src_ready,), (src_vid,))
         self.value = unwrap(new_value)
         return self
 

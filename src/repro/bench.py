@@ -1,0 +1,353 @@
+"""Machine-readable speed benchmarking of the estimation library itself.
+
+The paper's headline result is *speed*: strict-timed annotated
+simulation runs >142× faster than the instruction-set simulator while
+staying below a 73× overload over the untimed specification.  This
+module measures both ratios — per workload, in a stable JSON shape
+(``BENCH_overhead.json``) — so the repository's own performance of the
+performance model is tracked release over release:
+
+* **overload** — annotated (charging) execution time over plain
+  untimed execution time of the same kernel; the paper's "<73×" bound,
+* **gain** — ISS execution time over annotated execution time; the
+  paper's ">142×" claim.
+
+Function workloads come from :func:`repro.workloads.registry` and run
+single-source on all three backends.  The concurrent vocoder pipeline
+additionally exercises the full kernel/library stack (five processes,
+FIFOs, segment tracking) and honours the fast-forward engine flags.
+
+Used by ``repro bench`` (the CLI entry point) and
+``benchmarks/bench_overhead.py`` (the regression benchmark).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .annotate import MODE_SW, OperationCosts
+from .errors import ReproError
+from .workloads import registry, run_annotated
+
+#: Bump when the JSON layout changes shape incompatibly.
+SCHEMA_VERSION = 1
+
+DEFAULT_REPEATS = 3
+DEFAULT_FRAMES = 4
+
+
+@dataclasses.dataclass
+class OverheadResult:
+    """Both paper-shaped speed ratios for one workload."""
+
+    name: str
+    kind: str                    # "function" | "pipeline"
+    untimed_s: float             # plain execution, best-of-repeats
+    annotated_s: float           # charging execution, best-of-repeats
+    estimated_cycles: float      # what the annotated run estimated
+    iss_s: Optional[float] = None
+    iss_cycles: Optional[int] = None
+    iss_error: Optional[str] = None
+    fastforward_stats: Optional[str] = None
+
+    @property
+    def overload(self) -> float:
+        """Annotated over untimed host time (paper: stays < 73x)."""
+        return self.annotated_s / self.untimed_s if self.untimed_s else 0.0
+
+    @property
+    def gain(self) -> Optional[float]:
+        """ISS over annotated host time (paper: > 142x)."""
+        if self.iss_s is None or not self.annotated_s:
+            return None
+        return self.iss_s / self.annotated_s
+
+    def to_dict(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "untimed_s": self.untimed_s,
+            "annotated_s": self.annotated_s,
+            "iss_s": self.iss_s,
+            "overload": self.overload,
+            "gain": self.gain,
+            "estimated_cycles": self.estimated_cycles,
+            "iss_cycles": self.iss_cycles,
+            "iss_error": self.iss_error,
+            "fastforward_stats": self.fastforward_stats,
+        }
+
+
+def _best_of(repeats: int, thunk: Callable[[], object]):
+    """Minimum wall time over ``repeats`` runs (and the last result)."""
+    best = math.inf
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# Function workloads (the sequential registry kernels)
+# ---------------------------------------------------------------------------
+
+def bench_function_workload(name: str, functions: Sequence[Callable],
+                            make_args: Callable[[], tuple],
+                            costs: OperationCosts,
+                            repeats: int = DEFAULT_REPEATS,
+                            include_iss: bool = True) -> OverheadResult:
+    """Measure one registry workload on all three backends.
+
+    Arguments are rebuilt for every run — sorting kernels mutate their
+    input in place, so reusing one argument tuple would time sorting an
+    already-sorted list after the first run.
+    """
+    entry = functions[0]
+
+    untimed_s, _ = _best_of(repeats, lambda: entry(*make_args()))
+    annotated_s, annotated = _best_of(
+        repeats, lambda: run_annotated(entry, make_args(), costs, MODE_SW))
+    _result, estimated_cycles, _t_min = annotated
+
+    iss_s = iss_cycles = iss_error = None
+    if include_iss:
+        from .iss import run_compiled
+        try:
+            iss_s, iss = _best_of(
+                repeats,
+                lambda: run_compiled(list(functions), args=make_args(),
+                                     entry=entry))
+            iss_cycles = iss.cycles
+        except (ReproError, NotImplementedError, ValueError) as exc:
+            iss_error = f"{type(exc).__name__}: {exc}"
+            iss_s = iss_cycles = None
+
+    return OverheadResult(
+        name=name, kind="function",
+        untimed_s=untimed_s, annotated_s=annotated_s,
+        estimated_cycles=estimated_cycles,
+        iss_s=iss_s, iss_cycles=iss_cycles, iss_error=iss_error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The concurrent vocoder pipeline (full kernel + library stack)
+# ---------------------------------------------------------------------------
+
+def _run_vocoder_timed(frames, costs: OperationCosts,
+                       fastforward: bool, check_fastforward: bool):
+    from .core import PerformanceLibrary
+    from .kernel.simulator import Simulator
+    from .platform import EnvironmentResource, Mapping, make_cpu
+    from .workloads.vocoder import STAGE_NAMES, build_vocoder
+
+    simulator = Simulator()
+    design = build_vocoder(simulator, frames, annotate=True)
+    cpu = make_cpu("cpu0", costs=costs)
+    env = EnvironmentResource("testbench")
+    mapping = Mapping()
+    for name, process in design.processes.items():
+        mapping.assign(process, cpu if name in STAGE_NAMES else env)
+    perf = PerformanceLibrary(mapping, fastforward=fastforward,
+                              check_fastforward=check_fastforward)
+    perf.attach(simulator)
+    simulator.run()
+    simulator.assert_quiescent()
+    return design, perf
+
+
+def _run_vocoder_untimed(frames):
+    from .kernel.simulator import Simulator
+    from .workloads.vocoder import build_vocoder
+
+    simulator = Simulator()
+    design = build_vocoder(simulator, frames, annotate=False)
+    simulator.run()
+    simulator.assert_quiescent()
+    return design
+
+
+def _run_vocoder_iss(frames):
+    """Sequential ISS reference over identical frames (Table 3 shape)."""
+    from .iss.machine import Machine
+    from .iss.runtime import prepare_program, run_program
+    from .workloads.vocoder import make_stages, run_reference
+
+    machine = Machine(memory_words=1 << 16)
+    programs = {}
+    total_cycles = [0]
+    for stage in make_stages():
+        program = prepare_program(list(stage.kernels), entry=stage.kernels[0])
+        programs[stage.kernels[0].__name__] = (program,
+                                               stage.kernels[0].__name__)
+
+    def execute(fn, args):
+        program, entry = programs[fn.__name__]
+        outcome = run_program(program, entry, args, machine=machine)
+        total_cycles[0] += outcome.cycles
+        return outcome.return_value
+
+    results = run_reference(frames, execute=execute)
+    return results, total_cycles[0]
+
+
+def bench_vocoder(costs: OperationCosts,
+                  frame_count: int = DEFAULT_FRAMES,
+                  repeats: int = DEFAULT_REPEATS,
+                  fastforward: bool = False,
+                  check_fastforward: bool = False,
+                  include_iss: bool = True) -> OverheadResult:
+    """Measure the five-process vocoder pipeline end to end."""
+    from .workloads.vocoder import make_frames
+
+    frames = make_frames(frame_count)
+
+    untimed_s, untimed_design = _best_of(
+        repeats, lambda: _run_vocoder_untimed(frames))
+    annotated_s, (design, perf) = _best_of(
+        repeats, lambda: _run_vocoder_timed(frames, costs, fastforward,
+                                            check_fastforward))
+
+    checks_timed = [p["check"] for p in design.results]
+    checks_plain = [p["check"] for p in untimed_design.results]
+    if checks_timed != checks_plain:
+        raise ReproError("vocoder timed/untimed functional results diverge")
+
+    estimated = sum(stats.cycles for stats in perf.stats.values())
+
+    iss_s = iss_cycles = iss_error = None
+    if include_iss:
+        try:
+            iss_s, (iss_results, iss_cycles) = _best_of(
+                repeats, lambda: _run_vocoder_iss(frames))
+            checks_iss = [p["check"] for p in iss_results]
+            if checks_iss != checks_plain:
+                raise ReproError("vocoder ISS functional results diverge")
+        except (ReproError, NotImplementedError, ValueError) as exc:
+            iss_error = f"{type(exc).__name__}: {exc}"
+            iss_s = iss_cycles = None
+
+    return OverheadResult(
+        name="vocoder", kind="pipeline",
+        untimed_s=untimed_s, annotated_s=annotated_s,
+        estimated_cycles=estimated,
+        iss_s=iss_s, iss_cycles=iss_cycles, iss_error=iss_error,
+        fastforward_stats=(perf.engine.describe()
+                           if perf.engine is not None else None),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The full sweep + JSON payload
+# ---------------------------------------------------------------------------
+
+def _geomean(values: List[float]) -> Optional[float]:
+    values = [v for v in values if v and v > 0.0]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_bench(workloads: Optional[Sequence[str]] = None,
+              costs: Optional[OperationCosts] = None,
+              repeats: int = DEFAULT_REPEATS,
+              frame_count: int = DEFAULT_FRAMES,
+              fastforward: bool = False,
+              check_fastforward: bool = False,
+              include_iss: bool = True,
+              include_vocoder: bool = True) -> Dict:
+    """Run the overhead sweep; returns the ``BENCH_overhead.json`` payload."""
+    if costs is None:
+        from .platform import OPENRISC_SW_COSTS
+        costs = OPENRISC_SW_COSTS
+
+    available = registry()
+    if workloads is None:
+        selected = list(available)
+    else:
+        unknown = sorted(set(workloads) - set(available) - {"vocoder"})
+        if unknown:
+            raise ReproError(
+                f"unknown workload(s) {', '.join(unknown)}; available: "
+                f"{', '.join(sorted(available))}, vocoder")
+        selected = [name for name in available if name in set(workloads)]
+        include_vocoder = "vocoder" in workloads
+
+    results: List[OverheadResult] = []
+    for name in selected:
+        functions, make_args = available[name]
+        results.append(bench_function_workload(
+            name, functions, make_args, costs,
+            repeats=repeats, include_iss=include_iss))
+    if include_vocoder:
+        results.append(bench_vocoder(
+            costs, frame_count=frame_count, repeats=repeats,
+            fastforward=fastforward, check_fastforward=check_fastforward,
+            include_iss=include_iss))
+
+    gains = [r.gain for r in results if r.gain is not None]
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "costs": costs.name,
+        "repeats": repeats,
+        "fastforward": fastforward,
+        "check_fastforward": check_fastforward,
+        "workloads": {r.name: r.to_dict() for r in results},
+        "summary": {
+            "workloads": len(results),
+            "geomean_overload": _geomean([r.overload for r in results]),
+            "geomean_gain": _geomean(gains),
+            "max_overload": max((r.overload for r in results), default=None),
+            "min_gain": min(gains, default=None),
+        },
+    }
+    return payload
+
+
+def write_payload(payload: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def render_table(payload: Dict) -> str:
+    """Human-readable table of a :func:`run_bench` payload."""
+    headers = ["Workload", "Untimed (ms)", "Annotated (ms)", "Overload",
+               "ISS (ms)", "Gain"]
+    rows = []
+    for name, entry in payload["workloads"].items():
+        iss_cell = ("-" if entry["iss_s"] is None
+                    else f"{entry['iss_s'] * 1e3:.2f}")
+        gain_cell = ("-" if entry["gain"] is None
+                     else f"{entry['gain']:.1f}x")
+        rows.append([name, f"{entry['untimed_s'] * 1e3:.2f}",
+                     f"{entry['annotated_s'] * 1e3:.2f}",
+                     f"{entry['overload']:.1f}x", iss_cell, gain_cell])
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells):
+        return "  ".join(str(c).ljust(w)
+                         for c, w in zip(cells, widths)).rstrip()
+
+    summary = payload["summary"]
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    overload = summary.get("geomean_overload")
+    gain = summary.get("geomean_gain")
+    lines.append("")
+    lines.append(
+        "geomean overload: "
+        + (f"{overload:.1f}x (paper bound: <73x)" if overload else "n/a")
+        + "  geomean gain: "
+        + (f"{gain:.1f}x (paper claim: >142x)" if gain else "n/a"))
+    return "\n".join(lines)

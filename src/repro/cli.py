@@ -478,6 +478,33 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from .bench import render_table, run_bench, write_payload
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    costs = None
+    if args.weights:
+        from .annotate import OperationCosts
+        costs = OperationCosts.load(args.weights)
+        print(f"using cost table {costs.name!r} from {args.weights}")
+    payload = run_bench(
+        workloads=workloads,
+        costs=costs,
+        repeats=args.repeats,
+        frame_count=args.frames,
+        fastforward=args.fastforward,
+        check_fastforward=args.check_fastforward,
+        include_iss=not args.no_iss,
+    )
+    print(render_table(payload))
+    if args.json:
+        write_payload(payload, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -511,6 +538,34 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="load a saved cost-table JSON instead "
                                       "of calibrating")
     estimate_parser.set_defaults(fn=_cmd_estimate)
+
+    bench_parser = sub.add_parser(
+        "bench", help="measure the library's own overhead "
+                      "(overload vs untimed, gain vs ISS)")
+    bench_parser.add_argument("--json", default="",
+                              help="write the machine-readable payload "
+                                   "(e.g. BENCH_overhead.json)")
+    bench_parser.add_argument("--workloads", default="",
+                              help="comma-separated subset (registry names "
+                                   "and/or 'vocoder'; default: everything)")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="best-of-N host-time measurement")
+    bench_parser.add_argument("--frames", type=int, default=4,
+                              help="vocoder pipeline frame count")
+    bench_parser.add_argument("--fastforward", action="store_true",
+                              help="enable the segment fast-forward engine "
+                                   "on the vocoder pipeline")
+    bench_parser.add_argument("--check-fastforward", action="store_true",
+                              help="differential mode: charge dynamically "
+                                   "AND assert every eligible segment "
+                                   "re-execution matches its recorded "
+                                   "bundle byte-for-byte")
+    bench_parser.add_argument("--no-iss", action="store_true",
+                              help="skip the ISS reference runs")
+    bench_parser.add_argument("--weights", default="",
+                              help="load a saved cost-table JSON instead of "
+                                   "the built-in OpenRISC table")
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     graph_parser = sub.add_parser(
         "graph", help="dump the Fig. 2 process graph as GraphViz")

@@ -48,13 +48,29 @@ from .reports import render_report
 
 
 class PerformanceLibrary(SchedulerObserver):
-    """Attachable system-level timing estimation (the paper's library)."""
+    """Attachable system-level timing estimation (the paper's library).
 
-    def __init__(self, mapping: Mapping, record_instantaneous: bool = False):
+    ``fastforward=True`` attaches a
+    :class:`~repro.segments.FastForwardEngine` that pre-characterizes
+    provably input-independent segments and skips their per-operation
+    charging on re-execution; estimates are unchanged (the replayed
+    bundles are exactly what dynamic charging would accumulate).
+    ``check_fastforward=True`` instead runs the engine in differential
+    mode: nothing is skipped, but every eligible segment re-execution is
+    asserted to reproduce its first charge bundle byte-for-byte.
+    """
+
+    def __init__(self, mapping: Mapping, record_instantaneous: bool = False,
+                 fastforward: bool = False, check_fastforward: bool = False):
         self.mapping = mapping
         self.tracker = SegmentTracker(record_instantaneous=record_instantaneous)
         self.contexts: Dict[int, CostContext] = {}
         self.stats: Dict[str, ProcessTimingStats] = {}
+        self.engine = None
+        if fastforward or check_fastforward:
+            from ..segments.precharge import FastForwardEngine
+            self.engine = FastForwardEngine(self.contexts,
+                                            check=check_fastforward)
         self._attached = False
 
     # -- attachment ---------------------------------------------------------
@@ -80,6 +96,11 @@ class PerformanceLibrary(SchedulerObserver):
 
         # Tracker first: it must read each segment's accumulation before
         # the agent (called after all observers) resets the context.
+        # The fast-forward engine goes in front of everything: after a
+        # suppressed segment it re-attaches the context and replays the
+        # recorded bundle before the tracker reads it.
+        if self.engine is not None:
+            simulator.add_observer(self.engine, front=True)
         simulator.add_observer(self.tracker)
         simulator.add_observer(self)
         self._attached = True
@@ -105,6 +126,9 @@ class PerformanceLibrary(SchedulerObserver):
     # -- context switching (observer callbacks) -----------------------------
 
     def on_process_resume(self, process: Process, now: SimTime) -> None:
+        if self.engine is not None and self.engine.is_suppressed(process.pid):
+            set_current(None)  # segment is being fast-forwarded
+            return
         set_current(self.contexts.get(process.pid))
 
     def on_process_suspend(self, process: Process, now: SimTime) -> None:

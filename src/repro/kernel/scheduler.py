@@ -112,8 +112,16 @@ class Scheduler:
         """Delta-cycle index within the current simulated instant."""
         return self._delta
 
-    def add_observer(self, observer: SchedulerObserver) -> None:
-        self._observers.append(observer)
+    def add_observer(self, observer: SchedulerObserver,
+                     front: bool = False) -> None:
+        """Attach an observer; ``front=True`` puts it ahead of the
+        existing ones (observers fire in list order, and e.g. the
+        fast-forward engine must reinstall a suppressed cost context
+        before trackers and profilers read it)."""
+        if front:
+            self._observers.insert(0, observer)
+        else:
+            self._observers.append(observer)
 
     def remove_observer(self, observer: SchedulerObserver) -> None:
         self._observers.remove(observer)
@@ -148,8 +156,9 @@ class Scheduler:
             self._started = True
             for process in self.processes:
                 self._runnable.append(process)
-                for obs in self._observers:
-                    obs.on_process_start(process, self._now)
+                if self._observers:
+                    for obs in self._observers:
+                        obs.on_process_start(process, self._now)
                 self._agent_of(process).process_started(process, self._now)
 
         while True:
@@ -205,8 +214,9 @@ class Scheduler:
 
     def _set_now(self, new_time: SimTime) -> None:
         if new_time != self._now:
-            for obs in self._observers:
-                obs.on_time_advance(self._now, new_time)
+            if self._observers:
+                for obs in self._observers:
+                    obs.on_time_advance(self._now, new_time)
             self._now = new_time
             self._delta = 0
 
@@ -238,8 +248,12 @@ class Scheduler:
         """Run one process until it suspends or terminates."""
         process.state = ProcessState.RUNNING
         self.current_process = process
-        for obs in self._observers:
-            obs.on_process_resume(process, self._now)
+        # Unobserved simulations (the untimed baseline of the paper's
+        # overload metric) must pay nothing for the hook points, so
+        # every fan-out below is guarded on a non-empty observer list.
+        if self._observers:
+            for obs in self._observers:
+                obs.on_process_resume(process, self._now)
         try:
             while True:
                 try:
@@ -257,8 +271,9 @@ class Scheduler:
         finally:
             self.current_process = None
             if process.state is not ProcessState.RUNNING:
-                for obs in self._observers:
-                    obs.on_process_suspend(process, self._now)
+                if self._observers:
+                    for obs in self._observers:
+                        obs.on_process_suspend(process, self._now)
             else:  # pragma: no cover - defensive; dispatch always resets state
                 process.state = ProcessState.READY
 
@@ -282,8 +297,9 @@ class Scheduler:
                 self._update_requests.append(channel)
             return _CONTINUE
         if isinstance(command, Mark):
-            for obs in self._observers:
-                obs.on_mark(process, command.label, self._now, self._delta)
+            if self._observers:
+                for obs in self._observers:
+                    obs.on_mark(process, command.label, self._now, self._delta)
             return _CONTINUE
         raise SimulationError(
             f"process {process.full_name!r} yielded unsupported command {command!r}"
@@ -293,8 +309,9 @@ class Scheduler:
 
     def _begin_node(self, process: Process, command: Command) -> int:
         process.node_count += 1
-        for obs in self._observers:
-            obs.on_node_reached(process, command, self._now, self._delta)
+        if self._observers:
+            for obs in self._observers:
+                obs.on_node_reached(process, command, self._now, self._delta)
         self._agent_of(process).node_reached(process, command, self._now)
         process._pending_command = command
         return self._negotiate(process)
@@ -353,14 +370,16 @@ class Scheduler:
 
     def _finish_node(self, process: Process, command: Command) -> None:
         self._agent_of(process).node_finished(process, command, self._now)
-        for obs in self._observers:
-            obs.on_node_finished(process, command, self._now, self._delta)
+        if self._observers:
+            for obs in self._observers:
+                obs.on_node_finished(process, command, self._now, self._delta)
 
     def _handle_exit(self, process: Process) -> None:
         command = ProcessExit()
         process.node_count += 1
-        for obs in self._observers:
-            obs.on_node_reached(process, command, self._now, self._delta)
+        if self._observers:
+            for obs in self._observers:
+                obs.on_node_reached(process, command, self._now, self._delta)
         self._agent_of(process).node_reached(process, command, self._now)
         process._pending_command = command
         self._negotiate(process)
@@ -369,8 +388,9 @@ class Scheduler:
         process.state = ProcessState.DONE
         process.exit_time = self._now
         self._agent_of(process).process_exited(process, self._now)
-        for obs in self._observers:
-            obs.on_process_exit(process, self._now)
+        if self._observers:
+            for obs in self._observers:
+                obs.on_process_exit(process, self._now)
 
     # -- wake-up plumbing -----------------------------------------------------
 

@@ -85,8 +85,9 @@ class Simulator:
         """Create and register a top-level module."""
         return Module(self, name)
 
-    def add_observer(self, observer: SchedulerObserver) -> None:
-        self.scheduler.add_observer(observer)
+    def add_observer(self, observer: SchedulerObserver,
+                     front: bool = False) -> None:
+        self.scheduler.add_observer(observer, front=front)
 
     def iter_processes(self):
         """All registered processes, across the module hierarchy.

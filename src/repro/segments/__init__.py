@@ -1,6 +1,7 @@
 """Process segmentation: graphs, dynamic tracking, static scanning."""
 
 from .graph import NodeId, NodeStats, ProcessGraph, SegmentStats
+from .precharge import FastForwardEngine, SegmentPlan, build_plan, plan_for
 from .static import (
     CoverageReport,
     StaticNode,
@@ -15,4 +16,5 @@ __all__ = [
     "CoverageReport", "StaticNode", "annotate_listing", "coverage_report",
     "scan_process",
     "SegmentTracker", "node_id_for",
+    "FastForwardEngine", "SegmentPlan", "build_plan", "plan_for",
 ]

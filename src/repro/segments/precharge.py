@@ -1,0 +1,736 @@
+"""Segment fast-forwarding: pre-characterized charging for fixed segments.
+
+Native-simulation practice replaces per-instruction accounting with
+pre-characterized *block* costs.  The same idea applies to the paper's
+annotated simulation: a segment whose **operation multiset is provably
+input-independent** charges exactly the same ``(Tmax, Tmin, op counts)``
+bundle on every execution, so re-running its per-operation charging is
+pure overhead.  This module
+
+1. proves that property statically, per *arc* of the static segment
+   graph (:class:`SegmentPlan`, built by a purity-tracking variant of
+   the :mod:`repro.analysis` arc walker),
+2. captures each eligible arc's bundle the first time the simulation
+   executes it dynamically (arcs provably charging *nothing* — e.g.
+   falling out of a ``range`` loop head — are pre-seeded with a zero
+   bundle, so loop-exit arcs never gate the steady state), and
+3. *fast-forwards* later executions: while the process runs a segment
+   whose possible outcomes are all characterized, the cost context is
+   detached (annotated operators take their no-context path — the code
+   still executes functionally, values stay exact) and at the next node
+   the engine re-attaches the context and installs the recorded bundle.
+
+What "provably input-independent" means
+---------------------------------------
+
+Values may differ between executions — only the *multiset of operations
+charged* must not.  That rules out exactly the constructs whose charge
+stream depends on data:
+
+* conditionals without a node site in every branch (the taken branch
+  changes the ops between two sites),
+* loops without node sites whose trip count is not a literal constant
+  (unless the loop provably charges nothing at all),
+* short-circuit ``and``/``or`` and conditional expressions,
+* calls other than a small charge-free whitelist (``range``, ``len``,
+  ``wait``, ``SimTime.*``) — a call can charge anything,
+* annotation entry points (``aint``/``arange``/``make_array``) — their
+  behaviour depends on whether a context is attached, so suppressing
+  the context would change functional results.
+
+Loops *with* node sites inside are eligible regardless of trip count:
+the loop head charges a fixed amount per crossing, so every individual
+arc (entry→body-site, body-site→body-site, body-site→exit) has a fixed
+multiset — the trip count only decides how many times each arc runs,
+which the dynamic tracker already accounts per execution.
+
+The analysis walks a two-bit lattice per arc: bit 0 — the arc's charge
+multiset is execution-independent ("eligible"); bit 1 — the arc
+provably charges *zero* operations ("zero-charge": only plain-Python
+statements, ``range`` loop heads, name/constant moves).  Zero-charge
+arcs need no dynamic characterization at all; the engine seeds their
+bundles statically, which matters because a loop's exit arc otherwise
+executes only once — at the very end — and would keep the loop node
+"open" (suppression requires every successor characterized) for the
+whole simulation.  Boolean test positions are never zero-charge unless
+the test is a literal: a bare name there may hold an ``ABool`` whose
+implicit ``__bool__`` charges a branch.
+
+Soundness guards: a process is excluded wholesale when its body cannot
+be parsed, yields anything the static scanner does not recognize
+(helper sub-generators surface at the call line and would punch holes
+in the arc graph), defines nested functions, or hosts two node sites on
+one source line (line-keyed arcs would alias).  The engine only
+suppresses charging when *every* statically-possible successor arc of
+the current node is both eligible and already characterized, so the
+first execution of any non-trivial path is always charged dynamically;
+a ``check=True`` engine never suppresses and instead asserts that every
+re-execution of an eligible arc reproduces its recorded bundle
+byte-for-byte (the ``--check-fastforward`` differential mode) — which
+also validates the statically seeded zero bundles.
+
+In HW (critical-path) mode the bundle replay advances the context's
+ready clock by the recorded ``Tmin``; values produced inside a
+suppressed segment carry ready time 0.0, which the context clamps to
+the segment base exactly like any value inherited from an earlier
+segment, so downstream critical paths are unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..annotate.context import CostContext, set_current
+from ..annotate.costs import N_OPERATIONS
+from ..errors import AnnotationError, ReproError
+from ..kernel.commands import Command, ProcessExit
+from ..kernel.process import Process
+from ..kernel.scheduler import SchedulerObserver
+from ..kernel.time import SimTime
+from ..segments.static import (
+    CHANNEL_OPERATIONS,
+    _collect_aliases,
+    parse_body,
+    sites_in,
+)
+
+#: Pseudo-line identities of the implicit entry/exit nodes (same values
+#: as :mod:`repro.analysis.graphdiff`, duplicated to keep ``segments``
+#: free of an ``analysis`` import cycle).
+ENTRY_LINE = 0
+EXIT_LINE = -1
+
+Arc = Tuple[int, int]
+
+#: Lattice bits.  ``_PURE``: fixed charge multiset across executions.
+#: ``_ZERO``: additionally charges nothing at all.  Only the values
+#: 0, ``_PURE`` and ``_PURE | _ZERO`` occur (zero-charge implies pure);
+#: combination along paths and across merges is bitwise AND.
+_PURE = 1
+_ZERO = 2
+_BOTH = _PURE | _ZERO
+
+#: Charge-free callables allowed inside eligible segments.  ``range``
+#: and ``len`` never charge (``AInt.__index__`` and ``AArray.__len__``
+#: are plain accessors); ``wait`` only builds a kernel command;
+#: ``SimTime.*`` constructors are plain arithmetic on plain ints.
+_FREE_CALLS = frozenset({"range", "len", "wait"})
+_FREE_CALL_BASES = frozenset({"SimTime"})
+
+#: A captured segment accumulation: (t_max, t_min, interned counts).
+Bundle = Tuple[float, float, tuple]
+
+_ZERO_BUNDLE: Bundle = (0.0, 0.0, (0,) * N_OPERATIONS)
+
+
+# ---------------------------------------------------------------------------
+# Static eligibility analysis
+# ---------------------------------------------------------------------------
+
+def _is_channel_site(node: ast.AST) -> bool:
+    return (isinstance(node, ast.YieldFrom)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and node.value.func.attr in CHANNEL_OPERATIONS)
+
+
+def _is_wait_site(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Yield) and isinstance(node.value, ast.Call)):
+        return False
+    func = node.value.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else "")
+    return name in ("wait", "WaitFor")
+
+
+class _PurityWalker:
+    """Arc walker tracking, per arc, the charge-independence lattice.
+
+    Mirrors the abstract control-flow walk of
+    :class:`repro.analysis.graphdiff._ArcWalker` (same frontier/fixpoint
+    structure, so the arc set is complete), with the frontier holding a
+    flags value per member: "the path from that site to here charges a
+    fixed multiset (bit 0) / nothing at all (bit 1)".  Arc flags only
+    ever decrease (bitwise AND along paths and merges).
+    """
+
+    _MAX_LOOP_PASSES = 8
+
+    def __init__(self, first_line: int, aliases: Dict[str, str]):
+        self.first_line = first_line
+        self.aliases = aliases
+        self.arcs: Dict[Arc, int] = {}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _sites(self, node: ast.AST):
+        return sites_in(node, self.first_line, self.aliases)
+
+    def _add_arc(self, start: int, end: int, flags: int) -> None:
+        self.arcs[(start, end)] = self.arcs.get((start, end), _BOTH) & flags
+
+    @staticmethod
+    def _merge(*frontiers: Dict[int, int]) -> Dict[int, int]:
+        merged: Dict[int, int] = {}
+        for frontier in frontiers:
+            for line, flags in frontier.items():
+                merged[line] = merged.get(line, _BOTH) & flags
+        return merged
+
+    @staticmethod
+    def _mask(frontier: Dict[int, int], flags: int) -> Dict[int, int]:
+        return {line: v & flags for line, v in frontier.items()}
+
+    # -- expression flags ------------------------------------------------
+
+    def _call_flags(self, node: ast.Call) -> int:
+        if node.keywords:
+            return 0
+        func = node.func
+        if isinstance(func, ast.Name):
+            ok = func.id in _FREE_CALLS
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            ok = func.value.id in _FREE_CALL_BASES
+        else:
+            ok = False
+        if not ok:
+            return 0
+        flags = _BOTH
+        for arg in node.args:
+            flags &= self._expr_flags(arg)
+        return flags
+
+    def _expr_flags(self, node, allow_sites: bool = False) -> int:
+        """Charge lattice of evaluating ``node``.
+
+        Values may vary between executions; only charge-relevant
+        *structure* matters.  With ``allow_sites`` the recognized
+        node-site yields count as charge-free leaves (their arguments
+        still checked) — used for statements that contain sites.
+        """
+        if node is None:
+            return _BOTH
+        if isinstance(node, (ast.Constant, ast.Name)):
+            return _BOTH
+        if isinstance(node, ast.Attribute):
+            # Attribute access never charges.
+            return self._expr_flags(node.value)
+        if isinstance(node, ast.Subscript):
+            # One load per evaluation regardless of index value — but an
+            # AArray subscript does charge that load.
+            return (self._expr_flags(node.value)
+                    & self._expr_flags(node.slice) & _PURE)
+        if isinstance(node, ast.BinOp):
+            return (self._expr_flags(node.left)
+                    & self._expr_flags(node.right) & _PURE)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_flags(node.operand) & _PURE
+        if isinstance(node, ast.Compare):
+            flags = self._expr_flags(node.left)
+            for comparator in node.comparators:
+                flags &= self._expr_flags(comparator)
+            return flags & _PURE
+        if isinstance(node, (ast.Tuple, ast.List)):
+            flags = _BOTH
+            for elt in node.elts:
+                flags &= self._expr_flags(elt)
+            return flags
+        if isinstance(node, ast.Call):
+            return self._call_flags(node)
+        if allow_sites and _is_channel_site(node):
+            flags = _BOTH
+            for arg in node.value.args:
+                flags &= self._expr_flags(arg)
+            return flags
+        if allow_sites and _is_wait_site(node):
+            flags = _BOTH
+            for arg in node.value.args:
+                flags &= self._expr_flags(arg)
+            return flags
+        # BoolOp/IfExp (short-circuit), comprehensions, lambdas, yields
+        # outside sites, f-strings, dict/set literals, starred, ...
+        return 0
+
+    def _test_flags(self, node) -> int:
+        """Flags of a boolean-context expression (if/while/assert test).
+
+        Never zero-charge unless a literal: a bare name here may hold an
+        ``ABool`` whose implicit ``__bool__`` charges a branch.
+        """
+        if isinstance(node, ast.Constant):
+            return _BOTH
+        return self._expr_flags(node) & _PURE
+
+    def _target_flags(self, node) -> int:
+        if isinstance(node, ast.Name):
+            return _BOTH
+        if isinstance(node, ast.Subscript):  # one store, fixed — charges
+            return (self._expr_flags(node.value)
+                    & self._expr_flags(node.slice) & _PURE)
+        if isinstance(node, ast.Attribute):
+            return self._expr_flags(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            flags = _BOTH
+            for elt in node.elts:
+                flags &= self._target_flags(elt)
+            return flags
+        return 0
+
+    def _stmt_flags(self, stmt: ast.stmt, allow_sites: bool = False) -> int:
+        """Charge lattice of one non-structural statement."""
+        if isinstance(stmt, ast.Assign):
+            flags = self._expr_flags(stmt.value, allow_sites)
+            for target in stmt.targets:
+                flags &= self._target_flags(target)
+            return flags
+        if isinstance(stmt, ast.AugAssign):  # in-place op charges
+            return (self._target_flags(stmt.target)
+                    & self._expr_flags(stmt.value, allow_sites) & _PURE)
+        if isinstance(stmt, ast.AnnAssign):
+            return (self._target_flags(stmt.target)
+                    & self._expr_flags(stmt.value, allow_sites))
+        if isinstance(stmt, ast.Expr):
+            return self._expr_flags(stmt.value, allow_sites)
+        if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal)):
+            return _BOTH
+        if isinstance(stmt, ast.Assert):
+            return (self._test_flags(stmt.test)
+                    & self._expr_flags(stmt.msg) & _PURE)
+        if isinstance(stmt, ast.Return):
+            return self._expr_flags(stmt.value, allow_sites)
+        return 0
+
+    # -- statement walk --------------------------------------------------
+
+    def _chain(self, stmt: ast.stmt, frontier: Dict[int, int],
+               extra: int = _BOTH) -> Dict[int, int]:
+        """Process one statement that contains node sites."""
+        stmt_flags = extra & self._stmt_flags(stmt, allow_sites=True)
+        for site in self._sites(stmt):
+            for start, flags in frontier.items():
+                self._add_arc(start, site.lineno, flags & stmt_flags)
+            frontier = {site.lineno: stmt_flags}
+        return frontier
+
+    def _chain_sites(self, sites, frontier: Dict[int, int],
+                     flags: int) -> Dict[int, int]:
+        """Chain pre-extracted sites (loop heads, if tests)."""
+        for site in sites:
+            for start, start_flags in frontier.items():
+                self._add_arc(start, site.lineno, start_flags & flags)
+            frontier = {site.lineno: flags}
+        return frontier
+
+    def walk(self, stmts: Sequence[ast.stmt], frontier: Dict[int, int],
+             loop) -> Dict[int, int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code draws no arcs
+            frontier = self._walk_stmt(stmt, frontier, loop)
+        return frontier
+
+    def _walk_stmt(self, stmt: ast.stmt, frontier: Dict[int, int],
+                   loop) -> Dict[int, int]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Definition executes charge-free; the plan builder rejects
+            # bodies with nested defs anyway (see build_plan).
+            return frontier
+        if isinstance(stmt, ast.Return):
+            frontier = self._chain(stmt, frontier)
+            for start, flags in frontier.items():
+                self._add_arc(start, EXIT_LINE, flags)
+            return {}
+        if isinstance(stmt, ast.Raise):
+            self._chain(stmt, frontier, 0)
+            return {}
+        if isinstance(stmt, ast.Break):
+            if loop is not None:
+                loop.breaks = self._merge(loop.breaks, frontier)
+            return {}
+        if isinstance(stmt, ast.Continue):
+            if loop is not None:
+                loop.continues = self._merge(loop.continues, frontier)
+            return {}
+        if isinstance(stmt, ast.If):
+            test_flags = self._test_flags(stmt.test)
+            test_sites = self._sites(stmt.test)
+            if test_sites:
+                frontier = self._chain_sites(test_sites, frontier, test_flags)
+            else:
+                frontier = self._mask(frontier, test_flags)
+            taken = self.walk(stmt.body, dict(frontier), loop)
+            other = (self.walk(stmt.orelse, dict(frontier), loop)
+                     if stmt.orelse else dict(frontier))
+            merged = self._merge(taken, other)
+            # A frontier member that survives the conditional reaches the
+            # next site through a data-dependent branch choice: impure.
+            for line in merged:
+                if line in frontier:
+                    merged[line] = 0
+            return merged
+        if isinstance(stmt, (ast.While, ast.For)):
+            return self._walk_loop(stmt, frontier, loop)
+        if isinstance(stmt, ast.With):
+            # Context managers run arbitrary enter/exit code: arcs stay
+            # complete but nothing through here is eligible.
+            frontier = self._mask(frontier, 0)
+            for item in stmt.items:
+                frontier = self._chain_sites(self._sites(item), frontier, 0)
+            return self.walk(stmt.body, frontier, loop)
+        if isinstance(stmt, ast.Try):
+            # Exceptional control flow: complete the arc set, all impure.
+            poisoned = self._mask(frontier, 0)
+            body_out = self._mask(self.walk(stmt.body, dict(poisoned), loop), 0)
+            handler_outs: Dict[int, int] = {}
+            for handler in stmt.handlers:
+                out = self.walk(handler.body,
+                                self._merge(poisoned, body_out), loop)
+                handler_outs = self._merge(handler_outs, self._mask(out, 0))
+            else_out = (self.walk(stmt.orelse, dict(body_out), loop)
+                        if stmt.orelse else body_out)
+            merged = self._merge(self._mask(else_out, 0), handler_outs)
+            if stmt.finalbody:
+                out = self.walk(stmt.finalbody, merged or dict(poisoned), loop)
+                return self._mask(out, 0)
+            return merged
+        # simple statement
+        sites = self._sites(stmt)
+        if sites:
+            return self._chain(stmt, frontier)
+        return self._mask(frontier, self._stmt_flags(stmt))
+
+    # -- loops ------------------------------------------------------------
+
+    @staticmethod
+    def _const_trip(stmt) -> bool:
+        """``for ... in range(<literal constants>)`` — fixed trip count."""
+        return (isinstance(stmt, ast.For)
+                and isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "range"
+                and not stmt.iter.keywords
+                and all(isinstance(a, ast.Constant) for a in stmt.iter.args))
+
+    def _loop_head_flags(self, stmt) -> int:
+        if isinstance(stmt, ast.While):
+            # The test charges a fixed multiset per crossing (boolean
+            # context: zero-charge only when literal).
+            return self._test_flags(stmt.test)
+        # Only range() iteration is charge-free per crossing; iterating
+        # an AArray charges a load per element, and an arbitrary Name
+        # could hide a charging generator.
+        if not (isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "range"
+                and not stmt.iter.keywords):
+            return 0
+        flags = self._target_flags(stmt.target)
+        for arg in stmt.iter.args:
+            flags &= self._expr_flags(arg)
+        return flags
+
+    def _walk_loop(self, stmt, frontier: Dict[int, int],
+                   outer) -> Dict[int, int]:
+        head_sites = (self._sites(stmt.test) if isinstance(stmt, ast.While)
+                      else self._sites(stmt.iter))
+        head_flags = 0 if head_sites else self._loop_head_flags(stmt)
+        const_true = (isinstance(stmt, ast.While)
+                      and isinstance(stmt.test, ast.Constant)
+                      and bool(stmt.test.value))
+        body_has_sites = any(self._sites(s) for s in stmt.body)
+
+        frame = _LoopFrame()
+        entry = dict(frontier)
+        for _ in range(self._MAX_LOOP_PASSES):
+            signature = (len(self.arcs), sum(self.arcs.values()),
+                         tuple(sorted(entry.items())))
+            head = self._mask(entry, head_flags)
+            head = self._chain_sites(head_sites, head, head_flags)
+            body_out = self.walk(stmt.body, dict(head), frame)
+            entry = self._merge(entry, body_out, frame.continues)
+            if (len(self.arcs), sum(self.arcs.values()),
+                    tuple(sorted(entry.items()))) == signature:
+                break
+        if const_true:
+            exit_frontier = dict(frame.breaks)
+        else:
+            tail = self._mask(entry, head_flags)
+            tail = self._chain_sites(head_sites, tail, head_flags)
+            exit_frontier = self._merge(tail, frame.breaks)
+        if not body_has_sites:
+            # The whole loop sits inside one segment.  A loop that
+            # provably charges nothing contributes nothing for any trip
+            # count; a merely fixed-multiset loop needs a literal trip
+            # count for its total to be fixed.
+            trip_ok = self._const_trip(stmt)
+            exit_frontier = {
+                line: (flags if flags & _ZERO
+                       else (_PURE if (flags & _PURE and trip_ok) else 0))
+                for line, flags in exit_frontier.items()
+            }
+        if getattr(stmt, "orelse", None):
+            exit_frontier = self.walk(stmt.orelse, exit_frontier, outer)
+        return exit_frontier
+
+
+class _LoopFrame:
+    __slots__ = ("breaks", "continues")
+
+    def __init__(self):
+        self.breaks: Dict[int, int] = {}
+        self.continues: Dict[int, int] = {}
+
+
+# ---------------------------------------------------------------------------
+# Per-process plan
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class SegmentPlan:
+    """Static fast-forward eligibility of one process body."""
+
+    name: str
+    ok: bool                                  # body analyzable at all
+    reason: str                               # why not, when ok is False
+    eligible: FrozenSet[Arc]                  # provably fixed-multiset arcs
+    zero_charge: FrozenSet[Arc]               # eligible and charge nothing
+    successors: Dict[int, Tuple[int, ...]]    # line -> possible next lines
+    closed: Dict[int, bool]                   # line -> all outgoing eligible
+
+    def describe(self) -> str:
+        if not self.ok:
+            return f"plan for {self.name}: ineligible ({self.reason})"
+        total = sum(len(s) for s in self.successors.values())
+        return (f"plan for {self.name}: {len(self.eligible)}/{total} "
+                f"arc(s) eligible ({len(self.zero_charge)} zero-charge), "
+                f"{sum(self.closed.values())} closed node(s)")
+
+
+_INELIGIBLE = SegmentPlan("", False, "", frozenset(), frozenset(), {}, {})
+
+
+def _ineligible(name: str, reason: str) -> SegmentPlan:
+    return dataclasses.replace(_INELIGIBLE, name=name, reason=reason)
+
+
+def _unrecognized_yields(fn: ast.FunctionDef) -> List[int]:
+    """Yield/YieldFrom expressions the static scanner has no site for.
+
+    Helper sub-generators (``yield from helper()``) surface their nodes
+    at the call line, which the arc graph does not model — any such
+    yield disqualifies the whole process.
+    """
+    lines = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.YieldFrom) and not _is_channel_site(node):
+            lines.append(node.lineno)
+        elif isinstance(node, ast.Yield) and not _is_wait_site(node):
+            lines.append(node.lineno)
+    return lines
+
+
+def build_plan(body) -> SegmentPlan:
+    """Statically analyze ``body`` for fast-forward eligibility."""
+    name = getattr(body, "__qualname__", getattr(body, "__name__", "process"))
+    if body is None:
+        return _ineligible(name, "no body reference")
+    try:
+        tree, first_line, _source = parse_body(body)
+    except ReproError as exc:
+        return _ineligible(name, f"source unavailable: {exc}")
+    fn = next((node for node in ast.walk(tree)
+               if isinstance(node, ast.FunctionDef)), None)
+    if fn is None:
+        return _ineligible(name, "no function definition in source")
+    for node in ast.walk(fn):
+        if node is not fn and isinstance(node, (ast.FunctionDef,
+                                                ast.AsyncFunctionDef,
+                                                ast.Lambda)):
+            return _ineligible(name, "nested function definition")
+    unknown = _unrecognized_yields(fn)
+    if unknown:
+        return _ineligible(
+            name, f"unrecognized yield at line(s) {sorted(set(unknown))} "
+            "(helper sub-generator?)")
+    aliases = _collect_aliases(tree)
+    sites = sites_in(fn, first_line, aliases)
+    lines = [site.lineno for site in sites]
+    if len(lines) != len(set(lines)):
+        return _ineligible(name, "two node sites share a source line")
+
+    walker = _PurityWalker(first_line, aliases)
+    final = walker.walk(fn.body, {ENTRY_LINE: _BOTH}, None)
+    for start, flags in final.items():
+        walker._add_arc(start, EXIT_LINE, flags)
+
+    successors: Dict[int, List[int]] = {}
+    for (start, end) in walker.arcs:
+        successors.setdefault(start, []).append(end)
+    closed = {start: all(walker.arcs[(start, end)] & _PURE for end in ends)
+              for start, ends in successors.items()}
+    eligible = frozenset(arc for arc, flags in walker.arcs.items()
+                         if flags & _PURE)
+    zero = frozenset(arc for arc, flags in walker.arcs.items()
+                     if flags & _ZERO)
+    return SegmentPlan(name, True, "", eligible, zero,
+                       {s: tuple(sorted(e)) for s, e in successors.items()},
+                       closed)
+
+
+#: Plans keyed by the body's code object — vocoder-style factory bodies
+#: share one analysis across all their process instances.
+_PLAN_CACHE: Dict[int, SegmentPlan] = {}
+
+
+def plan_for(body) -> SegmentPlan:
+    code = getattr(body, "__code__", None)
+    if code is None:
+        return build_plan(body)
+    key = id(code)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        plan = build_plan(body)
+        _PLAN_CACHE[key] = plan
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# The runtime engine
+# ---------------------------------------------------------------------------
+
+class FastForwardEngine(SchedulerObserver):
+    """Scheduler observer implementing segment fast-forwarding.
+
+    Must be attached **in front of** every observer that reads the cost
+    context at node boundaries (``add_observer(engine, front=True)``):
+    when a suppressed segment ends, the engine re-installs the context
+    and replays the recorded bundle before trackers and profilers look
+    at it, so downstream accounting is indistinguishable from a
+    dynamically charged run.
+
+    ``check=True`` turns the engine into a differential verifier: it
+    never suppresses, but asserts every re-execution of an eligible arc
+    reproduces the recorded bundle exactly.
+    """
+
+    def __init__(self, contexts: Dict[int, CostContext], check: bool = False):
+        self._contexts = contexts
+        self.check = check
+        self._plans: Dict[int, Optional[SegmentPlan]] = {}
+        self._bundles: Dict[Tuple[int, Arc], Bundle] = {}
+        self._last: Dict[int, int] = {}
+        self._suppressed: Set[int] = set()
+        self._pending: Set[int] = set()
+        #: counters for reports/tests
+        self.characterized = 0
+        self.preseeded = 0
+        self.replayed = 0
+        self.checked = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def is_suppressed(self, pid: int) -> bool:
+        return pid in self._suppressed
+
+    def plan_of(self, process: Process) -> Optional[SegmentPlan]:
+        return self._plans.get(process.pid)
+
+    def describe(self) -> str:
+        mode = "check" if self.check else "fast-forward"
+        return (f"{mode}: {self.characterized} arc(s) characterized "
+                f"dynamically, {self.preseeded} seeded statically, "
+                f"{self.replayed} replayed, {self.checked} checked")
+
+    # -- observer callbacks ------------------------------------------------
+
+    def _prepare(self, process: Process) -> Optional[SegmentPlan]:
+        pid = process.pid
+        if self._contexts.get(pid) is None:
+            plan = None  # environment process: nothing to fast-forward
+        else:
+            candidate = plan_for(getattr(process, "body", None))
+            plan = candidate if candidate.ok else None
+        if plan is not None:
+            for arc in plan.zero_charge:
+                if (pid, arc) not in self._bundles:
+                    self._bundles[(pid, arc)] = _ZERO_BUNDLE
+                    self.preseeded += 1
+        self._plans[pid] = plan
+        self._last[pid] = ENTRY_LINE
+        return plan
+
+    def on_process_start(self, process: Process, now: SimTime) -> None:
+        self._prepare(process)
+
+    def on_node_reached(self, process: Process, command: Command,
+                        now: SimTime, delta: int) -> None:
+        pid = process.pid
+        if pid not in self._plans:
+            self._prepare(process)
+        plan = self._plans[pid]
+        if plan is None:
+            return
+        ctx = self._contexts.get(pid)
+        if ctx is None:
+            return
+        if isinstance(command, ProcessExit):
+            line = EXIT_LINE
+        else:
+            frame = getattr(process.generator, "gi_frame", None)
+            line = frame.f_lineno if frame is not None else EXIT_LINE
+        arc = (self._last[pid], line)
+
+        if pid in self._suppressed:
+            self._suppressed.discard(pid)
+            # Re-attach before any other observer reads the context.
+            set_current(ctx)
+            bundle = self._bundles.get((pid, arc))
+            if bundle is None:
+                raise AnnotationError(
+                    f"fast-forward of {process.full_name!r} reached "
+                    f"uncharacterized segment {arc}; the static graph "
+                    "missed a possible successor — report this"
+                )
+            ctx.apply_snapshot(*bundle)
+            self.replayed += 1
+        elif arc in plan.eligible:
+            key = (pid, arc)
+            snapshot = ctx.segment_snapshot()
+            recorded = self._bundles.get(key)
+            if recorded is None:
+                self._bundles[key] = snapshot
+                self.characterized += 1
+            elif self.check:
+                self.checked += 1
+                if recorded != snapshot:
+                    raise AnnotationError(
+                        f"fast-forward check failed for "
+                        f"{process.full_name!r} segment {arc}: first "
+                        f"execution charged {recorded}, this one "
+                        f"{snapshot} — the segment is not "
+                        "execution-independent (analysis bug)"
+                    )
+
+        self._last[pid] = line
+        # Suppress the next segment only when every statically possible
+        # continuation is eligible and already characterized.
+        if not self.check and plan.closed.get(line):
+            bundles = self._bundles
+            if all((pid, (line, nxt)) in bundles
+                   for nxt in plan.successors[line]):
+                self._pending.add(pid)
+
+    def on_node_finished(self, process: Process, command: Command,
+                         now: SimTime, delta: int) -> None:
+        pid = process.pid
+        if pid in self._pending:
+            self._pending.discard(pid)
+            self._suppressed.add(pid)
+            set_current(None)
+
+    def on_process_exit(self, process: Process, now: SimTime) -> None:
+        self._pending.discard(process.pid)
+        self._suppressed.discard(process.pid)

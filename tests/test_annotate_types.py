@@ -356,3 +356,63 @@ class TestCrossSegmentReadyClock:
             _ = (a + b) + (c + d)
             t_max, t_min = ctx.segment_totals()
         assert (t_max, t_min) == (3.0, 2.0)
+
+
+class TestOperatorIdentity:
+    """Generated operator methods must be introspectable and equivalent."""
+
+    DUNDER_SETS = {
+        AInt: ["__add__", "__radd__", "__sub__", "__rsub__", "__mul__",
+               "__rmul__", "__floordiv__", "__rfloordiv__", "__mod__",
+               "__rmod__", "__lshift__", "__rshift__", "__and__", "__or__",
+               "__xor__", "__lt__", "__le__", "__gt__", "__ge__", "__eq__",
+               "__ne__", "__neg__", "__invert__", "__abs__"],
+        AFloat: ["__add__", "__radd__", "__sub__", "__rsub__", "__mul__",
+                 "__rmul__", "__truediv__", "__rtruediv__", "__lt__",
+                 "__le__", "__gt__", "__ge__", "__eq__", "__ne__",
+                 "__neg__", "__abs__"],
+    }
+
+    def test_generated_methods_carry_their_dunder_names(self):
+        # Reflected methods especially: a generic closure name garbles
+        # profiler and flamegraph frames.
+        for cls, dunders in self.DUNDER_SETS.items():
+            for dunder in dunders:
+                method = getattr(cls, dunder)
+                assert method.__name__ == dunder, (cls.__name__, dunder)
+                assert method.__qualname__ == f"{cls.__name__}.{dunder}", \
+                    (cls.__name__, dunder)
+
+    @given(a=ints, b=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_fast_and_general_paths_charge_identically(self, a, b):
+        costs = uniform_costs(cycles=2.0)
+        fast = CostContext(costs, MODE_SW)
+        general = CostContext(costs, MODE_SW, force_general=True)
+        assert fast._fast and not general._fast
+
+        def exercise(ctx):
+            with active(ctx):
+                x, y = AInt(a), AInt(b)
+                r = (x + y) * 2 - (x | 3)
+                if y:
+                    r = r + (x < y)
+                for i in arange(3):
+                    r = r + i
+                arr = AArray([1, 2, 3])
+                arr[1] = arr[0] + arr[2]
+                v = Var(0)
+                v.assign(r)
+            return unwrap(r), ctx.segment_totals(), dict(ctx.op_counts), \
+                dict(ctx.lifetime_op_counts)
+
+        assert exercise(fast) == exercise(general)
+
+    def test_recorder_property_recomputes_fast_flag(self):
+        from repro.annotate import OperationRecorder
+        ctx = CostContext(uniform_costs(), MODE_SW)
+        assert ctx._fast
+        ctx.recorder = OperationRecorder()
+        assert not ctx._fast
+        ctx.recorder = None
+        assert ctx._fast

@@ -60,3 +60,77 @@ def test_registry_covers_the_paper_benchmarks():
     for name in ("fir", "compress", "quicksort", "bubble", "fibonacci",
                  "array"):
         assert name in WORKLOADS
+
+
+# ---------------------------------------------------------------------------
+# Charging-path differential: fast path + fast-forward vs dynamic charging
+# ---------------------------------------------------------------------------
+
+def _node_key(node):
+    return str(node)
+
+
+def _run_workload_design(workload: str, fastforward: bool = False,
+                         check_fastforward: bool = False,
+                         force_general: bool = False):
+    """Run one registry workload inside a kernel design; return a
+    fingerprint of everything the estimation produces."""
+    from repro import SimTime, Simulator, wait
+    from repro.core import PerformanceLibrary
+    from repro.platform import Mapping, OPENRISC_SW_COSTS, make_cpu
+    from repro.workloads import wrap_args
+
+    functions, make_args = registry()[workload]
+    args = wrap_args(make_args())
+
+    simulator = Simulator()
+    top = simulator.module("top")
+
+    def body():
+        functions[0](*args)
+        yield wait(SimTime.fs(0))
+
+    process = top.add_process(body, name="kernel")
+    cpu = make_cpu("cpu0", costs=OPENRISC_SW_COSTS)
+    mapping = Mapping()
+    mapping.assign(process, cpu)
+    perf = PerformanceLibrary(mapping, fastforward=fastforward,
+                              check_fastforward=check_fastforward)
+    perf.attach(simulator)
+    if force_general:
+        # The pre-fast-path dynamic charging baseline: every operation
+        # goes through the general charge_id path.
+        for context in perf.contexts.values():
+            context._force_general = True
+            context._fast = False
+    final = simulator.run()
+    simulator.assert_quiescent()
+
+    segments = {}
+    for name, graph in perf.tracker.graphs.items():
+        for (start, end), seg in graph.segments.items():
+            segments[(name, _node_key(start), _node_key(end))] = (
+                seg.executions, seg.total_cycles, seg.total_critical_path)
+    op_counts = {pid: dict(ctx.lifetime_op_counts)
+                 for pid, ctx in perf.contexts.items()}
+    stats = {name: s.busy_time.femtoseconds for name, s in perf.stats.items()}
+    return {
+        "final_fs": final.femtoseconds,
+        "segments": segments,
+        "op_counts": op_counts,
+        "stats": stats,
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fast_path_and_fastforward_match_dynamic_charging(workload):
+    """The tentpole differential: segment totals, op counts and final
+    simulated time are identical whether operations charge through the
+    slim fast path with the fast-forward engine active, through the
+    check-mode engine (dynamic charging plus bundle verification), or
+    through the fully general pre-fast-path charge path."""
+    dynamic = _run_workload_design(workload, force_general=True)
+    fast = _run_workload_design(workload, fastforward=True)
+    checked = _run_workload_design(workload, check_fastforward=True)
+    assert fast == dynamic, f"{workload}: fast path diverges from dynamic"
+    assert checked == dynamic, f"{workload}: check mode diverges"

@@ -1,0 +1,310 @@
+"""Segment fast-forward engine: static plans and runtime replay."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt, CostContext, MODE_SW, uniform_costs
+from repro.core import PerformanceLibrary
+from repro.errors import AnnotationError
+from repro.platform import Mapping, make_cpu, make_fabric
+from repro.segments import FastForwardEngine, build_plan, plan_for
+from repro.segments.precharge import (
+    ENTRY_LINE,
+    EXIT_LINE,
+    _PURE,
+    _ZERO,
+    _ZERO_BUNDLE,
+)
+
+THREE = AInt(3)
+
+
+# ---------------------------------------------------------------------------
+# Static plan builder
+# ---------------------------------------------------------------------------
+
+class TestBuildPlan:
+    def test_fixed_pipeline_is_fully_eligible(self):
+        def body():
+            acc = THREE
+            for _ in range(8):
+                acc = acc + THREE
+                yield from ch.write(acc)
+                yield wait(SimTime.ns(5))
+
+        plan = build_plan(body)
+        assert plan.ok
+        total = sum(len(s) for s in plan.successors.values())
+        assert len(plan.eligible) == total > 0
+        assert all(plan.closed.values())
+        # The write->wait hop, the loop-exit arc and the statically
+        # possible entry->exit arc (loop skipped) charge nothing at all
+        # (plain moves plus a range head) and are seeded statically.
+        assert len(plan.zero_charge) == 3
+        assert (ENTRY_LINE, EXIT_LINE) in plan.zero_charge
+        assert plan.zero_charge < plan.eligible
+
+    def test_data_dependent_branch_is_not_eligible(self):
+        def body():
+            flag = THREE
+            for _ in range(4):
+                yield wait(SimTime.ns(1))
+                if flag:
+                    flag = flag + flag
+                yield wait(SimTime.ns(2))
+
+        plan = build_plan(body)
+        assert plan.ok
+        total = sum(len(s) for s in plan.successors.values())
+        # The siteless conditional makes the arc crossing it (first wait
+        # to second wait) data-dependent; the others stay eligible.
+        assert 0 < len(plan.eligible) < total
+        assert not all(plan.closed.values())
+
+    def test_sited_branches_stay_eligible(self):
+        def body():
+            for _ in range(4):
+                value = yield from ch.read()
+                if value:
+                    yield from out.write(value)
+                else:
+                    yield wait(SimTime.ns(1))
+
+        plan = build_plan(body)
+        assert plan.ok
+        total = sum(len(s) for s in plan.successors.values())
+        # Every branch holds its own node site, so each individual arc
+        # still charges a fixed multiset.
+        assert len(plan.eligible) == total
+
+    def test_nonliteral_sitefree_loop_is_not_eligible(self):
+        def body(n):
+            yield wait(SimTime.ns(1))
+            total = THREE
+            for _ in range(n):
+                total = total + THREE
+            yield wait(SimTime.ns(2))
+
+        plan = build_plan(body)
+        assert plan.ok
+        # The charging loop's trip count is an argument, so the arc
+        # through it has no fixed multiset.
+        assert any(not plan.closed[line] for line in plan.closed)
+
+    def test_literal_sitefree_loop_stays_eligible(self):
+        def body():
+            yield wait(SimTime.ns(1))
+            total = THREE
+            for _ in range(16):
+                total = total + THREE
+            yield wait(SimTime.ns(2))
+
+        plan = build_plan(body)
+        assert plan.ok
+        total = sum(len(s) for s in plan.successors.values())
+        assert len(plan.eligible) == total
+
+    def test_helper_subgenerator_disqualifies_process(self):
+        def helper():
+            yield wait(SimTime.ns(1))
+
+        def body():
+            yield from helper()
+
+        plan = build_plan(body)
+        assert not plan.ok
+        assert "unrecognized yield" in plan.reason
+
+    def test_nested_function_disqualifies_process(self):
+        def body():
+            def inner():
+                return 1
+            yield wait(SimTime.ns(inner()))
+
+        plan = build_plan(body)
+        assert not plan.ok
+        assert "nested function" in plan.reason
+
+    def test_duplicate_site_line_disqualifies_process(self):
+        def body():
+            yield wait(SimTime.ns(1)); yield wait(SimTime.ns(2))  # noqa: E702
+
+        plan = build_plan(body)
+        assert not plan.ok
+        assert "share a source line" in plan.reason
+
+    def test_unparsable_body_disqualifies_process(self):
+        body = eval("lambda: iter(())")
+        plan = build_plan(body)
+        assert not plan.ok
+
+    def test_boolean_test_position_is_never_zero_charge(self):
+        def body():
+            go = THREE
+            yield wait(SimTime.ns(1))
+            while go:
+                yield wait(SimTime.ns(2))
+                break
+
+        plan = build_plan(body)
+        assert plan.ok
+        # A bare name in test position may hold an ABool whose implicit
+        # __bool__ charges a branch: pure, but not zero-charge.
+        arcs = {arc for arc in plan.eligible if arc not in plan.zero_charge}
+        assert arcs, plan.describe()
+
+    def test_plan_cache_shares_analysis_per_code_object(self):
+        def body():
+            yield wait(SimTime.ns(1))
+
+        assert plan_for(body) is plan_for(body)
+
+
+# ---------------------------------------------------------------------------
+# Engine unit behaviour (driven through stub processes)
+# ---------------------------------------------------------------------------
+
+def _stub_process(pid, body, line):
+    frame = SimpleNamespace(f_lineno=line)
+    return SimpleNamespace(pid=pid, body=body,
+                           generator=SimpleNamespace(gi_frame=frame),
+                           full_name=f"stub{pid}")
+
+
+def _simple_body():
+    acc = THREE
+    acc = acc + THREE
+    yield wait(SimTime.ns(1))
+
+
+class TestEngineUnit:
+    def _engine_with_stub(self, check):
+        ctx = CostContext(uniform_costs(), MODE_SW)
+        plan = plan_for(_simple_body)
+        assert plan.ok
+        site = next(line for line in plan.successors if line > ENTRY_LINE)
+        engine = FastForwardEngine({1: ctx}, check=check)
+        process = _stub_process(1, _simple_body, site)
+        return engine, process, ctx, site
+
+    def test_check_mode_raises_on_bundle_mismatch(self):
+        engine, process, ctx, site = self._engine_with_stub(check=True)
+        engine.on_process_start(process, SimTime.fs(0))
+        engine.on_node_reached(process, object(), SimTime.fs(0), 0)
+        arc = (ENTRY_LINE, site)
+        assert (1, arc) in engine._bundles
+        engine._bundles[(1, arc)] = (999.0, 999.0, engine._bundles[(1, arc)][2])
+        engine._last[1] = ENTRY_LINE
+        with pytest.raises(AnnotationError, match="check failed"):
+            engine.on_node_reached(process, object(), SimTime.fs(0), 0)
+        assert engine.checked == 1
+
+    def test_suppressed_segment_without_bundle_raises(self):
+        engine, process, ctx, site = self._engine_with_stub(check=False)
+        engine.on_process_start(process, SimTime.fs(0))
+        engine._suppressed.add(1)
+        engine._bundles.clear()
+        with pytest.raises(AnnotationError, match="uncharacterized"):
+            engine.on_node_reached(process, object(), SimTime.fs(0), 0)
+
+    def test_zero_charge_arcs_are_preseeded(self):
+        engine, process, ctx, site = self._engine_with_stub(check=False)
+        engine.on_process_start(process, SimTime.fs(0))
+        plan = engine.plan_of(process)
+        for arc in plan.zero_charge:
+            assert engine._bundles[(1, arc)] == _ZERO_BUNDLE
+        assert engine.preseeded == len(plan.zero_charge)
+
+    def test_process_exit_clears_runtime_state(self):
+        engine, process, ctx, site = self._engine_with_stub(check=False)
+        engine.on_process_start(process, SimTime.fs(0))
+        engine._pending.add(1)
+        engine._suppressed.add(1)
+        engine.on_process_exit(process, SimTime.fs(0))
+        assert not engine._pending and not engine._suppressed
+        assert not engine.is_suppressed(1)
+
+    def test_lattice_values(self):
+        # Only 0 / pure / pure|zero occur; zero implies pure.
+        assert _ZERO & _PURE == 0 and (_PURE | _ZERO) & _PURE
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: replayed runs are indistinguishable from charged runs
+# ---------------------------------------------------------------------------
+
+def _pipeline_design(simulator, iterations):
+    ch = simulator.fifo("ch", capacity=2)
+    top = simulator.module("top")
+
+    def producer():
+        acc = THREE
+        for _ in range(iterations):
+            acc = acc + THREE
+            acc = acc * THREE
+            yield from ch.write(acc)
+            yield wait(SimTime.ns(5))
+
+    def consumer():
+        total = THREE
+        for _ in range(iterations):
+            value = yield from ch.read()
+            total = total + value
+
+    return top.add_process(producer, name="producer"), \
+        top.add_process(consumer, name="consumer")
+
+
+def _run_pipeline(iterations=12, hw=False, **library_kwargs):
+    simulator = Simulator()
+    producer, consumer = _pipeline_design(simulator, iterations)
+    mapping = Mapping()
+    if hw:
+        mapping.assign(producer, make_fabric("hw0"))
+    else:
+        mapping.assign(producer, make_cpu("cpu0", costs=uniform_costs()))
+    mapping.assign(consumer, make_cpu("cpu1", costs=uniform_costs()))
+    perf = PerformanceLibrary(mapping, **library_kwargs)
+    perf.attach(simulator)
+    final = simulator.run()
+    simulator.assert_quiescent()
+
+    segments = {}
+    for name, graph in perf.tracker.graphs.items():
+        for (start, end), seg in graph.segments.items():
+            segments[(name, str(start), str(end))] = (
+                seg.executions, seg.total_cycles, seg.total_critical_path)
+    ops = {pid: dict(ctx.lifetime_op_counts)
+           for pid, ctx in perf.contexts.items()}
+    fingerprint = {"final": final.femtoseconds, "segments": segments,
+                   "ops": ops}
+    return fingerprint, perf
+
+
+class TestEngineEndToEnd:
+    @pytest.mark.parametrize("hw", [False, True], ids=["sw", "hw"])
+    def test_fastforward_matches_dynamic_charging(self, hw):
+        plain, _ = _run_pipeline(hw=hw)
+        fast, perf = _run_pipeline(hw=hw, fastforward=True)
+        assert fast == plain
+        assert perf.engine.replayed > 0, perf.engine.describe()
+        assert perf.engine.characterized > 0
+
+    def test_check_mode_verifies_without_suppressing(self):
+        plain, _ = _run_pipeline()
+        checked, perf = _run_pipeline(check_fastforward=True)
+        assert checked == plain
+        assert perf.engine.replayed == 0
+        assert perf.engine.checked > 0, perf.engine.describe()
+
+    def test_more_iterations_replay_more(self):
+        _, short = _run_pipeline(iterations=6, fastforward=True)
+        _, long = _run_pipeline(iterations=24, fastforward=True)
+        assert long.engine.replayed > short.engine.replayed
+
+    def test_describe_reports_counters(self):
+        _, perf = _run_pipeline(fastforward=True)
+        text = perf.engine.describe()
+        assert "fast-forward" in text and "replayed" in text
