@@ -6,7 +6,10 @@ Captures the dataflow of a FIR output-sample segment, then:
   moving between the critical-path and single-ALU extremes,
 * fans one ``hw-point`` campaign configuration per functional-unit
   allocation through the batch orchestrator (``repro.batch``) to chart
-  the real area/time trade-off curve, with cached re-runs.
+  the real area/time trade-off curve, with cached re-runs,
+* *searches* a bigger allocation grid under an evaluation budget with
+  the seeded evolutionary engine (``repro.dse``) and prints the
+  MCDM-ranked Pareto front it converges to.
 
 Run with:  python examples/hw_design_space.py [workers]
 """
@@ -83,6 +86,30 @@ def main(workers: int = 0):
         rerun = Campaign(configs, workers=workers, cache=cache_dir)
         rerun.run()
         print(f"  re-run:   {rerun.metrics.summary()}")
+
+    # --- searching instead of enumerating: repro.dse ---------------------
+    from repro.dse import DseSettings, Evolution, fig4_space, parse_objectives
+
+    space = fig4_space(max_units_per_class=4, taps=TAPS)
+    budget = space.size() // 4
+    print(f"\nevolutionary search of the {space.size()}-point grid "
+          f"(seed 0, budget {budget} = 25% of exhaustive):")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        result = Evolution(space, parse_objectives("time,power,cost"),
+                           DseSettings(seed=0, budget=budget),
+                           cache=cache_dir, workers=workers).run()
+        for point in result.front:
+            label = ",".join(f"{g.name}={v}"
+                             for g, v in zip(space.genes, point.genome))
+            print(f"  rank {point.rank}: {label:20s} "
+                  f"time {point.objectives[0]:5.0f} ns  "
+                  f"power {point.objectives[1]:.2f} mW  "
+                  f"area {point.objectives[2]:3.0f}  "
+                  f"score {point.score:.3f}")
+        totals = result.totals()
+        print(f"  decision: {space.label(result.best.genome)} after "
+              f"{result.evaluations} evaluations "
+              f"({totals['cache_hits']} re-evaluations were cache hits)")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,9 @@ worker-process boundary).  Built-in kinds:
 ``hw-point``
     One Fig. 4 design point: schedule the FIR segment's dataflow graph
     under a functional-unit allocation, derive the paper's ``k`` for
-    that allocation from the segment's Tmin/Tmax bounds, and (optionally)
+    that allocation from the segment's Tmin/Tmax bounds, estimate the
+    point's energy/power (dynamic operation energy plus area-
+    proportional leakage over the scheduled latency), and (optionally)
     run the annotated SW estimate and a strict-timed system simulation
     of the full filter at that design point.
 
@@ -189,6 +191,13 @@ def _fir_segment_args(taps: int):
     return (x, h, taps)
 
 
+#: Leakage + clock-tree power per relative area unit (mW).  With the
+#: dynamic operation energy fixed by the segment's computation, this is
+#: what turns the power axis into a real trade-off: more functional
+#: units finish sooner but leak more while they run.
+LEAKAGE_MW_PER_AREA = 0.05
+
+
 @register_runner("hw-point")
 def run_hw_point(params: dict) -> dict:
     """Evaluate one functional-unit allocation of the FIR segment.
@@ -198,12 +207,18 @@ def run_hw_point(params: dict) -> dict:
     SW estimate of the full filter and a strict-timed simulation of the
     pipeline at this design point), ``samples`` (filter length for the
     system evaluation, default 256).
+
+    The payload carries the three objective axes the DSE layer ranks:
+    estimated time (``latency_ns``), power (``power_mw`` — dynamic
+    operation energy plus :data:`LEAKAGE_MW_PER_AREA` leakage
+    integrated over the scheduled latency) and cost (``area``).
     """
     from .. import Simulator, wait
     from ..annotate.context import CostContext, MODE_HW, active
     from ..hls import Allocation, capture_dfg, list_schedule
     from ..kernel import Clock
     from ..platform import ASIC_HW_COSTS, HW_CLOCK_MHZ
+    from ..power import HW_ENERGY, PowerBudget
     from ..workloads.fir import fir_sample
 
     allocation_map = {str(k): int(v) for k, v in params["allocation"].items()}
@@ -223,14 +238,26 @@ def run_hw_point(params: dict) -> dict:
     spread = (t_max - t_min) or 1.0
     k = min(1.0, max(0.0, (latency - t_min) / spread))
 
+    latency_ns = clock.cycles_to_time(latency).to_ns()
+    dynamic_pj = HW_ENERGY.energy_pj(context.lifetime_op_counts)
+    leakage = PowerBudget(static_mw=LEAKAGE_MW_PER_AREA * allocation.area)
+    static_pj = leakage.static_energy_pj(
+        clock.cycles_to_time(latency).femtoseconds)
+    energy_pj = dynamic_pj + static_pj
+
     payload = {
         "allocation": allocation_map,
         "area": allocation.area,
         "latency_cycles": latency,
-        "latency_ns": clock.cycles_to_time(latency).to_ns(),
+        "latency_ns": latency_ns,
         "t_min_cycles": t_min,
         "t_max_cycles": t_max,
         "k": k,
+        "dynamic_energy_pj": dynamic_pj,
+        "static_energy_pj": static_pj,
+        "energy_pj": energy_pj,
+        # pJ / ns == mW: average power over the segment's schedule.
+        "power_mw": energy_pj / latency_ns if latency_ns else 0.0,
     }
     if not params.get("evaluate_system", False):
         return payload

@@ -13,7 +13,10 @@ script:
 * ``lint``       — model lint: statically enforce the §2 methodology
   (see ``docs/analysis.md`` for the rule catalog),
 * ``cache``      — inspect / verify / garbage-collect the batch result
-  cache and its per-run trace artifacts (``stats``/``verify``/``gc``).
+  cache and its per-run trace artifacts (``stats``/``verify``/``gc``),
+* ``dse``        — seeded evolutionary design-space exploration over a
+  genome space (builtin ``fig4`` or a JSON spec); prints the ranked
+  Pareto front and writes a deterministic JSON report.
 """
 
 from __future__ import annotations
@@ -185,6 +188,83 @@ def _cmd_batch(args) -> int:
         print(f"FAILED {r.config}: {r.status} after {r.attempts} attempts")
     print(f"\n{campaign.metrics.summary()}")
     return 1 if failed else 0
+
+
+def _cmd_dse(args) -> int:
+    from .batch import ProgressObserver, ResultCache
+    from .dse import (
+        DseError,
+        DseProgress,
+        DseSettings,
+        Evolution,
+        parse_objectives,
+        resolve_space,
+        write_report,
+    )
+
+    try:
+        if args.space in ("fig4",):
+            space = resolve_space(args.space,
+                                  max_units_per_class=args.max_units,
+                                  taps=args.taps,
+                                  evaluate_system=args.evaluate_system,
+                                  samples=args.samples)
+        else:
+            space = resolve_space(args.space)
+        objectives = parse_objectives(args.objectives)
+        weights = None
+        if args.weights:
+            try:
+                weights = tuple(float(w) for w in args.weights.split(","))
+            except ValueError:
+                raise DseError(f"bad --weights {args.weights!r}; "
+                               "use e.g. 2,1,1")
+        settings = DseSettings(
+            seed=args.seed, population=args.population,
+            generations=args.generations, budget=args.budget,
+            tournament=args.tournament, elites=args.elites,
+            crossover_rate=args.crossover_rate,
+            mutation_rate=args.mutation_rate)
+
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        observers = [] if args.quiet else [DseProgress()]
+        if args.verbose:
+            observers.append(ProgressObserver())
+        workers = 0 if args.serial else (args.workers or 0)
+        print(f"space {space.name!r}: {len(space.genes)} genes, "
+              f"{space.size()} points; objectives "
+              f"{', '.join(o.name for o in objectives)}; seed {args.seed}"
+              + (f"; budget {args.budget}" if args.budget else ""))
+        search = Evolution(space, objectives, settings, weights=weights,
+                           cache=cache, workers=workers,
+                           timeout_s=args.timeout, retries=args.retries,
+                           start_method=args.start_method or None,
+                           observers=observers,
+                           trace_dir=args.trace_dir or None)
+        result = search.run()
+    except DseError as exc:
+        raise SystemExit(f"repro dse: {exc}")
+
+    print()
+    rows = [[str(p.rank),
+             ",".join(f"{g.name}={v}" for g, v
+                      in zip(space.genes, p.genome)),
+             *(f"{v:.4g}" for v in p.objectives),
+             f"{p.score:.4f}"]
+            for p in result.front]
+    headers = ["rank", "genome", *(o.name for o in objectives), "score"]
+    print(_format_rows("ranked Pareto front (best decision first)",
+                       headers, rows))
+    totals = result.totals()
+    print(f"\n{result.evaluations} unique points evaluated "
+          f"({result.submitted} submitted, {totals['cache_hits']} cache "
+          f"hits, {totals['simulated']} simulated) of {result.grid_size} "
+          f"in the grid; {len(result.trajectory)} generations, "
+          f"{result.wall_s:.2f}s")
+    if args.output:
+        write_report(result, args.output)
+        print(f"wrote search report to {args.output}")
+    return 0
 
 
 _AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
@@ -639,6 +719,75 @@ def build_parser() -> argparse.ArgumentParser:
                                    "per executed run, keyed by its cache "
                                    "hash, into this directory")
     batch_parser.set_defaults(fn=_cmd_batch)
+
+    dse_parser = sub.add_parser(
+        "dse",
+        help="seeded evolutionary design-space exploration: search a "
+             "genome space through the cached campaign runner, print "
+             "the ranked Pareto front")
+    dse_parser.add_argument("--space", default="fig4",
+                            help="builtin space name (fig4) or a JSON "
+                                 "space-spec file (default: fig4)")
+    dse_parser.add_argument("--seed", type=int, default=0,
+                            help="search RNG seed; the same seed "
+                                 "reproduces the same front byte-for-byte")
+    dse_parser.add_argument("--budget", type=int, default=None,
+                            help="max unique design points to evaluate "
+                                 "(re-evaluations are cache hits, free)")
+    dse_parser.add_argument("--population", type=int, default=8,
+                            help="individuals per generation")
+    dse_parser.add_argument("--generations", type=int, default=6,
+                            help="max generations")
+    dse_parser.add_argument("--tournament", type=int, default=2,
+                            help="tournament selection size")
+    dse_parser.add_argument("--elites", type=int, default=1,
+                            help="top individuals copied unchanged")
+    dse_parser.add_argument("--crossover-rate", type=float, default=0.9)
+    dse_parser.add_argument("--mutation-rate", type=float, default=None,
+                            help="per-gene mutation probability "
+                                 "(default: 1/genes)")
+    dse_parser.add_argument("--objectives", default="time,power,cost",
+                            help="comma-separated objectives to minimize: "
+                                 "builtin names (time, power, cost, "
+                                 "energy, latency, area) or "
+                                 "name=payload_key")
+    dse_parser.add_argument("--weights", default="",
+                            help="comma-separated MCDM weights, one per "
+                                 "objective (default: equal)")
+    dse_parser.add_argument("--output", "-o", default="",
+                            help="write the JSON search report here")
+    dse_parser.add_argument("--max-units", type=int, default=4,
+                            help="fig4: max units per FU class")
+    dse_parser.add_argument("--taps", type=int, default=12,
+                            help="fig4: FIR segment taps")
+    dse_parser.add_argument("--samples", type=int, default=256,
+                            help="fig4: samples for the system evaluation")
+    dse_parser.add_argument("--evaluate-system", action="store_true",
+                            help="fig4: also simulate the full pipeline "
+                                 "at each point")
+    dse_parser.add_argument("--workers", type=int, default=None,
+                            help="worker processes (default: in-process)")
+    dse_parser.add_argument("--serial", action="store_true",
+                            help="force in-process evaluation")
+    dse_parser.add_argument("--timeout", type=float, default=None,
+                            help="per-run timeout in seconds")
+    dse_parser.add_argument("--retries", type=int, default=1,
+                            help="retry attempts per failed run")
+    dse_parser.add_argument("--cache-dir", default=".repro-cache",
+                            help="result cache directory")
+    dse_parser.add_argument("--no-cache", action="store_true",
+                            help="disable the result cache")
+    dse_parser.add_argument("--start-method", choices=("fork", "spawn"),
+                            default="",
+                            help="worker start method (default: platform)")
+    dse_parser.add_argument("--quiet", action="store_true",
+                            help="suppress per-generation progress lines")
+    dse_parser.add_argument("--verbose", action="store_true",
+                            help="also print per-run campaign progress")
+    dse_parser.add_argument("--trace-dir", default="",
+                            help="write a JSONL trace artifact per "
+                                 "executed run into this directory")
+    dse_parser.set_defaults(fn=_cmd_dse)
 
     cache_parser = sub.add_parser(
         "cache",

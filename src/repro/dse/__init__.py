@@ -1,0 +1,74 @@
+"""Evolutionary design-space exploration over the Campaign API.
+
+The paper's Fig. 4 sweep is an exhaustive grid; the spaces it gestures
+at — per-resource k, process→resource mappings, RTOS overheads, clock
+frequencies — explode combinatorially.  This subsystem searches them
+instead of enumerating them:
+
+* :mod:`~repro.dse.genome` — genes map search dimensions onto frozen,
+  cache-keyed :class:`~repro.batch.RunConfig` points (encode/decode
+  round-trips; all variation operators draw from a seeded RNG),
+* :mod:`~repro.dse.factorial` — two-level factorial screening seeds
+  the initial population across huge spaces,
+* :mod:`~repro.dse.engine` — a deterministic evolutionary engine
+  (tournament selection, uniform crossover, point mutation, elitism)
+  whose generations evaluate as batch :class:`~repro.batch.Campaign`
+  runs, so the content-addressed result cache makes every re-evaluated
+  individual free,
+* :mod:`~repro.dse.mcdm` — Pareto-front extraction and weighted
+  min-max MCDM ranking over (time, power, cost, ...) objectives,
+* :mod:`~repro.dse.report` — byte-deterministic JSON reports of the
+  front and the full search trajectory,
+* :mod:`~repro.dse.spaces` — the Fig. 4 reference genome and JSON
+  space-spec loading for `repro dse`.
+
+Determinism contract: the same seed produces a byte-identical
+trajectory and front, in-process and under the spawned worker pool —
+established by ``tests/test_dse_props.py`` the same way the batch
+layer's cache soundness is established by the determinism suite.
+"""
+
+from .engine import (
+    DseObserver,
+    DseProgress,
+    DseResult,
+    DseSettings,
+    Evolution,
+    GenerationRecord,
+)
+from .factorial import screening_genomes
+from .genome import DseError, Gene, Genome, SearchSpace
+from .mcdm import (
+    RankedPoint,
+    dominates,
+    mcdm_score,
+    normalize_bounds,
+    pareto_indices,
+    ranked_front,
+)
+from .objectives import (
+    BUILTIN_OBJECTIVES,
+    DEFAULT_OBJECTIVES,
+    Objective,
+    objective_vector,
+    parse_objectives,
+)
+from .report import (
+    canonical_payload,
+    front_payload,
+    render_json,
+    report_payload,
+    write_report,
+)
+from .spaces import BUILTIN_SPACES, fig4_space, resolve_space
+
+__all__ = [
+    "BUILTIN_OBJECTIVES", "BUILTIN_SPACES", "DEFAULT_OBJECTIVES",
+    "DseError", "DseObserver", "DseProgress", "DseResult", "DseSettings",
+    "Evolution", "Gene", "GenerationRecord", "Genome", "Objective",
+    "RankedPoint", "SearchSpace", "canonical_payload", "dominates",
+    "fig4_space", "front_payload", "mcdm_score", "normalize_bounds",
+    "objective_vector", "pareto_indices", "parse_objectives",
+    "ranked_front", "render_json", "report_payload", "resolve_space",
+    "screening_genomes", "write_report",
+]

@@ -1,0 +1,412 @@
+"""The seeded evolutionary search engine over the Campaign API.
+
+One :class:`Evolution` run is a deterministic function of its
+:class:`DseSettings` seed: every random draw (initial population fill,
+tournament picks, crossover coin-flips, mutations) comes from a single
+``random.Random(seed)``, fitness values are payloads of deterministic
+simulations, and all tie-breaks order on the genome tuple — so the same
+seed reproduces the same trajectory and front byte-for-byte, whether
+generations evaluate in-process or on a spawned worker pool.
+
+Fitness evaluation is where the batch layer pays off: every generation
+is submitted as one :class:`~repro.batch.Campaign`, so points fan out
+across workers and the content-addressed result cache makes any genome
+seen before — a surviving elite, a re-discovered individual, a warm
+re-run of the whole search — free.  The engine deliberately does *not*
+memoize fitness in memory: re-evaluations go through the campaign so
+the cache-hit counters prove the invariant instead of hiding it.
+
+Progress flows through the existing campaign observer protocol:
+observers passed to the engine receive every per-run callback from the
+generation campaigns, plus the :class:`DseObserver` generation hooks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..batch.cache import ResultCache
+from ..batch.campaign import Campaign, CampaignObserver, RunResult
+from .factorial import screening_genomes
+from .genome import DseError, Genome, SearchSpace
+from .mcdm import (
+    RankedPoint,
+    Vector,
+    mcdm_score,
+    normalize_bounds,
+    ranked_front,
+)
+from .objectives import Objective, objective_vector
+
+
+@dataclasses.dataclass(frozen=True)
+class DseSettings:
+    """Search hyper-parameters.  All defaults are deliberately small:
+    the cache makes extra generations cheap, not extra evaluations."""
+
+    seed: int = 0
+    population: int = 8
+    generations: int = 6
+    budget: Optional[int] = None     # max *unique* genome evaluations
+    tournament: int = 2
+    crossover_rate: float = 0.9
+    mutation_rate: Optional[float] = None   # default: 1 / len(genes)
+    elites: int = 1
+
+    def validated(self) -> "DseSettings":
+        if self.population < 2:
+            raise DseError("population must be >= 2")
+        if self.generations < 1:
+            raise DseError("generations must be >= 1")
+        if self.budget is not None and self.budget < 1:
+            raise DseError("budget must be >= 1")
+        if self.tournament < 1:
+            raise DseError("tournament size must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise DseError("crossover rate must be in [0, 1]")
+        if self.mutation_rate is not None \
+                and not 0.0 <= self.mutation_rate <= 1.0:
+            raise DseError("mutation rate must be in [0, 1]")
+        if not 0 <= self.elites < self.population:
+            raise DseError("elites must be in [0, population)")
+        return self
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class DseObserver(CampaignObserver):
+    """Campaign observer extended with generation-level search hooks.
+
+    Any :class:`CampaignObserver` can be passed to the engine — it will
+    receive the per-run callbacks of every generation campaign; these
+    extra hooks fire only on observers that define them.
+    """
+
+    def on_generation_start(self, generation: int,
+                            genomes: Sequence[Genome]) -> None: ...
+
+    def on_generation_end(self, generation: int,
+                          entries: Sequence[Tuple[Genome, Vector]],
+                          metrics: dict) -> None: ...
+
+    def on_search_end(self, result: "DseResult") -> None: ...
+
+
+class DseProgress(DseObserver):
+    """One line per generation — the CLI's search progress display."""
+
+    def __init__(self, stream=None) -> None:
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+
+    def on_generation_end(self, generation, entries, metrics):
+        best = min(metrics["best_score"], 1.0)
+        print(f"gen {generation}: {metrics['submitted']} points "
+              f"({metrics['new_evaluations']} new, "
+              f"{metrics['cache_hits']} cached), "
+              f"best score {best:.4f}", file=self.stream)
+
+    def on_search_end(self, result):
+        print(f"front: {len(result.front)} non-dominated points from "
+              f"{result.evaluations} evaluations "
+              f"({result.grid_size} in the exhaustive grid)",
+              file=self.stream)
+
+
+@dataclasses.dataclass
+class GenerationRecord:
+    """Canonical (deterministic) trajectory entry for one generation."""
+
+    generation: int
+    population: List[dict]        # [{"genome": [...], "objectives": [...]}]
+    new_evaluations: int
+
+    def as_dict(self) -> dict:
+        return {"generation": self.generation,
+                "population": self.population,
+                "new_evaluations": self.new_evaluations}
+
+
+@dataclasses.dataclass
+class DseResult:
+    """Everything one search produced.
+
+    The deterministic part (trajectory, front, best, evaluation counts)
+    is the byte-identical-under-a-seed contract; the ``execution``
+    metrics (cache hits, wall time, retries) describe *how* this
+    particular run obtained it and legitimately vary with cache warmth
+    and worker scheduling.
+    """
+
+    space: SearchSpace
+    objectives: Tuple[Objective, ...]
+    weights: Optional[Tuple[float, ...]]
+    settings: DseSettings
+    trajectory: List[GenerationRecord]
+    front: List[RankedPoint]
+    evaluations: int              # unique genomes evaluated
+    submitted: int                # configs submitted (incl. re-evaluations)
+    generation_metrics: List[dict]
+    wall_s: float
+
+    @property
+    def best(self) -> RankedPoint:
+        if not self.front:
+            raise DseError("search produced an empty front")
+        return self.front[0]
+
+    @property
+    def grid_size(self) -> int:
+        return self.space.size()
+
+    def totals(self) -> dict:
+        keys = ("cache_hits", "simulated", "retries", "worker_replacements")
+        return {key: sum(m[key] for m in self.generation_metrics)
+                for key in keys}
+
+
+class Evolution:
+    """Population search over a :class:`SearchSpace` with cached fitness."""
+
+    def __init__(self,
+                 space: SearchSpace,
+                 objectives: Sequence[Objective],
+                 settings: DseSettings = DseSettings(),
+                 weights: Optional[Sequence[float]] = None,
+                 cache=None,
+                 workers: int = 0,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 start_method: Optional[str] = None,
+                 observers: Sequence[CampaignObserver] = (),
+                 trace_dir=None) -> None:
+        self.space = space
+        self.objectives = tuple(objectives)
+        if not self.objectives:
+            raise DseError("search needs at least one objective")
+        self.settings = settings.validated()
+        self.weights = None if weights is None else tuple(weights)
+        if self.weights is not None \
+                and len(self.weights) != len(self.objectives):
+            raise DseError(
+                f"{len(self.weights)} weights for "
+                f"{len(self.objectives)} objectives")
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.start_method = start_method
+        self.observers = list(observers)
+        self.trace_dir = trace_dir
+
+    # -- evaluation --------------------------------------------------------
+
+    def _evaluate(self, genomes: Sequence[Genome]) -> Tuple[List[Vector],
+                                                            Campaign]:
+        configs = [self.space.decode(genome) for genome in genomes]
+        campaign = Campaign(configs, workers=self.workers,
+                            timeout_s=self.timeout_s, retries=self.retries,
+                            cache=self.cache,
+                            start_method=self.start_method,
+                            observers=self.observers,
+                            trace_dir=self.trace_dir)
+        results = campaign.run()
+        failed = [r for r in results if not r.ok]
+        if failed:
+            detail = "; ".join(
+                f"{r.config.name}: {r.status} ({r.error.strip().splitlines()[-1]})"
+                if r.error.strip() else f"{r.config.name}: {r.status}"
+                for r in failed[:3])
+            raise DseError(
+                f"{len(failed)} evaluation(s) failed after retries: {detail}")
+        return ([objective_vector(r.payload, self.objectives)
+                 for r in results], campaign)
+
+    # -- selection ---------------------------------------------------------
+
+    def _scores(self, evaluated: Dict[Genome, Vector]) -> Dict[Genome, float]:
+        bounds = normalize_bounds(list(evaluated.values()))
+        return {genome: mcdm_score(vector, bounds, self.weights)
+                for genome, vector in evaluated.items()}
+
+    def _tournament(self, population: Sequence[Genome],
+                    scores: Dict[Genome, float],
+                    rng: random.Random) -> Genome:
+        picks = [population[rng.randrange(len(population))]
+                 for _ in range(self.settings.tournament)]
+        return min(picks, key=lambda genome: (scores[genome], genome))
+
+    def _initial_population(self, rng: random.Random) -> List[Genome]:
+        size = min(self.settings.population, self.space.size())
+        if self.space.size() <= size:
+            return list(self.space.all_genomes())
+        population = []
+        seen = set()
+        for genome in screening_genomes(self.space, limit=size):
+            if genome not in seen:
+                seen.add(genome)
+                population.append(genome)
+            if len(population) == size:
+                return population
+        attempts = 0
+        while len(population) < size and attempts < 50 * size:
+            genome = self.space.random_genome(rng)
+            attempts += 1
+            if genome not in seen:
+                seen.add(genome)
+                population.append(genome)
+        if len(population) < size:
+            # Random fill stalled (nearly-exhausted space): fall back to
+            # a deterministic scan for the remaining unseen genomes.
+            for genome in self.space.all_genomes():
+                if genome not in seen:
+                    seen.add(genome)
+                    population.append(genome)
+                if len(population) == size:
+                    break
+        return population
+
+    def _next_population(self, population: Sequence[Genome],
+                         scores: Dict[Genome, float],
+                         rng: random.Random) -> List[Genome]:
+        ranked = sorted(population,
+                        key=lambda genome: (scores[genome], genome))
+        next_pop: List[Genome] = list(
+            dict.fromkeys(ranked[:self.settings.elites]))
+        seen = set(next_pop)
+        mutation = (self.settings.mutation_rate
+                    if self.settings.mutation_rate is not None
+                    else 1.0 / len(self.space.genes))
+        while len(next_pop) < len(population):
+            child: Optional[Genome] = None
+            for _attempt in range(10):
+                mother = self._tournament(population, scores, rng)
+                if rng.random() < self.settings.crossover_rate:
+                    father = self._tournament(population, scores, rng)
+                    candidate = self.space.crossover(mother, father, rng)
+                else:
+                    candidate = mother
+                candidate = self.space.mutate(candidate, rng, mutation)
+                child = candidate
+                if candidate not in seen:
+                    break
+            if child in seen:
+                # Variation kept colliding (tight space): deterministic
+                # scan for any genome this population does not yet hold,
+                # so one generation never submits a duplicate config.
+                child = next((genome for genome in self.space.all_genomes()
+                              if genome not in seen), child)
+            assert child is not None
+            seen.add(child)
+            next_pop.append(child)
+        return next_pop
+
+    # -- the search loop ---------------------------------------------------
+
+    def run(self) -> DseResult:
+        settings = self.settings
+        rng = random.Random(settings.seed)
+        started = time.perf_counter()
+
+        evaluated: Dict[Genome, Vector] = {}
+        trajectory: List[GenerationRecord] = []
+        generation_metrics: List[dict] = []
+        submitted = 0
+        exhaustive = self.space.size() <= settings.population
+
+        population = self._initial_population(rng)
+        for generation in range(settings.generations):
+            population, new = self._respect_budget(population, evaluated)
+            if not population:
+                break
+            for observer in self.observers:
+                hook = getattr(observer, "on_generation_start", None)
+                if hook is not None:
+                    hook(generation, list(population))
+
+            vectors, campaign = self._evaluate(population)
+            submitted += len(population)
+            for genome, vector in zip(population, vectors):
+                evaluated[genome] = vector
+
+            scores = self._scores(evaluated)
+            entries = list(zip(population, vectors))
+            trajectory.append(GenerationRecord(
+                generation=generation,
+                population=[{"genome": list(genome),
+                             "objectives": list(vector)}
+                            for genome, vector in entries],
+                new_evaluations=len(new),
+            ))
+            metrics = {
+                "generation": generation,
+                "submitted": len(population),
+                "new_evaluations": len(new),
+                "cache_hits": campaign.metrics.cache_hits,
+                "simulated": len(campaign.metrics.run_wall_s),
+                "retries": campaign.metrics.retries,
+                "worker_replacements": campaign.metrics.worker_replacements,
+                "best_score": min(scores[genome] for genome in population),
+            }
+            generation_metrics.append(metrics)
+            for observer in self.observers:
+                hook = getattr(observer, "on_generation_end", None)
+                if hook is not None:
+                    hook(generation, entries, dict(metrics))
+
+            if self._budget_spent(evaluated) or exhaustive:
+                break
+            if generation + 1 < settings.generations:
+                population = self._next_population(population, scores, rng)
+
+        result = DseResult(
+            space=self.space,
+            objectives=self.objectives,
+            weights=self.weights,
+            settings=settings,
+            trajectory=trajectory,
+            front=ranked_front(sorted(evaluated.items()), self.weights),
+            evaluations=len(evaluated),
+            submitted=submitted,
+            generation_metrics=generation_metrics,
+            wall_s=time.perf_counter() - started,
+        )
+        for observer in self.observers:
+            hook = getattr(observer, "on_search_end", None)
+            if hook is not None:
+                hook(result)
+        return result
+
+    def _respect_budget(self, population: Sequence[Genome],
+                        evaluated: Dict[Genome, Vector]
+                        ) -> Tuple[List[Genome], List[Genome]]:
+        """Trim a generation's *new* genomes to the remaining budget.
+
+        Previously-evaluated genomes always stay (their re-evaluation
+        is a cache hit, not a budget spend); new genomes are kept in
+        population order until the unique-evaluation budget is full.
+        """
+        budget = self.settings.budget
+        new = [genome for genome in dict.fromkeys(population)
+               if genome not in evaluated]
+        if budget is None:
+            return list(population), new
+        remaining = budget - len(evaluated)
+        if remaining <= 0 and not any(g in evaluated for g in population):
+            return [], []
+        allowed = set(new[:max(0, remaining)])
+        kept = [genome for genome in population
+                if genome in evaluated or genome in allowed]
+        return kept, new[:max(0, remaining)]
+
+    def _budget_spent(self, evaluated: Dict[Genome, Vector]) -> bool:
+        return (self.settings.budget is not None
+                and len(evaluated) >= self.settings.budget)

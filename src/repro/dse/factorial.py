@@ -1,0 +1,56 @@
+"""Factorial screening: seed a search from the corners of a huge space.
+
+Exhaustive grids explode combinatorially, but a two-level factorial
+design — every combination of each gene's extreme values — screens the
+main effects of all dimensions with ``2^n`` points, and a fractional
+subset of those corners still spreads the probes across the space when
+even ``2^n`` is too many.  The screening genomes seed the evolutionary
+engine's initial population so generation zero already spans the
+space instead of clustering wherever the RNG landed.
+
+The construction is fully deterministic: the center point first (the
+classic curvature probe), then the corners in lexicographic order,
+thinned to an evenly-strided fraction when a ``limit`` applies.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from .genome import Genome, SearchSpace
+
+
+def screening_genomes(space: SearchSpace,
+                      limit: Optional[int] = None) -> List[Genome]:
+    """Center + (fractional) two-level factorial corners of ``space``.
+
+    Returns at most ``limit`` distinct genomes (all of them when
+    ``limit`` is None).  Order is deterministic: the center genome
+    first, then corners lexicographically; when the full factorial
+    exceeds the limit, an evenly-strided fraction of the corner list
+    keeps the probes spread across the space.
+    """
+    if limit is not None and limit <= 0:
+        return []
+    center = tuple(gene.center for gene in space.genes)
+    corners = [genome for genome in
+               itertools.product(*((gene.lo, gene.hi) if gene.lo != gene.hi
+                                   else (gene.lo,) for gene in space.genes))
+               if genome != center]
+    if limit is not None and len(corners) > limit - 1:
+        corners = _strided(corners, limit - 1)
+    return [center] + corners
+
+
+def _strided(items: list, count: int) -> list:
+    """An evenly-spread deterministic subset of ``count`` items."""
+    if count <= 0:
+        return []
+    if count >= len(items):
+        return list(items)
+    if count == 1:
+        return [items[0]]
+    last = len(items) - 1
+    indices = sorted({round(i * last / (count - 1)) for i in range(count)})
+    return [items[i] for i in indices]

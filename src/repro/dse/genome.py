@@ -1,0 +1,281 @@
+"""Gene/genome encoding: search dimensions onto frozen run configs.
+
+A :class:`Gene` names one discrete search dimension — an ordered tuple
+of scalar choices plus the *path* at which the chosen value lands in a
+runner's parameter dict (e.g. ``("allocation", "alu")``).  A *genome*
+is a plain tuple holding one choice per gene, in gene order: hashable,
+picklable, and trivially JSON-able, which is exactly what the
+deterministic search engine and its byte-identical reports need.
+
+A :class:`SearchSpace` bundles the genes with a runner ``kind`` and the
+fixed ``base_params``; :meth:`SearchSpace.decode` materializes a genome
+into a frozen :class:`~repro.batch.config.RunConfig` whose
+content-addressed cache key makes re-evaluated individuals free, and
+:meth:`SearchSpace.encode` inverts it.  All randomized operators
+(random genome, mutation, crossover) draw exclusively from a caller-
+supplied ``random.Random`` so that a seed fixes the whole trajectory.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import itertools
+import json
+import math
+import os
+import random
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..batch.config import RunConfig
+from ..errors import ReproError
+
+#: A genome: one chosen value per gene, in gene order.
+Genome = Tuple[Any, ...]
+
+_SCALARS = (bool, int, float, str)
+
+
+class DseError(ReproError):
+    """Raised for malformed search spaces, genomes or objectives."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Gene:
+    """One discrete search dimension.
+
+    ``choices`` is the ordered domain (scalars only — the values land
+    in cache-keyed run parameters); ``path`` locates the value inside
+    the runner's parameter dict (defaults to the top-level gene name).
+    """
+
+    name: str
+    choices: Tuple[Any, ...]
+    path: Tuple[str, ...]
+
+    @classmethod
+    def of(cls, name: str, choices: Sequence[Any],
+           path: Optional[Sequence[str]] = None) -> "Gene":
+        if not name:
+            raise DseError("gene needs a non-empty name")
+        values = tuple(choices)
+        if not values:
+            raise DseError(f"gene {name!r} has an empty domain")
+        for value in values:
+            if not isinstance(value, _SCALARS) and value is not None:
+                raise DseError(
+                    f"gene {name!r} choice {value!r} is not a scalar")
+        if len(set(values)) != len(values):
+            raise DseError(f"gene {name!r} has duplicate choices")
+        where = tuple(str(p) for p in (path if path is not None else (name,)))
+        if not where:
+            raise DseError(f"gene {name!r} has an empty parameter path")
+        return cls(name, values, where)
+
+    @classmethod
+    def int_range(cls, name: str, lo: int, hi: int, step: int = 1,
+                  path: Optional[Sequence[str]] = None) -> "Gene":
+        """The inclusive integer range ``lo..hi`` as a gene domain."""
+        if step <= 0:
+            raise DseError(f"gene {name!r} needs a positive step")
+        if hi < lo:
+            raise DseError(f"gene {name!r} range is empty ({lo}..{hi})")
+        return cls.of(name, tuple(range(lo, hi + 1, step)), path)
+
+    def index_of(self, value: Any) -> int:
+        try:
+            return self.choices.index(value)
+        except ValueError:
+            raise DseError(
+                f"value {value!r} is not in gene {self.name!r}'s domain "
+                f"{list(self.choices)}"
+            ) from None
+
+    @property
+    def lo(self) -> Any:
+        return self.choices[0]
+
+    @property
+    def hi(self) -> Any:
+        return self.choices[-1]
+
+    @property
+    def center(self) -> Any:
+        """The middle choice (lower middle for even-sized domains)."""
+        return self.choices[(len(self.choices) - 1) // 2]
+
+
+def _set_path(params: dict, path: Tuple[str, ...], value: Any) -> None:
+    node = params
+    for key in path[:-1]:
+        child = node.setdefault(key, {})
+        if not isinstance(child, dict):
+            raise DseError(
+                f"parameter path {'/'.join(path)} collides with a "
+                f"non-mapping value at {key!r}"
+            )
+        node = child
+    node[path[-1]] = value
+
+
+def _get_path(params: Mapping, path: Tuple[str, ...]) -> Any:
+    node: Any = params
+    for key in path:
+        if not isinstance(node, Mapping) or key not in node:
+            raise DseError(f"parameters have no value at {'/'.join(path)}")
+        node = node[key]
+    return node
+
+
+class SearchSpace:
+    """Genes + runner kind + fixed parameters = one explorable space."""
+
+    def __init__(self, name: str, kind: str, genes: Sequence[Gene],
+                 base_params: Optional[Mapping[str, Any]] = None) -> None:
+        if not genes:
+            raise DseError(f"search space {name!r} has no genes")
+        names = [gene.name for gene in genes]
+        if len(set(names)) != len(names):
+            raise DseError(f"search space {name!r} has duplicate gene names")
+        paths = [gene.path for gene in genes]
+        if len(set(paths)) != len(paths):
+            raise DseError(
+                f"search space {name!r} maps two genes onto one parameter")
+        self.name = name
+        self.kind = kind
+        self.genes: Tuple[Gene, ...] = tuple(genes)
+        self.base_params: Dict[str, Any] = copy.deepcopy(
+            dict(base_params or {}))
+
+    def __len__(self) -> int:
+        return len(self.genes)
+
+    def size(self) -> int:
+        """Number of points in the exhaustive grid."""
+        return math.prod(len(gene.choices) for gene in self.genes)
+
+    # -- genome <-> config ------------------------------------------------
+
+    def validate(self, genome: Genome) -> Genome:
+        genome = tuple(genome)
+        if len(genome) != len(self.genes):
+            raise DseError(
+                f"genome {genome!r} has {len(genome)} values for "
+                f"{len(self.genes)} genes"
+            )
+        for gene, value in zip(self.genes, genome):
+            gene.index_of(value)
+        return genome
+
+    def point(self, genome: Genome) -> Dict[str, Any]:
+        """The genome as a gene-name → value mapping (for reports)."""
+        genome = self.validate(genome)
+        return {gene.name: value for gene, value in zip(self.genes, genome)}
+
+    def label(self, genome: Genome) -> str:
+        inner = ",".join(f"{gene.name}={value}"
+                         for gene, value in zip(self.genes, genome))
+        return f"{self.name}[{inner}]"
+
+    def decode(self, genome: Genome) -> RunConfig:
+        """Materialize a genome into a frozen, cache-keyed run config."""
+        genome = self.validate(genome)
+        params = copy.deepcopy(self.base_params)
+        for gene, value in zip(self.genes, genome):
+            _set_path(params, gene.path, value)
+        return RunConfig.of(self.kind, name=self.label(genome), **params)
+
+    def encode(self, config) -> Genome:
+        """Invert :meth:`decode`: read the gene values back out.
+
+        Accepts a :class:`RunConfig` or a plain parameter mapping;
+        every value must lie inside its gene's domain.
+        """
+        params = (config.params_dict() if isinstance(config, RunConfig)
+                  else config)
+        return self.validate(tuple(_get_path(params, gene.path)
+                                   for gene in self.genes))
+
+    def all_genomes(self) -> Iterator[Genome]:
+        """The exhaustive grid, in deterministic lexicographic order."""
+        return itertools.product(*(gene.choices for gene in self.genes))
+
+    # -- seeded variation operators ---------------------------------------
+
+    def random_genome(self, rng: random.Random) -> Genome:
+        return tuple(gene.choices[rng.randrange(len(gene.choices))]
+                     for gene in self.genes)
+
+    def mutate(self, genome: Genome, rng: random.Random,
+               rate: float) -> Genome:
+        """Per-gene point mutation to a *different* in-domain choice."""
+        genome = self.validate(genome)
+        out: List[Any] = []
+        for gene, value in zip(self.genes, genome):
+            if len(gene.choices) > 1 and rng.random() < rate:
+                skip = gene.index_of(value)
+                pick = rng.randrange(len(gene.choices) - 1)
+                if pick >= skip:
+                    pick += 1
+                out.append(gene.choices[pick])
+            else:
+                out.append(value)
+        return tuple(out)
+
+    def crossover(self, a: Genome, b: Genome,
+                  rng: random.Random) -> Genome:
+        """Uniform crossover: each gene from one parent, coin-flipped."""
+        a, b = self.validate(a), self.validate(b)
+        return tuple(x if rng.random() < 0.5 else y for x, y in zip(a, b))
+
+    # -- spec (de)serialization --------------------------------------------
+
+    def to_spec(self) -> dict:
+        """JSON-able description; ``from_spec`` round-trips it."""
+        genes = []
+        for gene in self.genes:
+            spec: Dict[str, Any] = {"name": gene.name,
+                                    "choices": list(gene.choices)}
+            if gene.path != (gene.name,):
+                spec["path"] = list(gene.path)
+            genes.append(spec)
+        return {"name": self.name, "kind": self.kind,
+                "base": copy.deepcopy(self.base_params), "genes": genes}
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "SearchSpace":
+        if not isinstance(spec, Mapping):
+            raise DseError(f"space spec must be an object, got "
+                           f"{type(spec).__name__}")
+        for key in ("name", "kind", "genes"):
+            if key not in spec:
+                raise DseError(f"space spec is missing {key!r}")
+        genes = []
+        for entry in spec["genes"]:
+            if not isinstance(entry, Mapping) or "name" not in entry:
+                raise DseError(f"bad gene spec {entry!r}")
+            path = entry.get("path")
+            if "choices" in entry:
+                genes.append(Gene.of(entry["name"], entry["choices"], path))
+            elif "min" in entry and "max" in entry:
+                genes.append(Gene.int_range(
+                    entry["name"], int(entry["min"]), int(entry["max"]),
+                    step=int(entry.get("step", 1)), path=path))
+            else:
+                raise DseError(
+                    f"gene {entry['name']!r} needs 'choices' or 'min'/'max'")
+        return cls(str(spec["name"]), str(spec["kind"]), genes,
+                   spec.get("base"))
+
+    @classmethod
+    def from_file(cls, path: "os.PathLike | str") -> "SearchSpace":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DseError(f"cannot load space spec {path}: {exc}")
+        return cls.from_spec(spec)
+
+    def __repr__(self) -> str:
+        return (f"SearchSpace({self.name!r}, kind={self.kind!r}, "
+                f"genes={len(self.genes)}, size={self.size()})")

@@ -1,0 +1,109 @@
+"""Pareto-front extraction and MCDM ranking of objective vectors.
+
+Multi-objective search does not end with one number: the result is the
+non-dominated *front* over (time, power, cost, ...) and a decision —
+which front point to build.  The multi-criteria decision-making step
+here is the classic weighted-sum over min-max-normalized objectives:
+every objective is scaled into [0, 1] across the set under comparison,
+the weighted mean taken, and the front ranked ascending (0 is the
+ideal corner).  Ties break on the genome tuple so two runs of the same
+search rank byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple
+
+from .genome import DseError, Genome
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Vector, b: Vector) -> bool:
+    """True when ``a`` is at least as good everywhere, better somewhere."""
+    return all(x <= y for x, y in zip(a, b)) and \
+        any(x < y for x, y in zip(a, b))
+
+
+def pareto_indices(vectors: Sequence[Vector]) -> List[int]:
+    """Indices of the non-dominated vectors, in input order.
+
+    Duplicate vectors all survive (they dominate nothing, nothing
+    strictly dominates them) — callers dedup genomes, not objectives.
+    """
+    front = []
+    for i, candidate in enumerate(vectors):
+        if not any(dominates(other, candidate)
+                   for j, other in enumerate(vectors) if j != i):
+            front.append(i)
+    return front
+
+
+def normalize_bounds(
+        vectors: Sequence[Vector]) -> Tuple[Vector, Vector]:
+    """Per-objective (min, max) over ``vectors``."""
+    if not vectors:
+        raise DseError("cannot normalize an empty vector set")
+    dims = len(vectors[0])
+    los = tuple(min(v[d] for v in vectors) for d in range(dims))
+    his = tuple(max(v[d] for v in vectors) for d in range(dims))
+    return los, his
+
+
+def mcdm_score(vector: Vector, bounds: Tuple[Vector, Vector],
+               weights: Optional[Sequence[float]] = None) -> float:
+    """Weighted mean of min-max-normalized objectives (lower is better).
+
+    A degenerate objective (identical across the comparison set)
+    contributes 0 — it cannot discriminate, so it must not skew the
+    ranking.
+    """
+    los, his = bounds
+    if weights is None:
+        weights = [1.0] * len(vector)
+    if len(weights) != len(vector):
+        raise DseError(
+            f"{len(weights)} weights for {len(vector)} objectives")
+    if any(w < 0 for w in weights):
+        raise DseError(f"negative MCDM weight in {list(weights)}")
+    total = sum(weights)
+    if total <= 0:
+        raise DseError("MCDM weights sum to zero")
+    score = 0.0
+    for value, lo, hi, weight in zip(vector, los, his, weights):
+        if hi > lo:
+            score += weight * (value - lo) / (hi - lo)
+    return score / total
+
+
+@dataclasses.dataclass(frozen=True)
+class RankedPoint:
+    """One front point after MCDM ranking (rank 1 = the decision)."""
+
+    genome: Genome
+    objectives: Vector
+    score: float
+    rank: int
+
+
+def ranked_front(entries: Sequence[Tuple[Genome, Vector]],
+                 weights: Optional[Sequence[float]] = None
+                 ) -> List[RankedPoint]:
+    """Pareto front of ``entries``, MCDM-ranked.
+
+    Normalization bounds come from the front itself, so the ranking of
+    a front is a pure function of its points — a search that recovers
+    the true front ranks it exactly as the exhaustive grid would.
+    """
+    if not entries:
+        return []
+    vectors = [vector for _genome, vector in entries]
+    front = [(entries[i][0], entries[i][1]) for i in pareto_indices(vectors)]
+    bounds = normalize_bounds([vector for _genome, vector in front])
+    scored = sorted(
+        ((mcdm_score(vector, bounds, weights), genome, vector)
+         for genome, vector in front),
+        key=lambda item: (item[0], item[1]))
+    return [RankedPoint(genome, vector, score, rank)
+            for rank, (score, genome, vector) in enumerate(scored, start=1)]

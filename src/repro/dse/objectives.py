@@ -1,0 +1,103 @@
+"""Objectives: which payload numbers the search minimizes.
+
+An :class:`Objective` names one axis of the multi-objective front and
+the run-payload key its value is read from.  Every objective is
+*minimized* — express "maximize throughput" as a latency or period.
+
+The built-in names map onto the ``hw-point`` payload (the Fig. 4
+reference space): ``time`` (scheduled latency), ``power`` (average
+power over the segment), ``energy``, ``cost`` (relative area) and
+``latency`` (cycles).  Custom spaces bind any payload key with the
+``name=payload_key`` syntax, e.g. ``miss_rate=icache_misses``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import numbers
+from typing import Dict, Sequence, Tuple, Union
+
+from .genome import DseError
+
+#: objective name → hw-point payload key.
+BUILTIN_OBJECTIVES: Dict[str, str] = {
+    "time": "latency_ns",
+    "latency": "latency_cycles",
+    "power": "power_mw",
+    "energy": "energy_pj",
+    "cost": "area",
+    "area": "area",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One minimized axis: a display name and its payload key."""
+
+    name: str
+    key: str
+
+    def __str__(self) -> str:
+        return self.name if self.name == self.key else \
+            f"{self.name}={self.key}"
+
+
+#: The paper-motivated default front: estimated time, power, cost.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective("time", BUILTIN_OBJECTIVES["time"]),
+    Objective("power", BUILTIN_OBJECTIVES["power"]),
+    Objective("cost", BUILTIN_OBJECTIVES["cost"]),
+)
+
+
+def parse_objectives(
+        spec: Union[str, Sequence[str], None]) -> Tuple[Objective, ...]:
+    """``"time,power,cost"`` / ``["time", "err=error_pct"]`` → objectives."""
+    if spec is None:
+        return DEFAULT_OBJECTIVES
+    names = ([part.strip() for part in spec.split(",")]
+             if isinstance(spec, str) else [str(part) for part in spec])
+    names = [name for name in names if name]
+    if not names:
+        return DEFAULT_OBJECTIVES
+    objectives = []
+    for name in names:
+        if "=" in name:
+            label, _, key = name.partition("=")
+            if not label or not key:
+                raise DseError(f"bad objective {name!r}; use name=payload_key")
+            objectives.append(Objective(label, key))
+        elif name in BUILTIN_OBJECTIVES:
+            objectives.append(Objective(name, BUILTIN_OBJECTIVES[name]))
+        else:
+            raise DseError(
+                f"unknown objective {name!r}; built-ins: "
+                f"{', '.join(sorted(BUILTIN_OBJECTIVES))} "
+                f"(or bind a payload key with name=key)"
+            )
+    seen = set()
+    for objective in objectives:
+        if objective.name in seen:
+            raise DseError(f"duplicate objective {objective.name!r}")
+        seen.add(objective.name)
+    return tuple(objectives)
+
+
+def objective_vector(payload: dict,
+                     objectives: Sequence[Objective]) -> Tuple[float, ...]:
+    """Read one run payload into the ordered objective tuple."""
+    values = []
+    for objective in objectives:
+        if objective.key not in payload:
+            raise DseError(
+                f"payload has no {objective.key!r} for objective "
+                f"{objective.name!r}; available: {sorted(payload)}"
+            )
+        value = payload[objective.key]
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            raise DseError(
+                f"objective {objective.name!r} value {value!r} is not a "
+                f"number"
+            )
+        values.append(float(value))
+    return tuple(values)

@@ -1,0 +1,81 @@
+"""Deterministic JSON reports of a search: front + trajectory.
+
+Two layers, deliberately separated:
+
+* :func:`canonical_payload` — the byte-identical-under-a-seed part:
+  space spec, objectives, settings, the full search trajectory, the
+  ranked front and the decision.  Two runs with the same seed — warm
+  or cold cache, in-process or spawned pool — must serialize this part
+  identically; the golden DSE test pins it.
+* :func:`report_payload` — the canonical part plus an ``execution``
+  block (cache hits, simulated runs, retries, wall time) that varies
+  legitimately between runs of the same search.
+
+``render_json`` is the one serializer (sorted keys, indent 1, trailing
+newline) so byte comparisons mean something.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import DseResult
+from .mcdm import RankedPoint
+
+
+def _point_dict(result: DseResult, point: RankedPoint) -> dict:
+    return {
+        "rank": point.rank,
+        "genome": list(point.genome),
+        "point": result.space.point(point.genome),
+        "objectives": {objective.name: value
+                       for objective, value
+                       in zip(result.objectives, point.objectives)},
+        "score": point.score,
+    }
+
+
+def front_payload(result: DseResult) -> List[dict]:
+    return [_point_dict(result, point) for point in result.front]
+
+
+def canonical_payload(result: DseResult) -> dict:
+    """The deterministic search outcome (the golden-test contract)."""
+    return {
+        "space": result.space.to_spec(),
+        "objectives": [{"name": o.name, "key": o.key}
+                       for o in result.objectives],
+        "weights": (None if result.weights is None
+                    else list(result.weights)),
+        "settings": result.settings.as_dict(),
+        "grid_size": result.grid_size,
+        "evaluations": result.evaluations,
+        "trajectory": [record.as_dict() for record in result.trajectory],
+        "front": front_payload(result),
+        "best": _point_dict(result, result.best) if result.front else None,
+    }
+
+
+def report_payload(result: DseResult) -> dict:
+    """Canonical outcome + how this particular run obtained it."""
+    payload = canonical_payload(result)
+    payload["execution"] = {
+        "submitted": result.submitted,
+        "generations": result.generation_metrics,
+        "totals": result.totals(),
+        "wall_s": result.wall_s,
+    }
+    return payload
+
+
+def render_json(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+def write_report(result: DseResult, path) -> dict:
+    """Write the full report JSON to ``path``; returns the payload."""
+    payload = report_payload(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_json(payload))
+    return payload

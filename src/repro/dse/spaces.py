@@ -1,0 +1,73 @@
+"""Reference search spaces, starting with the paper's Fig. 4 sweep.
+
+The Fig. 4 design space — how many functional units of each class the
+FIR output-sample segment gets — is the reproduction's exhaustive-grid
+benchmark; here it becomes the reference *genome*: one gene per FU
+class the segment's dataflow graph needs, each ranging over
+``1..max_units_per_class``, decoded into the same ``hw-point``
+campaign configurations the grid sweep runs.  A seeded search over
+this space must find the grid's known optimum in a fraction of its
+evaluations — that is the subsystem's golden acceptance test.
+
+Custom spaces load from JSON spec files (see ``docs/dse.md``)::
+
+    {"name": "my-space", "kind": "hw-point",
+     "base": {"taps": 12, "evaluate_system": false},
+     "genes": [{"name": "alu", "path": ["allocation", "alu"],
+                "min": 1, "max": 4},
+               {"name": "clock_mhz", "choices": [100, 200, 400]}]}
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .genome import DseError, Gene, SearchSpace
+
+
+def fig4_space(max_units_per_class: int = 4,
+               taps: int = 12,
+               evaluate_system: bool = False,
+               samples: int = 256) -> SearchSpace:
+    """The Fig. 4 allocation space as a reference genome.
+
+    One gene per FU class of the FIR segment's dataflow graph (path
+    ``allocation/<class>``), domain ``1..max_units_per_class`` — the
+    exact grid :func:`repro.batch.fig4_sweep_configs` enumerates
+    exhaustively, now explorable under an evaluation budget.
+    """
+    from ..hls import capture_dfg, required_classes
+    from ..platform import ASIC_HW_COSTS
+    from ..workloads.fir import _lowpass_taps, fir_sample
+    from ..annotate.types import AArray
+
+    if max_units_per_class < 2:
+        raise DseError("fig4 space needs max_units_per_class >= 2")
+    x = AArray([(i * 17 + 3) % 128 - 64 for i in range(taps)])
+    h = AArray(_lowpass_taps(taps))
+    graph = capture_dfg(fir_sample, (x, h, taps), ASIC_HW_COSTS)
+    genes = [Gene.int_range(fu, 1, max_units_per_class,
+                            path=("allocation", fu))
+             for fu in required_classes(graph)]
+    return SearchSpace(
+        "fig4", "hw-point", genes,
+        base_params={"taps": taps, "evaluate_system": evaluate_system,
+                     "samples": samples})
+
+
+#: name → builder for the spaces `repro dse --space <name>` knows.
+BUILTIN_SPACES: Dict[str, Callable[..., SearchSpace]] = {
+    "fig4": fig4_space,
+}
+
+
+def resolve_space(spec: str, **fig4_kwargs) -> SearchSpace:
+    """A builtin space name, or a path to a JSON space spec file."""
+    builder = BUILTIN_SPACES.get(spec)
+    if builder is not None:
+        return builder(**fig4_kwargs)
+    if spec.endswith(".json"):
+        return SearchSpace.from_file(spec)
+    raise DseError(
+        f"unknown space {spec!r}; builtins: "
+        f"{', '.join(sorted(BUILTIN_SPACES))}, or give a .json spec file")

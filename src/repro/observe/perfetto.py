@@ -10,10 +10,11 @@ https://ui.perfetto.dev or ``chrome://tracing``:
 * **channel accesses, waits and marks** become instant (``i``) events,
 * both of the paper's clocks are available: the *time* clock (simulated
   femtoseconds; Fig. 5b's strict-timed axis) and the *delta* clock
-  (one tick per distinct ``(time, delta)`` instant; Fig. 5a's untimed
-  axis, where all activity collapses onto t = 0 and only delta cycles
-  order events).  ``clock="both"`` emits the two as separate process
-  groups so they can be compared side by side.
+  (one tick per distinct ``(time, delta)`` instant, renumbered from 0
+  within each simulated-time window and tiled at a fixed stride;
+  Fig. 5a's untimed axis, where all activity collapses onto t = 0 and
+  only delta cycles order events).  ``clock="both"`` emits the two as
+  separate process groups so they can be compared side by side.
 
 Timestamps are microseconds (the trace_event unit): 1 simulated ns is
 rendered as 1 µs on the time clock so femtosecond-resolution steps
@@ -40,34 +41,72 @@ _PID_OF_CLOCK = {CLOCK_TIME: 1, CLOCK_DELTA: 2}
 _FS_PER_TS_UNIT = 1_000_000.0
 
 
+def _delta_ticks(records: Iterable[TraceRecord]
+                 ) -> Tuple[Dict[Tuple[int, int], int], int]:
+    """Delta-clock ticks, renumbered per simulated-time window.
+
+    Delta cycles are an intra-timestep ordering: the kernel restarts
+    delta numbering every time simulated time advances, so the delta
+    track must too — a globally increasing instant counter would make
+    the tick at t=80ns depend on how much activity happened at earlier
+    times, and long runs would show deltas "drifting" upward.
+
+    Each distinct simulated time is a *window*; within it, distinct
+    ``(time, delta)`` instants get local ticks 0, 1, 2, ... in
+    first-appearance order.  Windows are tiled onto the timestamp axis
+    at a fixed ``stride`` — the largest window's instant count — so
+    ticks stay monotonically non-decreasing across the whole track
+    while every window visibly restarts at a multiple of the stride.
+
+    Returns ``(ticks, stride)`` with ``ticks[(time_fs, delta)]`` =
+    ``window_index * stride + local_tick``.
+    """
+    windows: Dict[int, Dict[int, int]] = {}
+    order: List[int] = []
+    for record in records:
+        window = windows.get(record.time_fs)
+        if window is None:
+            window = windows[record.time_fs] = {}
+            order.append(record.time_fs)
+        if record.delta not in window:
+            window[record.delta] = len(window)
+    stride = max((len(window) for window in windows.values()), default=1)
+    ticks = {(time_fs, delta): index * stride + local
+             for index, time_fs in enumerate(order)
+             for delta, local in windows[time_fs].items()}
+    return ticks, stride
+
+
 class _ClockView:
     """Maps records onto one clock's timestamp axis."""
 
-    def __init__(self, clock: str):
+    def __init__(self, clock: str,
+                 delta_ticks: Optional[Dict[Tuple[int, int], int]] = None):
         self.clock = clock
         self.pid = _PID_OF_CLOCK[clock]
-        self._instants: Dict[Tuple[int, int], int] = {}
+        self._ticks = delta_ticks or {}
 
     def ts(self, record: TraceRecord) -> float:
         if self.clock == CLOCK_TIME:
             return record.time_fs / _FS_PER_TS_UNIT
-        key = (record.time_fs, record.delta)
-        tick = self._instants.get(key)
-        if tick is None:
-            tick = len(self._instants)
-            self._instants[key] = tick
-        return float(tick)
+        return float(self._ticks[(record.time_fs, record.delta)])
 
 
-def _clock_views(clock: str) -> List[_ClockView]:
-    if clock == CLOCK_BOTH:
-        return [_ClockView(CLOCK_TIME), _ClockView(CLOCK_DELTA)]
-    if clock in (CLOCK_TIME, CLOCK_DELTA):
-        return [_ClockView(clock)]
-    raise ObserveError(
-        f"unknown clock {clock!r}; choose {CLOCK_TIME!r}, {CLOCK_DELTA!r} "
-        f"or {CLOCK_BOTH!r}"
-    )
+def _clock_views(clock: str, records: List[TraceRecord]
+                 ) -> Tuple[List[_ClockView], int]:
+    if clock not in (CLOCK_TIME, CLOCK_DELTA, CLOCK_BOTH):
+        raise ObserveError(
+            f"unknown clock {clock!r}; choose {CLOCK_TIME!r}, "
+            f"{CLOCK_DELTA!r} or {CLOCK_BOTH!r}"
+        )
+    views: List[_ClockView] = []
+    stride = 0
+    if clock in (CLOCK_TIME, CLOCK_BOTH):
+        views.append(_ClockView(CLOCK_TIME))
+    if clock in (CLOCK_DELTA, CLOCK_BOTH):
+        ticks, stride = _delta_ticks(records)
+        views.append(_ClockView(CLOCK_DELTA, ticks))
+    return views, stride
 
 
 def to_trace_events(records: Iterable[TraceRecord],
@@ -75,11 +114,12 @@ def to_trace_events(records: Iterable[TraceRecord],
     """Build the trace_event JSON object for ``records``.
 
     Deterministic: thread ids are assigned in first-appearance order,
-    the delta clock in first-instant order — two identical simulations
+    the delta clock in first-instant order within each simulated-time
+    window (see :func:`_delta_ticks`) — two identical simulations
     produce identical payloads.
     """
-    views = _clock_views(clock)
     records = list(records)
+    views, delta_stride = _clock_views(clock, records)
 
     tids: Dict[str, int] = {}
     for record in records:
@@ -144,6 +184,10 @@ def to_trace_events(records: Iterable[TraceRecord],
             "clock": clock,
             "processes": len(tids),
             "records": len(records),
+            # delta-track tiling: each simulated-time window restarts
+            # its delta ticks at a multiple of this stride (0 when the
+            # delta clock was not emitted).
+            "delta_stride": delta_stride,
         },
     }
 

@@ -1,0 +1,295 @@
+"""Evolutionary design-space exploration: the golden acceptance suite.
+
+The subsystem's contract has three load-bearing claims, each asserted
+the hard way here:
+
+* **Golden optimum** — the seeded search over the Fig. 4 allocation
+  space finds the exhaustive grid's known MCDM optimum within 25% of
+  the grid's evaluations, and its canonical outcome matches
+  ``tests/golden/dse_fig4_front.json`` byte for byte.
+* **Cached fitness** — every fitness evaluation goes through the
+  campaign's content-addressed result cache: a cold search simulates
+  exactly its unique genomes, survivor re-evaluations are cache hits,
+  and a warm re-run of the whole search performs *zero* simulations.
+* **Determinism** — the same seed yields the same canonical payload
+  regardless of cache warmth (the spawned-pool half lives in
+  ``test_dse_props.py``, fault tolerance in ``test_dse_faults.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.batch import Campaign, ResultCache
+from repro.dse import (
+    DseError,
+    DseObserver,
+    DseSettings,
+    Evolution,
+    Gene,
+    SearchSpace,
+    canonical_payload,
+    fig4_space,
+    parse_objectives,
+    ranked_front,
+    render_json,
+    resolve_space,
+    screening_genomes,
+    write_report,
+)
+from repro.dse.objectives import objective_vector
+
+HERE = pathlib.Path(__file__).resolve().parent
+GOLDEN = HERE / "golden"
+
+#: The golden scenario: seed 0 over the 64-point fig4 grid, capped at
+#: 16 unique evaluations — 25% of what the exhaustive sweep costs.
+GOLDEN_SETTINGS = DseSettings(seed=0, population=8, generations=6,
+                              budget=16)
+
+
+def _fig4():
+    return fig4_space(max_units_per_class=4)
+
+
+def _objectives():
+    return parse_objectives("time,power,cost")
+
+
+def _search(space=None, objectives=None, settings=GOLDEN_SETTINGS, **kwargs):
+    return Evolution(space if space is not None else _fig4(),
+                     objectives if objectives is not None else _objectives(),
+                     settings, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Golden optimum
+# ---------------------------------------------------------------------------
+
+class TestGoldenOptimum:
+    def test_grid_optimum_is_the_known_point(self):
+        # The ground truth the search must recover: exhaustively
+        # evaluate the whole grid, rank its front.  The minimal
+        # allocation wins under equal (time, power, cost) weights.
+        space, objectives = _fig4(), _objectives()
+        genomes = list(space.all_genomes())
+        results = Campaign([space.decode(g) for g in genomes],
+                           workers=0).run()
+        assert all(r.ok for r in results)
+        entries = sorted((g, objective_vector(r.payload, objectives))
+                         for g, r in zip(genomes, results))
+        front = ranked_front(entries)
+        assert front[0].genome == (1, 1, 1)
+        # ... with a real margin, so the decision is not a tie-break.
+        assert front[1].score - front[0].score > 0.01
+
+    def test_search_finds_optimum_within_quarter_budget(self):
+        space = _fig4()
+        result = _search(space).run()
+        assert result.best.genome == (1, 1, 1)
+        assert result.evaluations <= space.size() // 4
+        assert result.grid_size == 64
+
+    def test_canonical_payload_matches_golden(self):
+        result = _search().run()
+        golden = (GOLDEN / "dse_fig4_front.json").read_text()
+        assert render_json(canonical_payload(result)) == golden
+
+    def test_golden_front_is_pareto_consistent(self):
+        # The committed golden front must itself be sound: ranks are
+        # 1..n by ascending score, and no member dominates another.
+        payload = json.loads((GOLDEN / "dse_fig4_front.json").read_text())
+        front = payload["front"]
+        assert [p["rank"] for p in front] == list(range(1, len(front) + 1))
+        scores = [p["score"] for p in front]
+        assert scores == sorted(scores)
+        names = [o["name"] for o in payload["objectives"]]
+        vectors = [tuple(p["objectives"][n] for n in names) for p in front]
+        for i, a in enumerate(vectors):
+            for j, b in enumerate(vectors):
+                if i != j:
+                    assert not (all(x <= y for x, y in zip(a, b))
+                                and any(x < y for x, y in zip(a, b)))
+        assert payload["best"]["point"] == {"alu": 1, "mem": 1, "mul": 1}
+
+
+# ---------------------------------------------------------------------------
+# Cached fitness: re-evaluations are free and provably so
+# ---------------------------------------------------------------------------
+
+class TestCachedFitness:
+    def test_cold_search_simulates_exactly_its_unique_genomes(self, tmp_path):
+        result = _search(cache=tmp_path / "cache").run()
+        totals = result.totals()
+        assert totals["simulated"] == result.evaluations
+        # Elites and re-discovered individuals were re-submitted, and
+        # every one of those re-submissions hit the cache.
+        assert result.submitted > result.evaluations
+        assert totals["cache_hits"] == result.submitted - result.evaluations
+
+    def test_warm_rerun_performs_zero_new_simulations(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = _search(cache=cache).run()
+        warm = _search(cache=cache).run()
+        totals = warm.totals()
+        assert totals["simulated"] == 0
+        assert totals["cache_hits"] == warm.submitted
+        assert render_json(canonical_payload(warm)) == \
+            render_json(canonical_payload(cold))
+
+    def test_every_generation_after_first_reuses_survivors(self, tmp_path):
+        result = _search(cache=tmp_path / "cache").run()
+        assert len(result.generation_metrics) > 1
+        for metrics in result.generation_metrics[1:]:
+            # Each later generation re-submits at least its elite, and
+            # all its previously-seen genomes come back as cache hits.
+            assert metrics["cache_hits"] == \
+                metrics["submitted"] - metrics["new_evaluations"]
+            assert metrics["cache_hits"] >= 1
+
+    def test_cacheless_search_same_outcome_more_simulations(self):
+        result = _search(cache=None).run()
+        totals = result.totals()
+        assert totals["cache_hits"] == 0
+        assert totals["simulated"] == result.submitted
+        golden = (GOLDEN / "dse_fig4_front.json").read_text()
+        assert render_json(canonical_payload(result)) == golden
+
+
+# ---------------------------------------------------------------------------
+# Engine mechanics
+# ---------------------------------------------------------------------------
+
+def _probe_space(n=6, name="probe-line"):
+    """A tiny deterministic space over the probe runner (fast)."""
+    return SearchSpace(name, "probe",
+                       [Gene.int_range("value", 0, n - 1)],
+                       base_params={"behavior": "ok"})
+
+
+class TestEngine:
+    def test_small_space_is_searched_exhaustively(self):
+        space = _probe_space(4)
+        result = Evolution(space, parse_objectives("value=value"),
+                           DseSettings(seed=1, population=8,
+                                       generations=5)).run()
+        assert result.evaluations == space.size() == 4
+        assert len(result.trajectory) == 1     # one exhaustive generation
+        assert result.best.genome == (0,)
+
+    def test_budget_is_a_hard_cap_on_unique_evaluations(self):
+        result = _search(settings=DseSettings(seed=0, population=8,
+                                              generations=10,
+                                              budget=10)).run()
+        assert result.evaluations <= 10
+
+    def test_generations_never_submit_duplicate_configs(self):
+        result = _search().run()
+        for record in result.trajectory:
+            genomes = [tuple(p["genome"]) for p in record.population]
+            assert len(genomes) == len(set(genomes))
+
+    def test_observer_generation_hooks_fire_in_order(self):
+        calls = []
+
+        class Spy(DseObserver):
+            def on_generation_start(self, generation, genomes):
+                calls.append(("start", generation, len(genomes)))
+
+            def on_generation_end(self, generation, entries, metrics):
+                calls.append(("end", generation, len(entries)))
+
+            def on_search_end(self, result):
+                calls.append(("done", result.evaluations))
+
+        result = _search(observers=[Spy()]).run()
+        starts = [c for c in calls if c[0] == "start"]
+        ends = [c for c in calls if c[0] == "end"]
+        assert len(starts) == len(ends) == len(result.trajectory)
+        assert calls[-1] == ("done", result.evaluations)
+        assert [c[1] for c in starts] == list(range(len(starts)))
+
+    def test_screening_seeds_center_and_corners(self):
+        space = _fig4()
+        genomes = screening_genomes(space)
+        assert genomes[0] == (2, 2, 2)          # center (lower middle of 1..4)
+        assert set(genomes[1:]) == {(a, m, u) for a in (1, 4)
+                                    for m in (1, 4) for u in (1, 4)}
+        limited = screening_genomes(space, limit=5)
+        assert len(limited) == 5
+        assert limited[0] == (2, 2, 2)
+        assert set(limited) <= set(genomes)
+
+    def test_failed_evaluation_raises_dse_error(self):
+        space = SearchSpace("probe-fail", "probe",
+                            [Gene.int_range("value", 0, 3)],
+                            base_params={"behavior": "fail"})
+        with pytest.raises(DseError, match="failed after retries"):
+            Evolution(space, parse_objectives("value=value"),
+                      DseSettings(seed=0, population=4, generations=1),
+                      retries=0).run()
+
+    def test_settings_validation(self):
+        with pytest.raises(DseError):
+            DseSettings(population=1).validated()
+        with pytest.raises(DseError):
+            DseSettings(budget=0).validated()
+        with pytest.raises(DseError):
+            DseSettings(elites=8, population=8).validated()
+        with pytest.raises(DseError):
+            Evolution(_probe_space(), parse_objectives("value=value"),
+                      DseSettings(), weights=(1.0, 2.0), workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Report and CLI
+# ---------------------------------------------------------------------------
+
+class TestReportAndCli:
+    def test_report_separates_canonical_from_execution(self, tmp_path):
+        result = _search().run()
+        payload = write_report(result, tmp_path / "report.json")
+        on_disk = json.loads((tmp_path / "report.json").read_text())
+        assert on_disk == payload
+        execution = payload.pop("execution")
+        assert payload == canonical_payload(result)
+        # Cacheless run: every submission simulated, nothing hit.
+        assert execution["totals"]["simulated"] == result.submitted
+
+    def test_cli_dse_runs_golden_search(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "front.json"
+        code = main(["dse", "--space", "fig4", "--seed", "0",
+                     "--budget", "16", "--serial", "--no-cache",
+                     "--quiet", "--output", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "alu=1,mem=1,mul=1" in text
+        payload = json.loads(out.read_text())
+        assert payload["best"]["genome"] == [1, 1, 1]
+        # The CLI's canonical half is the same golden contract.
+        payload.pop("execution")
+        golden = json.loads((GOLDEN / "dse_fig4_front.json").read_text())
+        assert payload == golden
+
+    def test_cli_rejects_unknown_space_and_bad_weights(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown space"):
+            main(["dse", "--space", "nope", "--no-cache"])
+        with pytest.raises(SystemExit, match="weights"):
+            main(["dse", "--space", "fig4", "--weights", "a,b",
+                  "--no-cache"])
+
+    def test_space_spec_file_round_trip(self, tmp_path):
+        space = _fig4()
+        spec_path = tmp_path / "space.json"
+        spec_path.write_text(json.dumps(space.to_spec()))
+        loaded = resolve_space(str(spec_path))
+        assert loaded.to_spec() == space.to_spec()
+        assert [loaded.decode(g).cache_key() for g in loaded.all_genomes()] \
+            == [space.decode(g).cache_key() for g in space.all_genomes()]

@@ -1,0 +1,117 @@
+"""DSE fault-tolerance suite: search outcomes survive infrastructure.
+
+The evolutionary engine inherits the batch layer's crash handling, and
+these tests prove the inheritance is real: a worker hard-killed in the
+middle of a generation, and a cache that throws on reads and writes,
+must both leave the *search outcome* — trajectory, front, decision —
+byte-identical to an undisturbed run.  Extends the acceptance pattern
+of ``test_batch_faults.py`` (kill → converge to the uninterrupted
+result) one layer up the stack.  Pool tests run under ``spawn``
+(pinned session-wide in ``conftest.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.batch import FaultingCache
+from repro.dse import (
+    DseSettings,
+    Evolution,
+    Gene,
+    SearchSpace,
+    canonical_payload,
+    parse_objectives,
+    render_json,
+)
+
+SETTINGS = DseSettings(seed=3, population=4, generations=3)
+
+
+def _space(behavior, **extra):
+    """A 12-point probe space; ``value`` is both gene and objective."""
+    return SearchSpace("probe-faults", "probe",
+                       [Gene.int_range("value", 0, 11)],
+                       base_params=dict({"behavior": behavior}, **extra))
+
+
+def _comparable(result):
+    """The infrastructure-independent slice of a search outcome.
+
+    The full canonical payload embeds the space spec, whose base
+    parameters (behavior, marker path) legitimately differ between the
+    faulted and reference runs — the searched *genomes*, their
+    objective values and the ranked front must not.
+    """
+    payload = canonical_payload(result)
+    return render_json({"trajectory": payload["trajectory"],
+                        "front": [{k: p[k] for k in
+                                   ("rank", "genome", "objectives", "score")}
+                                  for p in payload["front"]],
+                        "evaluations": payload["evaluations"]})
+
+
+def _reference():
+    """The undisturbed search every faulted run must converge to."""
+    return Evolution(_space("ok"), parse_objectives("value=value"),
+                     SETTINGS).run()
+
+
+def test_worker_killed_mid_generation_converges(tmp_path):
+    # Every probe hard-exits its worker (os._exit, no exception, no
+    # result message) until the shared marker exists; the first attempt
+    # writes it on the way down.  The pool must replace the dead
+    # worker(s), retry, and the search must not notice: same
+    # trajectory, same front, same decision as the undisturbed run.
+    marker = tmp_path / "died.marker"
+    space = _space("die", marker=str(marker))
+    result = Evolution(space, parse_objectives("value=value"), SETTINGS,
+                       workers=2, start_method="spawn", retries=2).run()
+
+    assert marker.exists()
+    totals = result.totals()
+    assert totals["worker_replacements"] >= 1
+    assert totals["retries"] >= 1
+    assert _comparable(result) == _comparable(_reference())
+
+
+def test_faulting_cache_does_not_change_the_outcome(tmp_path):
+    # A cache whose first reads fail and whose writes fail for two of
+    # the configs: the campaign layer absorbs every CacheFault and the
+    # search result is unchanged — storage flakiness can cost repeat
+    # simulations, never correctness.
+    space = _space("ok")
+    doomed = {space.decode((3,)).cache_key(), space.decode((7,)).cache_key()}
+    cache = FaultingCache(tmp_path / "cache", fail_first_gets=4,
+                          fail_puts_for=doomed)
+    result = Evolution(space, parse_objectives("value=value"), SETTINGS,
+                       cache=cache).run()
+
+    assert cache.faults_injected >= 1
+    assert _comparable(result) == _comparable(_reference())
+
+
+def test_warm_rerun_after_cache_faults_still_converges(tmp_path):
+    # First search populates the cache through injected put failures;
+    # a second search over the same (now partially populated) cache
+    # must still produce the identical outcome, re-simulating exactly
+    # the points whose entries never landed.
+    space = _space("ok")
+    # Doom a point the seeded search actually evaluates (the first
+    # genome of the reference trajectory) so the missing entry is felt.
+    reference = _reference()
+    visited = tuple(reference.trajectory[0].population[0]["genome"])
+    doomed = {space.decode(visited).cache_key()}
+    flaky = FaultingCache(tmp_path / "cache", fail_puts_for=doomed)
+    first = Evolution(space, parse_objectives("value=value"), SETTINGS,
+                      cache=flaky).run()
+
+    rerun = Evolution(space, parse_objectives("value=value"), SETTINGS,
+                      cache=flaky).run()
+    assert _comparable(first) == _comparable(rerun)
+    assert _comparable(rerun) == _comparable(_reference())
+    # The doomed entry was never stored, so only that point (at most
+    # once per generation it appears in) re-simulated on the rerun.
+    totals = rerun.totals()
+    assert totals["simulated"] >= 1
+    assert all(json.loads(_comparable(rerun))["front"])

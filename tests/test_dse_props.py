@@ -1,0 +1,170 @@
+"""DSE property suite (hypothesis): the genome layer and seed contract.
+
+The evolutionary engine is only trustworthy if its building blocks are
+total and reversible: every variation operator must land inside the
+space (else a generation would submit an invalid config and poison the
+cache), encode/decode must round-trip (else reports and cache keys
+would drift apart), and a seed must fix the whole search — in-process
+and on a spawned worker pool.  These properties establish that over
+randomized spaces, mirroring what ``test_determinism_props.py`` does
+for the simulation kernel underneath.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.batch.config import RunConfig
+from repro.dse import (
+    DseSettings,
+    Evolution,
+    Gene,
+    SearchSpace,
+    canonical_payload,
+    parse_objectives,
+    render_json,
+    screening_genomes,
+)
+
+# -- strategies -----------------------------------------------------------
+
+#: One gene: 1-5 distinct small-int choices, optionally nested one deep.
+_genes = st.tuples(
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=1,
+             max_size=5, unique=True),
+    st.booleans(),
+)
+
+
+@st.composite
+def spaces(draw):
+    """Random-but-valid probe-runner search spaces (1-4 genes).
+
+    The first gene always lands on the probe's echoed ``value``
+    parameter, so the search objective genuinely varies across the
+    space; further genes are inert dimensions (flat or nested).
+    """
+    gene_specs = draw(st.lists(_genes, min_size=1, max_size=4))
+    genes = []
+    for index, (choices, nest) in enumerate(gene_specs):
+        if index == 0:
+            genes.append(Gene.of("value", choices))
+            continue
+        name = f"g{index}"
+        path = ("extras", name) if nest else (name,)
+        genes.append(Gene.of(name, choices, path))
+    return SearchSpace("prop", "probe", genes,
+                       base_params={"behavior": "ok"})
+
+
+@st.composite
+def space_and_genomes(draw, count=2):
+    space = draw(spaces())
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    return space, [space.random_genome(rng) for _ in range(count)]
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# -- genome layer ---------------------------------------------------------
+
+@given(space_and_genomes())
+@settings(max_examples=60, deadline=None)
+def test_encode_decode_round_trips(pair):
+    """decode → RunConfig → encode recovers the genome exactly, and
+    the config is frozen with a stable content-addressed key."""
+    space, genomes = pair
+    for genome in genomes:
+        config = space.decode(genome)
+        assert isinstance(config, RunConfig)
+        assert space.encode(config) == genome
+        assert config.cache_key() == space.decode(genome).cache_key()
+        # The fixed base parameters survive the decode untouched, and
+        # the first gene landed on the probe's echoed value.
+        params = config.params_dict()
+        assert params["behavior"] == "ok"
+        assert params["value"] == genome[0]
+
+
+@given(space_and_genomes(), seeds, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_mutation_stays_in_bounds(pair, seed, rate):
+    space, genomes = pair
+    rng = random.Random(seed)
+    for genome in genomes:
+        mutant = space.mutate(genome, rng, rate)
+        assert space.validate(mutant) == mutant      # in-domain everywhere
+        space.decode(mutant)                          # decodes to a config
+        if rate == 1.0:
+            # Full-rate mutation flips every multi-choice gene.
+            for gene, old, new in zip(space.genes, genome, mutant):
+                if len(gene.choices) > 1:
+                    assert new != old
+
+
+@given(space_and_genomes(count=2), seeds)
+@settings(max_examples=60, deadline=None)
+def test_crossover_mixes_only_parent_genes(pair, seed):
+    space, (a, b) = pair
+    child = space.crossover(a, b, random.Random(seed))
+    assert space.validate(child) == child
+    for x, y, c in zip(a, b, child):
+        assert c in (x, y)
+    space.decode(child)
+
+
+@given(spaces())
+@settings(max_examples=60, deadline=None)
+def test_screening_genomes_are_valid_and_distinct(space):
+    genomes = screening_genomes(space)
+    assert genomes[0] == tuple(g.center for g in space.genes)
+    assert len(set(genomes)) == len(genomes)
+    for genome in genomes:
+        assert space.validate(genome) == genome
+    # A limit is a hard cap that keeps the center probe.
+    limited = screening_genomes(space, limit=3)
+    assert len(limited) <= 3
+    assert limited[0] == genomes[0]
+
+
+@given(spaces())
+@settings(max_examples=60, deadline=None)
+def test_spec_round_trip_preserves_the_grid(space):
+    clone = SearchSpace.from_spec(space.to_spec())
+    assert clone.to_spec() == space.to_spec()
+    assert list(clone.all_genomes()) == list(space.all_genomes())
+    first = next(iter(space.all_genomes()))
+    assert clone.decode(first).cache_key() == space.decode(first).cache_key()
+
+
+# -- seed contract --------------------------------------------------------
+
+def _outcome(space, seed, **kwargs):
+    result = Evolution(space, parse_objectives("value=value"),
+                       DseSettings(seed=seed, population=4, generations=3),
+                       **kwargs).run()
+    return render_json(canonical_payload(result))
+
+
+@given(spaces(), seeds)
+@settings(max_examples=20, deadline=None)
+def test_same_seed_same_trajectory_in_process(space, seed):
+    """The whole search is a pure function of (space, seed)."""
+    assert _outcome(space, seed) == _outcome(space, seed)
+
+
+@given(spaces(), seeds)
+@settings(max_examples=2, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_spawned_pool_reproduces_in_process_search(space, seed):
+    """A spawned worker pool yields byte-identical canonical outcomes.
+
+    Expensive (fresh interpreters per generation), so few examples —
+    the in-process property above carries the statistical weight.
+    """
+    serial = _outcome(space, seed)
+    pooled = _outcome(space, seed, workers=2, start_method="spawn")
+    assert serial == pooled

@@ -129,6 +129,39 @@ class TestGoldenExports:
         problems = validate_trace_events(payload)
         assert len(problems) == 3  # missing ts, missing dur, unknown phase
 
+    def test_delta_clock_renumbers_per_time_window(self):
+        # Long-run regression for the delta track: delta ticks must
+        # restart within every simulated-time window instead of
+        # counting instants globally.  1000 time windows with a varying
+        # number of delta cycles each (1..5, cycling) — under the old
+        # global numbering the tick at window w depended on the total
+        # activity of all earlier windows and grew without bound.
+        records = []
+        for w in range(1000):
+            for delta in range(1 + w % 5):
+                records.append(TraceRecord(w * 10_000, delta, "top.worker",
+                                           "node-reached", "link.read"))
+        payload = to_trace_events(records, clock=CLOCK_DELTA)
+        stride = payload["otherData"]["delta_stride"]
+        assert stride == 5  # the largest window has 5 delta cycles
+
+        instants = [e["ts"] for e in payload["traceEvents"]
+                    if e["ph"] == "i" and e["cat"] == "node"]
+        assert instants == sorted(instants)
+        # Each window's ticks restart at window_index * stride and run
+        # 0..n-1 locally — never bleeding into the next window's slot.
+        position = 0
+        for w in range(1000):
+            n = 1 + w % 5
+            window = instants[position:position + n]
+            assert window == [w * stride + local for local in range(n)]
+            position += n
+
+    def test_time_clock_has_no_delta_stride(self):
+        payload = to_trace_events(list(_synthetic_records(5)),
+                                  clock=CLOCK_TIME)
+        assert payload["otherData"]["delta_stride"] == 0
+
 
 # ---------------------------------------------------------------------------
 # Sinks
