@@ -37,6 +37,14 @@ PAPER_OVERLOAD_BOUND = 73.0
 #: Required reduction vs the recorded pre-fast-path baselines.
 REQUIRED_REDUCTION = 2.0
 
+#: Static fast-forward eligibility floors for the vocoder pipeline,
+#: measured when the interprocedural effect summaries landed: 22
+#: eligible arcs across the five stage plans, of which 2 are compute
+#: arcs (the uniform ACB and LPC read->compute->write segments).  A
+#: drop means an analysis regression de-eligibilized arcs.
+MIN_ELIGIBLE_ARCS = 22
+MIN_ELIGIBLE_COMPUTE_ARCS = 2
+
 
 def test_overhead(benchmark):
     payload = {}
@@ -74,6 +82,18 @@ def test_overhead(benchmark):
             f"paper's {PAPER_OVERLOAD_BOUND:.0f}x bound")
         assert entry["gain"] is None or entry["gain"] > 1.0, (
             f"{name}: annotated simulation slower than the ISS")
+
+    # The effect summaries must keep the vocoder's compute segments
+    # fast-forward eligible (not just the zero-charge wrap arcs).
+    counters = payload["workloads"]["vocoder"]["fastforward"]
+    assert counters is not None, "vocoder ran without the engine attached"
+    assert counters["eligible_arcs"] >= MIN_ELIGIBLE_ARCS, (
+        f"vocoder: {counters['eligible_arcs']} eligible arc(s), floor is "
+        f"{MIN_ELIGIBLE_ARCS} — static eligibility regressed")
+    assert counters["eligible_compute_arcs"] >= MIN_ELIGIBLE_COMPUTE_ARCS, (
+        f"vocoder: {counters['eligible_compute_arcs']} eligible compute "
+        f"arc(s), floor is {MIN_ELIGIBLE_COMPUTE_ARCS} — the uniform "
+        "ACB/LPC segments fell back to dynamic charging")
 
     # The acceptance pair must hold the 2x reduction.
     for name in ("fibonacci", "vocoder"):

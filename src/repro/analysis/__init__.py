@@ -18,9 +18,19 @@ from .diagnostics import (
     apply_suppressions,
     register_rule,
     render_json,
+    render_stats,
     render_text,
     rule_catalog,
     suppressions_in,
+)
+from .effects import (
+    CallEffect,
+    EffectEnv,
+    EffectSummary,
+    ModuleEffects,
+    effects_report,
+    kernel_effect,
+    module_effects,
 )
 from .engine import (
     analyze_file,
@@ -41,8 +51,12 @@ from .passes import PASSES, find_kernels, find_process_bodies
 
 __all__ = [
     "AnalysisResult",
+    "CallEffect",
     "Diagnostic",
+    "EffectEnv",
+    "EffectSummary",
     "GraphDiff",
+    "ModuleEffects",
     "PASSES",
     "RULES",
     "Rule",
@@ -56,12 +70,16 @@ __all__ = [
     "build_static_graph",
     "diff_graphs",
     "diff_process",
+    "effects_report",
     "find_kernels",
     "find_process_bodies",
+    "kernel_effect",
     "lint_paths",
     "lint_simulation",
+    "module_effects",
     "register_rule",
     "render_json",
+    "render_stats",
     "render_text",
     "rule_catalog",
     "suppressions_in",

@@ -187,6 +187,28 @@ class AnalysisResult:
         return sorted(self.diagnostics,
                       key=lambda d: (d.path, d.line, d.col, d.code))
 
+    def rule_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule tallies: ``{"RPR201": {"active": 2, "suppressed": 1}}``."""
+        counts: Dict[str, Dict[str, int]] = {}
+        for diag in self.diagnostics:
+            entry = counts.setdefault(diag.code,
+                                      {"active": 0, "suppressed": 0})
+            entry["active"] += 1
+        for diag in self.suppressed:
+            entry = counts.setdefault(diag.code,
+                                      {"active": 0, "suppressed": 0})
+            entry["suppressed"] += 1
+        return counts
+
+    def suppression_reasons(self) -> List[dict]:
+        """The audit trail of every suppressed finding, location-sorted."""
+        return [
+            {"code": diag.code, "path": diag.path, "line": diag.line,
+             "reason": diag.suppress_reason}
+            for diag in sorted(self.suppressed,
+                               key=lambda d: (d.path, d.line, d.code))
+        ]
+
 
 def render_text(result: AnalysisResult) -> str:
     """Human-oriented report: one line per finding plus a summary."""
@@ -210,15 +232,44 @@ def render_text(result: AnalysisResult) -> str:
 def render_json(result: AnalysisResult) -> str:
     """Machine-oriented report (the CI artifact format)."""
     payload = {
-        "version": 1,
+        "version": 2,
         "files": sorted(result.files),
         "summary": result.counts(),
         "clean": result.clean,
+        "rules": result.rule_counts(),
+        "suppressed_rules": sorted(
+            {d.code for d in result.suppressed}),
+        "suppression_reasons": result.suppression_reasons(),
         "diagnostics": [d.as_dict() for d in result.sorted_diagnostics()],
         "suppressed": [d.as_dict() for d in sorted(
             result.suppressed, key=lambda d: (d.path, d.line, d.code))],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_stats(result: AnalysisResult) -> str:
+    """The ``repro lint --stats`` appendix: per-rule counts plus the
+    suppressed-diagnostic audit trail."""
+    lines = ["rule statistics:"]
+    counts = result.rule_counts()
+    if not counts:
+        lines.append("  (no findings)")
+    for code in sorted(counts):
+        entry = counts[code]
+        rule = RULES.get(code)
+        name = f" {rule.name}" if rule else ""
+        lines.append(f"  {code}{name}: {entry['active']} active, "
+                     f"{entry['suppressed']} suppressed")
+    suppressed_codes = sorted({d.code for d in result.suppressed})
+    if suppressed_codes:
+        lines.append(f"suppressed rule set: {', '.join(suppressed_codes)}")
+        for item in result.suppression_reasons():
+            reason = item["reason"] or "no reason given"
+            lines.append(f"  {item['path']}:{item['line']}: "
+                         f"{item['code']} -- {reason}")
+    else:
+        lines.append("suppressed rule set: (empty)")
+    return "\n".join(lines)
 
 
 def rule_catalog() -> str:

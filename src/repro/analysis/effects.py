@@ -1,0 +1,1468 @@
+"""Interprocedural effect summaries — the call-graph layer of the linter.
+
+The passes in :mod:`repro.analysis.passes` and the fast-forward purity
+analysis in :mod:`repro.segments.precharge` both stop at function
+boundaries: a helper call is either invisible (race pass) or assumed to
+charge anything (precharge).  This module builds whole-program effect
+knowledge in two complementary layers:
+
+**Static layer** (:func:`module_effects`) — per-function
+:class:`EffectSummary` objects over one parsed module: shared-state
+reads and writes with alias-aware provenance (direct, via helper call,
+through an argument alias, through a returned alias), parameter
+mutations, return aliases, channel operations, wait sites, an
+operation-count multiset, and a purity verdict.  Summaries are computed
+bottom-up over the intra-module call graph with a fixpoint, so effects
+propagate through recursion and helper chains.  The race pass consumes
+this to make RPR201 interprocedural (rules RPR202/RPR203), and
+``repro lint --effects`` dumps it as a JSON report.
+
+**Concrete layer** (:func:`kernel_effect`, :class:`EffectEnv`) — an
+abstract interpreter over *live* callables (resolved through closures
+and globals) that classifies the **charge multiset** of a call for the
+precharge engine:
+
+* ``zero`` — the call provably charges no operation at all;
+* ``constant`` — it charges the same fixed multiset on every call;
+* ``uniform`` — the multiset is a function of steady plain shape/scalar
+  values only (e.g. a kernel whose loop trip counts come from argument
+  values that do not change between executions of one arc);
+* ``impure`` — the multiset can genuinely differ between executions
+  (data-dependent branches around charging code).
+
+Soundness model: verdicts only classify *execution-independence* — the
+actual op counts are still captured dynamically by the fast-forward
+engine on the arc's first execution, and ``check_fastforward`` asserts
+byte-identical bundles on every re-execution.  Over-approximating
+``zero`` as ``constant`` is therefore harmless; the fatal errors are
+(a) calling ``constant``/``uniform`` something whose multiset varies
+between executions of one arc, and (b) marking *transparent* a call
+that leaks annotated values into reachable state (a later charge would
+then depend on whether this segment was suppressed).  Every approved
+call must be transparent: it returns, stores, and publishes only plain
+values, so suppressed execution (no active context — ``aint`` and
+friends return plain values) is functionally identical.
+
+``uniform`` verdicts additionally rest on the steady-shape premise: the
+shapes and control scalars feeding a call site do not change across
+executions of one arc.  That holds for the pipeline workloads (fixed
+frame/subframe geometry) and is *validated*, not assumed, by the
+differential check mode.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import dataclasses
+import inspect
+import json
+import textwrap
+from collections import Counter
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..segments.static import CHANNEL_OPERATIONS, parse_body
+
+# ---------------------------------------------------------------------------
+# Charge verdict lattice
+# ---------------------------------------------------------------------------
+
+ZERO = "zero"
+CONSTANT = "constant"
+UNIFORM = "uniform"
+IMPURE = "impure"
+
+_VERDICT_ORDER = {ZERO: 0, CONSTANT: 1, UNIFORM: 2, IMPURE: 3}
+
+
+def join_verdicts(*verdicts: str) -> str:
+    """Least upper bound on the zero < constant < uniform < impure chain."""
+    worst = ZERO
+    for verdict in verdicts:
+        if _VERDICT_ORDER[verdict] > _VERDICT_ORDER[worst]:
+            worst = verdict
+    return worst
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers (self-contained: passes.py imports *us*)
+# ---------------------------------------------------------------------------
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear", "sort",
+    "reverse", "add", "discard", "update", "setdefault", "popitem",
+    "appendleft", "popleft",
+})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+def _own_walk(fn: ast.AST):
+    """Walk ``fn`` without descending into nested function/class scopes."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _base_name(expr: ast.AST) -> Optional[str]:
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            if not hasattr(child, "repro_parent"):
+                child.repro_parent = node
+
+
+def _is_channel_mediated(name_node: ast.Name) -> bool:
+    """True when this use of the name is the target of a channel op."""
+    node: ast.AST = name_node
+    parent = getattr(node, "repro_parent", None)
+    while isinstance(parent, (ast.Attribute, ast.Subscript)):
+        node, parent = parent, getattr(parent, "repro_parent", None)
+    return (isinstance(parent, ast.Call) and parent.func is node
+            and isinstance(parent.func, ast.Attribute)
+            and parent.func.attr in CHANNEL_OPERATIONS)
+
+
+def _param_names(fn: ast.FunctionDef) -> List[str]:
+    args = fn.args
+    ordered = [a.arg for a in args.posonlyargs + args.args]
+    ordered += [a.arg for a in args.kwonlyargs]
+    if args.vararg:
+        ordered.append(args.vararg.arg)
+    if args.kwarg:
+        ordered.append(args.kwarg.arg)
+    return ordered
+
+
+def _scope_locals(fn: ast.FunctionDef) -> Tuple[Set[str], Set[str]]:
+    """(locals, declared nonlocal/global) of ``fn``'s own scope."""
+    locals_: Set[str] = set(_param_names(fn))
+    declared: Set[str] = set()
+    for node in _own_walk(fn):
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            locals_.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            locals_.add(node.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                locals_.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                locals_.add(alias.asname or alias.name)
+    return locals_ - declared, declared
+
+
+def _is_wait_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else "")
+    return name in ("wait", "WaitFor")
+
+
+# ---------------------------------------------------------------------------
+# Static layer: per-function effect summaries over one module
+# ---------------------------------------------------------------------------
+
+#: Provenance kinds of a shared-state write.
+DIRECT = "direct"
+HELPER = "helper"
+ARG_ALIAS = "arg-alias"
+RETURN_ALIAS = "return-alias"
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """One shared-state access with provenance."""
+
+    name: str      # the shared name as seen from this function's scope
+    line: int      # where this function performs/triggers the access
+    how: str       # human description ("element assignment", ...)
+    kind: str      # direct | helper | arg-alias | return-alias
+    via: str = ""  # helper name for propagated accesses
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class EffectSummary:
+    """Effects of one function definition, after the module fixpoint."""
+
+    def __init__(self, fn: ast.FunctionDef, qualname: str):
+        self.fn = fn
+        self.name = fn.name
+        self.qualname = qualname
+        self.lineno = fn.lineno
+        self.params = _param_names(fn)
+        self.locals, self.declared = _scope_locals(fn)
+        self.reads: Dict[str, int] = {}
+        self.writes: Dict[str, Access] = {}
+        #: param name -> (line, how) for element-writes/mutations rooted
+        #: at a parameter (the caller's argument is mutated through us).
+        self.param_mutations: Dict[str, Tuple[int, str]] = {}
+        #: names whose value may escape through ``return`` (free names
+        #: and parameters returned as bare names).
+        self.return_aliases: Set[str] = set()
+        self.channel_ops: List[Tuple[str, str, int]] = []
+        self.wait_sites: List[int] = []
+        #: bare-name calls: (callee name, line, arg root names or None)
+        self.calls: List[Tuple[str, int, Tuple[Optional[str], ...]]] = []
+        #: ``x = helper()`` result bindings: local -> callee name
+        self.result_bindings: Dict[str, str] = {}
+        #: element-writes/mutations on *local* names (alias candidates)
+        self.local_writes: Dict[str, Tuple[int, str]] = {}
+        #: operation-count multiset of the body (AST operator classes)
+        self.ops: Counter = Counter()
+        self._collect()
+
+    # -- base (intraprocedural) collection ------------------------------
+
+    def _record_write(self, name: str, line: int, how: str) -> None:
+        if name in self.params:
+            self.param_mutations.setdefault(name, (line, how))
+        elif name in self.locals:
+            self.local_writes.setdefault(name, (line, how))
+        elif name not in _BUILTIN_NAMES:
+            self.writes.setdefault(name, Access(name, line, how, DIRECT))
+
+    def _collect(self) -> None:
+        fn = self.fn
+        for node in _own_walk(fn):
+            if isinstance(node, ast.Name):
+                name = node.id
+                if isinstance(node.ctx, ast.Store):
+                    if name in self.declared:
+                        self.writes.setdefault(
+                            name, Access(name, node.lineno,
+                                         "rebinding", DIRECT))
+                elif isinstance(node.ctx, ast.Load):
+                    if (name not in self.locals
+                            and name not in _BUILTIN_NAMES
+                            and not _is_channel_mediated(node)):
+                        self.reads.setdefault(name, node.lineno)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = _base_name(target)
+                        if root:
+                            self._record_write(root, node.lineno,
+                                               "element assignment")
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Call)
+                        and isinstance(node.value.func, ast.Name)):
+                    self.result_bindings.setdefault(
+                        node.targets[0].id, node.value.func.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr in _MUTATORS:
+                        root = _base_name(func)
+                        if root and root not in _BUILTIN_NAMES:
+                            self._record_write(root, node.lineno,
+                                               f".{func.attr}() call")
+                    if func.attr in CHANNEL_OPERATIONS:
+                        try:
+                            target = ast.unparse(func.value)
+                        except Exception:
+                            target = "?"
+                        self.channel_ops.append(
+                            (target, func.attr, node.lineno))
+                elif isinstance(func, ast.Name):
+                    roots = tuple(
+                        arg.id if isinstance(arg, ast.Name) else None
+                        for arg in node.args)
+                    self.calls.append((func.id, node.lineno, roots))
+                if _is_wait_call(node):
+                    self.wait_sites.append(node.lineno)
+            if isinstance(node, (ast.BinOp, ast.AugAssign)):
+                self.ops[type(node.op).__name__] += 1
+            elif isinstance(node, ast.Compare):
+                for op in node.ops:
+                    self.ops[type(op).__name__] += 1
+            elif isinstance(node, ast.UnaryOp):
+                self.ops[type(node.op).__name__] += 1
+            elif isinstance(node, ast.Subscript):
+                self.ops["Load" if isinstance(node.ctx, ast.Load)
+                         else "Store"] += 1
+            if isinstance(node, ast.Return) and isinstance(node.value,
+                                                           ast.Name):
+                name = node.value.id
+                if name in self.params or name not in self.locals:
+                    self.return_aliases.add(name)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def pure(self) -> bool:
+        """No shared-state write escapes this function (reads allowed)."""
+        return not self.writes and not self.param_mutations
+
+    def touched(self) -> Set[str]:
+        return set(self.reads) | set(self.writes)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "qualname": self.qualname,
+            "line": self.lineno,
+            "params": list(self.params),
+            "pure": self.pure,
+            "reads": dict(sorted(self.reads.items())),
+            "writes": [self.writes[k].as_dict()
+                       for k in sorted(self.writes)],
+            "param_mutations": {k: {"line": v[0], "how": v[1]}
+                                for k, v in
+                                sorted(self.param_mutations.items())},
+            "return_aliases": sorted(self.return_aliases),
+            "channel_ops": [{"target": t, "op": o, "line": ln}
+                            for t, o, ln in self.channel_ops],
+            "wait_sites": sorted(self.wait_sites),
+            "calls": sorted({c[0] for c in self.calls}),
+            "ops": dict(sorted(self.ops.items())),
+        }
+
+
+class ModuleEffects:
+    """All function summaries of one module, fixpointed over call sites."""
+
+    _MAX_PASSES = 10
+
+    def __init__(self, tree: ast.AST):
+        _attach_parents(tree)
+        self.summaries: Dict[int, EffectSummary] = {}
+        #: (scope node id, name) -> summary, for call resolution
+        self._by_scope: Dict[Tuple[int, str], EffectSummary] = {}
+        self._module_level: Dict[str, EffectSummary] = {}
+        self._index(tree)
+        self._fixpoint()
+
+    def _index(self, tree: ast.AST) -> None:
+        def qual(fn: ast.FunctionDef) -> str:
+            parts = [fn.name]
+            node = getattr(fn, "repro_parent", None)
+            while node is not None:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    parts.append(node.name)
+                node = getattr(node, "repro_parent", None)
+            return ".".join(reversed(parts))
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            summary = EffectSummary(node, qual(node))
+            self.summaries[id(node)] = summary
+            scope = getattr(node, "repro_parent", None)
+            while scope is not None and not isinstance(
+                    scope, (ast.Module, ast.FunctionDef,
+                            ast.AsyncFunctionDef, ast.ClassDef)):
+                scope = getattr(scope, "repro_parent", None)
+            self._by_scope[(id(scope), node.name)] = summary
+            if isinstance(scope, ast.Module) or scope is None:
+                self._module_level[node.name] = summary
+
+    def of(self, fn: ast.FunctionDef) -> Optional[EffectSummary]:
+        return self.summaries.get(id(fn))
+
+    def resolve(self, caller: EffectSummary,
+                name: str) -> Optional[EffectSummary]:
+        """Same-scope sibling first, else a module-level definition."""
+        scope = getattr(caller.fn, "repro_parent", None)
+        while scope is not None and not isinstance(
+                scope, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef,
+                        ast.ClassDef)):
+            scope = getattr(scope, "repro_parent", None)
+        sibling = self._by_scope.get((id(scope), name))
+        if sibling is not None:
+            return sibling
+        return self._module_level.get(name)
+
+    def _size(self) -> int:
+        return sum(len(s.reads) + len(s.writes) + len(s.param_mutations)
+                   + len(s.return_aliases)
+                   for s in self.summaries.values())
+
+    def _fixpoint(self) -> None:
+        for _ in range(self._MAX_PASSES):
+            before = self._size()
+            for summary in self.summaries.values():
+                self._propagate_into(summary)
+            if self._size() == before:
+                break
+
+    def _propagate_into(self, caller: EffectSummary) -> None:
+        for callee_name, line, arg_roots in caller.calls:
+            callee = self.resolve(caller, callee_name)
+            if callee is None or callee is caller:
+                continue
+            # Free writes/reads of the helper become the caller's —
+            # unless the caller has its own local binding of the name
+            # (a different variable entirely).
+            for name, access in callee.writes.items():
+                if name in caller.locals or name in _BUILTIN_NAMES:
+                    continue
+                caller.writes.setdefault(name, Access(
+                    name, line, f"call to {callee_name}()",
+                    HELPER, via=callee_name))
+            for name in callee.reads:
+                if name in caller.locals or name in _BUILTIN_NAMES:
+                    continue
+                caller.reads.setdefault(name, line)
+            # Parameter mutations flow back through bare-name arguments.
+            for param, (_pline, how) in callee.param_mutations.items():
+                try:
+                    index = callee.params.index(param)
+                except ValueError:
+                    continue
+                if index >= len(arg_roots) or arg_roots[index] is None:
+                    continue
+                root = arg_roots[index]
+                if root in _BUILTIN_NAMES:
+                    continue
+                if root in caller.params:
+                    caller.param_mutations.setdefault(root, (line, how))
+                elif root not in caller.locals:
+                    caller.writes.setdefault(root, Access(
+                        root, line, f"{how} via {callee_name}()",
+                        ARG_ALIAS, via=callee_name))
+            # Aliases escaping through the helper's return value: a
+            # mutation of `x` after `x = helper()` hits the aliased name.
+            for target, bound_callee in caller.result_bindings.items():
+                if bound_callee != callee_name:
+                    continue
+                if target not in caller.local_writes:
+                    continue
+                wline, how = caller.local_writes[target]
+                for rname in callee.return_aliases:
+                    if rname in callee.params:
+                        try:
+                            index = callee.params.index(rname)
+                        except ValueError:
+                            continue
+                        if (index >= len(arg_roots)
+                                or arg_roots[index] is None):
+                            continue
+                        visible = arg_roots[index]
+                    else:
+                        visible = rname
+                    if (visible in caller.locals
+                            or visible in _BUILTIN_NAMES):
+                        continue
+                    if visible in caller.params:
+                        caller.param_mutations.setdefault(
+                            visible, (wline, how))
+                    else:
+                        caller.writes.setdefault(visible, Access(
+                            visible, wline,
+                            f"{how} on alias returned by {callee_name}()",
+                            RETURN_ALIAS, via=callee_name))
+
+
+def module_effects(tree: ast.AST) -> ModuleEffects:
+    """Build fixpointed effect summaries for every function in ``tree``."""
+    return ModuleEffects(tree)
+
+
+def effects_report(targets: Sequence) -> str:
+    """JSON effect-summary report over files/directories (CLI backend)."""
+    import pathlib
+
+    from ..errors import ReproError
+    from .engine import _python_files
+
+    files: Dict[str, list] = {}
+    for raw in targets:
+        target = pathlib.Path(raw)
+        if not target.exists():
+            raise ReproError(f"effects target does not exist: {target}")
+        for path in _python_files(target):
+            try:
+                tree = ast.parse(path.read_text(encoding="utf-8"))
+            except (OSError, SyntaxError):
+                files[str(path)] = []
+                continue
+            effects = module_effects(tree)
+            files[str(path)] = [
+                summary.as_dict() for summary in sorted(
+                    effects.summaries.values(), key=lambda s: s.lineno)]
+    payload = {
+        "version": 1,
+        "files": files,
+        "functions": sum(len(v) for v in files.values()),
+        "impure": sum(1 for v in files.values()
+                      for s in v if not s["pure"]),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Concrete layer: charge-verdict interpretation of live callables
+# ---------------------------------------------------------------------------
+
+#: Value kinds for the abstract interpreter.
+PLAIN = "plain"     # provably a plain Python value (never charges)
+ANNOT = "annot"     # provably an annotated value (charges deterministically)
+EITHER = "either"   # could be either: charges become value-dependent
+
+_MISSING = object()
+
+
+@dataclasses.dataclass
+class AVal:
+    """Abstract value: a kind plus an optional concrete constant."""
+
+    kind: str
+    const: Any = _MISSING
+
+    @property
+    def has_const(self) -> bool:
+        return self.const is not _MISSING
+
+    def fold(self) -> Any:
+        """The constant when it is foldable plain data, else _MISSING."""
+        if self.has_const and isinstance(self.const, (int, bool, str, float)):
+            return self.const
+        return _MISSING
+
+
+def _join_kinds(a: str, b: str) -> str:
+    if a == b:
+        return a
+    return EITHER
+
+
+def _join_avals(a: Optional[AVal], b: Optional[AVal]) -> AVal:
+    if a is None:
+        return b if b is not None else AVal(EITHER)
+    if b is None:
+        return a
+    kind = _join_kinds(a.kind, b.kind)
+    if (a.has_const and b.has_const and a.const is b.const):
+        return AVal(kind, a.const)
+    if (a.has_const and b.has_const and a.fold() is not _MISSING
+            and a.fold() == b.fold()):
+        return AVal(kind, a.const)
+    return AVal(kind)
+
+
+@dataclasses.dataclass(frozen=True)
+class CallEffect:
+    """Outcome of analyzing one call."""
+
+    verdict: str            # zero | constant | uniform | impure
+    transparent: bool       # no annotated value leaks out of the call
+    result: str             # kind of the returned value
+    reason: str = ""
+
+    @property
+    def approved(self) -> bool:
+        """Safe to treat the call as charge-classified in a plan."""
+        return self.transparent and self.verdict != IMPURE
+
+
+_OPAQUE = CallEffect(IMPURE, False, EITHER, "unresolvable call")
+
+#: Methods of plain builtin containers that never charge.
+_PLAIN_METHODS = frozenset(_MUTATORS | {
+    "get", "items", "keys", "values", "index", "count", "copy", "join",
+    "split", "strip", "startswith", "endswith",
+})
+
+#: Builtins that are charge-free on plain operands.
+_FREE_BUILTINS = frozenset({
+    "range", "len", "int", "float", "bool", "abs", "min", "max", "list",
+    "tuple", "dict", "print", "isinstance", "repr", "str",
+})
+
+#: Analysis caches (cleared via clear_effect_caches).
+_FUNCTION_CACHE: Dict[tuple, CallEffect] = {}
+_IN_PROGRESS: Set[int] = set()
+
+
+def clear_effect_caches() -> None:
+    _FUNCTION_CACHE.clear()
+    _IN_PROGRESS.clear()
+
+
+def _annotate_intrinsics() -> dict:
+    from ..annotate import functions as afn
+    return {
+        id(afn.aint): "aint",
+        id(afn.arange): "arange",
+        id(afn.make_array): "make_array",
+        id(afn.branch): "branch",
+    }
+
+
+def _unwrap_fn():
+    from ..annotate.types import unwrap
+    return unwrap
+
+
+class EffectEnv:
+    """Name-resolution environment of one live callable.
+
+    Resolves bare names through the callable's closure cells, globals
+    and builtins, and classifies calls found in its AST via the
+    concrete interpreter.  All entry points are exception-safe: any
+    failure degrades to "unknown" (``None`` / opaque), never an error —
+    the analysis must not break plan building.
+    """
+
+    def __init__(self, fn) -> None:
+        self.fn = fn
+        self._cells: Dict[str, Any] = {}
+        code = getattr(fn, "__code__", None)
+        closure = getattr(fn, "__closure__", None)
+        if code is not None and closure:
+            for name, cell in zip(code.co_freevars, closure):
+                try:
+                    self._cells[name] = cell.cell_contents
+                except ValueError:
+                    pass
+        self._globals = getattr(fn, "__globals__", {}) or {}
+
+    @classmethod
+    def for_callable(cls, fn) -> Optional["EffectEnv"]:
+        try:
+            if getattr(fn, "__code__", None) is None:
+                return None
+            return cls(fn)
+        except Exception:
+            return None
+
+    def resolve_name(self, name: str) -> Tuple[bool, Any]:
+        if name in self._cells:
+            return True, self._cells[name]
+        if name in self._globals:
+            return True, self._globals[name]
+        if hasattr(builtins, name):
+            return True, getattr(builtins, name)
+        return False, None
+
+    # -- call classification (precharge's entry point) -------------------
+
+    def call_effect(self, call: ast.Call,
+                    plain_names: Set[str]) -> Optional[CallEffect]:
+        """Classify one Call node appearing in the owning body."""
+        try:
+            return self._call_effect(call, plain_names)
+        except Exception:
+            return None
+
+    def _call_effect(self, call: ast.Call,
+                     plain_names: Set[str]) -> Optional[CallEffect]:
+        if call.keywords:
+            return None
+        args = []
+        for arg in call.args:
+            args.append(self._arg_aval(arg, plain_names))
+        func = call.func
+        if isinstance(func, ast.Name):
+            found, value = self.resolve_name(func.id)
+            if not found:
+                return None
+            return dispatch_call(value, None, args)
+        if isinstance(func, ast.Attribute) and isinstance(func.value,
+                                                          ast.Name):
+            found, base = self.resolve_name(func.value.id)
+            if not found:
+                return None
+            try:
+                attr = inspect.getattr_static(base, func.attr)
+            except AttributeError:
+                return None
+            if inspect.isfunction(attr) and not inspect.ismodule(base) \
+                    and not inspect.isclass(base):
+                return dispatch_call(attr, base, args)
+            if callable(attr):
+                return dispatch_call(attr, None, args)
+            return None
+        return None
+
+    def _arg_aval(self, node: ast.AST, plain_names: Set[str]) -> AVal:
+        if isinstance(node, ast.Constant):
+            return AVal(PLAIN, node.value)
+        if isinstance(node, ast.Name):
+            if node.id in plain_names:
+                return AVal(PLAIN)
+            found, value = self.resolve_name(node.id)
+            if found:
+                return _aval_of_object(value)
+            return AVal(EITHER)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            kinds = [self._arg_aval(e, plain_names).kind for e in node.elts]
+            if all(k == PLAIN for k in kinds):
+                return AVal(PLAIN)
+            return AVal(EITHER)
+        return AVal(EITHER)
+
+
+_PLAIN_DATA = (int, float, bool, str, bytes, list, tuple, dict, set,
+               frozenset, type(None), range)
+
+
+def _aval_of_object(value: Any) -> AVal:
+    """Kind of a concretely resolved object (kept for call resolution)."""
+    try:
+        from ..annotate.types import ABool, AFloat, AInt
+        from ..annotate.types import AArray
+        if isinstance(value, (AInt, AFloat, ABool, AArray)):
+            return AVal(ANNOT, value)
+    except Exception:
+        pass
+    if isinstance(value, _PLAIN_DATA) or callable(value):
+        return AVal(PLAIN, value)
+    # Arbitrary plain object (e.g. a Stage instance): plain kind, and
+    # keep the object so attribute resolution stays concrete.
+    return AVal(PLAIN, value)
+
+
+def plain_locals(fn: ast.FunctionDef, env: Optional[EffectEnv]) -> Set[str]:
+    """Greatest fixpoint of "this local only ever holds plain values".
+
+    Coinductive: start from all bound names assumed plain, remove any
+    name with a binding that cannot be proven plain under the current
+    assumption, repeat until stable.  The circular case this breaks is
+    the pipeline idiom ``payload = stage.run(execute, payload)`` —
+    payload's plainness depends on the call, whose analysis needs
+    payload's plainness.  Channel-read results (``x = yield from
+    ch.read()``) are plain by the single-source contract: transparent
+    producers only publish plain values (validated by check mode).
+    """
+    bound: Set[str] = set()
+    for node in _own_walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    bound.update(_param_names(fn))
+    plain = set(bound)
+
+    def expr_plain(node: ast.AST) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Constant):
+            return True
+        if isinstance(node, ast.Name):
+            if node.id in bound:
+                return node.id in plain
+            if env is not None:
+                found, value = env.resolve_name(node.id)
+                if found:
+                    return _aval_of_object(value).kind == PLAIN
+            return False
+        if isinstance(node, ast.YieldFrom):
+            value = node.value
+            return (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr in CHANNEL_OPERATIONS)
+        if isinstance(node, ast.Yield):
+            return True  # wait() yields send None back
+        if isinstance(node, ast.BinOp):
+            return expr_plain(node.left) and expr_plain(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return expr_plain(node.operand)
+        if isinstance(node, ast.Compare):
+            return (expr_plain(node.left)
+                    and all(expr_plain(c) for c in node.comparators))
+        if isinstance(node, ast.Subscript):
+            return expr_plain(node.value) and expr_plain(node.slice)
+        if isinstance(node, ast.Slice):
+            return (expr_plain(node.lower) and expr_plain(node.upper)
+                    and expr_plain(node.step))
+        if isinstance(node, ast.Attribute):
+            return expr_plain(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return all(expr_plain(e) for e in node.elts)
+        if isinstance(node, ast.Call):
+            if env is None:
+                return False
+            if (isinstance(node.func, ast.Name)
+                    and node.func.id == "range" and not node.keywords):
+                return all(expr_plain(a) for a in node.args)
+            effect = env.call_effect(node, plain)
+            return (effect is not None and effect.transparent
+                    and effect.result == PLAIN)
+        return False
+
+    for _ in range(len(bound) + 1):
+        demoted: Set[str] = set()
+        for node in _own_walk(fn):
+            if isinstance(node, ast.Assign):
+                ok = expr_plain(node.value)
+                for target in node.targets:
+                    for leaf in ast.walk(target):
+                        if (isinstance(leaf, ast.Name)
+                                and isinstance(leaf.ctx, ast.Store)
+                                and leaf.id in plain and not ok):
+                            demoted.add(leaf.id)
+            elif isinstance(node, ast.AugAssign):
+                if (isinstance(node.target, ast.Name)
+                        and node.target.id in plain):
+                    if not (expr_plain(node.value)
+                            and node.target.id in plain):
+                        demoted.add(node.target.id)
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name) \
+                        and node.target.id in plain:
+                    iter_ = node.iter
+                    ok = (isinstance(iter_, ast.Call)
+                          and isinstance(iter_.func, ast.Name)
+                          and iter_.func.id == "range") or expr_plain(iter_)
+                    if not ok:
+                        demoted.add(node.target.id)
+            elif isinstance(node, (ast.With, ast.Try)):
+                pass  # bindings inside walk normally via Assign
+        if not demoted:
+            break
+        plain -= demoted
+    return plain
+
+
+# ---------------------------------------------------------------------------
+# The interpreter proper
+# ---------------------------------------------------------------------------
+
+def dispatch_call(fn: Any, self_obj: Any,
+                  args: List[AVal]) -> CallEffect:
+    """Classify calling ``fn`` (optionally bound to ``self_obj``)."""
+    try:
+        return _dispatch_call(fn, self_obj, args)
+    except Exception:
+        return _OPAQUE
+
+
+def _dispatch_call(fn: Any, self_obj: Any, args: List[AVal]) -> CallEffect:
+    intrinsics = _annotate_intrinsics()
+    role = intrinsics.get(id(fn))
+    if role == "aint":
+        return CallEffect(ZERO, True, ANNOT, "aint intrinsic")
+    if role == "make_array":
+        return CallEffect(ZERO, True, ANNOT, "make_array intrinsic")
+    if role == "branch":
+        return CallEffect(CONSTANT, True, PLAIN, "branch intrinsic")
+    if role == "arange":
+        # a bare arange() call builds a generator; only the For header
+        # form is modelled (see _Interp._exec_for).
+        return CallEffect(IMPURE, False, EITHER, "arange outside a loop")
+    if fn is _unwrap_fn():
+        return CallEffect(ZERO, True, PLAIN, "unwrap intrinsic")
+
+    marker = getattr(fn, "__repro_effects__", None)
+    if isinstance(marker, dict) and marker.get("kind") == "executor":
+        return _executor_effect(args)
+
+    wrapped = getattr(fn, "__wrapped__", None)
+    if wrapped is not None and callable(wrapped):
+        inner = _dispatch_call(wrapped, self_obj, args)
+        if not inner.transparent:
+            return inner
+        return CallEffect(join_verdicts(CONSTANT, inner.verdict),
+                          inner.transparent, inner.result,
+                          f"annotated_function({inner.reason})")
+
+    if inspect.isfunction(fn):
+        return _function_effect(fn, self_obj, args)
+    if inspect.ismethod(fn):
+        return _function_effect(fn.__func__, fn.__self__, args)
+    if fn in (range, len, int, float, bool, abs, repr, str, isinstance):
+        if all(a.kind != EITHER for a in args):
+            # len/int/float/bool are free accessors even on annotated
+            # values (AInt.__int__, AArray.__len__ never charge).
+            return CallEffect(ZERO, True, PLAIN, f"builtin {fn.__name__}")
+        return CallEffect(IMPURE, False, EITHER, "builtin on unknown kind")
+    if fn in (list, tuple, dict, set):
+        if all(a.kind == PLAIN for a in args):
+            return CallEffect(ZERO, True, PLAIN, "plain constructor")
+        return CallEffect(IMPURE, False, EITHER,
+                          "constructor on annotated value")
+    name = getattr(fn, "__name__", "")
+    if name in _PLAIN_METHODS and self_obj is None:
+        # e.g. a bound list.append resolved concretely
+        if all(a.kind == PLAIN for a in args):
+            return CallEffect(ZERO, True, PLAIN, f"plain method {name}")
+        return CallEffect(IMPURE, False, EITHER, "annotated into container")
+    return _OPAQUE
+
+
+def _executor_effect(args: List[AVal]) -> CallEffect:
+    """The annotated-executor intrinsic: verdict = the kernel's.
+
+    ``annotated_executor`` is transparent by construction: it wraps the
+    arguments, runs the kernel on fully annotated values, writes plain
+    lists back (``original[:] = array.to_list()``) and returns
+    ``int(unwrap(result))`` — no annotated value escapes, whatever the
+    kernel does internally.  Its charge profile is the kernel's, with
+    every parameter annotated.
+    """
+    if not args:
+        return _OPAQUE
+    kernel = args[0]
+    if not kernel.has_const or not callable(kernel.const):
+        return CallEffect(IMPURE, False, PLAIN, "unresolved kernel")
+    inner = kernel_effect(kernel.const)
+    return CallEffect(inner.verdict, True, PLAIN,
+                      f"executor({getattr(kernel.const, '__name__', '?')}:"
+                      f"{inner.verdict})")
+
+
+def kernel_effect(fn) -> CallEffect:
+    """Charge verdict of a kernel run with every parameter annotated."""
+    try:
+        target = inspect.unwrap(fn)
+        n_params = target.__code__.co_argcount
+        return _function_effect(target, None,
+                                [AVal(ANNOT)] * n_params,
+                                wrapper_charge=(fn is not target))
+    except Exception:
+        return _OPAQUE
+
+
+def _function_effect(fn, self_obj: Any, args: List[AVal],
+                     wrapper_charge: bool = False) -> CallEffect:
+    sig = tuple(a.kind for a in args)
+    key = (id(fn), id(self_obj) if self_obj is not None else None, sig)
+    cached = _FUNCTION_CACHE.get(key)
+    if cached is not None:
+        return cached
+    code = getattr(fn, "__code__", None)
+    if code is None:
+        return _OPAQUE
+    if id(code) in _IN_PROGRESS:
+        return CallEffect(IMPURE, False, EITHER, "recursive call")
+    _IN_PROGRESS.add(id(code))
+    try:
+        effect = _analyze_function(fn, self_obj, args)
+    except Exception:
+        effect = _OPAQUE
+    finally:
+        _IN_PROGRESS.discard(id(code))
+    if wrapper_charge and effect.transparent:
+        effect = CallEffect(join_verdicts(CONSTANT, effect.verdict),
+                            effect.transparent, effect.result,
+                            effect.reason)
+    _FUNCTION_CACHE[key] = effect
+    return effect
+
+
+def _analyze_function(fn, self_obj: Any, args: List[AVal]) -> CallEffect:
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return _OPAQUE
+    fdef = next((n for n in ast.walk(tree)
+                 if isinstance(n, ast.FunctionDef)), None)
+    if fdef is None:
+        return _OPAQUE
+    params = _param_names(fdef)
+    interp = _Interp(fn)
+    values = list(args)
+    if self_obj is not None:
+        values = [AVal(PLAIN, self_obj)] + values
+    if len(values) > len(params):
+        return _OPAQUE
+    for index, param in enumerate(params):
+        interp.vars[param] = (values[index] if index < len(values)
+                              else AVal(EITHER))
+    verdict = interp.exec_stmts(fdef.body)
+    result = interp.result_kind()
+    return CallEffect(verdict, interp.transparent, result,
+                      f"analyzed {getattr(fn, '__qualname__', fn)}")
+
+
+class _Interp:
+    """Abstract interpreter accumulating a charge verdict for one body."""
+
+    _MAX_LOOP_PASSES = 4
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.env = EffectEnv(fn)
+        self.vars: Dict[str, AVal] = {}
+        self.transparent = True
+        self.returns: List[str] = []
+
+    def result_kind(self) -> str:
+        if not self.returns:
+            return PLAIN  # implicit None
+        kind = self.returns[0]
+        for other in self.returns[1:]:
+            kind = _join_kinds(kind, other)
+        return kind
+
+    # -- name/value resolution -------------------------------------------
+
+    def lookup(self, name: str) -> AVal:
+        if name in self.vars:
+            return self.vars[name]
+        found, value = self.env.resolve_name(name)
+        if found:
+            aval = _aval_of_object(value)
+            # Module-level UPPER_CASE ints are steady constants; other
+            # resolved data contributes its kind only (it may mutate).
+            if isinstance(value, (int, bool, float, str)) or callable(value):
+                return aval
+            return AVal(aval.kind, value) if aval.kind == PLAIN else aval
+        return AVal(EITHER)
+
+    # -- expression evaluation -------------------------------------------
+
+    def eval(self, node: ast.AST) -> Tuple[AVal, str]:
+        """(abstract value, charge verdict) of evaluating ``node``."""
+        if node is None:
+            return AVal(PLAIN, None), ZERO
+        if isinstance(node, ast.Constant):
+            return AVal(PLAIN, node.value), ZERO
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id), ZERO
+        if isinstance(node, ast.Attribute):
+            base, verdict = self.eval(node.value)
+            if base.kind == ANNOT:
+                return AVal(EITHER), join_verdicts(verdict, IMPURE)
+            if base.has_const:
+                try:
+                    attr = inspect.getattr_static(base.const, node.attr)
+                    if isinstance(attr, (staticmethod, classmethod,
+                                         property)):
+                        return AVal(EITHER), join_verdicts(verdict, IMPURE)
+                    if inspect.isfunction(attr):
+                        return AVal(PLAIN, _Bound(attr, base.const)), verdict
+                    return _aval_of_attr(attr), verdict
+                except AttributeError:
+                    return AVal(EITHER), join_verdicts(verdict, IMPURE)
+            if base.kind == PLAIN:
+                return AVal(PLAIN), verdict
+            return AVal(EITHER), join_verdicts(verdict, IMPURE)
+        if isinstance(node, ast.BinOp):
+            left, v1 = self.eval(node.left)
+            right, v2 = self.eval(node.right)
+            verdict = join_verdicts(v1, v2)
+            return self._binop(left, right, node.op, verdict)
+        if isinstance(node, ast.UnaryOp):
+            operand, verdict = self.eval(node.operand)
+            if isinstance(node.op, ast.Not):
+                # truth test: free on plain, branch charge on ABool
+                if operand.kind == PLAIN:
+                    return AVal(PLAIN), verdict
+                if operand.kind == ANNOT:
+                    return AVal(PLAIN), join_verdicts(verdict, CONSTANT)
+                return AVal(EITHER), IMPURE
+            if operand.kind == PLAIN:
+                folded = operand.fold()
+                if folded is not _MISSING and isinstance(node.op, ast.USub):
+                    try:
+                        return AVal(PLAIN, -folded), verdict
+                    except TypeError:
+                        pass
+                return AVal(PLAIN), verdict
+            if operand.kind == ANNOT:
+                return AVal(ANNOT), join_verdicts(verdict, CONSTANT)
+            return AVal(EITHER), IMPURE
+        if isinstance(node, ast.Compare):
+            left, verdict = self.eval(node.left)
+            kinds = [left.kind]
+            for comparator in node.comparators:
+                aval, v = self.eval(comparator)
+                kinds.append(aval.kind)
+                verdict = join_verdicts(verdict, v)
+            if ANNOT in kinds:
+                return AVal(ANNOT), join_verdicts(verdict, CONSTANT)
+            if all(k == PLAIN for k in kinds):
+                return AVal(PLAIN), verdict
+            return AVal(EITHER), IMPURE
+        if isinstance(node, ast.Subscript):
+            base, v1 = self.eval(node.value)
+            index, v2 = self.eval(node.slice)
+            verdict = join_verdicts(v1, v2)
+            if base.kind == ANNOT:
+                if isinstance(node.slice, ast.Slice):
+                    return AVal(EITHER), IMPURE  # AArray has no slicing
+                return AVal(ANNOT), join_verdicts(verdict, CONSTANT)
+            if base.kind == PLAIN and index.kind != ANNOT:
+                return AVal(PLAIN), verdict
+            if base.kind == PLAIN and index.kind == ANNOT:
+                # plain[AInt] goes through AInt.__index__ — free
+                return AVal(PLAIN), verdict
+            return AVal(EITHER), IMPURE
+        if isinstance(node, ast.Slice):
+            verdict = ZERO
+            for part in (node.lower, node.upper, node.step):
+                aval, v = self.eval(part)
+                verdict = join_verdicts(verdict, v)
+                if aval.kind == ANNOT:
+                    return AVal(EITHER), IMPURE
+                if aval.kind == EITHER:
+                    verdict = IMPURE
+            return AVal(PLAIN), verdict
+        if isinstance(node, (ast.Tuple, ast.List)):
+            verdict = ZERO
+            kinds = []
+            for elt in node.elts:
+                aval, v = self.eval(elt)
+                verdict = join_verdicts(verdict, v)
+                kinds.append(aval.kind)
+            kind = PLAIN if all(k == PLAIN for k in kinds) else (
+                EITHER if EITHER in kinds else PLAIN)
+            return AVal(kind), verdict
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.IfExp):
+            return AVal(EITHER), IMPURE  # short-circuit: data-dependent
+        if isinstance(node, ast.BoolOp):
+            return AVal(EITHER), IMPURE
+        return AVal(EITHER), IMPURE
+
+    def _binop(self, left: AVal, right: AVal, op,
+               verdict: str) -> Tuple[AVal, str]:
+        if left.kind == ANNOT or right.kind == ANNOT:
+            # at least one definitely annotated operand: exactly one op
+            # charges, whatever the other side holds (reflected ops too)
+            return AVal(ANNOT), join_verdicts(verdict, CONSTANT)
+        if left.kind == PLAIN and right.kind == PLAIN:
+            lf, rf = left.fold(), right.fold()
+            if lf is not _MISSING and rf is not _MISSING:
+                folded = _fold_binop(lf, rf, op)
+                if folded is not _MISSING:
+                    return AVal(PLAIN, folded), verdict
+            return AVal(PLAIN), verdict
+        return AVal(EITHER), IMPURE
+
+    def _eval_call(self, node: ast.Call) -> Tuple[AVal, str]:
+        if node.keywords:
+            return AVal(EITHER), IMPURE
+        arg_avals: List[AVal] = []
+        verdict = ZERO
+        for arg in node.args:
+            aval, v = self.eval(arg)
+            verdict = join_verdicts(verdict, v)
+            arg_avals.append(aval)
+        func = node.func
+        target: Any = _MISSING
+        self_obj = None
+        if isinstance(func, ast.Name):
+            aval = self.lookup(func.id)
+            if aval.has_const and callable(aval.const):
+                target = aval.const
+        elif isinstance(func, ast.Attribute):
+            base, bverdict = self.eval(func.value)
+            verdict = join_verdicts(verdict, bverdict)
+            if base.has_const and base.kind == PLAIN:
+                try:
+                    attr = inspect.getattr_static(base.const, func.attr)
+                except AttributeError:
+                    attr = _MISSING
+                if attr is not _MISSING and inspect.isfunction(attr) \
+                        and not inspect.ismodule(base.const) \
+                        and not inspect.isclass(base.const):
+                    target, self_obj = attr, base.const
+                elif attr is not _MISSING and callable(attr):
+                    target = attr
+            elif base.kind == PLAIN and func.attr in _PLAIN_METHODS:
+                # method on a provably plain container
+                if all(a.kind == PLAIN for a in arg_avals):
+                    return AVal(PLAIN), verdict
+                self.transparent = False
+                return AVal(EITHER), IMPURE
+        if isinstance(target, _Bound):
+            self_obj, target = target.self_obj, target.fn
+        if target is _MISSING:
+            self.transparent = False
+            return AVal(EITHER), IMPURE
+        effect = dispatch_call(target, self_obj, arg_avals)
+        if not effect.transparent:
+            self.transparent = False
+            return AVal(EITHER), IMPURE
+        return AVal(effect.result), join_verdicts(verdict, effect.verdict)
+
+    # -- boolean contexts -------------------------------------------------
+
+    def eval_test(self, node: ast.AST) -> Tuple[AVal, str]:
+        """A test position adds the implicit ``__bool__`` charge."""
+        aval, verdict = self.eval(node)
+        if aval.kind == ANNOT:
+            return aval, join_verdicts(verdict, CONSTANT)  # ABool branch
+        if aval.kind == EITHER:
+            return aval, IMPURE
+        return aval, verdict
+
+    # -- statements --------------------------------------------------------
+
+    def exec_stmts(self, stmts: Sequence[ast.stmt]) -> str:
+        verdict = ZERO
+        for stmt in stmts:
+            verdict = join_verdicts(verdict, self.exec_stmt(stmt))
+        return verdict
+
+    def _bind_target(self, target: ast.AST, value: AVal) -> str:
+        if isinstance(target, ast.Name):
+            self.vars[target.id] = value
+            return ZERO
+        if isinstance(target, ast.Subscript):
+            base, v1 = self.eval(target.value)
+            _index, v2 = self.eval(target.slice)
+            verdict = join_verdicts(v1, v2)
+            if base.kind == ANNOT:
+                return join_verdicts(verdict, CONSTANT)  # AArray store
+            if base.kind == PLAIN:
+                if value.kind != PLAIN:
+                    self.transparent = False
+                return verdict
+            return IMPURE
+        if isinstance(target, ast.Attribute):
+            base, verdict = self.eval(target.value)
+            if value.kind != PLAIN:
+                self.transparent = False
+            if base.kind == EITHER:
+                return IMPURE
+            return verdict
+        if isinstance(target, (ast.Tuple, ast.List)):
+            verdict = ZERO
+            for elt in target.elts:
+                part = AVal(PLAIN) if value.kind == PLAIN else AVal(EITHER)
+                verdict = join_verdicts(verdict, self._bind_target(elt, part))
+            return verdict
+        return IMPURE
+
+    def exec_stmt(self, stmt: ast.stmt) -> str:
+        if isinstance(stmt, ast.Assign):
+            value, verdict = self.eval(stmt.value)
+            for target in stmt.targets:
+                verdict = join_verdicts(verdict,
+                                        self._bind_target(target, value))
+            return verdict
+        if isinstance(stmt, ast.AugAssign):
+            value, v1 = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.lookup(stmt.target.id)
+                result, v2 = self._binop(current, value, stmt.op, v1)
+                self.vars[stmt.target.id] = result
+                return v2
+            current, v2 = self.eval(stmt.target)
+            result, v3 = self._binop(current, value, stmt.op,
+                                     join_verdicts(v1, v2))
+            return join_verdicts(v3, self._bind_target(stmt.target, result))
+        if isinstance(stmt, ast.AnnAssign):
+            value, verdict = self.eval(stmt.value)
+            if stmt.value is not None:
+                verdict = join_verdicts(verdict,
+                                        self._bind_target(stmt.target, value))
+            return verdict
+        if isinstance(stmt, ast.Expr):
+            _value, verdict = self.eval(stmt.value)
+            return verdict
+        if isinstance(stmt, ast.Return):
+            value, verdict = self.eval(stmt.value)
+            self.returns.append(value.kind)
+            return verdict
+        if isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal,
+                             ast.Break, ast.Continue)):
+            return ZERO
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt)
+        if isinstance(stmt, ast.For):
+            return self._exec_for(stmt)
+        if isinstance(stmt, ast.While):
+            return self._exec_while(stmt)
+        if isinstance(stmt, ast.Assert):
+            _aval, verdict = self.eval_test(stmt.test)
+            return verdict
+        # With / Try / Raise / nested defs / Delete / ... — opaque.
+        self.transparent = False
+        return IMPURE
+
+    def _exec_if(self, stmt: ast.If) -> str:
+        test, test_verdict = self.eval_test(stmt.test)
+        folded = test.fold()
+        if test.kind == PLAIN and folded is not _MISSING:
+            # statically decided branch: execute only the taken side
+            branch = stmt.body if folded else stmt.orelse
+            return join_verdicts(test_verdict, self.exec_stmts(branch))
+        saved = dict(self.vars)
+        body_verdict = self.exec_stmts(stmt.body)
+        body_vars = self.vars
+        self.vars = dict(saved)
+        else_verdict = self.exec_stmts(stmt.orelse)
+        else_vars = self.vars
+        self.vars = {}
+        for name in set(body_vars) | set(else_vars):
+            self.vars[name] = _join_avals(body_vars.get(name),
+                                          else_vars.get(name))
+        if test.kind == EITHER:
+            return IMPURE
+        if body_verdict == ZERO and else_verdict == ZERO:
+            # whichever branch runs, nothing extra charges: the If's
+            # whole contribution is the (fixed) test + bool charge
+            return test_verdict
+        # branch choice decides between different charge multisets
+        return IMPURE
+
+    def _iter_info(self, node: ast.For):
+        """(head verdict/iter, target kind, trips-const) of a For header."""
+        iter_ = node.iter
+        if isinstance(iter_, ast.Call) and not iter_.keywords:
+            func = iter_.func
+            target_fn = None
+            if isinstance(func, ast.Name):
+                aval = self.lookup(func.id)
+                if aval.has_const and callable(aval.const):
+                    target_fn = aval.const
+            args: List[AVal] = []
+            args_verdict = ZERO
+            for arg in iter_.args:
+                aval, v = self.eval(arg)
+                args_verdict = join_verdicts(args_verdict, v)
+                args.append(aval)
+            trips_const = all(a.kind == PLAIN and a.fold() is not _MISSING
+                              for a in args)
+            if any(a.kind == EITHER for a in args):
+                return None
+            if target_fn is range:
+                return args_verdict, ZERO, PLAIN, trips_const
+            if id(target_fn) in _annotate_intrinsics() \
+                    and _annotate_intrinsics()[id(target_fn)] == "arange":
+                return args_verdict, CONSTANT, ANNOT, trips_const
+            return None
+        aval, verdict = self.eval(iter_)
+        if aval.kind == PLAIN:
+            return verdict, ZERO, PLAIN, False
+        if aval.kind == ANNOT:
+            # iterating an AArray charges one load per element
+            return verdict, CONSTANT, ANNOT, False
+        return None
+
+    def _loop_fixpoint(self, bind_target, body: Sequence[ast.stmt],
+                       orelse: Sequence[ast.stmt]) -> str:
+        pre_vars = dict(self.vars)
+        per_iter = ZERO
+        for _ in range(self._MAX_LOOP_PASSES):
+            before = {k: (v.kind, v.fold()) for k, v in self.vars.items()}
+            bind_target()
+            per_iter = join_verdicts(per_iter, self.exec_stmts(body))
+            # join with the loop-entry state: the loop may run zero
+            # times, and iteration N+1 sees the join of both paths
+            self.vars = {
+                name: _join_avals(self.vars.get(name), pre_vars.get(name))
+                for name in set(self.vars) | set(pre_vars)
+            }
+            after = {k: (v.kind, v.fold()) for k, v in self.vars.items()}
+            if after == before:
+                break
+        if orelse:
+            per_iter = join_verdicts(per_iter, self.exec_stmts(orelse))
+        return per_iter
+
+    def _exec_for(self, stmt: ast.For) -> str:
+        info = self._iter_info(stmt)
+        if info is None:
+            self.transparent = False
+            return IMPURE
+        head_verdict, per_iter_head, target_kind, trips_const = info
+
+        def bind():
+            self._bind_target(stmt.target, AVal(target_kind))
+
+        body_verdict = self._loop_fixpoint(bind, stmt.body, stmt.orelse)
+        per_iter = join_verdicts(per_iter_head, body_verdict)
+        return join_verdicts(head_verdict,
+                             self._loop_verdict(per_iter, trips_const))
+
+    def _exec_while(self, stmt: ast.While) -> str:
+        test, test_verdict = self.eval_test(stmt.test)
+        folded = test.fold()
+        if test.kind == PLAIN and folded is not _MISSING and not folded:
+            return test_verdict  # while False: skipped entirely
+        if test.kind == EITHER:
+            self.transparent = False
+            return IMPURE
+
+        def bind():
+            pass
+
+        body_verdict = self._loop_fixpoint(bind, stmt.body, stmt.orelse)
+        # the test re-evaluates each iteration; re-derive it on the
+        # widened state so data-kind drift is caught
+        test2, test_verdict2 = self.eval_test(stmt.test)
+        if test2.kind == EITHER:
+            return IMPURE
+        per_iter = join_verdicts(test_verdict, test_verdict2, body_verdict)
+        return self._loop_verdict(per_iter, trips_const=False)
+
+    @staticmethod
+    def _loop_verdict(per_iter: str, trips_const: bool) -> str:
+        if per_iter in (ZERO, IMPURE):
+            return per_iter
+        if trips_const:
+            return per_iter
+        # fixed multiset per iteration, value-dependent trip count: the
+        # total is a function of steady shape/scalar values
+        return join_verdicts(per_iter, UNIFORM)
+
+
+class _Bound:
+    """A concretely resolved bound method (function + receiver)."""
+
+    __slots__ = ("fn", "self_obj")
+
+    def __init__(self, fn, self_obj):
+        self.fn = fn
+        self.self_obj = self_obj
+
+    def __call__(self, *args, **kwargs):  # pragma: no cover - not executed
+        return self.fn(self.self_obj, *args, **kwargs)
+
+
+def _fold_binop(left, right, op):
+    try:
+        if isinstance(op, ast.Add):
+            return left + right
+        if isinstance(op, ast.Sub):
+            return left - right
+        if isinstance(op, ast.Mult):
+            return left * right
+        if isinstance(op, ast.FloorDiv):
+            return left // right
+        if isinstance(op, ast.Mod):
+            return left % right
+        if isinstance(op, ast.LShift):
+            return left << right
+        if isinstance(op, ast.RShift):
+            return left >> right
+        if isinstance(op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            if isinstance(op, ast.BitAnd):
+                return left & right
+            if isinstance(op, ast.BitOr):
+                return left | right
+            return left ^ right
+    except Exception:
+        return _MISSING
+    return _MISSING
+
+
+def _aval_of_attr(value: Any) -> AVal:
+    """Kind of an instance/class attribute: kind only, never folded —
+    instance state (e.g. ``self.history``) mutates between calls."""
+    aval = _aval_of_object(value)
+    if callable(value):
+        return aval
+    return AVal(aval.kind, value) if not isinstance(
+        value, (int, float, bool, str)) else AVal(aval.kind)

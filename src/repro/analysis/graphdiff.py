@@ -27,6 +27,7 @@ from ..segments.graph import ProcessGraph
 from ..segments.static import (
     StaticNode,
     _collect_aliases,
+    exception_site_lines,
     parse_body,
     sites_in,
 )
@@ -167,15 +168,22 @@ class _ArcWalker:
             return self.walk(stmt.body, frontier, loop)
         if isinstance(stmt, ast.Try):
             body_out = self.walk(stmt.body, set(frontier), loop)
+            # An exception may surface after *any* site inside the
+            # protected block (not just its normal exits), or before
+            # the first one — so the handler entry frontier is the
+            # incoming frontier plus every site line in the body.
+            raise_points = frontier | exception_site_lines(
+                stmt.body, self.first_line, self.aliases)
             handler_outs: Set[int] = set()
             for handler in stmt.handlers:
-                handler_outs |= self.walk(handler.body,
-                                          frontier | body_out, loop)
+                handler_outs |= self.walk(handler.body, set(raise_points),
+                                          loop)
             else_out = (self.walk(stmt.orelse, set(body_out), loop)
                         if stmt.orelse else body_out)
             merged = else_out | handler_outs
             if stmt.finalbody:
-                return self.walk(stmt.finalbody, merged or set(frontier), loop)
+                return self.walk(stmt.finalbody, merged or set(raise_points),
+                                 loop)
             return merged
         # simple statement: chain any sites it contains, in source order
         return self._chain(self._sites(stmt), frontier)

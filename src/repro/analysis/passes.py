@@ -29,6 +29,7 @@ from ..annotate.functions import (
 )
 from ..segments.static import CHANNEL_OPERATIONS
 from .diagnostics import Diagnostic, Severity, register_rule
+from .effects import ARG_ALIAS, DIRECT, HELPER, RETURN_ALIAS, module_effects
 
 # ---------------------------------------------------------------------------
 # Rule catalog (stable codes; see docs/analysis.md)
@@ -55,6 +56,12 @@ RPR105 = register_rule(
 RPR201 = register_rule(
     "RPR201", "shared-state-race", Severity.ERROR,
     "state shared by several processes without channel mediation")
+RPR202 = register_rule(
+    "RPR202", "race-via-helper", Severity.ERROR,
+    "process mutates shared state through a helper call chain")
+RPR203 = register_rule(
+    "RPR203", "aliased-shared-state-escape", Severity.ERROR,
+    "shared state escapes through a return/argument alias and is mutated")
 RPR301 = register_rule(
     "RPR301", "native-loop-in-kernel", Severity.WARNING,
     "range() loop in an annotated kernel — use arange so bookkeeping charges")
@@ -529,36 +536,67 @@ def _design_scopes(tree: ast.AST) -> List[Tuple[ast.AST, List[ast.FunctionDef]]]
     return scopes
 
 
+#: Provenance preference when several processes write one shared name:
+#: a direct write keeps the established RPR201 shape; helper/alias
+#: writes only surface when no process touches the state directly.
+_KIND_ORDER = {DIRECT: 0, HELPER: 1, ARG_ALIAS: 2, RETURN_ALIAS: 3}
+
+
 def race_pass(tree: ast.AST, path: str,
               lines: Sequence[str]) -> List[Diagnostic]:
+    effects = module_effects(tree)
     diagnostics: List[Diagnostic] = []
     for scope, bodies in _design_scopes(tree):
         channels = _channel_names_in_scope(scope)
         if not isinstance(scope, ast.Module):
             channels |= _channel_names_in_scope(tree)  # module-level channels
-        accesses = [_BodyAccesses(body) for body in bodies]
-        shared: Dict[str, List[_BodyAccesses]] = {}
-        for access in accesses:
-            for name in access.touched():
-                shared.setdefault(name, []).append(access)
+        summaries = [s for s in (effects.of(body) for body in bodies)
+                     if s is not None]
+        shared: Dict[str, List] = {}
+        for summary in summaries:
+            for name in summary.touched():
+                shared.setdefault(name, []).append(summary)
         for name, users in sorted(shared.items()):
             if len(users) < 2 or name in channels:
                 continue
             writers = [u for u in users if name in u.writes]
             if not writers:
                 continue  # shared read-only data is fine
+            writers.sort(key=lambda u: _KIND_ORDER.get(
+                u.writes[name].kind, 9))
             writer = writers[0]
-            line, how = writer.writes[name]
+            access = writer.writes[name]
+            line, how = access.line, access.how
             others = [u.fn.name for u in users if u is not writer]
+            others_text = ", ".join(repr(o) for o in others)
             anchor = ast.Constant(value=None)
             anchor.lineno, anchor.col_offset = line, 0
-            diagnostics.append(_diag(
-                RPR201,
-                f"process {writer.fn.name!r} writes shared state {name!r} "
-                f"({how}) also used by {', '.join(repr(o) for o in others)}; "
-                "processes may only interact through predefined channels "
-                "(use a Fifo/Signal/SharedVariable)",
-                anchor, path, lines))
+            if access.kind == DIRECT:
+                diagnostics.append(_diag(
+                    RPR201,
+                    f"process {writer.fn.name!r} writes shared state "
+                    f"{name!r} ({how}) also used by {others_text}; "
+                    "processes may only interact through predefined "
+                    "channels (use a Fifo/Signal/SharedVariable)",
+                    anchor, path, lines))
+            elif access.kind == HELPER:
+                diagnostics.append(_diag(
+                    RPR202,
+                    f"process {writer.fn.name!r} mutates shared state "
+                    f"{name!r} through helper {access.via!r} ({how}) "
+                    f"also used by {others_text}; the helper's write "
+                    "bypasses channel mediation just like a direct one "
+                    "(use a Fifo/Signal/SharedVariable)",
+                    anchor, path, lines))
+            else:  # arg-alias / return-alias
+                diagnostics.append(_diag(
+                    RPR203,
+                    f"process {writer.fn.name!r} mutates shared state "
+                    f"{name!r} through an alias ({how}) also used by "
+                    f"{others_text}; state passed into or returned from "
+                    f"{access.via!r} still bypasses channel mediation "
+                    "(use a Fifo/Signal/SharedVariable)",
+                    anchor, path, lines))
     return diagnostics
 
 

@@ -53,6 +53,7 @@ class OverheadResult:
     iss_cycles: Optional[int] = None
     iss_error: Optional[str] = None
     fastforward_stats: Optional[str] = None
+    fastforward: Optional[Dict] = None   # engine.stats() counters
 
     @property
     def overload(self) -> float:
@@ -78,6 +79,7 @@ class OverheadResult:
             "iss_cycles": self.iss_cycles,
             "iss_error": self.iss_error,
             "fastforward_stats": self.fastforward_stats,
+            "fastforward": self.fastforward,
         }
 
 
@@ -241,6 +243,8 @@ def bench_vocoder(costs: OperationCosts,
         iss_s=iss_s, iss_cycles=iss_cycles, iss_error=iss_error,
         fastforward_stats=(perf.engine.describe()
                            if perf.engine is not None else None),
+        fastforward=(perf.engine.stats()
+                     if perf.engine is not None else None),
     )
 
 

@@ -412,7 +412,8 @@ def _lint_live(args):
 
 
 def _cmd_lint(args) -> int:
-    from .analysis import lint_paths, render_json, render_text, rule_catalog
+    from .analysis import (lint_paths, render_json, render_stats,
+                           render_text, rule_catalog)
     from .errors import ReproError
 
     if args.rules_catalog:
@@ -421,6 +422,20 @@ def _cmd_lint(args) -> int:
     if not args.targets:
         raise SystemExit("repro lint: give at least one file or directory "
                          "to check (or --rules for the catalog)")
+    if args.effects:
+        from .analysis import effects_report
+
+        try:
+            report = effects_report(args.targets)
+        except ReproError as exc:
+            raise SystemExit(f"repro lint --effects: {exc}")
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report + "\n")
+            print(f"wrote effects report to {args.output}")
+        else:
+            print(report)
+        return 0
     if args.live:
         result = _lint_live(args)
     else:
@@ -438,6 +453,8 @@ def _cmd_lint(args) -> int:
             print(render_text(result))
     else:
         print(report)
+    if args.stats:
+        print(render_stats(result))
     return 0 if result.clean else 1
 
 
@@ -676,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
                              help="execute each target script instrumented "
                                   "and lint the simulated processes "
                                   "(adds the RPR401/402 graph-diff rules)")
+    lint_parser.add_argument("--stats", action="store_true",
+                             help="append per-rule counts and the "
+                                  "suppressed-diagnostic audit trail")
+    lint_parser.add_argument("--effects", action="store_true",
+                             help="dump the interprocedural effect "
+                                  "summaries as JSON instead of linting "
+                                  "(honors -o)")
     lint_parser.set_defaults(fn=_cmd_lint)
 
     batch_parser = sub.add_parser(

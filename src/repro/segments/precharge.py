@@ -32,11 +32,20 @@ stream depends on data:
 * loops without node sites whose trip count is not a literal constant
   (unless the loop provably charges nothing at all),
 * short-circuit ``and``/``or`` and conditional expressions,
-* calls other than a small charge-free whitelist (``range``, ``len``,
-  ``wait``, ``SimTime.*``) — a call can charge anything,
+* calls that cannot be classified: a small charge-free whitelist
+  (``range``, ``len``, ``wait``, ``SimTime.*``) is approved outright,
+  and everything else is handed to the interprocedural effect
+  summaries (:mod:`repro.analysis.effects`), which resolve the callee
+  through the body's closure/globals and approve it when it is
+  *transparent* (returns and publishes only plain values — so running
+  it with the context detached is functionally identical) and its
+  charge multiset is classified ``zero``/``constant``/``uniform``
+  (``uniform`` = a function of steady plain shapes/scalars only; that
+  premise is validated, not assumed, by the differential check mode),
 * annotation entry points (``aint``/``arange``/``make_array``) — their
   behaviour depends on whether a context is attached, so suppressing
-  the context would change functional results.
+  the context would change functional results (the effect analyzer
+  rejects them by construction: their results are annotated).
 
 Loops *with* node sites inside are eligible regardless of trip count:
 the loop head charges a fixed amount per crossing, so every individual
@@ -57,10 +66,15 @@ the test is a literal: a bare name there may hold an ``ABool`` whose
 implicit ``__bool__`` charges a branch.
 
 Soundness guards: a process is excluded wholesale when its body cannot
-be parsed, yields anything the static scanner does not recognize
-(helper sub-generators surface at the call line and would punch holes
-in the arc graph), defines nested functions, or hosts two node sites on
-one source line (line-keyed arcs would alias).  The engine only
+be parsed, yields anything the static scanner does not recognize,
+defines nested functions, or hosts two node sites on one source line
+(line-keyed arcs would alias).  ``yield from helper()`` sub-generators
+surface their node at the call line (the outer frame stays on that
+line while the helper runs); a helper that is a zero-argument,
+straight-line generator with **exactly one** recognized site is
+modelled as a synthetic node at the call line, with the helper's own
+combined purity flags applied to both the incoming and the outgoing
+arc — any other helper shape still disqualifies the process.  The engine only
 suppresses charging when *every* statically-possible successor arc of
 the current node is both eligible and already characterized, so the
 first execution of any non-trivial path is always charged dynamically;
@@ -80,6 +94,7 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import inspect
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..annotate.context import CostContext, set_current
@@ -91,7 +106,9 @@ from ..kernel.scheduler import SchedulerObserver
 from ..kernel.time import SimTime
 from ..segments.static import (
     CHANNEL_OPERATIONS,
+    StaticNode,
     _collect_aliases,
+    exception_site_lines,
     parse_body,
     sites_in,
 )
@@ -158,15 +175,32 @@ class _PurityWalker:
 
     _MAX_LOOP_PASSES = 8
 
-    def __init__(self, first_line: int, aliases: Dict[str, str]):
+    def __init__(self, first_line: int, aliases: Dict[str, str],
+                 classify=None, helper_lines: Optional[Dict[int, int]] = None):
         self.first_line = first_line
         self.aliases = aliases
         self.arcs: Dict[Arc, int] = {}
+        #: optional call classifier: (ast.Call) -> Optional[int flags],
+        #: backed by the interprocedural effect summaries.
+        self._classify = classify
+        #: absolute line -> combined flags of an approved helper
+        #: sub-generator yielded from that line.
+        self._helper_lines = helper_lines or {}
 
     # -- helpers ---------------------------------------------------------
 
     def _sites(self, node: ast.AST):
-        return sites_in(node, self.first_line, self.aliases)
+        sites = sites_in(node, self.first_line, self.aliases)
+        if self._helper_lines:
+            for sub in ast.walk(node):
+                if (isinstance(sub, ast.YieldFrom)
+                        and not _is_channel_site(sub)):
+                    abs_line = self.first_line + sub.lineno - 1
+                    if abs_line in self._helper_lines:
+                        sites.append(StaticNode(
+                            "helper", "sub-generator", abs_line))
+            sites.sort(key=lambda n: n.lineno)
+        return sites
 
     def _add_arc(self, start: int, end: int, flags: int) -> None:
         self.arcs[(start, end)] = self.arcs.get((start, end), _BOTH) & flags
@@ -195,9 +229,17 @@ class _PurityWalker:
             ok = func.value.id in _FREE_CALL_BASES
         else:
             ok = False
-        if not ok:
+        if ok:
+            flags = _BOTH
+        elif self._classify is not None:
+            classified = self._classify(node)
+            if classified is None:
+                return 0
+            flags = classified
+        else:
             return 0
-        flags = _BOTH
+        # The call's own charges are classified; argument expressions
+        # still evaluate (and may charge) in the caller's arc.
         for arg in node.args:
             flags &= self._expr_flags(arg)
         return flags
@@ -249,6 +291,12 @@ class _PurityWalker:
             for arg in node.value.args:
                 flags &= self._expr_flags(arg)
             return flags
+        if (allow_sites and isinstance(node, ast.YieldFrom)
+                and self._helper_lines):
+            helper_flags = self._helper_lines.get(
+                self.first_line + node.lineno - 1)
+            if helper_flags is not None:
+                return helper_flags
         # BoolOp/IfExp (short-circuit), comprehensions, lambdas, yields
         # outside sites, f-strings, dict/set literals, starred, ...
         return 0
@@ -381,20 +429,30 @@ class _PurityWalker:
                 frontier = self._chain_sites(self._sites(item), frontier, 0)
             return self.walk(stmt.body, frontier, loop)
         if isinstance(stmt, ast.Try):
-            # Exceptional control flow: complete the arc set, all impure.
-            poisoned = self._mask(frontier, 0)
-            body_out = self._mask(self.walk(stmt.body, dict(poisoned), loop), 0)
+            # The exception-free path charges deterministically, so it is
+            # walked naturally.  An exception may surface after *any*
+            # site inside the protected block (not just its normal
+            # exits), or before the first one — handlers start from the
+            # incoming frontier plus every site line in the body, all
+            # impure: whether the raise happens at all is data-dependent,
+            # and arcs into a handler carry a truncated charge stream.
+            # Nodes inside the body therefore keep an impure successor
+            # and are never suppressed.
+            body_out = self.walk(stmt.body, dict(frontier), loop)
+            raise_points = {line: 0 for line in exception_site_lines(
+                stmt.body, self.first_line, self.aliases)}
+            for line in frontier:
+                raise_points[line] = 0
             handler_outs: Dict[int, int] = {}
             for handler in stmt.handlers:
-                out = self.walk(handler.body,
-                                self._merge(poisoned, body_out), loop)
+                out = self.walk(handler.body, dict(raise_points), loop)
                 handler_outs = self._merge(handler_outs, self._mask(out, 0))
             else_out = (self.walk(stmt.orelse, dict(body_out), loop)
                         if stmt.orelse else body_out)
-            merged = self._merge(self._mask(else_out, 0), handler_outs)
+            merged = self._merge(else_out, handler_outs)
             if stmt.finalbody:
-                out = self.walk(stmt.finalbody, merged or dict(poisoned), loop)
-                return self._mask(out, 0)
+                return self.walk(stmt.finalbody,
+                                 merged or dict(raise_points), loop)
             return merged
         # simple statement
         sites = self._sites(stmt)
@@ -516,19 +574,135 @@ def _ineligible(name: str, reason: str) -> SegmentPlan:
     return dataclasses.replace(_INELIGIBLE, name=name, reason=reason)
 
 
-def _unrecognized_yields(fn: ast.FunctionDef) -> List[int]:
-    """Yield/YieldFrom expressions the static scanner has no site for.
+#: Statement shapes allowed in an approved helper sub-generator: strictly
+#: straight-line code, so the helper's charge structure is one combined
+#: flags value (no internal control flow to model).
+_SIMPLE_STMTS = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr,
+                 ast.Return, ast.Pass, ast.Global, ast.Nonlocal, ast.Assert)
 
-    Helper sub-generators (``yield from helper()``) surface their nodes
-    at the call line, which the arc graph does not model — any such
-    yield disqualifies the whole process.
+
+def _effects_env(body, fn: ast.FunctionDef):
+    """``(env, classify)`` bridging to the interprocedural summaries.
+
+    ``classify`` maps an ``ast.Call`` to lattice flags, or ``None`` when
+    the effect analyzer cannot approve it: the callee must be
+    *transparent* with a plain result (suppressed execution stays
+    functionally identical) and its charge verdict decides the flags —
+    ``zero`` is zero-charge, ``constant``/``uniform`` are eligible but
+    charging.  Returns ``(None, None)`` when the analysis subsystem is
+    unavailable or the body's environment cannot be captured.
+    """
+    try:
+        from ..analysis import effects as fx
+    except Exception:  # pragma: no cover - analysis always ships
+        return None, None
+    try:
+        env = fx.EffectEnv.for_callable(body)
+    except Exception:
+        return None, None
+    try:
+        plains = fx.plain_locals(fn, env)
+    except Exception:
+        plains = set()
+
+    def classify(call: ast.Call) -> Optional[int]:
+        effect = env.call_effect(call, plains)
+        if effect is None or not effect.approved or effect.result != fx.PLAIN:
+            return None
+        if effect.verdict == fx.ZERO:
+            return _BOTH
+        if effect.verdict in (fx.CONSTANT, fx.UNIFORM):
+            return _PURE
+        return None
+
+    return env, classify
+
+
+def _helper_subgenerator_flags(helper) -> Optional[int]:
+    """Combined purity flags of an approvable helper sub-generator.
+
+    ``None`` disqualifies.  To qualify, the helper must be a
+    zero-argument generator function of straight-line simple statements
+    containing **exactly one** recognized node site and no other yields:
+    delegation then surfaces exactly one dynamic node at the outer call
+    line, which the plan models as a synthetic site.  A second yield
+    anywhere would surface a second node at the same call line — an
+    unmodeled self-arc — so it must disqualify.
+    """
+    if not inspect.isgeneratorfunction(helper):
+        return None
+    code = getattr(inspect.unwrap(helper), "__code__", None)
+    if (code is None or code.co_argcount or code.co_kwonlyargcount
+            or code.co_flags & (inspect.CO_VARARGS | inspect.CO_VARKEYWORDS)):
+        return None
+    try:
+        tree, first_line, _source = parse_body(helper)
+    except ReproError:
+        return None
+    fn = next((node for node in ast.walk(tree)
+               if isinstance(node, ast.FunctionDef)), None)
+    if fn is None:
+        return None
+    if not all(isinstance(stmt, _SIMPLE_STMTS) for stmt in fn.body):
+        return None
+    for node in ast.walk(fn):
+        if isinstance(node, ast.YieldFrom) and not _is_channel_site(node):
+            return None
+        if isinstance(node, ast.Yield) and not _is_wait_site(node):
+            return None
+    aliases = _collect_aliases(tree)
+    if len(sites_in(fn, first_line, aliases)) != 1:
+        return None
+    walker = _PurityWalker(first_line, aliases)
+    flags = _BOTH
+    for stmt in fn.body:
+        flags &= walker._stmt_flags(stmt, allow_sites=True)
+    return flags
+
+
+def _collect_helper_sites(fn: ast.FunctionDef, first_line: int,
+                          env) -> List[Tuple[int, int]]:
+    """``(absolute line, flags)`` for each approved ``yield from name()``.
+
+    A list, not a dict, so two helper calls sharing a source line still
+    trip the duplicate-site check in :func:`build_plan`.
+    """
+    if env is None:
+        return []
+    found_sites: List[Tuple[int, int]] = []
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.YieldFrom)
+                and not _is_channel_site(node)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Name)
+                and not node.value.args and not node.value.keywords):
+            continue
+        known, target = env.resolve_name(node.value.func.id)
+        if not known or not callable(target):
+            continue
+        flags = _helper_subgenerator_flags(target)
+        if flags is None:
+            continue
+        found_sites.append((first_line + node.lineno - 1, flags))
+    return found_sites
+
+
+def _unrecognized_yields(fn: ast.FunctionDef, first_line: int = 1,
+                         approved: FrozenSet[int] = frozenset()) -> List[int]:
+    """Absolute lines of yields the plan has no node model for.
+
+    Approved helper sub-generator calls (``approved`` lines, from
+    :func:`_collect_helper_sites`) are modelled as synthetic sites; any
+    other unrecognized yield disqualifies the whole process.
     """
     lines = []
     for node in ast.walk(fn):
         if isinstance(node, ast.YieldFrom) and not _is_channel_site(node):
-            lines.append(node.lineno)
+            abs_line = first_line + node.lineno - 1
+            if abs_line not in approved:
+                lines.append(abs_line)
         elif isinstance(node, ast.Yield) and not _is_wait_site(node):
-            lines.append(node.lineno)
+            lines.append(first_line + node.lineno - 1)
     return lines
 
 
@@ -550,18 +724,23 @@ def build_plan(body) -> SegmentPlan:
                                                 ast.AsyncFunctionDef,
                                                 ast.Lambda)):
             return _ineligible(name, "nested function definition")
-    unknown = _unrecognized_yields(fn)
+    env, classify = _effects_env(body, fn)
+    helper_sites = _collect_helper_sites(fn, first_line, env)
+    unknown = _unrecognized_yields(
+        fn, first_line, frozenset(line for line, _ in helper_sites))
     if unknown:
         return _ineligible(
             name, f"unrecognized yield at line(s) {sorted(set(unknown))} "
             "(helper sub-generator?)")
     aliases = _collect_aliases(tree)
     sites = sites_in(fn, first_line, aliases)
-    lines = [site.lineno for site in sites]
+    lines = ([site.lineno for site in sites]
+             + [line for line, _ in helper_sites])
     if len(lines) != len(set(lines)):
         return _ineligible(name, "two node sites share a source line")
 
-    walker = _PurityWalker(first_line, aliases)
+    walker = _PurityWalker(first_line, aliases, classify=classify,
+                           helper_lines=dict(helper_sites))
     final = walker.walk(fn.body, {ENTRY_LINE: _BOTH}, None)
     for start, flags in final.items():
         walker._add_arc(start, EXIT_LINE, flags)
@@ -580,20 +759,31 @@ def build_plan(body) -> SegmentPlan:
                        closed)
 
 
-#: Plans keyed by the body's code object — vocoder-style factory bodies
-#: share one analysis across all their process instances.
-_PLAN_CACHE: Dict[int, SegmentPlan] = {}
+#: Plans keyed by the body's code object *and* its closure-cell
+#: contents: vocoder-style factory bodies share one code object across
+#: all stage instances, but close over different helpers whose effect
+#: classifications differ.  Each cache value pins strong references to
+#: the keyed objects so their ids cannot be recycled after collection
+#: (a bounded leak — one small tuple per distinct process body).
+_PLAN_CACHE: Dict[tuple, Tuple[SegmentPlan, tuple]] = {}
 
 
 def plan_for(body) -> SegmentPlan:
     code = getattr(body, "__code__", None)
     if code is None:
         return build_plan(body)
-    key = id(code)
-    plan = _PLAN_CACHE.get(key)
-    if plan is None:
-        plan = build_plan(body)
-        _PLAN_CACHE[key] = plan
+    cells = []
+    for cell in getattr(body, "__closure__", None) or ():
+        try:
+            cells.append(cell.cell_contents)
+        except ValueError:  # not-yet-filled cell
+            cells.append(cell)
+    key = (id(code), tuple(id(obj) for obj in cells))
+    entry = _PLAN_CACHE.get(key)
+    if entry is not None:
+        return entry[0]
+    plan = build_plan(body)
+    _PLAN_CACHE[key] = (plan, (code, tuple(cells)))
     return plan
 
 
@@ -629,6 +819,11 @@ class FastForwardEngine(SchedulerObserver):
         self.preseeded = 0
         self.replayed = 0
         self.checked = 0
+        #: static-plan counters, accumulated as processes start
+        self.plans = 0
+        self.eligible_arcs = 0
+        self.eligible_compute_arcs = 0
+        self.zero_charge_arcs = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -644,6 +839,20 @@ class FastForwardEngine(SchedulerObserver):
                 f"dynamically, {self.preseeded} seeded statically, "
                 f"{self.replayed} replayed, {self.checked} checked")
 
+    def stats(self) -> Dict[str, object]:
+        """Machine-readable counters (bench reports gate on these)."""
+        return {
+            "mode": "check" if self.check else "fast-forward",
+            "plans": self.plans,
+            "eligible_arcs": self.eligible_arcs,
+            "eligible_compute_arcs": self.eligible_compute_arcs,
+            "zero_charge_arcs": self.zero_charge_arcs,
+            "characterized": self.characterized,
+            "preseeded": self.preseeded,
+            "replayed": self.replayed,
+            "checked": self.checked,
+        }
+
     # -- observer callbacks ------------------------------------------------
 
     def _prepare(self, process: Process) -> Optional[SegmentPlan]:
@@ -654,6 +863,15 @@ class FastForwardEngine(SchedulerObserver):
             candidate = plan_for(getattr(process, "body", None))
             plan = candidate if candidate.ok else None
         if plan is not None:
+            self.plans += 1
+            self.eligible_arcs += len(plan.eligible)
+            self.zero_charge_arcs += len(plan.zero_charge)
+            # "Compute" arcs run between two real node sites and charge
+            # something — the segments fast-forwarding actually saves on.
+            self.eligible_compute_arcs += sum(
+                1 for arc in plan.eligible
+                if arc not in plan.zero_charge
+                and arc[0] > 0 and arc[1] > 0)
             for arc in plan.zero_charge:
                 if (pid, arc) not in self._bundles:
                     self._bundles[(pid, arc)] = _ZERO_BUNDLE

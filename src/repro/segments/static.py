@@ -165,6 +165,23 @@ def sites_in(node: ast.AST, first_line: int,
     return sorted(scanner.nodes, key=lambda n: n.lineno)
 
 
+def exception_site_lines(stmts, first_line: int,
+                         aliases: Optional[Dict[str, str]] = None) -> set:
+    """Absolute lines of every node site in a ``try`` body.
+
+    An exception can surface *after any site* inside the protected
+    block, so each site line — not just the block's normal exits — is a
+    possible predecessor of the handler's first site.  The graph
+    builders use this as the handler entry frontier instead of
+    collapsing the whole statement to opaque.
+    """
+    lines = set()
+    for stmt in stmts:
+        for site in sites_in(stmt, first_line, aliases):
+            lines.add(site.lineno)
+    return lines
+
+
 def coverage_report(body: Callable, graph) -> "CoverageReport":
     """Compare the static node sites of ``body`` with a dynamic graph.
 

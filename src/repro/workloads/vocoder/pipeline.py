@@ -63,6 +63,13 @@ def annotated_executor(fn: Callable, args: Sequence) -> int:
     return int(unwrap(result))
 
 
+# The executor is transparent by construction: it returns a plain int
+# and writes plain lists back, whatever the kernel does internally.
+# The effects analyzer keys on this marker to classify a stage's
+# execute(...) call by its kernel's charge verdict alone.
+annotated_executor.__repro_effects__ = {"kind": "executor"}
+
+
 # ---------------------------------------------------------------------------
 # Stages
 # ---------------------------------------------------------------------------

@@ -1,0 +1,42 @@
+"""A racy model where shared state escapes through aliases.
+
+``worker_a`` mutates the shared dict through an alias *returned* by a
+helper (``buf = shared_buffer(stats)``); ``worker_b`` hands the dict to
+a helper that mutates its *argument*.  Neither body writes the name
+``stats`` itself, so the per-body scan is blind; the effect summaries
+track both escape routes and `repro lint` flags RPR203
+(aliased-shared-state-escape).
+"""
+
+from repro import SimTime, wait
+
+ITERATIONS = 3
+
+
+def bump(counters):
+    counters["count"] = counters["count"] + 1
+
+
+def shared_buffer(store):
+    return store
+
+
+def build(simulator):
+    top = simulator.module("top")
+    stats = {"count": 0}
+
+    def worker_a():
+        for _ in range(ITERATIONS):
+            buf = shared_buffer(stats)
+            seen = buf["count"]
+            yield wait(SimTime.ns(10))
+            buf["count"] = seen + 1
+
+    def worker_b():
+        for _ in range(ITERATIONS):
+            yield wait(SimTime.ns(10))
+            bump(stats)
+
+    top.add_process(worker_a)
+    top.add_process(worker_b)
+    return stats

@@ -1,0 +1,37 @@
+"""The clean control for the interprocedural race fixtures.
+
+Both processes call a helper, but the helper is pure (no free-state
+writes, no aliases escaping) and all cross-process state flows through
+a fifo.  The effect summaries prove the helpers harmless, so `repro
+lint` reports nothing — helper calls alone must never trip RPR202/203.
+"""
+
+from repro import SimTime, wait
+
+ITERATIONS = 3
+
+
+def next_value(current, step):
+    return current + step
+
+
+def build(simulator):
+    top = simulator.module("top")
+    ticks = simulator.fifo("ticks")
+    totals = []
+
+    def worker():
+        value = 0
+        for _ in range(ITERATIONS):
+            value = next_value(value, 1)
+            yield wait(SimTime.ns(10))
+            yield from ticks.write(value)
+
+    def collector():
+        for _ in range(ITERATIONS):
+            value = yield from ticks.read()
+            totals.append(next_value(value, 0))
+
+    top.add_process(worker)
+    top.add_process(collector)
+    return totals

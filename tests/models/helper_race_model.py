@@ -1,0 +1,41 @@
+"""A cross-function racy model: the shared write hides in helpers.
+
+Same lost-update cycle as :mod:`tests.models.racy_model`, but neither
+worker touches ``stats`` directly — they go through ``fetch()`` and
+``publish()``.  A name-based per-body scan sees nothing; the
+interprocedural effect summaries propagate the helper's write back to
+each caller, so `repro lint` flags this as RPR202 (race-via-helper).
+
+The channel-mediated rewrite is :mod:`tests.models.helper_clean_model`.
+"""
+
+from repro import SimTime, wait
+
+ITERATIONS = 3
+
+
+def build(simulator):
+    top = simulator.module("top")
+    stats = {"count": 0}
+
+    def fetch():
+        return stats["count"]
+
+    def publish(value):
+        stats["count"] = value
+
+    def worker_a():
+        for _ in range(ITERATIONS):
+            seen = fetch()
+            yield wait(SimTime.ns(10))
+            publish(seen + 1)
+
+    def worker_b():
+        for _ in range(ITERATIONS):
+            seen = fetch()
+            yield wait(SimTime.ns(10))
+            publish(seen + 1)
+
+    top.add_process(worker_a)
+    top.add_process(worker_b)
+    return stats

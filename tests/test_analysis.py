@@ -59,7 +59,8 @@ class TestFramework:
     def test_rule_catalog_is_complete(self):
         assert set(RULES) == {
             "RPR001", "RPR101", "RPR102", "RPR103", "RPR104", "RPR105",
-            "RPR201", "RPR301", "RPR302", "RPR303", "RPR401", "RPR402",
+            "RPR201", "RPR202", "RPR203",
+            "RPR301", "RPR302", "RPR303", "RPR401", "RPR402",
         }
         text = rule_catalog()
         for code in RULES:

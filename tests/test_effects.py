@@ -1,0 +1,316 @@
+"""Tests for repro.analysis.effects — interprocedural effect summaries.
+
+Two layers under test.  The *static* layer builds per-function
+summaries (shared-state reads/writes with provenance, channel ops, wait
+sites) fixpointed over the module call graph; it powers the
+interprocedural race rules RPR202/RPR203, whose fixture models really
+lose updates when simulated.  The *concrete* layer classifies resolved
+callables by charge verdict (zero/constant/uniform/impure) plus
+transparency; it powers the segment fast-forward widening, so the
+verified kernel verdict table is pinned here.
+"""
+
+import ast
+import importlib.util
+import json
+import pathlib
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Simulator
+from repro.analysis import (
+    AnalysisResult,
+    RULES,
+    analyze_file,
+    render_json,
+    render_stats,
+)
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.effects import (
+    ARG_ALIAS,
+    CONSTANT,
+    DIRECT,
+    HELPER,
+    IMPURE,
+    PLAIN,
+    RETURN_ALIAS,
+    UNIFORM,
+    ZERO,
+    effects_report,
+    kernel_effect,
+    module_effects,
+)
+
+MODELS = pathlib.Path(__file__).resolve().parent / "models"
+
+
+def load_model(name):
+    spec = importlib.util.spec_from_file_location(name, MODELS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def codes(result):
+    return [d.code for d in result.sorted_diagnostics()]
+
+
+def fn_named(tree, name):
+    return next(node for node in ast.walk(tree)
+                if isinstance(node, ast.FunctionDef) and node.name == name)
+
+
+# ---------------------------------------------------------------------------
+# Static layer: summaries and provenance kinds
+# ---------------------------------------------------------------------------
+
+PROVENANCE_SOURCE = '''
+def build():
+    stats = {"n": 0}
+
+    def bump():
+        stats["n"] = stats["n"] + 1
+
+    def passthrough(x):
+        return x
+
+    def mutate(d):
+        d["n"] = 0
+
+    def helper_writer():
+        bump()
+
+    def alias_writer():
+        buf = passthrough(stats)
+        buf["n"] = 2
+
+    def arg_writer():
+        mutate(stats)
+
+    def direct_writer():
+        stats["n"] = 3
+
+    def reader():
+        return stats["n"]
+'''
+
+
+class TestStaticSummaries:
+    def setup_method(self):
+        self.tree = ast.parse(PROVENANCE_SOURCE)
+        self.effects = module_effects(self.tree)
+
+    def of(self, name):
+        return self.effects.of(fn_named(self.tree, name))
+
+    def test_direct_write_is_direct(self):
+        access = self.of("direct_writer").writes["stats"]
+        assert access.kind == DIRECT
+
+    def test_helper_write_propagates_as_helper(self):
+        access = self.of("helper_writer").writes["stats"]
+        assert access.kind == HELPER
+        assert access.via == "bump"
+
+    def test_argument_mutation_propagates_as_arg_alias(self):
+        access = self.of("arg_writer").writes["stats"]
+        assert access.kind == ARG_ALIAS
+        assert access.via == "mutate"
+
+    def test_returned_alias_write_propagates_as_return_alias(self):
+        access = self.of("alias_writer").writes["stats"]
+        assert access.kind == RETURN_ALIAS
+        assert access.via == "passthrough"
+
+    def test_pure_helper_stays_pure(self):
+        assert self.of("passthrough").pure
+        assert not self.of("bump").pure
+
+    def test_reader_records_read_not_write(self):
+        summary = self.of("reader")
+        assert "stats" in summary.reads
+        assert "stats" not in summary.writes
+
+
+# ---------------------------------------------------------------------------
+# RPR202/RPR203 fixtures: flagged statically, racy dynamically
+# ---------------------------------------------------------------------------
+
+class TestInterproceduralRaces:
+    def test_helper_race_fires_rpr202_and_loses_updates(self):
+        model = load_model("helper_race_model")
+        simulator = Simulator()
+        stats = model.build(simulator)
+        simulator.run()
+        # Two workers of ITERATIONS increments each, through helpers:
+        # the read-modify-write interleaves and half the updates vanish.
+        assert stats["count"] == model.ITERATIONS  # not 2 * ITERATIONS!
+        result = analyze_file(MODELS / "helper_race_model.py")
+        assert codes(result) == ["RPR202"]
+        assert "'stats'" in result.diagnostics[0].message
+        assert "publish" in result.diagnostics[0].message
+
+    def test_alias_race_fires_rpr203_and_loses_updates(self):
+        model = load_model("alias_race_model")
+        simulator = Simulator()
+        stats = model.build(simulator)
+        simulator.run()
+        assert stats["count"] < 2 * model.ITERATIONS  # updates lost
+        result = analyze_file(MODELS / "alias_race_model.py")
+        assert codes(result) == ["RPR203"]
+        assert "'stats'" in result.diagnostics[0].message
+
+    def test_clean_helper_control_is_silent_and_correct(self):
+        model = load_model("helper_clean_model")
+        simulator = Simulator()
+        totals = model.build(simulator)
+        simulator.run()
+        assert totals == [1, 2, 3]  # channel-mediated: nothing lost
+        assert analyze_file(MODELS / "helper_clean_model.py").clean
+
+
+# ---------------------------------------------------------------------------
+# Concrete layer: the kernel charge-verdict table
+# ---------------------------------------------------------------------------
+
+class TestKernelVerdicts:
+    def test_uniform_kernels(self):
+        from repro.workloads.vocoder import acb_search, lpc_interpolate
+        # Charge multisets are functions of the steady frame shape only.
+        assert kernel_effect(acb_search).verdict == UNIFORM
+        assert kernel_effect(lpc_interpolate).verdict == UNIFORM
+
+    def test_data_dependent_kernels_are_impure(self):
+        from repro.workloads.vocoder import (
+            icb_search, levinson_durbin, lsp_estimate, postprocess)
+        for kernel in (icb_search, levinson_durbin, lsp_estimate,
+                       postprocess):
+            assert kernel_effect(kernel).verdict == IMPURE, kernel.__name__
+
+    def test_verdict_lattice_order(self):
+        from repro.analysis.effects import join_verdicts
+        assert join_verdicts(ZERO, CONSTANT) == CONSTANT
+        assert join_verdicts(CONSTANT, UNIFORM) == UNIFORM
+        assert join_verdicts(UNIFORM, IMPURE) == IMPURE
+        assert join_verdicts() == ZERO
+
+    def test_annotation_intrinsics_are_rejected(self):
+        # aint returns an annotated value: transparent suppression is
+        # impossible, so its CallEffect must never approve with a plain
+        # result (the precharge classifier keys on result == PLAIN).
+        from repro.analysis.effects import dispatch_call
+        from repro.annotate import aint
+        effect = dispatch_call(aint, None, [])
+        assert effect.result != PLAIN
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+class TestReports:
+    def test_effects_report_shape(self):
+        report = json.loads(effects_report(
+            [MODELS / "helper_race_model.py"]))
+        assert report["version"] == 1
+        assert report["functions"] > 0
+        assert report["impure"] > 0
+        (summaries,) = report["files"].values()
+        by_name = {entry["qualname"]: entry for entry in summaries}
+        worker = by_name["build.worker_a"]
+        assert worker["writes"][0]["kind"] == "helper"
+        assert worker["wait_sites"]
+
+    def test_render_stats_counts_and_audit_trail(self):
+        result = AnalysisResult()
+        result.add([
+            Diagnostic(RULES["RPR202"], "m", path="x.py", line=3),
+            Diagnostic(RULES["RPR202"], "m", path="x.py", line=9),
+            Diagnostic(RULES["RPR203"], "m", path="x.py", line=4,
+                       suppressed=True, suppress_reason="demo reason"),
+        ])
+        text = render_stats(result)
+        assert "RPR202 race-via-helper: 2 active, 0 suppressed" in text
+        assert "suppressed rule set: RPR203" in text
+        assert "demo reason" in text
+
+    def test_render_stats_on_clean_result(self):
+        text = render_stats(AnalysisResult())
+        assert "(no findings)" in text
+        assert "suppressed rule set: (empty)" in text
+
+    def test_render_json_version_2_rule_keys(self):
+        result = AnalysisResult()
+        result.add([
+            Diagnostic(RULES["RPR202"], "m", path="x.py", line=3),
+            Diagnostic(RULES["RPR203"], "m", path="x.py", line=4,
+                       suppressed=True, suppress_reason="demo"),
+        ])
+        payload = json.loads(render_json(result))
+        assert payload["version"] == 2
+        assert payload["rules"]["RPR202"] == {"active": 1, "suppressed": 0}
+        assert payload["rules"]["RPR203"] == {"active": 0, "suppressed": 1}
+        assert payload["suppressed_rules"] == ["RPR203"]
+        assert payload["suppression_reasons"] == [
+            {"code": "RPR203", "path": "x.py", "line": 4, "reason": "demo"}]
+
+
+# ---------------------------------------------------------------------------
+# Property: dynamic shared-state writes are covered by the static summary
+# ---------------------------------------------------------------------------
+
+WRITE_SNIPPETS = {
+    "direct": '        shared["n"] = shared["n"] + 1\n',
+    "helper": "        bump()\n",
+    "arg": "        mutate(shared)\n",
+    "alias": '        buf = grab(shared)\n        buf["n"] = buf["n"] + 1\n',
+    "read": '        value = shared["n"]\n',
+    "none": "        pass\n",
+}
+
+PROPERTY_TEMPLATE = '''
+def build(shared):
+    def bump():
+        shared["n"] = shared["n"] + 1
+
+    def mutate(d):
+        d["n"] = d["n"] + 1
+
+    def grab(d):
+        return d
+
+    def worker():
+{body}
+    return worker
+'''
+
+
+class _RecordingDict(dict):
+    """Observes every dynamic write to the shared mapping."""
+
+    def __init__(self):
+        super().__init__(n=0)
+        self.write_count = 0
+
+    def __setitem__(self, key, value):
+        self.write_count += 1
+        super().__setitem__(key, value)
+
+
+@given(st.lists(st.sampled_from(sorted(WRITE_SNIPPETS)),
+                min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_observed_writes_are_covered_by_static_summary(kinds):
+    """Soundness: a dynamically observed shared-state write implies the
+    static summary records a write to that name (any provenance)."""
+    body = "".join(WRITE_SNIPPETS[kind] for kind in kinds)
+    source = PROPERTY_TEMPLATE.format(body=body)
+    tree = ast.parse(source)
+    summary = module_effects(tree).of(fn_named(tree, "worker"))
+
+    namespace = {}
+    exec(compile(source, "<effects-property>", "exec"), namespace)
+    shared = _RecordingDict()
+    namespace["build"](shared)()
+    if shared.write_count:
+        assert "shared" in summary.writes, kinds

@@ -106,9 +106,44 @@ class TestBuildPlan:
         total = sum(len(s) for s in plan.successors.values())
         assert len(plan.eligible) == total
 
-    def test_helper_subgenerator_disqualifies_process(self):
+    def test_single_site_helper_subgenerator_qualifies(self):
         def helper():
             yield wait(SimTime.ns(1))
+
+        def body():
+            yield wait(SimTime.ns(2))
+            yield from helper()
+
+        plan = build_plan(body)
+        assert plan.ok, plan.reason
+        # The helper surfaces one dynamic node at the call line; the
+        # plan models it as a synthetic site, and the helper's own
+        # charge-free flags keep every arc eligible and zero-charge.
+        total = sum(len(s) for s in plan.successors.values())
+        assert len(plan.eligible) == total
+        assert len(plan.successors) == 3  # entry + wait site + helper site
+
+    def test_charging_helper_arcs_are_eligible_but_not_zero(self):
+        def helper():
+            acc = THREE + THREE
+            yield from ch.write(acc)
+
+        def body():
+            yield wait(SimTime.ns(1))
+            yield from helper()
+
+        plan = build_plan(body)
+        assert plan.ok, plan.reason
+        # The helper's add charges, so its combined flags are pure but
+        # not zero-charge — applied to both arcs around its node.
+        charging = [arc for arc in plan.eligible
+                    if arc not in plan.zero_charge]
+        assert charging, plan.describe()
+
+    def test_multi_site_helper_disqualifies_process(self):
+        def helper():
+            yield wait(SimTime.ns(1))
+            yield wait(SimTime.ns(2))
 
         def body():
             yield from helper()
@@ -116,6 +151,57 @@ class TestBuildPlan:
         plan = build_plan(body)
         assert not plan.ok
         assert "unrecognized yield" in plan.reason
+
+    def test_helper_with_arguments_disqualifies_process(self):
+        def helper(ns):
+            yield wait(SimTime.ns(ns))
+
+        def body():
+            yield from helper(1)
+
+        plan = build_plan(body)
+        assert not plan.ok
+        assert "unrecognized yield" in plan.reason
+
+    def test_helper_with_control_flow_disqualifies_process(self):
+        def helper():
+            if True:
+                yield wait(SimTime.ns(1))
+
+        def body():
+            yield from helper()
+
+        plan = build_plan(body)
+        assert not plan.ok
+        assert "unrecognized yield" in plan.reason
+
+    def test_try_handler_arcs_are_modeled_but_impure(self):
+        def body():
+            yield wait(SimTime.ns(1))
+            try:
+                yield wait(SimTime.ns(2))
+            except ValueError:
+                yield wait(SimTime.ns(3))
+            yield wait(SimTime.ns(4))
+
+        plan = build_plan(body)
+        assert plan.ok
+        w1, w2, w3, w4 = sorted(
+            line for line in plan.successors if line > ENTRY_LINE)
+        # The exception-free path through the try charges
+        # deterministically and stays eligible ...
+        assert (w1, w2) in plan.eligible
+        assert (w2, w4) in plan.eligible
+        # ... while an exception may divert from before or after any
+        # site inside the protected block into the handler: those arcs
+        # are modeled (so suppression never meets a surprise successor)
+        # but impure, keeping the body sites open.
+        assert w3 in plan.successors[w1]
+        assert w3 in plan.successors[w2]
+        assert (w1, w3) not in plan.eligible
+        assert (w2, w3) not in plan.eligible
+        assert (w3, w4) not in plan.eligible
+        assert not plan.closed[w1] and not plan.closed[w2]
 
     def test_nested_function_disqualifies_process(self):
         def body():
@@ -160,6 +246,54 @@ class TestBuildPlan:
             yield wait(SimTime.ns(1))
 
         assert plan_for(body) is plan_for(body)
+
+    def test_plan_cache_distinguishes_closure_contents(self):
+        def make(helper):
+            def body():
+                yield wait(SimTime.ns(1))
+                yield from helper()
+            return body
+
+        def single_site():
+            yield wait(SimTime.ns(2))
+
+        def double_site():
+            yield wait(SimTime.ns(2))
+            yield wait(SimTime.ns(3))
+
+        # Both bodies share one code object but close over different
+        # helpers; a code-keyed cache would reuse the first verdict.
+        assert plan_for(make(single_site)).ok
+        assert not plan_for(make(double_site)).ok
+
+
+class TestVocoderPlans:
+    def test_uniform_stages_gain_eligible_compute_arcs(self):
+        from repro import Simulator
+        from repro.workloads.vocoder import (
+            STAGE_NAMES, build_vocoder, make_frames)
+
+        sim = Simulator()
+        design = build_vocoder(sim, make_frames(2), annotate=True)
+        plans = {name: plan_for(design.processes[name].body)
+                 for name in STAGE_NAMES}
+        assert all(plan.ok for plan in plans.values()), {
+            name: plan.reason for name, plan in plans.items()}
+
+        def compute_arcs(plan):
+            return [arc for arc in plan.eligible
+                    if arc not in plan.zero_charge
+                    and arc[0] > 0 and arc[1] > 0]
+
+        # The ACB and LPC kernels' charge multisets are functions of the
+        # steady frame shape only (uniform) and their stage wrappers are
+        # transparent, so the read->compute->write arc fast-forwards.
+        assert compute_arcs(plans["acb_search"])
+        assert compute_arcs(plans["lpc_int"])
+        # The other kernels charge data-dependently: their compute arcs
+        # stay on the dynamic path (but the wrap arcs remain modeled).
+        for name in ("lsp_estim", "icb_search", "post_proc"):
+            assert not compute_arcs(plans[name]), name
 
 
 # ---------------------------------------------------------------------------
@@ -308,3 +442,13 @@ class TestEngineEndToEnd:
         _, perf = _run_pipeline(fastforward=True)
         text = perf.engine.describe()
         assert "fast-forward" in text and "replayed" in text
+
+    def test_stats_reports_plan_counters(self):
+        _, perf = _run_pipeline(fastforward=True)
+        stats = perf.engine.stats()
+        assert stats["mode"] == "fast-forward"
+        assert stats["plans"] == 2
+        assert stats["eligible_arcs"] >= stats["eligible_compute_arcs"] >= 2
+        assert stats["zero_charge_arcs"] == perf.engine.zero_charge_arcs
+        assert stats["characterized"] == perf.engine.characterized
+        assert stats["replayed"] == perf.engine.replayed
