@@ -253,6 +253,23 @@ class CostContext:
     def snapshot_op_counts(self) -> Dict[str, int]:
         return self.op_counts
 
+    def scale_segment(self, factor: float) -> None:
+        """Scale the live segment's accumulated time by ``factor``.
+
+        Fault-injection hook (perturbed segment charge time): both the
+        operation-sum and, in ``hw`` mode, the critical-path span scale
+        together so ``segment_totals`` stays internally consistent.
+        The operation counts are untouched — the fault model perturbs
+        *time*, not the operation mix.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        self.total_cycles *= factor
+        if self.mode == MODE_HW:
+            span = self.max_ready - self._ready_base
+            if span > 0.0:
+                self.max_ready = self._ready_base + span * factor
+
     # -- fast-forward support (:mod:`repro.segments.precharge`) --------------
 
     def segment_snapshot(self) -> Tuple[float, float, tuple]:

@@ -20,6 +20,14 @@ and exact keys, never randomness — so a failing test replays exactly:
 * ``corrupt_puts_for`` — the write *appears* to succeed but the entry
   lands with a wrong payload checksum (torn write past the atomic
   rename, e.g. a buggy foreign writer sharing the directory).
+
+Fault kinds and provenance records come from the shared taxonomy in
+:mod:`repro.inject.vocabulary` (``cache-io-get``, ``cache-io-put``,
+``cache-torn-put``): every fault this harness lands is logged in
+:attr:`FaultingCache.applied` with the same record schema the
+model-level injector uses, so infra and model campaigns report through
+one vocabulary.  The import is deferred to call time to keep
+``repro.batch`` importable without pulling in the whole inject stack.
 """
 
 from __future__ import annotations
@@ -33,7 +41,15 @@ from .cache import CACHE_SCHEMA_VERSION, ResultCache
 
 
 class CacheFault(OSError):
-    """The injected failure; an OSError so real handling paths fire."""
+    """The injected failure; an OSError so real handling paths fire.
+
+    ``kind`` names the taxonomy entry (``cache-io-get`` /
+    ``cache-io-put``) the fault was injected as.
+    """
+
+    def __init__(self, message: str, kind: str = ""):
+        super().__init__(message)
+        self.kind = kind
 
 
 class FaultingCache(ResultCache):
@@ -54,21 +70,43 @@ class FaultingCache(ResultCache):
         self.get_calls = 0
         self.put_calls = 0
         self.faults_injected = 0
+        #: Shared-vocabulary provenance records, one per injected fault.
+        self.applied: list = []
+
+    def _log_fault(self, kind_name: str, operation: str, key: str) -> None:
+        from ..inject.vocabulary import FaultRecord
+
+        self.faults_injected += 1
+        self.applied.append(FaultRecord(
+            kind=kind_name, target=f"cache:{operation}:{key[:12]}"))
+
+    def faults_by_kind(self) -> dict:
+        """Injected-fault counts per taxonomy kind name."""
+        counts: dict = {}
+        for record in self.applied:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
 
     def get(self, key: str) -> Optional[dict]:
+        from ..inject.vocabulary import CACHE_IO_GET
+
         self.get_calls += 1
         if key in self.fail_gets_for or self.get_calls <= self.fail_first_gets:
-            self.faults_injected += 1
-            raise CacheFault(f"injected get fault for {key[:12]}…")
+            self._log_fault(CACHE_IO_GET.name, "get", key)
+            raise CacheFault(f"injected get fault for {key[:12]}…",
+                             kind=CACHE_IO_GET.name)
         return super().get(key)
 
     def put(self, key: str, payload: dict, describe: str = "") -> None:
+        from ..inject.vocabulary import CACHE_IO_PUT, CACHE_TORN_PUT
+
         self.put_calls += 1
         if key in self.fail_puts_for or self.put_calls <= self.fail_first_puts:
-            self.faults_injected += 1
-            raise CacheFault(f"injected put fault for {key[:12]}…")
+            self._log_fault(CACHE_IO_PUT.name, "put", key)
+            raise CacheFault(f"injected put fault for {key[:12]}…",
+                             kind=CACHE_IO_PUT.name)
         if key in self.corrupt_puts_for:
-            self.faults_injected += 1
+            self._log_fault(CACHE_TORN_PUT.name, "put", key)
             self._put_corrupt(key, payload, describe)
             return
         super().put(key, payload, describe)

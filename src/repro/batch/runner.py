@@ -388,7 +388,11 @@ def run_probe(params: dict) -> dict:
     ``corrupt-cache`` (+ ``marker`` path, ``seconds`` for the sleeping
     behaviors, ``value`` echoed back).
 
-    The last three are the fault-injection harness's worker half:
+    The last three are the fault-injection harness's worker half;
+    their behavior strings are defined by the shared fault taxonomy
+    (:mod:`repro.inject.vocabulary`: ``worker-death``, ``worker-stall``,
+    ``cache-foreign-corrupt``), and successful runs tag their payload
+    with the taxonomy ``fault`` name:
 
     ``die``
         Hard-exit the worker process mid-run (no exception, no result
@@ -407,6 +411,10 @@ def run_probe(params: dict) -> dict:
     import os
     import time
 
+    from ..inject.vocabulary import (
+        CACHE_FOREIGN_CORRUPT, WORKER_DEATH, WORKER_STALL,
+    )
+
     behavior = params.get("behavior", "ok")
     if behavior == "ok":
         return {"value": params.get("value", 0), "pid": os.getpid()}
@@ -422,27 +430,62 @@ def run_probe(params: dict) -> dict:
                 handle.write("attempted\n")
             raise RuntimeError("probe failing on first attempt")
         return {"value": params.get("value", 0), "pid": os.getpid()}
-    if behavior == "die":
+    if behavior == WORKER_DEATH.probe_behavior:
         marker = params.get("marker")
         if marker and os.path.exists(marker):
-            return {"value": params.get("value", 0), "pid": os.getpid()}
+            return {"value": params.get("value", 0), "pid": os.getpid(),
+                    "fault": WORKER_DEATH.name}
         if marker:
             with open(marker, "w", encoding="ascii") as handle:
                 handle.write("died\n")
         os._exit(int(params.get("exit_code", 3)))
-    if behavior == "slow-then-ok":
+    if behavior == WORKER_STALL.probe_behavior:
         marker = params["marker"]
         if not os.path.exists(marker):
             with open(marker, "w", encoding="ascii") as handle:
                 handle.write("slow\n")
             time.sleep(float(params.get("seconds", 60.0)))
-        return {"value": params.get("value", 0), "pid": os.getpid()}
-    if behavior == "corrupt-cache":
+        return {"value": params.get("value", 0), "pid": os.getpid(),
+                "fault": WORKER_STALL.name}
+    if behavior == CACHE_FOREIGN_CORRUPT.probe_behavior:
         from .cache import ResultCache
 
         target = ResultCache(params["cache_root"]).path_for(params["key"])
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text("{ corrupted by foreign writer", encoding="utf-8")
         return {"value": params.get("value", 0), "pid": os.getpid(),
-                "corrupted": params["key"]}
+                "corrupted": params["key"], "fault": CACHE_FOREIGN_CORRUPT.name}
     raise BatchError(f"unknown probe behavior {behavior!r}")
+
+
+# -- model-level fault injection (repro.inject) ---------------------------
+
+
+@register_runner("inject")
+def run_inject(params: dict) -> dict:
+    """One run of the injectable reference scenario (:mod:`repro.inject`).
+
+    The fault-free golden (``injection`` absent/None) and every
+    injected run of a dependability sweep go through this kind; the
+    body import is deferred so that freshly spawned workers register
+    the kind without paying for (or cyclically importing) the inject
+    stack until a run actually executes.
+    """
+    from ..inject.scenario import run_scenario
+
+    return run_scenario(params)
+
+
+@register_runner("faultload")
+def run_faultload(params: dict) -> dict:
+    """Expand a faultload in the worker and return its canonical form.
+
+    Exists for the determinism property layer: generating the same
+    ``(spec, seed)`` in a freshly spawned interpreter must produce a
+    byte-identical schedule (and hash) to the parent process.
+    """
+    from ..inject.faultload import FaultSpec, generate_faultload
+
+    spec = FaultSpec.from_dict(params["spec"])
+    load = generate_faultload(spec, int(params["seed"]))
+    return {"hash": load.hash(), "faultload": load.as_dict()}

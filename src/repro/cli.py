@@ -16,7 +16,10 @@ script:
   cache and its per-run trace artifacts (``stats``/``verify``/``gc``),
 * ``dse``        — seeded evolutionary design-space exploration over a
   genome space (builtin ``fig4`` or a JSON spec); prints the ranked
-  Pareto front and writes a deterministic JSON report.
+  Pareto front and writes a deterministic JSON report,
+* ``inject``     — model-level fault injection: deterministic faultload
+  generation, a cached campaign sweep, and the dependability report
+  (silent/detected/failed, failure rate, MTTF, detection latency).
 """
 
 from __future__ import annotations
@@ -295,7 +298,7 @@ def _cmd_cache(args) -> int:
         print(cache_stats(cache, trace_dir).describe())
         return 0
     if args.cache_command == "verify":
-        report = verify_cache(cache, trace_dir)
+        report = verify_cache(cache, trace_dir, jobs=max(1, args.jobs))
         print(report.describe())
         return 0 if report.ok else 1
     # gc
@@ -308,6 +311,60 @@ def _cmd_cache(args) -> int:
     report = gc_cache(cache, trace_dir, older_than_s=older_than_s,
                       keep=args.keep, dry_run=args.dry_run)
     print(report.describe())
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    from .batch import ProgressObserver, ResultCache
+    from .errors import InjectError
+    from .inject import (
+        DependabilityAnalysis,
+        MODEL_KINDS,
+        render_report,
+        write_report,
+    )
+
+    kinds = None
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+        known = set(MODEL_KINDS)
+        unknown = [k for k in kinds if k not in known]
+        if unknown:
+            raise SystemExit(
+                f"repro inject: unknown fault kind(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    observers = [] if args.quiet else [ProgressObserver()]
+    workers = 0 if args.serial else (args.workers or 0)
+    analysis = DependabilityAnalysis(
+        count=args.faults,
+        seed=args.seed,
+        workload=args.workload,
+        frames=args.frames,
+        stim_seed=args.stim_seed,
+        fastforward=not args.no_fastforward,
+        kinds=kinds,
+        window_ns=args.window_ns,
+        cache=cache,
+        workers=workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        start_method=args.start_method or None,
+        observers=observers)
+    print(f"faultload: {args.faults} injections, seed {args.seed}, "
+          f"workload {args.workload!r} ({args.frames} frames), "
+          f"cache {'off' if cache is None else cache.root}")
+    try:
+        report = analysis.run()
+    except InjectError as exc:
+        raise SystemExit(f"repro inject: {exc}")
+    print()
+    for line in render_report(report):
+        print(line)
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nwrote dependability report to {args.output}")
     return 0
 
 
@@ -830,11 +887,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     _cache_common(cache_sub.add_parser(
         "stats", help="entry/artifact counts, sizes and ages"))
-    _cache_common(cache_sub.add_parser(
+    verify_parser = cache_sub.add_parser(
         "verify",
         help="integrity-check every entry and every recorded trace "
              "pointer; exit 1 on any invalid entry, dangling pointer, "
-             "orphan or partial artifact"))
+             "orphan or partial artifact")
+    verify_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                               help="read entries through a thread pool of "
+                                    "N workers (default 1: serial; the "
+                                    "report is identical either way)")
+    _cache_common(verify_parser)
     gc_parser = cache_sub.add_parser(
         "gc", help="apply a retention policy to cache and artifacts")
     gc_parser.add_argument("--older-than", default=None, metavar="AGE",
@@ -849,6 +911,57 @@ def build_parser() -> argparse.ArgumentParser:
                            help="report what would be removed, remove "
                                 "nothing")
     _cache_common(gc_parser)
+
+    inject_parser = sub.add_parser(
+        "inject",
+        help="model-level fault injection: generate a deterministic "
+             "faultload, sweep it through the cached campaign pool, "
+             "print the dependability report (failure rate, MTTF, "
+             "detection latency)")
+    inject_parser.add_argument("--workload", default="fir",
+                               help="registry workload the scenario "
+                                    "pipelines (default: fir)")
+    inject_parser.add_argument("--frames", type=int, default=3,
+                               help="stimulus frames through the pipeline")
+    inject_parser.add_argument("--stim-seed", type=int, default=1,
+                               help="stimulus-stream LCG seed")
+    inject_parser.add_argument("--faults", type=int, default=20, metavar="N",
+                               help="injections in the faultload "
+                                    "(one campaign run each)")
+    inject_parser.add_argument("--seed", type=int, default=0,
+                               help="faultload seed; the same (spec, seed) "
+                                    "reproduces the same schedule and "
+                                    "report byte-for-byte")
+    inject_parser.add_argument("--kinds", default="",
+                               help="comma-separated fault kinds to draw "
+                                    "from (default: all model-level kinds)")
+    inject_parser.add_argument("--window-ns", type=int, default=None,
+                               help="injection window width (default: a "
+                                    "quarter of the golden horizon)")
+    inject_parser.add_argument("--no-fastforward", action="store_true",
+                               help="disable the segment fast-forward "
+                                    "engine in the scenario")
+    inject_parser.add_argument("--output", "-o", default="",
+                               help="write the JSON dependability report "
+                                    "here")
+    inject_parser.add_argument("--workers", type=int, default=None,
+                               help="worker processes (default: in-process)")
+    inject_parser.add_argument("--serial", action="store_true",
+                               help="force in-process evaluation")
+    inject_parser.add_argument("--timeout", type=float, default=None,
+                               help="per-run timeout in seconds")
+    inject_parser.add_argument("--retries", type=int, default=1,
+                               help="retry attempts per failed run")
+    inject_parser.add_argument("--cache-dir", default=".repro-cache",
+                               help="result cache directory")
+    inject_parser.add_argument("--no-cache", action="store_true",
+                               help="disable the result cache")
+    inject_parser.add_argument("--start-method", choices=("fork", "spawn"),
+                               default="",
+                               help="worker start method (default: platform)")
+    inject_parser.add_argument("--quiet", action="store_true",
+                               help="suppress per-run progress lines")
+    inject_parser.set_defaults(fn=_cmd_inject)
 
     trace_parser = sub.add_parser(
         "trace",

@@ -76,3 +76,13 @@ class CaptureError(ReproError):
 
 class CalibrationError(ReproError):
     """Weight fitting failed (singular system, empty microbenchmark set)."""
+
+
+class InjectError(ReproError):
+    """The fault-injection layer was configured inconsistently.
+
+    Examples: a faultload targets a channel or process the scenario
+    does not contain, segment-time faults without an attached
+    performance library, or a dependability analysis whose fault-free
+    golden run fails.
+    """

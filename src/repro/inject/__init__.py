@@ -1,0 +1,70 @@
+"""repro.inject — model-level fault injection and dependability reporting.
+
+The subsystem has four layers, mirroring an SBFI flow:
+
+* :mod:`~repro.inject.vocabulary` — the fault taxonomy shared with the
+  infra-level harness (:mod:`repro.batch.faults`),
+* :mod:`~repro.inject.faultload` — deterministic ``(spec, seed) →``
+  injection-schedule generation,
+* :mod:`~repro.inject.adapters` — non-intrusive application of a
+  schedule through the kernel/segment hook points,
+* :mod:`~repro.inject.analyzer` / :mod:`~repro.inject.report` — the
+  campaign sweep, silent/detected/failed classification and the
+  dependability report (failure rate, MTTF, detection latency).
+
+Import order matters for the batch bridge: ``vocabulary`` must load
+before ``analyzer`` pulls in the batch submodules, because
+``repro.batch.faults`` imports the vocabulary back.
+"""
+
+from .vocabulary import (
+    FAULT_KINDS,
+    FaultKind,
+    FaultRecord,
+    INFRA_KINDS,
+    LAYER_INFRA,
+    LAYER_MODEL,
+    MODEL_KINDS,
+    behavior_kind,
+    fault_kind,
+)
+from .faultload import (
+    CHANNEL_KINDS,
+    DEFAULT_KINDS,
+    FaultSpec,
+    Faultload,
+    Injection,
+    PROCESS_KINDS,
+    SEGMENT_KINDS,
+    generate_faultload,
+    merged_windows,
+)
+from .adapters import AppliedFault, Injector
+from .scenario import (
+    CHANNEL_ADDRESSES,
+    PROCESS_ADDRESSES,
+    run_scenario,
+)
+from .analyzer import (
+    Classification,
+    DependabilityAnalysis,
+    OUTCOME_DETECTED,
+    OUTCOME_FAILED,
+    OUTCOME_SILENT,
+    classify_run,
+)
+from .report import render_report, write_report
+
+__all__ = [
+    "FAULT_KINDS", "FaultKind", "FaultRecord", "INFRA_KINDS",
+    "LAYER_INFRA", "LAYER_MODEL", "MODEL_KINDS", "behavior_kind",
+    "fault_kind",
+    "CHANNEL_KINDS", "DEFAULT_KINDS", "FaultSpec", "Faultload",
+    "Injection", "PROCESS_KINDS", "SEGMENT_KINDS", "generate_faultload",
+    "merged_windows",
+    "AppliedFault", "Injector",
+    "CHANNEL_ADDRESSES", "PROCESS_ADDRESSES", "run_scenario",
+    "Classification", "DependabilityAnalysis", "OUTCOME_DETECTED",
+    "OUTCOME_FAILED", "OUTCOME_SILENT", "classify_run",
+    "render_report", "write_report",
+]

@@ -1,0 +1,283 @@
+"""Injection adapters: apply a faultload to a live simulation.
+
+The adapters are non-intrusive by construction — they attach only to
+the hook points the kernel and segment layers expose:
+
+* channel **payload filters** (:class:`~repro.kernel.channels.Channel`)
+  for bit flips and value corruption,
+* the scheduler's **scheduled actions** for killing / stalling a
+  process at its window start,
+* the scheduler's **timed-entry filter** for dropping or delaying
+  timed kernel events aimed at a process,
+* the segment tracker's **charge hooks** for scaling a segment's
+  accumulated time before the tracker and the timing agent read it,
+* the fast-forward engine's **gate**, so that inside any faulted
+  window the engine neither records nor begins replaying segment
+  bundles — faulted windows always charge through the normal dynamic
+  machinery.
+
+Workload and scenario sources are never edited, so the single-source
+methodology (and the RPR lint corpus) is untouched.  Every fault the
+injector actually lands is logged as an :class:`AppliedFault` carrying
+the shared :class:`~repro.inject.vocabulary.FaultRecord` provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ElaborationError, InjectError
+from ..kernel.scheduler import _ACTION, _EVENT_WAKE, _NEGOTIATE, _RESUME
+from ..kernel.simulator import Simulator
+from ..kernel.time import SimTime
+from .faultload import Injection, merged_windows
+from .vocabulary import (
+    EVENT_DELAY, EVENT_DROP, FaultRecord, PAYLOAD_BITFLIP, PAYLOAD_VALUE,
+    PROCESS_KILL, PROCESS_STUCK, SEGMENT_TIME,
+)
+
+PPM = 1_000_000.0
+
+
+@dataclasses.dataclass(frozen=True)
+class AppliedFault:
+    """Provenance of one injection that actually landed."""
+
+    injection: int
+    record: FaultRecord
+
+    def as_dict(self) -> dict:
+        data = self.record.as_dict()
+        data["injection"] = self.injection
+        return data
+
+
+def _parse_target(injection: Injection) -> Tuple[str, str]:
+    scheme, _, rest = injection.target.partition(":")
+    if not rest:
+        raise InjectError(f"malformed injection target {injection.target!r}")
+    return scheme, rest
+
+
+class Injector:
+    """Applies a schedule of injections to one simulator via the hooks.
+
+    Accepts any sequence of :class:`Injection` records — the whole
+    schedule of a :class:`~repro.inject.faultload.Faultload` (pass
+    ``load.injections``) or the single record of one campaign run.
+    """
+
+    def __init__(self, injections):
+        self.injections: Tuple[Injection, ...] = tuple(injections)
+        self.applied: List[AppliedFault] = []
+        self._hits: Dict[int, int] = {}     # injection index -> opportunities seen
+        self._fired: set = set()            # injection indices already applied
+        self._windows = merged_windows(self.injections)
+        self._scheduler = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, simulator: Simulator, library=None) -> "Injector":
+        """Install every adapter the faultload needs.
+
+        ``library`` (a :class:`~repro.core.PerformanceLibrary`) is
+        required only when the faultload contains segment-time faults;
+        its fast-forward engine, when present, is gated on the faulted
+        windows.
+        """
+        self._scheduler = simulator.scheduler
+        channel_groups: Dict[str, List[Tuple[Injection, str]]] = {}
+        event_faults: List[Injection] = []
+        segment_faults: List[Injection] = []
+        processes = {p.full_name: p for p in simulator.iter_processes()}
+
+        for injection in self.injections:
+            scheme, address = _parse_target(injection)
+            if scheme == "channel":
+                name, _, operation = address.rpartition(".")
+                if not name:
+                    raise InjectError(
+                        f"channel target {injection.target!r} must be "
+                        f"'channel:<name>.<operation>'")
+                try:
+                    simulator.channel(name)  # fail fast on unknown channels
+                except ElaborationError as exc:
+                    raise InjectError(
+                        f"injection targets unknown channel: {exc}")
+                channel_groups.setdefault(name, []).append(
+                    (injection, operation))
+            elif scheme == "process":
+                process = processes.get(address)
+                if process is None:
+                    raise InjectError(
+                        f"injection targets unknown process {address!r}")
+                if injection.kind in (PROCESS_KILL.name, PROCESS_STUCK.name):
+                    self._schedule_process_fault(injection, process)
+                elif injection.kind in (EVENT_DROP.name, EVENT_DELAY.name):
+                    event_faults.append(injection)
+                else:
+                    raise InjectError(
+                        f"kind {injection.kind!r} cannot target a process")
+            elif scheme == "segment":
+                if address not in processes:
+                    raise InjectError(
+                        f"injection targets unknown process {address!r}")
+                segment_faults.append(injection)
+            else:
+                raise InjectError(
+                    f"unknown target scheme in {injection.target!r}")
+
+        for name, group in channel_groups.items():
+            self._install_payload_filter(simulator.channel(name), group)
+        if event_faults:
+            self._install_timed_filter(simulator.scheduler, event_faults)
+        if segment_faults:
+            if library is None:
+                raise InjectError(
+                    "segment-time faults need an attached performance "
+                    "library (pass library= to Injector.attach)")
+            self._install_charge_hook(library.tracker, segment_faults)
+        if library is not None and library.engine is not None:
+            library.engine.gate = self._gate
+        return self
+
+    # -- window / ordinal bookkeeping --------------------------------------
+
+    def _in_window(self, now_fs: int) -> bool:
+        for start, end in self._windows:
+            if start <= now_fs < end:
+                return True
+            if start > now_fs:
+                break
+        return False
+
+    def _gate(self, process, now: SimTime) -> bool:
+        return not self._in_window(now.femtoseconds)
+
+    def _due(self, injection: Injection, now_fs: int) -> bool:
+        """Count one matching opportunity; True when the fault fires."""
+        if injection.index in self._fired:
+            return False
+        start, end = injection.window_fs
+        if not start <= now_fs < end:
+            return False
+        seen = self._hits.get(injection.index, 0)
+        self._hits[injection.index] = seen + 1
+        return seen == injection.ordinal
+
+    def _record(self, injection: Injection, time_fs: int, detail: str) -> None:
+        self._fired.add(injection.index)
+        self.applied.append(AppliedFault(
+            injection=injection.index,
+            record=FaultRecord(kind=injection.kind, target=injection.target,
+                               time_fs=time_fs, detail=detail)))
+
+    # -- channel payload faults ---------------------------------------------
+
+    def _install_payload_filter(self, channel, group) -> None:
+        def corrupt(chan, operation, value, group=group):
+            now_fs = chan.scheduler.now.femtoseconds
+            for injection, wanted_op in group:
+                if operation != wanted_op:
+                    continue
+                if not self._due(injection, now_fs):
+                    continue
+                if injection.kind == PAYLOAD_BITFLIP.name:
+                    if not isinstance(value, int):
+                        # The bit-flip model is defined on integer
+                        # payloads; a non-integer at the struck access
+                        # leaves the value intact (fault not activated).
+                        continue
+                    flipped = value ^ (1 << injection.argument)
+                    self._record(injection, now_fs,
+                                 f"{operation}: {value} -> {flipped}")
+                    value = flipped
+                elif injection.kind == PAYLOAD_VALUE.name:
+                    self._record(injection, now_fs,
+                                 f"{operation}: {value!r} -> {injection.argument}")
+                    value = injection.argument
+            return value
+
+        channel.payload_filters.append(corrupt)
+
+    # -- process faults ------------------------------------------------------
+
+    def _schedule_process_fault(self, injection: Injection, process) -> None:
+        scheduler = self._scheduler
+
+        def strike(injection=injection, process=process):
+            now_fs = scheduler.now.femtoseconds
+            if process.done or injection.index in self._fired:
+                return
+            if injection.kind == PROCESS_KILL.name:
+                scheduler.kill_process(process)
+                self._record(injection, now_fs, "killed")
+            else:
+                scheduler.stall_process(process)
+                self._record(injection, now_fs, "stalled")
+
+        # The action fires at the window start: ordinal is meaningless
+        # for one-shot process faults (exactly one opportunity).
+        scheduler.schedule_action(SimTime(injection.window_fs[0]), strike)
+
+    # -- event faults ---------------------------------------------------------
+
+    def _install_timed_filter(self, scheduler, faults: List[Injection]) -> None:
+        targets = {}
+        for injection in faults:
+            _, address = _parse_target(injection)
+            targets.setdefault(address, []).append(injection)
+
+        def filter_timed(when, kind, payload):
+            if kind == _ACTION:
+                return when
+            if kind == _RESUME or kind == _EVENT_WAKE:
+                process = payload[0]
+            elif kind == _NEGOTIATE:
+                process = payload
+            else:  # pragma: no cover - future kinds pass through
+                return when
+            group = targets.get(process.full_name)
+            if not group:
+                return when
+            now_fs = scheduler.now.femtoseconds
+            for injection in group:
+                if not self._due(injection, now_fs):
+                    continue
+                if injection.kind == EVENT_DROP.name:
+                    self._record(injection, now_fs, f"dropped {kind}")
+                    return None
+                delayed = when + SimTime(injection.argument)
+                self._record(
+                    injection, now_fs,
+                    f"delayed {kind} by {injection.argument} fs")
+                return delayed
+            return when
+
+        if scheduler.timed_filter is not None:
+            raise InjectError("scheduler already has a timed filter installed")
+        scheduler.timed_filter = filter_timed
+
+    # -- segment-time faults ---------------------------------------------------
+
+    def _install_charge_hook(self, tracker, faults: List[Injection]) -> None:
+        targets: Dict[str, List[Injection]] = {}
+        for injection in faults:
+            _, address = _parse_target(injection)
+            targets.setdefault(address, []).append(injection)
+
+        def perturb(process, node, now, ctx):
+            group = targets.get(process.full_name)
+            if not group:
+                return
+            now_fs = now.femtoseconds
+            for injection in group:
+                if not self._due(injection, now_fs):
+                    continue
+                factor = injection.argument / PPM
+                ctx.scale_segment(factor)
+                self._record(injection, now_fs,
+                             f"segment time x{factor:g} at {node.describe()}")
+
+        tracker.charge_hooks.append(perturb)

@@ -1,0 +1,328 @@
+"""Dependability analysis: sweep a faultload through the campaign pool.
+
+One :class:`~repro.batch.config.RunConfig` per injection, all of kind
+``"inject"``, cache-keyed by the faultload hash plus the injection's
+canonical record — so re-running an analysis resolves from the warm
+result cache, and two analyses over the same ``(spec, seed)`` share
+every entry.  Each faulted run is classified against the fault-free
+golden by its capture-probe observations alone (SBFI style):
+
+``silent``
+    The probes saw exactly the golden stream — either the fault never
+    activated (its window/ordinal matched nothing) or the design
+    masked it.
+``detected``
+    The run completed but a probe diverged — in value or in simulated
+    time.  Detection latency = first divergent probe time minus first
+    fault application time.
+``failed``
+    The run crashed, or the pipeline never delivered all frames
+    (killed/stalled processes, dropped events → starvation).
+
+The report splits canonical content from execution statistics the way
+``repro.dse`` reports do: everything outside the ``execution`` block
+is a pure function of ``(scenario, spec, seed)`` and is byte-stable
+across reruns, hosts and worker pools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..batch.cache import ResultCache
+from ..batch.campaign import Campaign, RunResult
+from ..batch.config import RunConfig
+from ..errors import InjectError
+from .faultload import FS_PER_NS, FaultSpec, Faultload, generate_faultload
+from .scenario import (
+    CHANNEL_ADDRESSES, DEFAULT_FRAMES, DEFAULT_STIM_SEED, DEFAULT_WORKLOAD,
+    PROCESS_ADDRESSES,
+)
+from .vocabulary import MODEL_KINDS
+
+OUTCOME_SILENT = "silent"
+OUTCOME_DETECTED = "detected"
+OUTCOME_FAILED = "failed"
+
+REPORT_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Classification:
+    """Verdict for one injected run."""
+
+    index: int
+    kind: str
+    target: str
+    window_fs: List[int]
+    outcome: str
+    activated: bool
+    status: str                     # campaign status: ok | failed | timeout
+    cached: bool
+    detection_latency_fs: Optional[int] = None
+    first_divergence_fs: Optional[int] = None
+
+    def as_canonical_dict(self) -> dict:
+        data = {
+            "index": self.index,
+            "kind": self.kind,
+            "target": self.target,
+            "window_fs": list(self.window_fs),
+            "outcome": self.outcome,
+            "activated": self.activated,
+            "detection_latency_fs": self.detection_latency_fs,
+            "first_divergence_fs": self.first_divergence_fs,
+        }
+        return data
+
+
+def _first_divergence(golden: dict, payload: dict) -> Optional[int]:
+    """Simulated time (fs) of the first probe observation that differs."""
+    gold_events = golden["out_events"]
+    run_events = payload["out_events"]
+    for gold, run in zip(gold_events, run_events):
+        if gold != run:
+            return int(run[0])
+    if len(run_events) != len(gold_events):
+        longer = run_events if len(run_events) > len(gold_events) else gold_events
+        return int(longer[min(len(run_events), len(gold_events))][0])
+    if payload["checksum"] != golden["checksum"]:
+        return int(payload["end_fs"])
+    if payload["end_fs"] != golden["end_fs"]:
+        return int(payload["end_fs"])
+    return None
+
+
+def classify_run(golden: dict, result: RunResult, injection) -> Classification:
+    """Classify one campaign result against the golden payload."""
+    base = dict(index=injection.index, kind=injection.kind,
+                target=injection.target, window_fs=list(injection.window_fs),
+                status=result.status, cached=result.cached)
+    payload = result.payload
+    if not result.ok or payload is None:
+        return Classification(outcome=OUTCOME_FAILED, activated=True, **base)
+    activated = bool(payload.get("applied"))
+    if not payload.get("completed") or (
+            payload["frames_completed"] < golden["frames_completed"]):
+        return Classification(outcome=OUTCOME_FAILED, activated=activated,
+                              **base)
+    divergence = _first_divergence(golden, payload)
+    if divergence is None:
+        return Classification(outcome=OUTCOME_SILENT, activated=activated,
+                              **base)
+    latency: Optional[int] = None
+    applied_times = [int(fault["time_fs"]) for fault in payload["applied"]]
+    if applied_times:
+        latency = max(0, divergence - min(applied_times))
+    return Classification(outcome=OUTCOME_DETECTED, activated=activated,
+                          detection_latency_fs=latency,
+                          first_divergence_fs=divergence, **base)
+
+
+def _latency_stats(latencies_fs: Sequence[int]) -> Optional[dict]:
+    if not latencies_fs:
+        return None
+    ordered = sorted(latencies_fs)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        median = float(ordered[mid])
+    else:
+        median = (ordered[mid - 1] + ordered[mid]) / 2.0
+    return {
+        "min_ns": ordered[0] / FS_PER_NS,
+        "p50_ns": median / FS_PER_NS,
+        "mean_ns": sum(ordered) / len(ordered) / FS_PER_NS,
+        "max_ns": ordered[-1] / FS_PER_NS,
+        "count": len(ordered),
+    }
+
+
+class DependabilityAnalysis:
+    """Generate a faultload, sweep it, classify, and report.
+
+    The fault-model horizon is derived from the golden run: windows are
+    placed over ``[0, golden end]`` so every injection has a chance to
+    land inside live simulation.  The derivation is deterministic, so
+    the resulting spec (and faultload hash, and cache keys) is a pure
+    function of ``(scenario parameters, count, kinds, seed)``.
+    """
+
+    def __init__(self,
+                 count: int,
+                 seed: int,
+                 workload: str = DEFAULT_WORKLOAD,
+                 frames: int = DEFAULT_FRAMES,
+                 stim_seed: int = DEFAULT_STIM_SEED,
+                 fastforward: bool = True,
+                 kinds: Optional[Sequence[str]] = None,
+                 window_ns: Optional[int] = None,
+                 cache=None,
+                 workers: Optional[int] = 0,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 1,
+                 start_method: Optional[str] = None,
+                 observers: Sequence = ()):
+        self.count = int(count)
+        self.seed = int(seed)
+        self.workload = workload
+        self.frames = int(frames)
+        self.stim_seed = int(stim_seed)
+        self.fastforward = bool(fastforward)
+        self.kinds = tuple(kinds) if kinds else MODEL_KINDS
+        self.window_ns = window_ns
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.start_method = start_method
+        self.observers = tuple(observers)
+        #: Filled by :meth:`run`.
+        self.faultload: Optional[Faultload] = None
+        self.golden: Optional[dict] = None
+
+    # -- config construction -----------------------------------------------
+
+    def _scenario_params(self) -> dict:
+        return {
+            "workload": self.workload,
+            "frames": self.frames,
+            "stim_seed": self.stim_seed,
+            "fastforward": self.fastforward,
+        }
+
+    def golden_config(self) -> RunConfig:
+        return RunConfig.of("inject", f"{self.workload}-golden",
+                            **self._scenario_params())
+
+    def injection_configs(self, faultload: Faultload) -> List[RunConfig]:
+        fhash = faultload.hash()
+        configs = []
+        for injection in faultload.injections:
+            configs.append(RunConfig.of(
+                "inject",
+                f"{self.workload}-f{injection.index:03d}-{injection.kind}",
+                faultload=fhash,
+                injection=injection.as_dict(),
+                **self._scenario_params()))
+        return configs
+
+    def _campaign(self, configs: Sequence[RunConfig]) -> Campaign:
+        return Campaign(configs,
+                        workers=self.workers,
+                        timeout_s=self.timeout_s,
+                        retries=self.retries,
+                        cache=self.cache,
+                        start_method=self.start_method,
+                        observers=self.observers)
+
+    def build_spec(self, golden_end_fs: int) -> FaultSpec:
+        horizon_ns = max(1, -(-int(golden_end_fs) // FS_PER_NS))
+        window_ns = self.window_ns
+        if window_ns is None:
+            window_ns = max(1, horizon_ns // 4)
+        return FaultSpec(count=self.count,
+                         kinds=self.kinds,
+                         channels=CHANNEL_ADDRESSES,
+                         processes=PROCESS_ADDRESSES,
+                         horizon_ns=horizon_ns,
+                         window_ns=window_ns)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> dict:
+        """Run golden + sweep; return the dependability report dict."""
+        golden_campaign = self._campaign([self.golden_config()])
+        golden_result = golden_campaign.run()[0]
+        if not golden_result.ok or golden_result.payload is None:
+            raise InjectError(
+                f"fault-free golden run failed: {golden_result.error or golden_result.status}")
+        self.golden = golden_result.payload
+
+        spec = self.build_spec(self.golden["end_fs"])
+        self.faultload = generate_faultload(spec, self.seed)
+        configs = self.injection_configs(self.faultload)
+        campaign = self._campaign(configs)
+        results = campaign.run()
+
+        classifications = [
+            classify_run(self.golden, result, injection)
+            for result, injection in zip(results, self.faultload.injections)]
+        return self._report(spec, classifications,
+                            golden_campaign.metrics, campaign.metrics)
+
+    # -- report assembly -----------------------------------------------------
+
+    def _report(self, spec: FaultSpec,
+                classifications: List[Classification],
+                golden_metrics, metrics) -> dict:
+        by_outcome = {OUTCOME_SILENT: 0, OUTCOME_DETECTED: 0,
+                      OUTCOME_FAILED: 0}
+        by_kind: Dict[str, Dict[str, int]] = {}
+        latencies: List[int] = []
+        activated = 0
+        for item in classifications:
+            by_outcome[item.outcome] += 1
+            bucket = by_kind.setdefault(item.kind, {
+                "runs": 0, OUTCOME_SILENT: 0, OUTCOME_DETECTED: 0,
+                OUTCOME_FAILED: 0})
+            bucket["runs"] += 1
+            bucket[item.outcome] += 1
+            if item.activated:
+                activated += 1
+            if item.detection_latency_fs is not None:
+                latencies.append(item.detection_latency_fs)
+
+        runs = len(classifications)
+        failures = by_outcome[OUTCOME_FAILED]
+        golden_end_fs = int(self.golden["end_fs"])
+        mttf_ns = None
+        if failures:
+            # Total operational simulated time across the sweep, per
+            # failure — the classic campaign MTTF estimator.
+            mttf_ns = runs * golden_end_fs / FS_PER_NS / failures
+
+        return {
+            "schema": REPORT_SCHEMA,
+            "scenario": self._scenario_params(),
+            "seed": self.seed,
+            "spec": spec.as_dict(),
+            "faultload_hash": self.faultload.hash(),
+            "golden": {
+                "end_fs": golden_end_fs,
+                "checksum": self.golden["checksum"],
+                "frames_completed": self.golden["frames_completed"],
+                "out_events": self.golden["out_events"],
+            },
+            "runs": [item.as_canonical_dict() for item in classifications],
+            "metrics": {
+                "runs": runs,
+                "silent": by_outcome[OUTCOME_SILENT],
+                "detected": by_outcome[OUTCOME_DETECTED],
+                "failed": failures,
+                "activated": activated,
+                "failure_rate": failures / runs if runs else 0.0,
+                "detection_rate":
+                    by_outcome[OUTCOME_DETECTED] / runs if runs else 0.0,
+                "mttf_ns": mttf_ns,
+                "detection_latency_ns": _latency_stats(latencies),
+                "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+            },
+            "execution": {
+                "workers": self.workers,
+                "golden": {
+                    "cache_hits": golden_metrics.cache_hits,
+                    "simulated": len(golden_metrics.run_wall_s),
+                },
+                "sweep": {
+                    "cache_hits": metrics.cache_hits,
+                    "simulated": len(metrics.run_wall_s),
+                    "retries": metrics.retries,
+                    "failed_runs": metrics.failed,
+                    "wall_s": metrics.wall_s,
+                },
+            },
+        }

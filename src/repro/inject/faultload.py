@@ -1,0 +1,244 @@
+"""Deterministic faultload generation for model-level injection.
+
+SBFI-style campaigns (DAVOS) separate *what could go wrong* (the fault
+model) from *what we actually inject* (the faultload): the generator
+below expands a :class:`FaultSpec` plus an integer seed into a fixed
+schedule of :class:`Injection` records, each carrying a structural
+address, a simulated-time window, an activation ordinal and the fault
+argument.  The expansion is a pure function of ``(spec, seed)``:
+
+* randomness comes from ``random.Random`` seeded with an integer
+  derived from the canonical spec JSON via SHA-256 — never from
+  ``hash()`` (which varies across interpreter launches) — so the same
+  inputs produce byte-identical schedules in-process and in freshly
+  spawned workers;
+* every injection embeds the seed it was drawn from, which makes the
+  disjointness of schedules from different seeds structural rather
+  than probabilistic.
+
+``Faultload.hash()`` fingerprints the whole schedule; the analyzer
+folds it into each ``RunConfig`` so campaign cache keys change exactly
+when the faultload does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+from typing import Dict, Tuple
+
+from .vocabulary import (
+    EVENT_DELAY, EVENT_DROP, LAYER_MODEL, PAYLOAD_BITFLIP, PAYLOAD_VALUE,
+    PROCESS_KILL, PROCESS_STUCK, SEGMENT_TIME, fault_kind,
+)
+
+FS_PER_NS = 1_000_000
+
+#: Kinds targeting a channel access ("channel:<name>.<operation>").
+CHANNEL_KINDS = (PAYLOAD_BITFLIP.name, PAYLOAD_VALUE.name)
+#: Kinds targeting a process by full name ("process:<full_name>").
+PROCESS_KINDS = (PROCESS_STUCK.name, PROCESS_KILL.name,
+                 EVENT_DROP.name, EVENT_DELAY.name)
+#: Kinds targeting a process's segments ("segment:<full_name>").
+SEGMENT_KINDS = (SEGMENT_TIME.name,)
+
+DEFAULT_KINDS = CHANNEL_KINDS + PROCESS_KINDS + SEGMENT_KINDS
+
+
+def _canonical_json(data) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """The fault model: what to draw injections from.
+
+    ``channels`` lists channel access addresses (``"<name>.<op>"``)
+    payload faults may hit; ``processes`` lists process full names the
+    process/event/segment faults may hit.  Windows are placed uniformly
+    inside ``[0, horizon_ns)`` with width ``window_ns``.
+    """
+
+    count: int
+    kinds: Tuple[str, ...] = DEFAULT_KINDS
+    channels: Tuple[str, ...] = ()
+    processes: Tuple[str, ...] = ()
+    horizon_ns: int = 1000
+    window_ns: int = 100
+    max_ordinal: int = 4
+    bits: int = 16
+    scale_min_ppm: int = 1_500_000
+    scale_max_ppm: int = 8_000_000
+    delay_min_ns: int = 10
+    delay_max_ns: int = 500
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be >= 0")
+        if self.horizon_ns <= 0 or self.window_ns <= 0:
+            raise ValueError("horizon_ns and window_ns must be positive")
+        if self.max_ordinal <= 0:
+            raise ValueError("max_ordinal must be positive")
+        for name in self.kinds:
+            kind = fault_kind(name)
+            if kind.layer != LAYER_MODEL:
+                raise ValueError(
+                    f"faultloads inject model-level kinds only, got {name!r}")
+            if name in CHANNEL_KINDS and not self.channels:
+                raise ValueError(f"kind {name!r} needs a non-empty channels list")
+            if name in PROCESS_KINDS + SEGMENT_KINDS and not self.processes:
+                raise ValueError(f"kind {name!r} needs a non-empty processes list")
+
+    def as_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        for key in ("kinds", "channels", "processes"):
+            data[key] = list(data[key])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        fields = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in fields}
+        for key in ("kinds", "channels", "processes"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class Injection:
+    """One scheduled fault: kind + address + window + ordinal + argument.
+
+    ``ordinal`` counts matching opportunities inside the window (the
+    n-th matching channel access / timed event); ``argument`` is the
+    kind-specific payload: bit index for ``payload-bitflip``,
+    replacement value for ``payload-value``, scale factor in ppm for
+    ``segment-time``, delay in fs for ``event-delay``, 0 otherwise.
+    """
+
+    index: int
+    kind: str
+    target: str
+    window_fs: Tuple[int, int]
+    ordinal: int
+    argument: int
+    seed: int
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "target": self.target,
+            "window_fs": list(self.window_fs),
+            "ordinal": self.ordinal,
+            "argument": self.argument,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Injection":
+        return cls(
+            index=int(data["index"]),
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            window_fs=(int(data["window_fs"][0]), int(data["window_fs"][1])),
+            ordinal=int(data["ordinal"]),
+            argument=int(data["argument"]),
+            seed=int(data["seed"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Faultload:
+    """A fully expanded injection schedule plus its provenance."""
+
+    spec: FaultSpec
+    seed: int
+    injections: Tuple[Injection, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "spec": self.spec.as_dict(),
+            "seed": self.seed,
+            "injections": [inj.as_dict() for inj in self.injections],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Faultload":
+        return cls(
+            spec=FaultSpec.from_dict(data["spec"]),
+            seed=int(data["seed"]),
+            injections=tuple(
+                Injection.from_dict(item) for item in data["injections"]),
+        )
+
+    def hash(self) -> str:
+        """SHA-256 fingerprint of the canonical schedule JSON."""
+        blob = _canonical_json(self.as_dict()).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+def _rng_for(spec: FaultSpec, seed: int) -> random.Random:
+    blob = _canonical_json({"spec": spec.as_dict(), "seed": seed})
+    digest = hashlib.sha256(blob.encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+def generate_faultload(spec: FaultSpec, seed: int) -> Faultload:
+    """Expand ``spec`` under ``seed`` into a deterministic schedule."""
+    rng = _rng_for(spec, seed)
+    horizon_fs = spec.horizon_ns * FS_PER_NS
+    window_fs = spec.window_ns * FS_PER_NS
+    injections = []
+    for index in range(spec.count):
+        kind = rng.choice(spec.kinds)
+        start = rng.randrange(max(1, horizon_fs - window_fs))
+        window = (start, start + window_fs)
+        ordinal = rng.randrange(spec.max_ordinal)
+        if kind in CHANNEL_KINDS:
+            target = "channel:" + rng.choice(spec.channels)
+        elif kind in SEGMENT_KINDS:
+            target = "segment:" + rng.choice(spec.processes)
+        else:
+            target = "process:" + rng.choice(spec.processes)
+        if kind == PAYLOAD_BITFLIP.name:
+            argument = rng.randrange(spec.bits)
+        elif kind == PAYLOAD_VALUE.name:
+            argument = rng.randrange(1 << spec.bits)
+        elif kind == SEGMENT_TIME.name:
+            argument = rng.randrange(spec.scale_min_ppm, spec.scale_max_ppm)
+        elif kind == EVENT_DELAY.name:
+            argument = rng.randrange(
+                spec.delay_min_ns, spec.delay_max_ns + 1) * FS_PER_NS
+        else:
+            argument = 0
+        injections.append(Injection(
+            index=index, kind=kind, target=target, window_fs=window,
+            ordinal=ordinal, argument=argument, seed=seed))
+    return Faultload(spec=spec, seed=seed, injections=tuple(injections))
+
+
+def merged_windows(injections) -> Tuple[Tuple[int, int], ...]:
+    """Union of the injections' windows, sorted and overlap-merged.
+
+    The fast-forward gate uses this: inside any faulted window the
+    engine must neither record nor begin replaying segment bundles.
+    """
+    spans = sorted(inj.window_fs for inj in injections)
+    merged: list = []
+    for start, end in spans:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
+
+
+def injections_by_target(faultload: Faultload) -> Dict[str, list]:
+    """Group injections by target address, preserving schedule order."""
+    groups: Dict[str, list] = {}
+    for injection in faultload.injections:
+        groups.setdefault(injection.target, []).append(injection)
+    return groups

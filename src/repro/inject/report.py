@@ -1,0 +1,71 @@
+"""Human-readable rendering of dependability reports.
+
+The JSON report (see :mod:`repro.inject.analyzer`) is the machine
+interface; this module turns it into the terminal summary printed by
+``repro inject``: outcome totals, per-kind breakdown, failure rate,
+MTTF and the detection-latency distribution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+
+def _fmt_ns(value) -> str:
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.3f} ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.3f} us"
+    return f"{value:.1f} ns"
+
+
+def render_report(report: dict) -> List[str]:
+    """Render the report as terminal lines."""
+    scenario = report["scenario"]
+    metrics = report["metrics"]
+    golden = report["golden"]
+    lines = [
+        f"dependability report — workload {scenario['workload']!r}, "
+        f"{scenario['frames']} frame(s), seed {report['seed']}",
+        f"  faultload: {metrics['runs']} injection(s), "
+        f"hash {report['faultload_hash'][:12]}",
+        f"  golden: end {golden['end_fs'] / 1e6:.0f} ns, "
+        f"checksum {golden['checksum']}",
+        "",
+        f"  outcome     runs   rate",
+        f"  silent    {metrics['silent']:6d}   "
+        f"{metrics['silent'] / max(1, metrics['runs']):6.1%}",
+        f"  detected  {metrics['detected']:6d}   "
+        f"{metrics['detection_rate']:6.1%}",
+        f"  failed    {metrics['failed']:6d}   "
+        f"{metrics['failure_rate']:6.1%}",
+        "",
+        f"  activated: {metrics['activated']}/{metrics['runs']}"
+        f"   MTTF: {_fmt_ns(metrics['mttf_ns'])}",
+    ]
+    latency = metrics["detection_latency_ns"]
+    if latency is not None:
+        lines.append(
+            f"  detection latency ({latency['count']} detection(s)): "
+            f"min {_fmt_ns(latency['min_ns'])}, "
+            f"p50 {_fmt_ns(latency['p50_ns'])}, "
+            f"mean {_fmt_ns(latency['mean_ns'])}, "
+            f"max {_fmt_ns(latency['max_ns'])}")
+    if metrics["by_kind"]:
+        lines.append("")
+        lines.append("  kind                 runs  silent  detected  failed")
+        for kind, bucket in metrics["by_kind"].items():
+            lines.append(
+                f"  {kind:<20} {bucket['runs']:4d}  {bucket['silent']:6d}"
+                f"  {bucket['detected']:8d}  {bucket['failed']:6d}")
+    return lines
+
+
+def write_report(report: dict, path) -> None:
+    """Write the JSON report (stable key order) to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,155 @@
+"""The injectable reference scenario: a mapped, strict-timed pipeline.
+
+One registry workload runs as the computation kernel of a three-stage
+``driver → dut → monitor`` pipeline.  The environment driver streams
+deterministic stimulus frames into a bounded FIFO; the DUT consumes a
+frame, runs the annotated workload entry on a CPU resource, and writes
+a digest of (stimulus, result) to the output FIFO; the environment
+monitor folds the digests into a checksum.  Capture probes on the
+output stream and on completion are the *only* observation channel —
+detection is measured exactly the way the paper's §6 envisions
+verification: as a side-effect of the timed simulation, through the
+predefined channels, with zero instrumentation inside the workload.
+
+``run_scenario`` is the body of the ``inject`` campaign runner: a pure
+``params → payload`` function, deterministic for fixed parameters, so
+its results are safely content-cacheable by :mod:`repro.batch`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..annotate.types import unwrap
+from ..capture import CaptureBoard
+from ..core import PerformanceLibrary
+from ..errors import InjectError
+from ..kernel.simulator import Simulator
+from ..platform import EnvironmentResource, Mapping, make_cpu
+from ..workloads import registry
+from ..workloads.common import lcg_stream, wrap_args
+from .adapters import Injector
+from .faultload import Injection
+
+DEFAULT_WORKLOAD = "fir"
+DEFAULT_FRAMES = 3
+DEFAULT_STIM_SEED = 1
+_STIM_BOUND = 1 << 15
+_CHECKSUM_MOD = 2147483647
+
+#: Structural addresses the scenario exposes to faultload specs.
+CHANNEL_ADDRESSES = ("stim.write", "stim.read", "out.write", "out.read")
+PROCESS_ADDRESSES = ("top.dut",)
+
+
+def _fold(value) -> int:
+    """Collapse a workload result of any shape into one integer."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value * 4096.0)
+    if isinstance(value, (list, tuple)):
+        acc = 0
+        for item in value:
+            acc = (acc * 31 + _fold(item)) % _CHECKSUM_MOD
+        return acc
+    if value is None:
+        return 0
+    return len(str(value))
+
+
+def _digest(stimulus: int, folded: int) -> int:
+    return (stimulus * 2654435761 + folded) % _CHECKSUM_MOD
+
+
+def run_scenario(params: dict) -> dict:
+    """Run the pipeline once, with at most the faults in ``params``.
+
+    Recognized parameters: ``workload`` (registry name), ``frames``,
+    ``stim_seed``, ``fastforward`` (bool), ``injection`` (a canonical
+    :class:`~repro.inject.faultload.Injection` dict, or a list of
+    them, or ``None`` for the fault-free golden) and ``faultload``
+    (the schedule hash, echoed into the payload for provenance — it is
+    part of the cache key).
+    """
+    workload = str(params.get("workload", DEFAULT_WORKLOAD))
+    frames = int(params.get("frames", DEFAULT_FRAMES))
+    stim_seed = int(params.get("stim_seed", DEFAULT_STIM_SEED))
+    fastforward = bool(params.get("fastforward", True))
+    raw_injection = params.get("injection")
+
+    try:
+        functions, make_args = registry()[workload]
+    except KeyError:
+        known = ", ".join(sorted(registry()))
+        raise InjectError(f"unknown workload {workload!r} (known: {known})")
+    entry = functions[0]
+
+    simulator = Simulator()
+    stim = simulator.fifo("stim", capacity=2)
+    out = simulator.fifo("out", capacity=2)
+    top = simulator.module("top")
+    board = CaptureBoard(simulator)
+    out_probe = board.point("out")
+    done_probe = board.point("done")
+    stimulus = lcg_stream(stim_seed, frames, _STIM_BOUND)
+
+    def driver():
+        for value in stimulus:
+            yield from stim.write(value)
+
+    def dut():
+        for _ in range(frames):
+            value = yield from stim.read()
+            result = entry(*wrap_args(make_args()))
+            yield from out.write(_digest(value, _fold(unwrap(result))))
+
+    def monitor():
+        checksum = 0
+        for _ in range(frames):
+            value = yield from out.read()
+            out_probe(value)
+            checksum = (checksum * 31 + _fold(value)) % _CHECKSUM_MOD
+        done_probe(checksum)
+
+    driver_proc = top.add_process(driver, name="driver")
+    dut_proc = top.add_process(dut, name="dut")
+    monitor_proc = top.add_process(monitor, name="monitor")
+
+    mapping = Mapping()
+    environment = EnvironmentResource("env")
+    mapping.assign(dut_proc, make_cpu("cpu0"))
+    mapping.assign(driver_proc, environment)
+    mapping.assign(monitor_proc, environment)
+    library = PerformanceLibrary(mapping, fastforward=fastforward)
+    library.attach(simulator)
+
+    injector: Optional[Injector] = None
+    if raw_injection is not None:
+        if isinstance(raw_injection, dict):
+            raw_injection = [raw_injection]
+        injections = [Injection.from_dict(item) for item in raw_injection]
+        injector = Injector(injections).attach(simulator, library=library)
+
+    final = simulator.run()
+
+    payload = {
+        "workload": workload,
+        "frames": frames,
+        "stim_seed": stim_seed,
+        "fastforward": fastforward,
+        "faultload": params.get("faultload"),
+        "injection": params.get("injection"),
+        "frames_completed": len(out_probe.events),
+        "out_events": [[e.time_fs, e.value] for e in out_probe.events],
+        "completed": bool(done_probe.events),
+        "checksum": done_probe.values()[0] if done_probe.events else None,
+        "end_fs": final.femtoseconds,
+        "applied": [fault.as_dict() for fault in injector.applied]
+        if injector is not None else [],
+    }
+    if library.engine is not None:
+        payload["fastforward_stats"] = library.engine.stats()
+    return payload

@@ -1,0 +1,158 @@
+"""Shared fault vocabulary: one taxonomy for every injected failure.
+
+The repository injects faults at two very different layers, and before
+this module each layer named its faults with its own ad-hoc strings:
+
+* the **infra** layer (:mod:`repro.batch.faults` and the ``probe``
+  runner) perturbs the campaign machinery itself — worker processes
+  die or stall, cache entries are torn or trashed by foreign writers;
+* the **model** layer (:mod:`repro.inject`) perturbs the *simulated
+  design* — channel payloads flip bits, processes get stuck or are
+  killed, segment charge times drift, kernel events are dropped or
+  delayed.
+
+Both layers now draw their kinds from the registry below, and both
+log what they actually did as :class:`FaultRecord` provenance entries,
+so a dependability report can attribute any observed failure back to
+the fault that caused it using one schema.
+
+Kind names are stable identifiers (they appear in cached payloads and
+golden reports); add new kinds, never rename existing ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+LAYER_MODEL = "model"
+LAYER_INFRA = "infra"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultKind:
+    """One entry of the fault taxonomy.
+
+    ``probe_behavior`` is the legacy ``probe``-runner behavior string
+    an infra kind corresponds to (empty for model kinds and for infra
+    kinds injected outside the probe runner).
+    """
+
+    name: str
+    layer: str
+    description: str
+    probe_behavior: str = ""
+
+
+# -- model-level kinds (applied to the simulated design) ---------------
+
+PAYLOAD_BITFLIP = FaultKind(
+    "payload-bitflip", LAYER_MODEL,
+    "XOR one bit of an integer channel payload at a chosen access")
+PAYLOAD_VALUE = FaultKind(
+    "payload-value", LAYER_MODEL,
+    "replace a channel payload with an arbitrary value")
+PROCESS_STUCK = FaultKind(
+    "process-stuck", LAYER_MODEL,
+    "stuck-at: the process is never scheduled again after the fault")
+PROCESS_KILL = FaultKind(
+    "process-kill", LAYER_MODEL,
+    "terminate the process immediately (generator closed, exit fires)")
+SEGMENT_TIME = FaultKind(
+    "segment-time", LAYER_MODEL,
+    "scale the charge time of a segment reaching its sync node")
+EVENT_DROP = FaultKind(
+    "event-drop", LAYER_MODEL,
+    "silently discard a timed kernel event aimed at the process")
+EVENT_DELAY = FaultKind(
+    "event-delay", LAYER_MODEL,
+    "postpone a timed kernel event aimed at the process")
+
+# -- infra-level kinds (applied to the campaign machinery) -------------
+
+WORKER_DEATH = FaultKind(
+    "worker-death", LAYER_INFRA,
+    "hard-exit a campaign worker mid-run (pipe EOF, no result)",
+    probe_behavior="die")
+WORKER_STALL = FaultKind(
+    "worker-stall", LAYER_INFRA,
+    "first attempt sleeps past the timeout, retry succeeds",
+    probe_behavior="slow-then-ok")
+CACHE_FOREIGN_CORRUPT = FaultKind(
+    "cache-foreign-corrupt", LAYER_INFRA,
+    "a foreign writer trashes a cache entry with non-JSON garbage",
+    probe_behavior="corrupt-cache")
+CACHE_IO_GET = FaultKind(
+    "cache-io-get", LAYER_INFRA,
+    "a cache read raises an I/O error instead of returning the entry")
+CACHE_IO_PUT = FaultKind(
+    "cache-io-put", LAYER_INFRA,
+    "a cache write raises an I/O error instead of storing the entry")
+CACHE_TORN_PUT = FaultKind(
+    "cache-torn-put", LAYER_INFRA,
+    "a cache write silently stores a truncated (torn) entry")
+
+_ALL_KINDS: Tuple[FaultKind, ...] = (
+    PAYLOAD_BITFLIP, PAYLOAD_VALUE, PROCESS_STUCK, PROCESS_KILL,
+    SEGMENT_TIME, EVENT_DROP, EVENT_DELAY,
+    WORKER_DEATH, WORKER_STALL, CACHE_FOREIGN_CORRUPT,
+    CACHE_IO_GET, CACHE_IO_PUT, CACHE_TORN_PUT,
+)
+
+FAULT_KINDS: Dict[str, FaultKind] = {kind.name: kind for kind in _ALL_KINDS}
+
+MODEL_KINDS: Tuple[str, ...] = tuple(
+    kind.name for kind in _ALL_KINDS if kind.layer == LAYER_MODEL)
+INFRA_KINDS: Tuple[str, ...] = tuple(
+    kind.name for kind in _ALL_KINDS if kind.layer == LAYER_INFRA)
+
+
+def fault_kind(name: str) -> FaultKind:
+    """Resolve a kind name, raising ``ValueError`` for unknown names."""
+    try:
+        return FAULT_KINDS[name]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise ValueError(f"unknown fault kind {name!r} (known: {known})")
+
+
+def behavior_kind(behavior: str) -> Optional[FaultKind]:
+    """Map a legacy probe-behavior string to its taxonomy entry."""
+    for kind in _ALL_KINDS:
+        if kind.probe_behavior and kind.probe_behavior == behavior:
+            return kind
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRecord:
+    """Provenance of one *applied* fault, shared by both layers.
+
+    ``target`` is a structural address: ``channel:<name>.<operation>``,
+    ``process:<full_name>`` or ``segment:<full_name>`` at the model
+    level, ``cache:<op>:<key-prefix>`` or ``worker:<name>`` at the
+    infra level.  ``time_fs`` is the simulated time of application
+    (``-1`` for infra faults, which happen outside simulated time).
+    """
+
+    kind: str
+    target: str
+    time_fs: int = -1
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "time_fs": self.time_fs,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRecord":
+        return cls(
+            kind=str(data["kind"]),
+            target=str(data["target"]),
+            time_fs=int(data.get("time_fs", -1)),
+            detail=str(data.get("detail", "")),
+        )

@@ -47,9 +47,20 @@ class Channel:
         self.name = name or f"{type(self).__name__.lower()}_{id(self):x}"
         #: Total number of completed accesses, per operation name.
         self.access_counts: dict = {}
+        #: Payload filters ``fn(channel, operation, value) -> value``
+        #: applied in order to every value crossing the channel —
+        #: writes filter before storing, reads after retrieving.  The
+        #: fault injector installs payload-corruption faults here; the
+        #: empty default costs one truth test per access.
+        self.payload_filters: list = []
 
     def _count(self, operation: str) -> None:
         self.access_counts[operation] = self.access_counts.get(operation, 0) + 1
+
+    def _filter(self, operation: str, value: Any) -> Any:
+        for fn in self.payload_filters:
+            value = fn(self, operation, value)
+        return value
 
     def _node(self, operation: str):
         """Return the (access, done) command pair for ``operation``."""
@@ -95,6 +106,8 @@ class Fifo(Channel):
         yield access
         while self.is_full:
             yield WaitEvent(self._space_freed)
+        if self.payload_filters:
+            value = self._filter("write", value)
         self._items.append(value)
         self._data_written.notify_delta()
         self._count("write")
@@ -107,6 +120,8 @@ class Fifo(Channel):
         while self.is_empty:
             yield WaitEvent(self._data_written)
         value = self._items.popleft()
+        if self.payload_filters:
+            value = self._filter("read", value)
         self._space_freed.notify_delta()
         self._count("read")
         yield done
@@ -124,6 +139,8 @@ class Fifo(Channel):
             result = (False, None)
         else:
             value = self._items.popleft()
+            if self.payload_filters:
+                value = self._filter("try_read", value)
             self._space_freed.notify_delta()
             result = (True, value)
         self._count("try_read")
@@ -149,6 +166,8 @@ class Rendezvous(Channel):
         """Offer a value; block until a reader takes it."""
         access, done = self._node("write")
         yield access
+        if self.payload_filters:
+            value = self._filter("write", value)
         token = [value, False]  # [payload, taken?]
         self._offers.append(token)
         self._writer_arrived.notify_delta()
@@ -166,9 +185,12 @@ class Rendezvous(Channel):
         token = self._offers.popleft()
         token[1] = True
         self._value_taken.notify_delta()
+        value = token[0]
+        if self.payload_filters:
+            value = self._filter("read", value)
         self._count("read")
         yield done
-        return token[0]
+        return value
 
 
 class Signal(Channel):
@@ -198,6 +220,8 @@ class Signal(Channel):
         """Schedule ``value`` to be committed in the update phase."""
         access, done = self._node("write")
         yield access
+        if self.payload_filters:
+            value = self._filter("write", value)
         self._next = value
         if not self._update_requested:
             self._update_requested = True
@@ -210,6 +234,8 @@ class Signal(Channel):
         access, done = self._node("read")
         yield access
         value = self._current
+        if self.payload_filters:
+            value = self._filter("read", value)
         self._count("read")
         yield done
         return value
@@ -220,6 +246,8 @@ class Signal(Channel):
         yield access
         yield WaitEvent(self.value_changed)
         value = self._current
+        if self.payload_filters:
+            value = self._filter("await_change", value)
         self._count("await_change")
         yield done
         return value
@@ -250,6 +278,8 @@ class SharedVariable(Channel):
     def write(self, value: Any) -> Generator:
         access, done = self._node("write")
         yield access
+        if self.payload_filters:
+            value = self._filter("write", value)
         self._value = value
         self._count("write")
         yield done
@@ -258,6 +288,8 @@ class SharedVariable(Channel):
         access, done = self._node("read")
         yield access
         value = self._value
+        if self.payload_filters:
+            value = self._filter("read", value)
         self._count("read")
         yield done
         return value

@@ -52,6 +52,7 @@ class Process:
         "_waiting_event",
         "node_count",
         "exit_time",
+        "stalled",
     )
 
     def __init__(
@@ -87,6 +88,11 @@ class Process:
         self._waiting_event = None       # event currently waited on
         #: Number of node commands this process has executed.
         self.node_count = 0
+        #: Stuck-at fault flag (set by the fault injector, never by the
+        #: kernel itself): a stalled process is skipped at every wake-up
+        #: point, so it never runs again but keeps its WAITING/READY
+        #: state — unlike DONE, which models a clean exit.
+        self.stalled = False
         #: Simulated time at which the process terminated (None if running).
         self.exit_time: Optional[SimTime] = None
 

@@ -79,6 +79,7 @@ class SchedulerObserver:
 _RESUME = "resume"          # wake a process after a WaitFor
 _NEGOTIATE = "negotiate"    # re-consult a timing agent after a delay
 _EVENT_WAKE = "event-wake"  # timed event notification for one process
+_ACTION = "action"          # run an external callback at a simulated time
 
 
 class Scheduler:
@@ -99,6 +100,11 @@ class Scheduler:
         self._started = False
         self._max_deltas = max_deltas_per_instant
         self.current_process: Optional[Process] = None
+        #: Optional hook filtering timed entries as they are scheduled:
+        #: ``filter(when, kind, payload) -> SimTime | None`` may return
+        #: a different time (delayed event) or ``None`` (dropped event).
+        #: Installed by the fault injector; ``None`` costs nothing.
+        self.timed_filter = None
 
     # -- public surface --------------------------------------------------
 
@@ -145,6 +151,47 @@ class Scheduler:
         return [p for p in self.processes if p.state is ProcessState.WAITING
                 and p._waiting_event is not None]
 
+    def schedule_action(self, when: SimTime, action) -> None:
+        """Run ``action()`` when simulated time reaches ``when``.
+
+        The callback fires between process executions (never while a
+        process is mid-segment) and may mutate kernel state — this is
+        the injection point for time-triggered faults such as killing
+        or stalling a process at a scheduled instant.
+        """
+        if when.femtoseconds < self._now.femtoseconds:
+            when = self._now
+        self._push_timed(when, _ACTION, action)
+
+    def kill_process(self, process: Process) -> None:
+        """Terminate ``process`` immediately (fault injection).
+
+        The generator is closed, any event wait is cancelled and the
+        normal exit notifications fire, so observers and timing agents
+        see a coherent (if premature) process exit.
+        """
+        if process.done:
+            return
+        if process._waiting_event is not None:
+            process._waiting_event.remove_waiter(process)
+            process._waiting_event = None
+        try:
+            process.generator.close()
+        except RuntimeError:  # pragma: no cover - closing a running generator
+            pass
+        process._pending_command = None
+        self._finalize_exit(process)
+
+    def stall_process(self, process: Process) -> None:
+        """Stuck-at fault: ``process`` is never scheduled again.
+
+        Unlike :meth:`kill_process` no exit fires — the process keeps
+        its current state, holds any resources and simply stops making
+        progress, exactly like a hung task.
+        """
+        if not process.done:
+            process.stalled = True
+
     def run(self, until: Optional[SimTime] = None) -> SimTime:
         """Run the simulation.
 
@@ -183,7 +230,7 @@ class Scheduler:
                 if callable(item):
                     item()
                     continue
-                if item.done:
+                if item.done or item.stalled:
                     continue
                 self._run_process(item)
             self._run_update_phase()
@@ -223,19 +270,21 @@ class Scheduler:
     def _fire_timed(self, kind: str, payload) -> None:
         if kind == _RESUME:
             process, command = payload
-            if process.done:
+            if process.done or process.stalled:
                 return
             self._finish_node(process, command)
             process.state = ProcessState.READY
             self._run_process(process)
         elif kind == _NEGOTIATE:
             process = payload
-            if process.done:
+            if process.done or process.stalled:
                 return
             self._continue_negotiation(process)
         elif kind == _EVENT_WAKE:
             process, event = payload
             self._wake_from_event(process, event)
+        elif kind == _ACTION:
+            payload()
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown timed entry kind {kind!r}")
 
@@ -350,7 +399,7 @@ class Scheduler:
                 process.state = ProcessState.WAITING
 
                 def _resume_zero_wait(process=process, command=command):
-                    if process.done:
+                    if process.done or process.stalled:
                         return
                     self._finish_node(process, command)
                     process.state = ProcessState.READY
@@ -410,11 +459,15 @@ class Scheduler:
         self._push_timed(self._now + delay, _EVENT_WAKE, (process, event))
 
     def _wake_from_event(self, process: Process, event: Event) -> None:
-        if process.done:
+        if process.done or process.stalled:
             return
         process.state = ProcessState.READY
         self._run_process(process)
 
     def _push_timed(self, when: SimTime, kind: str, payload) -> None:
+        if self.timed_filter is not None:
+            when = self.timed_filter(when, kind, payload)
+            if when is None:
+                return
         self._seq += 1
         heapq.heappush(self._timed, (when.femtoseconds, self._seq, kind, payload))

@@ -52,6 +52,10 @@ class Simulator:
                  observers: Sequence[SchedulerObserver] = ()):
         self.scheduler = Scheduler(max_deltas_per_instant=max_deltas_per_instant)
         self.modules: List[Module] = []
+        #: Channels created through the factory methods, in creation
+        #: order — the structural-address registry used by tooling
+        #: (e.g. the fault injector) to resolve channels by name.
+        self.channels: List = []
         self.trace: Optional[TraceRecorder] = None
         if trace or trace_sink is not None:
             self.trace = TraceRecorder(sink=trace_sink,
@@ -109,17 +113,31 @@ class Simulator:
 
     # -- channel factories -----------------------------------------------
 
+    def _register_channel(self, channel):
+        self.channels.append(channel)
+        return channel
+
+    def channel(self, name: str):
+        """Resolve a factory-created channel by its structural name."""
+        for channel in self.channels:
+            if channel.name == name:
+                return channel
+        known = ", ".join(repr(c.name) for c in self.channels) or "none"
+        raise ElaborationError(
+            f"no channel named {name!r} in this simulator (known: {known})")
+
     def fifo(self, name: str = "", capacity: Optional[int] = None) -> Fifo:
-        return Fifo(self.scheduler, name, capacity=capacity)
+        return self._register_channel(Fifo(self.scheduler, name, capacity=capacity))
 
     def rendezvous(self, name: str = "") -> Rendezvous:
-        return Rendezvous(self.scheduler, name)
+        return self._register_channel(Rendezvous(self.scheduler, name))
 
     def signal(self, name: str = "", initial: Any = 0) -> Signal:
-        return Signal(self.scheduler, name, initial=initial)
+        return self._register_channel(Signal(self.scheduler, name, initial=initial))
 
     def shared_variable(self, name: str = "", initial: Any = None) -> SharedVariable:
-        return SharedVariable(self.scheduler, name, initial=initial)
+        return self._register_channel(
+            SharedVariable(self.scheduler, name, initial=initial))
 
     # -- execution ------------------------------------------------------------
 

@@ -809,6 +809,13 @@ class FastForwardEngine(SchedulerObserver):
     def __init__(self, contexts: Dict[int, CostContext], check: bool = False):
         self._contexts = contexts
         self.check = check
+        #: Optional veto ``gate(process, now) -> bool``: when it returns
+        #: False the engine neither records a bundle nor begins a new
+        #: suppression at this node (replays of already-committed
+        #: suppressions still complete).  The fault injector installs
+        #: its faulted-window gate here so perturbed executions are
+        #: never characterized and faulted windows charge dynamically.
+        self.gate = None
         self._plans: Dict[int, Optional[SegmentPlan]] = {}
         self._bundles: Dict[Tuple[int, Arc], Bundle] = {}
         self._last: Dict[int, int] = {}
@@ -900,6 +907,7 @@ class FastForwardEngine(SchedulerObserver):
             frame = getattr(process.generator, "gi_frame", None)
             line = frame.f_lineno if frame is not None else EXIT_LINE
         arc = (self._last[pid], line)
+        allowed = self.gate is None or self.gate(process, now)
 
         if pid in self._suppressed:
             self._suppressed.discard(pid)
@@ -914,7 +922,7 @@ class FastForwardEngine(SchedulerObserver):
                 )
             ctx.apply_snapshot(*bundle)
             self.replayed += 1
-        elif arc in plan.eligible:
+        elif allowed and arc in plan.eligible:
             key = (pid, arc)
             snapshot = ctx.segment_snapshot()
             recorded = self._bundles.get(key)
@@ -935,7 +943,7 @@ class FastForwardEngine(SchedulerObserver):
         self._last[pid] = line
         # Suppress the next segment only when every statically possible
         # continuation is eligible and already characterized.
-        if not self.check and plan.closed.get(line):
+        if not self.check and allowed and plan.closed.get(line):
             bundles = self._bundles
             if all((pid, (line, nxt)) in bundles
                    for nxt in plan.successors[line]):

@@ -56,6 +56,12 @@ class SegmentTracker(SchedulerObserver):
         self._pending_marks: Dict[str, List[str]] = {}
         self.record_instantaneous = record_instantaneous
         self.instantaneous: Dict[str, List[Tuple[int, str, float]]] = {}
+        #: Charge hooks ``fn(process, node, now, ctx)`` called at every
+        #: node *before* the segment totals are read — i.e. before both
+        #: the tracker's statistics and the timing agent consume them
+        #: (observers run ahead of agents at a node).  The fault
+        #: injector's segment-time perturbations mutate ``ctx`` here.
+        self.charge_hooks: List = []
 
     # -- observer callbacks ------------------------------------------------
 
@@ -82,6 +88,9 @@ class SegmentTracker(SchedulerObserver):
         critical_path = 0.0
         ctx = current_context()
         if ctx is not None:
+            if self.charge_hooks:
+                for hook in self.charge_hooks:
+                    hook(process, node, now, ctx)
             cycles, critical_path = ctx.segment_totals()
             # For SW contexts segment_totals returns (sum, sum); keep the
             # pair as (worst, best) uniformly.

@@ -1,0 +1,562 @@
+"""Model-level fault injection: taxonomy, adapters, analyzer, CLI.
+
+The suite mirrors the subsystem's layering.  Adapter tests run tiny
+purpose-built simulations and assert the *observable* consequence of
+each fault kind (a corrupted payload, a truncated pipeline, a shifted
+finish time) plus its provenance record — never internal state.  The
+analyzer tests drive the real campaign pool serially against a
+``tmp_path`` cache and check the two contracts the subsystem sells:
+byte-stable canonical reports and a warm-cache sweep.  Import-order
+tests run fresh interpreters because the batch↔inject bridge is only
+honest if each package imports cleanly first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro import SimTime, Simulator, wait
+from repro.annotate import AInt, uniform_costs
+from repro.batch.campaign import RunResult, STATUS_FAILED, STATUS_OK
+from repro.batch.config import RunConfig
+from repro.cli import main
+from repro.core import PerformanceLibrary
+from repro.errors import InjectError
+from repro.inject import (
+    DependabilityAnalysis,
+    FAULT_KINDS,
+    FaultRecord,
+    FaultSpec,
+    Injection,
+    Injector,
+    INFRA_KINDS,
+    LAYER_INFRA,
+    LAYER_MODEL,
+    MODEL_KINDS,
+    OUTCOME_DETECTED,
+    OUTCOME_FAILED,
+    OUTCOME_SILENT,
+    behavior_kind,
+    classify_run,
+    fault_kind,
+    generate_faultload,
+    merged_windows,
+    run_scenario,
+)
+from repro.platform import Mapping, make_cpu
+
+HERE = pathlib.Path(__file__).parent
+GOLDEN = HERE / "golden"
+
+WIDE = (0, 10 ** 18)        # a window covering any simulation end
+
+
+def _injection(kind, target, window=WIDE, ordinal=0, argument=0,
+               index=0, seed=0):
+    return Injection(index=index, kind=kind, target=target,
+                     window_fs=(int(window[0]), int(window[1])),
+                     ordinal=ordinal, argument=argument, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Vocabulary
+# ---------------------------------------------------------------------------
+
+class TestVocabulary:
+    def test_registry_is_total_and_layered(self):
+        for name, kind in FAULT_KINDS.items():
+            assert fault_kind(name) is kind
+            assert kind.layer in (LAYER_MODEL, LAYER_INFRA)
+        assert all(fault_kind(k).layer == LAYER_MODEL for k in MODEL_KINDS)
+        assert all(fault_kind(k).layer == LAYER_INFRA for k in INFRA_KINDS)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            fault_kind("gamma-ray")
+
+    def test_probe_behaviors_map_back_to_kinds(self):
+        # Every infra kind modeling a probe behavior is reachable from
+        # the behavior string the runner uses — no ad-hoc strings left.
+        behaviors = {fault_kind(k).probe_behavior for k in INFRA_KINDS
+                     if fault_kind(k).probe_behavior}
+        assert behaviors  # the bridge exists
+        for behavior in behaviors:
+            assert behavior_kind(behavior).probe_behavior == behavior
+        # Model kinds are applied by the injector, not a probe runner.
+        assert all(not fault_kind(k).probe_behavior for k in MODEL_KINDS)
+
+    def test_fault_record_round_trips(self):
+        record = FaultRecord(kind="payload-bitflip",
+                             target="channel:stim.write",
+                             time_fs=123, detail="write: 1 -> 5")
+        assert FaultRecord.from_dict(record.as_dict()) == record
+
+
+# ---------------------------------------------------------------------------
+# Faultload generation
+# ---------------------------------------------------------------------------
+
+_SPEC = dict(channels=("ch.write", "ch.read"), processes=("top.worker",))
+
+
+class TestFaultload:
+    def test_same_inputs_reproduce_byte_identical_schedules(self):
+        spec = FaultSpec(count=12, **_SPEC)
+        one = generate_faultload(spec, 7)
+        two = generate_faultload(spec, 7)
+        assert one.as_dict() == two.as_dict()
+        assert one.hash() == two.hash()
+
+    def test_round_trip_and_hash_stability(self):
+        from repro.inject import Faultload
+        load = generate_faultload(FaultSpec(count=5, **_SPEC), 3)
+        again = Faultload.from_dict(load.as_dict())
+        assert again == load
+        assert again.hash() == load.hash()
+
+    def test_targets_match_kind_schemes(self):
+        load = generate_faultload(FaultSpec(count=30, **_SPEC), 11)
+        for injection in load.injections:
+            scheme = injection.target.split(":", 1)[0]
+            if injection.kind.startswith("payload-"):
+                assert scheme == "channel"
+            elif injection.kind == "segment-time":
+                assert scheme == "segment"
+            else:
+                assert scheme == "process"
+
+    def test_spec_rejects_infra_kinds_and_missing_addresses(self):
+        with pytest.raises(ValueError, match="model-level kinds only"):
+            FaultSpec(count=1, kinds=("worker-death",), **_SPEC)
+        with pytest.raises(ValueError, match="channels list"):
+            FaultSpec(count=1, kinds=("payload-bitflip",))
+        with pytest.raises(ValueError, match="processes list"):
+            FaultSpec(count=1, kinds=("process-kill",))
+
+    def test_merged_windows_merge_overlaps(self):
+        injections = [
+            _injection("process-kill", "process:top.worker", (0, 10)),
+            _injection("process-kill", "process:top.worker", (5, 20)),
+            _injection("process-kill", "process:top.worker", (40, 50)),
+        ]
+        assert merged_windows(injections) == ((0, 20), (40, 50))
+
+
+# ---------------------------------------------------------------------------
+# Adapters: channel payload faults
+# ---------------------------------------------------------------------------
+
+def _run_channel_sim(injections, values=(1, 2, 3)):
+    simulator = Simulator()
+    ch = simulator.fifo("ch", capacity=1)
+    top = simulator.module("top")
+    seen = []
+
+    def producer():
+        for value in values:
+            yield from ch.write(value)
+
+    def consumer():
+        for _ in values:
+            seen.append((yield from ch.read()))
+
+    top.add_process(producer, name="producer")
+    top.add_process(consumer, name="consumer")
+    injector = Injector(injections).attach(simulator)
+    simulator.run()
+    return seen, injector
+
+
+class TestPayloadFaults:
+    def test_bitflip_hits_the_ordinal_th_write(self):
+        injection = _injection("payload-bitflip", "channel:ch.write",
+                               ordinal=1, argument=2)
+        seen, injector = _run_channel_sim([injection])
+        assert seen == [1, 2 ^ 4, 3]
+        [applied] = injector.applied
+        assert applied.record.kind == "payload-bitflip"
+        assert "2 -> 6" in applied.record.detail
+
+    def test_value_corruption_on_read(self):
+        injection = _injection("payload-value", "channel:ch.read",
+                               ordinal=0, argument=99)
+        seen, injector = _run_channel_sim([injection])
+        assert seen == [99, 2, 3]
+        assert injector.applied[0].record.target == "channel:ch.read"
+
+    def test_fault_outside_window_never_fires(self):
+        injection = _injection("payload-bitflip", "channel:ch.write",
+                               window=(10 ** 15, 10 ** 15 + 1), argument=0)
+        seen, injector = _run_channel_sim([injection])
+        assert seen == [1, 2, 3]
+        assert injector.applied == []
+
+    def test_unknown_channel_fails_fast(self):
+        injection = _injection("payload-bitflip", "channel:nope.write")
+        with pytest.raises(InjectError, match="unknown channel"):
+            _run_channel_sim([injection])
+
+
+# ---------------------------------------------------------------------------
+# Adapters: process and event faults
+# ---------------------------------------------------------------------------
+
+def _run_timed_worker(injections, beats=3):
+    simulator = Simulator()
+    top = simulator.module("top")
+    ticks = []
+
+    def worker():
+        for beat in range(beats):
+            yield wait(SimTime.ns(10))
+            ticks.append(beat)
+
+    process = top.add_process(worker, name="worker")
+    injector = Injector(injections).attach(simulator)
+    final = simulator.run()
+    return final, ticks, process, injector
+
+
+class TestProcessAndEventFaults:
+    def test_kill_truncates_the_process(self):
+        injection = _injection("process-kill", "process:top.worker",
+                               window=(SimTime.ns(15).femtoseconds, 10 ** 18))
+        final, ticks, process, injector = _run_timed_worker([injection])
+        assert ticks == [0]          # killed between beat 0 and beat 1
+        assert process.done          # a killed process is finalized
+        assert injector.applied[0].record.detail == "killed"
+
+    def test_stuck_process_stays_resident_but_silent(self):
+        injection = _injection("process-stuck", "process:top.worker",
+                               window=(SimTime.ns(15).femtoseconds, 10 ** 18))
+        final, ticks, process, injector = _run_timed_worker([injection])
+        assert ticks == [0]
+        assert not process.done      # stuck-at keeps the process alive
+        assert injector.applied[0].record.detail == "stalled"
+
+    def test_event_delay_shifts_the_finish_time(self):
+        delay_fs = SimTime.ns(7).femtoseconds
+        injection = _injection("event-delay", "process:top.worker",
+                               ordinal=1, argument=delay_fs)
+        final, ticks, _, injector = _run_timed_worker([injection])
+        assert ticks == [0, 1, 2]
+        assert final == SimTime.ns(37)
+        assert "delayed" in injector.applied[0].record.detail
+
+    def test_event_drop_starves_the_process(self):
+        injection = _injection("event-drop", "process:top.worker", ordinal=1)
+        final, ticks, process, injector = _run_timed_worker([injection])
+        assert ticks == [0]
+        assert not process.done
+        assert final == SimTime.ns(10)
+
+    def test_unknown_process_fails_fast(self):
+        injection = _injection("process-kill", "process:top.ghost")
+        with pytest.raises(InjectError, match="unknown process"):
+            _run_timed_worker([injection])
+
+    def test_segment_fault_requires_a_library(self):
+        injection = _injection("segment-time", "segment:top.worker")
+        with pytest.raises(InjectError, match="performance"):
+            _run_timed_worker([injection])
+
+
+# ---------------------------------------------------------------------------
+# Adapters: segment-time faults and the fast-forward gate
+# ---------------------------------------------------------------------------
+
+def _run_ff_pipeline(injections=None, iterations=12):
+    simulator = Simulator()
+    ch = simulator.fifo("ch", capacity=2)
+    top = simulator.module("top")
+    three = AInt(3)
+
+    def producer():
+        acc = three
+        for _ in range(iterations):
+            acc = acc + three
+            acc = acc * three
+            yield from ch.write(acc)
+            yield wait(SimTime.ns(5))
+
+    def consumer():
+        for _ in range(iterations):
+            yield from ch.read()
+
+    prod = top.add_process(producer, name="producer")
+    cons = top.add_process(consumer, name="consumer")
+    mapping = Mapping()
+    mapping.assign(prod, make_cpu("cpu0", costs=uniform_costs()))
+    mapping.assign(cons, make_cpu("cpu1", costs=uniform_costs()))
+    perf = PerformanceLibrary(mapping, fastforward=True)
+    perf.attach(simulator)
+    if injections is not None:
+        Injector(injections).attach(simulator, library=perf)
+    final = simulator.run()
+    return final, perf
+
+
+#: Resolvable at attach but inert at runtime: the ordinal is far past
+#: any opportunity count, so only the window gate has an effect.
+def _inert(window):
+    return _injection("payload-bitflip", "channel:ch.write",
+                      window=window, ordinal=10 ** 6)
+
+
+class TestFastForwardGate:
+    def test_gate_disables_fastforward_inside_the_faulted_window(self):
+        baseline_final, baseline = _run_ff_pipeline()
+        assert baseline.engine.replayed > 0
+
+        gated_final, gated = _run_ff_pipeline([_inert(WIDE)])
+        assert gated.engine.replayed == 0
+        assert gated.engine.characterized == 0
+        # Dynamic charging inside the window reproduces the exact timing.
+        assert gated_final == baseline_final
+
+    def test_fastforward_resumes_outside_the_window(self):
+        baseline_final, baseline = _run_ff_pipeline()
+        narrow = (0, SimTime.ns(1).femtoseconds)
+        final, perf = _run_ff_pipeline([_inert(narrow)])
+        assert perf.engine.replayed > 0
+        assert final == baseline_final
+
+
+# ---------------------------------------------------------------------------
+# Scenario
+# ---------------------------------------------------------------------------
+
+class TestScenario:
+    def test_golden_run_is_deterministic(self):
+        params = {"workload": "fir", "frames": 2, "stim_seed": 1}
+        one = run_scenario(dict(params))
+        two = run_scenario(dict(params))
+        assert one == two
+        assert one["completed"] and one["frames_completed"] == 2
+        assert one["applied"] == []
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(InjectError, match="unknown workload"):
+            run_scenario({"workload": "doom"})
+
+    def test_segment_fault_perturbs_the_timing(self):
+        golden = run_scenario({"frames": 2})
+        perturbed = []
+        for ordinal in range(4):
+            injection = _injection("segment-time", "segment:top.dut",
+                                   ordinal=ordinal, argument=5_000_000)
+            payload = run_scenario({"frames": 2,
+                                    "injection": injection.as_dict()})
+            if payload["applied"]:
+                perturbed.append(payload)
+        assert perturbed, "no ordinal landed on a dut segment"
+        # At least one struck segment carries real charge: scaling it
+        # 5x must move the simulated end (the values stay golden).
+        assert any(p["end_fs"] > golden["end_fs"] for p in perturbed)
+        assert all(p["checksum"] == golden["checksum"] for p in perturbed)
+
+
+# ---------------------------------------------------------------------------
+# Classifier and analyzer
+# ---------------------------------------------------------------------------
+
+def _result(payload, status=STATUS_OK, cached=False):
+    config = RunConfig.of("inject", "x")
+    return RunResult(config=config, key=config.cache_key(), status=status,
+                     payload=payload, cached=cached)
+
+
+_GOLDEN = {"end_fs": 1000, "checksum": 42, "frames_completed": 2,
+           "out_events": [[400, 7], [900, 8]], "completed": True}
+
+
+class TestClassifier:
+    def test_crashed_run_is_failed(self):
+        injection = _injection("process-kill", "process:top.dut")
+        verdict = classify_run(_GOLDEN, _result(None, status=STATUS_FAILED),
+                               injection)
+        assert verdict.outcome == OUTCOME_FAILED
+
+    def test_identical_run_is_silent(self):
+        payload = dict(_GOLDEN, applied=[])
+        verdict = classify_run(_GOLDEN, _result(payload),
+                               _injection("payload-value", "channel:ch.read"))
+        assert verdict.outcome == OUTCOME_SILENT
+        assert not verdict.activated
+
+    def test_divergent_run_is_detected_with_latency(self):
+        payload = dict(_GOLDEN, out_events=[[400, 7], [950, 9]],
+                       applied=[{"kind": "event-delay", "time_fs": 600,
+                                 "target": "process:top.dut",
+                                 "detail": "", "injection": 0}])
+        verdict = classify_run(_GOLDEN, _result(payload),
+                               _injection("event-delay", "process:top.dut"))
+        assert verdict.outcome == OUTCOME_DETECTED
+        assert verdict.first_divergence_fs == 950
+        assert verdict.detection_latency_fs == 350
+
+    def test_truncated_pipeline_is_failed(self):
+        payload = dict(_GOLDEN, frames_completed=1, completed=False,
+                       out_events=[[400, 7]], checksum=None,
+                       applied=[{"kind": "process-kill", "time_fs": 500,
+                                 "target": "process:top.dut",
+                                 "detail": "killed", "injection": 0}])
+        verdict = classify_run(_GOLDEN, _result(payload),
+                               _injection("process-kill", "process:top.dut"))
+        assert verdict.outcome == OUTCOME_FAILED
+        assert verdict.activated
+
+
+class TestAnalyzer:
+    def _analysis(self, cache):
+        # Seed 5 is pinned because it exercises all three outcome
+        # classes (silent, detected, failed) over a 6-fault schedule.
+        return DependabilityAnalysis(count=6, seed=5, frames=2,
+                                     cache=cache, workers=0)
+
+    def test_sweep_classifies_every_injection(self, tmp_path):
+        report = self._analysis(tmp_path).run()
+        metrics = report["metrics"]
+        assert metrics["runs"] == 6
+        assert (metrics["silent"] + metrics["detected"]
+                + metrics["failed"]) == 6
+        assert len(report["runs"]) == 6
+        assert report["spec"]["count"] == 6
+        if metrics["failed"]:
+            assert metrics["mttf_ns"] > 0
+
+    def test_warm_rerun_resolves_from_cache_and_is_canonical(self, tmp_path):
+        cold = self._analysis(tmp_path).run()
+        warm = self._analysis(tmp_path).run()
+        execution = warm["execution"]
+        hits = (execution["golden"]["cache_hits"]
+                + execution["sweep"]["cache_hits"])
+        assert hits / 7 >= 0.9       # acceptance: >=90% cache resolution
+        assert execution["sweep"]["simulated"] == 0
+
+        def canonical(report):
+            return {k: v for k, v in report.items() if k != "execution"}
+
+        assert (json.dumps(canonical(cold), sort_keys=True)
+                == json.dumps(canonical(warm), sort_keys=True))
+
+    def test_report_matches_golden(self, tmp_path):
+        report = self._analysis(tmp_path).run()
+        report.pop("execution")
+        golden = json.loads(
+            (GOLDEN / "inject_fir_dependability.json").read_text())
+        _assert_close(report, golden)
+
+
+def _assert_close(actual, expected, path="report"):
+    """Structural equality with float tolerance (latency statistics)."""
+    if isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=1e-9, abs=1e-9), path
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict) and sorted(actual) == sorted(expected), path
+        for key in expected:
+            _assert_close(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list) and len(actual) == len(expected), path
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_close(a, e, f"{path}[{i}]")
+    else:
+        assert actual == expected, path
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_inject_is_bit_deterministic_across_invocations(
+            self, tmp_path, capsys):
+        base = ["inject", "--faults", "4", "--seed", "7", "--frames", "2",
+                "--serial", "--quiet",
+                "--cache-dir", str(tmp_path / "cache")]
+        first = tmp_path / "r1.json"
+        second = tmp_path / "r2.json"
+        assert main(base + ["-o", str(first)]) == 0
+        assert main(base + ["-o", str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "dependability report" in out
+
+        one = json.loads(first.read_text())
+        two = json.loads(second.read_text())
+        execution = two.pop("execution")
+        one.pop("execution")
+        assert (json.dumps(one, sort_keys=True)
+                == json.dumps(two, sort_keys=True))
+        assert execution["sweep"]["cache_hits"] == 4
+        assert execution["sweep"]["simulated"] == 0
+
+    def test_inject_rejects_unknown_kinds(self):
+        with pytest.raises(SystemExit, match="unknown fault kind"):
+            main(["inject", "--kinds", "gamma-ray", "--no-cache"])
+
+    def test_cache_verify_jobs_matches_serial(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["inject", "--faults", "3", "--seed", "1", "--frames",
+                     "2", "--serial", "--quiet",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "verify", "--cache-dir", cache_dir]) == 0
+        serial = capsys.readouterr().out
+        assert main(["cache", "verify", "--cache-dir", cache_dir,
+                     "--jobs", "4"]) == 0
+        threaded = capsys.readouterr().out
+        assert threaded == serial
+        assert "coherent" in serial
+
+
+def test_scan_entries_jobs_preserves_order(tmp_path):
+    from repro.batch import ResultCache
+    from repro.batch.maintenance import scan_entries
+
+    cache = ResultCache(tmp_path)
+    for i in range(8):
+        config = RunConfig.of("probe", f"p{i}", value=i)
+        cache.put(config.cache_key(), {"value": i}, describe=str(config))
+    serial = scan_entries(cache)
+    threaded = scan_entries(cache, jobs=4)
+    assert threaded == serial
+    assert len(serial) == 8
+
+
+# ---------------------------------------------------------------------------
+# Import order (fresh interpreters)
+# ---------------------------------------------------------------------------
+
+_ORDER_SNIPPET = """\
+import {first}
+import {second}
+import tempfile
+from repro.batch.faults import CacheFault, FaultingCache
+from repro.inject.vocabulary import CACHE_IO_GET
+cache = FaultingCache(tempfile.mkdtemp(), fail_first_gets=1)
+try:
+    cache.get("0" * 64)
+except CacheFault as exc:
+    assert exc.kind == CACHE_IO_GET.name
+assert cache.faults_by_kind() == {{CACHE_IO_GET.name: 1}}
+print("OK")
+"""
+
+
+@pytest.mark.parametrize("first,second", [
+    ("repro.batch", "repro.inject"),
+    ("repro.inject", "repro.batch"),
+])
+def test_batch_inject_import_order_is_safe(first, second):
+    code = _ORDER_SNIPPET.format(first=first, second=second)
+    result = subprocess.run([sys.executable, "-c", code],
+                            capture_output=True, text=True, timeout=120,
+                            env=dict(os.environ))
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "OK"

@@ -1,0 +1,158 @@
+"""Faultload property suite (hypothesis): the (spec, seed) contract.
+
+The dependability analyzer is only trustworthy if the faultload layer
+underneath it is a pure function: the same ``(spec, seed)`` must
+expand to byte-identical schedules wherever it is evaluated (the cache
+keys and the golden report depend on it), different seeds must produce
+structurally disjoint schedules (so sweeps never silently re-test the
+same fault), and every generated injection must stay inside the fault
+model it was drawn from.  A final non-hypothesis test expands the same
+spec on freshly spawned campaign workers and compares hashes — the
+cross-interpreter half of the determinism claim.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.batch.campaign import Campaign
+from repro.batch.config import RunConfig
+from repro.inject import (
+    CHANNEL_KINDS,
+    DEFAULT_KINDS,
+    FaultSpec,
+    Faultload,
+    PROCESS_KINDS,
+    SEGMENT_KINDS,
+    generate_faultload,
+    merged_windows,
+)
+from repro.inject.faultload import FS_PER_NS
+
+_CHANNELS = ("ch.write", "ch.read", "out.write")
+_PROCESSES = ("top.worker", "top.dut")
+
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+@st.composite
+def specs(draw):
+    """Random-but-valid fault specs over a fixed structural universe."""
+    kinds = tuple(draw(st.sets(st.sampled_from(DEFAULT_KINDS), min_size=1)))
+    horizon_ns = draw(st.integers(min_value=2, max_value=100_000))
+    window_ns = draw(st.integers(min_value=1, max_value=horizon_ns))
+    delay_min = draw(st.integers(min_value=1, max_value=100))
+    return FaultSpec(
+        count=draw(st.integers(min_value=0, max_value=12)),
+        kinds=kinds,
+        channels=_CHANNELS,
+        processes=_PROCESSES,
+        horizon_ns=horizon_ns,
+        window_ns=window_ns,
+        max_ordinal=draw(st.integers(min_value=1, max_value=6)),
+        bits=draw(st.integers(min_value=1, max_value=32)),
+        delay_min_ns=delay_min,
+        delay_max_ns=draw(st.integers(min_value=delay_min, max_value=500)),
+    )
+
+
+@given(specs(), seeds)
+@settings(max_examples=80, deadline=None)
+def test_same_spec_and_seed_expand_byte_identically(spec, seed):
+    """In-process determinism: two expansions are byte-for-byte equal."""
+    one = generate_faultload(spec, seed)
+    two = generate_faultload(spec, seed)
+    assert one.as_dict() == two.as_dict()
+    assert one.hash() == two.hash()
+    # ... and the schedule survives a serialization round-trip intact.
+    assert Faultload.from_dict(one.as_dict()) == one
+
+
+@given(specs(), seeds, seeds)
+@settings(max_examples=60, deadline=None)
+def test_distinct_seeds_produce_disjoint_schedules(spec, seed_a, seed_b):
+    """No injection of one seed's schedule appears in another's."""
+    if seed_a == seed_b:
+        return
+    load_a = generate_faultload(spec, seed_a)
+    load_b = generate_faultload(spec, seed_b)
+
+    def keys(load):
+        return {json.dumps(inj.as_dict(), sort_keys=True)
+                for inj in load.injections}
+
+    keys_a, keys_b = keys(load_a), keys(load_b)
+    assert not (keys_a & keys_b)
+    if spec.count:
+        assert load_a.hash() != load_b.hash()
+
+
+@given(specs(), seeds)
+@settings(max_examples=80, deadline=None)
+def test_every_injection_stays_inside_the_fault_model(spec, seed):
+    load = generate_faultload(spec, seed)
+    assert len(load.injections) == spec.count
+    horizon_fs = spec.horizon_ns * FS_PER_NS
+    window_fs = spec.window_ns * FS_PER_NS
+    for injection in load.injections:
+        start, end = injection.window_fs
+        assert end - start == window_fs
+        assert 0 <= start < max(1, horizon_fs - window_fs)
+        assert 0 <= injection.ordinal < spec.max_ordinal
+        assert injection.kind in spec.kinds
+        assert injection.seed == seed
+        scheme, _, address = injection.target.partition(":")
+        if injection.kind in CHANNEL_KINDS:
+            assert scheme == "channel" and address in spec.channels
+        elif injection.kind in SEGMENT_KINDS:
+            assert scheme == "segment" and address in spec.processes
+        else:
+            assert injection.kind in PROCESS_KINDS
+            assert scheme == "process" and address in spec.processes
+        if injection.kind == "payload-bitflip":
+            assert 0 <= injection.argument < spec.bits
+        elif injection.kind == "payload-value":
+            assert 0 <= injection.argument < (1 << spec.bits)
+        elif injection.kind == "segment-time":
+            assert spec.scale_min_ppm <= injection.argument < spec.scale_max_ppm
+        elif injection.kind == "event-delay":
+            assert (spec.delay_min_ns * FS_PER_NS <= injection.argument
+                    <= spec.delay_max_ns * FS_PER_NS)
+        else:
+            assert injection.argument == 0
+
+
+@given(specs(), seeds)
+@settings(max_examples=60, deadline=None)
+def test_merged_windows_cover_and_never_overlap(spec, seed):
+    load = generate_faultload(spec, seed)
+    merged = merged_windows(load.injections)
+    for (a_start, a_end), (b_start, b_end) in zip(merged, merged[1:]):
+        assert a_start <= a_end
+        assert a_end < b_start      # sorted, gap between merged spans
+    for injection in load.injections:
+        start, end = injection.window_fs
+        assert any(m_start <= start and end <= m_end
+                   for m_start, m_end in merged)
+
+
+def test_faultload_expansion_matches_on_spawned_workers():
+    """Cross-interpreter determinism: spawn-pool workers expand the
+    same (spec, seed) to the same hash and schedule the local
+    interpreter computes — the property the campaign cache keys and
+    the golden dependability report rely on."""
+    spec = FaultSpec(count=8, channels=_CHANNELS, processes=_PROCESSES,
+                     horizon_ns=5_000, window_ns=700)
+    local = generate_faultload(spec, 42)
+    configs = [
+        RunConfig.of("faultload", "fl-a", spec=spec.as_dict(), seed=42),
+        RunConfig.of("faultload", "fl-b", spec=spec.as_dict(), seed=42,
+                     replica=1),
+    ]
+    results = Campaign(configs, workers=2, cache=None).run()
+    assert all(result.ok for result in results)
+    for result in results:
+        assert result.payload["hash"] == local.hash()
+        assert result.payload["faultload"] == local.as_dict()
