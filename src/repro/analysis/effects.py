@@ -641,6 +641,7 @@ class EffectEnv:
                 except ValueError:
                     pass
         self._globals = getattr(fn, "__globals__", {}) or {}
+        self._local_imports: Optional[Dict[str, Any]] = None
 
     @classmethod
     def for_callable(cls, fn) -> Optional["EffectEnv"]:
@@ -658,7 +659,86 @@ class EffectEnv:
             return True, self._globals[name]
         if hasattr(builtins, name):
             return True, getattr(builtins, name)
+        imports = self._local_import_bindings()
+        if name in imports:
+            return True, imports[name]
         return False, None
+
+    def _local_import_bindings(self) -> Dict[str, Any]:
+        """Names bound by import statements *inside* the callable.
+
+        Module-level imports surface through ``__globals__`` above, but
+        the common function-local-import idiom (used to break cycles)
+        leaves the helper invisible there, so cross-file helper calls
+        used to fall back to opaque even with the callee importable.
+        Resolution is restricted to the callable's own top-level
+        package — live modules only, never a speculative import of
+        third-party code — and any failure degrades to "not found".
+        """
+        if self._local_imports is not None:
+            return self._local_imports
+        bindings: Dict[str, Any] = {}
+        try:
+            module_name = getattr(self.fn, "__module__", "") or ""
+            top_level = module_name.partition(".")[0]
+            package = self._globals.get("__package__") or \
+                module_name.rpartition(".")[0]
+            tree = ast.parse(textwrap.dedent(inspect.getsource(self.fn)))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    target = node.module or ""
+                    if node.level:
+                        parts = package.split(".") if package else []
+                        if node.level > 1:
+                            parts = parts[:len(parts) - (node.level - 1)]
+                        target = ".".join(parts + ([target] if target
+                                                   else []))
+                    module = self._same_package_module(target, top_level)
+                    if module is None:
+                        continue
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        bound = alias.asname or alias.name
+                        if hasattr(module, alias.name):
+                            bindings[bound] = getattr(module, alias.name)
+                        else:
+                            sub = self._same_package_module(
+                                f"{target}.{alias.name}", top_level)
+                            if sub is not None:
+                                bindings[bound] = sub
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        module = self._same_package_module(alias.name,
+                                                           top_level)
+                        if module is None:
+                            continue
+                        if alias.asname:
+                            bindings[alias.asname] = module
+                        else:
+                            root = self._same_package_module(
+                                alias.name.partition(".")[0], top_level)
+                            if root is not None:
+                                bindings[alias.name.partition(".")[0]] = root
+        except Exception:
+            pass
+        self._local_imports = bindings
+        return bindings
+
+    @staticmethod
+    def _same_package_module(target: str, top_level: str):
+        if not target or not top_level \
+                or target.partition(".")[0] != top_level:
+            return None
+        import importlib
+        import sys
+        module = sys.modules.get(target)
+        if module is not None:
+            return module
+        try:
+            return importlib.import_module(target)
+        except Exception:
+            return None
 
     # -- call classification (precharge's entry point) -------------------
 

@@ -217,6 +217,41 @@ class CostContext:
             )
         return self.charge_id(op, operand_readys, operand_ids)
 
+    # -- block charging (:mod:`repro.compilebc`) -----------------------------
+
+    def charge_block(self, cycles: float, op_ids: Sequence[int],
+                     op_counts: Sequence[int]) -> None:
+        """Fold a pre-summed basic block into the running totals.
+
+        The bytecode compile tier folds each basic block's operation
+        multiset into one ``(cycles, op_ids, op_counts)`` triple at
+        compile time; executing the block then costs a single call here
+        instead of one :meth:`charge_fast` per operation.  ``cycles``
+        must equal ``sum(latency[op] * n)`` for the same cost table the
+        context was built with — the compile tier validates that at bind
+        time (and that every latency is half-integral, so the pre-summed
+        float is bit-identical to charging the operations one by one).
+        """
+        self.total_cycles += cycles
+        counts = self._counts
+        for i in range(len(op_ids)):
+            counts[op_ids[i]] += op_counts[i]
+
+    def charge_block_scaled(self, cycles: float, op_ids: Sequence[int],
+                            op_counts: Sequence[int], trips: int) -> None:
+        """Charge a basic block executed ``trips`` times in one call.
+
+        Used for counted loops whose bodies charge unconditionally: the
+        per-iteration multiset scales by the (runtime) trip count.  With
+        half-integral latencies ``cycles * trips`` is exact, so the
+        result is identical to charging every iteration dynamically.
+        """
+        if trips:
+            self.total_cycles += cycles * trips
+            counts = self._counts
+            for i in range(len(op_ids)):
+                counts[op_ids[i]] += op_counts[i] * trips
+
     # -- segment lifecycle ---------------------------------------------------
 
     def segment_totals(self) -> Tuple[float, float]:

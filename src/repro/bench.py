@@ -54,6 +54,9 @@ class OverheadResult:
     iss_error: Optional[str] = None
     fastforward_stats: Optional[str] = None
     fastforward: Optional[Dict] = None   # engine.stats() counters
+    compiled: Optional[bool] = None      # compile tier handled this one
+    compile_reason: Optional[str] = None
+    compile_stats: Optional[Dict] = None  # tier counters (pipeline)
 
     @property
     def overload(self) -> float:
@@ -80,6 +83,9 @@ class OverheadResult:
             "iss_error": self.iss_error,
             "fastforward_stats": self.fastforward_stats,
             "fastforward": self.fastforward,
+            "compiled": self.compiled,
+            "compile_reason": self.compile_reason,
+            "compile_stats": self.compile_stats,
         }
 
 
@@ -100,23 +106,73 @@ def _best_of(repeats: int, thunk: Callable[[], object]):
 # Function workloads (the sequential registry kernels)
 # ---------------------------------------------------------------------------
 
+def _compiled_timing(entry: Callable, make_args: Callable[[], tuple],
+                     costs: OperationCosts, repeats: int,
+                     check_compile: bool):
+    """Compiled (charging) timing for one kernel, or ``None`` + reason.
+
+    Returns ``(best_seconds, estimated_cycles, None)`` when the kernel
+    compiles, ``(None, None, reason)`` when it is outside the compiler's
+    subset (the caller then times the interpreted annotated run, exactly
+    as the tier itself would fall back).
+    """
+    from .annotate.context import CostContext
+    from .compilebc import (
+        Unsupported, arg_shapes_of, check_entry, compile_kernel,
+    )
+    from .compilebc.program import Charger
+
+    try:
+        program = compile_kernel(entry, arg_shapes_of(make_args()))
+    except Unsupported as exc:
+        return None, None, str(exc)
+    table = program.bind(costs)
+    if table is None:
+        return None, None, f"cost table {costs.name!r} refused to bind"
+    if check_compile:
+        check_entry(entry, make_args, costs)  # raises on divergence
+
+    def timed_run():
+        ctx = CostContext(costs, MODE_SW)
+        program.run(make_args(), Charger(ctx, table))
+        return ctx.total_cycles
+
+    compiled_s, estimated_cycles = _best_of(repeats, timed_run)
+    return compiled_s, estimated_cycles, None
+
+
 def bench_function_workload(name: str, functions: Sequence[Callable],
                             make_args: Callable[[], tuple],
                             costs: OperationCosts,
                             repeats: int = DEFAULT_REPEATS,
-                            include_iss: bool = True) -> OverheadResult:
+                            include_iss: bool = True,
+                            compile: bool = False,
+                            check_compile: bool = False) -> OverheadResult:
     """Measure one registry workload on all three backends.
 
     Arguments are rebuilt for every run — sorting kernels mutate their
     input in place, so reusing one argument tuple would time sorting an
     already-sorted list after the first run.
+
+    With ``compile=True`` the annotated (charging) time is taken from
+    the kernel's compiled program instead of the interpreted run, the
+    way the compile tier serves it; kernels the compiler rejects keep
+    the interpreted timing (``compiled`` False + reason in the payload).
     """
     entry = functions[0]
+    compiled = compile_reason = None
 
     untimed_s, _ = _best_of(repeats, lambda: entry(*make_args()))
-    annotated_s, annotated = _best_of(
-        repeats, lambda: run_annotated(entry, make_args(), costs, MODE_SW))
-    _result, estimated_cycles, _t_min = annotated
+    annotated_s = estimated_cycles = None
+    if compile or check_compile:
+        annotated_s, estimated_cycles, compile_reason = _compiled_timing(
+            entry, make_args, costs, repeats, check_compile)
+        compiled = compile_reason is None
+    if annotated_s is None:
+        annotated_s, annotated = _best_of(
+            repeats, lambda: run_annotated(entry, make_args(), costs,
+                                           MODE_SW))
+        _result, estimated_cycles, _t_min = annotated
 
     iss_s = iss_cycles = iss_error = None
     if include_iss:
@@ -136,6 +192,7 @@ def bench_function_workload(name: str, functions: Sequence[Callable],
         untimed_s=untimed_s, annotated_s=annotated_s,
         estimated_cycles=estimated_cycles,
         iss_s=iss_s, iss_cycles=iss_cycles, iss_error=iss_error,
+        compiled=compiled, compile_reason=compile_reason,
     )
 
 
@@ -144,7 +201,9 @@ def bench_function_workload(name: str, functions: Sequence[Callable],
 # ---------------------------------------------------------------------------
 
 def _run_vocoder_timed(frames, costs: OperationCosts,
-                       fastforward: bool, check_fastforward: bool):
+                       fastforward: bool, check_fastforward: bool,
+                       compile: bool = False, check_compile: bool = False):
+    from .compilebc import set_tier
     from .core import PerformanceLibrary
     from .kernel.simulator import Simulator
     from .platform import EnvironmentResource, Mapping, make_cpu
@@ -158,9 +217,13 @@ def _run_vocoder_timed(frames, costs: OperationCosts,
     for name, process in design.processes.items():
         mapping.assign(process, cpu if name in STAGE_NAMES else env)
     perf = PerformanceLibrary(mapping, fastforward=fastforward,
-                              check_fastforward=check_fastforward)
+                              check_fastforward=check_fastforward,
+                              compile=compile, check_compile=check_compile)
     perf.attach(simulator)
-    simulator.run()
+    try:
+        simulator.run()
+    finally:
+        set_tier(None)
     simulator.assert_quiescent()
     return design, perf
 
@@ -205,7 +268,9 @@ def bench_vocoder(costs: OperationCosts,
                   repeats: int = DEFAULT_REPEATS,
                   fastforward: bool = False,
                   check_fastforward: bool = False,
-                  include_iss: bool = True) -> OverheadResult:
+                  include_iss: bool = True,
+                  compile: bool = False,
+                  check_compile: bool = False) -> OverheadResult:
     """Measure the five-process vocoder pipeline end to end."""
     from .workloads.vocoder import make_frames
 
@@ -215,7 +280,8 @@ def bench_vocoder(costs: OperationCosts,
         repeats, lambda: _run_vocoder_untimed(frames))
     annotated_s, (design, perf) = _best_of(
         repeats, lambda: _run_vocoder_timed(frames, costs, fastforward,
-                                            check_fastforward))
+                                            check_fastforward,
+                                            compile, check_compile))
 
     checks_timed = [p["check"] for p in design.results]
     checks_plain = [p["check"] for p in untimed_design.results]
@@ -245,6 +311,10 @@ def bench_vocoder(costs: OperationCosts,
                            if perf.engine is not None else None),
         fastforward=(perf.engine.stats()
                      if perf.engine is not None else None),
+        compiled=(None if perf.compile_tier is None
+                  else perf.compile_tier.stats["rejected"] == 0),
+        compile_stats=(dict(perf.compile_tier.stats)
+                       if perf.compile_tier is not None else None),
     )
 
 
@@ -266,7 +336,9 @@ def run_bench(workloads: Optional[Sequence[str]] = None,
               fastforward: bool = False,
               check_fastforward: bool = False,
               include_iss: bool = True,
-              include_vocoder: bool = True) -> Dict:
+              include_vocoder: bool = True,
+              compile: bool = False,
+              check_compile: bool = False) -> Dict:
     """Run the overhead sweep; returns the ``BENCH_overhead.json`` payload."""
     if costs is None:
         from .platform import OPENRISC_SW_COSTS
@@ -289,12 +361,14 @@ def run_bench(workloads: Optional[Sequence[str]] = None,
         functions, make_args = available[name]
         results.append(bench_function_workload(
             name, functions, make_args, costs,
-            repeats=repeats, include_iss=include_iss))
+            repeats=repeats, include_iss=include_iss,
+            compile=compile, check_compile=check_compile))
     if include_vocoder:
         results.append(bench_vocoder(
             costs, frame_count=frame_count, repeats=repeats,
             fastforward=fastforward, check_fastforward=check_fastforward,
-            include_iss=include_iss))
+            include_iss=include_iss,
+            compile=compile, check_compile=check_compile))
 
     gains = [r.gain for r in results if r.gain is not None]
     payload = {
@@ -303,6 +377,8 @@ def run_bench(workloads: Optional[Sequence[str]] = None,
         "repeats": repeats,
         "fastforward": fastforward,
         "check_fastforward": check_fastforward,
+        "compile": compile,
+        "check_compile": check_compile,
         "workloads": {r.name: r.to_dict() for r in results},
         "summary": {
             "workloads": len(results),
@@ -331,6 +407,8 @@ def render_table(payload: Dict) -> str:
                     else f"{entry['iss_s'] * 1e3:.2f}")
         gain_cell = ("-" if entry["gain"] is None
                      else f"{entry['gain']:.1f}x")
+        if entry.get("compiled"):
+            name = name + "*"
         rows.append([name, f"{entry['untimed_s'] * 1e3:.2f}",
                      f"{entry['annotated_s'] * 1e3:.2f}",
                      f"{entry['overload']:.1f}x", iss_cell, gain_cell])
@@ -349,6 +427,8 @@ def render_table(payload: Dict) -> str:
     overload = summary.get("geomean_overload")
     gain = summary.get("geomean_gain")
     lines.append("")
+    if payload.get("compile"):
+        lines.append("* = served by the bytecode compile tier")
     lines.append(
         "geomean overload: "
         + (f"{overload:.1f}x (paper bound: <73x)" if overload else "n/a")

@@ -651,6 +651,8 @@ def _cmd_bench(args) -> int:
         fastforward=args.fastforward,
         check_fastforward=args.check_fastforward,
         include_iss=not args.no_iss,
+        compile=args.compile or args.check_compile,
+        check_compile=args.check_compile,
     )
     print(render_table(payload))
     if args.json:
@@ -714,6 +716,14 @@ def build_parser() -> argparse.ArgumentParser:
                                    "AND assert every eligible segment "
                                    "re-execution matches its recorded "
                                    "bundle byte-for-byte")
+    bench_parser.add_argument("--compile", action="store_true",
+                              help="serve kernels through the bytecode "
+                                   "compile tier (folded block charges) "
+                                   "instead of interpreted annotation")
+    bench_parser.add_argument("--check-compile", action="store_true",
+                              help="differential mode: run interpreted AND "
+                                   "compiled, asserting identical results, "
+                                   "write-backs, cycles and op counts")
     bench_parser.add_argument("--no-iss", action="store_true",
                               help="skip the ISS reference runs")
     bench_parser.add_argument("--weights", default="",

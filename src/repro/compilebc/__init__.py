@@ -1,0 +1,23 @@
+"""``repro.compilebc`` — the AST→bytecode kernel compile tier.
+
+Compiles annotated kernels to plain CPython bytecode with the cost
+charging folded out of the data path: native ints and lists replace the
+``aint``/``make_array`` wrappers, and each basic block's operation
+multiset is pre-summed into a single ``charge_block`` call at block
+entry, with flag-gated per-operation charges (the dynamic fallback)
+only where the charge is data-dependent.  Opt in through
+``PerformanceLibrary(compile=True)`` or ``repro bench --compile``;
+``check_compile`` asserts cycle-identical totals against the dynamic
+charging per kernel call.  See ``docs/internals.md``.
+"""
+
+from .check import check_entry, check_registry, run_compiled, run_interpreted
+from .model import Unsupported
+from .program import CompiledProgram, arg_shapes_of, compile_kernel
+from .tier import CompileCheckError, CompileTier, current_tier, set_tier
+
+__all__ = [
+    "CompileCheckError", "CompileTier", "CompiledProgram", "Unsupported",
+    "arg_shapes_of", "check_entry", "check_registry", "compile_kernel",
+    "current_tier", "run_compiled", "run_interpreted", "set_tier",
+]

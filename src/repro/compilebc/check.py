@@ -1,0 +1,100 @@
+"""Standalone ``check_compile`` differential over function workloads.
+
+The executor-level differential (vocoder kernels) lives in
+:mod:`.tier`; this module covers the registry's plain function
+workloads for ``repro bench --check-compile`` and the test suite: each
+entry kernel is run interpreted (annotated types, dynamic charging) and
+compiled (folded block charges) on identical inputs, and the results,
+final array contents, charged cycle totals and full per-operation count
+vectors must agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..annotate.context import MODE_SW, CostContext, active
+from ..annotate.costs import OperationCosts
+from .model import SH_ARR, Unsupported
+from .program import Charger, CompiledProgram, arg_shapes_of, compile_kernel
+from .tier import CompileCheckError
+
+
+def run_interpreted(entry, args, costs: OperationCosts):
+    """Annotated interpreted run; returns (result, cycles, counts, arrays)."""
+    from ..annotate.types import AArray, unwrap
+    from ..workloads.common import wrap_args
+
+    ctx = CostContext(costs, MODE_SW)
+    wrapped = wrap_args(args)
+    with active(ctx):
+        result = entry(*wrapped)
+    arrays = [value.to_list() for value in wrapped
+              if isinstance(value, AArray)]
+    return unwrap(result), ctx.total_cycles, list(ctx._counts), arrays
+
+
+def run_compiled(program: CompiledProgram, args, costs: OperationCosts):
+    """Compiled run on fresh state; returns the same tuple shape."""
+    table = program.bind(costs)
+    if table is None:
+        raise CompileCheckError(
+            f"cost table {costs.name!r} refused to bind (missing or "
+            "non-half-integral latency)")
+    ctx = CostContext(costs, MODE_SW)
+    result, writebacks = program.run(args, Charger(ctx, table))
+    arrays = [copy for _, copy in writebacks]
+    return result, ctx.total_cycles, list(ctx._counts), arrays
+
+
+def check_entry(entry, make_args, costs: OperationCosts) -> Dict:
+    """Differential for one function workload.
+
+    Returns a report dict; ``compiled`` False (with ``reason``) when the
+    kernel is outside the subset — that is a pass, not a failure, since
+    the tier falls back to the interpreted run.  An actual divergence
+    between the two runs raises :class:`CompileCheckError`.
+    """
+    args = make_args() if callable(make_args) else list(make_args)
+    try:
+        program = compile_kernel(entry, arg_shapes_of(args))
+    except Unsupported as exc:
+        return {"workload": entry.__name__, "compiled": False,
+                "reason": str(exc)}
+
+    i_result, i_cycles, i_counts, i_arrays = run_interpreted(
+        entry, args, costs)
+    c_result, c_cycles, c_counts, c_arrays = run_compiled(
+        program, args, costs)
+
+    label = entry.__name__
+    if int(c_result) != int(i_result):
+        raise CompileCheckError(
+            f"check_compile: {label}: result {c_result!r} != "
+            f"interpreted {i_result!r}")
+    if c_arrays != i_arrays:
+        raise CompileCheckError(
+            f"check_compile: {label}: final array contents diverged")
+    if c_cycles != i_cycles:
+        raise CompileCheckError(
+            f"check_compile: {label}: charged {c_cycles} cycles, "
+            f"interpreted charged {i_cycles}")
+    if c_counts != i_counts:
+        raise CompileCheckError(
+            f"check_compile: {label}: operation counts diverged")
+    return {"workload": label, "compiled": True, "cycles": i_cycles,
+            "blocks": len(program.blocks), "specs": program.spec_count}
+
+
+def check_registry(costs: OperationCosts,
+                   names: Optional[Sequence[str]] = None) -> List[Dict]:
+    """Run the differential over every registered function workload."""
+    from ..workloads import registry
+
+    reports = []
+    for name, (functions, make_args) in registry().items():
+        if names is not None and name not in names:
+            continue
+        reports.append(check_entry(functions[0], make_args, costs))
+        reports[-1]["workload"] = name
+    return reports

@@ -1,0 +1,125 @@
+"""Shared model for the bytecode compile tier.
+
+The tier compiles an annotated kernel to plain CPython with the cost
+charging *folded out* of the data path: inside compiled code every value
+is a native ``int``/``bool``/``list`` and charging happens through
+explicit block charges instead of operator-dunder dispatch.  To know
+which charges to emit, the compiler classifies every variable and
+expression on a small static lattice:
+
+* **kind** — would this value be an annotated (`AInt`/`ABool`) object in
+  the interpreted run?  ``PLAIN`` (never), ``ANNOT`` (always), or
+  ``EITHER`` (depends on the path taken; tracked with a runtime boolean
+  flag in the compiled code).  The lattice is the join semilattice
+  ``BOT < PLAIN, ANNOT < EITHER`` — conveniently, bitwise ``|`` on the
+  encodings below *is* the join.
+* **shape** — ``int``, ``bool`` (comparison results), ``arr`` (arrays),
+  or ``none`` (a helper that can fall off the end).
+
+Anything outside the compilable subset raises :class:`Unsupported`; the
+tier then falls back to the interpreted annotated run for that kernel,
+so rejection is always safe (see ``docs/internals.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from ..annotate.costs import OP_IDS
+
+# -- kinds -------------------------------------------------------------------
+
+BOT = 0      # unassigned (bottom)
+PLAIN = 1    # always a native value in the interpreted run
+ANNOT = 2    # always an annotated value in the interpreted run
+EITHER = 3   # PLAIN | ANNOT: path-dependent, needs a runtime flag
+
+KIND_NAMES = {BOT: "bot", PLAIN: "plain", ANNOT: "annot", EITHER: "either"}
+
+# -- shapes ------------------------------------------------------------------
+
+SH_INT = "int"
+SH_BOOL = "bool"
+SH_ARR = "arr"
+SH_NONE = "none"
+
+
+class SV:
+    """A static value: (shape, kind) with an optional known constant."""
+
+    __slots__ = ("shape", "kind")
+
+    def __init__(self, shape: str, kind: int):
+        self.shape = shape
+        self.kind = kind
+
+    def __eq__(self, other):
+        return (isinstance(other, SV) and self.shape == other.shape
+                and self.kind == other.kind)
+
+    def __hash__(self):
+        return hash((self.shape, self.kind))
+
+    def __repr__(self):
+        return f"SV({self.shape}, {KIND_NAMES[self.kind]})"
+
+
+def join(a: SV, b: SV, where: str = "") -> SV:
+    """Join two static values; shapes must agree (modulo BOT)."""
+    if a.kind == BOT:
+        return b
+    if b.kind == BOT:
+        return a
+    if a.shape != b.shape:
+        raise Unsupported(
+            f"variable takes both {a.shape} and {b.shape} values{where}")
+    return SV(a.shape, a.kind | b.kind)
+
+
+class Unsupported(Exception):
+    """The construct is outside the compilable subset (safe fallback)."""
+
+    def __init__(self, reason: str, node: Optional[ast.AST] = None):
+        if node is not None and hasattr(node, "lineno"):
+            reason = f"line {node.lineno}: {reason}"
+        super().__init__(reason)
+        self.reason = reason
+
+
+# -- operator tables ---------------------------------------------------------
+
+#: AST binary operators -> charged operation name (integer domain).
+BIN_OPS = {
+    ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul",
+    ast.FloorDiv: "div", ast.Mod: "mod",
+    ast.LShift: "shl", ast.RShift: "shr",
+    ast.BitAnd: "and", ast.BitOr: "or", ast.BitXor: "xor",
+}
+
+#: AST comparison operators -> charged operation name.
+CMP_OPS = {
+    ast.Lt: "lt", ast.LtE: "le", ast.Gt: "gt", ast.GtE: "ge",
+    ast.Eq: "eq", ast.NotEq: "ne",
+}
+
+#: A comparison whose left operand is plain and right operand annotated
+#: dispatches through Python's *reflected* protocol — ``plain < AInt``
+#: calls ``AInt.__gt__`` — so the mirrored operation is charged.
+MIRROR = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le",
+          "eq": "eq", "ne": "ne"}
+
+#: AST unary operators -> charged operation name.  ``UAdd`` is absent on
+#: purpose: the annotated types define no ``__pos__``.
+UNARY_OPS = {ast.USub: "neg", ast.Invert: "inv"}
+
+OP_LOAD = OP_IDS["load"]
+OP_STORE = OP_IDS["store"]
+OP_ASSIGN = OP_IDS["assign"]
+OP_CALL = OP_IDS["call"]
+OP_ADD = OP_IDS["add"]
+OP_BRANCH = OP_IDS["branch"]
+
+
+def spec_key(fn, kinds: Tuple) -> Tuple:
+    return (id(fn), kinds)

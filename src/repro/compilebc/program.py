@@ -1,0 +1,202 @@
+"""Compiled-program assembly and runtime for the bytecode tier.
+
+:func:`compile_kernel` drives :mod:`.transform` over an entry kernel,
+assembles every emitted specialization into one module AST, and runs it
+through the builtin ``compile()`` — the emitted functions are plain
+CPython bytecode operating on native ints and lists, with explicit
+charge calls where the interpreted run would charge through the
+annotated types.
+
+A :class:`CompiledProgram` is cost-table agnostic: block multisets are
+stored by operation *name* and bound to a concrete
+:class:`~repro.annotate.costs.OperationCosts` on first use
+(:meth:`CompiledProgram.bind`).  Binding validates that every operation
+the program can charge has a latency and that each latency is
+half-integral — that makes every pre-summed block charge bit-identical
+to charging the operations one at a time, in any order (all sums live
+on the 0.5-cycle grid, exact in binary floating point).  A table that
+fails validation simply refuses to bind and the tier falls back to the
+interpreted annotated run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..annotate.context import CostContext
+from ..annotate.costs import OP_IDS, OperationCosts
+from .model import ANNOT, SH_ARR, SH_INT, SV, Unsupported
+from .transform import analyze_program
+
+
+class BlockTable:
+    """Per-cost-table binding: block id -> (cycles, op ids, op counts)."""
+
+    __slots__ = ("triples", "op_cycles")
+
+    def __init__(self, triples: List[Tuple[float, Tuple[int, ...],
+                                           Tuple[int, ...]]],
+                 op_cycles: Dict[int, float]):
+        self.triples = triples
+        self.op_cycles = op_cycles
+
+
+class Charger:
+    """Per-run adapter delegating block charges into a live context."""
+
+    __slots__ = ("ctx", "triples", "op_cycles")
+
+    def __init__(self, ctx: CostContext, table: BlockTable):
+        self.ctx = ctx
+        self.triples = table.triples
+        self.op_cycles = table.op_cycles
+
+    def charge_block(self, bid: int) -> None:
+        cycles, ids, counts = self.triples[bid]
+        self.ctx.charge_block(cycles, ids, counts)
+
+    def charge_scaled(self, bid: int, trips: int) -> None:
+        cycles, ids, counts = self.triples[bid]
+        self.ctx.charge_block_scaled(cycles, ids, counts, trips)
+
+    def charge_op(self, op: int) -> None:
+        ctx = self.ctx
+        ctx.total_cycles += self.op_cycles[op]
+        ctx._counts[op] += 1
+
+
+class NullCharger:
+    """No-op charger for runs without an active cost context (the
+    compiled analogue of annotated types executing functionally)."""
+
+    __slots__ = ()
+
+    def charge_block(self, bid: int) -> None:
+        pass
+
+    def charge_scaled(self, bid: int, trips: int) -> None:
+        pass
+
+    def charge_op(self, op: int) -> None:
+        pass
+
+
+NULL_CHARGER = NullCharger()
+
+
+def _half_integral(latency) -> bool:
+    return float(2 * latency).is_integer()
+
+
+class CompiledProgram:
+    """An entry kernel compiled to plain bytecode with folded charges."""
+
+    def __init__(self, entry_fn, arg_shapes: Tuple[str, ...]):
+        self.entry_fn = entry_fn
+        self.arg_shapes = arg_shapes
+        entry_svs = tuple(SV(shape, ANNOT) for shape in arg_shapes)
+        program = analyze_program(entry_fn, entry_svs)
+        self.blocks = program.blocks
+        self.cond_ops = frozenset(program.cond_ops)
+        self.spec_count = len(program.order)
+
+        module = ast.Module(
+            body=[spec.emitted for spec in program.order], type_ignores=[])
+        ast.fix_missing_locations(module)
+        filename = f"<compilebc:{entry_fn.__module__}.{entry_fn.__name__}>"
+        code = compile(module, filename, "exec")
+        namespace = {"__builtins__": {"range": range, "len": len,
+                                      "abs": abs}}
+        exec(code, namespace)
+        entry_name = program.order[0].name
+        self.entry = namespace[entry_name]
+        self.source = ast.unparse(module)
+        #: bind cache: id(costs) -> (costs ref, BlockTable | None).  The
+        #: costs reference is pinned so the id key can never be reused.
+        self._bindings: Dict[int, Tuple[OperationCosts,
+                                        Optional[BlockTable]]] = {}
+
+    # -- cost binding -------------------------------------------------------
+
+    def bind(self, costs: OperationCosts) -> Optional[BlockTable]:
+        """Bind the block registry to a cost table (``None`` = refuse)."""
+        cached = self._bindings.get(id(costs))
+        if cached is not None:
+            return cached[1]
+        latencies = costs.latency_list()
+        used = {name for block in self.blocks for name, _ in block}
+        used.update(self.cond_ops)
+        table: Optional[BlockTable] = None
+        if all(latencies[OP_IDS[name]] is not None
+               and _half_integral(latencies[OP_IDS[name]])
+               for name in used):
+            triples = []
+            for block in self.blocks:
+                ids = tuple(OP_IDS[name] for name, _ in block)
+                counts = tuple(count for _, count in block)
+                cycles = 0.0
+                for op, count in zip(ids, counts):
+                    cycles += latencies[op] * count
+                triples.append((cycles, ids, counts))
+            op_cycles = {OP_IDS[name]: latencies[OP_IDS[name]]
+                         for name in self.cond_ops}
+            table = BlockTable(triples, op_cycles)
+        self._bindings[id(costs)] = (costs, table)
+        return table
+
+    def make_charger(self, ctx: Optional[CostContext]):
+        """Charger for ``ctx`` (``None`` context charges nothing), or
+        ``None`` when this context cannot be served exactly."""
+        if ctx is None:
+            return NULL_CHARGER
+        if not ctx._fast:
+            return None  # recorder attached / hw mode: per-op stream needed
+        table = self.bind(ctx.costs)
+        if table is None:
+            return None
+        return Charger(ctx, table)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, args, charger):
+        """Execute on plain copies of ``args``.
+
+        Returns ``(result, writebacks)`` where ``writebacks`` pairs each
+        original list argument with the (possibly mutated) copy the
+        kernel actually ran on — the caller decides whether to apply
+        them (the executor writes back; benchmark runs discard).
+        """
+        call_args = []
+        writebacks = []
+        for arg, shape in zip(args, self.arg_shapes):
+            if shape == SH_ARR:
+                copy = [int(v) for v in arg]
+                call_args.append(copy)
+                writebacks.append((arg, copy))
+            else:
+                call_args.append(int(arg))
+        result = self.entry(charger, *call_args)
+        return result, writebacks
+
+
+def arg_shapes_of(args) -> Tuple[str, ...]:
+    """Classify concrete call arguments into entry shapes."""
+    shapes = []
+    for arg in args:
+        if isinstance(arg, list):
+            shapes.append(SH_ARR)
+        elif isinstance(arg, bool):
+            raise Unsupported("bool entry arguments are not supported")
+        elif isinstance(arg, int):
+            shapes.append(SH_INT)
+        else:
+            raise Unsupported(
+                f"entry argument of type {type(arg).__name__} is not "
+                "supported")
+    return tuple(shapes)
+
+
+def compile_kernel(entry_fn, arg_shapes: Tuple[str, ...]) -> CompiledProgram:
+    """Compile ``entry_fn`` (raises :class:`Unsupported` on rejection)."""
+    return CompiledProgram(entry_fn, arg_shapes)

@@ -1,0 +1,155 @@
+"""The opt-in compile tier consulted by the annotated executor.
+
+``PerformanceLibrary(compile=True)`` installs a :class:`CompileTier` in
+the module-level slot on ``attach()``; the vocoder's annotated executor
+(and ``repro bench --compile``) then routes kernel calls through
+compiled programs, falling back to the interpreted annotated run for
+anything the compiler rejects or any context the compiled charging
+cannot serve exactly (recorder attached, hw mode, non-half-integral or
+missing latencies).
+
+``check_compile=True`` turns every compiled call into a differential:
+the interpreted run remains the executed ground truth, and the compiled
+program re-runs the same call on scratch state — results, array
+write-backs, charged cycles and the full per-operation count vector
+must all match exactly, else :class:`CompileCheckError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ..annotate.context import MODE_SW, CostContext, current_context
+from ..annotate.costs import N_OPERATIONS
+from .model import Unsupported
+from .program import (
+    NULL_CHARGER, Charger, CompiledProgram, arg_shapes_of, compile_kernel,
+)
+
+
+class CompileCheckError(AssertionError):
+    """A compiled call diverged from the interpreted ground truth."""
+
+
+class CompileTier:
+    """Per-attachment compile-tier state: program cache + counters."""
+
+    def __init__(self, check: bool = False):
+        self.check = bool(check)
+        #: (id(fn), shapes) -> (fn ref, program | None); the fn reference
+        #: pins the id so the key can never be reused by a new object.
+        self._programs: Dict[Tuple, Tuple[Callable,
+                                          Optional[CompiledProgram]]] = {}
+        self.rejections: Dict[str, str] = {}
+        self.stats = {"compiled": 0, "rejected": 0, "runs": 0,
+                      "fallbacks": 0, "checked": 0}
+
+    # -- program cache ------------------------------------------------------
+
+    def program_for(self, fn, args) -> Optional[CompiledProgram]:
+        try:
+            shapes = arg_shapes_of(args)
+        except Unsupported as exc:
+            self.rejections.setdefault(getattr(fn, "__qualname__",
+                                               repr(fn)), str(exc))
+            return None
+        key = (id(fn), shapes)
+        cached = self._programs.get(key)
+        if cached is not None:
+            return cached[1]
+        try:
+            program = compile_kernel(fn, shapes)
+            self.stats["compiled"] += 1
+        except Unsupported as exc:
+            program = None
+            self.stats["rejected"] += 1
+            self.rejections.setdefault(getattr(fn, "__qualname__",
+                                               repr(fn)), str(exc))
+        self._programs[key] = (fn, program)
+        return program
+
+    # -- execution ----------------------------------------------------------
+
+    def run_kernel(self, fn, args,
+                   interpreted: Callable) -> Tuple[bool, Optional[int]]:
+        """Run one executor-level kernel call through the tier.
+
+        Returns ``(handled, result)``; ``handled`` False means the
+        caller must take its interpreted path (``interpreted(fn, args)``
+        is only invoked by the tier itself, in check mode).
+        """
+        program = self.program_for(fn, args)
+        if program is None:
+            return False, None
+        ctx = current_context()
+        charger = program.make_charger(ctx)
+        if charger is None:
+            self.stats["fallbacks"] += 1
+            return False, None
+        if self.check:
+            result = self._run_checked(program, fn, args, ctx, interpreted)
+            self.stats["checked"] += 1
+            return True, result
+        result, writebacks = program.run(args, charger)
+        for original, copy in writebacks:
+            original[:] = copy
+        self.stats["runs"] += 1
+        return True, int(result)
+
+    def _run_checked(self, program: CompiledProgram, fn, args, ctx,
+                     interpreted: Callable) -> int:
+        saved = [list(a) if isinstance(a, list) else a for a in args]
+        if ctx is not None:
+            before_cycles = ctx.total_cycles
+            before_counts = list(ctx._counts)
+        result = interpreted(fn, args)  # ground truth, incl. write-backs
+        if ctx is not None:
+            delta_cycles = ctx.total_cycles - before_cycles
+            delta_counts = [after - before for after, before
+                            in zip(ctx._counts, before_counts)]
+            scratch = CostContext(ctx.costs, MODE_SW)
+            charger = Charger(scratch, program.bind(ctx.costs))
+        else:
+            delta_cycles, delta_counts = 0.0, [0] * N_OPERATIONS
+            scratch, charger = None, NULL_CHARGER
+        compiled_result, writebacks = program.run(saved, charger)
+
+        label = getattr(fn, "__qualname__", repr(fn))
+        if int(compiled_result) != int(result):
+            raise CompileCheckError(
+                f"check_compile: {label}: result {int(compiled_result)} != "
+                f"interpreted {int(result)}")
+        originals = [arg for arg in args if isinstance(arg, list)]
+        for original, (_, copy) in zip(originals, writebacks):
+            if copy != original:
+                raise CompileCheckError(
+                    f"check_compile: {label}: array write-back diverged")
+        compiled_cycles = scratch.total_cycles if scratch else 0.0
+        compiled_counts = list(scratch._counts) if scratch else delta_counts
+        if compiled_cycles != delta_cycles:
+            raise CompileCheckError(
+                f"check_compile: {label}: charged {compiled_cycles} cycles, "
+                f"interpreted charged {delta_cycles}")
+        if compiled_counts != delta_counts:
+            raise CompileCheckError(
+                f"check_compile: {label}: operation counts diverged: "
+                f"{compiled_counts} != {delta_counts}")
+        return int(result)
+
+
+# ---------------------------------------------------------------------------
+# The module-level tier slot (mirrors the current-context slot).
+# ---------------------------------------------------------------------------
+
+_tier: Optional[CompileTier] = None
+
+
+def current_tier() -> Optional[CompileTier]:
+    return _tier
+
+
+def set_tier(tier: Optional[CompileTier]) -> Optional[CompileTier]:
+    global _tier
+    previous = _tier
+    _tier = tier
+    return previous

@@ -1,0 +1,913 @@
+"""AST transformation for the bytecode compile tier.
+
+Two phases over the same kernel ASTs:
+
+1. **Kind analysis** (:class:`Analyzer`) — a flow-insensitive optimistic
+   fixpoint assigning every local variable a static value
+   (shape × kind, see :mod:`.model`).  Flow-insensitivity is sound
+   because the kind lattice joins over *all* assignments: if a variable
+   is classified ``ANNOT`` it is annotated at every use in the
+   interpreted run, and ``EITHER`` variables get a runtime boolean flag
+   in the compiled code.  Callees (decorated or plain helpers) are
+   *specialized* per argument-kind tuple; return kinds fixpoint across
+   the whole program (recursion starts at ⊥).
+
+2. **Emission** (:class:`Emitter`) — rebuilds each specialization as a
+   plain-Python function: annotated wrappers disappear (native ints and
+   lists), and the charges the interpreted run would make are folded
+   into per-block multisets charged with one
+   ``__c.charge_block(block_id)`` call, scaled whole-loop charges
+   (``charge_scaled``) for counted loops with unconditionally-charging
+   bodies, and flag-gated single-operation charges (``charge_op``) where
+   the charge is data-dependent (the dynamic fallback of the tier).
+
+The emitted charge placement is *totals-exact*, not trace-exact: within
+one straight-line region charges may be reordered or batched, which is
+bit-identical for the final estimate because every latency is validated
+half-integral at bind time (sums in units of 0.5 are exact floats in
+any order).  ``check_compile`` asserts the equality per kernel call.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..annotate import functions as _afunctions
+from ..annotate.costs import OP_IDS
+from .model import (
+    ANNOT, BIN_OPS, BOT, CMP_OPS, EITHER, MIRROR, PLAIN, SH_ARR, SH_BOOL,
+    SH_INT, SH_NONE, SV, UNARY_OPS, Unsupported, join,
+)
+
+_INTRINSIC_ARANGE = _afunctions.arange
+_INTRINSIC_AINT = _afunctions.aint
+_INTRINSIC_MAKE_ARRAY = _afunctions.make_array
+
+#: Flags: ``True`` (always annotated), or a frozenset of ``EITHER``
+#: variable names whose runtime-flag disjunction decides it (the empty
+#: set meaning "never annotated").
+FLAG_FALSE = frozenset()
+
+
+def _or_flags(a, b):
+    if a is True or b is True:
+        return True
+    return a | b
+
+
+def _flag_name(var: str) -> str:
+    return f"__f_{var}"
+
+
+def _flag_ast(flag) -> ast.expr:
+    """Build a fresh AST expression for a flag value."""
+    if flag is True:
+        return ast.Constant(value=True)
+    names = sorted(flag)
+    if not names:
+        return ast.Constant(value=False)
+    if len(names) == 1:
+        return ast.Name(id=_flag_name(names[0]), ctx=ast.Load())
+    return ast.BoolOp(op=ast.Or(), values=[
+        ast.Name(id=_flag_name(n), ctx=ast.Load()) for n in names])
+
+
+def function_ast(fn) -> ast.FunctionDef:
+    """Parse a function's source into its (cached) ``FunctionDef``."""
+    cached = getattr(fn, "__compilebc_ast__", None)
+    if cached is not None:
+        return cached
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise Unsupported(f"no retrievable source for {fn!r}: {exc}")
+    tree = ast.parse(source)
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        raise Unsupported(f"{fn!r} is not a plain function definition")
+    node = tree.body[0]
+    try:
+        fn.__compilebc_ast__ = node
+    except (AttributeError, TypeError):
+        pass
+    return node
+
+
+class Spec:
+    """One (function, argument-kind) specialization."""
+
+    def __init__(self, fn, name: str, arg_svs: Tuple[SV, ...],
+                 decorated: bool):
+        self.fn = fn
+        self.name = name
+        self.arg_svs = arg_svs
+        self.decorated = decorated
+        self.tree = function_ast(fn)
+        params = self.tree.args
+        if (params.vararg or params.kwarg or params.kwonlyargs
+                or params.defaults or params.posonlyargs):
+            raise Unsupported(
+                f"{fn.__name__}: only plain positional parameters are "
+                "supported", self.tree)
+        self.params = [a.arg for a in params.args]
+        if len(self.params) != len(arg_svs):
+            raise Unsupported(
+                f"{fn.__name__} called with {len(arg_svs)} argument(s), "
+                f"takes {len(self.params)}")
+        self.env: Dict[str, SV] = dict(zip(self.params, arg_svs))
+        self.ret = SV(SH_NONE, BOT)
+        self.emitted: Optional[ast.FunctionDef] = None
+
+    def is_entry(self) -> bool:
+        return self.name.endswith("__entry")
+
+
+class Program:
+    """Specialization registry + block registry for one entry kernel."""
+
+    def __init__(self, entry_fn):
+        self.entry_fn = entry_fn
+        self.specs: Dict[Tuple, Spec] = {}
+        self.order: List[Spec] = []
+        self.blocks: List[Tuple[Tuple[str, int], ...]] = []
+        self._block_ids: Dict[Tuple, int] = {}
+        self.cond_ops: set = set()
+        self.changed = False
+
+    def request_spec(self, fn, arg_svs: Tuple[SV, ...],
+                     decorated: bool, entry: bool = False) -> Spec:
+        key = (id(fn), arg_svs)
+        spec = self.specs.get(key)
+        if spec is None:
+            suffix = "__entry" if entry else f"__s{len(self.specs)}"
+            spec = Spec(fn, f"{fn.__name__}{suffix}", arg_svs, decorated)
+            self.specs[key] = spec
+            self.order.append(spec)
+            self.changed = True
+        return spec
+
+    def add_block(self, counts: Counter) -> int:
+        key = tuple(sorted(counts.items()))
+        bid = self._block_ids.get(key)
+        if bid is None:
+            bid = len(self.blocks)
+            self._block_ids[key] = bid
+            self.blocks.append(key)
+        return bid
+
+
+def _resolve_global(spec: Spec, name: str):
+    ns = getattr(spec.fn, "__globals__", {})
+    if name in ns:
+        return True, ns[name]
+    builtins_ns = ns.get("__builtins__", {})
+    if not isinstance(builtins_ns, dict):
+        builtins_ns = vars(builtins_ns)
+    if name in builtins_ns:
+        return True, builtins_ns[name]
+    return False, None
+
+
+def _callee_of(spec: Spec, call: ast.Call):
+    """Classify a call: ('arange'|'aint'|'make_array'|'abs') intrinsics,
+    or ('callee', plain_fn, decorated)."""
+    if not isinstance(call.func, ast.Name):
+        raise Unsupported("only calls to plain names are supported", call)
+    if call.keywords:
+        raise Unsupported("keyword arguments are not supported", call)
+    found, target = _resolve_global(spec, call.func.id)
+    if not found:
+        raise Unsupported(f"unresolvable callee {call.func.id!r}", call)
+    if target is _INTRINSIC_ARANGE:
+        return ("arange",)
+    if target is range:
+        return ("range",)
+    if target is _INTRINSIC_AINT:
+        return ("aint",)
+    if target is _INTRINSIC_MAKE_ARRAY:
+        return ("make_array",)
+    if target is abs:
+        return ("abs",)
+    wrapped = getattr(target, "__wrapped__", None)
+    if wrapped is not None and inspect.isfunction(wrapped):
+        return ("callee", wrapped, True)
+    if inspect.isfunction(target):
+        return ("callee", target, False)
+    raise Unsupported(
+        f"callee {call.func.id!r} is not a compilable function", call)
+
+
+def _binop_kind(lk: int, rk: int) -> int:
+    """Result kind of a charged binary operation (either-annotated
+    operand forces an annotated result)."""
+    if lk == ANNOT or rk == ANNOT:
+        return ANNOT
+    return lk | rk
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: kind analysis
+# ---------------------------------------------------------------------------
+
+class Analyzer:
+    """One fixpoint pass over a spec's body, joining into ``spec.env``."""
+
+    def __init__(self, program: Program, spec: Spec):
+        self.prog = program
+        self.spec = spec
+
+    def run(self) -> None:
+        for _ in range(8):
+            before = (dict(self.spec.env), self.spec.ret)
+            for stmt in self.spec.tree.body:
+                self.stmt(stmt)
+            if (self.spec.env, self.spec.ret) == before:
+                return
+        raise Unsupported(
+            f"{self.spec.fn.__name__}: kind analysis did not converge")
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> SV:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return SV(SH_BOOL, PLAIN)
+            if isinstance(node.value, int):
+                return SV(SH_INT, PLAIN)
+            raise Unsupported(
+                f"unsupported constant {node.value!r} (integer-only subset)",
+                node)
+        if isinstance(node, ast.Name):
+            if node.id in self.spec.env:
+                return self.spec.env[node.id]
+            found, value = _resolve_global(self.spec, node.id)
+            if found and isinstance(value, int) and not isinstance(value, bool):
+                return SV(SH_INT, PLAIN)
+            raise Unsupported(f"unresolvable name {node.id!r}", node)
+        if isinstance(node, ast.BinOp):
+            if type(node.op) not in BIN_OPS:
+                raise Unsupported(
+                    f"unsupported operator {type(node.op).__name__} "
+                    "(integer-only subset)", node)
+            left = self.int_operand(node.left)
+            right = self.int_operand(node.right)
+            return SV(SH_INT, _binop_kind(left.kind, right.kind))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise Unsupported("chained comparisons are not supported",
+                                  node)
+            if type(node.ops[0]) not in CMP_OPS:
+                raise Unsupported(
+                    f"unsupported comparison {type(node.ops[0]).__name__}",
+                    node)
+            left = self.int_operand(node.left)
+            right = self.int_operand(node.comparators[0])
+            return SV(SH_BOOL, _binop_kind(left.kind, right.kind))
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                self.truth(node.operand)
+                return SV(SH_BOOL, PLAIN)
+            if type(node.op) not in UNARY_OPS:
+                raise Unsupported(
+                    f"unsupported unary {type(node.op).__name__}", node)
+            operand = self.int_operand(node.operand)
+            return SV(SH_INT, operand.kind)
+        if isinstance(node, ast.Subscript):
+            return self.subscript(node)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        raise Unsupported(
+            f"unsupported expression {type(node).__name__}", node)
+
+    def int_operand(self, node: ast.expr) -> SV:
+        sv = self.expr(node)
+        if sv.kind == BOT:
+            return sv
+        if sv.shape != SH_INT:
+            raise Unsupported(
+                f"arithmetic on a {sv.shape} value is not supported", node)
+        return sv
+
+    def truth(self, node: ast.expr) -> SV:
+        sv = self.expr(node)
+        if sv.kind != BOT and sv.shape not in (SH_INT, SH_BOOL):
+            raise Unsupported(
+                f"truth test on a {sv.shape} value is not supported", node)
+        return sv
+
+    def subscript(self, node: ast.Subscript) -> SV:
+        arr = self.expr(node.value)
+        if arr.kind != BOT and arr.shape != SH_ARR:
+            raise Unsupported("subscript of a non-array value", node)
+        if isinstance(node.slice, (ast.Slice, ast.Tuple)):
+            raise Unsupported("array slicing is not supported", node)
+        self.int_operand(node.slice)
+        return SV(SH_INT, ANNOT)
+
+    def call(self, node: ast.Call) -> SV:
+        kind = _callee_of(self.spec, node)
+        if kind[0] in ("arange", "range"):
+            raise Unsupported(
+                f"{kind[0]}() is only supported as a for-loop iterator",
+                node)
+        if kind[0] == "aint":
+            if len(node.args) != 1:
+                raise Unsupported("aint() takes exactly one argument", node)
+            self.int_operand(node.args[0])
+            return SV(SH_INT, ANNOT)
+        if kind[0] == "make_array":
+            if len(node.args) != 1:
+                raise Unsupported("make_array() takes exactly one argument",
+                                  node)
+            self.int_operand(node.args[0])
+            return SV(SH_ARR, ANNOT)
+        if kind[0] == "abs":
+            if len(node.args) != 1:
+                raise Unsupported("abs() takes exactly one argument", node)
+            operand = self.int_operand(node.args[0])
+            return SV(SH_INT, operand.kind)
+        _, fn, decorated = kind
+        arg_svs = []
+        for arg in node.args:
+            sv = self.expr(arg)
+            if sv.kind == BOT:
+                return SV(SH_INT, BOT)  # revisit once the argument settles
+            if sv.kind == EITHER:
+                raise Unsupported(
+                    "call argument with a path-dependent annotation kind",
+                    node)
+            if sv.shape not in (SH_INT, SH_ARR):
+                raise Unsupported(
+                    f"call argument of shape {sv.shape} is not supported",
+                    node)
+            arg_svs.append(sv)
+        spec = self.prog.request_spec(fn, tuple(arg_svs), decorated)
+        return spec.ret
+
+    # -- statements ---------------------------------------------------------
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise Unsupported("multiple assignment targets", node)
+            self.assign(node.targets[0], self.expr(node.value), node)
+            return
+        if isinstance(node, ast.AugAssign):
+            if not isinstance(node.target, ast.Name):
+                raise Unsupported(
+                    "augmented assignment to a non-name target", node)
+            if type(node.op) not in BIN_OPS:
+                raise Unsupported(
+                    f"unsupported operator {type(node.op).__name__}", node)
+            desugared = ast.BinOp(
+                left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                op=node.op, right=node.value)
+            ast.copy_location(desugared, node)
+            ast.fix_missing_locations(desugared)
+            self.assign(node.target, self.expr(desugared), node)
+            return
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant) and isinstance(
+                    node.value.value, str):
+                return  # docstring
+            if not isinstance(node.value, ast.Call):
+                raise Unsupported("expression statements must be calls",
+                                  node.value)
+            self.call(node.value)
+            return
+        if isinstance(node, ast.If):
+            self.truth(node.test)
+            for sub in node.body:
+                self.stmt(sub)
+            for sub in node.orelse:
+                self.stmt(sub)
+            return
+        if isinstance(node, ast.While):
+            if node.orelse:
+                raise Unsupported("while/else is not supported",
+                                  node.orelse[0])
+            for operand in self.while_operands(node.test):
+                self.truth(operand)
+            for sub in node.body:
+                self.stmt(sub)
+            return
+        if isinstance(node, ast.For):
+            self.for_stmt(node)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                ret = SV(SH_NONE, PLAIN)
+            else:
+                ret = self.expr(node.value)
+            if ret.kind != BOT:
+                self.spec.ret = join(self.spec.ret, ret,
+                                     f" (returns of {self.spec.fn.__name__})")
+            return
+        if isinstance(node, (ast.Break, ast.Continue, ast.Pass)):
+            return
+        raise Unsupported(f"unsupported statement {type(node).__name__}",
+                          node)
+
+    @staticmethod
+    def while_operands(test: ast.expr) -> List[ast.expr]:
+        if isinstance(test, ast.BoolOp):
+            if not isinstance(test.op, ast.And):
+                raise Unsupported("only 'and' while-conditions are supported",
+                                  test)
+            for value in test.values:
+                if isinstance(value, ast.BoolOp):
+                    raise Unsupported("nested boolean while-conditions",
+                                      value)
+            return list(test.values)
+        return [test]
+
+    def assign(self, target: ast.expr, sv: SV, node: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            if sv.kind != BOT and sv.shape == SH_NONE:
+                raise Unsupported(
+                    "assignment of a None-returning call result", node)
+            current = self.spec.env.get(target.id, SV(SH_NONE, BOT))
+            self.spec.env[target.id] = join(
+                current, sv, f" (variable {target.id!r})")
+            return
+        if isinstance(target, ast.Subscript):
+            self.subscript_store(target)
+            return
+        raise Unsupported(
+            f"unsupported assignment target {type(target).__name__}", node)
+
+    def subscript_store(self, target: ast.Subscript) -> None:
+        arr = self.expr(target.value)
+        if arr.kind != BOT and arr.shape != SH_ARR:
+            raise Unsupported("subscript store to a non-array value", target)
+        if isinstance(target.slice, (ast.Slice, ast.Tuple)):
+            raise Unsupported("array slicing is not supported", target)
+        self.int_operand(target.slice)
+
+    def for_stmt(self, node: ast.For) -> None:
+        if node.orelse:
+            raise Unsupported("for/else is not supported", node.orelse[0])
+        if not isinstance(node.target, ast.Name):
+            raise Unsupported("for target must be a simple name",
+                              node.target)
+        if not isinstance(node.iter, ast.Call):
+            raise Unsupported(
+                "for loops must iterate over arange()/range()", node.iter)
+        kind = _callee_of(self.spec, node.iter)
+        if kind[0] not in ("arange", "range"):
+            raise Unsupported(
+                "for loops must iterate over arange()/range()", node.iter)
+        if not 1 <= len(node.iter.args) <= 3:
+            raise Unsupported(f"{kind[0]}() takes 1 to 3 arguments",
+                              node.iter)
+        for bound in node.iter.args:
+            self.int_operand(bound)
+        target_kind = ANNOT if kind[0] == "arange" else PLAIN
+        self.assign(node.target, SV(SH_INT, target_kind), node)
+        for sub in node.body:
+            self.stmt(sub)
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: emission
+# ---------------------------------------------------------------------------
+
+def _charge_call(method: str, args: List[ast.expr]) -> ast.stmt:
+    return ast.Expr(value=ast.Call(
+        func=ast.Attribute(value=ast.Name(id="__c", ctx=ast.Load()),
+                           attr=method, ctx=ast.Load()),
+        args=args, keywords=[]))
+
+
+class Emitter:
+    """Emit one spec as a plain function with folded block charges."""
+
+    def __init__(self, program: Program, spec: Spec):
+        self.prog = program
+        self.spec = spec
+        self.pending: Counter = Counter()
+        self.cond: List[ast.stmt] = []
+        self.tmp = 0
+
+    # -- charge plumbing ----------------------------------------------------
+
+    def flush(self, out: List[ast.stmt]) -> None:
+        if self.pending:
+            bid = self.prog.add_block(self.pending)
+            out.append(_charge_call("charge_block",
+                                    [ast.Constant(value=bid)]))
+            self.pending = Counter()
+
+    def charge(self, op: str, flag) -> None:
+        """Charge ``op`` on the paths where ``flag`` holds."""
+        if flag is True:
+            self.pending[op] += 1
+        elif flag:  # non-empty frozenset: data-dependent -> dynamic charge
+            self.prog.cond_ops.add(op)
+            self.cond.append(ast.If(
+                test=_flag_ast(flag),
+                body=[_charge_call("charge_op",
+                                   [ast.Constant(value=OP_IDS[op])])],
+                orelse=[]))
+
+    def charge_compare(self, op: str, lflag, rflag) -> None:
+        """Compare charging with the reflected-dispatch mirror rule."""
+        if lflag is True:
+            self.pending[op] += 1
+            return
+        mirrored = MIRROR[op]
+        if not lflag:  # left never annotated: right decides, mirrored
+            self.charge(mirrored, rflag)
+            return
+        # left is data-dependent
+        self.prog.cond_ops.add(op)
+        charge_op = [_charge_call("charge_op",
+                                  [ast.Constant(value=OP_IDS[op])])]
+        if rflag is True:
+            self.prog.cond_ops.add(mirrored)
+            orelse = [_charge_call("charge_op",
+                                   [ast.Constant(value=OP_IDS[mirrored])])]
+        elif rflag:
+            self.prog.cond_ops.add(mirrored)
+            orelse = [ast.If(
+                test=_flag_ast(rflag),
+                body=[_charge_call("charge_op",
+                                   [ast.Constant(value=OP_IDS[mirrored])])],
+                orelse=[])]
+        else:
+            orelse = []
+        self.cond.append(ast.If(test=_flag_ast(lflag), body=charge_op,
+                                orelse=orelse))
+
+    def drain_cond(self, out: List[ast.stmt]) -> None:
+        out.extend(self.cond)
+        self.cond = []
+
+    # -- expressions --------------------------------------------------------
+
+    def sv_of(self, name: str) -> SV:
+        return self.spec.env.get(name, SV(SH_NONE, BOT))
+
+    def flag_of(self, sv: SV, var: Optional[str] = None):
+        if sv.kind == ANNOT:
+            return True
+        if sv.kind == PLAIN:
+            return FLAG_FALSE
+        if sv.kind == EITHER and var is not None:
+            return frozenset((var,))
+        raise Unsupported(f"value of kind {sv.kind} has no flag")
+
+    def expr(self, node: ast.expr) -> Tuple[ast.expr, SV, object]:
+        if isinstance(node, ast.Constant):
+            sv = (SV(SH_BOOL, PLAIN) if isinstance(node.value, bool)
+                  else SV(SH_INT, PLAIN))
+            return ast.Constant(value=node.value), sv, FLAG_FALSE
+        if isinstance(node, ast.Name):
+            if node.id in self.spec.env:
+                sv = self.spec.env[node.id]
+                if sv.kind == BOT:
+                    raise Unsupported(
+                        f"{node.id!r} is read but never assigned", node)
+                return (ast.Name(id=node.id, ctx=ast.Load()), sv,
+                        self.flag_of(sv, node.id))
+            found, value = _resolve_global(self.spec, node.id)
+            if found and isinstance(value, int) and not isinstance(value,
+                                                                   bool):
+                # snapshot module-level integer constants at compile time
+                return (ast.Constant(value=value), SV(SH_INT, PLAIN),
+                        FLAG_FALSE)
+            raise Unsupported(f"unresolvable name {node.id!r}", node)
+        if isinstance(node, ast.BinOp):
+            op = BIN_OPS[type(node.op)]
+            left, lsv, lflag = self.expr(node.left)
+            right, rsv, rflag = self.expr(node.right)
+            flag = _or_flags(lflag, rflag)
+            self.charge(op, flag)
+            return (ast.BinOp(left=left, op=type(node.op)(), right=right),
+                    SV(SH_INT, _binop_kind(lsv.kind, rsv.kind)), flag)
+        if isinstance(node, ast.Compare):
+            op = CMP_OPS[type(node.ops[0])]
+            left, lsv, lflag = self.expr(node.left)
+            right, rsv, rflag = self.expr(node.comparators[0])
+            self.charge_compare(op, lflag, rflag)
+            flag = _or_flags(lflag, rflag)
+            return (ast.Compare(left=left, ops=[type(node.ops[0])()],
+                                comparators=[right]),
+                    SV(SH_BOOL, _binop_kind(lsv.kind, rsv.kind)), flag)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                operand, sv, flag = self.expr(node.operand)
+                if sv.shape == SH_BOOL:
+                    self.charge("branch", flag)
+                return (ast.UnaryOp(op=ast.Not(), operand=operand),
+                        SV(SH_BOOL, PLAIN), FLAG_FALSE)
+            op = UNARY_OPS[type(node.op)]
+            operand, sv, flag = self.expr(node.operand)
+            self.charge(op, flag)
+            return (ast.UnaryOp(op=type(node.op)(), operand=operand),
+                    SV(SH_INT, sv.kind), flag)
+        if isinstance(node, ast.Subscript):
+            value, _, _ = self.expr(node.value)
+            index, _, _ = self.expr(node.slice)
+            self.pending["load"] += 1
+            return (ast.Subscript(value=value, slice=index, ctx=ast.Load()),
+                    SV(SH_INT, ANNOT), True)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        raise Unsupported(f"unsupported expression {type(node).__name__}",
+                          node)
+
+    def call(self, node: ast.Call) -> Tuple[ast.expr, SV, object]:
+        kind = _callee_of(self.spec, node)
+        if kind[0] == "aint":
+            inner, _, _ = self.expr(node.args[0])
+            return inner, SV(SH_INT, ANNOT), True
+        if kind[0] == "make_array":
+            length, _, _ = self.expr(node.args[0])
+            built = ast.BinOp(
+                left=ast.List(elts=[ast.Constant(value=0)], ctx=ast.Load()),
+                op=ast.Mult(), right=length)
+            return built, SV(SH_ARR, ANNOT), True
+        if kind[0] == "abs":
+            operand, sv, flag = self.expr(node.args[0])
+            self.charge("abs", flag)
+            call = ast.Call(func=ast.Name(id="abs", ctx=ast.Load()),
+                            args=[operand], keywords=[])
+            return call, SV(SH_INT, sv.kind), flag
+        if kind[0] in ("arange", "range"):
+            raise Unsupported(
+                f"{kind[0]}() is only supported as a for-loop iterator",
+                node)
+        _, fn, decorated = kind
+        args = []
+        arg_svs = []
+        for arg in node.args:
+            new, sv, _ = self.expr(arg)
+            if sv.kind == EITHER:
+                raise Unsupported(
+                    "call argument with a path-dependent annotation kind",
+                    node)
+            args.append(new)
+            arg_svs.append(sv)
+        spec = self.prog.request_spec(fn, tuple(arg_svs), decorated)
+        if decorated:
+            self.pending["call"] += 1
+            self.pending["assign"] += len(args)
+        ret = spec.ret
+        if ret.kind == BOT:
+            ret = SV(SH_NONE, PLAIN)
+        flag = FLAG_FALSE if ret.shape == SH_NONE else self.flag_of(ret)
+        call = ast.Call(func=ast.Name(id=spec.name, ctx=ast.Load()),
+                        args=[ast.Name(id="__c", ctx=ast.Load())] + args,
+                        keywords=[])
+        return call, ret, flag
+
+    def truth(self, node: ast.expr) -> Tuple[ast.expr, object]:
+        """Transform a truth-tested expression, charging the branch."""
+        new, sv, flag = self.expr(node)
+        if sv.shape == SH_BOOL:
+            # ABool.__bool__ charges the branch; AInt truth tests are free
+            self.charge("branch", flag)
+        return new, flag
+
+    # -- statements ---------------------------------------------------------
+
+    def emit_function(self) -> ast.FunctionDef:
+        out: List[ast.stmt] = []
+        self.body(self.spec.tree.body, out, toplevel=True)
+        self.flush(out)
+        if not out or not isinstance(out[-1], ast.Return):
+            out.append(ast.Return(value=ast.Constant(value=None)))
+        # a parsed stub keeps the node portable across ast schema
+        # changes (e.g. FunctionDef.type_params appearing in 3.12)
+        fn = ast.parse("def _stub(): pass").body[0]
+        fn.name = self.spec.name
+        fn.args = ast.arguments(
+            posonlyargs=[],
+            args=[ast.arg(arg="__c")] + [ast.arg(arg=p)
+                                         for p in self.spec.params],
+            vararg=None, kwonlyargs=[], kw_defaults=[], kwarg=None,
+            defaults=[])
+        fn.body = out
+        self.spec.emitted = fn
+        return fn
+
+    def body(self, stmts: List[ast.stmt], out: List[ast.stmt],
+             toplevel: bool = False) -> None:
+        for index, stmt in enumerate(stmts):
+            if (toplevel and index == 0 and isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)):
+                continue  # docstring
+            self.stmt(stmt, out)
+
+    def assign_flag(self, name: str, flag, out: List[ast.stmt]) -> None:
+        if self.sv_of(name).kind == EITHER:
+            out.append(ast.Assign(
+                targets=[ast.Name(id=_flag_name(name), ctx=ast.Store())],
+                value=_flag_ast(flag)))
+
+    def stmt(self, node: ast.stmt, out: List[ast.stmt]) -> None:
+        if isinstance(node, ast.Assign):
+            self.emit_assign(node.targets[0], node.value, out)
+            return
+        if isinstance(node, ast.AugAssign):
+            desugared = ast.BinOp(
+                left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                op=node.op, right=node.value)
+            self.emit_assign(node.target, desugared, out)
+            return
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):
+                return
+            new, _, _ = self.call(node.value)
+            self.drain_cond(out)
+            out.append(ast.Expr(value=new))
+            return
+        if isinstance(node, ast.If):
+            self.emit_if(node, out)
+            return
+        if isinstance(node, ast.While):
+            self.emit_while(node, out)
+            return
+        if isinstance(node, ast.For):
+            self.emit_for(node, out)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is None:
+                value = ast.Constant(value=None)
+            else:
+                value, _, _ = self.expr(node.value)
+            self.drain_cond(out)
+            self.flush(out)
+            out.append(ast.Return(value=value))
+            return
+        if isinstance(node, ast.Break):
+            self.flush(out)
+            out.append(ast.Break())
+            return
+        if isinstance(node, ast.Continue):
+            self.flush(out)
+            out.append(ast.Continue())
+            return
+        if isinstance(node, ast.Pass):
+            return
+        raise Unsupported(f"unsupported statement {type(node).__name__}",
+                          node)
+
+    def emit_assign(self, target: ast.expr, value: ast.expr,
+                    out: List[ast.stmt]) -> None:
+        if isinstance(target, ast.Name):
+            new, _, flag = self.expr(value)
+            self.drain_cond(out)
+            out.append(ast.Assign(
+                targets=[ast.Name(id=target.id, ctx=ast.Store())],
+                value=new))
+            self.assign_flag(target.id, flag, out)
+            return
+        # subscript store
+        arr, _, _ = self.expr(target.value)
+        index, _, _ = self.expr(target.slice)
+        new, _, _ = self.expr(value)
+        self.pending["store"] += 1
+        self.drain_cond(out)
+        out.append(ast.Assign(
+            targets=[ast.Subscript(value=arr, slice=index,
+                                   ctx=ast.Store())],
+            value=new))
+
+    def emit_if(self, node: ast.If, out: List[ast.stmt]) -> None:
+        test, _ = self.truth(node.test)
+        self.drain_cond(out)
+        self.flush(out)
+        body: List[ast.stmt] = []
+        self.body(node.body, body)
+        self.flush(body)
+        orelse: List[ast.stmt] = []
+        self.body(node.orelse, orelse)
+        self.flush(orelse)
+        out.append(ast.If(test=test, body=body or [ast.Pass()],
+                          orelse=orelse))
+
+    def emit_while(self, node: ast.While, out: List[ast.stmt]) -> None:
+        if node.orelse:
+            raise Unsupported("while/else is not supported", node.orelse[0])
+        self.flush(out)
+        body: List[ast.stmt] = []
+        for operand in Analyzer.while_operands(node.test):
+            test, _ = self.truth(operand)
+            self.flush(body)
+            self.drain_cond(body)
+            body.append(ast.If(
+                test=ast.UnaryOp(op=ast.Not(), operand=test),
+                body=[ast.Break()], orelse=[]))
+        self.body(node.body, body)
+        self.flush(body)
+        out.append(ast.While(test=ast.Constant(value=True), body=body,
+                             orelse=[]))
+
+    def emit_for(self, node: ast.For, out: List[ast.stmt]) -> None:
+        iter_kind = _callee_of(self.spec, node.iter)[0]
+        bounds = []
+        for bound in node.iter.args:
+            new, _, _ = self.expr(bound)  # charged once, before the loop
+            bounds.append(new)
+        per_iter = (Counter({"add": 1, "branch": 1})
+                    if iter_kind == "arange" else Counter())
+        target = node.target.id
+        target_flag = True if iter_kind == "arange" else FLAG_FALSE
+
+        hoisted = self.try_hoist(node, bounds, per_iter, target,
+                                 target_flag, out)
+        if hoisted:
+            return
+        # general per-iteration form
+        self.flush(out)
+        body: List[ast.stmt] = []
+        saved, self.pending = self.pending, per_iter.copy()
+        self.assign_flag(target, target_flag, body)
+        self.body(node.body, body)
+        self.flush(body)
+        assert not self.pending
+        self.pending = saved
+        out.append(ast.For(
+            target=ast.Name(id=target, ctx=ast.Store()),
+            iter=ast.Call(func=ast.Name(id="range", ctx=ast.Load()),
+                          args=bounds, keywords=[]),
+            body=body or [ast.Pass()], orelse=[]))
+
+    def try_hoist(self, node: ast.For, bounds: List[ast.expr],
+                  per_iter: Counter, target: str, target_flag,
+                  out: List[ast.stmt]) -> bool:
+        """Emit a counted loop as one scaled whole-loop charge when the
+        body is straight-line and all its charges are unconditional."""
+        for sub in node.body:
+            if not isinstance(sub, (ast.Assign, ast.AugAssign, ast.Expr)):
+                return False
+        saved_pending, self.pending = self.pending, per_iter.copy()
+        saved_cond, self.cond = self.cond, []
+        body: List[ast.stmt] = []
+        try:
+            self.assign_flag(target, target_flag, body)
+            self.body(node.body, body)
+        except Unsupported:
+            self.pending, self.cond = saved_pending, saved_cond
+            raise
+        if self.cond:
+            # data-dependent charges: fall back to per-iteration charging
+            self.pending, self.cond = saved_pending, saved_cond
+            return False
+        multiset, self.pending = self.pending, saved_pending
+        self.cond = saved_cond
+
+        self.flush(out)
+        self.tmp += 1
+        rname = f"__r{self.tmp}"
+        out.append(ast.Assign(
+            targets=[ast.Name(id=rname, ctx=ast.Store())],
+            value=ast.Call(func=ast.Name(id="range", ctx=ast.Load()),
+                           args=bounds, keywords=[])))
+        if multiset:
+            bid = self.prog.add_block(multiset)
+            out.append(_charge_call("charge_scaled", [
+                ast.Constant(value=bid),
+                ast.Call(func=ast.Name(id="len", ctx=ast.Load()),
+                         args=[ast.Name(id=rname, ctx=ast.Load())],
+                         keywords=[])]))
+        out.append(ast.For(
+            target=ast.Name(id=target, ctx=ast.Store()),
+            iter=ast.Name(id=rname, ctx=ast.Load()),
+            body=body or [ast.Pass()], orelse=[]))
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def analyze_program(entry_fn, entry_svs: Tuple[SV, ...]) -> Program:
+    """Run the whole-program kind fixpoint, then emit every spec."""
+    program = Program(entry_fn)
+    program.request_spec(entry_fn, entry_svs, decorated=False, entry=True)
+    for _ in range(16):
+        program.changed = False
+        snapshot = [(dict(s.env), s.ret) for s in program.order]
+        for spec in list(program.order):
+            Analyzer(program, spec).run()
+        if not program.changed and snapshot == [
+                (dict(s.env), s.ret) for s in program.order]:
+            break
+    else:
+        raise Unsupported("whole-program kind fixpoint did not converge")
+
+    for spec in program.order:
+        if spec.ret.kind == EITHER and not spec.is_entry():
+            raise Unsupported(
+                f"{spec.fn.__name__}: path-dependent return annotation "
+                "kind")
+    for spec in program.order:
+        Emitter(program, spec).emit_function()
+    return program

@@ -58,10 +58,20 @@ class PerformanceLibrary(SchedulerObserver):
     ``check_fastforward=True`` instead runs the engine in differential
     mode: nothing is skipped, but every eligible segment re-execution is
     asserted to reproduce its first charge bundle byte-for-byte.
+
+    ``compile=True`` installs the bytecode compile tier
+    (:mod:`repro.compilebc`) above the fast path: executor-level kernel
+    calls run as plain compiled bytecode with per-block folded charges,
+    falling back to the interpreted annotated run for anything outside
+    the compiler's subset.  ``check_compile=True`` additionally turns
+    every compiled call into a differential against the interpreted
+    ground truth (results, write-backs, cycles and operation counts
+    must match exactly).
     """
 
     def __init__(self, mapping: Mapping, record_instantaneous: bool = False,
-                 fastforward: bool = False, check_fastforward: bool = False):
+                 fastforward: bool = False, check_fastforward: bool = False,
+                 compile: bool = False, check_compile: bool = False):
         self.mapping = mapping
         self.tracker = SegmentTracker(record_instantaneous=record_instantaneous)
         self.contexts: Dict[int, CostContext] = {}
@@ -71,6 +81,10 @@ class PerformanceLibrary(SchedulerObserver):
             from ..segments.precharge import FastForwardEngine
             self.engine = FastForwardEngine(self.contexts,
                                             check=check_fastforward)
+        self.compile_tier = None
+        if compile or check_compile:
+            from ..compilebc.tier import CompileTier
+            self.compile_tier = CompileTier(check=check_compile)
         self._attached = False
 
     # -- attachment ---------------------------------------------------------
@@ -103,6 +117,10 @@ class PerformanceLibrary(SchedulerObserver):
             simulator.add_observer(self.engine, front=True)
         simulator.add_observer(self.tracker)
         simulator.add_observer(self)
+        # Install (or clear) the module-level compile-tier slot so the
+        # annotated executor of this simulation routes through it.
+        from ..compilebc.tier import set_tier
+        set_tier(self.compile_tier)
         self._attached = True
         return self
 

@@ -437,7 +437,7 @@ class _FunctionCompiler:
             stmt,
         ) if isinstance(stmt.target, (ast.Subscript, ast.Name)) else None
         if load is None:
-            raise _fail(stmt, "unsupported augmented-assignment target")
+            raise _fail(stmt.target, "unsupported augmented-assignment target")
         combined = ast.copy_location(
             ast.BinOp(left=load, op=stmt.op, right=stmt.value), stmt
         )
@@ -462,11 +462,11 @@ class _FunctionCompiler:
 
     def _compile_while(self, stmt: ast.While) -> None:
         if stmt.orelse:
-            raise _fail(stmt, "while/else is not supported")
+            raise _fail(stmt.orelse[0], "while/else is not supported")
         for sub in ast.walk(stmt.test):
             if isinstance(sub, ast.Call):
-                raise _fail(stmt, "function calls in while conditions are "
-                                  "not supported (evaluate into a variable)")
+                raise _fail(sub, "function calls in while conditions are "
+                                 "not supported (evaluate into a variable)")
         top = self.fresh_label("while")
         body = self.fresh_label("wbody")
         end = self.fresh_label("wend")
@@ -482,22 +482,24 @@ class _FunctionCompiler:
 
     def _compile_for(self, stmt: ast.For) -> None:
         if stmt.orelse:
-            raise _fail(stmt, "for/else is not supported")
+            raise _fail(stmt.orelse[0], "for/else is not supported")
         if not isinstance(stmt.target, ast.Name):
-            raise _fail(stmt, "for target must be a simple name")
+            raise _fail(stmt.target, "for target must be a simple name")
         call = stmt.iter
         if not (isinstance(call, ast.Call) and isinstance(call.func, ast.Name)
                 and call.func.id in _RANGE_NAMES):
-            raise _fail(stmt, "for loops must iterate over range()/arange()")
+            raise _fail(stmt.iter,
+                        "for loops must iterate over range()/arange()")
         args = call.args
         if not 1 <= len(args) <= 3:
-            raise _fail(stmt, "range() takes 1 to 3 arguments")
+            raise _fail(call, "range() takes 1 to 3 arguments")
 
         step = 1
         if len(args) == 3:
             step = self._try_fold(args[2])
             if not isinstance(step, int) or step == 0:
-                raise _fail(stmt, "range step must be a non-zero integer constant")
+                raise _fail(args[2],
+                            "range step must be a non-zero integer constant")
         if len(args) == 1:
             start_node: Optional[ast.expr] = None
             stop_node = args[0]
@@ -576,7 +578,7 @@ class _FunctionCompiler:
             reg = self._compile_call(value)
             self.free_temp(reg)
             return
-        raise _fail(stmt, "expression statements must be calls")
+        raise _fail(stmt.value, "expression statements must be calls")
 
     # -- conditions ---------------------------------------------------------------
 

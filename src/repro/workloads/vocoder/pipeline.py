@@ -20,6 +20,7 @@ import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ...annotate.types import AArray, AInt, unwrap
+from ...compilebc.tier import current_tier
 from ...kernel.simulator import Simulator
 from ...kernel.module import Module
 from .acb import MAX_LAG, MIN_LAG, SUBFRAME, acb_search
@@ -41,13 +42,8 @@ def plain_executor(fn: Callable, args: Sequence) -> int:
     return int(fn(*args))
 
 
-def annotated_executor(fn: Callable, args: Sequence) -> int:
-    """Run a kernel on annotated copies, writing array mutations back.
-
-    Charging happens through whatever cost context is active (the one
-    the performance library installed for the calling process); without
-    an active context this degrades to a slightly slower plain run.
-    """
+def _interpreted_executor(fn: Callable, args: Sequence) -> int:
+    """The interpreted annotated run: wrap, execute, write back."""
     wrapped = []
     writebacks = []
     for arg in args:
@@ -61,6 +57,27 @@ def annotated_executor(fn: Callable, args: Sequence) -> int:
     for original, array in writebacks:
         original[:] = array.to_list()
     return int(unwrap(result))
+
+
+def annotated_executor(fn: Callable, args: Sequence) -> int:
+    """Run a kernel on annotated copies, writing array mutations back.
+
+    Charging happens through whatever cost context is active (the one
+    the performance library installed for the calling process); without
+    an active context this degrades to a slightly slower plain run.
+
+    When a compile tier is installed (``PerformanceLibrary``'s
+    ``compile=True``), the call is routed through the kernel's compiled
+    program instead — same results, same write-backs, same charged
+    totals — falling back to the interpreted run above for anything the
+    compiler rejected or a context the folded charges cannot serve.
+    """
+    tier = current_tier()
+    if tier is not None:
+        handled, result = tier.run_kernel(fn, args, _interpreted_executor)
+        if handled:
+            return result
+    return _interpreted_executor(fn, args)
 
 
 # The executor is transparent by construction: it returns a plain int

@@ -1,0 +1,3 @@
+"""Two-module fixture: a stage whose helper arrives through a
+function-local import of a sibling module (the cross-file idiom the
+effect analyzer must resolve without falling back to opaque)."""

@@ -1,0 +1,18 @@
+"""A process body using the function-local cross-file import idiom.
+
+The helper is imported *inside* the generator, so it is invisible in
+``__globals__`` and in the closure cells — only the analyzer's
+same-package import resolution can classify the call.
+"""
+
+from repro import SimTime, wait
+
+
+def make_body():
+    def body():
+        from fxpkg.helpers import scale
+        total = 0
+        yield wait(SimTime.ns(1))
+        total = total + scale(3)
+        yield wait(SimTime.ns(2))
+    return body

@@ -1,0 +1,336 @@
+"""Unit and integration tests for repro.compilebc — the bytecode tier.
+
+The contract under test is *totals-exact equivalence*: a compiled
+kernel must return the same value, perform the same array write-backs,
+and charge the same cycle total and per-operation count vector as the
+interpreted annotated run — on every cost table whose latencies live on
+the half-integral grid.  Everything outside the compiler's subset must
+degrade to the interpreted run, never to a wrong answer.
+"""
+
+import pytest
+
+from repro.annotate import (
+    MODE_SW,
+    CostContext,
+    OperationCosts,
+    aint,
+    annotated_function,
+    arange,
+    make_array,
+    set_current,
+    uniform_costs,
+)
+from repro.compilebc import (
+    CompileCheckError,
+    CompileTier,
+    Unsupported,
+    arg_shapes_of,
+    check_entry,
+    check_registry,
+    compile_kernel,
+    current_tier,
+    run_compiled,
+    run_interpreted,
+    set_tier,
+)
+from repro.compilebc.program import NULL_CHARGER
+from repro.platform import DSP_SW_COSTS, OPENRISC_SW_COSTS
+
+COST_TABLES = [OPENRISC_SW_COSTS, DSP_SW_COSTS,
+               uniform_costs(cycles=1.5, name="half-grid")]
+
+
+# --- kernels under test ----------------------------------------------------
+
+def k_arith(a, b):
+    x = a + b * 3
+    y = (a - b) ^ (a & b)
+    z = (x << 2) | (y & 15)
+    return z - (x >> 1)
+
+
+def k_branch_loop(a, b):
+    r = 0
+    if a > b:
+        r = a - b
+    elif a == b:
+        r = a * 2
+    else:
+        r = b - a
+    while r > 10:
+        r = r - 7
+    return r
+
+
+def k_array(src, n):
+    dst = make_array(n)
+    total = 0
+    for i in arange(0, n):
+        dst[i] = src[i] * 2
+        total = total + dst[i]
+    return total & 1048575
+
+
+def k_either(a, n):
+    # v joins PLAIN and ANNOT: its charges are data-dependent, so the
+    # compiled code gates them behind a runtime flag (dynamic fallback).
+    v = 0
+    acc = 0
+    for i in arange(0, n):
+        if i > a:
+            v = a
+        acc = acc + v
+    return acc
+
+
+@annotated_function
+def helper_sq(x):
+    return x * x
+
+
+def k_mixed_call(a, n):
+    v = 0
+    for i in arange(0, n):
+        if i > a:
+            v = a
+    return helper_sq(v)  # EITHER-kind argument: outside the subset
+
+
+def k_float_real(a):
+    return a * 1.5
+
+
+def differential(kernel, args, costs):
+    """Compiled vs interpreted on identical inputs; returns cycles."""
+    program = compile_kernel(kernel, arg_shapes_of(list(args)))
+    i_result, i_cycles, i_counts, i_arrays = run_interpreted(
+        kernel, list(args), costs)
+    c_result, c_cycles, c_counts, c_arrays = run_compiled(
+        program, list(args), costs)
+    assert int(c_result) == int(i_result)
+    assert c_arrays == i_arrays
+    assert c_cycles == i_cycles
+    assert c_counts == i_counts
+    return i_cycles
+
+
+# --- equivalence -----------------------------------------------------------
+
+class TestEquivalence:
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_arith(self, costs):
+        assert differential(k_arith, (9, 4), costs) > 0
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_branch_loop(self, costs):
+        for args in ((40, 2), (3, 3), (1, 30)):
+            differential(k_branch_loop, args, costs)
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_array_writebacks(self, costs):
+        differential(k_array, ([3, 1, 4, 1, 5, 9, 2, 6], 8), costs)
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_data_dependent_flags(self, costs):
+        for a in (0, 3, 7, 12):
+            differential(k_either, (a, 10), costs)
+
+    def test_half_cycle_totals_stay_exact(self):
+        # dsp-sw charges 0.5 per branch: the folded block sums must sit
+        # on the same 0.5 grid as one-at-a-time charging.
+        cycles = differential(k_branch_loop, (40, 2), DSP_SW_COSTS)
+        assert cycles == int(2 * cycles) / 2.0
+
+
+# --- the registry differential (the check_compile acceptance) --------------
+
+class TestRegistry:
+    @pytest.mark.parametrize("costs", [OPENRISC_SW_COSTS, DSP_SW_COSTS],
+                             ids=lambda c: c.name)
+    def test_all_function_workloads_cycle_identical(self, costs):
+        reports = check_registry(costs)
+        assert len(reports) >= 10
+        assert all(r["compiled"] for r in reports), reports
+
+    def test_vocoder_kernels_cycle_identical(self):
+        from repro.workloads.vocoder import (
+            lpc_interpolate, lsp_estimate, postprocess)
+        frame = [(i * 37) % 256 - 128 for i in range(160)]
+        order = 10
+        cases = [
+            (lsp_estimate, lambda: (list(frame), [0] * (order + 1),
+                                    [0] * (order + 1), [0] * (order + 1),
+                                    len(frame), order)),
+            (lpc_interpolate, lambda: ([4096] + [0] * order,
+                                       [4096] + [7] * order,
+                                       [0] * (4 * (order + 1)), order, 4)),
+            (postprocess, lambda: (list(frame), [0] * len(frame),
+                                   len(frame), [0, 0])),
+        ]
+        for costs in (OPENRISC_SW_COSTS, DSP_SW_COSTS):
+            for kernel, make_args in cases:
+                report = check_entry(kernel, make_args, costs)
+                assert report["compiled"], report
+
+
+# --- rejection and fallback ------------------------------------------------
+
+class TestFallback:
+    def test_float_literal_rejected(self):
+        with pytest.raises(Unsupported):
+            compile_kernel(k_float_real, ("int",))
+
+    def test_either_call_argument_rejected(self):
+        with pytest.raises(Unsupported):
+            compile_kernel(k_mixed_call, ("int", "int"))
+
+    def test_tier_falls_back_on_rejection(self):
+        tier = CompileTier()
+        handled, _ = tier.run_kernel(k_float_real, [3], None)
+        assert not handled
+        assert tier.stats["rejected"] == 1
+        assert "k_float_real" in tier.rejections
+        # Cached: a second call must not re-analyze.
+        handled, _ = tier.run_kernel(k_float_real, [3], None)
+        assert not handled
+        assert tier.stats["rejected"] == 1
+
+    def test_non_half_integral_table_refuses_to_bind(self):
+        rough = uniform_costs(cycles=0.3, name="rough")
+        program = compile_kernel(k_arith, ("int", "int"))
+        assert program.bind(rough) is None
+        ctx = CostContext(rough, MODE_SW)
+        assert program.make_charger(ctx) is None
+
+    def test_recorder_context_falls_back(self):
+        from repro.annotate import OperationRecorder
+        ctx = CostContext(OPENRISC_SW_COSTS, MODE_SW,
+                          recorder=OperationRecorder())
+        program = compile_kernel(k_arith, ("int", "int"))
+        assert program.make_charger(ctx) is None
+
+    def test_null_charger_without_context(self):
+        def k_scale_in_place(a, n):
+            for i in arange(0, n):
+                a[i] = a[i] * 2
+            return n
+
+        program = compile_kernel(k_scale_in_place, ("arr", "int"))
+        assert program.make_charger(None) is NULL_CHARGER
+        src = [3, 1, 4, 1, 5, 9, 2, 6]
+        result, writebacks = program.run([src, 8], NULL_CHARGER)
+        assert int(result) == 8
+        ((orig, copy),) = writebacks
+        # The kernel ran on a copy; applying the write-back is the
+        # caller's decision, so the original is still untouched here.
+        assert orig is src and src == [3, 1, 4, 1, 5, 9, 2, 6]
+        assert copy == [6, 2, 8, 2, 10, 18, 4, 12]
+
+    def test_unsupported_entry_argument_types(self):
+        with pytest.raises(Unsupported):
+            arg_shapes_of([1.5])
+        with pytest.raises(Unsupported):
+            arg_shapes_of([True])
+
+
+# --- the check-mode differential at tier level -----------------------------
+
+class TestTierCheckMode:
+    def _interpreted(self, fn, args):
+        from repro.workloads.vocoder.pipeline import _interpreted_executor
+        return _interpreted_executor(fn, args)
+
+    def test_checked_call_passes_and_charges_once(self):
+        tier = CompileTier(check=True)
+        ctx = CostContext(OPENRISC_SW_COSTS, MODE_SW)
+        set_current(ctx)
+        try:
+            handled, result = tier.run_kernel(k_arith, [9, 4],
+                                              self._interpreted)
+        finally:
+            set_current(None)
+        assert handled and result == k_arith(9, 4)
+        assert tier.stats["checked"] == 1
+        # The context carries exactly the interpreted charge (the
+        # compiled re-run happened on scratch state).
+        _, cycles, _, _ = run_interpreted(k_arith, [9, 4],
+                                          OPENRISC_SW_COSTS)
+        assert ctx.total_cycles == cycles
+
+    def test_corrupted_block_table_is_detected(self):
+        tier = CompileTier(check=True)
+        program = tier.program_for(k_arith, [9, 4])
+        table = program.bind(OPENRISC_SW_COSTS)
+        cycles, ids, counts = table.triples[0]
+        table.triples[0] = (cycles + 1.0, ids, counts)
+        ctx = CostContext(OPENRISC_SW_COSTS, MODE_SW)
+        set_current(ctx)
+        try:
+            with pytest.raises(CompileCheckError, match="cycles"):
+                tier.run_kernel(k_arith, [9, 4], self._interpreted)
+        finally:
+            set_current(None)
+
+
+# --- executor and library wiring -------------------------------------------
+
+class TestWiring:
+    def test_executor_consults_the_tier(self):
+        from repro.workloads.vocoder.pipeline import annotated_executor
+        tier = CompileTier()
+        previous = set_tier(tier)
+        try:
+            src = [3, 1, 4, 1, 5, 9, 2, 6]
+            result = annotated_executor(k_array, (src, 8))
+            assert result == sum(v * 2 for v in src)
+            assert tier.stats["runs"] == 1
+            # Rejected kernels silently take the interpreted path.
+            assert annotated_executor(k_mixed_call, (4, 10)) == 16
+            assert tier.stats["rejected"] == 1
+        finally:
+            set_tier(previous)
+
+    def test_library_installs_and_clears_the_slot(self):
+        from repro.core import PerformanceLibrary
+        from repro.kernel.simulator import Simulator
+        from repro.platform import EnvironmentResource, Mapping, make_cpu
+        from repro.workloads.vocoder import STAGE_NAMES, build_vocoder
+
+        def build(**kwargs):
+            simulator = Simulator()
+            frames = [[(j * 11) % 64 - 32 for j in range(160)]]
+            design = build_vocoder(simulator, frames, annotate=True)
+            mapping = Mapping()
+            cpu = make_cpu()
+            env = EnvironmentResource("tb")
+            for name, process in design.processes.items():
+                mapping.assign(process, cpu if name in STAGE_NAMES else env)
+            perf = PerformanceLibrary(mapping, **kwargs).attach(simulator)
+            simulator.run()
+            return design, perf
+
+        try:
+            design, perf = build(compile=True)
+            assert current_tier() is perf.compile_tier
+            assert perf.compile_tier.stats["runs"] > 0
+            compiled_total = sum(s.total_cycles
+                                 for s in perf.stats.values())
+            # A plain attach clears the slot again.
+            design2, perf2 = build()
+            assert current_tier() is None and perf2.compile_tier is None
+            baseline_total = sum(s.total_cycles
+                                 for s in perf2.stats.values())
+            assert compiled_total == baseline_total
+            assert ([p["check"] for p in design.results]
+                    == [p["check"] for p in design2.results])
+        finally:
+            set_tier(None)
+
+    def test_bench_payload_reports_the_tier(self):
+        from repro.bench import run_bench
+        payload = run_bench(workloads=["fir", "euler"], repeats=1,
+                            include_iss=False, compile=True)
+        assert payload["compile"] and not payload["check_compile"]
+        for entry in payload["workloads"].values():
+            assert entry["compiled"] is True

@@ -357,3 +357,87 @@ def test_while_else_rejected():
         return x
     with pytest.raises(CompileError, match="while/else"):
         compile_functions([bad])
+
+
+# --- rejection diagnostics point at the offending construct ----------------
+#
+# Line numbers are relative to each function's own source (``def`` is
+# line 1).  These kernels deliberately spread the rejected construct
+# over multiple lines: reporting the statement's line instead of the
+# offending node's would produce a different (wrong) number.
+
+def _rejection_line(functions, match):
+    with pytest.raises(CompileError, match=match) as excinfo:
+        compile_functions(functions)
+    message = str(excinfo.value)
+    assert message.startswith("line "), message
+    return int(message[len("line "):].split(":", 1)[0])
+
+
+def test_while_call_diagnostic_names_the_call_line():
+    def helper(v):
+        return v
+
+    def bad(x):
+        while (x >
+               helper(x)):
+            x = x - 1
+        return x
+    # The call sits on line 3 of ``bad``; the while keyword is line 2.
+    assert _rejection_line([bad, helper], "while conditions") == 3
+
+
+def test_for_iter_diagnostic_names_the_iterable_line():
+    def bad(a):
+        total = 0
+        for value in (
+                a):
+            total = total + value
+        return total
+    # The non-range iterable is on line 4, not the ``for`` line 3.
+    assert _rejection_line([bad], "range") == 4
+
+
+def test_for_target_diagnostic_names_the_target():
+    def bad(a):
+        for (i,
+             j) in range(4):
+            a = a + i + j
+        return a
+    assert _rejection_line([bad], "simple name") == 2
+
+
+def test_range_arity_diagnostic_names_the_call_line():
+    def bad(n):
+        total = 0
+        for i in \
+                range(0, n, 1, 7):
+            total = total + i
+        return total
+    assert _rejection_line([bad], "1 to 3") == 4
+
+
+def test_range_step_diagnostic_names_the_step_line():
+    def bad(n):
+        total = 0
+        for i in range(0, n,
+                       0):
+            total = total + i
+        return total
+    # The offending constant step lives on line 4.
+    assert _rejection_line([bad], "step") == 4
+
+
+def test_expr_stmt_diagnostic_names_the_expression():
+    def bad(x):
+        (x +
+         1)
+        return x
+    assert _rejection_line([bad], "must be calls") == 2
+
+
+def test_aug_assign_diagnostic_names_the_target():
+    def bad(x):
+        x.value += 1
+        return x
+    assert _rejection_line([bad], "augmented-assignment") == 2

@@ -36,6 +36,7 @@ from repro.analysis.effects import (
     RETURN_ALIAS,
     UNIFORM,
     ZERO,
+    EffectEnv,
     effects_report,
     kernel_effect,
     module_effects,
@@ -314,3 +315,51 @@ def test_observed_writes_are_covered_by_static_summary(kinds):
     namespace["build"](shared)()
     if shared.write_count:
         assert "shared" in summary.writes, kinds
+
+
+# --- function-local cross-file imports (same-package resolution) -----------
+
+class TestFunctionLocalImports:
+    """The fxpkg fixture: a stage body importing its helper *inside*
+    the generator from a sibling module.  Neither ``__globals__`` nor
+    the closure cells see the name; only the analyzer's same-package
+    import resolution can classify the call."""
+
+    @staticmethod
+    def _load_stage():
+        import sys
+        for name, rel in (("fxpkg", "fxpkg/__init__.py"),
+                          ("fxpkg.helpers", "fxpkg/helpers.py"),
+                          ("fxpkg.stage", "fxpkg/stage.py")):
+            spec = importlib.util.spec_from_file_location(name, MODELS / rel)
+            module = importlib.util.module_from_spec(spec)
+            sys.modules[name] = module
+            spec.loader.exec_module(module)
+        return sys.modules["fxpkg.stage"]
+
+    def test_local_import_resolves_same_package_helper(self):
+        body = self._load_stage().make_body()
+        env = EffectEnv.for_callable(body)
+        assert "scale" not in body.__globals__
+        found, value = env.resolve_name("scale")
+        assert found and value(21) == 42
+
+    def test_cross_file_helper_arc_stays_eligible(self):
+        from repro.segments import build_plan
+
+        body = self._load_stage().make_body()
+        plan = build_plan(body)
+        assert plan.ok, plan.reason
+        total = sum(len(s) for s in plan.successors.values())
+        # The compute arc around the scale() call is eligible; only the
+        # entry arc holding the import statement itself stays dynamic.
+        assert total == 3 and len(plan.eligible) == 2, plan.describe()
+
+    def test_foreign_package_imports_stay_opaque(self):
+        def body():
+            from json import dumps
+            return dumps
+
+        env = EffectEnv.for_callable(body)
+        # Different top-level package: never speculatively resolved.
+        assert env.resolve_name("dumps") == (False, None)
