@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 from ..annotate.context import CostContext
 from ..annotate.costs import OP_IDS, OperationCosts
 from .model import ANNOT, SH_ARR, SH_INT, SV, Unsupported
-from .transform import analyze_program
+from .transform import _is_plain_int, _resolve_global, analyze_program
 
 
 class BlockTable:
@@ -100,6 +100,8 @@ class CompiledProgram:
         self.blocks = program.blocks
         self.cond_ops = frozenset(program.cond_ops)
         self.spec_count = len(program.order)
+        #: module-level ints baked in as constants: (fn, name, value)
+        self.global_ints = tuple(program.global_ints.values())
 
         module = ast.Module(
             body=[spec.emitted for spec in program.order], type_ignores=[])
@@ -116,6 +118,17 @@ class CompiledProgram:
         #: costs reference is pinned so the id key can never be reused.
         self._bindings: Dict[int, Tuple[OperationCosts,
                                         Optional[BlockTable]]] = {}
+
+    def globals_stale(self) -> bool:
+        """True when a module-level int snapshotted as a compile-time
+        constant has since been rebound (or deleted / retyped) — the
+        compiled code would silently diverge from the interpreted run,
+        so callers caching programs must recompile."""
+        for fn, name, value in self.global_ints:
+            found, live = _resolve_global(fn, name)
+            if not found or not _is_plain_int(live) or live != value:
+                return True
+        return False
 
     # -- cost binding -------------------------------------------------------
 

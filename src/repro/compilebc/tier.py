@@ -1,12 +1,14 @@
 """The opt-in compile tier consulted by the annotated executor.
 
-``PerformanceLibrary(compile=True)`` installs a :class:`CompileTier` in
-the module-level slot on ``attach()``; the vocoder's annotated executor
-(and ``repro bench --compile``) then routes kernel calls through
-compiled programs, falling back to the interpreted annotated run for
-anything the compiler rejects or any context the compiled charging
-cannot serve exactly (recorder attached, hw mode, non-half-integral or
-missing latencies).
+``PerformanceLibrary(compile=True)`` installs its :class:`CompileTier`
+in the module-level slot while an analysed process is running (scoped
+exactly like the current cost context: set on process resume, cleared
+on suspend); the vocoder's annotated executor (and ``repro bench
+--compile``) then routes kernel calls through compiled programs,
+falling back to the interpreted annotated run for anything the
+compiler rejects or any context the compiled charging cannot serve
+exactly (recorder attached, hw mode, non-half-integral or missing
+latencies).
 
 ``check_compile=True`` turns every compiled call into a differential:
 the interpreted run remains the executed ground truth, and the compiled
@@ -42,7 +44,7 @@ class CompileTier:
                                           Optional[CompiledProgram]]] = {}
         self.rejections: Dict[str, str] = {}
         self.stats = {"compiled": 0, "rejected": 0, "runs": 0,
-                      "fallbacks": 0, "checked": 0}
+                      "fallbacks": 0, "checked": 0, "recompiled": 0}
 
     # -- program cache ------------------------------------------------------
 
@@ -56,7 +58,13 @@ class CompileTier:
         key = (id(fn), shapes)
         cached = self._programs.get(key)
         if cached is not None:
-            return cached[1]
+            program = cached[1]
+            if program is None or not program.globals_stale():
+                return program
+            # A module-level int baked in as a constant was rebound:
+            # the cached program would keep charging/computing with the
+            # stale snapshot, so recompile against the live value.
+            self.stats["recompiled"] += 1
         try:
             program = compile_kernel(fn, shapes)
             self.stats["compiled"] += 1

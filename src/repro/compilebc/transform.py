@@ -135,6 +135,10 @@ class Program:
         self.blocks: List[Tuple[Tuple[str, int], ...]] = []
         self._block_ids: Dict[Tuple, int] = {}
         self.cond_ops: set = set()
+        #: module-level integers baked in as compile-time constants,
+        #: (id(fn), name) -> (fn ref, name, snapshotted value); callers
+        #: can re-resolve these to detect a rebinding after compilation.
+        self.global_ints: Dict[Tuple[int, str], Tuple] = {}
         self.changed = False
 
     def request_spec(self, fn, arg_svs: Tuple[SV, ...],
@@ -149,6 +153,9 @@ class Program:
             self.changed = True
         return spec
 
+    def note_global_int(self, fn, name: str, value: int) -> None:
+        self.global_ints[(id(fn), name)] = (fn, name, value)
+
     def add_block(self, counts: Counter) -> int:
         key = tuple(sorted(counts.items()))
         bid = self._block_ids.get(key)
@@ -159,8 +166,8 @@ class Program:
         return bid
 
 
-def _resolve_global(spec: Spec, name: str):
-    ns = getattr(spec.fn, "__globals__", {})
+def _resolve_global(fn, name: str):
+    ns = getattr(fn, "__globals__", {})
     if name in ns:
         return True, ns[name]
     builtins_ns = ns.get("__builtins__", {})
@@ -171,6 +178,10 @@ def _resolve_global(spec: Spec, name: str):
     return False, None
 
 
+def _is_plain_int(value) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
 def _callee_of(spec: Spec, call: ast.Call):
     """Classify a call: ('arange'|'aint'|'make_array'|'abs') intrinsics,
     or ('callee', plain_fn, decorated)."""
@@ -178,7 +189,7 @@ def _callee_of(spec: Spec, call: ast.Call):
         raise Unsupported("only calls to plain names are supported", call)
     if call.keywords:
         raise Unsupported("keyword arguments are not supported", call)
-    found, target = _resolve_global(spec, call.func.id)
+    found, target = _resolve_global(spec.fn, call.func.id)
     if not found:
         raise Unsupported(f"unresolvable callee {call.func.id!r}", call)
     if target is _INTRINSIC_ARANGE:
@@ -243,8 +254,8 @@ class Analyzer:
         if isinstance(node, ast.Name):
             if node.id in self.spec.env:
                 return self.spec.env[node.id]
-            found, value = _resolve_global(self.spec, node.id)
-            if found and isinstance(value, int) and not isinstance(value, bool):
+            found, value = _resolve_global(self.spec.fn, node.id)
+            if found and _is_plain_int(value):
                 return SV(SH_INT, PLAIN)
             raise Unsupported(f"unresolvable name {node.id!r}", node)
         if isinstance(node, ast.BinOp):
@@ -573,10 +584,11 @@ class Emitter:
                         f"{node.id!r} is read but never assigned", node)
                 return (ast.Name(id=node.id, ctx=ast.Load()), sv,
                         self.flag_of(sv, node.id))
-            found, value = _resolve_global(self.spec, node.id)
-            if found and isinstance(value, int) and not isinstance(value,
-                                                                   bool):
-                # snapshot module-level integer constants at compile time
+            found, value = _resolve_global(self.spec.fn, node.id)
+            if found and _is_plain_int(value):
+                # snapshot module-level integer constants at compile
+                # time; the tier re-validates the snapshot per call
+                self.prog.note_global_int(self.spec.fn, node.id, value)
                 return (ast.Constant(value=value), SV(SH_INT, PLAIN),
                         FLAG_FALSE)
             raise Unsupported(f"unresolvable name {node.id!r}", node)
@@ -678,6 +690,7 @@ class Emitter:
     def emit_function(self) -> ast.FunctionDef:
         out: List[ast.stmt] = []
         self.body(self.spec.tree.body, out, toplevel=True)
+        self.drain_cond(out)
         self.flush(out)
         if not out or not isinstance(out[-1], ast.Return):
             out.append(ast.Return(value=ast.Constant(value=None)))
@@ -815,6 +828,11 @@ class Emitter:
         for bound in node.iter.args:
             new, _, _ = self.expr(bound)  # charged once, before the loop
             bounds.append(new)
+        # Flag-gated bound charges (EITHER-kind bound variables) must
+        # land before the loop: left pending they would be drained into
+        # the body (charged once per iteration) or dropped at an
+        # implicit function end.
+        self.drain_cond(out)
         per_iter = (Counter({"add": 1, "branch": 1})
                     if iter_kind == "arange" else Counter())
         target = node.target.id

@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..annotate.context import CostContext, MODE_HW, MODE_SW, set_current
+from ..compilebc.tier import set_tier
 from ..errors import MappingError
 from ..kernel.process import Process
 from ..kernel.scheduler import SchedulerObserver
@@ -117,10 +118,6 @@ class PerformanceLibrary(SchedulerObserver):
             simulator.add_observer(self.engine, front=True)
         simulator.add_observer(self.tracker)
         simulator.add_observer(self)
-        # Install (or clear) the module-level compile-tier slot so the
-        # annotated executor of this simulation routes through it.
-        from ..compilebc.tier import set_tier
-        set_tier(self.compile_tier)
         self._attached = True
         return self
 
@@ -144,6 +141,11 @@ class PerformanceLibrary(SchedulerObserver):
     # -- context switching (observer callbacks) -----------------------------
 
     def on_process_resume(self, process: Process, now: SimTime) -> None:
+        # The compile-tier slot is scoped exactly like the current
+        # context: installed while an analysed process runs, cleared on
+        # suspend — no stale tier survives the simulation to route (or
+        # double-run, in check mode) later annotated executor calls.
+        set_tier(self.compile_tier if process.pid in self.contexts else None)
         if self.engine is not None and self.engine.is_suppressed(process.pid):
             set_current(None)  # segment is being fast-forwarded
             return
@@ -151,6 +153,7 @@ class PerformanceLibrary(SchedulerObserver):
 
     def on_process_suspend(self, process: Process, now: SimTime) -> None:
         set_current(None)
+        set_tier(None)
 
     # -- results -------------------------------------------------------------
 

@@ -97,6 +97,45 @@ def k_mixed_call(a, n):
     return helper_sq(v)  # EITHER-kind argument: outside the subset
 
 
+def k_either_bound(a, n):
+    # v is EITHER; the flag-gated charge for the loop bound `v + 1`
+    # must land once before the loop, not per iteration (the body has
+    # an `if`, so the loop is not hoistable and drains inside).
+    v = 0
+    for i in arange(0, n):
+        if i > a:
+            v = a
+    acc = 0
+    for j in range(v + 1):
+        if j > 0:
+            acc = acc + j
+        acc = acc + 1
+    return acc
+
+
+def helper_fill(arr, a, n):
+    # ends without a return: a pending flag-gated bound charge would be
+    # dropped at the implicit function end if emit_for did not drain it
+    v = 0
+    for i in arange(0, n):
+        if i > a:
+            v = a
+    for j in range(v + 1):
+        arr[j] = arr[j] + 1
+
+
+def k_bound_in_helper(arr, a, n):
+    helper_fill(arr, a, n)
+    return arr[0]
+
+
+G_GAIN = 3
+
+
+def k_global_gain(a):
+    return a * G_GAIN
+
+
 def k_float_real(a):
     return a * 1.5
 
@@ -135,6 +174,21 @@ class TestEquivalence:
     def test_data_dependent_flags(self, costs):
         for a in (0, 3, 7, 12):
             differential(k_either, (a, 10), costs)
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_either_bound_charged_once_before_loop(self, costs):
+        # regression: flag-gated bound charges drained into the body
+        # were charged once per iteration (a=3 takes the annotated
+        # path; a=12 keeps v plain so the gate stays closed)
+        for a in (3, 12):
+            differential(k_either_bound, (a, 10), costs)
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_either_bound_not_dropped_at_implicit_return(self, costs):
+        # regression: with a hoistable loop body the pending bound
+        # charge was dropped at the helper's implicit function end
+        for a in (3, 12):
+            differential(k_bound_in_helper, ([0] * 16, a, 10), costs)
 
     def test_half_cycle_totals_stay_exact(self):
         # dsp-sw charges 0.5 per branch: the folded block sums must sit
@@ -227,6 +281,27 @@ class TestFallback:
         assert orig is src and src == [3, 1, 4, 1, 5, 9, 2, 6]
         assert copy == [6, 2, 8, 2, 10, 18, 4, 12]
 
+    def test_rebound_module_global_triggers_recompile(self):
+        # Module-level ints are snapshotted as compile-time constants;
+        # the tier must notice a rebinding and recompile instead of
+        # serving the stale cached program.
+        global G_GAIN
+        tier = CompileTier()
+        try:
+            handled, result = tier.run_kernel(k_global_gain, [5], None)
+            assert handled and result == 15
+            G_GAIN = 4
+            handled, result = tier.run_kernel(k_global_gain, [5], None)
+            assert handled and result == 20
+            assert tier.stats["recompiled"] == 1
+            assert tier.stats["compiled"] == 2
+            # unchanged globals keep hitting the cache
+            handled, result = tier.run_kernel(k_global_gain, [5], None)
+            assert handled and result == 20
+            assert tier.stats["compiled"] == 2
+        finally:
+            G_GAIN = 3
+
     def test_unsupported_entry_argument_types(self):
         with pytest.raises(Unsupported):
             arg_shapes_of([1.5])
@@ -291,7 +366,7 @@ class TestWiring:
         finally:
             set_tier(previous)
 
-    def test_library_installs_and_clears_the_slot(self):
+    def test_library_scopes_the_slot_to_process_execution(self):
         from repro.core import PerformanceLibrary
         from repro.kernel.simulator import Simulator
         from repro.platform import EnvironmentResource, Mapping, make_cpu
@@ -312,11 +387,13 @@ class TestWiring:
 
         try:
             design, perf = build(compile=True)
-            assert current_tier() is perf.compile_tier
+            # The slot is scoped to process execution: after the run it
+            # is clear, but the tier did serve the kernel calls.
+            assert current_tier() is None
             assert perf.compile_tier.stats["runs"] > 0
             compiled_total = sum(s.total_cycles
                                  for s in perf.stats.values())
-            # A plain attach clears the slot again.
+            # A plain library leaves the slot clear too.
             design2, perf2 = build()
             assert current_tier() is None and perf2.compile_tier is None
             baseline_total = sum(s.total_cycles
