@@ -1,0 +1,208 @@
+"""Campaign throughput — the warm-pool and manifest-index gates.
+
+Two claims of the campaign throughput engine, each with a hard gate:
+
+* **Warm sweeps.**  A generational sweep (the Fig. 4 allocation space,
+  re-evaluated generation after generation the way ``repro.dse`` does)
+  running on one persistent :class:`~repro.batch.WorkerPool` must beat
+  the fresh-pool-per-generation path by at least
+  ``GATE_WARM_SWEEP_SPEEDUP`` in throughput, with byte-identical
+  payloads on both paths (and vs the inline reference), and without
+  spawning a single extra process after warm-up.
+
+* **Manifest stats.**  ``repro cache stats`` against the journalled
+  manifest index must beat the full directory walk by at least
+  ``GATE_STATS_SPEEDUP`` at ``STATS_ENTRIES`` real entries, agreeing
+  with it on every aggregate.
+
+The machine-readable ``BENCH_campaign.json`` trajectory artifact lands
+in ``results/`` and at the repository root (the copy CI uploads).
+Gates are plain asserts so they hold under ``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from harness import RESULTS_DIR, format_table, write_result
+from repro.batch import (
+    Campaign,
+    ResultCache,
+    WorkerPool,
+    cache_stats,
+    fig4_sweep_configs,
+)
+
+#: Warm-pool throughput over fresh-pool-per-generation throughput.
+GATE_WARM_SWEEP_SPEEDUP = 2.0
+#: Manifest ``cache stats`` over the directory-walk path.
+GATE_STATS_SPEEDUP = 5.0
+#: Real cache entries behind the stats gate.
+STATS_ENTRIES = 10_000
+
+#: Generations of the Fig. 4 sweep (27 allocation points each) — the
+#: shape of a ``repro.dse`` run with the evaluation cache disabled.
+GENERATIONS = 6
+WORKERS = 2
+#: Spawn is the portable worst case for pool start-up — exactly the
+#: cost a persistent pool amortises — and matches the tier-1 suite.
+START_METHOD = "spawn"
+
+#: Best-of-N timing for the stats paths (both are pure reads).
+STATS_REPEATS = 3
+
+#: Both copies of the trajectory artifact: the results directory (the
+#: benchmark harness convention) and the repository root (CI uploads).
+REPO_ROOT = RESULTS_DIR.parent.parent
+CAMPAIGN_JSON_PATHS = (RESULTS_DIR / "BENCH_campaign.json",
+                      REPO_ROOT / "BENCH_campaign.json")
+
+
+def _canonical(results) -> str:
+    """Order-independent canonical JSON of a campaign's payloads."""
+    body = sorted((r.config.name, r.payload) for r in results)
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _sweep_generations():
+    configs = fig4_sweep_configs(max_units_per_class=3,
+                                 evaluate_system=False)
+    return [list(configs) for _ in range(GENERATIONS)]
+
+
+def _run_cold(generations):
+    """Fresh campaign (and thus fresh pool) per generation."""
+    outputs = []
+    start = time.perf_counter()
+    for configs in generations:
+        campaign = Campaign(configs, workers=WORKERS, cache=None,
+                            retries=0, start_method=START_METHOD)
+        outputs.append(_canonical(campaign.run()))
+    return time.perf_counter() - start, outputs
+
+
+def _run_warm(generations):
+    """Every generation on one persistent pool."""
+    outputs = []
+    pool = WorkerPool(WORKERS, start_method=START_METHOD)
+    try:
+        start = time.perf_counter()
+        for configs in generations:
+            campaign = Campaign(configs, workers=WORKERS, cache=None,
+                                retries=0, pool=pool)
+            outputs.append(_canonical(campaign.run()))
+        elapsed = time.perf_counter() - start
+        spawned = pool.spawned
+    finally:
+        pool.shutdown()
+    return elapsed, outputs, spawned
+
+
+def _build_stats_cache(root) -> ResultCache:
+    cache = ResultCache(root)
+    for i in range(STATS_ENTRIES):
+        key = hashlib.sha256(f"bench-stats-{i}".encode()).hexdigest()
+        cache.put(key, {"value": i, "latency_cycles": 100 + i % 7},
+                  describe=f"stats entry {i}")
+    return cache
+
+
+def _best_of(fn, repeats: int = STATS_REPEATS):
+    best, result = None, None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_campaign_throughput(benchmark, tmp_path):
+    payload = {}
+
+    def run_all():
+        payload.clear()
+
+        # -- warm-pool sweep gate ---------------------------------------
+        generations = _sweep_generations()
+        tasks = sum(len(g) for g in generations)
+        inline = _canonical(Campaign(generations[0], workers=0,
+                                     cache=None).run())
+        cold_s, cold_out = _run_cold(generations)
+        warm_s, warm_out, spawned = _run_warm(generations)
+        assert all(out == inline for out in cold_out), (
+            "fresh-pool payloads diverged from the inline reference")
+        assert all(out == inline for out in warm_out), (
+            "warm-pool payloads diverged from the inline reference")
+        assert spawned == WORKERS, (
+            f"warm pool spawned {spawned} processes for {WORKERS} slots "
+            "— workers were lost and replaced mid-sweep")
+
+        # -- manifest stats gate ----------------------------------------
+        cache = _build_stats_cache(tmp_path / "cache")
+        scan_s, scan_stats = _best_of(
+            lambda: cache_stats(cache, rescan=True))
+        index_s, index_stats = _best_of(
+            lambda: cache_stats(cache, rescan=False))
+        for field in ("entries", "valid", "invalid", "bytes"):
+            assert getattr(scan_stats, field) == getattr(index_stats, field), (
+                f"stats disagree on {field}: scan "
+                f"{getattr(scan_stats, field)} vs manifest "
+                f"{getattr(index_stats, field)}")
+        assert scan_stats.entries == STATS_ENTRIES
+
+        payload.update({
+            "generations": GENERATIONS,
+            "tasks_per_generation": tasks // GENERATIONS,
+            "workers": WORKERS,
+            "start_method": START_METHOD,
+            "cold_sweep_s": round(cold_s, 4),
+            "warm_sweep_s": round(warm_s, 4),
+            "cold_tasks_per_s": round(tasks / cold_s, 2),
+            "warm_tasks_per_s": round(tasks / warm_s, 2),
+            "warm_sweep_speedup": round(cold_s / warm_s, 3),
+            "warm_pool_spawned": spawned,
+            "stats_entries": STATS_ENTRIES,
+            "stats_scan_s": round(scan_s, 4),
+            "stats_manifest_s": round(index_s, 4),
+            "stats_speedup": round(scan_s / index_s, 2),
+            "gates": {
+                "warm_sweep_speedup": GATE_WARM_SWEEP_SPEEDUP,
+                "stats_speedup": GATE_STATS_SPEEDUP,
+            },
+        })
+        return payload
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        ["warm sweep", f"{payload['cold_sweep_s']:.2f}s",
+         f"{payload['warm_sweep_s']:.2f}s",
+         f"{payload['warm_sweep_speedup']:.2f}x",
+         f">= {GATE_WARM_SWEEP_SPEEDUP:.1f}x"],
+        [f"cache stats ({STATS_ENTRIES} entries)",
+         f"{payload['stats_scan_s'] * 1e3:.1f}ms",
+         f"{payload['stats_manifest_s'] * 1e3:.1f}ms",
+         f"{payload['stats_speedup']:.2f}x",
+         f">= {GATE_STATS_SPEEDUP:.1f}x"],
+    ]
+    report = format_table(
+        "Campaign throughput engine - before/after",
+        ["path", "baseline", "engine", "speedup", "gate"], rows)
+    print("\n" + report)
+    write_result("campaign_throughput.txt", report + "\n")
+
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    for path in CAMPAIGN_JSON_PATHS:
+        path.write_text(text, encoding="utf-8")
+    contents = {path.read_bytes() for path in CAMPAIGN_JSON_PATHS}
+    assert len(contents) == 1, "BENCH_campaign.json copies diverged"
+
+    assert payload["warm_sweep_speedup"] >= GATE_WARM_SWEEP_SPEEDUP, (
+        f"warm-pool sweep only {payload['warm_sweep_speedup']:.2f}x over "
+        f"fresh pools; gate is {GATE_WARM_SWEEP_SPEEDUP:.1f}x")
+    assert payload["stats_speedup"] >= GATE_STATS_SPEEDUP, (
+        f"manifest stats only {payload['stats_speedup']:.2f}x over the "
+        f"directory walk; gate is {GATE_STATS_SPEEDUP:.1f}x")

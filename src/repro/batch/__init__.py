@@ -8,8 +8,14 @@ batch orchestrator for that workflow:
 * :class:`Campaign` — fan a list of :class:`RunConfig` simulation
   points out over a pool of worker processes with per-run timeout and
   bounded retry, collecting structured :class:`RunResult` records,
+* :class:`WorkerPool` — persistent warm worker processes shared across
+  campaigns (DSE generations, injection sweeps) with batched, chunked
+  task dispatch (:mod:`~repro.batch.pool`),
 * :class:`ResultCache` — content-addressed cache so re-running a sweep
   only simulates changed points,
+* :class:`CacheManifest` — journal + snapshot index of the cache so
+  stats/verify/gc scale with changes, not entries
+  (:mod:`~repro.batch.manifest`),
 * :class:`CampaignObserver` / :class:`CampaignMetrics` — passive
   progress and metrics hooks in the kernel's observer idiom,
 * :mod:`~repro.batch.sweeps` — ready-made sweeps (Fig. 4 allocations,
@@ -34,16 +40,18 @@ from .cache import (
     validate_entry,
 )
 from .faults import CacheFault, FaultingCache, corrupt_entry_file
+from .manifest import CacheManifest, ManifestDrift, artifact_paths
 from .maintenance import (
     CacheStats,
     GcReport,
     PARTIAL_SUFFIX,
     VerifyReport,
-    artifact_paths,
     cache_stats,
     gc_cache,
+    index_entries,
     verify_cache,
 )
+from .pool import WorkerPool, chunk_size
 from .campaign import (
     Campaign,
     CampaignMetrics,
@@ -65,14 +73,15 @@ from .sweeps import (
 )
 
 __all__ = [
-    "BatchError", "CACHE_SCHEMA_VERSION", "CacheFault", "CacheStats",
-    "Campaign", "CampaignMetrics", "CampaignObserver",
-    "DEFAULT_CACHE_DIR", "FaultingCache", "GcReport", "PARTIAL_SUFFIX",
-    "ProgressObserver", "ResultCache", "RunConfig", "RunResult",
-    "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT", "VerifyReport",
-    "WORKLOAD_BACKENDS", "artifact_paths", "cache_stats",
-    "corrupt_entry_file", "default_workers", "execute_config",
-    "fig4_sweep_configs", "gc_cache", "payload_checksum",
-    "register_runner", "resolve_start_method", "runner_kinds",
-    "validate_entry", "verify_cache", "workload_sweep_configs",
+    "BatchError", "CACHE_SCHEMA_VERSION", "CacheFault", "CacheManifest",
+    "CacheStats", "Campaign", "CampaignMetrics", "CampaignObserver",
+    "DEFAULT_CACHE_DIR", "FaultingCache", "GcReport", "ManifestDrift",
+    "PARTIAL_SUFFIX", "ProgressObserver", "ResultCache", "RunConfig",
+    "RunResult", "STATUS_FAILED", "STATUS_OK", "STATUS_TIMEOUT",
+    "VerifyReport", "WORKLOAD_BACKENDS", "WorkerPool", "artifact_paths",
+    "cache_stats", "chunk_size", "corrupt_entry_file", "default_workers",
+    "execute_config", "fig4_sweep_configs", "gc_cache", "index_entries",
+    "payload_checksum", "register_runner", "resolve_start_method",
+    "runner_kinds", "validate_entry", "verify_cache",
+    "workload_sweep_configs",
 ]

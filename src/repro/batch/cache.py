@@ -17,6 +17,12 @@ next successful run.  The key itself (see
 :meth:`repro.batch.config.RunConfig.cache_key`) already covers the
 runner kind, all parameters and the library version, so validation is
 purely an *integrity* check, never a semantic one.
+
+Every mutation is additionally journalled into the cache's
+:class:`~repro.batch.manifest.CacheManifest`, the index that lets
+``repro cache stats``/``verify``/``gc`` skip the full directory scan;
+the entry file is always published first, so a lost journal line is
+recoverable drift, never data loss.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import time
 from typing import Optional, Tuple
 
 from .. import __version__
+from .manifest import CacheManifest, artifact_paths
 
 #: Default cache location (relative to the working directory) used by
 #: the CLI; tests and library users pass an explicit root instead.
@@ -86,6 +93,8 @@ class ResultCache:
         #: Successful lookups / lookups that found nothing at all.
         self.hits = 0
         self.misses = 0
+        #: Journal/snapshot index of this root (see repro.batch.manifest).
+        self.manifest = CacheManifest(self.root)
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -152,14 +161,30 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # The entry is durably published; index it.  A journal failure
+        # must not fail the put — unindexed entries are drift, repaired
+        # by the next ``repro cache verify --rescan``.
+        try:
+            stat = os.stat(path)
+            self.manifest.record_put(
+                key, size=stat.st_size, mtime_ns=stat.st_mtime_ns,
+                created_at=entry["meta"]["created_at"], describe=describe,
+                checksum=entry["meta"]["checksum"],
+                artifacts=artifact_paths(payload))
+        except OSError:
+            pass
 
     def remove(self, key: str) -> bool:
         """Delete the entry for ``key``; returns whether one existed."""
         try:
             self.path_for(key).unlink()
-            return True
         except OSError:
             return False
+        try:
+            self.manifest.record_remove(key)
+        except OSError:
+            pass
+        return True
 
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
@@ -176,4 +201,8 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        try:
+            self.manifest.record_clear()
+        except OSError:
+            pass
         return removed

@@ -2,14 +2,21 @@
 
 A :class:`Campaign` takes a list of :class:`~repro.batch.config.RunConfig`
 points and executes them either inline (``workers <= 1``) or on a pool
-of persistent worker processes connected by pipes.  The pool supports:
+of persistent worker processes connected by pipes (see
+:mod:`repro.batch.pool`).  The pooled path supports:
 
 * a configurable worker count and start method (``fork``/``spawn``;
   tests pin ``spawn`` via ``REPRO_BATCH_START_METHOD``),
+* an external, reusable :class:`~repro.batch.pool.WorkerPool`
+  (``pool=``) so consecutive campaigns — DSE generations, injection
+  sweeps — skip process startup entirely,
+* batched dispatch: adaptive task chunks per pipe message, settled,
+  retried and timed out per task,
 * a per-run timeout — a worker that overruns is killed and replaced,
 * bounded retry of failed / timed-out / crashed runs,
 * a content-addressed result cache consulted before any work is
-  enqueued (see :mod:`repro.batch.cache`),
+  enqueued (see :mod:`repro.batch.cache`); hits are answered by the
+  parent and never cross the IPC boundary,
 * passive :class:`CampaignObserver` hooks, mirroring the kernel's
   :class:`~repro.kernel.scheduler.SchedulerObserver` pattern, through
   which progress display and metrics are layered without coupling.
@@ -20,30 +27,32 @@ order as the input configurations, whatever order workers finished in.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-import multiprocessing
 import multiprocessing.connection
 import os
 import time
 import traceback
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Sequence, Union
 
 from .cache import ResultCache
 from .config import BatchError, RunConfig
-from .maintenance import artifact_paths
+from .manifest import artifact_paths
+from .pool import (
+    START_METHOD_ENV, STATUS_FAILED, STATUS_OK, STATUS_TIMEOUT, WorkerPool,
+    _Worker, _worker_main, chunk_size, default_workers, resolve_start_method,
+)
 from .runner import execute_config
 
-#: Environment knob for the default worker start method; the test suite
-#: pins this to ``spawn`` so determinism across fresh interpreters is
-#: what gets exercised.
-START_METHOD_ENV = "REPRO_BATCH_START_METHOD"
+__all__ = [
+    "Campaign", "CampaignMetrics", "CampaignObserver", "ProgressObserver",
+    "RunResult", "START_METHOD_ENV", "STATUS_FAILED", "STATUS_OK",
+    "STATUS_TIMEOUT", "WorkerPool", "default_workers",
+    "resolve_start_method",
+]
 
 #: How often (seconds) the parent polls worker pipes / deadlines.
 _POLL_S = 0.05
-
-STATUS_OK = "ok"
-STATUS_FAILED = "failed"
-STATUS_TIMEOUT = "timeout"
 
 
 @dataclasses.dataclass
@@ -208,107 +217,6 @@ class ProgressObserver(CampaignObserver):
               f"{last_line}", file=self.stream)
 
 
-def _worker_main(conn) -> None:
-    """Worker loop: receive (index, config, attempt, trace), send outcomes."""
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        if message is None:
-            break
-        index, config, attempt, trace_path = message
-        started = time.perf_counter()
-        try:
-            payload = execute_config(config, trace_path=trace_path)
-            outcome = (index, STATUS_OK, payload,
-                       time.perf_counter() - started)
-        except BaseException:
-            outcome = (index, STATUS_FAILED, traceback.format_exc(limit=8),
-                       time.perf_counter() - started)
-        try:
-            conn.send(outcome)
-        except (BrokenPipeError, OSError):
-            break
-    conn.close()
-
-
-class _Worker:
-    """Parent-side handle on one worker process."""
-
-    def __init__(self, context) -> None:
-        self.conn, child_conn = context.Pipe(duplex=True)
-        self.process = context.Process(target=_worker_main,
-                                       args=(child_conn,), daemon=True)
-        self.process.start()
-        child_conn.close()
-        self.task: Optional[tuple] = None   # (index, config, attempt)
-        self.deadline: Optional[float] = None
-
-    @property
-    def busy(self) -> bool:
-        return self.task is not None
-
-    def assign(self, task: tuple, timeout_s: Optional[float],
-               trace_path: Optional[str]) -> bool:
-        """Hand ``task`` to the worker; False if it died before accepting.
-
-        A worker can die between finishing its last run and the next
-        assignment (crash, OOM-kill); ``send`` then raises into the
-        parent.  That must not take the whole campaign down — report
-        the failed hand-off so the caller replaces the worker and
-        requeues the task.
-        """
-        try:
-            self.conn.send(task + (trace_path,))
-        except (BrokenPipeError, OSError):
-            return False
-        self.task = task
-        self.deadline = (time.perf_counter() + timeout_s
-                         if timeout_s is not None else None)
-        return True
-
-    def kill(self) -> None:
-        try:
-            self.conn.close()
-        except OSError:
-            pass
-        if self.process.is_alive():
-            self.process.terminate()
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():  # pragma: no cover - last resort
-            self.process.kill()
-            self.process.join(timeout=5.0)
-
-    def stop(self) -> None:
-        """Polite shutdown of an idle worker."""
-        try:
-            self.conn.send(None)
-        except (BrokenPipeError, OSError):
-            pass
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():
-            self.kill()
-        else:
-            self.conn.close()
-
-
-def default_workers() -> int:
-    return min(4, os.cpu_count() or 1)
-
-
-def resolve_start_method(start_method: Optional[str] = None) -> str:
-    """Explicit argument > ``REPRO_BATCH_START_METHOD`` > platform default."""
-    method = start_method or os.environ.get(START_METHOD_ENV)
-    if method:
-        if method not in multiprocessing.get_all_start_methods():
-            raise BatchError(f"start method {method!r} not available here")
-        return method
-    if "fork" in multiprocessing.get_all_start_methods():
-        return "fork"
-    return "spawn"
-
-
 class Campaign:
     """Execute a list of run configurations with caching and fan-out."""
 
@@ -320,12 +228,17 @@ class Campaign:
                  cache: Union[ResultCache, str, os.PathLike, None] = None,
                  start_method: Optional[str] = None,
                  observers: Sequence[CampaignObserver] = (),
-                 trace_dir: Union[str, os.PathLike, None] = None) -> None:
+                 trace_dir: Union[str, os.PathLike, None] = None,
+                 pool: Optional[WorkerPool] = None) -> None:
         self.configs = list(configs)
         for config in self.configs:
             if not isinstance(config, RunConfig):
                 raise BatchError(f"not a RunConfig: {config!r}")
-        self.workers = default_workers() if workers is None else int(workers)
+        if workers is None:
+            self.workers = pool.workers if pool is not None \
+                else default_workers()
+        else:
+            self.workers = int(workers)
         if self.workers < 0:
             raise BatchError("workers must be >= 0")
         self.timeout_s = timeout_s
@@ -336,7 +249,17 @@ class Campaign:
             self.cache: Optional[ResultCache] = cache
         else:
             self.cache = ResultCache(cache)
-        self.start_method = resolve_start_method(start_method)
+        self.pool = pool
+        if pool is not None:
+            if start_method is not None \
+                    and resolve_start_method(start_method) != \
+                    pool.start_method:
+                raise BatchError(
+                    f"campaign start method {start_method!r} conflicts "
+                    f"with the pool's {pool.start_method!r}")
+            self.start_method = pool.start_method
+        else:
+            self.start_method = resolve_start_method(start_method)
         if trace_dir is None:
             self.trace_dir: Optional[str] = None
         else:
@@ -411,7 +334,7 @@ class Campaign:
                 pending.append((index, config, 1))
 
         if pending:
-            if self.workers <= 1:
+            if self.pool is None and self.workers <= 1:
                 self._run_inline(pending, results)
             else:
                 self._run_pool(pending, results)
@@ -425,9 +348,9 @@ class Campaign:
     # -- inline (serial) path ----------------------------------------------
 
     def _run_inline(self, pending: List[tuple], results: List) -> None:
-        queue = list(pending)
+        queue: Deque[tuple] = collections.deque(pending)
         while queue:
-            index, config, attempt = queue.pop(0)
+            index, config, attempt = queue.popleft()
             for obs in self._observers:
                 obs.on_run_started(config, attempt)
             started = time.perf_counter()
@@ -446,69 +369,98 @@ class Campaign:
     # -- pooled path ------------------------------------------------------
 
     def _run_pool(self, pending: List[tuple], results: List) -> None:
-        context = multiprocessing.get_context(self.start_method)
-        queue = list(pending)
-        pool: List[_Worker] = []
+        queue: Deque[tuple] = collections.deque(pending)
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            pool = WorkerPool(self.workers, self.start_method)
         try:
-            for _ in range(min(self.workers, len(queue))):
-                pool.append(_Worker(context))
+            width = min(self.workers or pool.workers, len(queue))
+            active = pool.ensure(width)
             outstanding = len(queue)
             while outstanding:
-                for worker in pool:
+                for slot, worker in enumerate(active):
                     if queue and not worker.busy:
-                        task = queue.pop(0)
-                        if not worker.assign(task, self.timeout_s,
-                                             self._trace_path(task[1])):
-                            # The worker died before taking the task:
-                            # replace it and requeue — the task never
-                            # started, so this is not a retry attempt.
-                            queue.append(task)
-                            self._replace(pool, worker,
-                                          "worker died before assignment",
-                                          config=task[1])
+                        chunk = self._take_chunk(queue, len(active))
+                        paths = [self._trace_path(task[1])
+                                 for task in chunk]
+                        if not worker.assign(chunk, self.timeout_s, paths):
+                            # The worker died before taking the chunk:
+                            # replace it and requeue — no task started,
+                            # so no retry attempt is consumed.
+                            queue.extend(chunk)
+                            active[slot] = self._swap(
+                                pool, worker,
+                                "worker died before assignment",
+                                config=chunk[0][1])
                             continue
                         for obs in self._observers:
-                            obs.on_run_started(task[1], task[2])
-                self._pump(pool, results, queue)
+                            obs.on_run_started(chunk[0][1], chunk[0][2])
+                self._pump(pool, active, results, queue)
                 settled = sum(1 for r in results if r is not None)
                 outstanding = len(results) - settled
         finally:
-            for worker in pool:
-                if worker.busy:
-                    worker.kill()
-                else:
-                    worker.stop()
+            if owned:
+                pool.shutdown()
+            else:
+                # A shared pool stays warm for the next campaign; only
+                # workers stuck mid-chunk are discarded.
+                pool.reclaim()
 
-    def _pump(self, pool: List[_Worker], results: List,
-              queue: List[tuple]) -> None:
+    @staticmethod
+    def _take_chunk(queue: Deque[tuple], width: int) -> List[tuple]:
+        count = min(chunk_size(len(queue), width), len(queue))
+        return [queue.popleft() for _ in range(count)]
+
+    def _pump(self, pool: WorkerPool, active: List, results: List,
+              queue: Deque[tuple]) -> None:
         """Wait for one poll tick; collect finished runs and timeouts."""
-        busy = [w for w in pool if w.busy]
+        busy = [w for w in active if w.busy]
         if not busy:
             return
         conns = [w.conn for w in busy]
         ready = multiprocessing.connection.wait(conns, timeout=_POLL_S)
         for worker in busy:
-            if worker.conn in ready:
+            if worker.conn not in ready:
+                continue
+            # Drain every outcome this worker has streamed back, one
+            # settle per task; timeout/retry stay per-task in a chunk.
+            while True:
                 index, config, attempt = worker.task
                 try:
                     _, status, detail, wall = worker.conn.recv()
                 except (EOFError, OSError):
-                    self._replace(pool, worker, "worker died mid-run",
-                                  config=config)
-                    status, detail, wall = (STATUS_FAILED,
-                                            "worker process died", 0.0)
-                else:
-                    worker.task = worker.deadline = None
+                    # Only the task that was running is charged an
+                    # attempt; the rest of the chunk never started.
+                    queue.extend(worker.drain_rest())
+                    slot = active.index(worker)
+                    active[slot] = self._swap(pool, worker,
+                                              "worker died mid-run",
+                                              config=config)
+                    retry = self._settle(results, index, config, attempt,
+                                         STATUS_FAILED,
+                                         "worker process died", 0.0)
+                    if retry is not None:
+                        queue.append(retry)
+                    break
+                head = worker.advance(self.timeout_s)
+                if head is not None:
+                    for obs in self._observers:
+                        obs.on_run_started(head[1], head[2])
                 retry = self._settle(results, index, config, attempt,
                                      status, detail, wall)
                 if retry is not None:
                     queue.append(retry)
+                if not worker.busy or not worker.conn.poll():
+                    break
         now = time.perf_counter()
-        for worker in list(pool):
+        for slot, worker in enumerate(list(active)):
             if worker.busy and worker.deadline is not None \
                     and now > worker.deadline:
                 index, config, attempt = worker.task
-                self._replace(pool, worker, "run timed out", config=config)
+                queue.extend(worker.drain_rest())
+                active[slot] = self._swap(pool, worker, "run timed out",
+                                          config=config)
                 retry = self._settle(results, index, config, attempt,
                                      STATUS_TIMEOUT,
                                      f"run exceeded {self.timeout_s}s",
@@ -516,14 +468,12 @@ class Campaign:
                 if retry is not None:
                     queue.append(retry)
 
-    def _replace(self, pool: List[_Worker], worker: _Worker, reason: str,
-                 config: Optional[RunConfig] = None) -> None:
-        worker.kill()
-        position = pool.index(worker)
-        pool[position] = _Worker(
-            multiprocessing.get_context(self.start_method))
+    def _swap(self, pool: WorkerPool, worker, reason: str,
+              config: Optional[RunConfig] = None):
+        fresh = pool.replace(worker)
         for obs in self._observers:
             obs.on_worker_replaced(config, reason)
+        return fresh
 
     # -- shared settlement --------------------------------------------------
 

@@ -112,7 +112,14 @@ class FaultingCache(ResultCache):
         super().put(key, payload, describe)
 
     def _put_corrupt(self, key: str, payload: dict, describe: str) -> None:
-        """Write a structurally plausible entry with a bad checksum."""
+        """Write a structurally plausible entry with a bad checksum.
+
+        Deliberately bypasses ``super().put`` — and with it the
+        manifest journal — exactly like the foreign writer it models.
+        The entry lands on disk unindexed, so manifest-backed ``verify``
+        reports it as drift until a ``--rescan`` reconciles; tests lean
+        on this to exercise the drift path without extra plumbing.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {

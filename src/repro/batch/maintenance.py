@@ -18,6 +18,14 @@ Three operations, mirrored 1:1 by the CLI:
 * :func:`gc_cache`      — retention: drop entries older than a cutoff
   and/or beyond a keep-newest budget, deleting their artifacts with
   them, and sweep orphans/partials.
+
+All three take a ``rescan`` flag.  ``rescan=True`` (the library
+default, and ``repro cache ... --rescan``) walks the directory the
+historical way and — as a side effect — rebuilds the manifest from
+what it found, reporting the drift.  ``rescan=False`` (the CLI
+default) goes through :func:`index_entries`, which answers from the
+:class:`~repro.batch.manifest.CacheManifest` and only re-reads entries
+whose size/mtime changed — O(changed) instead of O(entries).
 """
 
 from __future__ import annotations
@@ -30,23 +38,10 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..observe.sinks import PARTIAL_SUFFIX
 from .cache import ResultCache, validate_entry
+from .manifest import ManifestDrift, artifact_paths, entry_from_info
 
 #: ``<64-hex-key>.jsonl`` with an optional ``.N`` sibling index.
 _ARTIFACT_RE = re.compile(r"^([0-9a-f]{64})\.jsonl(?:\.\d+)?$")
-
-
-def artifact_paths(payload: dict) -> List[str]:
-    """Every trace-artifact path a payload records.
-
-    Understands both the full ``trace_artifacts`` list and the legacy
-    single ``trace`` pointer; a payload traced to no artifacts (or an
-    untraced payload) yields an empty list.
-    """
-    artifacts = payload.get("trace_artifacts")
-    if isinstance(artifacts, list):
-        return [str(a) for a in artifacts if a]
-    trace = payload.get("trace")
-    return [str(trace)] if trace else []
 
 
 @dataclasses.dataclass
@@ -61,6 +56,8 @@ class EntryInfo:
     valid: bool
     problem: str                 # why invalid ("" when valid)
     artifacts: List[str]         # trace paths the payload records
+    mtime_ns: int = 0            # stat mtime, for manifest staleness
+    checksum: str = ""           # payload checksum ("" when invalid)
 
 
 def _scan_one(path: pathlib.Path) -> Optional[EntryInfo]:
@@ -77,18 +74,23 @@ def _scan_one(path: pathlib.Path) -> Optional[EntryInfo]:
             entry = json.load(handle)
     except (OSError, ValueError) as exc:
         return EntryInfo(key, path, stat.st_size, stat.st_mtime,
-                         "", False, f"unreadable: {exc}", [])
+                         "", False, f"unreadable: {exc}", [],
+                         mtime_ns=stat.st_mtime_ns)
     payload, problem = validate_entry(key, entry)
     meta = entry.get("meta") if isinstance(entry, dict) else None
     created = stat.st_mtime
-    if isinstance(meta, dict) and isinstance(
-            meta.get("created_at"), (int, float)):
-        created = float(meta["created_at"])
+    checksum = ""
+    if isinstance(meta, dict):
+        if isinstance(meta.get("created_at"), (int, float)):
+            created = float(meta["created_at"])
+        if payload is not None and isinstance(meta.get("checksum"), str):
+            checksum = meta["checksum"]
     describe = entry.get("describe", "") if isinstance(entry, dict) else ""
     return EntryInfo(
         key, path, stat.st_size, created, str(describe),
         payload is not None, problem,
-        artifact_paths(payload) if payload is not None else [])
+        artifact_paths(payload) if payload is not None else [],
+        mtime_ns=stat.st_mtime_ns, checksum=checksum)
 
 
 def scan_entries(cache: ResultCache, jobs: int = 1) -> List[EntryInfo]:
@@ -108,6 +110,73 @@ def scan_entries(cache: ResultCache, jobs: int = 1) -> List[EntryInfo]:
     else:
         scanned = [_scan_one(path) for path in paths]
     return [info for info in scanned if info is not None]
+
+
+def index_entries(cache: ResultCache, jobs: int = 1) -> List[EntryInfo]:
+    """Entry inventory from the manifest — O(changed), not O(entries).
+
+    Every indexed entry is stat-gated: while the on-disk
+    ``(size, mtime_ns)`` still matches the manifest record, its facts
+    are trusted without opening the file.  A mismatch re-reads and
+    re-validates just that entry (and re-journals the fresh facts); a
+    vanished file is dropped and journalled as removed, so the index
+    self-heals as it is read.  A cache that predates the manifest is
+    migrated transparently: one full :func:`scan_entries` walk, then
+    the result becomes the first snapshot.
+    """
+    manifest = cache.manifest
+    if not manifest.exists():
+        infos = scan_entries(cache, jobs=jobs)
+        try:
+            manifest.replace(
+                {info.key: entry_from_info(info) for info in infos})
+        except OSError:
+            pass
+        return infos
+    state = manifest.load()
+    infos: List[EntryInfo] = []
+    for key in sorted(state):
+        record = state[key]
+        path = cache.path_for(key)
+        try:
+            stat = path.stat()
+        except OSError:
+            # Phantom: indexed but gone from disk.
+            try:
+                manifest.record_remove(key)
+            except OSError:
+                pass
+            continue
+        size = record.get("size")
+        mtime_ns = record.get("mtime_ns")
+        if stat.st_size == size and stat.st_mtime_ns == mtime_ns:
+            infos.append(EntryInfo(
+                key, path, stat.st_size,
+                float(record.get("created_at") or stat.st_mtime),
+                str(record.get("describe") or ""),
+                bool(record.get("valid", True)),
+                str(record.get("problem") or ""),
+                [str(a) for a in record.get("artifacts") or []],
+                mtime_ns=stat.st_mtime_ns,
+                checksum=str(record.get("checksum") or "")))
+            continue
+        info = _scan_one(path)
+        if info is None:
+            try:
+                manifest.record_remove(key)
+            except OSError:
+                pass
+            continue
+        try:
+            manifest.record_put(
+                key, size=info.size, mtime_ns=info.mtime_ns,
+                created_at=info.created_at, describe=info.describe,
+                checksum=info.checksum, artifacts=info.artifacts,
+                valid=info.valid, problem=info.problem)
+        except OSError:
+            pass
+        infos.append(info)
+    return infos
 
 
 @dataclasses.dataclass
@@ -179,9 +248,32 @@ class CacheStats:
 
 
 def cache_stats(cache: ResultCache,
-                trace_dir: Union[str, pathlib.Path, None] = None
-                ) -> CacheStats:
-    infos = scan_entries(cache)
+                trace_dir: Union[str, pathlib.Path, None] = None,
+                rescan: bool = True) -> CacheStats:
+    """Aggregate cache (and optionally trace-dir) statistics.
+
+    With ``rescan`` the numbers come from a full directory walk.
+    Without it they are aggregated straight off the manifest records —
+    no per-entry ``stat`` and no file opens, so the cost is one index
+    load however large the entries are.  The manifest is trusted
+    as-is: entries written past the journal (foreign writers, lost
+    lines) are invisible here until a ``--rescan`` reconciles them.  A
+    cache predating the manifest is migrated via one indexed walk.
+    """
+    if rescan or not cache.manifest.exists():
+        infos = scan_entries(cache) if rescan else index_entries(cache)
+        entries = len(infos)
+        valid = sum(1 for info in infos if info.valid)
+        size = sum(info.size for info in infos)
+        created = [info.created_at for info in infos]
+    else:
+        state = cache.manifest.load()
+        entries = len(state)
+        valid = sum(1 for record in state.values()
+                    if record.get("valid", True))
+        size = sum(int(record.get("size") or 0) for record in state.values())
+        created = [float(record.get("created_at") or 0.0)
+                   for record in state.values()]
     inventory = scan_trace_dir(trace_dir)
     trace_bytes = 0
     for paths in inventory.by_key.values():
@@ -190,13 +282,12 @@ def cache_stats(cache: ResultCache,
                 trace_bytes += path.stat().st_size
             except OSError:
                 pass
-    created = [info.created_at for info in infos]
     return CacheStats(
         root=cache.root,
-        entries=len(infos),
-        valid=sum(1 for info in infos if info.valid),
-        invalid=sum(1 for info in infos if not info.valid),
-        bytes=sum(info.size for info in infos),
+        entries=entries,
+        valid=valid,
+        invalid=entries - valid,
+        bytes=size,
         oldest=min(created) if created else None,
         newest=max(created) if created else None,
         trace_dir=pathlib.Path(trace_dir) if trace_dir is not None else None,
@@ -216,9 +307,12 @@ class VerifyReport:
     missing_artifacts: List[Tuple[str, str]]       # (key, missing path)
     orphan_artifacts: List[pathlib.Path]           # no cache entry
     partial_artifacts: List[pathlib.Path]          # failed-run leftovers
+    drift: Optional[ManifestDrift] = None          # rescan-vs-manifest
 
     @property
     def ok(self) -> bool:
+        """Integrity verdict; manifest drift is reported separately
+        (it is repaired by the rescan that found it)."""
         return not (self.invalid or self.missing_artifacts
                     or self.orphan_artifacts or self.partial_artifacts)
 
@@ -235,18 +329,38 @@ class VerifyReport:
             lines.append(f"  partial artifact: {path}")
         if self.ok:
             lines.append("cache and artifacts are coherent")
+        if self.drift is not None:
+            lines.append(self.drift.describe())
+            for key in self.drift.missing:
+                lines.append(f"  unindexed entry: {key[:12]}…")
+            for key in self.drift.phantom:
+                lines.append(f"  phantom index record: {key[:12]}…")
+            for key in self.drift.stale:
+                lines.append(f"  stale index record: {key[:12]}…")
         return "\n".join(lines)
 
 
 def verify_cache(cache: ResultCache,
                  trace_dir: Union[str, pathlib.Path, None] = None,
-                 jobs: int = 1) -> VerifyReport:
+                 jobs: int = 1, rescan: bool = True) -> VerifyReport:
     """Integrity-check every entry and cross-check the trace dir.
 
     ``jobs`` parallelises the entry scan (see :func:`scan_entries`);
-    the report is identical for any value.
+    the report is identical for any value.  ``rescan=True`` walks the
+    directory, rebuilds the manifest from what it found and fills
+    :attr:`VerifyReport.drift` with how far off the index was;
+    ``rescan=False`` answers from the manifest, re-reading only entries
+    whose stat changed since they were journalled.
     """
-    infos = scan_entries(cache, jobs=jobs)
+    if rescan:
+        infos = scan_entries(cache, jobs=jobs)
+        try:
+            drift: Optional[ManifestDrift] = cache.manifest.reconcile(infos)
+        except OSError:
+            drift = None
+    else:
+        infos = index_entries(cache, jobs=jobs)
+        drift = None
     inventory = scan_trace_dir(trace_dir)
     invalid = [(info.key, info.problem) for info in infos if not info.valid]
     missing: List[Tuple[str, str]] = []
@@ -265,6 +379,7 @@ def verify_cache(cache: ResultCache,
         missing_artifacts=missing,
         orphan_artifacts=orphans,
         partial_artifacts=list(inventory.partial),
+        drift=drift,
     )
 
 
@@ -302,7 +417,8 @@ def gc_cache(cache: ResultCache,
              older_than_s: Optional[float] = None,
              keep: Optional[int] = None,
              now: Optional[float] = None,
-             dry_run: bool = False) -> GcReport:
+             dry_run: bool = False,
+             rescan: bool = True) -> GcReport:
     """Apply a retention policy to the cache and its trace artifacts.
 
     ``older_than_s`` drops entries created more than that many seconds
@@ -310,10 +426,13 @@ def gc_cache(cache: ResultCache,
     of removals.  Invalid entries are always dropped.  When
     ``trace_dir`` is given, each removed entry's keyed artifacts go
     with it, and orphan/partial artifacts are swept unconditionally —
-    cache and artifact retention cannot diverge.
+    cache and artifact retention cannot diverge.  The manifest is
+    rebuilt from the survivors after a non-dry run, whichever of the
+    directory walk (``rescan=True``) or the manifest
+    (:func:`index_entries`, ``rescan=False``) supplied the inventory.
     """
     now = time.time() if now is None else now
-    infos = scan_entries(cache)
+    infos = scan_entries(cache) if rescan else index_entries(cache)
     inventory = scan_trace_dir(trace_dir)
 
     doomed = {info.key for info in infos if not info.valid}
@@ -326,9 +445,11 @@ def gc_cache(cache: ResultCache,
         doomed.update(info.key for info in valid[max(0, keep):])
 
     removed_entries = 0
+    removed_keys = set()
     for info in infos:
         if info.key in doomed and _unlink(info.path, dry_run):
             removed_entries += 1
+            removed_keys.add(info.key)
 
     removed_artifacts = 0
     survivors = {info.key for info in infos if info.key not in doomed}
@@ -342,6 +463,16 @@ def gc_cache(cache: ResultCache,
     removed_partials = sum(
         1 for path in inventory.partial if _unlink(path, dry_run))
 
+    if not dry_run:
+        # One snapshot rebuild from the survivors keeps the manifest
+        # exact after retention, without one journal line per removal.
+        try:
+            cache.manifest.replace(
+                {info.key: entry_from_info(info) for info in infos
+                 if info.key not in removed_keys})
+        except OSError:
+            pass
+
     return GcReport(
         removed_entries=removed_entries,
         removed_artifacts=removed_artifacts,
@@ -352,7 +483,8 @@ def gc_cache(cache: ResultCache,
 
 
 __all__ = [
-    "CacheStats", "EntryInfo", "GcReport", "PARTIAL_SUFFIX",
-    "TraceInventory", "VerifyReport", "artifact_paths", "cache_stats",
-    "gc_cache", "scan_entries", "scan_trace_dir", "verify_cache",
+    "CacheStats", "EntryInfo", "GcReport", "ManifestDrift",
+    "PARTIAL_SUFFIX", "TraceInventory", "VerifyReport", "artifact_paths",
+    "cache_stats", "gc_cache", "index_entries", "scan_entries",
+    "scan_trace_dir", "verify_cache",
 ]

@@ -1,0 +1,383 @@
+"""Manifest-backed cache index: journal + compacted snapshot.
+
+The maintenance sweeps in :mod:`repro.batch.maintenance` historically
+discovered cache entries by globbing every ``??/*.json`` file and
+re-reading each one — O(entries) stat+read+checksum work for *every*
+``repro cache stats`` call, even when nothing changed.  This module
+maintains a persistent index next to the entries so the common
+operations scale with what changed, not with what exists:
+
+* ``manifest.jsonl`` — an append-only journal.  Every
+  :meth:`ResultCache.put`, invalidating ``remove`` and ``clear``
+  appends one self-checksummed JSON record (the ``sum`` field is a
+  truncated SHA-256 over the canonical record body).  A crash mid-append
+  leaves at worst one torn tail line, which the loader silently drops —
+  the entry file itself was already durably published first, so a
+  dropped journal line is *drift*, never corruption, and the
+  ``--rescan`` path reconciles it.
+* ``manifest-snapshot.json`` — a compacted snapshot rewritten
+  atomically (tempfile + fsync + :func:`os.replace`) whenever the
+  journal outgrows :data:`COMPACT_JOURNAL_BYTES`.  Its first line is a
+  header whose truncated SHA-256 covers the raw body bytes, so loading
+  validates at hash speed without re-encoding the entries.  Loading is
+  snapshot + journal replay.
+
+Durability model: entry files are the truth and are fsync-ed by
+``ResultCache.put``; journal appends are flushed but *not* fsync-ed
+(one fsync per put would halve put throughput for a file that is
+reconstructible).  A machine crash can therefore lose recent journal
+lines — exactly the drift :meth:`CacheManifest.reconcile` repairs.
+
+Put records for the same key merge order-independently: the replay
+keeps the record with the greatest ``(created_at, mtime_ns, checksum)``
+rank, so any interleaving of concurrent writers compacts to the same
+snapshot (property-tested with hypothesis).
+
+Multi-process safety uses ``fcntl.flock`` on the journal file when
+available (exclusive for append/compact, shared for load); on platforms
+without ``fcntl`` the manifest degrades to lock-free appends, which the
+torn-line tolerance and rescan path already absorb.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Iterable, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Journal file name under the cache root.
+MANIFEST_JOURNAL = "manifest.jsonl"
+
+#: Compacted-snapshot file name under the cache root.
+MANIFEST_SNAPSHOT = "manifest-snapshot.json"
+
+#: Version of the manifest record/snapshot layout.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Journal size (bytes) beyond which an append triggers compaction.
+COMPACT_JOURNAL_BYTES = 256 * 1024
+
+#: Fields a ``put`` record carries per entry (mirrors the stat + meta
+#: facts a directory scan would recover for a valid entry).
+ENTRY_FIELDS = ("size", "mtime_ns", "created_at", "describe", "checksum",
+                "valid", "problem", "artifacts")
+
+
+def artifact_paths(payload: dict) -> List[str]:
+    """Every trace-artifact path a payload records.
+
+    Understands both the full ``trace_artifacts`` list and the legacy
+    single ``trace`` pointer; a payload traced to no artifacts (or an
+    untraced payload) yields an empty list.
+    """
+    artifacts = payload.get("trace_artifacts")
+    if isinstance(artifacts, list):
+        return [str(a) for a in artifacts if a]
+    trace = payload.get("trace")
+    return [str(trace)] if trace else []
+
+
+def _checksum(body) -> str:
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _lock(handle, exclusive: bool) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(),
+                    fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+
+
+def _unlock(handle) -> None:
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def parse_line(line: str) -> Optional[dict]:
+    """Parse one journal line; None for blank, torn or tampered lines."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(record, dict):
+        return None
+    stated = record.pop("sum", None)
+    if stated != _checksum(record):
+        return None
+    return record
+
+
+def _rank(entry: dict):
+    return (entry.get("created_at", 0.0), entry.get("mtime_ns", 0),
+            str(entry.get("checksum", "")))
+
+
+def apply_record(state: Dict[str, dict], record: dict) -> None:
+    """Fold one journal record into ``state`` (key -> entry facts).
+
+    ``put`` records for the same key commute: whatever order they
+    replay in, the greatest ``(created_at, mtime_ns, checksum)`` wins,
+    so concurrent writers always compact to the same snapshot.
+    """
+    op = record.get("op")
+    if op == "put":
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        entry = {name: record.get(name) for name in ENTRY_FIELDS}
+        current = state.get(key)
+        if current is None or _rank(entry) >= _rank(current):
+            state[key] = entry
+    elif op == "remove":
+        state.pop(record.get("key"), None)
+    elif op == "clear":
+        state.clear()
+
+
+def snapshot_bytes(state: Dict[str, dict]) -> bytes:
+    """Canonical snapshot serialization (deterministic for any state).
+
+    Line 1 is a header carrying the schema version and a truncated
+    SHA-256 over the *raw bytes* of everything after it; the rest is
+    the compact entries JSON.  Hashing bytes instead of a re-encoded
+    canonical form keeps snapshot validation at memory bandwidth — the
+    load path is what ``repro cache stats`` pays on every call.
+    """
+    body = (json.dumps({"entries": {key: state[key] for key in sorted(state)}},
+                       sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()[:12]
+    header = json.dumps({"schema": MANIFEST_SCHEMA_VERSION, "sum": digest},
+                        sort_keys=True, separators=(",", ":")) + "\n"
+    return header.encode("utf-8") + body
+
+
+def entry_from_info(info) -> dict:
+    """Manifest entry facts for one scanned :class:`EntryInfo`."""
+    return {
+        "size": info.size,
+        "mtime_ns": info.mtime_ns,
+        "created_at": info.created_at,
+        "describe": info.describe,
+        "checksum": info.checksum,
+        "valid": info.valid,
+        "problem": info.problem,
+        "artifacts": list(info.artifacts),
+    }
+
+
+@dataclasses.dataclass
+class ManifestDrift:
+    """Disagreement between the manifest and the directory truth."""
+
+    missing: List[str]      # on disk, absent from the manifest
+    phantom: List[str]      # in the manifest, gone from disk
+    stale: List[str]        # indexed, but size/mtime/checksum diverged
+
+    @property
+    def ok(self) -> bool:
+        return not (self.missing or self.phantom or self.stale)
+
+    def describe(self) -> str:
+        if self.ok:
+            return "manifest matches the directory"
+        return (f"manifest drift: {len(self.missing)} missing, "
+                f"{len(self.phantom)} phantom, {len(self.stale)} stale")
+
+
+class CacheManifest:
+    """The journal + snapshot pair indexing one cache root."""
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.journal_path = self.root / MANIFEST_JOURNAL
+        self.snapshot_path = self.root / MANIFEST_SNAPSHOT
+
+    def exists(self) -> bool:
+        return self.journal_path.exists() or self.snapshot_path.exists()
+
+    # -- reading ------------------------------------------------------------
+
+    def _read_snapshot(self) -> Optional[Dict[str, dict]]:
+        try:
+            raw = self.snapshot_path.read_bytes()
+        except OSError:
+            return None
+        head, newline, body = raw.partition(b"\n")
+        if not newline:
+            return None
+        try:
+            header = json.loads(head)
+        except ValueError:
+            return None
+        if not isinstance(header, dict):
+            return None
+        if header.get("schema") != MANIFEST_SCHEMA_VERSION:
+            return None
+        if header.get("sum") != hashlib.sha256(body).hexdigest()[:12]:
+            return None
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return None
+        entries = payload.get("entries") if isinstance(payload, dict) else None
+        if not isinstance(entries, dict):
+            return None
+        return {key: entry for key, entry in entries.items()
+                if isinstance(entry, dict)}
+
+    def load(self) -> Dict[str, dict]:
+        """Snapshot + journal replay; torn/invalid lines are dropped."""
+        state = self._read_snapshot() or {}
+        lines: List[str] = []
+        if self.journal_path.exists():
+            try:
+                with open(self.journal_path, "r",
+                          encoding="utf-8") as handle:
+                    _lock(handle, exclusive=False)
+                    try:
+                        lines = handle.read().splitlines()
+                    finally:
+                        _unlock(handle)
+            except OSError:
+                lines = []
+        for line in lines:
+            record = parse_line(line)
+            if record is not None:
+                apply_record(state, record)
+        return state
+
+    # -- journaling ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        record = dict(record)
+        record["sum"] = _checksum(record)
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            _lock(handle, exclusive=True)
+            try:
+                handle.write(line)
+                handle.flush()
+                if handle.tell() > COMPACT_JOURNAL_BYTES:
+                    self._compact_locked(handle)
+            finally:
+                _unlock(handle)
+
+    def record_put(self, key: str, *, size: int, mtime_ns: int,
+                   created_at: float, describe: str, checksum: str,
+                   artifacts: Iterable[str], valid: bool = True,
+                   problem: str = "") -> None:
+        self._append({
+            "op": "put", "key": key, "size": int(size),
+            "mtime_ns": int(mtime_ns), "created_at": float(created_at),
+            "describe": str(describe), "checksum": str(checksum),
+            "valid": bool(valid), "problem": str(problem),
+            "artifacts": list(artifacts),
+        })
+
+    def record_remove(self, key: str) -> None:
+        self._append({"op": "remove", "key": key})
+
+    def record_clear(self) -> None:
+        self._append({"op": "clear"})
+
+    # -- compaction / rebuild -----------------------------------------------
+
+    def _write_snapshot(self, state: Dict[str, dict]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        body = snapshot_bytes(state)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-manifest-", suffix=".json")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.snapshot_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def _compact_locked(self, handle) -> None:
+        """Fold the journal into the snapshot; caller holds the lock."""
+        state = self._read_snapshot() or {}
+        try:
+            with open(self.journal_path, "r", encoding="utf-8") as reader:
+                lines = reader.read().splitlines()
+        except OSError:
+            lines = []
+        for line in lines:
+            record = parse_line(line)
+            if record is not None:
+                apply_record(state, record)
+        self._write_snapshot(state)
+        handle.truncate(0)
+
+    def compact(self) -> None:
+        """Fold the journal into the snapshot now."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            _lock(handle, exclusive=True)
+            try:
+                self._compact_locked(handle)
+            finally:
+                _unlock(handle)
+
+    def replace(self, state: Dict[str, dict]) -> None:
+        """Overwrite the manifest wholesale with ``state`` (rebuild)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            _lock(handle, exclusive=True)
+            try:
+                self._write_snapshot(state)
+                handle.truncate(0)
+            finally:
+                _unlock(handle)
+
+    def reconcile(self, infos) -> ManifestDrift:
+        """Rebuild from a directory scan and report how far off we were.
+
+        ``infos`` is the :func:`~repro.batch.maintenance.scan_entries`
+        truth.  The manifest is replaced with it; the returned drift
+        names every key the old manifest had lost (``missing``),
+        invented (``phantom``) or mis-described (``stale``).
+        """
+        current = self.load()
+        truth = {info.key: entry_from_info(info) for info in infos}
+        missing = sorted(key for key in truth if key not in current)
+        phantom = sorted(key for key in current if key not in truth)
+        stale = []
+        for key in sorted(truth):
+            old = current.get(key)
+            if old is None:
+                continue
+            facts = ("size", "mtime_ns", "checksum", "valid")
+            if any(old.get(name) != truth[key].get(name) for name in facts):
+                stale.append(key)
+        self.replace(truth)
+        return ManifestDrift(missing=missing, phantom=phantom, stale=stale)
+
+
+__all__ = [
+    "CacheManifest", "ManifestDrift", "COMPACT_JOURNAL_BYTES",
+    "MANIFEST_JOURNAL", "MANIFEST_SCHEMA_VERSION", "MANIFEST_SNAPSHOT",
+    "apply_record", "artifact_paths", "entry_from_info", "parse_line",
+    "snapshot_bytes",
+]

@@ -1,0 +1,311 @@
+"""Persistent worker processes and batched task dispatch.
+
+Historically every :class:`~repro.batch.campaign.Campaign` spawned its
+own worker processes inside ``run()`` and tore them down at the end —
+under the test suite's pinned ``spawn`` start method that means a full
+interpreter boot plus workload imports *per campaign*, which dominates
+wall time for the many-small-campaign callers (``repro dse`` runs one
+campaign per generation, ``repro inject`` one per fault).  This module
+factors the processes out into a :class:`WorkerPool` that outlives any
+single campaign:
+
+* **Warm reuse** — a pool is spawned lazily (:meth:`WorkerPool.ensure`)
+  and handed to consecutive campaigns via ``Campaign(pool=...)``;
+  workers keep imported workloads and cost tables hot.  Campaigns
+  that find every point in the result cache never spawn a process at
+  all, and cache hits are answered by the parent before dispatch so a
+  hit never crosses the IPC boundary.
+* **Batched dispatch** — the parent sends task *chunks* (lists of
+  ``(index, config, attempt, trace_path)`` tuples) per pipe message
+  and the worker streams one outcome per task back, so per-message
+  latency amortizes across tasks while timeout/retry/replacement
+  semantics stay per-task (:meth:`_Worker.advance` re-arms the
+  deadline as each head task settles).  Chunk sizing is adaptive:
+  :func:`chunk_size` grows chunks on long queues but keeps them at 1
+  when the queue is comparable to the worker count, so short sweeps
+  schedule exactly like the unbatched path did.
+
+A worker that dies or overruns its per-task deadline is killed and
+replaced (:meth:`WorkerPool.replace`); the rest of its chunk is
+requeued without consuming retry attempts — only the task that was
+actually running is charged.
+"""
+
+from __future__ import annotations
+
+import collections
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Deque, List, Optional, Sequence
+
+from .config import BatchError
+from .runner import execute_config
+
+#: Environment knob for the default worker start method; the test suite
+#: pins this to ``spawn`` so determinism across fresh interpreters is
+#: what gets exercised.
+START_METHOD_ENV = "REPRO_BATCH_START_METHOD"
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+
+#: Largest task chunk one pipe message may carry.
+CHUNK_CAP = 16
+
+#: Scheduling granularity: aim for this many chunks per worker so the
+#: tail of a sweep still load-balances across the pool.
+CHUNK_WAVES = 4
+
+
+def default_workers() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+def resolve_start_method(start_method: Optional[str] = None) -> str:
+    """Explicit argument > ``REPRO_BATCH_START_METHOD`` > platform default."""
+    method = start_method or os.environ.get(START_METHOD_ENV)
+    if method:
+        if method not in multiprocessing.get_all_start_methods():
+            raise BatchError(f"start method {method!r} not available here")
+        return method
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+def chunk_size(queued: int, width: int) -> int:
+    """Tasks per dispatch for a queue of ``queued`` over ``width`` workers.
+
+    ``max(1, min(CHUNK_CAP, queued // (width * CHUNK_WAVES)))`` — long
+    queues amortize IPC over up to :data:`CHUNK_CAP` tasks per message,
+    while any queue shorter than ``width * CHUNK_WAVES`` degenerates to
+    single-task dispatch, preserving the fine-grained scheduling (and
+    overlap of sleepy runs) of the unbatched path.
+    """
+    width = max(1, width)
+    return max(1, min(CHUNK_CAP, queued // (width * CHUNK_WAVES)))
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive task chunks, stream one outcome per task.
+
+    A chunk is a list of ``(index, config, attempt, trace_path)``
+    tuples; each task's outcome ``(index, status, detail, wall)`` is
+    sent back as soon as it finishes so the parent can settle, retry
+    and re-arm timeouts per task.  ``None`` terminates the loop.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        alive = True
+        for index, config, attempt, trace_path in message:
+            started = time.perf_counter()
+            try:
+                payload = execute_config(config, trace_path=trace_path)
+                outcome = (index, STATUS_OK, payload,
+                           time.perf_counter() - started)
+            except BaseException:
+                outcome = (index, STATUS_FAILED,
+                           traceback.format_exc(limit=8),
+                           time.perf_counter() - started)
+            try:
+                conn.send(outcome)
+            except (BrokenPipeError, OSError):
+                alive = False
+                break
+        if not alive:
+            break
+    conn.close()
+
+
+class _Worker:
+    """Parent-side handle on one worker process."""
+
+    def __init__(self, context) -> None:
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(target=_worker_main,
+                                       args=(child_conn,), daemon=True)
+        self.process.start()
+        child_conn.close()
+        #: Tasks in flight, in execution order; head is running now.
+        self.chunk: Deque[tuple] = collections.deque()
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.chunk)
+
+    @property
+    def task(self) -> Optional[tuple]:
+        """The ``(index, config, attempt)`` task executing right now."""
+        return self.chunk[0] if self.chunk else None
+
+    def assign(self, tasks: Sequence[tuple], timeout_s: Optional[float],
+               trace_paths: Sequence[Optional[str]]) -> bool:
+        """Hand a chunk of tasks over; False if the worker died first.
+
+        A worker can die between finishing its last chunk and the next
+        assignment (crash, OOM-kill); ``send`` then raises into the
+        parent.  That must not take the whole campaign down — report
+        the failed hand-off so the caller replaces the worker and
+        requeues the chunk.
+        """
+        message = [task + (trace_path,)
+                   for task, trace_path in zip(tasks, trace_paths)]
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError):
+            return False
+        self.chunk.extend(tasks)
+        self.deadline = (time.perf_counter() + timeout_s
+                         if timeout_s is not None else None)
+        return True
+
+    def advance(self, timeout_s: Optional[float]) -> Optional[tuple]:
+        """Settle the head task; returns the new head task or None.
+
+        The worker started the next task the moment it sent the
+        previous outcome, so the fresh deadline is armed here — each
+        task in a chunk gets the full per-run timeout.
+        """
+        self.chunk.popleft()
+        if self.chunk:
+            self.deadline = (time.perf_counter() + timeout_s
+                             if timeout_s is not None else None)
+            return self.chunk[0]
+        self.deadline = None
+        return None
+
+    def drain_rest(self) -> List[tuple]:
+        """Abandon the chunk; returns every task *behind* the head.
+
+        Used when the worker dies or times out: the head task was the
+        one actually running (it is charged an attempt by the caller),
+        the rest never started and requeue attempt-free.
+        """
+        rest = list(self.chunk)[1:]
+        self.chunk.clear()
+        self.deadline = None
+        return rest
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - last resort
+            self.process.kill()
+            self.process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        """Polite shutdown of an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self.conn.close()
+
+
+class WorkerPool:
+    """A set of worker processes that survives across campaigns.
+
+    Construction is cheap and spawns nothing; processes appear on the
+    first :meth:`ensure` call and live until :meth:`shutdown`.  Hand
+    the same pool to consecutive campaigns (``Campaign(pool=...)``,
+    or through ``Evolution``/``DependabilityAnalysis``) and generation
+    N+1 reuses the interpreters generation N warmed up.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise BatchError("pool workers must be >= 1")
+        self.start_method = resolve_start_method(start_method)
+        self._context = multiprocessing.get_context(self.start_method)
+        self._workers: List[_Worker] = []
+        #: Lifetime spawn count — a warm pool run across G generations
+        #: keeps this at the pool width instead of G * width.
+        self.spawned = 0
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        """Live worker processes right now."""
+        return len(self._workers)
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._context)
+        self.spawned += 1
+        return worker
+
+    def ensure(self, count: int) -> List[_Worker]:
+        """Grow to ``min(count, self.workers)`` live workers, lazily."""
+        if self._closed:
+            raise BatchError("worker pool is shut down")
+        count = min(max(0, count), self.workers)
+        while len(self._workers) < count:
+            self._workers.append(self._spawn())
+        return list(self._workers[:count])
+
+    def replace(self, worker: _Worker) -> _Worker:
+        """Kill ``worker`` and spawn a fresh one in its slot."""
+        position = self._workers.index(worker)
+        worker.kill()
+        fresh = self._spawn()
+        self._workers[position] = fresh
+        return fresh
+
+    def discard(self, worker: _Worker) -> None:
+        """Kill ``worker`` and drop it from the pool without replacing."""
+        worker.kill()
+        try:
+            self._workers.remove(worker)
+        except ValueError:
+            pass
+
+    def reclaim(self) -> None:
+        """End-of-campaign sweep for an external (shared) pool: any
+        worker still holding tasks is in an unknown mid-chunk state and
+        is discarded; idle warm workers are kept for the next campaign.
+        """
+        for worker in list(self._workers):
+            if worker.busy:
+                self.discard(worker)
+
+    def shutdown(self) -> None:
+        """Stop every worker; the pool cannot be reused afterwards."""
+        for worker in self._workers:
+            if worker.busy:
+                worker.kill()
+            else:
+                worker.stop()
+        self._workers = []
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+__all__ = [
+    "CHUNK_CAP", "CHUNK_WAVES", "START_METHOD_ENV", "STATUS_FAILED",
+    "STATUS_OK", "STATUS_TIMEOUT", "WorkerPool", "chunk_size",
+    "default_workers", "resolve_start_method",
+]

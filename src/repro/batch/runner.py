@@ -28,9 +28,18 @@ worker-process boundary).  Built-in kinds:
 
 ``probe``
     Campaign-infrastructure self-test: succeed, fail, sleep, or fail
-    until a marker file exists (exercises timeout and retry paths).
+    until a marker file exists (exercises timeout and retry paths);
+    the ``warmth`` behavior counts runs served by the hosting process,
+    proving pool reuse across campaigns.
 
 New kinds register with the :func:`register_runner` decorator.
+
+Runners are called once per task by :func:`execute_config`, whether
+the task arrived alone or inside a dispatch chunk
+(:mod:`repro.batch.pool` streams one outcome per task either way), so
+a runner must not assume a fresh process per call: persistent workers
+deliberately keep module state warm between tasks and across
+campaigns.
 """
 
 from __future__ import annotations
@@ -379,12 +388,17 @@ def run_topology(params: dict) -> dict:
 # -- probe: infrastructure self-test kinds -------------------------------
 
 
+#: Runs served by *this* process across every campaign it worked for.
+#: Meaningful only inside persistent workers — see ``warmth`` below.
+_WARMTH_SERVED = 0
+
+
 @register_runner("probe")
 def run_probe(params: dict) -> dict:
     """Deterministic success/failure/sleep probe for the campaign pool.
 
-    Parameters: ``behavior`` = ``ok`` | ``fail`` | ``sleep`` |
-    ``fail-until-marker`` | ``die`` | ``slow-then-ok`` |
+    Parameters: ``behavior`` = ``ok`` | ``warmth`` | ``fail`` |
+    ``sleep`` | ``fail-until-marker`` | ``die`` | ``slow-then-ok`` |
     ``corrupt-cache`` (+ ``marker`` path, ``seconds`` for the sleeping
     behaviors, ``value`` echoed back).
 
@@ -418,6 +432,16 @@ def run_probe(params: dict) -> dict:
     behavior = params.get("behavior", "ok")
     if behavior == "ok":
         return {"value": params.get("value", 0), "pid": os.getpid()}
+    if behavior == "warmth":
+        # Per-process served-run counter: two campaigns that share a
+        # warm pool see the counter keep climbing, which pids alone
+        # cannot prove (the OS may reuse them).  The payload differs
+        # per call by design — warmth probes are pool-lifecycle
+        # diagnostics and must never be cached.
+        global _WARMTH_SERVED
+        _WARMTH_SERVED += 1
+        return {"value": params.get("value", 0), "pid": os.getpid(),
+                "served": _WARMTH_SERVED}
     if behavior == "sleep":
         time.sleep(float(params.get("seconds", 1.0)))
         return {"value": params.get("value", 0), "pid": os.getpid()}

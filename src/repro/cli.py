@@ -294,13 +294,21 @@ def _cmd_cache(args) -> int:
 
     cache = ResultCache(args.cache_dir)
     trace_dir = args.trace_dir or None
+    rescan = bool(args.rescan)
     if args.cache_command == "stats":
-        print(cache_stats(cache, trace_dir).describe())
+        print(cache_stats(cache, trace_dir, rescan=rescan).describe())
         return 0
     if args.cache_command == "verify":
-        report = verify_cache(cache, trace_dir, jobs=max(1, args.jobs))
+        report = verify_cache(cache, trace_dir, jobs=max(1, args.jobs),
+                              rescan=rescan)
         print(report.describe())
-        return 0 if report.ok else 1
+        if not report.ok:
+            return 1
+        if report.drift is not None and not report.drift.ok:
+            # Integrity is fine but the manifest had drifted (now
+            # rebuilt); distinct exit code so scripts can tell.
+            return 3
+        return 0
     # gc
     if args.older_than is None and args.keep is None and not args.prune_only:
         raise SystemExit("repro cache gc: give --older-than and/or --keep "
@@ -309,7 +317,7 @@ def _cmd_cache(args) -> int:
     older_than_s = (None if args.older_than is None
                     else _parse_age(args.older_than))
     report = gc_cache(cache, trace_dir, older_than_s=older_than_s,
-                      keep=args.keep, dry_run=args.dry_run)
+                      keep=args.keep, dry_run=args.dry_run, rescan=rescan)
     print(report.describe())
     return 0
 
@@ -893,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-dir", default="",
                        help="per-run trace artifact directory to sweep "
                             "in lockstep with the cache")
+        p.add_argument("--rescan", action="store_true",
+                       help="walk the cache directory instead of reading "
+                            "the manifest index; rebuilds the manifest "
+                            "and (for verify) reports drift")
         p.set_defaults(fn=_cmd_cache)
 
     _cache_common(cache_sub.add_parser(
@@ -901,7 +913,8 @@ def build_parser() -> argparse.ArgumentParser:
         "verify",
         help="integrity-check every entry and every recorded trace "
              "pointer; exit 1 on any invalid entry, dangling pointer, "
-             "orphan or partial artifact")
+             "orphan or partial artifact; with --rescan, exit 3 when "
+             "integrity is fine but the manifest index had drifted")
     verify_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                                help="read entries through a thread pool of "
                                     "N workers (default 1: serial; the "

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..annotate.context import CostContext
 from ..annotate.costs import OP_IDS, OperationCosts
-from .model import ANNOT, SH_ARR, SH_INT, SV, Unsupported
+from .model import ANNOT, SH_ARR, SH_BOOL, SH_INT, SV, Unsupported
 from .transform import _is_plain_int, _resolve_global, analyze_program
 
 
@@ -187,6 +187,8 @@ class CompiledProgram:
                 copy = [int(v) for v in arg]
                 call_args.append(copy)
                 writebacks.append((arg, copy))
+            elif shape == SH_BOOL:
+                call_args.append(bool(arg))
             else:
                 call_args.append(int(arg))
         result = self.entry(charger, *call_args)
@@ -194,13 +196,19 @@ class CompiledProgram:
 
 
 def arg_shapes_of(args) -> Tuple[str, ...]:
-    """Classify concrete call arguments into entry shapes."""
+    """Classify concrete call arguments into entry shapes.
+
+    ``bool`` is checked before ``int`` (it is an ``int`` subclass) and
+    maps to :data:`SH_BOOL` — predicate-parameterized kernels compile
+    instead of falling back to interpreted charging; truth-testing the
+    parameter charges a branch exactly like ``ABool.__bool__`` does.
+    """
     shapes = []
     for arg in args:
         if isinstance(arg, list):
             shapes.append(SH_ARR)
         elif isinstance(arg, bool):
-            raise Unsupported("bool entry arguments are not supported")
+            shapes.append(SH_BOOL)
         elif isinstance(arg, int):
             shapes.append(SH_INT)
         else:

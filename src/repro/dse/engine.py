@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..batch.cache import ResultCache
 from ..batch.campaign import Campaign, CampaignObserver, RunResult
+from ..batch.pool import WorkerPool
 from .factorial import screening_genomes
 from .genome import DseError, Genome, SearchSpace
 from .mcdm import (
@@ -209,15 +210,16 @@ class Evolution:
 
     # -- evaluation --------------------------------------------------------
 
-    def _evaluate(self, genomes: Sequence[Genome]) -> Tuple[List[Vector],
-                                                            Campaign]:
+    def _evaluate(self, genomes: Sequence[Genome],
+                  pool=None) -> Tuple[List[Vector], Campaign]:
         configs = [self.space.decode(genome) for genome in genomes]
         campaign = Campaign(configs, workers=self.workers,
                             timeout_s=self.timeout_s, retries=self.retries,
                             cache=self.cache,
                             start_method=self.start_method,
                             observers=self.observers,
-                            trace_dir=self.trace_dir)
+                            trace_dir=self.trace_dir,
+                            pool=pool)
         results = campaign.run()
         failed = [r for r in results if not r.ok]
         if failed:
@@ -322,6 +324,22 @@ class Evolution:
         submitted = 0
         exhaustive = self.space.size() <= settings.population
 
+        # One warm pool serves every generation: spawned lazily on the
+        # first campaign that actually has work (a fully-cached rerun
+        # never starts a process) and reused until the search ends.
+        pool = (WorkerPool(self.workers, self.start_method)
+                if self.workers and self.workers > 1 else None)
+        try:
+            return self._search(settings, rng, started, evaluated,
+                                trajectory, generation_metrics, submitted,
+                                exhaustive, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+    def _search(self, settings, rng, started, evaluated, trajectory,
+                generation_metrics, submitted, exhaustive,
+                pool) -> DseResult:
         population = self._initial_population(rng)
         for generation in range(settings.generations):
             population, new = self._respect_budget(population, evaluated)
@@ -332,7 +350,7 @@ class Evolution:
                 if hook is not None:
                     hook(generation, list(population))
 
-            vectors, campaign = self._evaluate(population)
+            vectors, campaign = self._evaluate(population, pool=pool)
             submitted += len(population)
             for genome, vector in zip(population, vectors):
                 evaluated[genome] = vector

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from ..batch.cache import ResultCache
 from ..batch.campaign import Campaign, RunResult
 from ..batch.config import RunConfig
+from ..batch.pool import WorkerPool
 from ..errors import InjectError
 from .faultload import FS_PER_NS, FaultSpec, Faultload, generate_faultload
 from .scenario import (
@@ -210,14 +211,16 @@ class DependabilityAnalysis:
                 **self._scenario_params()))
         return configs
 
-    def _campaign(self, configs: Sequence[RunConfig]) -> Campaign:
+    def _campaign(self, configs: Sequence[RunConfig],
+                  pool=None) -> Campaign:
         return Campaign(configs,
                         workers=self.workers,
                         timeout_s=self.timeout_s,
                         retries=self.retries,
                         cache=self.cache,
                         start_method=self.start_method,
-                        observers=self.observers)
+                        observers=self.observers,
+                        pool=pool)
 
     def build_spec(self, golden_end_fs: int) -> FaultSpec:
         horizon_ns = max(1, -(-int(golden_end_fs) // FS_PER_NS))
@@ -235,18 +238,27 @@ class DependabilityAnalysis:
 
     def run(self) -> dict:
         """Run golden + sweep; return the dependability report dict."""
-        golden_campaign = self._campaign([self.golden_config()])
-        golden_result = golden_campaign.run()[0]
-        if not golden_result.ok or golden_result.payload is None:
-            raise InjectError(
-                f"fault-free golden run failed: {golden_result.error or golden_result.status}")
-        self.golden = golden_result.payload
+        # The golden run and every injection share one warm pool, so
+        # worker start-up is paid once per analysis, not per campaign.
+        pool = (WorkerPool(self.workers, self.start_method)
+                if self.workers and self.workers > 1 else None)
+        try:
+            golden_campaign = self._campaign([self.golden_config()],
+                                             pool=pool)
+            golden_result = golden_campaign.run()[0]
+            if not golden_result.ok or golden_result.payload is None:
+                raise InjectError(
+                    f"fault-free golden run failed: {golden_result.error or golden_result.status}")
+            self.golden = golden_result.payload
 
-        spec = self.build_spec(self.golden["end_fs"])
-        self.faultload = generate_faultload(spec, self.seed)
-        configs = self.injection_configs(self.faultload)
-        campaign = self._campaign(configs)
-        results = campaign.run()
+            spec = self.build_spec(self.golden["end_fs"])
+            self.faultload = generate_faultload(spec, self.seed)
+            configs = self.injection_configs(self.faultload)
+            campaign = self._campaign(configs, pool=pool)
+            results = campaign.run()
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         classifications = [
             classify_run(self.golden, result, injection)

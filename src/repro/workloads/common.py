@@ -11,7 +11,7 @@ from typing import Callable, List, Sequence, Tuple
 
 from ..annotate.context import CostContext, MODE_SW, active
 from ..annotate.costs import OperationCosts
-from ..annotate.types import AArray, AFloat, AInt, unwrap
+from ..annotate.types import AArray, ABool, AFloat, AInt, unwrap
 
 _LCG_MULT = 6364136223846793005
 _LCG_INC = 1442695040888963407
@@ -33,15 +33,16 @@ def lcg_stream(seed: int, count: int, bound: int) -> List[int]:
 def wrap_args(args: Sequence) -> tuple:
     """Deep-copy ``args`` into annotated types.
 
-    Lists become :class:`AArray`, ints :class:`AInt`, floats
-    :class:`AFloat`.
+    Lists become :class:`AArray`, bools :class:`ABool` (checked before
+    ``int``, its superclass — truth-testing the wrapped value charges a
+    branch), ints :class:`AInt`, floats :class:`AFloat`.
     """
     wrapped = []
     for arg in args:
         if isinstance(arg, list):
             wrapped.append(AArray(arg))
         elif isinstance(arg, bool):
-            raise TypeError("cannot wrap bool arguments")
+            wrapped.append(ABool(arg))
         elif isinstance(arg, int):
             wrapped.append(AInt(arg))
         elif isinstance(arg, float):

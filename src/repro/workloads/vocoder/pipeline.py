@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ...annotate.types import AArray, AInt, unwrap
+from ...annotate.types import AArray, ABool, AInt, unwrap
 from ...compilebc.tier import current_tier
 from ...kernel.simulator import Simulator
 from ...kernel.module import Module
@@ -51,6 +51,10 @@ def _interpreted_executor(fn: Callable, args: Sequence) -> int:
             array = AArray(arg)
             wrapped.append(array)
             writebacks.append((arg, array))
+        elif isinstance(arg, bool):
+            # bool before int (subclass): predicate parameters charge a
+            # branch on truth test, matching the compiled SH_BOOL shape.
+            wrapped.append(ABool(arg))
         else:
             wrapped.append(AInt(int(arg)))
     result = fn(*wrapped)

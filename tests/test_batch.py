@@ -21,6 +21,8 @@ from repro.batch import (
     STATUS_FAILED,
     STATUS_OK,
     STATUS_TIMEOUT,
+    WorkerPool,
+    chunk_size,
     execute_config,
     fig4_sweep_configs,
     runner_kinds,
@@ -240,6 +242,124 @@ def test_pool_overlaps_sleeping_runs():
     pids = {r.payload["pid"] for r in results}
     assert len(pids) > 1
     assert os.getpid() not in pids
+
+
+# -- persistent WorkerPool across campaigns --------------------------------
+
+
+def test_warm_pool_survives_across_campaigns():
+    """One pool serves two campaigns with the same worker processes."""
+    configs = [RunConfig.of("probe", f"w{i}", behavior="warmth", value=i)
+               for i in range(6)]
+    with WorkerPool(2) as pool:
+        first = Campaign(configs, workers=2, cache=None, pool=pool).run()
+        second = Campaign(configs, workers=2, cache=None, pool=pool).run()
+        assert pool.spawned == 2, "warm campaigns must not respawn workers"
+    assert all(r.ok for r in first + second)
+    # The exact same processes served both campaigns...
+    assert {r.payload["pid"] for r in first} == \
+        {r.payload["pid"] for r in second}
+    # ...and their in-process served counters kept climbing, which a
+    # fresh-per-campaign pool could never show.
+    assert max(r.payload["served"] for r in second) > \
+        max(r.payload["served"] for r in first)
+
+
+def test_pool_campaign_matches_owned_pool_results(tmp_path):
+    configs = [
+        RunConfig.of("topology", f"t{seed}", **dict(TOPOLOGY, seed=seed))
+        for seed in range(4)
+    ]
+    inline = [r.payload for r in Campaign(configs, workers=0,
+                                          cache=None).run()]
+    with WorkerPool(2) as pool:
+        shared = Campaign(configs, workers=2, cache=None, pool=pool).run()
+    assert [r.payload for r in shared] == inline
+
+
+def test_cache_hits_never_reach_the_pool(tmp_path):
+    configs = fig4_sweep_configs(max_units_per_class=2)
+    Campaign(configs, workers=0, cache=tmp_path / "c").run()
+    with WorkerPool(2) as pool:
+        rerun = Campaign(configs, workers=2, cache=tmp_path / "c", pool=pool)
+        results = rerun.run()
+        assert rerun.metrics.cache_hits == len(configs)
+        assert all(r.cached for r in results)
+        # The parent answered every hit itself: no worker was ever needed.
+        assert pool.spawned == 0
+
+
+def test_pool_start_method_conflict_rejected():
+    with WorkerPool(1, start_method="spawn") as pool:
+        with pytest.raises(BatchError):
+            Campaign([RunConfig.of("probe", behavior="ok")],
+                     cache=None, pool=pool, start_method="fork")
+
+
+def test_shutdown_pool_rejects_further_use():
+    pool = WorkerPool(1)
+    pool.shutdown()
+    with pytest.raises(BatchError):
+        pool.ensure(1)
+
+
+# -- chunked dispatch ------------------------------------------------------
+
+
+def test_chunk_size_heuristics():
+    # Short queues keep per-task dispatch (maximum overlap)...
+    assert chunk_size(1, 4) == 1
+    assert chunk_size(7, 2) == 1
+    # ...deep queues amortise messages, capped so workers stay balanced.
+    assert chunk_size(80, 2) == 10
+    assert chunk_size(10_000, 2) == 16
+    assert chunk_size(0, 4) == 1
+
+
+def test_chunked_dispatch_matches_inline(tmp_path):
+    """A queue deep enough to force chunks > 1 stays byte-identical."""
+    configs = [
+        RunConfig.of("topology", f"t{seed}", **dict(TOPOLOGY, seed=seed))
+        for seed in range(24)
+    ]
+    assert chunk_size(len(configs), 2) > 1
+    inline = [r.payload for r in Campaign(configs, workers=0,
+                                          cache=None).run()]
+    pooled = Campaign(configs, workers=2, cache=None).run()
+    assert [r.payload for r in pooled] == inline
+
+
+def test_mid_chunk_death_charges_only_the_head(worker_tmp_path):
+    """A worker dying on a chunk's head requeues the rest attempt-free."""
+    marker = worker_tmp_path / "die-once"
+    configs = [RunConfig.of("probe", "dies", behavior="die",
+                            marker=str(marker))]
+    configs += [RunConfig.of("probe", f"ok{i}", behavior="ok", value=i)
+                for i in range(7)]
+    with WorkerPool(1) as pool:
+        campaign = Campaign(configs, workers=1, cache=None, retries=1,
+                            pool=pool)
+        assert chunk_size(len(configs), 1) > 1
+        results = campaign.run()
+    assert [r.status for r in results] == [STATUS_OK] * len(configs)
+    # Only the head of the torn chunk was charged an attempt.
+    assert results[0].attempts == 2
+    assert all(r.attempts == 1 for r in results[1:])
+    assert campaign.metrics.worker_replacements == 1
+
+
+def test_mid_chunk_timeout_requeues_the_rest(worker_tmp_path):
+    configs = [RunConfig.of("probe", "hang", behavior="sleep", seconds=60)]
+    configs += [RunConfig.of("probe", f"ok{i}", behavior="ok", value=i)
+                for i in range(7)]
+    with WorkerPool(1) as pool:
+        campaign = Campaign(configs, workers=1, cache=None, retries=0,
+                            timeout_s=3.0, pool=pool)
+        assert chunk_size(len(configs), 1) > 1
+        results = campaign.run()
+    assert results[0].status == STATUS_TIMEOUT
+    assert [r.status for r in results[1:]] == [STATUS_OK] * 7
+    assert all(r.attempts == 1 for r in results[1:])
 
 
 def test_workload_sweep_config_grid():

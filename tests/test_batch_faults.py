@@ -239,10 +239,11 @@ def test_assign_to_dead_worker_reports_false():
         # campaign sees the same race and must always land on False.
         while time.perf_counter() < deadline:
             accepted = worker.assign(
-                (0, RunConfig.of("probe", behavior="ok"), 1), None, None)
+                [(0, RunConfig.of("probe", behavior="ok"), 1)], None, [None])
             if not accepted:
                 break
-            worker.task = worker.deadline = None
+            worker.chunk.clear()
+            worker.deadline = None
             time.sleep(0.05)
         assert accepted is False
         assert not worker.busy
@@ -256,12 +257,12 @@ def test_pool_requeues_task_when_worker_dies_before_assignment(monkeypatch):
     original = campaign_mod._Worker.assign
     state = {"killed": False}
 
-    def flaky_assign(self, task, timeout_s, trace_path):
+    def flaky_assign(self, tasks, timeout_s, trace_paths):
         if not state["killed"]:
             state["killed"] = True
             self.process.terminate()
             self.process.join(timeout=10.0)
-        return original(self, task, timeout_s, trace_path)
+        return original(self, tasks, timeout_s, trace_paths)
 
     monkeypatch.setattr(campaign_mod._Worker, "assign", flaky_assign)
     configs = [RunConfig.of("probe", f"p{i}", behavior="ok", value=i)

@@ -238,3 +238,29 @@ def test_cache_gc_rejects_bad_age(tmp_path):
     with pytest.raises(SystemExit, match="bad age"):
         main(["cache", "gc", "--cache-dir", str(tmp_path),
               "--older-than", "soon"])
+
+
+def test_cache_stats_manifest_matches_rescan(tmp_path, capsys):
+    _configs, cache_root, _trace_root = _seed_cache(tmp_path)
+    assert main(["cache", "stats", "--cache-dir", str(cache_root)]) == 0
+    indexed = capsys.readouterr().out
+    assert "2 entries (2 valid, 0 invalid)" in indexed
+    assert main(["cache", "stats", "--cache-dir", str(cache_root),
+                 "--rescan"]) == 0
+    assert capsys.readouterr().out == indexed
+
+
+def test_cache_verify_rescan_reports_drift_exit_3(tmp_path, capsys):
+    _configs, cache_root, trace_root = _seed_cache(tmp_path)
+    # Simulate journal lines lost to a crash: the entries are fine on
+    # disk, the index has never heard of them.
+    (cache_root / "manifest.jsonl").unlink()
+    assert main(["cache", "verify", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root), "--rescan"]) == 3
+    out = capsys.readouterr().out
+    assert "coherent" in out               # integrity itself is fine
+    assert "2 missing" in out and "unindexed entry" in out
+    # That rescan rebuilt the index; a second pass is fully clean.
+    assert main(["cache", "verify", "--cache-dir", str(cache_root),
+                 "--trace-dir", str(trace_root), "--rescan"]) == 0
+    assert "manifest matches the directory" in capsys.readouterr().out

@@ -140,6 +140,32 @@ def k_float_real(a):
     return a * 1.5
 
 
+def k_predicate(src, n, fast):
+    # bool entry arg steering a branch per element: the shape kernels
+    # toggle between quality modes with (fir's decimate flag idiom)
+    total = 0
+    for i in arange(0, n):
+        v = src[i]
+        if fast:
+            total = total + v
+        else:
+            total = total + v * 3
+    return total
+
+
+def k_predicate_not(a, flag):
+    r = a
+    if not flag:
+        r = r + 11
+    while r > 10:
+        r = r - 3
+    return r
+
+
+def k_bool_arith(flag):
+    return flag + 1  # arithmetic on a predicate: outside the subset
+
+
 def differential(kernel, args, costs):
     """Compiled vs interpreted on identical inputs; returns cycles."""
     program = compile_kernel(kernel, arg_shapes_of(list(args)))
@@ -189,6 +215,15 @@ class TestEquivalence:
         # charge was dropped at the helper's implicit function end
         for a in (3, 12):
             differential(k_bound_in_helper, ([0] * 16, a, 10), costs)
+
+    @pytest.mark.parametrize("costs", COST_TABLES, ids=lambda c: c.name)
+    def test_bool_entry_args_compile_and_charge_identically(self, costs):
+        # Both flag values, on every table: the compiled SH_BOOL truth
+        # test must charge exactly like ABool.__bool__ does interpreted.
+        src = [3, 1, 4, 1, 5, 9, 2, 6]
+        for flag in (True, False):
+            differential(k_predicate, (src, 8, flag), costs)
+            differential(k_predicate_not, (37, flag), costs)
 
     def test_half_cycle_totals_stay_exact(self):
         # dsp-sw charges 0.5 per branch: the folded block sums must sit
@@ -305,8 +340,21 @@ class TestFallback:
     def test_unsupported_entry_argument_types(self):
         with pytest.raises(Unsupported):
             arg_shapes_of([1.5])
+
+    def test_bool_entry_args_have_their_own_shape(self):
+        # bool is an int subclass: it must classify as "bool" (checked
+        # first), never silently widen to "int".
+        assert arg_shapes_of([True, 1, [2]]) == ("bool", "int", "arr")
+
+    def test_bool_arithmetic_rejected_falls_back(self):
         with pytest.raises(Unsupported):
-            arg_shapes_of([True])
+            compile_kernel(k_bool_arith, ("bool",))
+        tier = CompileTier()
+        from repro.workloads.vocoder.pipeline import _interpreted_executor
+        handled, _ = tier.run_kernel(k_bool_arith, [True],
+                                     _interpreted_executor)
+        assert not handled
+        assert tier.stats["rejected"] == 1
 
 
 # --- the check-mode differential at tier level -----------------------------

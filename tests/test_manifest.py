@@ -1,0 +1,307 @@
+"""Manifest-backed cache index: journal, snapshot, drift, crash safety.
+
+The manifest's contract is layered: every line is self-checksummed (so
+tampering and torn tails degrade to dropped lines, never bad state),
+put records merge order-independently (so concurrent writers compact
+to one snapshot — property-tested below), and the entry files remain
+the single source of truth (so *any* manifest damage is recoverable
+drift, repaired by ``--rescan``).  The crash tests drive that last
+claim the hard way, through the PR 4 fault harness and a campaign
+killed mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.batch import (
+    Campaign,
+    CacheManifest,
+    FaultingCache,
+    ResultCache,
+    RunConfig,
+    cache_stats,
+    gc_cache,
+    index_entries,
+    verify_cache,
+)
+from repro.batch.manifest import (
+    COMPACT_JOURNAL_BYTES,
+    apply_record,
+    parse_line,
+    snapshot_bytes,
+)
+
+TOPOLOGY = dict(stages=2, messages=4, capacities=[1, 2], waits_ns=[0, 3],
+                seed=7)
+
+
+def _topology(name="t", **overrides):
+    return RunConfig.of("topology", name, **dict(TOPOLOGY, **overrides))
+
+
+def _seeded(tmp_path, count=3):
+    configs = [_topology(f"m{i}", seed=i + 1) for i in range(count)]
+    cache_root = tmp_path / "cache"
+    Campaign(configs, workers=0, cache=cache_root).run()
+    return configs, ResultCache(cache_root)
+
+
+# -- journal basics --------------------------------------------------------
+
+
+def test_puts_are_journalled_and_load_matches_directory(tmp_path):
+    configs, cache = _seeded(tmp_path)
+    state = cache.manifest.load()
+    assert sorted(state) == sorted(c.cache_key() for c in configs)
+    for config in configs:
+        record = state[config.cache_key()]
+        stat = cache.path_for(config.cache_key()).stat()
+        assert record["size"] == stat.st_size
+        assert record["mtime_ns"] == stat.st_mtime_ns
+        assert record["valid"] is True
+
+
+def test_manifest_stats_match_rescan_stats(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    walked = cache_stats(cache, rescan=True)
+    indexed = cache_stats(cache, rescan=False)
+    for field in ("entries", "valid", "invalid", "bytes"):
+        assert getattr(walked, field) == getattr(indexed, field)
+
+
+def test_remove_and_clear_are_journalled(tmp_path):
+    configs, cache = _seeded(tmp_path)
+    cache.remove(configs[0].cache_key())
+    assert sorted(cache.manifest.load()) == \
+        sorted(c.cache_key() for c in configs[1:])
+    cache.clear()
+    assert cache.manifest.load() == {}
+    assert cache_stats(cache, rescan=False).entries == 0
+
+
+def test_torn_tail_line_is_dropped(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    before = cache.manifest.load()
+    with open(cache.manifest.journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"op": "put", "key": "ab')     # crash mid-append
+    assert cache.manifest.load() == before
+
+
+def test_tampered_line_fails_its_checksum(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    lines = cache.manifest.journal_path.read_text().splitlines()
+    record = json.loads(lines[0])
+    assert parse_line(lines[0]) is not None
+    record["size"] = 999999                          # bit-flip, stale sum
+    assert parse_line(json.dumps(record)) is None
+    assert parse_line("") is None
+    assert parse_line("[1, 2]") is None
+
+
+def test_compaction_folds_journal_into_snapshot(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    manifest = cache.manifest
+    before = manifest.load()
+    assert not manifest.snapshot_path.exists()
+    manifest.compact()
+    assert manifest.snapshot_path.exists()
+    assert manifest.journal_path.stat().st_size == 0
+    assert manifest.load() == before
+
+
+def test_append_auto_compacts_past_the_threshold(tmp_path, monkeypatch):
+    import repro.batch.manifest as manifest_mod
+
+    monkeypatch.setattr(manifest_mod, "COMPACT_JOURNAL_BYTES", 512)
+    cache = ResultCache(tmp_path / "cache")
+    for i in range(20):
+        cache.put(f"{i:02d}" + "a" * 62, {"value": i})
+    assert cache.manifest.snapshot_path.exists()
+    assert cache.manifest.journal_path.stat().st_size <= 512
+    assert len(cache.manifest.load()) == 20
+    assert COMPACT_JOURNAL_BYTES > 512               # global untouched
+
+
+def test_corrupt_snapshot_is_ignored_not_trusted(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    manifest = cache.manifest
+    manifest.compact()
+    good = manifest.load()
+    raw = manifest.snapshot_path.read_bytes()
+    manifest.snapshot_path.write_bytes(raw.replace(b'"size"', b'"Size"', 1))
+    assert manifest._read_snapshot() is None         # sum no longer matches
+    # With the snapshot rejected and the journal compacted away, the
+    # index is simply empty — drift, which a rescan repairs.
+    assert manifest.load() == {}
+    report = verify_cache(cache, rescan=True)
+    assert report.ok and not report.drift.ok
+    assert manifest.load() == good
+
+
+# -- order-independent merge (hypothesis) ----------------------------------
+
+
+_keys = st.sampled_from(["aa" * 32, "bb" * 32, "cc" * 32])
+_puts = st.builds(
+    lambda key, created, mtime, checksum: {
+        "op": "put", "key": key, "size": 100, "mtime_ns": mtime,
+        "created_at": created, "describe": "", "checksum": checksum,
+        "valid": True, "problem": "", "artifacts": [],
+    },
+    _keys,
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    st.integers(min_value=0, max_value=10),
+    st.sampled_from(["c1", "c2", "c3"]),
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(records=st.lists(_puts, min_size=1, max_size=8),
+       order=st.randoms())
+def test_put_replay_order_never_changes_the_snapshot(records, order):
+    """Any interleaving of put records compacts to identical bytes."""
+    in_order: dict = {}
+    for record in records:
+        apply_record(in_order, dict(record))
+    shuffled = list(records)
+    order.shuffle(shuffled)
+    reordered: dict = {}
+    for record in shuffled:
+        apply_record(reordered, dict(record))
+    assert snapshot_bytes(reordered) == snapshot_bytes(in_order)
+
+
+# -- O(changed) reads and self-healing -------------------------------------
+
+
+def test_index_entries_self_heals_phantom_records(tmp_path):
+    configs, cache = _seeded(tmp_path)
+    victim = configs[0].cache_key()
+    cache.path_for(victim).unlink()                  # bypass remove()
+    infos = index_entries(cache)
+    assert victim not in {info.key for info in infos}
+    assert victim not in cache.manifest.load()       # journalled the drop
+
+
+def test_index_entries_rereads_only_changed_entries(tmp_path):
+    configs, cache = _seeded(tmp_path)
+    victim = configs[0].cache_key()
+    # Change the file behind the manifest's back (foreign writer).
+    path = cache.path_for(victim)
+    path.write_text("{ truncated", encoding="utf-8")
+    infos = {info.key: info for info in index_entries(cache)}
+    assert not infos[victim].valid                   # stat gate caught it
+    assert all(infos[c.cache_key()].valid for c in configs[1:])
+    # The re-read facts were journalled: stats now see the bad entry.
+    stats = cache_stats(cache, rescan=False)
+    assert stats.invalid == 1 and stats.entries == len(configs)
+
+
+def test_migration_from_pre_manifest_cache(tmp_path):
+    _configs, cache = _seeded(tmp_path)
+    cache.manifest.journal_path.unlink()
+    assert not cache.manifest.exists()
+    stats = cache_stats(cache, rescan=False)         # triggers migration
+    assert stats.entries == 3 and stats.valid == 3
+    assert cache.manifest.exists()
+    assert verify_cache(cache, rescan=False).ok
+
+
+def test_gc_rebuilds_the_manifest(tmp_path):
+    configs, cache = _seeded(tmp_path)
+    report = gc_cache(cache, keep=1)
+    assert report.removed_entries == 2
+    state = cache.manifest.load()
+    assert len(state) == 1
+    assert cache_stats(cache, rescan=False).entries == 1
+    assert verify_cache(cache, rescan=True).drift.ok
+
+
+# -- drift and crash convergence -------------------------------------------
+
+
+def test_faulting_cache_torn_put_lands_as_unindexed_drift(tmp_path):
+    """PR 4's foreign-writer fault bypasses the journal — by design the
+    torn entry sits on disk unindexed until a rescan reconciles."""
+    config = _topology()
+    faulty = FaultingCache(tmp_path, corrupt_puts_for={config.cache_key()})
+    Campaign([config], workers=0, cache=faulty).run()
+    assert faulty.faults_injected == 1
+
+    fresh = ResultCache(tmp_path)
+    report = verify_cache(fresh, rescan=True)
+    assert not report.ok                             # torn entry found
+    assert report.drift is not None
+    assert report.drift.missing == [config.cache_key()]
+    # After reconciliation the manifest agrees with the (bad) truth...
+    assert not verify_cache(fresh, rescan=False).ok
+    # ...and the next campaign heals both the entry and the index.
+    Campaign([config], workers=0, cache=ResultCache(tmp_path)).run()
+    healed = verify_cache(ResultCache(tmp_path), rescan=True)
+    assert healed.ok and healed.drift.ok
+
+
+def test_in_place_corruption_lands_as_stale_drift(tmp_path):
+    from repro.batch import corrupt_entry_file
+
+    configs, cache = _seeded(tmp_path)
+    victim = configs[0].cache_key()
+    corrupt_entry_file(cache, victim)                # journal never told
+    report = verify_cache(ResultCache(tmp_path / "cache"), rescan=True)
+    assert not report.ok
+    assert report.drift.stale == [victim]
+
+
+def test_killed_campaign_journal_loss_converges_on_rerun(tmp_path):
+    """Kill-mid-append: entries published, journal lines lost.
+
+    The drill: run half the sweep, drop the journal wholesale (the
+    worst possible append loss) and tear the last entry mid-write.
+    The rerun + rescan must converge to exactly the uninterrupted
+    manifest state.
+    """
+    configs = [_topology(f"k{i}", seed=i + 1) for i in range(4)]
+
+    ref_cache = ResultCache(tmp_path / "ref")
+    Campaign(configs, workers=0, cache=ref_cache).run()
+    # Entry byte sizes vary run to run (timestamp width), so the
+    # convergence target is the semantic record, not raw sizes.
+    reference = {
+        key: {name: record[name] for name in ("valid", "problem")}
+        for key, record in ref_cache.manifest.load().items()
+    }
+
+    cache_root = tmp_path / "cache"
+    Campaign(configs[:2], workers=0, cache=cache_root).run()
+    survivor = ResultCache(cache_root)
+    survivor.manifest.journal_path.unlink()          # the "crash"
+    torn = survivor.path_for(configs[1].cache_key())
+    torn.write_text("{ torn mid-write", encoding="utf-8")
+
+    rerun = Campaign(configs, workers=0, cache=cache_root)
+    results = rerun.run()
+    assert all(r.ok for r in results)
+    assert results[0].cached and not results[1].cached
+
+    report = verify_cache(ResultCache(cache_root), rescan=True)
+    assert report.ok
+    rebuilt = ResultCache(cache_root)
+    state = CacheManifest(cache_root).load()
+    converged = {
+        key: {name: record[name] for name in ("valid", "problem")}
+        for key, record in state.items()
+    }
+    assert converged == reference
+    # And every rebuilt record carries its own directory's stat facts.
+    for key, record in state.items():
+        stat = rebuilt.path_for(key).stat()
+        assert record["size"] == stat.st_size
+        assert record["mtime_ns"] == stat.st_mtime_ns
+
+    final = Campaign(configs, workers=0, cache=cache_root)
+    assert all(r.cached for r in final.run())
